@@ -1,0 +1,46 @@
+// Ablation: fault tolerance under pod churn.
+//
+// Knative gives the paper's framework "fault-tolerance" for free at the
+// platform level (§III) — but a crashed pod still 503s its in-flight
+// wfbench invocations, and the paper's WFM prototype has no retries, so a
+// single crash fails the workflow. This sweep quantifies the interplay:
+// chaos kill rate x WFM retry budget on blast-120, Kn10wNoPM.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "support/format.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Ablation — pod churn vs WFM retries (blast-120, Kn10wNoPM)\n";
+  std::cout << "==========================================================\n\n";
+  std::cout << support::format("{:<12} {:<9} {:<8} {:>9} {:>9} {:>9} {:>7}\n", "kill rate",
+                               "retries", "status", "time(s)", "failed", "resent",
+                               "kills");
+
+  for (const double kill_rate : {0.0, 0.0005, 0.001, 0.002}) {
+    for (const int retries : {0, 2, 6}) {
+      core::ExperimentConfig config;
+      config.paradigm = core::Paradigm::kKn10wNoPM;
+      config.recipe = "blast";
+      config.num_tasks = 120;
+      faas::KnativeServiceSpec spec = core::knative_spec_for(config.paradigm);
+      spec.chaos_pod_kill_rate = kill_rate;
+      config.knative_spec_override = spec;
+      config.wfm.task_retries = retries;
+      const core::ExperimentResult result = core::run_experiment(config);
+      std::cout << support::format("{:<12} {:<9} {:<8} {:>9.1f} {:>9} {:>9} {:>7}\n",
+                                   support::format("{:.4f}/tick", kill_rate), retries,
+                                   result.ok() ? "ok" : "FAILED", result.makespan_seconds,
+                                   result.run.tasks_failed, result.run.task_retries,
+                                   result.chaos_kills);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "without retries any churn fails the run (the paper prototype's\n"
+               "behaviour); a small retry budget restores completion at a modest\n"
+               "makespan cost, because wfbench functions are idempotent.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: the WFM's fixed inter-phase delay (§III-C hard-codes 1 s).
+//
+// The paper motivates the delay as a settle time so the previous phase's
+// outputs are visible on the shared drive; the WFM also re-checks inputs
+// before dispatch. This ablation sweeps the delay on the phase-heavy
+// Epigenomics family (where it costs the most) and on the flat Seismology
+// family (where it costs almost nothing), showing that (a) correctness does
+// not depend on the delay — the input check catches stragglers — and (b) the
+// delay's makespan cost scales with phase count.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "support/format.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Ablation — WFM inter-phase delay\n";
+  std::cout << "================================\n\n";
+  std::cout << core::result_header();
+
+  for (const std::string recipe : {"epigenomics", "seismology"}) {
+    for (const double delay_s : {0.0, 0.5, 1.0, 5.0}) {
+      core::ExperimentConfig config;
+      config.paradigm = core::Paradigm::kLC10wNoPM;  // no autoscaling noise
+      config.recipe = recipe;
+      config.num_tasks = 200;
+      config.wfm.phase_delay = sim::from_seconds(delay_s);
+      core::ExperimentResult result = core::run_experiment(config);
+      result.paradigm_name = support::format("delay={:.1f}s", delay_s);
+      std::cout << core::result_row(result);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "note: runs stay correct at delay=0 because the WFM polls the shared\n"
+               "drive for each function's inputs before dispatch; the delay only\n"
+               "adds makespan, linearly in the number of phases.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Ablation: WfChef-derived recipes vs the hand-written structural recipes.
+//
+// WfCommons' pipeline is WfInstances -> WfChef -> WfGen (paper Figure 2).
+// This bench validates the learned path: for each family with a curated
+// instance, generate a 200-task workflow from (a) the hand-written recipe
+// and (b) the WfChef profile learned from the instance, run both through
+// the headline Figure 7 pair, and compare the serverless-vs-local deltas.
+// If the chef learned the family faithfully, the deltas land close.
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "containers/runtime.h"
+#include "core/workflow_manager.h"
+#include "faas/platform.h"
+#include "metrics/sampler.h"
+#include "net/router.h"
+#include "storage/shared_fs.h"
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "support/format.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/translators/local_container.h"
+#include "wfcommons/wfchef.h"
+#include "wfcommons/wfinstances.h"
+
+namespace {
+
+// Run a pre-built workflow under a paradigm (the ExperimentRunner generates
+// from the recipe catalog, so chef-derived workflows go through the lower
+// level API here).
+wfs::core::ExperimentResult run_workflow(wfs::wfcommons::Workflow workflow,
+                                         wfs::core::Paradigm paradigm) {
+  using namespace wfs;
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim);
+  const core::ParadigmInfo& info = core::paradigm_info(paradigm);
+
+  std::unique_ptr<faas::KnativePlatform> knative;
+  std::unique_ptr<containers::LocalContainerRuntime> local;
+  if (info.serverless) {
+    faas::KnativeServiceSpec spec = core::knative_spec_for(paradigm);
+    wfcommons::KnativeTranslatorConfig tconfig;
+    tconfig.service_url = "http://" + spec.authority + "/wfbench";
+    wfcommons::KnativeTranslator(tconfig).apply(workflow);
+    knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    knative->deploy();
+  } else {
+    containers::LocalRuntimeConfig config = core::local_config_for(paradigm);
+    wfcommons::LocalContainerTranslatorConfig tconfig;
+    tconfig.endpoint_url = "http://" + config.authority + "/wfbench";
+    wfcommons::LocalContainerTranslator(tconfig).apply(workflow);
+    local = std::make_unique<containers::LocalContainerRuntime>(sim, cluster, fs, router,
+                                                                config);
+    local->start();
+  }
+
+  metrics::Sampler sampler(sim);
+  sampler.add_probe("cpu", [&cluster] { return cluster.cpu_fraction() * 100.0; });
+  sampler.add_probe("mem", [&cluster] {
+    return static_cast<double>(cluster.resident_memory()) / (1024.0 * 1024.0 * 1024.0);
+  });
+  sampler.add_probe("power", [&cluster] { return cluster.power_watts(); });
+  sampler.add_probe("pods", [&] { return knative ? knative->ready_pods() : 0.0; });
+  sampler.sample_now();
+  sampler.start();
+
+  core::WorkflowManager wfm(sim, router, fs);
+  std::optional<core::WorkflowRunResult> run;
+  wfm.run(workflow, [&](core::WorkflowRunResult r) {
+    run = std::move(r);
+    sampler.sample_now();
+    sampler.stop();
+  });
+  sim.run_until(4 * sim::kHour);
+
+  core::ExperimentResult result;
+  result.paradigm_name = info.name;
+  result.workflow_name = workflow.name();
+  result.config.num_tasks = workflow.size();
+  if (run.has_value()) {
+    result.completed = run->completed;
+    result.run = std::move(*run);
+    result.makespan_seconds = result.run.makespan_seconds;
+  }
+  result.cpu_series = sampler.series("cpu");
+  result.memory_series = sampler.series("mem");
+  result.power_series = sampler.series("power");
+  result.pods_series = sampler.series("pods");
+  result.cpu_percent = metrics::summarize(result.cpu_series);
+  result.memory_gib = metrics::summarize(result.memory_series);
+  result.power_watts = metrics::summarize(result.power_series);
+  result.energy_joules = result.power_series.integral();
+  if (knative) knative->shutdown();
+  if (local) local->shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Ablation — WfChef-derived vs hand-written recipes (200 tasks, Fig. 7 pair)\n";
+  std::cout << "==========================================================================\n\n";
+
+  wfcommons::GenerateOptions options;
+  options.num_tasks = 200;
+  options.seed = 1;
+
+  for (const std::string family : {"blast", "epigenomics", "seismology", "cycles"}) {
+    const auto hand = wfcommons::make_recipe(family);
+    const auto chef = wfcommons::chef_from_instances(family);
+
+    const core::ExperimentResult hand_kn =
+        run_workflow(hand->generate(options), core::Paradigm::kKn10wNoPM);
+    const core::ExperimentResult hand_lc =
+        run_workflow(hand->generate(options), core::Paradigm::kLC10wNoPM);
+    const core::ExperimentResult chef_kn =
+        run_workflow(chef->generate(options), core::Paradigm::kKn10wNoPM);
+    const core::ExperimentResult chef_lc =
+        run_workflow(chef->generate(options), core::Paradigm::kLC10wNoPM);
+
+    std::cout << core::delta_row(support::format("hand-written [{}]", family),
+                                 core::compare(hand_kn, hand_lc));
+    std::cout << core::delta_row(support::format("wfchef-derived [{}]", family),
+                                 core::compare(chef_kn, chef_lc));
+    std::cout << "\n";
+  }
+  std::cout << "close deltas mean the learned profiles carry the structural features\n"
+               "(phase widths, category mix, knob ranges) the paradigm comparison\n"
+               "actually depends on — WfChef closes the WfCommons loop.\n";
+  return 0;
+}

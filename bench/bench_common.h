@@ -1,0 +1,102 @@
+// Shared sweep/rendering helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "metrics/ascii_chart.h"
+#include "support/format.h"
+
+namespace wfs::bench {
+
+struct SweepResult {
+  std::vector<core::ExperimentResult> results;
+};
+
+/// Runs the full cross product paradigms x recipes x sizes (the layout of
+/// the paper's faceted figures) and prints progress rows as it goes.
+inline SweepResult run_sweep(const std::vector<core::Paradigm>& paradigms,
+                             const std::vector<std::string>& recipes,
+                             const std::vector<std::size_t>& sizes,
+                             std::uint64_t seed = 1) {
+  SweepResult sweep;
+  std::cout << core::result_header();
+  for (const std::string& recipe : recipes) {
+    for (const std::size_t size : sizes) {
+      for (const core::Paradigm paradigm : paradigms) {
+        core::ExperimentConfig config;
+        config.paradigm = paradigm;
+        config.recipe = recipe;
+        config.num_tasks = size;
+        config.seed = seed;
+        core::ExperimentResult result = core::run_experiment(config);
+        std::cout << core::result_row(result) << std::flush;
+        sweep.results.push_back(std::move(result));
+      }
+    }
+  }
+  return sweep;
+}
+
+inline const core::ExperimentResult* find_result(const SweepResult& sweep,
+                                                 core::Paradigm paradigm,
+                                                 const std::string& recipe, std::size_t size) {
+  for (const core::ExperimentResult& result : sweep.results) {
+    if (result.config.paradigm == paradigm && result.config.recipe == recipe &&
+        result.config.num_tasks == size) {
+      return &result;
+    }
+  }
+  return nullptr;
+}
+
+/// The figures' four metrics as grouped bars: one group per (recipe, size)
+/// row, one bar per paradigm.
+inline void print_metric_charts(const SweepResult& sweep,
+                                const std::vector<core::Paradigm>& paradigms,
+                                const std::vector<std::string>& recipes,
+                                const std::vector<std::size_t>& sizes) {
+  struct Metric {
+    const char* title;
+    const char* unit;
+    double (*get)(const core::ExperimentResult&);
+  };
+  const Metric metrics[] = {
+      {"execution time", "s",
+       [](const core::ExperimentResult& r) { return r.makespan_seconds; }},
+      {"mean power", "W",
+       [](const core::ExperimentResult& r) { return r.power_watts.time_weighted_mean; }},
+      {"mean CPU usage", "%",
+       [](const core::ExperimentResult& r) { return r.cpu_percent.time_weighted_mean; }},
+      {"mean memory usage", "GiB",
+       [](const core::ExperimentResult& r) { return r.memory_gib.time_weighted_mean; }},
+  };
+
+  for (const Metric& metric : metrics) {
+    std::cout << "\n" << metric.title << ":\n";
+    metrics::GroupedBars bars;
+    for (const core::Paradigm paradigm : paradigms) {
+      bars.series_names.push_back(core::to_string(paradigm));
+    }
+    for (const std::string& recipe : recipes) {
+      for (const std::size_t size : sizes) {
+        std::vector<double> row;
+        for (const core::Paradigm paradigm : paradigms) {
+          const core::ExperimentResult* result = find_result(sweep, paradigm, recipe, size);
+          row.push_back(result != nullptr ? metric.get(*result) : 0.0);
+        }
+        bars.row_labels.push_back(support::format("{}-{}", recipe, size));
+        bars.values.push_back(std::move(row));
+      }
+    }
+    metrics::BarChartOptions options;
+    options.width = 40;
+    options.unit = metric.unit;
+    std::cout << metrics::grouped_bar_chart(bars, options);
+  }
+}
+
+}  // namespace wfs::bench

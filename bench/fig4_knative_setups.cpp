@@ -1,0 +1,40 @@
+// Figure 4 reproduction: comparison between setups of the serverless
+// computational paradigm.
+//
+// Paper layout: x-axis = {Kn1wPM, Kn1wNoPM, Kn10wNoPM}, colours = workflow
+// sizes, facets = {execution time, power, CPU, memory} x {Blast,
+// Epigenomics} (the two representative families). Expected shape (§V-B):
+// 10wNoPM slightly improves execution time, power and memory, with less
+// optimal CPU usage — the most balanced setup, picked for Figure 7.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Figure 4 — serverless (Knative) paradigm setups\n";
+  std::cout << "===============================================\n\n";
+
+  const std::vector<core::Paradigm> paradigms = {
+      core::Paradigm::kKn1wPM, core::Paradigm::kKn1wNoPM, core::Paradigm::kKn10wNoPM};
+  const std::vector<std::string> recipes = {"blast", "epigenomics"};
+  const std::vector<std::size_t> sizes = {50, 200};
+
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  bench::print_metric_charts(sweep, paradigms, recipes, sizes);
+
+  // The paper's conclusion from this figure.
+  std::cout << "\nconclusions vs Kn1wNoPM (per workflow, large size):\n";
+  for (const std::string& recipe : recipes) {
+    const core::ExperimentResult* one =
+        bench::find_result(sweep, core::Paradigm::kKn1wNoPM, recipe, 200);
+    const core::ExperimentResult* ten =
+        bench::find_result(sweep, core::Paradigm::kKn10wNoPM, recipe, 200);
+    if (one != nullptr && ten != nullptr) {
+      std::cout << core::delta_row(support::format("Kn10wNoPM vs Kn1wNoPM [{}]", recipe),
+                                   core::compare(*ten, *one));
+    }
+  }
+  return 0;
+}

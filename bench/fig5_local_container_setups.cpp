@@ -1,0 +1,48 @@
+// Figure 5 reproduction: comparison between setups of the local-container
+// computational paradigm.
+//
+// Paper layout: x-axis = {LC1wPM, LC1wNoPM, LC10wNoPM, LC10wNoPMNoCR},
+// colours = sizes, facets = metrics x {Blast, Epigenomics}. Expected shape
+// (§V-B): 10wNoPM + NoCR slightly improves power and CPU but not execution
+// time, and uses MORE memory (no hard cgroup limit declared).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Figure 5 — local-container (bare-metal) paradigm setups\n";
+  std::cout << "=======================================================\n\n";
+
+  const std::vector<core::Paradigm> paradigms = {
+      core::Paradigm::kLC1wPM, core::Paradigm::kLC1wNoPM, core::Paradigm::kLC10wNoPM,
+      core::Paradigm::kLC10wNoPMNoCR};
+  const std::vector<std::string> recipes = {"blast", "epigenomics"};
+  const std::vector<std::size_t> sizes = {50, 200};
+
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  bench::print_metric_charts(sweep, paradigms, recipes, sizes);
+
+  std::cout << "\nconclusions (per workflow, large size):\n";
+  for (const std::string& recipe : recipes) {
+    const core::ExperimentResult* pm =
+        bench::find_result(sweep, core::Paradigm::kLC1wPM, recipe, 200);
+    const core::ExperimentResult* nopm =
+        bench::find_result(sweep, core::Paradigm::kLC1wNoPM, recipe, 200);
+    const core::ExperimentResult* cr =
+        bench::find_result(sweep, core::Paradigm::kLC10wNoPM, recipe, 200);
+    const core::ExperimentResult* nocr =
+        bench::find_result(sweep, core::Paradigm::kLC10wNoPMNoCR, recipe, 200);
+    if (pm != nullptr && nopm != nullptr) {
+      std::cout << core::delta_row(support::format("LC1wNoPM vs LC1wPM [{}]", recipe),
+                                   core::compare(*nopm, *pm));
+    }
+    if (cr != nullptr && nocr != nullptr) {
+      std::cout << core::delta_row(
+          support::format("LC10wNoPMNoCR vs LC10wNoPM [{}]", recipe),
+          core::compare(*nocr, *cr));
+    }
+  }
+  return 0;
+}

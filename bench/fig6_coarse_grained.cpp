@@ -1,0 +1,44 @@
+// Figure 6 reproduction: coarse-grained granularity, serverless vs local
+// containers.
+//
+// Paper layout: colours = {Kn1000wPM, LC1000wPM}, x-axis = workflow sizes
+// (these are the only runs that conclude at the biggest sizes), facets =
+// metrics x all 7 workflows. Expected shape (§V-C): with a whole-machine
+// reservation serverless is close to — sometimes faster than — local
+// containers on execution time, but loses its resource-efficiency edge
+// (similar or worse power, CPU and memory).
+#include <iostream>
+
+#include "bench_common.h"
+#include "wfcommons/recipes/recipe.h"
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+  // --quick keeps CI runs short (drops the 1000-task size).
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::cout << "Figure 6 — coarse-grained serverless vs local containers\n";
+  std::cout << "========================================================\n\n";
+
+  const std::vector<core::Paradigm> paradigms = core::coarse_grained_paradigms();
+  const std::vector<std::string> recipes = wfcommons::recipe_names();
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{100, 500} : std::vector<std::size_t>{100, 500, 1000};
+
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  bench::print_metric_charts(sweep, paradigms, recipes, sizes);
+
+  std::cout << "\ncoarse-grained serverless vs local containers (largest size):\n";
+  const std::size_t largest = sizes.back();
+  for (const std::string& recipe : recipes) {
+    const core::ExperimentResult* kn =
+        bench::find_result(sweep, core::Paradigm::kKn1000wPM, recipe, largest);
+    const core::ExperimentResult* lc =
+        bench::find_result(sweep, core::Paradigm::kLC1000wPM, recipe, largest);
+    if (kn != nullptr && lc != nullptr && kn->ok() && lc->ok()) {
+      std::cout << core::delta_row(support::format("Kn1000wPM vs LC1000wPM [{}]", recipe),
+                                   core::compare(*kn, *lc));
+    }
+  }
+  return 0;
+}

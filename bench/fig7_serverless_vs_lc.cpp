@@ -1,0 +1,60 @@
+// Figure 7 reproduction: the headline comparison between the best serverless
+// setup (Kn10wNoPM) and the directly comparable local-container baseline
+// (LC10wNoPM) across all seven workflow families.
+//
+// Expected shape (§V-D):
+//  * group 1 (Blast, BWA, Genome, Seismology, Srasearch): serverless shows
+//    longer execution time, as expected;
+//  * group 2 (Cycles, Epigenomics): the gap is much narrower;
+//  * across the board serverless matches power while cutting CPU usage (the
+//    paper reports up to 78.11%) and memory usage (up to 73.92%).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "wfcommons/recipes/recipe.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Figure 7 — serverless (Kn10wNoPM) vs local containers (LC10wNoPM)\n";
+  std::cout << "=================================================================\n\n";
+
+  const std::vector<core::Paradigm> paradigms = {core::Paradigm::kKn10wNoPM,
+                                                 core::Paradigm::kLC10wNoPM};
+  const std::vector<std::string> recipes = wfcommons::recipe_names();
+  const std::vector<std::size_t> sizes = {50, 200};
+
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  bench::print_metric_charts(sweep, paradigms, recipes, sizes);
+
+  std::cout << "\nserverless vs local containers, per family (200-task instances):\n";
+  double best_cpu = 0.0;
+  double best_memory = 0.0;
+  std::string best_cpu_family;
+  std::string best_memory_family;
+  for (const std::string& recipe : recipes) {
+    const core::ExperimentResult* kn =
+        bench::find_result(sweep, core::Paradigm::kKn10wNoPM, recipe, 200);
+    const core::ExperimentResult* lc =
+        bench::find_result(sweep, core::Paradigm::kLC10wNoPM, recipe, 200);
+    if (kn == nullptr || lc == nullptr || !kn->ok() || !lc->ok()) continue;
+    const core::MetricDeltas deltas = core::compare(*kn, *lc);
+    std::cout << core::delta_row(recipe, deltas);
+    if (deltas.cpu_pct < best_cpu) {
+      best_cpu = deltas.cpu_pct;
+      best_cpu_family = recipe;
+    }
+    if (deltas.memory_pct < best_memory) {
+      best_memory = deltas.memory_pct;
+      best_memory_family = recipe;
+    }
+  }
+
+  std::cout << support::format(
+      "\nheadline: serverless reduces CPU usage by up to {:.2f}% ({}) and memory usage by up "
+      "to {:.2f}% ({})\n",
+      -best_cpu, best_cpu_family, -best_memory, best_memory_family);
+  std::cout << "paper reports: up to 78.11% (CPU) and 73.92% (memory)\n";
+  return 0;
+}

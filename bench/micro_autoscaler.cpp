@@ -1,0 +1,52 @@
+// Micro-benchmarks: autoscaler decision path and kube-scheduler placement —
+// the per-tick costs of the serverless control plane.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "faas/autoscaler.h"
+#include "faas/kube_scheduler.h"
+#include "faas/service_config.h"
+
+namespace {
+
+void BM_AutoscalerObserveDecide(benchmark::State& state) {
+  wfs::faas::AutoscalerConfig config;
+  wfs::faas::Autoscaler scaler(config, 7.0, 0, 100);
+  wfs::sim::SimTime now = 0;
+  double concurrency = 0.0;
+  for (auto _ : state) {
+    now += 2 * wfs::sim::kSecond;
+    concurrency = concurrency < 200.0 ? concurrency + 13.0 : 0.0;
+    scaler.observe(now, concurrency);
+    benchmark::DoNotOptimize(scaler.decide(now, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AutoscalerObserveDecide);
+
+void BM_SchedulerPlacement(benchmark::State& state) {
+  wfs::sim::Simulation sim;
+  wfs::cluster::Cluster cluster = wfs::cluster::Cluster::paper_testbed(sim);
+  wfs::faas::KubeScheduler scheduler(cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.place(2.0, 1ULL << 30));
+  }
+}
+BENCHMARK(BM_SchedulerPlacement);
+
+void BM_SchedulerFillDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    wfs::sim::Simulation sim;
+    wfs::cluster::Cluster cluster = wfs::cluster::Cluster::paper_testbed(sim);
+    wfs::faas::KubeScheduler scheduler(cluster);
+    std::vector<wfs::cluster::Node*> placed;
+    while (wfs::cluster::Node* node = scheduler.place(2.0, 1ULL << 30)) {
+      if (!node->ledger().try_reserve(2.0, 1ULL << 30)) break;
+      placed.push_back(node);
+    }
+    for (wfs::cluster::Node* node : placed) node->ledger().release(2.0, 1ULL << 30);
+  }
+}
+BENCHMARK(BM_SchedulerFillDrain);
+
+}  // namespace

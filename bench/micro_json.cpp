@@ -1,0 +1,53 @@
+// Micro-benchmarks: the JSON substrate (parse/serialize throughput on
+// workflow-shaped documents).
+#include <benchmark/benchmark.h>
+
+#include "json/parse.h"
+#include "json/write.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/wfformat.h"
+
+namespace {
+
+std::string workflow_text(std::size_t tasks) {
+  wfs::wfcommons::WorkflowGenerator generator;
+  wfs::wfcommons::Workflow wf = generator.generate("blast", tasks, 1);
+  wfs::wfcommons::KnativeTranslator().apply(wf);
+  return wfs::wfcommons::write_workflow(wf, wfs::wfcommons::ArgsStyle::kKeyValue);
+}
+
+void BM_JsonParseWorkflow(benchmark::State& state) {
+  const std::string text = workflow_text(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_JsonParseWorkflow)->Arg(50)->Arg(250)->Arg(1000);
+
+void BM_JsonWriteCompact(benchmark::State& state) {
+  const wfs::json::Value doc = wfs::json::parse(workflow_text(250));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::json::write_compact(doc));
+  }
+}
+BENCHMARK(BM_JsonWriteCompact);
+
+void BM_JsonWritePretty(benchmark::State& state) {
+  const wfs::json::Value doc = wfs::json::parse(workflow_text(250));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::json::write_pretty(doc));
+  }
+}
+BENCHMARK(BM_JsonWritePretty);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  const std::string text = workflow_text(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::json::write_compact(wfs::json::parse(text)));
+  }
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Micro-benchmarks: workflow generation and analysis scaling across the
+// seven recipe families.
+#include <benchmark/benchmark.h>
+
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/recipes/recipe.h"
+
+namespace {
+
+void BM_GenerateFamily(benchmark::State& state, const std::string& family) {
+  wfs::wfcommons::WorkflowGenerator generator;
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(family, tasks, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * tasks));
+}
+
+BENCHMARK_CAPTURE(BM_GenerateFamily, blast, std::string("blast"))->Arg(250)->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, bwa, std::string("bwa"))->Arg(250)->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, cycles, std::string("cycles"))->Arg(250)->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, epigenomics, std::string("epigenomics"))
+    ->Arg(250)
+    ->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, genome, std::string("genome"))->Arg(250)->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, seismology, std::string("seismology"))
+    ->Arg(250)
+    ->Arg(1000);
+BENCHMARK_CAPTURE(BM_GenerateFamily, srasearch, std::string("srasearch"))->Arg(250)->Arg(1000);
+
+void BM_ValidateWorkflow(benchmark::State& state) {
+  wfs::wfcommons::WorkflowGenerator generator;
+  const wfs::wfcommons::Workflow wf =
+      generator.generate("epigenomics", static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wf.validate());
+  }
+}
+BENCHMARK(BM_ValidateWorkflow)->Arg(250)->Arg(1000);
+
+void BM_LevelDecomposition(benchmark::State& state) {
+  wfs::wfcommons::WorkflowGenerator generator;
+  const wfs::wfcommons::Workflow wf =
+      generator.generate("cycles", static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::wfcommons::levels(wf));
+  }
+}
+BENCHMARK(BM_LevelDecomposition)->Arg(250)->Arg(1000);
+
+}  // namespace

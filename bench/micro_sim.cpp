@@ -1,0 +1,55 @@
+// Micro-benchmarks: discrete-event engine throughput (the cost floor under
+// every experiment) and the processor-sharing rebalance path.
+#include <benchmark/benchmark.h>
+
+#include "cluster/node.h"
+#include "sim/simulation.h"
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    wfs::sim::Simulation sim;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_in(static_cast<wfs::sim::SimTime>(i % 1000), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events));
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CancelHeavyQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    wfs::sim::Simulation sim;
+    std::vector<wfs::sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(sim.schedule_in(i, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+}
+BENCHMARK(BM_CancelHeavyQueue);
+
+void BM_ProcessorSharingRebalance(benchmark::State& state) {
+  // N concurrent work items; each completion triggers a full rebalance —
+  // the hot path of wide workflow phases.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    wfs::sim::Simulation sim;
+    wfs::cluster::NodeSpec spec;
+    spec.cores = 96.0;
+    wfs::cluster::Node node(sim, spec);
+    for (int i = 0; i < n; ++i) {
+      node.submit_work(0.8, 10.0 + i % 7, wfs::cluster::kNoQuotaGroup, [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ProcessorSharingRebalance)->Arg(50)->Arg(200)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Micro-benchmarks: plan building and full end-to-end experiment wall time —
+// how expensive a simulated paper cell is on the host machine.
+#include <benchmark/benchmark.h>
+
+#include "core/dag.h"
+#include "core/experiment.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/knative.h"
+
+namespace {
+
+void BM_BuildPlan(benchmark::State& state) {
+  wfs::wfcommons::WorkflowGenerator generator;
+  wfs::wfcommons::Workflow wf =
+      generator.generate("epigenomics", static_cast<std::size_t>(state.range(0)), 1);
+  wfs::wfcommons::KnativeTranslator().apply(wf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::core::build_plan(wf, "/shared"));
+  }
+}
+BENCHMARK(BM_BuildPlan)->Arg(250)->Arg(1000);
+
+void BM_FullExperimentServerless(benchmark::State& state) {
+  for (auto _ : state) {
+    wfs::core::ExperimentConfig config;
+    config.paradigm = wfs::core::Paradigm::kKn10wNoPM;
+    config.recipe = "blast";
+    config.num_tasks = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(wfs::core::run_experiment(config));
+  }
+}
+BENCHMARK(BM_FullExperimentServerless)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_FullExperimentLocal(benchmark::State& state) {
+  for (auto _ : state) {
+    wfs::core::ExperimentConfig config;
+    config.paradigm = wfs::core::Paradigm::kLC10wNoPM;
+    config.recipe = "blast";
+    config.num_tasks = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(wfs::core::run_experiment(config));
+  }
+}
+BENCHMARK(BM_FullExperimentLocal)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace

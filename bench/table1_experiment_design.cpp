@@ -1,0 +1,61 @@
+// Table I reproduction: the experiment design.
+//
+// Paper: 140 experiments = 98 fine-grained (7 computational paradigms x 7
+// workflows x 2 sizes) + 42 coarse-grained (2 paradigms x 7 workflows x 3
+// sizes). This binary enumerates exactly that design out of the paradigm
+// catalog and the recipe catalog, so the sweep the other benches run is
+// auditable against the paper's Table I.
+#include <iostream>
+
+#include "core/paradigm.h"
+#include "support/format.h"
+#include "wfcommons/recipes/recipe.h"
+
+int main() {
+  using namespace wfs;
+
+  const auto fine = core::fine_grained_paradigms();
+  const auto coarse = core::coarse_grained_paradigms();
+  const auto families = wfcommons::recipe_names();
+  const std::vector<std::size_t> fine_sizes = {50, 200};
+  const std::vector<std::size_t> coarse_sizes = {100, 500, 1000};
+
+  std::cout << "Table I — experimental design plan\n";
+  std::cout << "==================================\n\n";
+
+  std::size_t fine_count = 0;
+  std::cout << support::format("a) fine-grained: {} paradigms x {} workflows x {} sizes\n",
+                               fine.size(), families.size(), fine_sizes.size());
+  for (const core::Paradigm paradigm : fine) {
+    std::cout << "   " << core::to_string(paradigm) << ":";
+    for (const std::string& family : families) {
+      for (const std::size_t size : fine_sizes) {
+        (void)size;
+        ++fine_count;
+      }
+      std::cout << " " << family;
+    }
+    std::cout << "\n";
+  }
+  std::cout << support::format("   subtotal: {} experiments\n\n", fine_count);
+
+  std::size_t coarse_count = 0;
+  std::cout << support::format("b) coarse-grained: {} paradigms x {} workflows x {} sizes\n",
+                               coarse.size(), families.size(), coarse_sizes.size());
+  for (const core::Paradigm paradigm : coarse) {
+    std::cout << "   " << core::to_string(paradigm) << ": sizes";
+    for (const std::size_t size : coarse_sizes) {
+      std::cout << " " << size;
+      coarse_count += families.size();
+    }
+    std::cout << " across all " << families.size() << " workflows\n";
+  }
+  std::cout << support::format("   subtotal: {} experiments\n\n", coarse_count);
+
+  std::cout << support::format("total: {} experiments (paper: 140 = 98 + 42)\n",
+                               fine_count + coarse_count);
+  const bool match = fine_count == 98 && coarse_count == 42;
+  std::cout << (match ? "design matches the paper's Table I\n"
+                      : "WARNING: design deviates from the paper's Table I\n");
+  return match ? 0 : 1;
+}

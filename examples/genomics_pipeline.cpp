@@ -1,0 +1,66 @@
+// Genomics scenario — the paper's motivating domain ("genomics data
+// processing", §I): run the two genomics-heavy families (Epigenomics and
+// 1000-Genome) at three scales on the best serverless setup and the
+// baseline, and report where serverless pays off.
+//
+// Usage: ./build/examples/genomics_pipeline [--sizes 50,100,200] [--seed 1]
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "support/strings.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+
+  support::CliParser cli("genomics_pipeline",
+                         "epigenomics + 1000-genome across scales, serverless vs baseline");
+  cli.add_flag("sizes", "50,100,200", "comma-separated workflow sizes");
+  cli.add_flag("seed", "1", "generation seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::vector<std::size_t> sizes;
+  for (const std::string& token : support::split(cli.get("sizes"), ',')) {
+    sizes.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  wfcommons::WorkflowGenerator generator;
+  std::vector<core::ExperimentResult> all;
+  for (const std::string recipe : {"epigenomics", "genome"}) {
+    std::cout << wfcommons::render_structure(generator.generate(recipe, sizes.back(), seed))
+              << "\n";
+    for (const std::size_t size : sizes) {
+      for (const core::Paradigm paradigm :
+           {core::Paradigm::kKn10wNoPM, core::Paradigm::kLC10wNoPM}) {
+        core::ExperimentConfig config;
+        config.paradigm = paradigm;
+        config.recipe = recipe;
+        config.num_tasks = size;
+        config.seed = seed;
+        all.push_back(core::run_experiment(config));
+      }
+    }
+  }
+  std::cout << core::result_table(all) << "\n";
+
+  // Pairwise serverless-vs-baseline summary per (family, size).
+  std::cout << "serverless vs local containers:\n";
+  for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+    const core::ExperimentResult& kn = all[i];
+    const core::ExperimentResult& lc = all[i + 1];
+    if (!kn.ok() || !lc.ok()) continue;
+    std::cout << core::delta_row(
+        support::format("{} ({} tasks)", kn.config.recipe, kn.config.num_tasks),
+        core::compare(kn, lc));
+  }
+  std::cout << "\nGenomics pipelines are the paper's group-2 shape: many phases, "
+               "modest widths.\nServerless matches their execution time closely while "
+               "releasing resources between\nphases — the strongest case for FaaS "
+               "scientific workflows.\n";
+  return 0;
+}

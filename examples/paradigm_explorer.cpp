@@ -1,0 +1,135 @@
+// Paradigm explorer — the framework's full surface from one CLI:
+// generate any family at any size, translate it for any target (knative,
+// local, pegasus, nextflow), execute it under any Table II paradigm on
+// either data backend, and export the PCP-style CSV + the translated
+// workflow document to disk.
+//
+// Examples:
+//   ./build/examples/paradigm_explorer --recipe cycles --tasks 120 --csv run.csv
+//   ./build/examples/paradigm_explorer --recipe bwa --paradigm LC1wPM --structure
+//   ./build/examples/paradigm_explorer --recipe blast --translate nextflow
+//   ./build/examples/paradigm_explorer --recipe genome --backend objectstore
+#include <fstream>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/results_io.h"
+#include "core/trace.h"
+#include "metrics/ascii_chart.h"
+#include "metrics/pmdump.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/translator.h"
+#include "wfcommons/visualization.h"
+
+namespace {
+
+// Renders one result's series to stdout and optionally a pmdumptext CSV.
+void export_csv(const wfs::core::ExperimentResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  out << "time,cpu_pct,mem_gib,power_w,pods\n";
+  const auto& cpu = result.cpu_series.samples();
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    out << wfs::sim::to_seconds(cpu[i].time) << ',' << cpu[i].value << ','
+        << result.memory_series[i].value << ',' << result.power_series[i].value << ','
+        << result.pods_series[i].value << '\n';
+  }
+  std::cout << "wrote " << cpu.size() << " samples to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+
+  support::CliParser cli("paradigm_explorer", "run any (family, size, paradigm) cell");
+  cli.add_flag("recipe", "blast", "workflow family");
+  cli.add_flag("tasks", "100", "workflow size");
+  cli.add_flag("seed", "1", "generation seed");
+  cli.add_flag("paradigm", "Kn10wNoPM", "Table II paradigm name");
+  cli.add_flag("backend", "shared", "data backend: shared | objectstore");
+  cli.add_flag("cpu-work", "100", "wfbench cpu-work base");
+  cli.add_flag("csv", "", "write the sampled metrics to this CSV file");
+  cli.add_flag("trace", "", "write a Chrome trace-event JSON of the run to this file");
+  cli.add_flag("save", "", "persist the full result document (JSON) to this file");
+  cli.add_switch("gantt", "print a per-phase Gantt of the run");
+  cli.add_flag("translate", "",
+               "only translate and print (knative | local | pegasus | nextflow)");
+  cli.add_flag("dot", "", "write a Graphviz DOT of the workflow DAG to this file");
+  cli.add_switch("structure", "print the workflow structure before running");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string recipe = cli.get("recipe");
+  const auto tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // Translation-only mode: the WfCommons-extension story on its own.
+  if (!cli.get("translate").empty()) {
+    wfcommons::GenerateOptions options;
+    options.num_tasks = tasks;
+    options.seed = seed;
+    options.cpu_work = cli.get_double("cpu-work");
+    const wfcommons::Workflow wf = wfcommons::make_recipe(recipe)->generate(options);
+    const auto translator = wfcommons::make_translator(cli.get("translate"));
+    std::cout << translator->translate_to_text(wf);
+    return 0;
+  }
+
+  core::ExperimentConfig config;
+  config.recipe = recipe;
+  config.num_tasks = tasks;
+  config.seed = seed;
+  config.cpu_work = cli.get_double("cpu-work");
+  config.paradigm = core::parse_paradigm(cli.get("paradigm"));
+  if (cli.get("backend") == "objectstore") {
+    config.backend = core::DataBackend::kObjectStore;
+  } else if (cli.get("backend") != "shared") {
+    std::cerr << "unknown backend: " << cli.get("backend") << "\n";
+    return 1;
+  }
+
+  if (cli.get_switch("structure") || !cli.get("dot").empty()) {
+    wfcommons::WorkflowGenerator generator;
+    const wfcommons::Workflow wf = generator.generate(recipe, tasks, seed);
+    if (cli.get_switch("structure")) std::cout << wfcommons::render_structure(wf) << "\n";
+    if (!cli.get("dot").empty()) {
+      std::ofstream dot(cli.get("dot"));
+      dot << wfcommons::to_dot(wf);
+      std::cout << "wrote DAG to " << cli.get("dot") << "\n";
+    }
+  }
+
+  const core::ExperimentResult result = core::run_experiment(config);
+  std::cout << core::result_table({result});
+  if (!result.ok()) std::cout << "failure: " << result.failure_reason << "\n";
+  std::cout << "\ncpu%   " << metrics::sparkline(result.cpu_series) << "\n";
+  std::cout << "memory " << metrics::sparkline(result.memory_series) << "\n";
+  std::cout << "power  " << metrics::sparkline(result.power_series) << "\n";
+  std::cout << "pods   " << metrics::sparkline(result.pods_series) << "\n";
+  if (result.cold_starts > 0) {
+    std::cout << support::format(
+        "\n{} cold starts, {} peak ready pods, {:.1f}s total activator wait\n",
+        result.cold_starts, result.max_ready_pods, result.activator_wait_seconds);
+  }
+
+  if (cli.get_switch("gantt")) std::cout << "\n" << core::render_gantt(result.run);
+  if (!cli.get("csv").empty()) export_csv(result, cli.get("csv"));
+  if (!cli.get("trace").empty()) {
+    std::ofstream out(cli.get("trace"));
+    out << core::chrome_trace_json(result.run);
+    std::cout << "wrote Chrome trace to " << cli.get("trace") << "\n";
+  }
+  if (!cli.get("save").empty()) {
+    if (core::save_result(result, cli.get("save"))) {
+      std::cout << "saved result document to " << cli.get("save") << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: the paper's pipeline end to end in ~40 lines of API.
+//
+//   1. Generate a small Blast workflow with the WfCommons-style generator.
+//   2. Translate it for Knative (the paper's Translator contribution).
+//   3. Execute it with the serverless workflow manager on the simulated
+//      2-node testbed, under the paper's preferred Kn10wNoPM paradigm.
+//   4. Compare against the bare-metal local-container baseline.
+//
+// Build & run:  ./build/examples/quickstart [--recipe blast] [--tasks 50]
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "metrics/ascii_chart.h"
+#include "support/cli.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+
+  support::CliParser cli("quickstart", "run one workflow on serverless and local containers");
+  cli.add_flag("recipe", "blast", "workflow family (blast, bwa, cycles, epigenomics, ...)");
+  cli.add_flag("tasks", "50", "target number of tasks");
+  cli.add_flag("seed", "1", "generation seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string recipe = cli.get("recipe");
+  const auto tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // Show what we are about to execute (Figure 3 style characterisation).
+  wfcommons::WorkflowGenerator generator;
+  const wfcommons::Workflow preview = generator.generate(recipe, tasks, seed);
+  std::cout << wfcommons::render_structure(preview) << "\n";
+
+  core::ExperimentConfig config;
+  config.recipe = recipe;
+  config.num_tasks = tasks;
+  config.seed = seed;
+
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  const core::ExperimentResult serverless = core::run_experiment(config);
+
+  config.paradigm = core::Paradigm::kLC10wNoPM;
+  const core::ExperimentResult baseline = core::run_experiment(config);
+
+  std::cout << core::result_table({serverless, baseline}) << "\n";
+  std::cout << core::delta_row("serverless vs local containers",
+                               core::compare(serverless, baseline));
+
+  std::cout << "\ncpu%   (serverless) " << metrics::sparkline(serverless.cpu_series) << "\n";
+  std::cout << "cpu%   (local)      " << metrics::sparkline(baseline.cpu_series) << "\n";
+  std::cout << "memory (serverless) " << metrics::sparkline(serverless.memory_series) << "\n";
+  std::cout << "memory (local)      " << metrics::sparkline(baseline.memory_series) << "\n";
+  return 0;
+}

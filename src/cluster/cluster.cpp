@@ -1,0 +1,76 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace wfs::cluster {
+
+Cluster::Cluster(sim::Simulation& sim, std::vector<NodeSpec> specs) {
+  if (specs.empty()) throw std::invalid_argument("Cluster: at least one node required");
+  nodes_.reserve(specs.size());
+  for (auto& spec : specs) nodes_.push_back(std::make_unique<Node>(sim, std::move(spec)));
+}
+
+Cluster Cluster::paper_testbed(sim::Simulation& sim) {
+  NodeSpec master;
+  master.name = "master";
+  master.cores = 96.0;
+  master.memory_bytes = 256ULL << 30;
+  NodeSpec worker;
+  worker.name = "worker";
+  worker.cores = 96.0;
+  worker.memory_bytes = 192ULL << 30;
+  return Cluster(sim, {master, worker});
+}
+
+Node* Cluster::find(std::string_view name) noexcept {
+  for (auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+double Cluster::total_cores() const noexcept {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node->spec().cores;
+  return total;
+}
+
+std::uint64_t Cluster::total_memory() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->spec().memory_bytes;
+  return total;
+}
+
+double Cluster::compute_load() const noexcept {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node->compute_load();
+  return total;
+}
+
+double Cluster::cpu_fraction() const noexcept {
+  double busy = 0.0;
+  for (const auto& node : nodes_) {
+    busy += node->cpu_fraction() * node->spec().cores;
+  }
+  return busy / total_cores();
+}
+
+std::uint64_t Cluster::resident_memory() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->resident_memory();
+  return total;
+}
+
+double Cluster::power_watts() const noexcept {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node->power_watts();
+  return total;
+}
+
+std::uint64_t Cluster::oom_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->oom_events();
+  return total;
+}
+
+}  // namespace wfs::cluster

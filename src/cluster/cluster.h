@@ -1,0 +1,41 @@
+// A collection of nodes — the paper's 2-node EPYC testbed by default.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace wfs::cluster {
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, std::vector<NodeSpec> specs);
+
+  /// The paper's testbed: master (96 hw threads, 256 GB) + worker
+  /// (96 hw threads, 192 GB), 1 work-unit/s cores.
+  static Cluster paper_testbed(sim::Simulation& sim);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
+  [[nodiscard]] const Node& node(std::size_t index) const { return *nodes_.at(index); }
+
+  /// Returns nullptr when no node has that name.
+  [[nodiscard]] Node* find(std::string_view name) noexcept;
+
+  // Cluster-wide instantaneous metrics (sums / capacity-weighted fractions).
+  [[nodiscard]] double total_cores() const noexcept;
+  [[nodiscard]] std::uint64_t total_memory() const noexcept;
+  [[nodiscard]] double compute_load() const noexcept;
+  [[nodiscard]] double cpu_fraction() const noexcept;
+  [[nodiscard]] std::uint64_t resident_memory() const noexcept;
+  [[nodiscard]] double power_watts() const noexcept;
+  [[nodiscard]] std::uint64_t oom_events() const noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace wfs::cluster

@@ -1,0 +1,203 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/log.h"
+
+namespace wfs::cluster {
+namespace {
+
+// Work below this many units is considered finished (guards against float
+// residue keeping items alive forever).
+constexpr double kWorkEpsilon = 1e-9;
+
+}  // namespace
+
+Node::Node(sim::Simulation& sim, NodeSpec spec)
+    : sim_(sim), spec_(std::move(spec)), ledger_(spec_.cores, spec_.memory_bytes) {
+  if (spec_.cores <= 0) throw std::invalid_argument("Node: cores must be positive");
+  if (spec_.core_speed <= 0) throw std::invalid_argument("Node: core_speed must be positive");
+}
+
+QuotaGroupId Node::create_quota_group(double cpu_limit) {
+  const QuotaGroupId id = next_group_id_++;
+  groups_.emplace(id, QuotaGroup{cpu_limit});
+  return id;
+}
+
+void Node::destroy_quota_group(QuotaGroupId group) {
+  groups_.erase(group);
+  // Items of a destroyed group fall back to unlimited on the next rebalance.
+  for (auto& [id, item] : work_) {
+    if (item.group == group) item.group = kNoQuotaGroup;
+  }
+  rebalance();
+}
+
+WorkId Node::submit_work(double demand_cores, double work_units, QuotaGroupId group,
+                         std::function<void()> on_complete) {
+  if (demand_cores <= 0) throw std::invalid_argument("submit_work: demand must be positive");
+  if (work_units < 0) throw std::invalid_argument("submit_work: negative work");
+  const WorkId id = next_work_id_++;
+  advance_to_now();
+  WorkItem item;
+  item.demand_cores = demand_cores;
+  item.remaining_units = work_units;
+  item.group = group;
+  item.on_complete = std::move(on_complete);
+  work_.emplace(id, std::move(item));
+  rebalance();
+  return id;
+}
+
+void Node::cancel_work(WorkId id) {
+  const auto it = work_.find(id);
+  if (it == work_.end()) return;
+  advance_to_now();
+  if (it->second.completion_event != 0) sim_.cancel(it->second.completion_event);
+  work_.erase(it);
+  rebalance();
+}
+
+LoadId Node::add_background_load(double cores, bool spin) {
+  if (cores < 0) throw std::invalid_argument("add_background_load: negative load");
+  const LoadId id = next_load_id_++;
+  background_.emplace(id, BackgroundLoad{cores, spin});
+  (spin ? background_spin_ : background_compute_) += cores;
+  // Compute-class background load takes capacity away from work items.
+  if (!spin) rebalance();
+  return id;
+}
+
+void Node::remove_background_load(LoadId id) {
+  const auto it = background_.find(id);
+  if (it == background_.end()) return;
+  const bool spin = it->second.spin;
+  double& bucket = spin ? background_spin_ : background_compute_;
+  bucket = std::max(0.0, bucket - it->second.cores);
+  background_.erase(it);
+  if (!spin) rebalance();
+}
+
+bool Node::add_memory(std::uint64_t bytes) {
+  resident_memory_ += bytes;
+  peak_memory_ = std::max(peak_memory_, resident_memory_);
+  if (resident_memory_ > spec_.memory_bytes) {
+    ++oom_events_;
+    WFS_LOG_DEBUG("cluster", "node {} over physical memory: {} > {}", spec_.name,
+                  resident_memory_, spec_.memory_bytes);
+    return false;
+  }
+  return true;
+}
+
+void Node::remove_memory(std::uint64_t bytes) {
+  resident_memory_ -= std::min(resident_memory_, bytes);
+}
+
+double Node::compute_load() const noexcept {
+  double cores = 0.0;
+  for (const auto& [id, item] : work_) {
+    cores += item.rate_units_per_s / spec_.core_speed;
+  }
+  // Background compute (management daemons etc.) cannot occupy more than
+  // the machine has; rebalance() already ceded it priority over work.
+  return cores + std::min(background_compute_, spec_.cores);
+}
+
+double Node::spin_load() const noexcept {
+  // Spin load cannot occupy cores compute is using; clamp to what is left.
+  const double free_cores = std::max(0.0, spec_.cores - compute_load());
+  return std::min(background_spin_, free_cores);
+}
+
+double Node::cpu_fraction() const noexcept {
+  return std::clamp((compute_load() + spin_load()) / spec_.cores, 0.0, 1.0);
+}
+
+double Node::power_watts() const noexcept {
+  return spec_.power.watts(compute_load() / spec_.cores, spin_load() / spec_.cores);
+}
+
+void Node::advance_to_now() {
+  const sim::SimTime now = sim_.now();
+  if (now == last_advance_) return;
+  const double dt = sim::to_seconds(now - last_advance_);
+  for (auto& [id, item] : work_) {
+    const double done = std::min(item.remaining_units, item.rate_units_per_s * dt);
+    item.remaining_units -= done;
+    completed_units_ += done;
+  }
+  last_advance_ = now;
+}
+
+void Node::rebalance() {
+  advance_to_now();
+
+  // Pass 1: per-group demand, so cgroup quotas can scale their members.
+  std::unordered_map<QuotaGroupId, double> group_demand;
+  for (const auto& [id, item] : work_) group_demand[item.group] += item.demand_cores;
+
+  const auto group_scale = [&](QuotaGroupId group) {
+    if (group == kNoQuotaGroup) return 1.0;
+    const auto it = groups_.find(group);
+    if (it == groups_.end() || it->second.cpu_limit <= 0) return 1.0;
+    const double demand = group_demand[group];
+    if (demand <= it->second.cpu_limit) return 1.0;
+    return it->second.cpu_limit / demand;
+  };
+
+  // Pass 2: node-level processor sharing over the quota-scaled demands.
+  // Compute-class background load (kubelet-like daemons) is served first;
+  // work items share what remains.
+  const double work_capacity =
+      std::max(0.0, spec_.cores - std::min(background_compute_, spec_.cores));
+  double total_effective = 0.0;
+  for (const auto& [id, item] : work_) {
+    total_effective += item.demand_cores * group_scale(item.group);
+  }
+  const double node_scale =
+      total_effective > work_capacity
+          ? (total_effective > 0.0 ? work_capacity / total_effective : 1.0)
+          : 1.0;
+
+  // Pass 3: set rates and (re)schedule completions.
+  for (auto& [id, item] : work_) {
+    const double effective_cores = item.demand_cores * group_scale(item.group) * node_scale;
+    item.rate_units_per_s = effective_cores * spec_.core_speed;
+    if (item.completion_event != 0) {
+      sim_.cancel(item.completion_event);
+      item.completion_event = 0;
+    }
+    if (item.remaining_units <= kWorkEpsilon) {
+      item.completion_event = sim_.schedule_in(0, [this, id = id] { complete_work(id); });
+      continue;
+    }
+    if (item.rate_units_per_s <= 0.0) {
+      // Starved (background daemons consume the whole machine): the item
+      // stalls; a later rebalance with free capacity reschedules it.
+      continue;
+    }
+    const double seconds = item.remaining_units / item.rate_units_per_s;
+    const sim::SimTime delay = std::max<sim::SimTime>(1, sim::from_seconds(seconds));
+    item.completion_event = sim_.schedule_in(delay, [this, id = id] { complete_work(id); });
+  }
+}
+
+void Node::complete_work(WorkId id) {
+  const auto it = work_.find(id);
+  if (it == work_.end()) return;
+  advance_to_now();
+  // Integer-microsecond rounding can fire us marginally early; absorb the
+  // residue rather than rescheduling sub-microsecond remainders.
+  it->second.remaining_units = 0.0;
+  auto on_complete = std::move(it->second.on_complete);
+  work_.erase(it);
+  rebalance();
+  if (on_complete) on_complete();
+}
+
+}  // namespace wfs::cluster

@@ -1,0 +1,147 @@
+// A simulated compute node.
+//
+// A node owns four interacting pieces of state:
+//   * a ResourceLedger of scheduler commitments (requests);
+//   * a processor-sharing CPU engine executing "work items" (wfbench CPU
+//     stress phases) with optional cgroup-like quota groups, recomputing
+//     rates and completion events whenever the active set changes;
+//   * background loads — resident worker-pool polling and persistent-memory
+//     stressor refresh, which occupy CPU on the usage metric at low power;
+//   * a memory residency counter with OOM detection against physical RAM.
+//
+// Everything is driven by one sim::Simulation; a Node is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/power.h"
+#include "cluster/resource_ledger.h"
+#include "sim/simulation.h"
+
+namespace wfs::cluster {
+
+using WorkId = std::uint64_t;
+using QuotaGroupId = std::uint64_t;
+using LoadId = std::uint64_t;
+
+/// Unlimited quota group usable by any caller that has no cgroup.
+inline constexpr QuotaGroupId kNoQuotaGroup = 0;
+
+struct NodeSpec {
+  std::string name = "node";
+  double cores = 96.0;                          // 2x EPYC 7443: 96 hw threads
+  std::uint64_t memory_bytes = 256ULL << 30;    // master node: 256 GB
+  double core_speed = 1.0;                      // wfbench work units per second per core
+  PowerModel power{};
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeSpec spec);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const NodeSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] ResourceLedger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] const ResourceLedger& ledger() const noexcept { return ledger_; }
+
+  // -- cgroup-like CPU quota groups ---------------------------------------
+  /// Creates a group whose member work items' aggregate rate is capped at
+  /// `cpu_limit` cores (<= 0 means unlimited).
+  QuotaGroupId create_quota_group(double cpu_limit);
+  void destroy_quota_group(QuotaGroupId group);
+
+  // -- compute work (processor sharing) ------------------------------------
+  /// Submits `work_units` of CPU work demanding `demand_cores` (the wfbench
+  /// percent-cpu knob; may exceed 1.0 for multi-threaded stress).
+  /// `on_complete` fires exactly once when the work finishes. The work is
+  /// slowed proportionally when the node (or quota group) is oversubscribed.
+  WorkId submit_work(double demand_cores, double work_units, QuotaGroupId group,
+                     std::function<void()> on_complete);
+
+  /// Cancels in-flight work; its completion callback never runs.
+  void cancel_work(WorkId id);
+
+  // -- background load ------------------------------------------------------
+  /// Registers a constant load of `cores` (e.g. 0.005/worker for gunicorn
+  /// polling; PM stressor page-refresh). `spin` loads are discounted by the
+  /// power model; non-spin background load is billed like compute.
+  LoadId add_background_load(double cores, bool spin);
+  void remove_background_load(LoadId id);
+
+  // -- memory residency -----------------------------------------------------
+  /// Adds resident bytes (image footprint, vm-bytes stressor allocations).
+  /// Returns false — and counts an OOM event — when physical memory is
+  /// exceeded; the accounting still proceeds so usage curves stay truthful.
+  bool add_memory(std::uint64_t bytes);
+  void remove_memory(std::uint64_t bytes);
+
+  // -- instantaneous metrics --------------------------------------------------
+  /// Cores currently burning work units (processor-sharing aware).
+  [[nodiscard]] double compute_load() const noexcept;
+  /// Cores occupied by spin-class background load.
+  [[nodiscard]] double spin_load() const noexcept;
+  /// Cores occupied by compute-class background load.
+  [[nodiscard]] double background_compute_load() const noexcept { return background_compute_; }
+  /// Busy fraction in [0,1] — what PCP's kernel.all.cpu metrics would show.
+  [[nodiscard]] double cpu_fraction() const noexcept;
+  [[nodiscard]] std::uint64_t resident_memory() const noexcept { return resident_memory_; }
+  [[nodiscard]] std::uint64_t peak_memory() const noexcept { return peak_memory_; }
+  [[nodiscard]] double power_watts() const noexcept;
+  [[nodiscard]] std::uint64_t oom_events() const noexcept { return oom_events_; }
+  [[nodiscard]] std::size_t active_work_items() const noexcept { return work_.size(); }
+
+  /// Total work units completed on this node (for conservation checks).
+  [[nodiscard]] double completed_work_units() const noexcept { return completed_units_; }
+
+ private:
+  struct WorkItem {
+    double demand_cores;
+    double remaining_units;
+    double rate_units_per_s = 0.0;  // current processor-sharing rate
+    QuotaGroupId group;
+    std::function<void()> on_complete;
+    sim::EventId completion_event = 0;
+  };
+
+  struct QuotaGroup {
+    double cpu_limit;  // <= 0: unlimited
+  };
+
+  struct BackgroundLoad {
+    double cores;
+    bool spin;
+  };
+
+  /// Advances remaining work to `now`, recomputes processor-sharing rates
+  /// for all items and reschedules their completion events.
+  void rebalance();
+  void advance_to_now();
+  void complete_work(WorkId id);
+
+  sim::Simulation& sim_;
+  NodeSpec spec_;
+  ResourceLedger ledger_;
+
+  std::unordered_map<WorkId, WorkItem> work_;
+  std::unordered_map<QuotaGroupId, QuotaGroup> groups_;
+  std::unordered_map<LoadId, BackgroundLoad> background_;
+  double background_spin_ = 0.0;
+  double background_compute_ = 0.0;
+
+  sim::SimTime last_advance_ = 0;
+  std::uint64_t resident_memory_ = 0;
+  std::uint64_t peak_memory_ = 0;
+  std::uint64_t oom_events_ = 0;
+  double completed_units_ = 0.0;
+
+  WorkId next_work_id_ = 1;
+  QuotaGroupId next_group_id_ = 1;
+  LoadId next_load_id_ = 1;
+};
+
+}  // namespace wfs::cluster

@@ -1,0 +1,15 @@
+#include "cluster/power.h"
+
+#include <algorithm>
+
+namespace wfs::cluster {
+
+double PowerModel::watts(double compute_fraction, double spin_fraction) const noexcept {
+  const double compute = std::clamp(compute_fraction, 0.0, 1.0);
+  // Spin can only use cores compute is not using.
+  const double spin = std::clamp(spin_fraction, 0.0, 1.0 - compute);
+  const double dynamic_range = max_watts - idle_watts;
+  return idle_watts + dynamic_range * (compute + spin_power_weight * spin);
+}
+
+}  // namespace wfs::cluster

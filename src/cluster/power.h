@@ -1,0 +1,26 @@
+// RAPL-like package power model.
+//
+// The paper measures per-package power through PCP's denki.rapl.rate
+// endpoints. We model a package as: idle draw plus a draw proportional to
+// compute utilisation, plus a heavily discounted draw for "spin" load
+// (resident-but-idle service workers polling, persistent-memory stressors
+// touching pages) — low-IPC activity that occupies cores on the CPU-usage
+// metric but moves package power very little. This split is what lets the
+// reproduction show the paper's headline shape: large CPU%/memory deltas
+// between paradigms at near-equal power.
+#pragma once
+
+namespace wfs::cluster {
+
+struct PowerModel {
+  double idle_watts = 105.0;      // 2x EPYC 7443 package idle, whole node
+  double max_watts = 400.0;       // node fully busy on compute work
+  double spin_power_weight = 0.15;  // fraction of compute power a spinning core draws
+
+  /// Instantaneous node power given utilisation fractions in [0, 1].
+  /// compute_fraction: cores running wfbench work units.
+  /// spin_fraction: cores occupied by low-IPC resident overheads.
+  [[nodiscard]] double watts(double compute_fraction, double spin_fraction) const noexcept;
+};
+
+}  // namespace wfs::cluster

@@ -1,0 +1,23 @@
+#include "cluster/resource_ledger.h"
+
+#include <algorithm>
+
+namespace wfs::cluster {
+
+bool ResourceLedger::try_reserve(double cpus, std::uint64_t memory_bytes) noexcept {
+  // Tiny epsilon so that repeated reserve/release float arithmetic cannot
+  // spuriously reject an exactly-fitting request.
+  constexpr double kEpsilon = 1e-9;
+  if (cpus > free_cpus() + kEpsilon) return false;
+  if (memory_bytes > free_memory()) return false;
+  reserved_cpus_ += cpus;
+  reserved_memory_ += memory_bytes;
+  return true;
+}
+
+void ResourceLedger::release(double cpus, std::uint64_t memory_bytes) noexcept {
+  reserved_cpus_ = std::max(0.0, reserved_cpus_ - cpus);
+  reserved_memory_ -= std::min(reserved_memory_, memory_bytes);
+}
+
+}  // namespace wfs::cluster

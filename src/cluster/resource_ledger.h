@@ -1,0 +1,40 @@
+// Tracks scheduler-level resource commitments (requests) on a node.
+//
+// This is the Kubernetes notion of "allocatable minus requested": the
+// kube-like scheduler in src/faas/ refuses to place a pod whose CPU/memory
+// *requests* do not fit, independent of what is actually being used.
+#pragma once
+
+#include <cstdint>
+
+namespace wfs::cluster {
+
+class ResourceLedger {
+ public:
+  ResourceLedger(double cpus, std::uint64_t memory_bytes)
+      : total_cpus_(cpus), total_memory_(memory_bytes) {}
+
+  /// Attempts to commit the given requests; all-or-nothing.
+  [[nodiscard]] bool try_reserve(double cpus, std::uint64_t memory_bytes) noexcept;
+
+  /// Releases a previous commitment. Clamps at zero (release of more than
+  /// reserved indicates a caller bug; we stay safe and keep counters sane).
+  void release(double cpus, std::uint64_t memory_bytes) noexcept;
+
+  [[nodiscard]] double total_cpus() const noexcept { return total_cpus_; }
+  [[nodiscard]] std::uint64_t total_memory() const noexcept { return total_memory_; }
+  [[nodiscard]] double reserved_cpus() const noexcept { return reserved_cpus_; }
+  [[nodiscard]] std::uint64_t reserved_memory() const noexcept { return reserved_memory_; }
+  [[nodiscard]] double free_cpus() const noexcept { return total_cpus_ - reserved_cpus_; }
+  [[nodiscard]] std::uint64_t free_memory() const noexcept {
+    return total_memory_ - reserved_memory_;
+  }
+
+ private:
+  double total_cpus_;
+  std::uint64_t total_memory_;
+  double reserved_cpus_ = 0.0;
+  std::uint64_t reserved_memory_ = 0;
+};
+
+}  // namespace wfs::cluster

@@ -1,0 +1,56 @@
+#include "containers/container.h"
+
+#include "support/log.h"
+
+namespace wfs::containers {
+
+LocalContainer::LocalContainer(sim::Simulation& sim, cluster::Node& node,
+                               storage::DataStore& fs, ContainerSpec spec,
+                               std::function<void()> on_ready)
+    : sim_(sim), node_(node), fs_(fs), spec_(std::move(spec)) {
+  if (spec_.cpus > 0.0) {
+    quota_group_ = node_.create_quota_group(spec_.cpus);
+    // Best effort: containers on the paper's baseline are sized to fit, but
+    // docker itself never refuses, so a failed reservation is not fatal.
+    reserved_ = node_.ledger().try_reserve(spec_.cpus, 0);
+    if (spec_.cr_overhead_cores > 0.0) {
+      cr_overhead_load_ = node_.add_background_load(spec_.cr_overhead_cores, /*spin=*/true);
+    }
+  }
+  boot_event_ = sim_.schedule_in(spec_.start_delay, [this, on_ready = std::move(on_ready)] {
+    boot_event_ = 0;
+    wfbench::ServiceConfig service_config = spec_.service;
+    if (spec_.memory_limit > 0) service_config.memory_limit_bytes = spec_.memory_limit;
+    service_ =
+        std::make_unique<wfbench::WfBenchService>(sim_, node_, fs_, service_config, quota_group_);
+    WFS_LOG_DEBUG("containers", "container {} serving on {}", spec_.name, node_.name());
+    if (on_ready) on_ready();
+  });
+}
+
+LocalContainer::~LocalContainer() { stop(); }
+
+void LocalContainer::stop() {
+  if (boot_event_ != 0) {
+    sim_.cancel(boot_event_);
+    boot_event_ = 0;
+  }
+  if (service_) {
+    service_->shutdown();
+    service_.reset();
+  }
+  if (quota_group_ != cluster::kNoQuotaGroup) {
+    node_.destroy_quota_group(quota_group_);
+    quota_group_ = cluster::kNoQuotaGroup;
+  }
+  if (cr_overhead_load_ != 0) {
+    node_.remove_background_load(cr_overhead_load_);
+    cr_overhead_load_ = 0;
+  }
+  if (reserved_) {
+    node_.ledger().release(spec_.cpus, 0);
+    reserved_ = false;
+  }
+}
+
+}  // namespace wfs::containers

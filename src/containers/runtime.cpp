@@ -1,0 +1,119 @@
+#include "containers/runtime.h"
+
+#include <algorithm>
+
+#include "json/parse.h"
+#include "support/format.h"
+#include "support/log.h"
+
+namespace wfs::containers {
+
+LocalContainerRuntime::LocalContainerRuntime(sim::Simulation& sim, cluster::Cluster& cluster,
+                                             storage::DataStore& fs, net::Router& router,
+                                             LocalRuntimeConfig config)
+    : sim_(sim), cluster_(cluster), fs_(fs), router_(router), config_(std::move(config)) {}
+
+LocalContainerRuntime::~LocalContainerRuntime() { shutdown(); }
+
+void LocalContainerRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t n = 0; n < cluster_.size(); ++n) {
+    for (int c = 0; c < config_.containers_per_node; ++c) {
+      ContainerSpec spec = config_.container;
+      spec.name = support::format("{}-{}-{}", config_.container.name,
+                                  cluster_.node(n).name(), c);
+      containers_.push_back(std::make_unique<LocalContainer>(sim_, cluster_.node(n), fs_,
+                                                             std::move(spec),
+                                                             [this] { pump(); }));
+    }
+  }
+  router_.bind(config_.authority, [this](const net::HttpRequest& request,
+                                         std::shared_ptr<net::Responder> responder) {
+    handle_request(request, std::move(responder));
+  });
+  WFS_LOG_INFO("containers", "{} local containers started at {}", containers_.size(),
+               config_.authority);
+}
+
+void LocalContainerRuntime::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  router_.unbind(config_.authority);
+  for (Queued& queued : backlog_) {
+    queued.done(net::HttpResponse::service_unavailable("local runtime stopping"));
+  }
+  backlog_.clear();
+  for (auto& container : containers_) container->stop();
+  containers_.clear();
+}
+
+std::size_t LocalContainerRuntime::inflight() const noexcept {
+  std::size_t total = backlog_.size();
+  for (const auto& container : containers_) total += container->inflight();
+  return total;
+}
+
+std::uint64_t LocalContainerRuntime::service_oom_failures() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& container : containers_) {
+    if (container->service() != nullptr) {
+      total += container->service()->stats().oom_failures;
+    }
+  }
+  return total;
+}
+
+void LocalContainerRuntime::handle_request(const net::HttpRequest& request,
+                                           std::shared_ptr<net::Responder> responder) {
+  ++stats_.requests;
+  wfbench::TaskParams params;
+  try {
+    params = wfbench::task_params_from_json(json::parse(request.body));
+  } catch (const std::exception& e) {
+    ++stats_.bad_requests;
+    responder->respond(net::HttpResponse::bad_request(e.what()));
+    return;
+  }
+  backlog_.push_back(Queued{
+      std::move(params), [this, responder](net::HttpResponse response) {
+        if (response.ok()) {
+          ++stats_.completed;
+        } else {
+          ++stats_.failed;
+        }
+        responder->respond(std::move(response));
+      }});
+  stats_.max_backlog = std::max<std::uint64_t>(stats_.max_backlog, backlog_.size());
+  pump();
+}
+
+LocalContainer* LocalContainerRuntime::pick_container() {
+  LocalContainer* best = nullptr;
+  std::size_t best_inflight = 0;
+  for (auto& container : containers_) {
+    if (!container->running() || !container->service()->has_capacity()) continue;
+    if (best == nullptr || container->inflight() < best_inflight) {
+      best = container.get();
+      best_inflight = container->inflight();
+    }
+  }
+  return best;
+}
+
+void LocalContainerRuntime::pump() {
+  while (!backlog_.empty()) {
+    LocalContainer* container = pick_container();
+    if (container == nullptr) return;  // all workers busy; retry on completion
+    Queued queued = std::move(backlog_.front());
+    backlog_.pop_front();
+    auto done = std::move(queued.done);
+    container->service()->handle(queued.params,
+                                 [this, done = std::move(done)](net::HttpResponse response) {
+                                   done(std::move(response));
+                                   pump();
+                                 });
+  }
+}
+
+}  // namespace wfs::containers

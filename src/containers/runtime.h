@@ -1,0 +1,85 @@
+// The bare-metal local-container runtime: a fixed fleet of wfbench
+// containers (default: one per node, as in the paper's 2-node baseline),
+// a published port each workflow function is curl'ed at, and a simple
+// least-loaded dispatcher. No autoscaling, no scale-to-zero — resources
+// stay resident for the whole run, which is precisely what the serverless
+// comparison measures against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "containers/container.h"
+#include "net/router.h"
+#include "storage/data_store.h"
+
+namespace wfs::containers {
+
+struct LocalRuntimeConfig {
+  /// Routing authority for the published port (paper: localhost:80).
+  std::string authority = "localhost:80";
+  /// Containers per node (paper baseline: 1).
+  int containers_per_node = 1;
+  ContainerSpec container;
+};
+
+struct LocalRuntimeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t max_backlog = 0;
+};
+
+class LocalContainerRuntime {
+ public:
+  LocalContainerRuntime(sim::Simulation& sim, cluster::Cluster& cluster,
+                        storage::DataStore& fs, net::Router& router,
+                        LocalRuntimeConfig config);
+  ~LocalContainerRuntime();
+
+  LocalContainerRuntime(const LocalContainerRuntime&) = delete;
+  LocalContainerRuntime& operator=(const LocalContainerRuntime&) = delete;
+
+  /// docker run everything + bind the published port.
+  void start();
+  /// docker stop everything + unbind; fails queued requests with 503.
+  void shutdown();
+
+  [[nodiscard]] std::size_t container_count() const noexcept { return containers_.size(); }
+  [[nodiscard]] std::size_t inflight() const noexcept;
+  [[nodiscard]] std::size_t backlog() const noexcept { return backlog_.size(); }
+  [[nodiscard]] const LocalRuntimeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LocalRuntimeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] LocalContainer& container(std::size_t index) { return *containers_.at(index); }
+  /// Aggregate wfbench OOM failures across the fleet.
+  [[nodiscard]] std::uint64_t service_oom_failures() const noexcept;
+
+ private:
+  struct Queued {
+    wfbench::TaskParams params;
+    std::function<void(net::HttpResponse)> done;
+  };
+
+  void handle_request(const net::HttpRequest& request,
+                      std::shared_ptr<net::Responder> responder);
+  [[nodiscard]] LocalContainer* pick_container();
+  void pump();
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  storage::DataStore& fs_;
+  net::Router& router_;
+  LocalRuntimeConfig config_;
+
+  std::vector<std::unique_ptr<LocalContainer>> containers_;
+  std::deque<Queued> backlog_;
+  LocalRuntimeStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace wfs::containers

@@ -1,0 +1,82 @@
+#include "core/campaign.h"
+
+#include "support/format.h"
+#include "wfcommons/recipes/recipe.h"
+
+namespace wfs::core {
+
+CampaignSpec paper_fine_grained_campaign() {
+  CampaignSpec spec;
+  spec.paradigms = fine_grained_paradigms();
+  spec.recipes = wfcommons::recipe_names();
+  spec.sizes = {50, 200};
+  return spec;
+}
+
+CampaignSpec paper_coarse_grained_campaign() {
+  CampaignSpec spec;
+  spec.paradigms = coarse_grained_paradigms();
+  spec.recipes = wfcommons::recipe_names();
+  spec.sizes = {100, 500, 1000};
+  return spec;
+}
+
+const std::vector<ExperimentResult>& Campaign::run(const Progress& progress) {
+  results_.clear();
+  results_.reserve(spec_.cell_count());
+  for (const std::string& recipe : spec_.recipes) {
+    for (const std::size_t size : spec_.sizes) {
+      for (const Paradigm paradigm : spec_.paradigms) {
+        ExperimentConfig config;
+        config.paradigm = paradigm;
+        config.recipe = recipe;
+        config.num_tasks = size;
+        config.seed = spec_.seed;
+        config.cpu_work = spec_.cpu_work;
+        config.backend = spec_.backend;
+        config.wfm = spec_.wfm;
+        results_.push_back(run_experiment(config));
+        if (progress) progress(results_.back());
+      }
+    }
+  }
+  return results_;
+}
+
+const ExperimentResult* Campaign::find(Paradigm paradigm, const std::string& recipe,
+                                       std::size_t size) const {
+  for (const ExperimentResult& result : results_) {
+    if (result.config.paradigm == paradigm && result.config.recipe == recipe &&
+        result.config.num_tasks == size) {
+      return &result;
+    }
+  }
+  return nullptr;
+}
+
+std::string Campaign::summary_csv() const {
+  std::string out =
+      "paradigm,recipe,tasks,seed,status,makespan_s,cpu_pct_mean,cpu_pct_max,"
+      "mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,max_ready_pods,"
+      "scheduling_failures,node_oom_events,service_oom_failures,tasks_failed\n";
+  for (const ExperimentResult& result : results_) {
+    out += support::format(
+        "{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{}\n",
+        result.paradigm_name, result.config.recipe, result.config.num_tasks,
+        result.config.seed, result.ok() ? "ok" : "failed", result.makespan_seconds,
+        result.cpu_percent.time_weighted_mean, result.cpu_percent.max,
+        result.memory_gib.time_weighted_mean, result.memory_gib.max,
+        result.power_watts.time_weighted_mean, result.energy_joules / 1000.0,
+        result.cold_starts, result.max_ready_pods, result.scheduling_failures,
+        result.node_oom_events, result.service_oom_failures, result.run.tasks_failed);
+  }
+  return out;
+}
+
+std::size_t Campaign::failed_cells() const {
+  std::size_t failed = 0;
+  for (const ExperimentResult& result : results_) failed += result.ok() ? 0 : 1;
+  return failed;
+}
+
+}  // namespace wfs::core

@@ -1,0 +1,67 @@
+// Campaign: a programmatic sweep over (paradigm x family x size) cells —
+// the C++ analogue of the artifact's run_all_wfbench.sh / run_all_wfbench_
+// local.sh drivers, with results kept in memory and exportable as CSV for
+// downstream analysis (the paper's Jupyter stage).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace wfs::core {
+
+struct CampaignSpec {
+  std::vector<Paradigm> paradigms;
+  std::vector<std::string> recipes;
+  std::vector<std::size_t> sizes;
+  std::uint64_t seed = 1;
+  double cpu_work = 100.0;
+  DataBackend backend = DataBackend::kSharedDrive;
+  WfmConfig wfm;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return paradigms.size() * recipes.size() * sizes.size();
+  }
+};
+
+/// The paper's Table I designs, ready to run.
+[[nodiscard]] CampaignSpec paper_fine_grained_campaign();   // 98 cells
+[[nodiscard]] CampaignSpec paper_coarse_grained_campaign(); // 42 cells
+
+class Campaign {
+ public:
+  using Progress = std::function<void(const ExperimentResult&)>;
+
+  explicit Campaign(CampaignSpec spec) : spec_(std::move(spec)) {}
+
+  /// Runs every cell (recipes outermost, paradigms innermost, matching the
+  /// figures' facet layout); `progress` fires after each cell.
+  const std::vector<ExperimentResult>& run(const Progress& progress = {});
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<ExperimentResult>& results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] bool completed() const noexcept {
+    return results_.size() == spec_.cell_count();
+  }
+
+  /// nullptr when the cell was not (yet) run.
+  [[nodiscard]] const ExperimentResult* find(Paradigm paradigm, const std::string& recipe,
+                                             std::size_t size) const;
+
+  /// One CSV row per cell: identity, status, and the aggregate metrics the
+  /// paper's analysis notebooks consume.
+  [[nodiscard]] std::string summary_csv() const;
+
+  /// Count of cells whose run did not conclude cleanly.
+  [[nodiscard]] std::size_t failed_cells() const;
+
+ private:
+  CampaignSpec spec_;
+  std::vector<ExperimentResult> results_;
+};
+
+}  // namespace wfs::core

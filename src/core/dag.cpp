@@ -1,0 +1,61 @@
+#include "core/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wfcommons/analysis.h"
+
+namespace wfs::core {
+
+std::size_t ExecutionPlan::task_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& phase : phases) total += phase.size();
+  return total;
+}
+
+std::size_t ExecutionPlan::widest_phase() const noexcept {
+  std::size_t widest = 0;
+  for (const auto& phase : phases) widest = std::max(widest, phase.size());
+  return widest;
+}
+
+wfbench::TaskParams to_task_params(const wfcommons::Task& task, const std::string& workdir) {
+  wfbench::TaskParams params;
+  params.name = task.name;
+  params.percent_cpu = task.percent_cpu;
+  params.cpu_work = task.cpu_work;
+  params.memory_bytes = task.memory_bytes;
+  for (const wfcommons::TaskFile* file : task.outputs()) {
+    params.outputs.emplace_back(file->name, file->size_bytes);
+  }
+  for (const wfcommons::TaskFile* file : task.inputs()) {
+    params.inputs.push_back(file->name);
+  }
+  params.workdir = workdir;
+  return params;
+}
+
+ExecutionPlan build_plan(const wfcommons::Workflow& workflow, const std::string& workdir) {
+  const std::vector<std::string> problems = workflow.validate();
+  if (!problems.empty()) {
+    throw std::invalid_argument("build_plan: invalid workflow: " + problems.front());
+  }
+  ExecutionPlan plan;
+  plan.workflow_name = workflow.name();
+  plan.external_inputs = workflow.external_inputs();
+  for (const auto& level : wfcommons::levels(workflow)) {
+    std::vector<PlannedTask> phase;
+    phase.reserve(level.size());
+    for (const wfcommons::Task* task : level) {
+      if (task->api_url.empty()) {
+        throw std::invalid_argument("build_plan: task " + task->name +
+                                    " has no api_url (run a translator first)");
+      }
+      phase.push_back(PlannedTask{task->name, task->api_url, to_task_params(*task, workdir)});
+    }
+    plan.phases.push_back(std::move(phase));
+  }
+  return plan;
+}
+
+}  // namespace wfs::core

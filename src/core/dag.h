@@ -1,0 +1,44 @@
+// Execution plan: the workflow manager's view of a translated workflow.
+//
+// The WFM (paper §III-C) turns the JSON workflow into a DAG and executes it
+// level by level ("phases"/"steps"): all functions of a phase are invoked
+// simultaneously, the next phase starts only after every response arrived
+// plus a fixed delay. This header materialises that plan: per phase, the
+// ready-to-send wfbench request of every task plus its endpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wfbench/task_params.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::core {
+
+struct PlannedTask {
+  std::string name;
+  std::string api_url;
+  wfbench::TaskParams params;
+};
+
+struct ExecutionPlan {
+  std::string workflow_name;
+  std::vector<std::vector<PlannedTask>> phases;
+  /// Files no task produces; the WFM stages them before phase 0.
+  std::vector<wfcommons::TaskFile> external_inputs;
+
+  [[nodiscard]] std::size_t task_count() const noexcept;
+  [[nodiscard]] std::size_t widest_phase() const noexcept;
+};
+
+/// Converts one IR task into the wfbench POST payload.
+[[nodiscard]] wfbench::TaskParams to_task_params(const wfcommons::Task& task,
+                                                 const std::string& workdir);
+
+/// Builds the phase plan from a translated workflow (every task must carry
+/// an api_url). Throws std::invalid_argument when a task has no endpoint or
+/// the workflow fails validation.
+[[nodiscard]] ExecutionPlan build_plan(const wfcommons::Workflow& workflow,
+                                       const std::string& workdir);
+
+}  // namespace wfs::core

@@ -1,0 +1,159 @@
+#include "core/experiment.h"
+
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "containers/runtime.h"
+#include "faas/platform.h"
+#include "metrics/sampler.h"
+#include "net/router.h"
+#include "storage/object_store.h"
+#include "storage/shared_fs.h"
+#include "support/format.h"
+#include "support/log.h"
+#include "support/units.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/translators/local_container.h"
+
+namespace wfs::core {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
+  ExperimentResult result;
+  result.config = config;
+  const ParadigmInfo& paradigm = paradigm_info(config.paradigm);
+  result.paradigm_name = paradigm.name;
+
+  // ---- substrates -----------------------------------------------------------
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  std::unique_ptr<storage::DataStore> store;
+  if (config.backend == DataBackend::kObjectStore) {
+    store = std::make_unique<storage::ObjectStore>(sim);
+  } else {
+    store = std::make_unique<storage::SharedFilesystem>(sim);
+  }
+  storage::DataStore& fs = *store;
+  net::Router router(sim, net::NetworkConfig{}, config.seed);
+
+  // ---- workload -------------------------------------------------------------
+  wfcommons::GenerateOptions gen;
+  gen.num_tasks = config.num_tasks;
+  gen.seed = config.seed;
+  gen.cpu_work = config.cpu_work;
+  wfcommons::Workflow workflow = wfcommons::make_recipe(config.recipe)->generate(gen);
+  result.workflow_name = workflow.name();
+
+  // ---- platform -------------------------------------------------------------
+  std::unique_ptr<faas::KnativePlatform> knative;
+  std::unique_ptr<containers::LocalContainerRuntime> local;
+  if (paradigm.serverless) {
+    faas::KnativeServiceSpec spec = config.knative_spec_override.has_value()
+                                        ? *config.knative_spec_override
+                                        : knative_spec_for(config.paradigm, config.shape);
+    wfcommons::KnativeTranslatorConfig tconfig;
+    tconfig.service_url = "http://" + spec.authority + "/wfbench";
+    tconfig.workdir = config.wfm.workdir;
+    wfcommons::KnativeTranslator(tconfig).apply(workflow);
+    knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    knative->deploy();
+  } else {
+    containers::LocalRuntimeConfig lconfig = config.local_config_override.has_value()
+                                                 ? *config.local_config_override
+                                                 : local_config_for(config.paradigm, config.shape);
+    wfcommons::LocalContainerTranslatorConfig tconfig;
+    tconfig.endpoint_url = "http://" + lconfig.authority + "/wfbench";
+    tconfig.workdir = config.wfm.workdir;
+    wfcommons::LocalContainerTranslator(tconfig).apply(workflow);
+    local = std::make_unique<containers::LocalContainerRuntime>(sim, cluster, fs, router,
+                                                                lconfig);
+    local->start();
+  }
+
+  // ---- telemetry (PCP analogue) ---------------------------------------------
+  metrics::Sampler sampler(sim, sim::from_seconds(config.sample_period_seconds));
+  sampler.add_probe("cpu_pct", [&cluster] { return cluster.cpu_fraction() * 100.0; });
+  sampler.add_probe("mem_gib",
+                    [&cluster] { return static_cast<double>(cluster.resident_memory()) / kGiB; });
+  sampler.add_probe("power_w", [&cluster] { return cluster.power_watts(); });
+  sampler.add_probe("pods", [&]() -> double {
+    if (knative) return knative->ready_pods();
+    return local ? static_cast<double>(local->container_count()) : 0.0;
+  });
+  sampler.sample_now();
+  sampler.start();
+
+  // ---- execute --------------------------------------------------------------
+  WorkflowManager wfm(sim, router, fs, config.wfm);
+  std::optional<WorkflowRunResult> run_result;
+  wfm.run(workflow, [&run_result, &sampler](WorkflowRunResult r) {
+    run_result = std::move(r);
+    sampler.sample_now();
+    sampler.stop();
+  });
+
+  const sim::SimTime deadline = sim::from_seconds(config.deadline_seconds);
+  while (!run_result.has_value() && !sim.idle() && sim.now() < deadline) {
+    sim.step(1);
+  }
+
+  // ---- outcome --------------------------------------------------------------
+  if (!run_result.has_value()) {
+    result.completed = false;
+    result.failure_reason = sim.now() >= deadline
+                                ? "did not conclude before the deadline"
+                                : "execution stalled (platform made no progress)";
+    result.makespan_seconds = sim::to_seconds(sim.now());
+    sampler.stop();
+  } else {
+    result.completed = run_result->completed;
+    result.run = std::move(*run_result);
+    result.makespan_seconds = result.run.makespan_seconds;
+    if (result.run.tasks_failed > 0) {
+      result.failure_reason = support::format("{} of {} functions failed",
+                                              result.run.tasks_failed, result.run.tasks_total);
+    }
+  }
+
+  // ---- aggregate ------------------------------------------------------------
+  result.cpu_series = sampler.series("cpu_pct");
+  result.memory_series = sampler.series("mem_gib");
+  result.power_series = sampler.series("power_w");
+  result.pods_series = sampler.series("pods");
+  result.cpu_percent = metrics::summarize(result.cpu_series);
+  result.memory_gib = metrics::summarize(result.memory_series);
+  result.power_watts = metrics::summarize(result.power_series);
+  result.energy_joules = result.power_series.integral();
+
+  result.node_oom_events = cluster.oom_events();
+  if (knative) {
+    result.cold_starts = knative->stats().pods_created;
+    result.chaos_kills = knative->stats().chaos_kills;
+    result.max_ready_pods = knative->stats().max_ready_pods;
+    result.scheduling_failures = knative->stats().scheduling_failures;
+    result.service_oom_failures = knative->service_oom_failures();
+    result.activator_wait_seconds = knative->activator().total_wait_seconds();
+    knative->shutdown();
+  }
+  if (local) {
+    result.service_oom_failures = local->service_oom_failures();
+    local->shutdown();
+  }
+  if (result.completed && result.failure_reason.empty() && result.node_oom_events > 0) {
+    result.failure_reason = support::format("node memory exhausted ({} OOM events)",
+                                            result.node_oom_events);
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return ExperimentRunner{}.run(config);
+}
+
+}  // namespace wfs::core

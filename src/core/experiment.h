@@ -1,0 +1,95 @@
+// End-to-end experiment runner: the code path behind every number in the
+// reproduction of Figures 4-7 and Tables I-II.
+//
+// One experiment = one (paradigm, workflow family, size) cell: build the
+// simulated 2-node testbed, deploy the paradigm's platform, generate and
+// translate the workflow, run it through the serverless WFM while a 1 s
+// PCP-like sampler records CPU / memory / power, and aggregate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/paradigm.h"
+#include "core/workflow_manager.h"
+#include "metrics/aggregate.h"
+#include "metrics/time_series.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::core {
+
+/// Where workflow data lives: the paper's shared drive, or the §VII
+/// future-work external object store.
+enum class DataBackend { kSharedDrive, kObjectStore };
+
+struct ExperimentConfig {
+  Paradigm paradigm = Paradigm::kKn10wNoPM;
+  std::string recipe = "blast";
+  std::size_t num_tasks = 50;
+  std::uint64_t seed = 1;
+  DataBackend backend = DataBackend::kSharedDrive;
+  /// WfBench cpu-work base (paper uses 100-250).
+  double cpu_work = 100.0;
+  /// Safety deadline: runs still going after this much simulated time are
+  /// reported as failed ("did not conclude").
+  double deadline_seconds = 4.0 * 3600.0;
+  WfmConfig wfm;
+  DeploymentShape shape;
+  /// Sampling cadence (PCP: 1 s).
+  double sample_period_seconds = 1.0;
+
+  /// Ablation hooks: when set, these replace the spec the paradigm factory
+  /// would produce (the paradigm still selects serverless vs local).
+  std::optional<faas::KnativeServiceSpec> knative_spec_override;
+  std::optional<containers::LocalRuntimeConfig> local_config_override;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::string workflow_name;
+  std::string paradigm_name;
+
+  /// Run outcome. `completed` = all phases executed before the deadline;
+  /// failure_reason explains deadline hits, task failures or OOM pressure.
+  bool completed = false;
+  std::string failure_reason;
+
+  double makespan_seconds = 0.0;
+  WorkflowRunResult run;
+
+  // Aggregates over the run window (the paper's four metrics).
+  metrics::Summary cpu_percent;     // cluster CPU busy %, 0-100
+  metrics::Summary memory_gib;      // cluster resident memory, GiB
+  metrics::Summary power_watts;     // cluster package power, W
+  double energy_joules = 0.0;
+
+  // Platform behaviour counters.
+  std::uint64_t cold_starts = 0;       // pods created (serverless only)
+  std::uint64_t max_ready_pods = 0;
+  std::uint64_t scheduling_failures = 0;
+  std::uint64_t node_oom_events = 0;
+  std::uint64_t service_oom_failures = 0;
+  std::uint64_t chaos_kills = 0;
+  double activator_wait_seconds = 0.0;  // total buffered wait (serverless)
+
+  // Full series, for CSV export and sparklines.
+  metrics::TimeSeries cpu_series;
+  metrics::TimeSeries memory_series;
+  metrics::TimeSeries power_series;
+  metrics::TimeSeries pods_series;
+
+  [[nodiscard]] bool ok() const noexcept { return completed && run.tasks_failed == 0; }
+};
+
+class ExperimentRunner {
+ public:
+  /// Runs one experiment to completion (fresh simulation per call).
+  [[nodiscard]] ExperimentResult run(const ExperimentConfig& config) const;
+};
+
+/// Convenience wrapper used by benches/examples.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace wfs::core

@@ -1,0 +1,119 @@
+#include "core/fleet.h"
+
+#include <functional>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "containers/runtime.h"
+#include "faas/platform.h"
+#include "metrics/sampler.h"
+#include "net/router.h"
+#include "storage/shared_fs.h"
+#include "support/log.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/translators/local_container.h"
+
+namespace wfs::core {
+
+FleetResult run_fleet(const FleetConfig& config) {
+  if (config.items.empty()) throw std::invalid_argument("run_fleet: no workflows");
+  const ParadigmInfo& paradigm = paradigm_info(config.paradigm);
+
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim, net::NetworkConfig{}, config.items.front().seed);
+
+  // One shared platform deployment for the whole fleet.
+  std::unique_ptr<faas::KnativePlatform> knative;
+  std::unique_ptr<containers::LocalContainerRuntime> local;
+  std::string endpoint;
+  if (paradigm.serverless) {
+    faas::KnativeServiceSpec spec = knative_spec_for(config.paradigm, config.shape);
+    knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    knative->deploy();
+    endpoint = "http://" + spec.authority + "/wfbench";
+  } else {
+    containers::LocalRuntimeConfig lconfig = local_config_for(config.paradigm, config.shape);
+    local = std::make_unique<containers::LocalContainerRuntime>(sim, cluster, fs, router,
+                                                                lconfig);
+    local->start();
+    endpoint = "http://" + lconfig.authority + "/wfbench";
+  }
+
+  // Generate + translate every workflow up front.
+  wfcommons::WorkflowGenerator generator;
+  std::vector<wfcommons::Workflow> workflows;
+  for (const FleetItem& item : config.items) {
+    wfcommons::GenerateOptions options;
+    options.num_tasks = item.num_tasks;
+    options.seed = item.seed;
+    options.cpu_work = config.cpu_work;
+    wfcommons::Workflow wf = wfcommons::make_recipe(item.recipe)->generate(options);
+    for (wfcommons::Task& task : wf.tasks()) task.api_url = endpoint;
+    workflows.push_back(std::move(wf));
+  }
+
+  metrics::Sampler sampler(sim);
+  sampler.add_probe("cpu_pct", [&cluster] { return cluster.cpu_fraction() * 100.0; });
+  sampler.add_probe("mem_gib", [&cluster] {
+    return static_cast<double>(cluster.resident_memory()) / (1024.0 * 1024.0 * 1024.0);
+  });
+  sampler.add_probe("power_w", [&cluster] { return cluster.power_watts(); });
+  sampler.sample_now();
+  sampler.start();
+
+  FleetResult result;
+  result.runs.resize(workflows.size());
+  std::vector<std::unique_ptr<WorkflowManager>> managers;
+  std::size_t remaining = workflows.size();
+  const auto record = [&](std::size_t index, WorkflowRunResult run) {
+    result.runs[index] = std::move(run);
+    if (--remaining == 0) {
+      sampler.sample_now();
+      sampler.stop();
+    }
+  };
+
+  if (config.concurrent) {
+    for (std::size_t i = 0; i < workflows.size(); ++i) {
+      managers.push_back(std::make_unique<WorkflowManager>(sim, router, fs, config.wfm));
+      managers.back()->run(workflows[i],
+                           [&record, i](WorkflowRunResult run) { record(i, std::move(run)); });
+    }
+  } else {
+    managers.push_back(std::make_unique<WorkflowManager>(sim, router, fs, config.wfm));
+    // Chained launch: index i+1 starts from i's completion callback.
+    auto launch = std::make_shared<std::function<void(std::size_t)>>();
+    *launch = [&, launch](std::size_t index) {
+      managers.front()->run(workflows[index],
+                            [&, launch, index](WorkflowRunResult run) {
+                              record(index, std::move(run));
+                              if (index + 1 < workflows.size()) (*launch)(index + 1);
+                            });
+    };
+    (*launch)(0);
+  }
+
+  sim.run_until(sim::from_seconds(config.deadline_seconds));
+
+  result.completed = remaining == 0;
+  for (const WorkflowRunResult& run : result.runs) {
+    result.workflows_failed += run.ok() ? 0 : 1;
+  }
+  result.wall_seconds =
+      sim::to_seconds(sampler.series("cpu_pct").samples().back().time);
+  result.cpu_percent = metrics::summarize(sampler.series("cpu_pct"));
+  result.memory_gib = metrics::summarize(sampler.series("mem_gib"));
+  result.power_watts = metrics::summarize(sampler.series("power_w"));
+  result.energy_joules = sampler.series("power_w").integral();
+  if (knative) {
+    result.cold_starts = knative->stats().pods_created;
+    knative->shutdown();
+  }
+  if (local) local->shutdown();
+  return result;
+}
+
+}  // namespace wfs::core

@@ -1,0 +1,54 @@
+// Fleet runs: several workflows sharing ONE platform deployment — the
+// paper's §VII scenario ("the invocation of multiple concurrent functions
+// by different workflows") as a first-class API.
+//
+// In concurrent mode every workflow gets its own WorkflowManager and all
+// start together; in sequential mode each starts when the previous
+// completes (the methodology of the single-workflow figures). Metrics are
+// sampled over the whole fleet window, so the two modes' utilisation and
+// wall time are directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/workflow_manager.h"
+
+namespace wfs::core {
+
+struct FleetItem {
+  std::string recipe = "blast";
+  std::size_t num_tasks = 100;
+  std::uint64_t seed = 1;
+};
+
+struct FleetConfig {
+  Paradigm paradigm = Paradigm::kKn10wNoPM;
+  std::vector<FleetItem> items;
+  /// true: all workflows start together; false: chained one after another.
+  bool concurrent = true;
+  double cpu_work = 100.0;
+  WfmConfig wfm;
+  DeploymentShape shape;
+  double deadline_seconds = 4.0 * 3600.0;
+};
+
+struct FleetResult {
+  bool completed = false;  // every workflow finished before the deadline
+  std::size_t workflows_failed = 0;
+  double wall_seconds = 0.0;  // first start -> last completion
+  metrics::Summary cpu_percent;
+  metrics::Summary memory_gib;
+  metrics::Summary power_watts;
+  double energy_joules = 0.0;
+  std::uint64_t cold_starts = 0;
+  std::vector<WorkflowRunResult> runs;
+
+  [[nodiscard]] bool ok() const noexcept { return completed && workflows_failed == 0; }
+};
+
+/// Runs the fleet to completion on a fresh simulation.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace wfs::core

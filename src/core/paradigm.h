@@ -1,0 +1,81 @@
+// Table II: the computational paradigms of the evaluation, and factories
+// mapping each onto a concrete platform deployment.
+//
+//   Kn1wPM        Knative, 1 worker/pod, persistent memory
+//   Kn1wNoPM      Knative, 1 worker/pod, no persistent memory
+//   Kn10wNoPM     Knative, 10 workers/pod, no PM   (the paper's pick)
+//   Kn1000wPM     Knative, 1000 workers in ONE whole-machine pod (coarse)
+//   LC1wPM        Local containers, 1 worker per core (96/container), PM
+//   LC1wNoPM      as above, no PM
+//   LC10wNoPM     Local containers, 10 workers per core (960/container)
+//   LC10wNoPMNoCR as above without CPU/memory requirements (no cgroup caps)
+//   LC1000wPM     Local containers, 1000 workers, PM (coarse)
+//
+// The worker counts follow the artifact's measured runs
+// (local-container-96w / 960w): "k workers per process" on the LC side
+// means k workers per CPU of the hosting node.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "containers/runtime.h"
+#include "faas/service_config.h"
+
+namespace wfs::core {
+
+enum class Paradigm {
+  kKn1wPM,
+  kKn1wNoPM,
+  kKn10wNoPM,
+  kKn1000wPM,
+  kLC1wPM,
+  kLC1wNoPM,
+  kLC10wNoPM,
+  kLC10wNoPMNoCR,
+  kLC1000wPM,
+};
+
+struct ParadigmInfo {
+  Paradigm paradigm;
+  std::string name;         // Table II label, e.g. "Kn10wNoPM"
+  std::string description;  // Table II right column
+  bool serverless = false;
+  bool persistent_memory = false;
+  bool coarse_grained = false;
+  bool cpu_requirement = true;  // CR: resource requests/limits declared
+  int workers_label = 1;        // the 1/10/1000 in the name
+};
+
+[[nodiscard]] const ParadigmInfo& paradigm_info(Paradigm paradigm);
+[[nodiscard]] const std::string& to_string(Paradigm paradigm);
+[[nodiscard]] Paradigm parse_paradigm(std::string_view name);
+
+/// All nine paradigms in Table II order.
+[[nodiscard]] std::vector<Paradigm> all_paradigms();
+/// The 7 fine-grained paradigms (Table I row a).
+[[nodiscard]] std::vector<Paradigm> fine_grained_paradigms();
+/// The 2 coarse-grained paradigms (Table I row b).
+[[nodiscard]] std::vector<Paradigm> coarse_grained_paradigms();
+
+/// Reference deployment constants shared by the factories; the defaults
+/// describe the paper's 2-node EPYC testbed.
+struct DeploymentShape {
+  double node_cores = 96.0;
+  std::uint64_t node_memory = 192ULL << 30;  // smaller node bounds coarse pods
+  /// The wfbench service authority for serverless routing.
+  std::string knative_authority = "wfbench.knative-functions.10.0.0.1.sslip.io:80";
+  /// The published local-container port.
+  std::string local_authority = "localhost:80";
+};
+
+/// Builds the Knative service spec for a Kn* paradigm. Throws for LC*.
+[[nodiscard]] faas::KnativeServiceSpec knative_spec_for(Paradigm paradigm,
+                                                        const DeploymentShape& shape = {});
+
+/// Builds the local runtime config for an LC* paradigm. Throws for Kn*.
+[[nodiscard]] containers::LocalRuntimeConfig local_config_for(
+    Paradigm paradigm, const DeploymentShape& shape = {});
+
+}  // namespace wfs::core

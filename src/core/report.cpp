@@ -1,0 +1,58 @@
+#include "core/report.h"
+
+#include "support/format.h"
+
+namespace wfs::core {
+namespace {
+
+double pct_change(double candidate, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return (candidate - baseline) / baseline * 100.0;
+}
+
+}  // namespace
+
+std::string result_header() {
+  return support::format("{:<14} {:<26} {:>6} {:<8} {:>9} {:>7} {:>9} {:>8} {:>9} {:>5}\n",
+                         "paradigm", "workflow", "tasks", "status", "time(s)", "cpu%",
+                         "mem(GiB)", "power(W)", "energy(kJ)", "pods");
+}
+
+std::string result_row(const ExperimentResult& result) {
+  const char* status = result.ok() ? "ok" : "FAILED";
+  return support::format(
+      "{:<14} {:<26} {:>6} {:<8} {:>9.1f} {:>7.2f} {:>9.2f} {:>8.1f} {:>9.1f} {:>5}\n",
+      result.paradigm_name, result.workflow_name, result.config.num_tasks, status,
+      result.makespan_seconds, result.cpu_percent.time_weighted_mean,
+      result.memory_gib.time_weighted_mean, result.power_watts.time_weighted_mean,
+      result.energy_joules / 1000.0,
+      result.cold_starts > 0 ? result.max_ready_pods : result.pods_series.max());
+}
+
+std::string result_table(const std::vector<ExperimentResult>& results) {
+  std::string out = result_header();
+  for (const ExperimentResult& result : results) out += result_row(result);
+  return out;
+}
+
+MetricDeltas compare(const ExperimentResult& candidate, const ExperimentResult& baseline) {
+  MetricDeltas deltas;
+  deltas.execution_time_pct = pct_change(candidate.makespan_seconds, baseline.makespan_seconds);
+  deltas.cpu_pct = pct_change(candidate.cpu_percent.time_weighted_mean,
+                              baseline.cpu_percent.time_weighted_mean);
+  deltas.memory_pct = pct_change(candidate.memory_gib.time_weighted_mean,
+                                 baseline.memory_gib.time_weighted_mean);
+  deltas.power_pct = pct_change(candidate.power_watts.time_weighted_mean,
+                                baseline.power_watts.time_weighted_mean);
+  deltas.energy_pct = pct_change(candidate.energy_joules, baseline.energy_joules);
+  return deltas;
+}
+
+std::string delta_row(const std::string& label, const MetricDeltas& deltas) {
+  return support::format(
+      "{:<34} time {:+7.1f}%  cpu {:+7.1f}%  mem {:+7.1f}%  power {:+6.1f}%  energy {:+6.1f}%\n",
+      label, deltas.execution_time_pct, deltas.cpu_pct, deltas.memory_pct, deltas.power_pct,
+      deltas.energy_pct);
+}
+
+}  // namespace wfs::core

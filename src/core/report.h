@@ -1,0 +1,36 @@
+// Result rendering shared by the bench binaries: aligned tables of
+// experiment cells plus serverless-vs-baseline deltas (the numbers behind
+// the paper's "reduces CPU by 78.11% and memory by 73.92%" claim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace wfs::core {
+
+/// Header line matching result_row's columns.
+[[nodiscard]] std::string result_header();
+
+/// One fixed-width row: paradigm, workflow, size, status, time, CPU%, mem,
+/// power, energy, pods/cold-starts.
+[[nodiscard]] std::string result_row(const ExperimentResult& result);
+
+/// Full table with header.
+[[nodiscard]] std::string result_table(const std::vector<ExperimentResult>& results);
+
+/// Relative change of `candidate` vs `baseline` per metric, as the paper
+/// reports: negative = the candidate uses less.
+struct MetricDeltas {
+  double execution_time_pct = 0.0;
+  double cpu_pct = 0.0;
+  double memory_pct = 0.0;
+  double power_pct = 0.0;
+  double energy_pct = 0.0;
+};
+[[nodiscard]] MetricDeltas compare(const ExperimentResult& candidate,
+                                   const ExperimentResult& baseline);
+[[nodiscard]] std::string delta_row(const std::string& label, const MetricDeltas& deltas);
+
+}  // namespace wfs::core

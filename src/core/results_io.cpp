@@ -1,0 +1,253 @@
+#include "core/results_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "json/parse.h"
+#include "json/write.h"
+
+namespace wfs::core {
+namespace {
+
+json::Value series_to_json(const metrics::TimeSeries& series) {
+  json::Array t;
+  json::Array v;
+  for (const metrics::Sample& sample : series.samples()) {
+    t.emplace_back(sim::to_seconds(sample.time));
+    v.emplace_back(sample.value);
+  }
+  json::Object out;
+  out.set("t", std::move(t));
+  out.set("v", std::move(v));
+  return json::Value(std::move(out));
+}
+
+metrics::TimeSeries series_from_json(const json::Value& value) {
+  metrics::TimeSeries series;
+  if (!value.is_object()) return series;
+  const json::Value* t = value.find("t");
+  const json::Value* v = value.find("v");
+  if (t == nullptr || v == nullptr || !t->is_array() || !v->is_array()) return series;
+  const std::size_t n = std::min(t->as_array().size(), v->as_array().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push(sim::from_seconds(t->as_array()[i].double_or(0.0)),
+                v->as_array()[i].double_or(0.0));
+  }
+  return series;
+}
+
+json::Value summary_to_json(const metrics::Summary& summary) {
+  json::Object out;
+  out.set("samples", summary.samples);
+  out.set("mean", summary.mean);
+  out.set("time_weighted_mean", summary.time_weighted_mean);
+  out.set("min", summary.min);
+  out.set("max", summary.max);
+  out.set("stddev", summary.stddev);
+  out.set("p50", summary.p50);
+  out.set("p95", summary.p95);
+  out.set("integral", summary.integral);
+  return json::Value(std::move(out));
+}
+
+metrics::Summary summary_from_json(const json::Value& value) {
+  metrics::Summary summary;
+  if (!value.is_object()) return summary;
+  const auto get = [&](const char* key, double fallback) {
+    const json::Value* v = value.find(key);
+    return v != nullptr ? v->double_or(fallback) : fallback;
+  };
+  if (const json::Value* v = value.find("samples")) {
+    summary.samples = static_cast<std::size_t>(v->int_or(0));
+  }
+  summary.mean = get("mean", 0.0);
+  summary.time_weighted_mean = get("time_weighted_mean", 0.0);
+  summary.min = get("min", 0.0);
+  summary.max = get("max", 0.0);
+  summary.stddev = get("stddev", 0.0);
+  summary.p50 = get("p50", 0.0);
+  summary.p95 = get("p95", 0.0);
+  summary.integral = get("integral", 0.0);
+  return summary;
+}
+
+}  // namespace
+
+json::Value result_to_json(const ExperimentResult& result) {
+  json::Object document;
+  document.set("schema", "wfserverless-result-1");
+
+  json::Object config;
+  config.set("paradigm", result.paradigm_name);
+  config.set("recipe", result.config.recipe);
+  config.set("num_tasks", result.config.num_tasks);
+  config.set("seed", result.config.seed);
+  config.set("cpu_work", result.config.cpu_work);
+  config.set("backend",
+             result.config.backend == DataBackend::kObjectStore ? "objectstore" : "shared");
+  document.set("config", std::move(config));
+
+  json::Object outcome;
+  outcome.set("workflow", result.workflow_name);
+  outcome.set("completed", result.completed);
+  outcome.set("failure_reason", result.failure_reason);
+  outcome.set("makespan_seconds", result.makespan_seconds);
+  outcome.set("tasks_total", result.run.tasks_total);
+  outcome.set("tasks_failed", result.run.tasks_failed);
+  document.set("outcome", std::move(outcome));
+
+  json::Object aggregates;
+  aggregates.set("cpu_percent", summary_to_json(result.cpu_percent));
+  aggregates.set("memory_gib", summary_to_json(result.memory_gib));
+  aggregates.set("power_watts", summary_to_json(result.power_watts));
+  aggregates.set("energy_joules", result.energy_joules);
+  document.set("aggregates", std::move(aggregates));
+
+  json::Object platform;
+  platform.set("cold_starts", result.cold_starts);
+  platform.set("max_ready_pods", result.max_ready_pods);
+  platform.set("scheduling_failures", result.scheduling_failures);
+  platform.set("node_oom_events", result.node_oom_events);
+  platform.set("service_oom_failures", result.service_oom_failures);
+  platform.set("activator_wait_seconds", result.activator_wait_seconds);
+  document.set("platform", std::move(platform));
+
+  json::Object series;
+  series.set("cpu_pct", series_to_json(result.cpu_series));
+  series.set("mem_gib", series_to_json(result.memory_series));
+  series.set("power_w", series_to_json(result.power_series));
+  series.set("pods", series_to_json(result.pods_series));
+  document.set("series", std::move(series));
+  return json::Value(std::move(document));
+}
+
+ExperimentResult result_from_json(const json::Value& document) {
+  if (!document.is_object()) {
+    throw std::invalid_argument("result document is not an object");
+  }
+  const json::Object& root = document.as_object();
+  if (const json::Value* schema = root.find("schema");
+      schema == nullptr || schema->string_or("") != "wfserverless-result-1") {
+    throw std::invalid_argument("unknown result schema");
+  }
+  ExperimentResult result;
+
+  if (const json::Value* config = root.find("config")) {
+    result.paradigm_name = config->find("paradigm") != nullptr
+                               ? config->find("paradigm")->string_or("")
+                               : "";
+    if (!result.paradigm_name.empty()) {
+      try {
+        result.config.paradigm = parse_paradigm(result.paradigm_name);
+      } catch (const std::invalid_argument&) {
+        // Ablation labels ("cold=2.5s") are not catalog names; keep default.
+      }
+    }
+    if (const json::Value* v = config->find("recipe")) result.config.recipe = v->string_or("");
+    if (const json::Value* v = config->find("num_tasks")) {
+      result.config.num_tasks = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("seed")) {
+      result.config.seed = static_cast<std::uint64_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("cpu_work")) {
+      result.config.cpu_work = v->double_or(100.0);
+    }
+    if (const json::Value* v = config->find("backend")) {
+      result.config.backend = v->string_or("shared") == "objectstore"
+                                  ? DataBackend::kObjectStore
+                                  : DataBackend::kSharedDrive;
+    }
+  }
+  if (const json::Value* outcome = root.find("outcome")) {
+    if (const json::Value* v = outcome->find("workflow")) {
+      result.workflow_name = v->string_or("");
+    }
+    if (const json::Value* v = outcome->find("completed")) {
+      result.completed = v->bool_or(false);
+    }
+    if (const json::Value* v = outcome->find("failure_reason")) {
+      result.failure_reason = v->string_or("");
+    }
+    if (const json::Value* v = outcome->find("makespan_seconds")) {
+      result.makespan_seconds = v->double_or(0.0);
+    }
+    if (const json::Value* v = outcome->find("tasks_total")) {
+      result.run.tasks_total = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = outcome->find("tasks_failed")) {
+      result.run.tasks_failed = static_cast<std::size_t>(v->int_or(0));
+    }
+    result.run.completed = result.completed;
+    result.run.makespan_seconds = result.makespan_seconds;
+  }
+  if (const json::Value* aggregates = root.find("aggregates")) {
+    if (const json::Value* v = aggregates->find("cpu_percent")) {
+      result.cpu_percent = summary_from_json(*v);
+    }
+    if (const json::Value* v = aggregates->find("memory_gib")) {
+      result.memory_gib = summary_from_json(*v);
+    }
+    if (const json::Value* v = aggregates->find("power_watts")) {
+      result.power_watts = summary_from_json(*v);
+    }
+    if (const json::Value* v = aggregates->find("energy_joules")) {
+      result.energy_joules = v->double_or(0.0);
+    }
+  }
+  if (const json::Value* platform = root.find("platform")) {
+    const auto get_u64 = [&](const char* key) -> std::uint64_t {
+      const json::Value* v = platform->find(key);
+      return v != nullptr ? static_cast<std::uint64_t>(v->int_or(0)) : 0;
+    };
+    result.cold_starts = get_u64("cold_starts");
+    result.max_ready_pods = get_u64("max_ready_pods");
+    result.scheduling_failures = get_u64("scheduling_failures");
+    result.node_oom_events = get_u64("node_oom_events");
+    result.service_oom_failures = get_u64("service_oom_failures");
+    if (const json::Value* v = platform->find("activator_wait_seconds")) {
+      result.activator_wait_seconds = v->double_or(0.0);
+    }
+  }
+  if (const json::Value* series = root.find("series")) {
+    if (const json::Value* v = series->find("cpu_pct")) {
+      result.cpu_series = series_from_json(*v);
+    }
+    if (const json::Value* v = series->find("mem_gib")) {
+      result.memory_series = series_from_json(*v);
+    }
+    if (const json::Value* v = series->find("power_w")) {
+      result.power_series = series_from_json(*v);
+    }
+    if (const json::Value* v = series->find("pods")) {
+      result.pods_series = series_from_json(*v);
+    }
+  }
+  return result;
+}
+
+std::string write_result(const ExperimentResult& result) {
+  return json::write_pretty(result_to_json(result));
+}
+
+ExperimentResult parse_result(const std::string& text) {
+  return result_from_json(json::parse(text));
+}
+
+bool save_result(const ExperimentResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_result(result);
+  return static_cast<bool>(out);
+}
+
+ExperimentResult load_result(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open result file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_result(buffer.str());
+}
+
+}  // namespace wfs::core

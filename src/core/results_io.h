@@ -1,0 +1,33 @@
+// Experiment result persistence — the artifact's `experiments/results/`
+// directory analogue: every run can be serialized to a self-describing JSON
+// document (identity, outcome, aggregates, and the full sampled series) and
+// loaded back for later analysis without re-running the simulation.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.h"
+#include "json/value.h"
+
+namespace wfs::core {
+
+/// Full serialization: config identity, outcome, metric summaries, platform
+/// counters, and the four sampled series.
+[[nodiscard]] json::Value result_to_json(const ExperimentResult& result);
+
+/// Inverse of result_to_json. Fields absent from the document keep their
+/// defaults; malformed documents throw std::invalid_argument.
+[[nodiscard]] ExperimentResult result_from_json(const json::Value& document);
+
+/// Convenience text forms.
+[[nodiscard]] std::string write_result(const ExperimentResult& result);
+[[nodiscard]] ExperimentResult parse_result(const std::string& text);
+
+/// Writes the result to `path` (pretty JSON). Returns false on I/O error.
+bool save_result(const ExperimentResult& result, const std::string& path);
+
+/// Reads a result previously written by save_result. Throws on missing
+/// file or malformed content.
+[[nodiscard]] ExperimentResult load_result(const std::string& path);
+
+}  // namespace wfs::core

@@ -1,0 +1,119 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "json/write.h"
+#include "support/format.h"
+
+namespace wfs::core {
+namespace {
+
+// "blastall_00000002" -> "blastall"; names without the _<digits> suffix
+// pass through unchanged.
+std::string category_of(const std::string& task_name) {
+  const std::size_t pos = task_name.rfind('_');
+  if (pos == std::string::npos) return task_name;
+  for (std::size_t i = pos + 1; i < task_name.size(); ++i) {
+    if (task_name[i] < '0' || task_name[i] > '9') return task_name;
+  }
+  return task_name.substr(0, pos);
+}
+
+std::string bar(double begin, double end, double total, int width) {
+  std::string out(static_cast<std::size_t>(width), ' ');
+  if (total <= 0.0) return out;
+  auto clamp_col = [&](double t) {
+    return std::clamp(static_cast<int>(t / total * width), 0, width - 1);
+  };
+  const int from = clamp_col(begin);
+  const int to = std::max(from, clamp_col(end));
+  for (int i = from; i <= to; ++i) out[static_cast<std::size_t>(i)] = '#';
+  return out;
+}
+
+}  // namespace
+
+std::string render_gantt(const WorkflowRunResult& result, GanttOptions options) {
+  const double total = std::max(result.makespan_seconds, 1e-9);
+  std::string out = support::format("{} — {:.1f}s, {} tasks, {} phases\n",
+                                    result.workflow_name, result.makespan_seconds,
+                                    result.tasks_total, result.phases.size());
+
+  if (options.by_category) {
+    struct Lane {
+      double begin = 1e300;
+      double end = 0.0;
+      std::size_t count = 0;
+      std::size_t failed = 0;
+    };
+    std::map<std::pair<std::size_t, std::string>, Lane> lanes;
+    for (const TaskOutcome& task : result.tasks) {
+      Lane& lane = lanes[{task.phase, category_of(task.name)}];
+      lane.begin = std::min(lane.begin, task.started_seconds);
+      lane.end = std::max(lane.end, task.started_seconds + task.wall_seconds);
+      ++lane.count;
+      lane.failed += task.ok ? 0 : 1;
+    }
+    for (const auto& [key, lane] : lanes) {
+      out += support::format(
+          "  P{} {:<34} x{:<5} |{}| {:7.1f}s..{:.1f}s{}\n", key.first,
+          key.second, lane.count, bar(lane.begin, lane.end, total, options.width),
+          lane.begin, lane.end,
+          lane.failed > 0 ? support::format("  ({} FAILED)", lane.failed) : std::string());
+    }
+    return out;
+  }
+
+  std::size_t rows = 0;
+  for (const TaskOutcome& task : result.tasks) {
+    if (rows++ >= options.max_rows) {
+      out += support::format("  ... {} more tasks\n", result.tasks.size() - options.max_rows);
+      break;
+    }
+    out += support::format("  {:<42} |{}| {:.1f}s\n", task.name,
+                           bar(task.started_seconds,
+                               task.started_seconds + task.wall_seconds, total,
+                               options.width),
+                           task.wall_seconds);
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const WorkflowRunResult& result) {
+  json::Array events;
+  // Metadata: name the process after the workflow.
+  {
+    json::Object meta;
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    json::Object args;
+    args.set("name", result.workflow_name);
+    meta.set("args", std::move(args));
+    events.emplace_back(std::move(meta));
+  }
+  for (const TaskOutcome& task : result.tasks) {
+    json::Object event;
+    event.set("name", task.name);
+    event.set("cat", category_of(task.name));
+    event.set("ph", "X");  // complete event
+    event.set("ts", static_cast<std::int64_t>(task.started_seconds * 1e6));
+    event.set("dur", static_cast<std::int64_t>(task.wall_seconds * 1e6));
+    event.set("pid", 1);
+    event.set("tid", task.phase);
+    json::Object args;
+    args.set("status", task.http_status);
+    args.set("ok", task.ok);
+    args.set("service_runtime_s", task.runtime_seconds);
+    if (!task.error.empty()) args.set("error", task.error);
+    event.set("args", std::move(args));
+    events.emplace_back(std::move(event));
+  }
+  json::Object document;
+  document.set("displayTimeUnit", "ms");
+  document.set("traceEvents", std::move(events));
+  return json::write_compact(json::Value(std::move(document)));
+}
+
+}  // namespace wfs::core

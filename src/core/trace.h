@@ -1,0 +1,34 @@
+// Execution tracing — per-task timelines out of a WorkflowRunResult.
+//
+// Two renderings:
+//  * an ASCII Gantt (per phase, plus per-category lanes) for terminals;
+//  * Chrome trace-event JSON (chrome://tracing / Perfetto importable),
+//    one complete event per function invocation, lanes = phases.
+// The artifact only keeps aggregate CSVs; task-level timelines are the
+// natural next tool for diagnosing where a paradigm loses time (cold
+// starts vs queueing vs throttled compute).
+#pragma once
+
+#include <string>
+
+#include "core/workflow_manager.h"
+
+namespace wfs::core {
+
+struct GanttOptions {
+  int width = 80;          // timeline width in characters
+  /// Collapse per-task rows into one row per (phase, category) lane.
+  bool by_category = true;
+  /// Show at most this many individual task rows when by_category = false.
+  std::size_t max_rows = 40;
+};
+
+/// Multi-line ASCII Gantt of the run ("[phase 1] blastall x47 |##...|").
+[[nodiscard]] std::string render_gantt(const WorkflowRunResult& result,
+                                       GanttOptions options = {});
+
+/// Chrome trace-event JSON: {"traceEvents": [{"name", "ph":"X", "ts", "dur",
+/// "pid": 1, "tid": phase, ...}]}. Timestamps in microseconds.
+[[nodiscard]] std::string chrome_trace_json(const WorkflowRunResult& result);
+
+}  // namespace wfs::core

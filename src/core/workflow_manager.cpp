@@ -1,0 +1,222 @@
+#include "core/workflow_manager.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "json/parse.h"
+#include "json/write.h"
+#include "support/log.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::core {
+
+struct WorkflowManager::RunState {
+  ExecutionPlan plan;
+  CompletionCallback on_complete;
+  WorkflowRunResult result;
+  sim::SimTime started_at = 0;
+  sim::SimTime phase_started_at = 0;
+  std::size_t phase_pending = 0;
+  std::size_t phase_failed = 0;
+};
+
+WorkflowManager::WorkflowManager(sim::Simulation& sim, net::Router& router,
+                                 storage::DataStore& fs, WfmConfig config)
+    : sim_(sim), router_(router), fs_(fs), config_(std::move(config)) {}
+
+void WorkflowManager::run(const wfcommons::Workflow& workflow, CompletionCallback on_complete) {
+  run(build_plan(workflow, config_.workdir), std::move(on_complete));
+}
+
+void WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complete) {
+  if (active_) throw std::logic_error("WorkflowManager: a run is already active");
+  active_ = true;
+
+  auto state = std::make_shared<RunState>();
+  state->result.workflow_name = plan.workflow_name;
+  state->result.tasks_total = plan.task_count();
+  state->plan = std::move(plan);
+  state->on_complete = std::move(on_complete);
+  state->started_at = sim_.now();
+
+  if (config_.stage_external_inputs) {
+    for (const wfcommons::TaskFile& file : state->plan.external_inputs) {
+      fs_.stage(file.name, file.size_bytes);
+    }
+  }
+
+  WFS_LOG_INFO("wfm", "running {} ({} tasks, {} phases)", state->result.workflow_name,
+               state->result.tasks_total, state->plan.phases.size());
+
+  if (config_.add_header_tail) {
+    // The header function marks the run's start on the platform (and warms
+    // the route); it carries no files and no work.
+    send_marker(state, "header", [this, state] { start_phase(state, 0); });
+  } else {
+    start_phase(state, 0);
+  }
+}
+
+void WorkflowManager::send_marker(std::shared_ptr<RunState> state, const std::string& suffix,
+                                  std::function<void()> next) {
+  if (state->plan.phases.empty() || state->plan.phases.front().empty()) {
+    next();
+    return;
+  }
+  wfbench::TaskParams params;
+  params.name = state->result.workflow_name + "_" + suffix;
+  params.percent_cpu = 0.1;
+  params.cpu_work = 0.0;
+  params.memory_bytes = 0;
+  params.workdir = config_.workdir;
+
+  net::HttpRequest request;
+  request.url = net::parse_url(state->plan.phases.front().front().api_url);
+  request.body = json::write_compact(wfbench::to_json(params));
+  router_.send(std::move(request), [next = std::move(next)](const net::HttpResponse&) {
+    // Marker outcomes do not affect the run result.
+    next();
+  });
+}
+
+void WorkflowManager::start_phase(std::shared_ptr<RunState> state, std::size_t phase_index) {
+  if (phase_index >= state->plan.phases.size()) {
+    finish_run(state);
+    return;
+  }
+  const auto& phase = state->plan.phases[phase_index];
+  state->phase_started_at = sim_.now();
+  state->phase_pending = phase.size();
+  state->phase_failed = 0;
+  WFS_LOG_DEBUG("wfm", "phase {} of {}: {} functions", phase_index,
+                state->plan.phases.size(), phase.size());
+  if (phase.empty()) {
+    // Degenerate but possible via hand-built plans.
+    state->result.phases.push_back(PhaseOutcome{phase_index, 0, 0, 0.0});
+    sim_.schedule_in(config_.phase_delay,
+                     [this, state, phase_index] { start_phase(state, phase_index + 1); });
+    return;
+  }
+  // All functions of the phase are collected and simultaneously executed
+  // (paper §III-C).
+  for (std::size_t t = 0; t < phase.size(); ++t) {
+    dispatch_task(state, phase_index, t, config_.max_input_polls);
+  }
+}
+
+void WorkflowManager::dispatch_task(std::shared_ptr<RunState> state, std::size_t phase_index,
+                                    std::size_t task_index, int polls_left) {
+  const PlannedTask& task = state->plan.phases[phase_index][task_index];
+  if (config_.check_inputs) {
+    bool all_present = true;
+    for (const std::string& input : task.params.inputs) {
+      if (!fs_.exists(input)) {
+        all_present = false;
+        break;
+      }
+    }
+    if (!all_present) {
+      if (polls_left <= 0) {
+        ++state->result.input_wait_timeouts;
+        TaskOutcome outcome;
+        outcome.name = task.name;
+        outcome.ok = false;
+        outcome.phase = phase_index;
+        outcome.started_seconds = sim::to_seconds(sim_.now() - state->started_at);
+        outcome.error = "input files never appeared on the shared drive";
+        task_finished(state, phase_index, outcome);
+        return;
+      }
+      sim_.schedule_in(config_.input_poll_interval,
+                       [this, state, phase_index, task_index, polls_left] {
+                         dispatch_task(state, phase_index, task_index, polls_left - 1);
+                       });
+      return;
+    }
+  }
+  send_request(state, phase_index, task_index, config_.task_retries);
+}
+
+void WorkflowManager::send_request(std::shared_ptr<RunState> state, std::size_t phase_index,
+                                   std::size_t task_index, int retries_left) {
+  const PlannedTask& task = state->plan.phases[phase_index][task_index];
+  net::HttpRequest request;
+  request.url = net::parse_url(task.api_url);
+  request.body = json::write_compact(wfbench::to_json(task.params));
+  const sim::SimTime sent_at = sim_.now();
+  router_.send(std::move(request), [this, state, phase_index, task_index, retries_left,
+                                    name = task.name,
+                                    sent_at](const net::HttpResponse& response) {
+    if (!response.ok() && retries_left > 0) {
+      // Transient fault (pod killed mid-request, 503 during scale-down):
+      // re-invoke after a short backoff — the function is idempotent, it
+      // just rewrites its outputs.
+      ++state->result.task_retries;
+      WFS_LOG_DEBUG("wfm", "retrying {} ({} attempts left) after status {}", name,
+                    retries_left, response.status);
+      sim_.schedule_in(config_.retry_backoff,
+                       [this, state, phase_index, task_index, retries_left] {
+                         send_request(state, phase_index, task_index, retries_left - 1);
+                       });
+      return;
+    }
+    TaskOutcome outcome;
+    outcome.name = name;
+    outcome.http_status = response.status;
+    outcome.ok = response.ok();
+    outcome.phase = phase_index;
+    outcome.started_seconds = sim::to_seconds(sent_at - state->started_at);
+    outcome.wall_seconds = sim::to_seconds(sim_.now() - sent_at);
+    if (outcome.ok) {
+      // Extract the service-reported runtime when the body parses.
+      json::Value body;
+      std::string error;
+      if (json::try_parse(response.body, body, error)) {
+        if (const json::Value* runtime = body.find("runtimeInSeconds")) {
+          outcome.runtime_seconds = runtime->double_or(0.0);
+        }
+      }
+    } else {
+      outcome.error = response.body;
+    }
+    task_finished(state, phase_index, outcome);
+  });
+}
+
+void WorkflowManager::task_finished(std::shared_ptr<RunState> state, std::size_t phase_index,
+                                    const TaskOutcome& outcome) {
+  if (!outcome.ok) {
+    ++state->result.tasks_failed;
+    ++state->phase_failed;
+    WFS_LOG_DEBUG("wfm", "task {} failed: {} ({})", outcome.name, outcome.http_status,
+                  outcome.error);
+  }
+  state->result.tasks.push_back(outcome);
+  if (--state->phase_pending > 0) return;
+
+  state->result.phases.push_back(
+      PhaseOutcome{phase_index, state->plan.phases[phase_index].size(), state->phase_failed,
+                   sim::to_seconds(sim_.now() - state->phase_started_at)});
+  // The paper's fixed inter-phase settle delay.
+  sim_.schedule_in(config_.phase_delay,
+                   [this, state, phase_index] { start_phase(state, phase_index + 1); });
+}
+
+void WorkflowManager::finish_run(std::shared_ptr<RunState> state) {
+  auto complete = [this, state] {
+    state->result.completed = true;
+    state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
+    active_ = false;
+    WFS_LOG_INFO("wfm", "{} finished in {:.1f}s ({} failed of {})",
+                 state->result.workflow_name, state->result.makespan_seconds,
+                 state->result.tasks_failed, state->result.tasks_total);
+    if (state->on_complete) state->on_complete(std::move(state->result));
+  };
+  if (config_.add_header_tail) {
+    send_marker(state, "tail", complete);
+  } else {
+    complete();
+  }
+}
+
+}  // namespace wfs::core

@@ -1,0 +1,27 @@
+#include "faas/activator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfs::faas {
+
+void Activator::enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now) {
+  queue_.push_back(Buffered{std::move(params), std::move(done), now});
+  ++total_buffered_;
+  max_depth_ = std::max<std::uint64_t>(max_depth_, queue_.size());
+}
+
+Activator::Buffered Activator::pop(sim::SimTime now) {
+  if (queue_.empty()) throw std::logic_error("Activator::pop on empty queue");
+  Buffered out = std::move(queue_.front());
+  queue_.pop_front();
+  total_wait_seconds_ += sim::to_seconds(now - out.enqueued_at);
+  return out;
+}
+
+void Activator::drain_with_error(const net::HttpResponse& response) {
+  for (Buffered& buffered : queue_) buffered.done(response);
+  queue_.clear();
+}
+
+}  // namespace wfs::faas

@@ -1,0 +1,52 @@
+// The Knative activator: buffers requests that arrive while no ready pod
+// has spare concurrency, and releases them as capacity appears. Also the
+// platform's source of the "observed concurrency" signal (queued requests
+// count toward concurrency so the autoscaler sees demand before pods
+// exist).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "net/http.h"
+#include "sim/clock.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::faas {
+
+class Activator {
+ public:
+  using ResponseCallback = std::function<void(net::HttpResponse)>;
+
+  struct Buffered {
+    wfbench::TaskParams params;
+    ResponseCallback done;
+    sim::SimTime enqueued_at;
+  };
+
+  void enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+
+  /// Pops the oldest buffered request; caller must have capacity.
+  [[nodiscard]] Buffered pop(sim::SimTime now);
+
+  /// Fails everything in the buffer (platform shutdown).
+  void drain_with_error(const net::HttpResponse& response);
+
+  [[nodiscard]] std::uint64_t total_buffered() const noexcept { return total_buffered_; }
+  [[nodiscard]] std::uint64_t max_depth() const noexcept { return max_depth_; }
+  /// Cumulative seconds requests spent queued (cold-start visible cost).
+  [[nodiscard]] double total_wait_seconds() const noexcept { return total_wait_seconds_; }
+
+ private:
+  std::deque<Buffered> queue_;
+  std::uint64_t total_buffered_ = 0;
+  std::uint64_t max_depth_ = 0;
+  double total_wait_seconds_ = 0.0;
+};
+
+}  // namespace wfs::faas

@@ -1,0 +1,85 @@
+#include "faas/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wfs::faas {
+
+Autoscaler::Autoscaler(AutoscalerConfig config, double target_concurrency, int min_scale,
+                       int max_scale)
+    : config_(config), target_(target_concurrency), min_scale_(min_scale),
+      max_scale_(max_scale) {
+  if (target_ <= 0.0) throw std::invalid_argument("Autoscaler: target must be positive");
+  if (max_scale_ < min_scale_) throw std::invalid_argument("Autoscaler: max < min scale");
+}
+
+void Autoscaler::observe(sim::SimTime now, double concurrency) {
+  samples_.push_back(Sample{now, concurrency});
+  if (concurrency > 0.0) {
+    last_active_ = now;
+    saw_traffic_ = true;
+  }
+  const sim::SimTime horizon = now - config_.stable_window;
+  while (!samples_.empty() && samples_.front().time < horizon) samples_.pop_front();
+}
+
+double Autoscaler::window_average(sim::SimTime now, sim::SimTime window) const {
+  const sim::SimTime horizon = now - window;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Sample& s : samples_) {
+    if (s.time < horizon) continue;
+    sum += s.value;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Autoscaler::stable_average(sim::SimTime now) const {
+  return window_average(now, config_.stable_window);
+}
+
+double Autoscaler::panic_average(sim::SimTime now) const {
+  return window_average(now, config_.panic_window);
+}
+
+Autoscaler::Decision Autoscaler::decide(sim::SimTime now, int ready_pods) {
+  const double stable = stable_average(now);
+  const double panic = panic_average(now);
+  const int desired_stable = static_cast<int>(std::ceil(stable / target_));
+  const int desired_panic = static_cast<int>(std::ceil(panic / target_));
+
+  // Enter (or extend) panic when the short window shows a burst the ready
+  // fleet cannot absorb.
+  if (ready_pods > 0 &&
+      desired_panic >= static_cast<int>(config_.panic_threshold * ready_pods)) {
+    if (panic_until_ == 0) panic_peak_desired_ = 0;
+    panic_until_ = now + config_.stable_window;
+  }
+  if (panic_until_ != 0 && now >= panic_until_) {
+    panic_until_ = 0;
+    panic_peak_desired_ = 0;
+  }
+
+  Decision decision;
+  if (panic_until_ != 0) {
+    decision.panic = true;
+    panic_peak_desired_ = std::max({panic_peak_desired_, desired_panic, desired_stable});
+    // In panic mode Knative never scales down.
+    decision.desired = std::max(panic_peak_desired_, ready_pods);
+  } else {
+    decision.desired = desired_stable;
+  }
+
+  // Scale-to-zero gating: keep the last pod until grace elapses.
+  if (decision.desired == 0 && saw_traffic_ && ready_pods > 0 &&
+      now - last_active_ < config_.scale_to_zero_grace) {
+    decision.desired = 1;
+  }
+
+  decision.desired = std::clamp(decision.desired, min_scale_, max_scale_);
+  return decision;
+}
+
+}  // namespace wfs::faas

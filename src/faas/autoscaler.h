@@ -1,0 +1,57 @@
+// The KPA-style concurrency autoscaler (decision logic only — the platform
+// applies decisions by creating/terminating pods).
+//
+// Mirrors Knative's knative-services autoscaler: a stable window and a
+// short panic window average the observed concurrency; desired pods =
+// ceil(avg / target). A burst (panic desired >= threshold x ready) enters
+// panic mode, during which the scaler never scales down. Scale-to-zero
+// happens only after the grace period with zero observed concurrency.
+#pragma once
+
+#include <deque>
+
+#include "faas/service_config.h"
+#include "sim/clock.h"
+
+namespace wfs::faas {
+
+class Autoscaler {
+ public:
+  Autoscaler(AutoscalerConfig config, double target_concurrency, int min_scale, int max_scale);
+
+  /// Records one concurrency observation (call every tick).
+  void observe(sim::SimTime now, double concurrency);
+
+  struct Decision {
+    int desired = 0;
+    bool panic = false;
+  };
+
+  /// Computes the desired replica count given currently ready pods.
+  [[nodiscard]] Decision decide(sim::SimTime now, int ready_pods);
+
+  [[nodiscard]] double stable_average(sim::SimTime now) const;
+  [[nodiscard]] double panic_average(sim::SimTime now) const;
+  [[nodiscard]] bool in_panic() const noexcept { return panic_until_ > 0; }
+
+ private:
+  [[nodiscard]] double window_average(sim::SimTime now, sim::SimTime window) const;
+
+  AutoscalerConfig config_;
+  double target_;
+  int min_scale_;
+  int max_scale_;
+
+  struct Sample {
+    sim::SimTime time;
+    double value;
+  };
+  std::deque<Sample> samples_;
+  sim::SimTime panic_until_ = 0;
+  int panic_peak_desired_ = 0;
+  /// Last instant concurrency was observed > 0 (guards scale-to-zero).
+  sim::SimTime last_active_ = 0;
+  bool saw_traffic_ = false;
+};
+
+}  // namespace wfs::faas

@@ -1,0 +1,33 @@
+#include "faas/kube_scheduler.h"
+
+namespace wfs::faas {
+
+cluster::Node* KubeScheduler::place(double cpu_request, std::uint64_t memory_request) {
+  cluster::Node* best = nullptr;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    cluster::Node& node = cluster_.node(i);
+    const cluster::ResourceLedger& ledger = node.ledger();
+    if (ledger.free_cpus() + 1e-9 < cpu_request) continue;
+    if (ledger.free_memory() < memory_request) continue;
+    const double cpu_free = ledger.free_cpus() / ledger.total_cpus();
+    const double mem_free = static_cast<double>(ledger.free_memory()) /
+                            static_cast<double>(ledger.total_memory());
+    // LeastAllocated: the emptiest node wins (spread). MostAllocated: the
+    // fullest node that still fits wins (bin-pack).
+    double score = 0.5 * (cpu_free + mem_free);
+    if (strategy_ == Strategy::kMostAllocated) score = 1.0 - score;
+    if (score > best_score) {
+      best_score = score;
+      best = &node;
+    }
+  }
+  if (best == nullptr) {
+    ++failures_;
+  } else {
+    ++placements_;
+  }
+  return best;
+}
+
+}  // namespace wfs::faas

@@ -1,0 +1,42 @@
+// Kubernetes-like pod placement over the simulated cluster.
+//
+// Implements the default LeastAllocated spread: among nodes whose free
+// (unreserved) CPU and memory fit the pod's requests, pick the one with the
+// lowest reserved fraction. Returns nullptr when nothing fits — the pod
+// stays Pending (the condition behind the paper's "experiments were not
+// concluded ... limits being reached" for large fine-grained runs).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+
+namespace wfs::faas {
+
+class KubeScheduler {
+ public:
+  /// Kubernetes NodeResourcesFit scoring strategies.
+  enum class Strategy {
+    kLeastAllocated,  // spread (the kube default)
+    kMostAllocated,   // bin-pack (consolidate, free whole nodes)
+  };
+
+  explicit KubeScheduler(cluster::Cluster& cluster,
+                         Strategy strategy = Strategy::kLeastAllocated)
+      : cluster_(cluster), strategy_(strategy) {}
+
+  /// Chooses a node that can host the requests; does NOT reserve.
+  [[nodiscard]] cluster::Node* place(double cpu_request, std::uint64_t memory_request);
+
+  [[nodiscard]] Strategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] std::uint64_t placements() const noexcept { return placements_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  Strategy strategy_;
+  std::uint64_t placements_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace wfs::faas

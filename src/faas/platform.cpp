@@ -1,0 +1,218 @@
+#include "faas/platform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "json/parse.h"
+#include "support/format.h"
+#include "support/strings.h"
+#include "support/log.h"
+
+namespace wfs::faas {
+
+KnativePlatform::KnativePlatform(sim::Simulation& sim, cluster::Cluster& cluster,
+                                 storage::DataStore& fs, net::Router& router,
+                                 KnativeServiceSpec spec)
+    : sim_(sim),
+      cluster_(cluster),
+      fs_(fs),
+      router_(router),
+      spec_(std::move(spec)),
+      authority_(spec_.authority),
+      scheduler_(cluster, spec_.scheduling),
+      autoscaler_(spec_.autoscaler, spec_.target_concurrency(), spec_.min_scale,
+                  spec_.max_scale),
+      scaler_loop_(sim, spec_.autoscaler.tick, [this](sim::SimTime now) { autoscale_tick(now); }) {
+  if (authority_.empty()) {
+    throw std::invalid_argument("KnativePlatform: spec.authority must be set");
+  }
+}
+
+KnativePlatform::~KnativePlatform() { shutdown(); }
+
+void KnativePlatform::deploy() {
+  if (deployed_) return;
+  deployed_ = true;
+  router_.bind(authority_, [this](const net::HttpRequest& request,
+                                  std::shared_ptr<net::Responder> responder) {
+    handle_request(request, std::move(responder));
+  });
+  scale_up(spec_.min_scale);
+  scaler_loop_.start(spec_.autoscaler.tick);
+  WFS_LOG_INFO("faas", "service {} deployed at {}", spec_.name, authority_);
+}
+
+void KnativePlatform::shutdown() {
+  if (!deployed_) return;
+  deployed_ = false;
+  scaler_loop_.stop();
+  router_.unbind(authority_);
+  activator_.drain_with_error(
+      net::HttpResponse::service_unavailable("knative service deleted"));
+  for (auto& pod : pods_) {
+    if (pod->service() != nullptr) retired_oom_failures_ += pod->service()->stats().oom_failures;
+    pod->terminate();
+    ++stats_.pods_terminated;
+  }
+  pods_.clear();
+}
+
+int KnativePlatform::ready_pods() const noexcept {
+  int count = 0;
+  for (const auto& pod : pods_) count += pod->ready() ? 1 : 0;
+  return count;
+}
+
+int KnativePlatform::starting_pods() const noexcept {
+  int count = 0;
+  for (const auto& pod : pods_) count += pod->state() == PodState::kStarting ? 1 : 0;
+  return count;
+}
+
+std::size_t KnativePlatform::inflight() const noexcept {
+  std::size_t total = activator_.depth();
+  for (const auto& pod : pods_) total += pod->inflight();
+  return total;
+}
+
+std::uint64_t KnativePlatform::service_oom_failures() const noexcept {
+  std::uint64_t total = retired_oom_failures_;
+  for (const auto& pod : pods_) {
+    if (pod->service() != nullptr) total += pod->service()->stats().oom_failures;
+  }
+  return total;
+}
+
+void KnativePlatform::handle_request(const net::HttpRequest& request,
+                                     std::shared_ptr<net::Responder> responder) {
+  ++stats_.requests;
+  wfbench::TaskParams params;
+  try {
+    params = wfbench::task_params_from_json(json::parse(request.body));
+  } catch (const std::exception& e) {
+    ++stats_.bad_requests;
+    responder->respond(net::HttpResponse::bad_request(e.what()));
+    return;
+  }
+  activator_.enqueue(std::move(params),
+                     [this, responder](net::HttpResponse response) {
+                       if (response.ok()) {
+                         ++stats_.completed;
+                       } else {
+                         ++stats_.failed;
+                       }
+                       responder->respond(std::move(response));
+                     },
+                     sim_.now());
+  pump();
+}
+
+Pod* KnativePlatform::pick_pod() {
+  // Least-loaded ready pod with spare concurrency (the activator's
+  // load-balancing policy).
+  Pod* best = nullptr;
+  std::size_t best_inflight = 0;
+  for (auto& pod : pods_) {
+    if (!pod->has_capacity()) continue;
+    if (best == nullptr || pod->inflight() < best_inflight) {
+      best = pod.get();
+      best_inflight = pod->inflight();
+    }
+  }
+  return best;
+}
+
+void KnativePlatform::pump() {
+  while (!activator_.empty()) {
+    Pod* pod = pick_pod();
+    if (pod == nullptr) return;  // autoscaler will create capacity
+    Activator::Buffered buffered = activator_.pop(sim_.now());
+    auto done = std::move(buffered.done);
+    pod->service()->handle(buffered.params,
+                           [this, pod, done = std::move(done)](net::HttpResponse response) {
+                             pod->touch_idle(sim_.now());
+                             done(std::move(response));
+                             // Capacity freed: release buffered work.
+                             pump();
+                           });
+  }
+}
+
+void KnativePlatform::autoscale_tick(sim::SimTime now) {
+  // Chaos injection first: crashed pods answer 503 to their in-flight
+  // requests (via the service shutdown path) and are replaced by the
+  // regular scaling logic below.
+  if (spec_.chaos_pod_kill_rate > 0.0) {
+    for (auto& pod : pods_) {
+      if (pod->ready() && chaos_rng_.chance(spec_.chaos_pod_kill_rate)) {
+        WFS_LOG_DEBUG("faas", "chaos: killing pod {}", pod->name());
+        if (pod->service() != nullptr) {
+          retired_oom_failures_ += pod->service()->stats().oom_failures;
+        }
+        pod->terminate();
+        ++stats_.chaos_kills;
+        ++stats_.pods_terminated;
+      }
+    }
+    reap_terminated();
+  }
+  autoscaler_.observe(now, static_cast<double>(inflight()));
+  const int ready = ready_pods();
+  const int starting = starting_pods();
+  const Autoscaler::Decision decision = autoscaler_.decide(now, ready);
+  if (decision.panic) ++stats_.panic_ticks;
+
+  const int current = ready + starting;
+  if (decision.desired > current) {
+    scale_up(decision.desired - current);
+  } else if (decision.desired < current) {
+    scale_down(current - decision.desired);
+  }
+  reap_terminated();
+  stats_.max_ready_pods = std::max<std::uint64_t>(stats_.max_ready_pods,
+                                                  static_cast<std::uint64_t>(ready_pods()));
+}
+
+void KnativePlatform::scale_up(int count) {
+  for (int i = 0; i < count; ++i) {
+    cluster::Node* node = scheduler_.place(spec_.cpu_request, spec_.memory_request);
+    if (node == nullptr) {
+      // Unschedulable: the cluster is out of allocatable resources. The pod
+      // would sit Pending on a real cluster; we retry next tick.
+      ++stats_.scheduling_failures;
+      WFS_LOG_DEBUG("faas", "pod unschedulable ({} pods live)", pods_.size());
+      return;
+    }
+    const std::string name =
+        support::format("{}-{}", spec_.name, support::pad_id(next_pod_ordinal_++, 5));
+    pods_.push_back(std::make_unique<Pod>(sim_, name, spec_, *node, fs_,
+                                          [this](Pod&) { pump(); }));
+    ++stats_.pods_created;
+  }
+}
+
+void KnativePlatform::scale_down(int count) {
+  // Terminate idle ready pods first, oldest-idle first. Busy pods are never
+  // killed (Knative waits for in-flight requests to finish).
+  std::vector<Pod*> candidates;
+  for (auto& pod : pods_) {
+    if (pod->ready() && pod->inflight() == 0) candidates.push_back(pod.get());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Pod* a, const Pod* b) { return a->idle_since() < b->idle_since(); });
+  for (Pod* pod : candidates) {
+    if (count == 0) break;
+    if (pod->service() != nullptr) retired_oom_failures_ += pod->service()->stats().oom_failures;
+    pod->terminate();
+    ++stats_.pods_terminated;
+    --count;
+  }
+}
+
+void KnativePlatform::reap_terminated() {
+  std::erase_if(pods_, [](const std::unique_ptr<Pod>& pod) {
+    return pod->state() == PodState::kTerminated;
+  });
+}
+
+}  // namespace wfs::faas

@@ -1,0 +1,107 @@
+// The Knative-like serverless platform: routes HTTP invocations of the
+// wfbench service into pods, autoscaled on observed concurrency.
+//
+// Composition (all built in this repo, per DESIGN.md):
+//   net::Router  --> KnativePlatform::handle_request --> Activator (buffer)
+//        --> Pod / WfBenchService (execute) --> response
+// with a PeriodicTask driving Autoscaler decisions that create pods
+// (KubeScheduler placement + cold start) or terminate idle ones
+// (scale-to-zero), releasing their memory — the mechanism behind the
+// paper's serverless resource-usage wins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "faas/activator.h"
+#include "faas/autoscaler.h"
+#include "faas/kube_scheduler.h"
+#include "faas/pod.h"
+#include "faas/service_config.h"
+#include "net/router.h"
+#include "sim/periodic.h"
+#include "support/rng.h"
+#include "storage/data_store.h"
+
+namespace wfs::faas {
+
+struct KnativePlatformStats {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t pods_created = 0;   // every creation pays a cold start
+  std::uint64_t pods_terminated = 0;
+  std::uint64_t max_ready_pods = 0;
+  std::uint64_t scheduling_failures = 0;
+  std::uint64_t panic_ticks = 0;
+  std::uint64_t chaos_kills = 0;
+};
+
+class KnativePlatform {
+ public:
+  KnativePlatform(sim::Simulation& sim, cluster::Cluster& cluster,
+                  storage::DataStore& fs, net::Router& router, KnativeServiceSpec spec);
+  ~KnativePlatform();
+
+  KnativePlatform(const KnativePlatform&) = delete;
+  KnativePlatform& operator=(const KnativePlatform&) = delete;
+
+  /// Binds the service route and starts the autoscaler loop; creates
+  /// min_scale pods immediately.
+  void deploy();
+
+  /// Unbinds, stops autoscaling, fails buffered requests, terminates pods.
+  void shutdown();
+
+  // Instantaneous gauges (sampler probes).
+  [[nodiscard]] int ready_pods() const noexcept;
+  [[nodiscard]] int starting_pods() const noexcept;
+  [[nodiscard]] int total_pods() const noexcept { return static_cast<int>(pods_.size()); }
+  [[nodiscard]] std::size_t inflight() const noexcept;
+  [[nodiscard]] std::size_t activator_depth() const noexcept { return activator_.depth(); }
+
+  [[nodiscard]] const KnativePlatformStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Activator& activator() const noexcept { return activator_; }
+  [[nodiscard]] const KubeScheduler& scheduler() const noexcept { return scheduler_; }
+  [[nodiscard]] const KnativeServiceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& authority() const noexcept { return authority_; }
+  /// Aggregate wfbench failure counters across live pods plus terminated
+  /// history (OOM kills etc.).
+  [[nodiscard]] std::uint64_t service_oom_failures() const noexcept;
+
+ private:
+  void handle_request(const net::HttpRequest& request,
+                      std::shared_ptr<net::Responder> responder);
+  /// Moves buffered requests onto pods with spare concurrency.
+  void pump();
+  [[nodiscard]] Pod* pick_pod();
+  void autoscale_tick(sim::SimTime now);
+  void scale_up(int count);
+  void scale_down(int count);
+  void reap_terminated();
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  storage::DataStore& fs_;
+  net::Router& router_;
+  KnativeServiceSpec spec_;
+  std::string authority_;
+
+  KubeScheduler scheduler_;
+  Activator activator_;
+  Autoscaler autoscaler_;
+  sim::PeriodicTask scaler_loop_;
+
+  std::vector<std::unique_ptr<Pod>> pods_;
+  support::Rng chaos_rng_{0xC0FFEEULL};
+  std::uint64_t next_pod_ordinal_ = 1;
+  std::uint64_t retired_oom_failures_ = 0;
+  KnativePlatformStats stats_;
+  bool deployed_ = false;
+};
+
+}  // namespace wfs::faas

@@ -1,0 +1,54 @@
+#include "faas/pod.h"
+
+#include <stdexcept>
+
+#include "support/log.h"
+
+namespace wfs::faas {
+
+Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
+         cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready)
+    : sim_(sim), name_(std::move(name)), spec_(spec), node_(node), fs_(fs) {
+  if (!node_.ledger().try_reserve(spec_.cpu_request, spec_.memory_request)) {
+    throw std::runtime_error("Pod: node reservation failed for " + name_);
+  }
+  if (spec_.cpu_limit > 0.0) quota_group_ = node_.create_quota_group(spec_.cpu_limit);
+  idle_since_ = sim_.now();
+
+  cold_start_event_ =
+      sim_.schedule_in(spec_.cold_start, [this, on_ready = std::move(on_ready)] {
+        cold_start_event_ = 0;
+        wfbench::ServiceConfig container = spec_.container;
+        if (spec_.memory_limit > 0) container.memory_limit_bytes = spec_.memory_limit;
+        service_ = std::make_unique<wfbench::WfBenchService>(sim_, node_, fs_, container,
+                                                             quota_group_);
+        state_ = PodState::kReady;
+        ready_at_ = sim_.now();
+        idle_since_ = sim_.now();
+        WFS_LOG_DEBUG("faas", "pod {} ready on {}", name_, node_.name());
+        if (on_ready) on_ready(*this);
+      });
+}
+
+Pod::~Pod() { terminate(); }
+
+void Pod::terminate() {
+  if (state_ == PodState::kTerminated) return;
+  if (cold_start_event_ != 0) {
+    sim_.cancel(cold_start_event_);
+    cold_start_event_ = 0;
+  }
+  if (service_) {
+    service_->shutdown();
+    service_.reset();
+  }
+  if (quota_group_ != cluster::kNoQuotaGroup) {
+    node_.destroy_quota_group(quota_group_);
+    quota_group_ = cluster::kNoQuotaGroup;
+  }
+  node_.ledger().release(spec_.cpu_request, spec_.memory_request);
+  state_ = PodState::kTerminated;
+  WFS_LOG_DEBUG("faas", "pod {} terminated", name_);
+}
+
+}  // namespace wfs::faas

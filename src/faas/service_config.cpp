@@ -1,0 +1,4 @@
+#include "faas/service_config.h"
+
+// Currently header-only data; this translation unit anchors the module and
+// keeps the build layout uniform (one .cpp per header).

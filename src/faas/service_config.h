@@ -1,0 +1,78 @@
+// Knative service specification — the deployment-time knobs of the
+// paper's `service.yaml` plus the autoscaler annotations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faas/kube_scheduler.h"
+#include "sim/clock.h"
+#include "wfbench/service.h"
+
+namespace wfs::faas {
+
+struct AutoscalerConfig {
+  /// KPA evaluation period.
+  sim::SimTime tick = 2 * sim::kSecond;
+  /// Averaging window for the stable concurrency signal.
+  sim::SimTime stable_window = 60 * sim::kSecond;
+  /// Short window used to detect bursts.
+  sim::SimTime panic_window = 6 * sim::kSecond;
+  /// Enter panic mode when panic-window desired > threshold x ready pods.
+  double panic_threshold = 2.0;
+  /// Idle time before the last pods are scaled to zero.
+  sim::SimTime scale_to_zero_grace = 30 * sim::kSecond;
+  /// Fraction of container concurrency the autoscaler targets (Knative's
+  /// container-concurrency-target-percentage, default 70%).
+  double target_utilization = 0.7;
+};
+
+struct KnativeServiceSpec {
+  std::string name = "wfbench";
+  /// Routing authority ("host:port") the service answers on; derived from
+  /// the translator's service_url by the platform when left empty.
+  std::string authority;
+
+  /// The serving container (workers, PM, footprints) — shared with the
+  /// local-container runtime so both paradigms run the same wfbench app.
+  wfbench::ServiceConfig container;
+
+  // Kubernetes resource model.
+  double cpu_request = 2.0;                       // cores reserved per pod
+  std::uint64_t memory_request = 2ULL << 30;      // bytes reserved per pod
+  /// cgroup quota per pod (0 = no CPU limit).
+  double cpu_limit = 0.0;
+  /// Container memory limit per pod (0 = unlimited); mirrored into the
+  /// wfbench ServiceConfig at pod creation.
+  std::uint64_t memory_limit = 0;
+
+  // Autoscaling bounds.
+  int min_scale = 0;
+  int max_scale = 64;
+  /// Requests a pod accepts concurrently; 0 = the container's worker count.
+  int container_concurrency = 0;
+
+  /// Pod cold-start latency (image pull cached; sandbox + runtime boot).
+  sim::SimTime cold_start = sim::from_seconds(2.5);
+
+  /// Pod placement scoring (kube NodeResourcesFit): spread or bin-pack.
+  KubeScheduler::Strategy scheduling = KubeScheduler::Strategy::kLeastAllocated;
+
+  /// Chaos injection: per autoscaler tick, each ready pod crashes with this
+  /// probability (in-flight requests answer 503; the autoscaler replaces the
+  /// pod). 0 disables. Used to exercise the WFM's retry fault tolerance.
+  double chaos_pod_kill_rate = 0.0;
+
+  AutoscalerConfig autoscaler;
+
+  /// Effective concurrency limit per pod.
+  [[nodiscard]] int effective_concurrency() const noexcept {
+    return container_concurrency > 0 ? container_concurrency : container.workers;
+  }
+  /// The per-pod concurrency the autoscaler aims for.
+  [[nodiscard]] double target_concurrency() const noexcept {
+    return autoscaler.target_utilization * static_cast<double>(effective_concurrency());
+  }
+};
+
+}  // namespace wfs::faas

@@ -1,0 +1,284 @@
+#include "json/parse.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include "support/format.h"
+
+namespace wfs::json {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth) : text_(text), max_depth_(max_depth) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(std::string_view message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError(std::string(message), line, column);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(wfs::support::format("expected '{}'", c));
+    ++pos_;
+  }
+
+  void skip_whitespace() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("maximum nesting depth exceeded");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{');
+    Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = advance();
+      if (next == '}') return Value(std::move(object));
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[');
+    Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = advance();
+      if (next == ']') return Value(std::move(array));
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char escape = advance();
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    // Combine UTF-16 surrogate pairs.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("unpaired UTF-16 high surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid UTF-16 low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 low surrogate");
+    }
+    append_utf8(out, code);
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      fail("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) ++pos_;
+    }
+    bool is_integer = true;
+    if (!at_end() && text_[pos_] == '.') {
+      is_integer = false;
+      ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        fail("digit expected after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) ++pos_;
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        fail("digit expected in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) return Value(value);
+      // Out-of-range integers degrade to double (matches common parsers).
+    }
+    const std::string buffer(token);
+    char* end = nullptr;
+    const double value = std::strtod(buffer.c_str(), &end);
+    if (end != buffer.c_str() + buffer.size() || !std::isfinite(value)) fail("invalid number");
+    return Value(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
+    : std::runtime_error(wfs::support::format("json parse error at {}:{}: {}", line, column, message)),
+      line_(line),
+      column_(column) {}
+
+Value parse(std::string_view text, std::size_t max_depth) {
+  Parser parser(text, max_depth);
+  return parser.parse_document();
+}
+
+bool try_parse(std::string_view text, Value& out, std::string& error) {
+  try {
+    out = parse(text);
+    return true;
+  } catch (const ParseError& e) {
+    error = e.what();
+    return false;
+  }
+}
+
+}  // namespace wfs::json

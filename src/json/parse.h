@@ -1,0 +1,32 @@
+// Recursive-descent JSON parser (RFC 8259) with position-tagged errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "json/value.h"
+
+namespace wfs::json {
+
+/// Thrown on malformed input; message includes 1-based line:column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column);
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Nesting depth is limited (default 256) to keep recursion bounded.
+[[nodiscard]] Value parse(std::string_view text, std::size_t max_depth = 256);
+
+/// Non-throwing variant: returns false and fills `error` on failure.
+[[nodiscard]] bool try_parse(std::string_view text, Value& out, std::string& error);
+
+}  // namespace wfs::json

@@ -1,0 +1,113 @@
+#include "json/value.h"
+
+#include <stdexcept>
+
+namespace wfs::json {
+
+Object::Object(std::initializer_list<Entry> entries) {
+  for (const auto& entry : entries) set(entry.first, entry.second);
+}
+
+Value& Object::set(std::string key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return *existing;
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+  return entries_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) noexcept {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Object::at(std::string_view key) const {
+  if (const Value* v = find(key)) return *v;
+  throw std::out_of_range("json::Object missing key: " + std::string(key));
+}
+
+Value& Object::at(std::string_view key) {
+  if (Value* v = find(key)) return *v;
+  throw std::out_of_range("json::Object missing key: " + std::string(key));
+}
+
+bool Object::erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::int_or(std::int64_t fallback) const noexcept {
+  if (is_int()) return as_int();
+  if (is_double()) return static_cast<std::int64_t>(std::get<double>(data_));
+  return fallback;
+}
+
+double Value::double_or(double fallback) const noexcept {
+  if (is_number()) return as_double();
+  return fallback;
+}
+
+std::string Value::string_or(std::string fallback) const {
+  if (is_string()) return as_string();
+  return fallback;
+}
+
+bool Value::bool_or(bool fallback) const noexcept {
+  if (is_bool()) return std::get<bool>(data_);
+  return fallback;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  return as_object().find(key);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) {
+    // int 3 and double 3.0 compare equal — round-trips through text may
+    // legitimately change representation.
+    if (is_number() && other.is_number()) return as_double() == other.as_double();
+    return false;
+  }
+  switch (type()) {
+    case Type::kNull: return true;
+    case Type::kBool: return as_bool() == other.as_bool();
+    case Type::kInt: return as_int() == other.as_int();
+    case Type::kDouble: return as_double() == other.as_double();
+    case Type::kString: return as_string() == other.as_string();
+    case Type::kArray: return as_array() == other.as_array();
+    case Type::kObject: {
+      const Object& a = as_object();
+      const Object& b = other.as_object();
+      if (a.size() != b.size()) return false;
+      for (const auto& [k, v] : a) {
+        const Value* bv = b.find(k);
+        if (bv == nullptr || !(*bv == v)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wfs::json

@@ -1,0 +1,122 @@
+// JSON document model.
+//
+// The framework exchanges workflow descriptions and HTTP bodies as JSON
+// (exactly like the paper's WfCommons format and wfbench POST payloads), so
+// this is a full, dependency-free JSON substrate. Objects preserve insertion
+// order — WfCommons files are diffed/inspected by humans and key order
+// stability keeps translator output deterministic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wfs::json {
+
+class Value;
+
+/// Insertion-ordered string->Value map with O(n) lookup (objects in workflow
+/// documents are small; determinism matters more than asymptotics here).
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  Object() = default;
+  Object(std::initializer_list<Entry> entries);
+
+  /// Inserts or overwrites; insertion order is kept on overwrite.
+  Value& set(std::string key, Value value);
+
+  /// Returns nullptr when the key is absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  [[nodiscard]] Value* find(std::string_view key) noexcept;
+
+  /// Returns the value or throws std::out_of_range.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  [[nodiscard]] Value& at(std::string_view key);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+  /// Removes a key if present; returns true when something was removed.
+  bool erase(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+  [[nodiscard]] auto begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() noexcept { return entries_.end(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so file sizes and counts survive
+/// round-trips exactly.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() noexcept : data_(nullptr) {}
+  Value(std::nullptr_t) noexcept : data_(nullptr) {}
+  Value(bool b) noexcept : data_(b) {}
+  Value(int i) noexcept : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) noexcept : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) noexcept : data_(i) {}
+  Value(std::uint64_t i) noexcept : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) noexcept : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) noexcept : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) noexcept : data_(std::move(a)) {}
+  Value(Object o) noexcept : data_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const noexcept { return static_cast<Type>(data_.index()); }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return type() == Type::kInt; }
+  [[nodiscard]] bool is_double() const noexcept { return type() == Type::kDouble; }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::kObject; }
+
+  // Checked accessors: throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(data_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+
+  /// Numeric accessor accepting either int or double storage.
+  [[nodiscard]] double as_double() const;
+
+  // Lenient typed getters with defaults — the usual shape when reading
+  // optional fields out of workflow JSON.
+  [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const noexcept;
+  [[nodiscard]] double double_or(double fallback) const noexcept;
+  [[nodiscard]] std::string string_or(std::string fallback) const;
+  [[nodiscard]] bool bool_or(bool fallback) const noexcept;
+
+  /// Object path lookup: returns nullptr when this is not an object or the
+  /// key is missing.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  [[nodiscard]] bool operator==(const Value& other) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+}  // namespace wfs::json

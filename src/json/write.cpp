@@ -1,0 +1,120 @@
+#include "json/write.h"
+
+#include <cmath>
+#include "support/format.h"
+
+namespace wfs::json {
+namespace {
+
+void append_escaped(std::string& out, std::string_view raw) {
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += wfs::support::format("\\u{:04x}", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, const Value& value) {
+  if (value.is_int()) {
+    out += std::to_string(value.as_int());
+    return;
+  }
+  const double d = value.as_double();
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf; emit null rather than invalid text
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  std::string text = wfs::support::format("{}", d);
+  out += text;
+}
+
+void write_value(std::string& out, const Value& value, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto newline_indent = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (value.type()) {
+    case Value::Type::kNull: out += "null"; return;
+    case Value::Type::kBool: out += value.as_bool() ? "true" : "false"; return;
+    case Value::Type::kInt:
+    case Value::Type::kDouble: append_number(out, value); return;
+    case Value::Type::kString: append_escaped(out, value.as_string()); return;
+    case Value::Type::kArray: {
+      const Array& array = value.as_array();
+      if (array.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_indent(depth + 1);
+        write_value(out, array[i], indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case Value::Type::kObject: {
+      const Object& object = value.as_object();
+      if (object.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, entry] : object) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline_indent(depth + 1);
+        append_escaped(out, key);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        write_value(out, entry, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_compact(const Value& value) {
+  std::string out;
+  write_value(out, value, 0, 0);
+  return out;
+}
+
+std::string write_pretty(const Value& value, int indent) {
+  std::string out;
+  write_value(out, value, indent, 0);
+  out.push_back('\n');
+  return out;
+}
+
+std::string escape_string(std::string_view raw) {
+  std::string out;
+  append_escaped(out, raw);
+  return out;
+}
+
+}  // namespace wfs::json

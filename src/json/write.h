@@ -1,0 +1,20 @@
+// JSON serialization: compact and pretty (2-space indented) writers.
+#pragma once
+
+#include <string>
+
+#include "json/value.h"
+
+namespace wfs::json {
+
+/// Serializes without any whitespace ({"a":1,"b":[2,3]}).
+[[nodiscard]] std::string write_compact(const Value& value);
+
+/// Serializes with newlines and `indent`-space nesting — the layout used for
+/// workflow files on disk (diff-friendly, like WfCommons' output).
+[[nodiscard]] std::string write_pretty(const Value& value, int indent = 2);
+
+/// Escapes a raw string into a JSON string literal including quotes.
+[[nodiscard]] std::string escape_string(std::string_view raw);
+
+}  // namespace wfs::json

@@ -1,0 +1,28 @@
+#include "metrics/aggregate.h"
+
+#include "support/format.h"
+
+namespace wfs::metrics {
+
+Summary summarize(const TimeSeries& series) {
+  Summary out;
+  out.samples = series.size();
+  if (series.empty()) return out;
+  out.mean = series.mean();
+  out.time_weighted_mean = series.time_weighted_mean();
+  out.min = series.min();
+  out.max = series.max();
+  out.stddev = series.stddev();
+  out.p50 = series.percentile(50.0);
+  out.p95 = series.percentile(95.0);
+  out.integral = series.integral();
+  return out;
+}
+
+std::string to_string(const Summary& summary) {
+  return wfs::support::format("n={} mean={:.3f} twm={:.3f} min={:.3f} max={:.3f} sd={:.3f} p95={:.3f}",
+                     summary.samples, summary.mean, summary.time_weighted_mean, summary.min,
+                     summary.max, summary.stddev, summary.p95);
+}
+
+}  // namespace wfs::metrics

@@ -1,0 +1,29 @@
+// Summary statistics over a sampled series — the numbers the paper's
+// Jupyter analysis extracts from each pmdumptext CSV.
+#pragma once
+
+#include <string>
+
+#include "metrics/time_series.h"
+
+namespace wfs::metrics {
+
+struct Summary {
+  std::size_t samples = 0;
+  double mean = 0.0;
+  double time_weighted_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// value·seconds integral (joules when the series is watts).
+  double integral = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const TimeSeries& series);
+
+/// "mean=12.3 max=45.6 p95=40.0" single-line rendering for reports.
+[[nodiscard]] std::string to_string(const Summary& summary);
+
+}  // namespace wfs::metrics

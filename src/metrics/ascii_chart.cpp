@@ -1,0 +1,92 @@
+#include "metrics/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include "support/format.h"
+#include <stdexcept>
+
+namespace wfs::metrics {
+namespace {
+
+std::string render_bar(const std::string& label, std::size_t label_width, double value,
+                       double max_value, const BarChartOptions& options) {
+  const int fill_width =
+      max_value > 0.0
+          ? static_cast<int>(std::lround(value / max_value * options.width))
+          : 0;
+  std::string bar(static_cast<std::size_t>(std::clamp(fill_width, 0, options.width)),
+                  options.fill);
+  bar.resize(static_cast<std::size_t>(options.width), ' ');
+  std::string padded_label = label;
+  padded_label.resize(std::max(label_width, label.size()), ' ');
+  return wfs::support::format("{} |{}| {:.{}f}{}{}\n", padded_label, bar, value,
+                     options.value_precision, options.unit.empty() ? "" : " ", options.unit);
+}
+
+}  // namespace
+
+std::string bar_chart(const std::vector<Bar>& bars, BarChartOptions options) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const Bar& bar : bars) {
+    max_value = std::max(max_value, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  std::string out;
+  for (const Bar& bar : bars) {
+    out += render_bar(bar.label, label_width, bar.value, max_value, options);
+  }
+  return out;
+}
+
+std::string grouped_bar_chart(const GroupedBars& data, BarChartOptions options) {
+  if (data.values.size() != data.row_labels.size()) {
+    throw std::invalid_argument("grouped_bar_chart: rows/values size mismatch");
+  }
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& name : data.series_names) label_width = std::max(label_width, name.size());
+  for (std::size_t r = 0; r < data.values.size(); ++r) {
+    if (data.values[r].size() != data.series_names.size()) {
+      throw std::invalid_argument("grouped_bar_chart: series count mismatch in row");
+    }
+    for (const double v : data.values[r]) max_value = std::max(max_value, v);
+  }
+  std::string out;
+  for (std::size_t r = 0; r < data.row_labels.size(); ++r) {
+    out += data.row_labels[r] + "\n";
+    for (std::size_t s = 0; s < data.series_names.size(); ++s) {
+      out += "  " + render_bar(data.series_names[s], label_width, data.values[r][s], max_value,
+                               options);
+    }
+  }
+  return out;
+}
+
+std::string sparkline(const TimeSeries& series, int width) {
+  static constexpr std::string_view kLevels = " .:-=+*#%@";
+  if (series.empty() || width <= 0) return "";
+  const double lo = series.min();
+  const double hi = series.max();
+  const double span = hi - lo;
+  const std::size_t n = series.size();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    // Average the samples that fall into this column.
+    const std::size_t begin = static_cast<std::size_t>(i) * n / static_cast<std::size_t>(width);
+    std::size_t end =
+        (static_cast<std::size_t>(i) + 1) * n / static_cast<std::size_t>(width);
+    end = std::max(end, begin + 1);
+    double sum = 0.0;
+    for (std::size_t j = begin; j < end && j < n; ++j) sum += series[j].value;
+    const double value = sum / static_cast<double>(std::min(end, n) - begin);
+    const double norm = span > 0.0 ? (value - lo) / span : 0.0;
+    const auto level = static_cast<std::size_t>(
+        std::clamp(norm, 0.0, 1.0) * static_cast<double>(kLevels.size() - 1));
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace wfs::metrics

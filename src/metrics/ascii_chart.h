@@ -1,0 +1,43 @@
+// Terminal rendering of results — the bench binaries print paper-figure
+// analogues as labelled horizontal bar charts and sparklines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.h"
+
+namespace wfs::metrics {
+
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+struct BarChartOptions {
+  int width = 48;             // bar area width in characters
+  std::string unit;           // appended to the printed value
+  int value_precision = 2;
+  char fill = '#';
+};
+
+/// Horizontal bar chart scaled to the max value; one line per bar:
+///   "label  |#######            | 12.34 s"
+[[nodiscard]] std::string bar_chart(const std::vector<Bar>& bars, BarChartOptions options = {});
+
+/// Grouped bars: for each row label, one bar per series (series are
+/// interleaved and tagged), sharing one global scale — the shape of the
+/// paper's faceted comparisons.
+struct GroupedBars {
+  std::vector<std::string> series_names;          // e.g. {"Kn10wNoPM", "LC10wNoPM"}
+  std::vector<std::string> row_labels;            // e.g. workflow names
+  std::vector<std::vector<double>> values;        // [row][series]
+};
+[[nodiscard]] std::string grouped_bar_chart(const GroupedBars& data,
+                                            BarChartOptions options = {});
+
+/// One-line unicode-free sparkline of a series (buckets min..max into
+/// " .:-=+*#%@").
+[[nodiscard]] std::string sparkline(const TimeSeries& series, int width = 64);
+
+}  // namespace wfs::metrics

@@ -1,0 +1,43 @@
+#include "metrics/pmdump.h"
+
+#include <algorithm>
+#include "support/format.h"
+#include <limits>
+
+namespace wfs::metrics {
+
+std::string pmdump_csv(const Sampler& sampler, const std::vector<std::string>& series_names,
+                       PmdumpOptions options) {
+  std::vector<const TimeSeries*> series;
+  series.reserve(series_names.size());
+  std::size_t rows = std::numeric_limits<std::size_t>::max();
+  for (const std::string& name : series_names) {
+    series.push_back(&sampler.series(name));
+    rows = std::min(rows, series.back()->size());
+  }
+  if (series.empty()) return "time\n";
+
+  std::string out = "time";
+  for (const std::string& name : series_names) {
+    out.push_back(options.separator);
+    out += name;
+  }
+  out.push_back('\n');
+
+  for (std::size_t row = 0; row < rows; ++row) {
+    out += wfs::support::format("{:.{}f}", sim::to_seconds((*series[0])[row].time),
+                       options.time_precision);
+    for (const TimeSeries* s : series) {
+      out.push_back(options.separator);
+      out += wfs::support::format("{:.6g}", (*s)[row].value);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string pmdump_csv_all(const Sampler& sampler, PmdumpOptions options) {
+  return pmdump_csv(sampler, sampler.probe_names(), options);
+}
+
+}  // namespace wfs::metrics

@@ -1,0 +1,33 @@
+// pmdumptext-style CSV export.
+//
+// The paper records metrics as `pmdumptext -d ',' -t 1sec metric1 metric2
+// ... > run.csv`; this produces the same layout: a header row of metric
+// names, then one row per sample instant with a timestamp column. All the
+// requested series must share sampling instants (they do when they come from
+// one Sampler).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/sampler.h"
+
+namespace wfs::metrics {
+
+struct PmdumpOptions {
+  char separator = ',';
+  /// Timestamp column renders simulated seconds with this precision.
+  int time_precision = 3;
+};
+
+/// Renders the named series from a sampler into CSV text. Throws
+/// std::out_of_range for unknown series names. Series of different lengths
+/// are truncated to the shortest.
+[[nodiscard]] std::string pmdump_csv(const Sampler& sampler,
+                                     const std::vector<std::string>& series_names,
+                                     PmdumpOptions options = {});
+
+/// Convenience: all probes, in deterministic (sorted) order.
+[[nodiscard]] std::string pmdump_csv_all(const Sampler& sampler, PmdumpOptions options = {});
+
+}  // namespace wfs::metrics

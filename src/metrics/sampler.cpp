@@ -1,0 +1,45 @@
+#include "metrics/sampler.h"
+
+#include <stdexcept>
+
+namespace wfs::metrics {
+
+Sampler::Sampler(sim::Simulation& sim, sim::SimTime period)
+    : sim_(sim), task_(sim, period, [this](sim::SimTime) { sample_now(); }) {}
+
+void Sampler::add_probe(std::string name, Probe probe) {
+  channels_[std::move(name)].probe = std::move(probe);
+}
+
+void Sampler::start() { task_.start(); }
+
+void Sampler::stop() { task_.stop(); }
+
+void Sampler::sample_now() {
+  const sim::SimTime now = sim_.now();
+  for (auto& [name, channel] : channels_) {
+    if (!channel.series.empty() && channel.series.samples().back().time == now) {
+      continue;  // avoid duplicate samples when sample_now() races the tick
+    }
+    channel.series.push(now, channel.probe());
+  }
+}
+
+const TimeSeries& Sampler::series(const std::string& name) const {
+  const auto it = channels_.find(name);
+  if (it == channels_.end()) throw std::out_of_range("Sampler: unknown probe " + name);
+  return it->second.series;
+}
+
+bool Sampler::has_series(const std::string& name) const noexcept {
+  return channels_.contains(name);
+}
+
+std::vector<std::string> Sampler::probe_names() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) names.push_back(name);
+  return names;
+}
+
+}  // namespace wfs::metrics

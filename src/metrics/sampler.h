@@ -1,0 +1,55 @@
+// Periodic metrics sampling — the simulated Performance Co-Pilot.
+//
+// The paper collects CPU, memory and RAPL power at 1 s cadence with
+// `pmdumptext -t 1sec`. The Sampler registers named probes (callables
+// returning the instantaneous value) and records them into TimeSeries at a
+// fixed simulated period.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "sim/periodic.h"
+#include "sim/simulation.h"
+
+namespace wfs::metrics {
+
+class Sampler {
+ public:
+  using Probe = std::function<double()>;
+
+  Sampler(sim::Simulation& sim, sim::SimTime period = sim::kSecond);
+
+  /// Registers a probe; duplicate names overwrite (series is kept).
+  void add_probe(std::string name, Probe probe);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return task_.running(); }
+
+  /// Takes one sample of every probe immediately (used at run boundaries so
+  /// the first/last instants are always captured).
+  void sample_now();
+
+  [[nodiscard]] const TimeSeries& series(const std::string& name) const;
+  [[nodiscard]] bool has_series(const std::string& name) const noexcept;
+  [[nodiscard]] std::vector<std::string> probe_names() const;
+  [[nodiscard]] sim::SimTime period() const noexcept { return task_.period(); }
+
+ private:
+  struct Channel {
+    Probe probe;
+    TimeSeries series;
+  };
+
+  sim::Simulation& sim_;
+  // std::map: deterministic probe iteration order for pmdump column order.
+  std::map<std::string, Channel> channels_;
+  sim::PeriodicTask task_;
+};
+
+}  // namespace wfs::metrics

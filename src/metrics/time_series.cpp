@@ -1,0 +1,74 @@
+#include "metrics/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wfs::metrics {
+
+void TimeSeries::push(sim::SimTime time, double value) {
+  if (!samples_.empty() && time < samples_.back().time) {
+    throw std::invalid_argument("TimeSeries::push: non-monotonic time");
+  }
+  samples_.push_back(Sample{time, value});
+}
+
+double TimeSeries::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::min() const noexcept {
+  double out = std::numeric_limits<double>::infinity();
+  for (const Sample& s : samples_) out = std::min(out, s.value);
+  return samples_.empty() ? 0.0 : out;
+}
+
+double TimeSeries::max() const noexcept {
+  double out = -std::numeric_limits<double>::infinity();
+  for (const Sample& s : samples_) out = std::max(out, s.value);
+  return samples_.empty() ? 0.0 : out;
+}
+
+double TimeSeries::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double sum_sq = 0.0;
+  for (const Sample& s : samples_) sum_sq += (s.value - m) * (s.value - m);
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
+}
+
+double TimeSeries::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of [0,100]");
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const Sample& s : samples_) values.push_back(s.value);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double TimeSeries::integral() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = sim::to_seconds(samples_[i].time - samples_[i - 1].time);
+    total += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  return total;
+}
+
+double TimeSeries::time_weighted_mean() const noexcept {
+  if (samples_.size() < 2) return mean();
+  const double span = sim::to_seconds(samples_.back().time - samples_.front().time);
+  if (span <= 0.0) return mean();
+  return integral() / span;
+}
+
+}  // namespace wfs::metrics

@@ -1,0 +1,46 @@
+// Uniform-or-irregular sampled time series of one metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace wfs::metrics {
+
+struct Sample {
+  sim::SimTime time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void push(sim::SimTime time, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// Sample standard deviation (n-1); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Linear-interpolated percentile of the values, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Trapezoidal integral over time, in value·seconds (e.g. watts -> joules).
+  [[nodiscard]] double integral() const noexcept;
+
+  /// Mean weighted by the time step to the next sample (correct for
+  /// irregular sampling); equals mean() for uniform cadence.
+  [[nodiscard]] double time_weighted_mean() const noexcept;
+
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wfs::metrics

@@ -1,0 +1,54 @@
+#include "net/http.h"
+
+#include <charconv>
+#include "support/format.h"
+#include <stdexcept>
+
+namespace wfs::net {
+
+std::string Url::to_string() const {
+  return wfs::support::format("{}://{}:{}{}", scheme, host, port, path);
+}
+
+std::string Url::authority() const { return wfs::support::format("{}:{}", host, port); }
+
+Url parse_url(std::string_view text) {
+  Url url;
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    throw std::invalid_argument("url missing scheme: " + std::string(text));
+  }
+  url.scheme = std::string(text.substr(0, scheme_end));
+  text.remove_prefix(scheme_end + 3);
+
+  const std::size_t path_start = text.find('/');
+  std::string_view authority = text.substr(0, path_start);
+  if (path_start != std::string_view::npos) {
+    url.path = std::string(text.substr(path_start));
+  } else {
+    url.path = "/";
+  }
+  if (authority.empty()) {
+    throw std::invalid_argument("url missing host");
+  }
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    url.host = std::string(authority.substr(0, colon));
+    const std::string_view port_text = authority.substr(colon + 1);
+    int port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc() || ptr != port_text.data() + port_text.size() || port <= 0 ||
+        port > 65535) {
+      throw std::invalid_argument("invalid port in url: " + std::string(port_text));
+    }
+    url.port = port;
+  } else {
+    url.host = std::string(authority);
+    url.port = url.scheme == "https" ? 443 : 80;
+  }
+  if (url.host.empty()) throw std::invalid_argument("url missing host");
+  return url;
+}
+
+}  // namespace wfs::net

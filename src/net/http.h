@@ -1,0 +1,53 @@
+// Simulated HTTP messages and URL handling.
+//
+// The paper's WFM invokes every function through `curl <url>/wfbench -X POST
+// -d '{json}'`; this module reproduces that interaction shape: JSON-bodied
+// POSTs routed by URL with small simulated network latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wfs::net {
+
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  int port = 80;
+  std::string path = "/";
+
+  /// Serializes back to "scheme://host:port/path".
+  [[nodiscard]] std::string to_string() const;
+
+  /// "host:port" — the routing key used by the Router.
+  [[nodiscard]] std::string authority() const;
+};
+
+/// Parses "http://host[:port][/path]". Throws std::invalid_argument on
+/// malformed input (missing scheme or host).
+[[nodiscard]] Url parse_url(std::string_view text);
+
+struct HttpRequest {
+  std::string method = "POST";
+  Url url;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+
+  [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
+
+  static HttpResponse make_ok(std::string body = "{}") { return {200, std::move(body)}; }
+  static HttpResponse not_found(std::string reason = "not found") {
+    return {404, std::move(reason)};
+  }
+  static HttpResponse bad_request(std::string reason) { return {400, std::move(reason)}; }
+  static HttpResponse service_unavailable(std::string reason) { return {503, std::move(reason)}; }
+  static HttpResponse server_error(std::string reason) { return {500, std::move(reason)}; }
+};
+
+}  // namespace wfs::net

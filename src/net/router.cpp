@@ -1,0 +1,57 @@
+#include "net/router.h"
+
+#include <utility>
+
+namespace wfs::net {
+
+void Responder::respond(HttpResponse response) {
+  if (responded_) return;
+  responded_ = true;
+  send_(std::move(response));
+}
+
+Router::Router(sim::Simulation& sim, NetworkConfig config, std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+void Router::bind(const std::string& authority, Handler handler) {
+  handlers_[authority] = std::move(handler);
+}
+
+void Router::unbind(const std::string& authority) { handlers_.erase(authority); }
+
+bool Router::bound(const std::string& authority) const noexcept {
+  return handlers_.contains(authority);
+}
+
+sim::SimTime Router::sample_latency() {
+  sim::SimTime latency = config_.base_latency;
+  if (config_.jitter > 0) latency += rng_.uniform_int(0, config_.jitter);
+  return latency;
+}
+
+void Router::send(HttpRequest request, std::function<void(HttpResponse)> on_response) {
+  ++requests_sent_;
+  const sim::SimTime to_server = sample_latency();
+  sim_.schedule_in(to_server, [this, request = std::move(request),
+                               on_response = std::move(on_response)]() mutable {
+    const auto it = handlers_.find(request.url.authority());
+    // Response channel: adds return latency, then delivers to the caller.
+    auto deliver = [this, on_response = std::move(on_response)](HttpResponse response) mutable {
+      const sim::SimTime to_client = sample_latency();
+      sim_.schedule_in(to_client,
+                       [this, response = std::move(response),
+                        on_response = std::move(on_response)]() mutable {
+                         ++responses_delivered_;
+                         on_response(std::move(response));
+                       });
+    };
+    if (it == handlers_.end()) {
+      deliver(HttpResponse::not_found("no service bound to " + request.url.authority()));
+      return;
+    }
+    auto responder = std::make_shared<Responder>(std::move(deliver));
+    it->second(request, std::move(responder));
+  });
+}
+
+}  // namespace wfs::net

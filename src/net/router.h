@@ -1,0 +1,75 @@
+// Simulated HTTP routing: an in-simulation service mesh.
+//
+// Services (the Knative activator, local containers) register handlers by
+// authority ("host:port"); clients post requests that arrive after a small
+// network latency and get responses back the same way. Handlers respond
+// asynchronously through a Responder so a service can queue the request
+// (activator behaviour) and answer much later.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/http.h"
+#include "sim/simulation.h"
+#include "support/rng.h"
+
+namespace wfs::net {
+
+/// One-shot response channel handed to a request handler.
+class Responder {
+ public:
+  using Send = std::function<void(HttpResponse)>;
+  explicit Responder(Send send) : send_(std::move(send)) {}
+
+  /// Sends the response; subsequent calls are ignored (a handler must
+  /// answer exactly once, but double answers should not corrupt state).
+  void respond(HttpResponse response);
+
+  [[nodiscard]] bool responded() const noexcept { return responded_; }
+
+ private:
+  Send send_;
+  bool responded_ = false;
+};
+
+using Handler = std::function<void(const HttpRequest&, std::shared_ptr<Responder>)>;
+
+struct NetworkConfig {
+  sim::SimTime base_latency = 500;    // 0.5 ms one way
+  sim::SimTime jitter = 200;          // uniform extra in [0, jitter]
+};
+
+class Router {
+ public:
+  Router(sim::Simulation& sim, NetworkConfig config = {}, std::uint64_t seed = 42);
+
+  /// Registers/overwrites the handler for an authority ("host:port").
+  void bind(const std::string& authority, Handler handler);
+  void unbind(const std::string& authority);
+  [[nodiscard]] bool bound(const std::string& authority) const noexcept;
+
+  /// Sends a request; `on_response` fires after simulated network latency
+  /// each way. Unbound authorities yield 404 (connection refused analogue).
+  void send(HttpRequest request, std::function<void(HttpResponse)> on_response);
+
+  [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
+  [[nodiscard]] std::uint64_t responses_delivered() const noexcept {
+    return responses_delivered_;
+  }
+
+ private:
+  [[nodiscard]] sim::SimTime sample_latency();
+
+  sim::Simulation& sim_;
+  NetworkConfig config_;
+  support::Rng rng_;
+  std::unordered_map<std::string, Handler> handlers_;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t responses_delivered_ = 0;
+};
+
+}  // namespace wfs::net

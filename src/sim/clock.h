@@ -1,0 +1,32 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds since the start of the
+// simulation. Integer time keeps event ordering deterministic (no
+// floating-point ties) across compilers and optimisation levels.
+#pragma once
+
+#include <cstdint>
+
+namespace wfs::sim {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+/// Converts seconds (possibly fractional) to SimTime, rounding to the
+/// nearest microsecond.
+constexpr SimTime from_seconds(double seconds) noexcept {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts SimTime to fractional seconds (for reporting).
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace wfs::sim

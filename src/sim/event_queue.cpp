@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wfs::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const noexcept { return callbacks_.size(); }
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Popped popped{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  return popped;
+}
+
+}  // namespace wfs::sim

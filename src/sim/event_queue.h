@@ -1,0 +1,69 @@
+// Priority queue of timed events with stable FIFO ordering for ties and
+// O(log n) cancellation via handles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace wfs::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never
+/// reused within one queue.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, sequence) ordered events. Events scheduled for the
+/// same instant fire in scheduling order — required for reproducibility.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past relative
+  /// to the last popped event). Returns a handle usable with cancel().
+  EventId schedule(SimTime at, Callback fn);
+
+  /// Marks an event as cancelled; it will be skipped when reached.
+  /// Returns false when the id is unknown or already fired/cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Time of the next live event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the next live event. Only valid when !empty().
+  struct Popped {
+    SimTime time;
+    Callback fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t sequence;
+    EventId id;
+    // greater-than for min-heap via std::priority_queue's max-heap default
+    bool operator<(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  // Callbacks stored separately so cancel() can release them promptly.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace wfs::sim

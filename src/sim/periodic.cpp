@@ -1,0 +1,41 @@
+#include "sim/periodic.h"
+
+#include <stdexcept>
+
+namespace wfs::sim {
+
+PeriodicTask::PeriodicTask(Simulation& sim, SimTime period, Callback fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(SimTime first_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(first_delay);
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTask::arm(SimTime delay) {
+  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void PeriodicTask::fire() {
+  pending_ = 0;
+  if (!running_) return;
+  fn_(sim_.now());
+  // The callback may have stopped us.
+  if (running_) arm(period_);
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,47 @@
+// Periodic task helper: re-schedules a callback at a fixed period until
+// stopped — used by the metrics sampler (1 s cadence, like PCP) and the
+// Knative autoscaler loop (2 s cadence).
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.h"
+
+namespace wfs::sim {
+
+/// RAII periodic task. The callback receives the firing time. Destroying or
+/// stop()ping cancels the pending occurrence. The referenced Simulation must
+/// outlive the PeriodicTask.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Creates a stopped task; call start().
+  PeriodicTask(Simulation& sim, SimTime period, Callback fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Begins firing `first_delay` from now, then every `period`.
+  /// Restarting an already running task is a no-op.
+  void start(SimTime first_delay = 0);
+
+  /// Cancels future occurrences (the currently executing one completes).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] SimTime period() const noexcept { return period_; }
+
+ private:
+  void fire();
+  void arm(SimTime delay);
+
+  Simulation& sim_;
+  SimTime period_;
+  Callback fn_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace wfs::sim

@@ -1,0 +1,47 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace wfs::sim {
+
+EventId Simulation::schedule_in(SimTime delay, EventQueue::Callback fn) {
+  if (delay < 0) throw std::invalid_argument("Simulation::schedule_in: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(SimTime at, EventQueue::Callback fn) {
+  if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+void Simulation::execute_next() {
+  auto [time, fn] = queue_.pop();
+  now_ = time;
+  ++executed_;
+  if (executed_ > event_limit_) {
+    throw std::runtime_error("Simulation event limit exceeded (runaway event storm?)");
+  }
+  fn();
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) execute_next();
+  return now_;
+}
+
+SimTime Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) execute_next();
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+std::size_t Simulation::step(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty()) {
+    execute_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace wfs::sim

@@ -1,0 +1,63 @@
+// The discrete-event simulation driver.
+//
+// One Simulation owns the clock and the event queue; every substrate
+// (cluster, platform, network, sampler) schedules callbacks against it.
+// A Simulation is strictly single-threaded (Core Guidelines CP.3: the less
+// shared writable data the better); run several Simulation instances on
+// separate threads for parallel experiment sweeps.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+
+namespace wfs::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0;
+  /// a zero delay runs after all currently pending work at `now`).
+  EventId schedule_in(SimTime delay, EventQueue::Callback fn);
+
+  /// Schedules `fn` at an absolute time (>= now).
+  EventId schedule_at(SimTime at, EventQueue::Callback fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains. Returns the final time.
+  SimTime run();
+
+  /// Runs events with time <= deadline; the clock ends at
+  /// min(deadline, last event time) or deadline if events remain.
+  SimTime run_until(SimTime deadline);
+
+  /// Executes at most `max_events` events (for debugging/stepping).
+  std::size_t step(std::size_t max_events = 1);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+  /// Safety valve: run()/run_until() throw std::runtime_error after this
+  /// many events (default 500M) — catches accidental event storms.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+ private:
+  void execute_next();
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 500'000'000;
+};
+
+}  // namespace wfs::sim

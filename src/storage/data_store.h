@@ -1,0 +1,40 @@
+// Abstract data backend for workflow I/O.
+//
+// The paper's prototype assumes a shared drive (§III-C) and names "external
+// distributed data storage" as future work (§VII). Both the wfbench service
+// and the workflow manager program against this interface, so either
+// backend — the NFS-style SharedFilesystem or the S3-style ObjectStore —
+// can carry a workflow's dataflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wfs::storage {
+
+class DataStore {
+ public:
+  virtual ~DataStore() = default;
+
+  /// Instantly registers a file (initial input staging).
+  virtual void stage(const std::string& name, std::uint64_t size_bytes) = 0;
+
+  /// Metadata check — the WFM's pre-dispatch availability poll.
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+
+  /// Asynchronous read; `done(false)` when the object is missing.
+  virtual void read(const std::string& name, std::function<void(bool ok)> done) = 0;
+
+  /// Asynchronous write; the object becomes visible to exists() only when
+  /// the transfer completes.
+  virtual void write(std::string name, std::uint64_t size_bytes,
+                     std::function<void()> done) = 0;
+
+  // Traffic counters (for reports).
+  [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
+  [[nodiscard]] virtual std::uint64_t failed_reads() const = 0;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,58 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+
+namespace wfs::storage {
+
+ObjectStore::ObjectStore(sim::Simulation& sim, ObjectStoreConfig config)
+    : sim_(sim), config_(config) {}
+
+void ObjectStore::stage(const std::string& name, std::uint64_t size_bytes) {
+  objects_[name] = size_bytes;
+}
+
+bool ObjectStore::exists(const std::string& name) const { return objects_.contains(name); }
+
+sim::SimTime ObjectStore::transfer_time(std::uint64_t size_bytes, double per_object_bps) const {
+  double bps = per_object_bps;
+  if (config_.aggregate_bps > 0.0 && inflight_ > 0) {
+    bps = std::min(bps, config_.aggregate_bps / static_cast<double>(inflight_));
+  }
+  return config_.request_latency +
+         sim::from_seconds(static_cast<double>(size_bytes) / std::max(bps, 1.0));
+}
+
+void ObjectStore::read(const std::string& name, std::function<void(bool)> done) {
+  ++get_requests_;
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    ++failed_reads_;
+    // Missing objects still cost a round trip (404 from the frontend).
+    sim_.schedule_in(config_.request_latency, [done = std::move(done)] { done(false); });
+    return;
+  }
+  const std::uint64_t size = it->second;
+  ++inflight_;
+  sim_.schedule_in(transfer_time(size, config_.per_object_read_bps),
+                   [this, size, done = std::move(done)] {
+                     --inflight_;
+                     bytes_read_ += size;
+                     done(true);
+                   });
+}
+
+void ObjectStore::write(std::string name, std::uint64_t size_bytes,
+                        std::function<void()> done) {
+  ++put_requests_;
+  ++inflight_;
+  sim_.schedule_in(transfer_time(size_bytes, config_.per_object_write_bps),
+                   [this, name = std::move(name), size_bytes,
+                    done = std::move(done)]() mutable {
+                     --inflight_;
+                     bytes_written_ += size_bytes;
+                     objects_[std::move(name)] = size_bytes;
+                     done();
+                   });
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,59 @@
+// S3-style remote object store — the paper's §VII "external distributed
+// data storage" alternative to the shared drive.
+//
+// Model differences vs the NFS-style SharedFilesystem:
+//  * every operation pays a higher per-request latency (HTTP + auth);
+//  * per-object bandwidth is lower, but the aggregate scales out — no
+//    congestion collapse when hundreds of functions write simultaneously
+//    (the object store's frontend fleet absorbs it);
+//  * strongly consistent (list-after-put), like modern S3.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/simulation.h"
+#include "storage/data_store.h"
+
+namespace wfs::storage {
+
+struct ObjectStoreConfig {
+  sim::SimTime request_latency = 15 * sim::kMillisecond;
+  double per_object_read_bps = 500e6;
+  double per_object_write_bps = 300e6;
+  /// Aggregate ceiling across concurrent transfers (0 = unlimited).
+  double aggregate_bps = 0.0;
+};
+
+class ObjectStore final : public DataStore {
+ public:
+  ObjectStore(sim::Simulation& sim, ObjectStoreConfig config = {});
+
+  void stage(const std::string& name, std::uint64_t size_bytes) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  void read(const std::string& name, std::function<void(bool ok)> done) override;
+  void write(std::string name, std::uint64_t size_bytes, std::function<void()> done) override;
+
+  [[nodiscard]] std::uint64_t bytes_read() const override { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const override { return bytes_written_; }
+  [[nodiscard]] std::uint64_t failed_reads() const override { return failed_reads_; }
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::uint64_t get_requests() const noexcept { return get_requests_; }
+  [[nodiscard]] std::uint64_t put_requests() const noexcept { return put_requests_; }
+
+ private:
+  [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double per_object_bps) const;
+
+  sim::Simulation& sim_;
+  ObjectStoreConfig config_;
+  std::unordered_map<std::string, std::uint64_t> objects_;
+  std::size_t inflight_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t failed_reads_ = 0;
+  std::uint64_t get_requests_ = 0;
+  std::uint64_t put_requests_ = 0;
+};
+
+}  // namespace wfs::storage

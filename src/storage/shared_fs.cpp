@@ -1,0 +1,75 @@
+#include "storage/shared_fs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfs::storage {
+
+SharedFilesystem::SharedFilesystem(sim::Simulation& sim, SharedFsConfig config)
+    : sim_(sim), config_(config) {}
+
+void SharedFilesystem::stage(const std::string& name, std::uint64_t size_bytes) {
+  files_[name] = FileMeta{size_bytes, sim_.now()};
+}
+
+bool SharedFilesystem::exists(const std::string& name) const noexcept {
+  return files_.contains(name);
+}
+
+const FileMeta* SharedFilesystem::stat(const std::string& name) const noexcept {
+  const auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+sim::SimTime SharedFilesystem::transfer_time(std::uint64_t size_bytes, double bandwidth) const {
+  // Congestion: transfers beyond the threshold divide the pipe.
+  double effective = bandwidth;
+  if (inflight_ > config_.congestion_threshold) {
+    effective = bandwidth * static_cast<double>(config_.congestion_threshold) /
+                static_cast<double>(inflight_);
+  }
+  const double seconds = static_cast<double>(size_bytes) / std::max(effective, 1.0);
+  return config_.op_latency + sim::from_seconds(seconds);
+}
+
+void SharedFilesystem::read(const std::string& name, std::function<void(bool)> done) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    ++failed_reads_;
+    done(false);
+    return;
+  }
+  const std::uint64_t size = it->second.size_bytes;
+  ++inflight_;
+  const sim::SimTime duration = transfer_time(size, config_.read_bandwidth_bps);
+  sim_.schedule_in(duration, [this, size, done = std::move(done)] {
+    --inflight_;
+    bytes_read_ += size;
+    done(true);
+  });
+}
+
+void SharedFilesystem::write(std::string name, std::uint64_t size_bytes,
+                             std::function<void()> done) {
+  ++inflight_;
+  const sim::SimTime duration = transfer_time(size_bytes, config_.write_bandwidth_bps);
+  sim_.schedule_in(duration,
+                   [this, name = std::move(name), size_bytes, done = std::move(done)]() mutable {
+                     --inflight_;
+                     bytes_written_ += size_bytes;
+                     files_[std::move(name)] = FileMeta{size_bytes, sim_.now()};
+                     done();
+                   });
+}
+
+bool SharedFilesystem::remove(const std::string& name) { return files_.erase(name) > 0; }
+
+void SharedFilesystem::clear() { files_.clear(); }
+
+std::uint64_t SharedFilesystem::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, meta] : files_) total += meta.size_bytes;
+  return total;
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,81 @@
+// Simulated shared drive (the paper's NFS-style common directory).
+//
+// Every wfbench function reads its inputs from and writes its outputs to
+// this filesystem; the workflow manager polls it to check that a phase's
+// inputs exist before dispatching (paper §III-C). The model charges
+// base latency + size/bandwidth per operation, with a simple congestion
+// multiplier when many transfers are in flight (an NFS server saturates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "storage/data_store.h"
+
+namespace wfs::storage {
+
+struct SharedFsConfig {
+  double read_bandwidth_bps = 2.0e9;   // ~2 GB/s aggregate NFS read
+  double write_bandwidth_bps = 1.2e9;  // writes are slower
+  sim::SimTime op_latency = 2 * sim::kMillisecond;
+  /// Transfers beyond this many concurrent ops share bandwidth.
+  std::size_t congestion_threshold = 16;
+};
+
+struct FileMeta {
+  std::uint64_t size_bytes = 0;
+  sim::SimTime created_at = 0;
+};
+
+class SharedFilesystem final : public DataStore {
+ public:
+  SharedFilesystem(sim::Simulation& sim, SharedFsConfig config = {});
+
+  /// Instantly registers a file (workflow staging of initial inputs).
+  void stage(const std::string& name, std::uint64_t size_bytes) override;
+
+  [[nodiscard]] bool exists(const std::string& name) const noexcept override;
+  /// Returns nullptr when absent.
+  [[nodiscard]] const FileMeta* stat(const std::string& name) const noexcept;
+
+  /// Asynchronous read: `done(true)` after the simulated transfer, or
+  /// `done(false)` immediately (zero simulated delay) when the file is
+  /// missing.
+  void read(const std::string& name, std::function<void(bool ok)> done) override;
+
+  /// Asynchronous write: file becomes visible to exists() only when the
+  /// transfer completes — this is what makes the WFM's availability check
+  /// meaningful.
+  void write(std::string name, std::uint64_t size_bytes,
+             std::function<void()> done) override;
+
+  /// Deletes a file if present (used by cleanup between experiments).
+  bool remove(const std::string& name);
+  void clear();
+
+  [[nodiscard]] std::size_t file_count() const noexcept { return files_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept override { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::size_t inflight_ops() const noexcept { return inflight_; }
+  [[nodiscard]] std::uint64_t failed_reads() const noexcept override { return failed_reads_; }
+
+ private:
+  [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double bandwidth) const;
+
+  sim::Simulation& sim_;
+  SharedFsConfig config_;
+  std::unordered_map<std::string, FileMeta> files_;
+  std::size_t inflight_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t failed_reads_ = 0;
+};
+
+}  // namespace wfs::storage

@@ -1,0 +1,109 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+#include "support/format.h"
+#include <iostream>
+#include <stdexcept>
+
+namespace wfs::support {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(std::string name, std::string default_value, std::string help) {
+  flags_[std::move(name)] = Flag{std::move(default_value), std::move(help), false};
+}
+
+void CliParser::add_switch(std::string name, std::string help) {
+  flags_[std::move(name)] = Flag{"false", std::move(help), true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cerr << usage();
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag --" << name << "\n" << usage();
+      return false;
+    }
+    if (it->second.is_switch) {
+      if (has_value) {
+        std::cerr << "switch --" << name << " does not take a value\n" << usage();
+        return false;
+      }
+      it->second.value = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::cerr << "flag --" << name << " requires a value\n" << usage();
+        return false;
+      }
+      value = argv[++i];
+    }
+    it->second.value = std::move(value);
+  }
+  return true;
+}
+
+const std::string& CliParser::get(std::string_view name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::out_of_range("unknown flag: " + std::string(name));
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(std::string_view name) const {
+  const std::string& text = get(name);
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + std::string(name) + " is not an integer: " + text);
+  }
+  return value;
+}
+
+double CliParser::get_double(std::string_view name) const {
+  const std::string& text = get(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + std::string(name) + " is not a number: " + text);
+  }
+  return value;
+}
+
+bool CliParser::get_switch(std::string_view name) const { return get(name) == "true"; }
+
+std::string CliParser::usage() const {
+  std::string out = wfs::support::format("{} — {}\n\nflags:\n", program_, description_);
+  for (const auto& [name, flag] : flags_) {
+    if (flag.is_switch) {
+      out += wfs::support::format("  --{:<24} {}\n", name, flag.help);
+    } else {
+      out += wfs::support::format("  --{:<24} {} (default: {})\n", name + " <value>", flag.help,
+                         flag.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace wfs::support

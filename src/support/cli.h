@@ -1,0 +1,61 @@
+// Minimal command-line flag parser for the examples and bench drivers.
+//
+//   wfs::support::CliParser cli("quickstart", "Run a tiny Blast workflow");
+//   cli.add_flag("recipe", "blast", "recipe name");
+//   cli.add_flag("tasks", "50", "workflow size (number of tasks)");
+//   cli.add_switch("verbose", "enable debug logging");
+//   if (!cli.parse(argc, argv)) return 1;   // prints usage on --help / error
+//   int n = cli.get_int("tasks");
+//
+// Accepts "--name value" and "--name=value"; switches take no value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfs::support {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a value flag with a default (also its --help documentation).
+  void add_flag(std::string name, std::string default_value, std::string help);
+
+  /// Registers a boolean switch (false unless present).
+  void add_switch(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing usage to stderr) when the
+  /// arguments are malformed or --help/-h was requested.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_switch(std::string_view name) const;
+
+  /// Arguments that were not flags, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The generated usage text (printed automatically on --help).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+    bool is_switch = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wfs::support

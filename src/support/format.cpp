@@ -1,0 +1,270 @@
+#include "support/format.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace wfs::support::detail {
+namespace {
+
+struct Spec {
+  char fill = ' ';
+  char align = 0;       // '<', '>', '^' or 0 (default: right for numbers, left for strings)
+  char sign = 0;        // '+', '-', ' ' or 0
+  bool zero_pad = false;
+  int width = 0;
+  int precision = -1;   // -1: unspecified
+  bool runtime_precision = false;  // ".{}" — caller substitutes before parsing
+  char type = 0;        // d x X f F e E g G s c b or 0
+};
+
+Spec parse_spec(std::string_view spec) {
+  Spec out;
+  std::size_t i = 0;
+  // [[fill]align]
+  if (spec.size() >= 2 && (spec[1] == '<' || spec[1] == '>' || spec[1] == '^')) {
+    out.fill = spec[0];
+    out.align = spec[1];
+    i = 2;
+  } else if (!spec.empty() && (spec[0] == '<' || spec[0] == '>' || spec[0] == '^')) {
+    out.align = spec[0];
+    i = 1;
+  }
+  // [sign]
+  if (i < spec.size() && (spec[i] == '+' || spec[i] == '-' || spec[i] == ' ')) {
+    out.sign = spec[i];
+    ++i;
+  }
+  // [0][width]
+  if (i < spec.size() && spec[i] == '0') {
+    out.zero_pad = true;
+    ++i;
+  }
+  while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+    out.width = out.width * 10 + (spec[i] - '0');
+    ++i;
+  }
+  // [.precision]
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    if (i < spec.size() && spec[i] == '{') {
+      // ".{}" runtime precision: must have been substituted already.
+      throw format_error("unsubstituted runtime precision in spec");
+    }
+    int precision = 0;
+    bool any = false;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      precision = precision * 10 + (spec[i] - '0');
+      ++i;
+      any = true;
+    }
+    if (!any) throw format_error("missing precision digits");
+    out.precision = precision;
+  }
+  // [type]
+  if (i < spec.size()) {
+    out.type = spec[i];
+    ++i;
+  }
+  if (i != spec.size()) throw format_error("trailing characters in format spec");
+  return out;
+}
+
+void pad_and_append(std::string& out, std::string body, const Spec& spec, bool numeric) {
+  if (static_cast<int>(body.size()) >= spec.width) {
+    out += body;
+    return;
+  }
+  const std::size_t pad = static_cast<std::size_t>(spec.width) - body.size();
+  char align = spec.align;
+  if (align == 0) align = numeric ? '>' : '<';
+  if (numeric && spec.zero_pad && spec.align == 0) {
+    // Zero padding goes after any sign.
+    std::size_t sign = (!body.empty() && (body[0] == '-' || body[0] == '+')) ? 1 : 0;
+    body.insert(sign, pad, '0');
+    out += body;
+    return;
+  }
+  switch (align) {
+    case '<': out += body; out.append(pad, spec.fill); break;
+    case '>': out.append(pad, spec.fill); out += body; break;
+    case '^': {
+      const std::size_t left = pad / 2;
+      out.append(left, spec.fill);
+      out += body;
+      out.append(pad - left, spec.fill);
+      break;
+    }
+    default: out += body;
+  }
+}
+
+std::string render_unsigned(std::uint64_t value, char type) {
+  char buffer[32];
+  int written = 0;
+  switch (type) {
+    case 'x': written = std::snprintf(buffer, sizeof buffer, "%" PRIx64, value); break;
+    case 'X': written = std::snprintf(buffer, sizeof buffer, "%" PRIX64, value); break;
+    case 'b': {
+      std::string bits;
+      if (value == 0) bits = "0";
+      while (value != 0) {
+        bits.insert(bits.begin(), static_cast<char>('0' + (value & 1)));
+        value >>= 1;
+      }
+      return bits;
+    }
+    default: written = std::snprintf(buffer, sizeof buffer, "%" PRIu64, value); break;
+  }
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+std::string render_double(double value, const Spec& spec) {
+  char buffer[64];
+  const int precision = spec.precision >= 0 ? spec.precision : 6;
+  int written = 0;
+  switch (spec.type) {
+    case 'f':
+    case 'F':
+      written = std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+      break;
+    case 'e':
+      written = std::snprintf(buffer, sizeof buffer, "%.*e", precision, value);
+      break;
+    case 'E':
+      written = std::snprintf(buffer, sizeof buffer, "%.*E", precision, value);
+      break;
+    case 'g':
+      written = std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+      break;
+    case 'G':
+      written = std::snprintf(buffer, sizeof buffer, "%.*G", precision, value);
+      break;
+    case 0: {
+      if (spec.precision >= 0) {
+        written = std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+        break;
+      }
+      // Shortest round-trip representation, like std::format's default.
+      const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+      if (ec != std::errc()) throw format_error("double to_chars failed");
+      return std::string(buffer, ptr);
+    }
+    default: throw format_error("bad type for floating point argument");
+  }
+  if (written < 0) throw format_error("snprintf failed");
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+}  // namespace
+
+std::int64_t FormatArg::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return static_cast<std::int64_t>(*u);
+  throw format_error("runtime precision argument is not an integer");
+}
+
+void FormatArg::append_to(std::string& out, std::string_view spec_text) const {
+  const Spec spec = parse_spec(spec_text);
+  std::string body;
+  bool numeric = true;
+  if (const auto* b = std::get_if<bool>(&value_)) {
+    if (spec.type == 'd') {
+      body = *b ? "1" : "0";
+    } else {
+      body = *b ? "true" : "false";
+      numeric = false;
+    }
+  } else if (const auto* c = std::get_if<char>(&value_)) {
+    if (spec.type == 'd' || spec.type == 'x' || spec.type == 'X') {
+      body = render_unsigned(static_cast<std::uint64_t>(static_cast<unsigned char>(*c)),
+                             spec.type);
+    } else {
+      body = std::string(1, *c);
+      numeric = false;
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) {
+      body = "-" + render_unsigned(static_cast<std::uint64_t>(-(*i + 1)) + 1, spec.type);
+    } else {
+      body = render_unsigned(static_cast<std::uint64_t>(*i), spec.type);
+    }
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    body = render_unsigned(*u, spec.type);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    body = render_double(*d, spec);
+  } else if (const auto* s = std::get_if<std::string_view>(&value_)) {
+    body = std::string(*s);
+    if (spec.precision >= 0) body.resize(std::min<std::size_t>(body.size(), spec.precision));
+    numeric = false;
+  }
+  if (numeric && (spec.sign == '+' || spec.sign == ' ') && !body.empty() && body[0] != '-') {
+    body.insert(body.begin(), spec.sign);
+  }
+  pad_and_append(out, std::move(body), spec, numeric);
+}
+
+std::string vformat(std::string_view fmt, std::vector<FormatArg> args) {
+  std::string out;
+  out.reserve(fmt.size() + args.size() * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+        out.push_back('}');
+        ++i;
+        continue;
+      }
+      throw format_error("unmatched '}' in format string");
+    }
+    if (c != '{') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out.push_back('{');
+      ++i;
+      continue;
+    }
+    // Find the matching close brace, skipping nested "{}" (runtime
+    // precision specs like "{:.{}f}").
+    std::size_t close = std::string_view::npos;
+    int nesting = 0;
+    for (std::size_t j = i + 1; j < fmt.size(); ++j) {
+      if (fmt[j] == '{') {
+        ++nesting;
+      } else if (fmt[j] == '}') {
+        if (nesting == 0) {
+          close = j;
+          break;
+        }
+        --nesting;
+      }
+    }
+    if (close == std::string_view::npos) throw format_error("unmatched '{' in format string");
+    std::string spec(fmt.substr(i + 1, close - i - 1));
+    if (!spec.empty() && spec[0] != ':') throw format_error("positional args not supported");
+    if (!spec.empty()) spec.erase(0, 1);
+    // Runtime precision ".{}" consumes the *following* argument, matching
+    // std::format's ordering (value first, then precision).
+    if (const std::size_t nested = spec.find(".{}"); nested != std::string::npos) {
+      if (next_arg + 1 >= args.size()) throw format_error("missing precision argument");
+      const FormatArg value = args[next_arg];
+      const std::int64_t precision = args[next_arg + 1].as_int();
+      next_arg += 2;
+      spec.replace(nested, 3, "." + std::to_string(precision));
+      value.append_to(out, spec);
+      i = close;
+      continue;
+    }
+    if (next_arg >= args.size()) throw format_error("too few format arguments");
+    args[next_arg++].append_to(out, spec);
+    i = close;
+  }
+  return out;
+}
+
+}  // namespace wfs::support::detail

@@ -1,0 +1,75 @@
+// Minimal std::format replacement (libstdc++ 12 does not ship <format>).
+//
+// Supports the subset of the std::format grammar this codebase uses:
+//   {}            default formatting
+//   {:d} {:x} {:X}  integers (decimal / hex)
+//   {:f} {:e} {:g}  doubles with optional precision {:.3f}
+//   {:.{}f}       runtime precision (consumes the next argument)
+//   {:8} {:<8} {:>8} {:^8}  width and alignment (strings and numbers)
+//   {:04} {:04x}  zero padding for numbers
+//   {{ and }}     literal braces
+// Positional arguments ({0}) are not supported; arguments are consumed in
+// order. Errors (bad spec, too few arguments) throw std::format_error-like
+// std::runtime_error to fail loudly in tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace wfs::support {
+
+class format_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Type-erased format argument.
+class FormatArg {
+ public:
+  FormatArg(bool v) : value_(v) {}
+  FormatArg(char v) : value_(v) {}
+  FormatArg(double v) : value_(v) {}
+  FormatArg(float v) : value_(static_cast<double>(v)) {}
+  FormatArg(const char* v) : value_(std::string_view(v)) {}
+  FormatArg(std::string_view v) : value_(v) {}
+  FormatArg(const std::string& v) : value_(std::string_view(v)) {}
+
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> && !std::is_same_v<T, char>)
+  FormatArg(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      value_ = static_cast<std::int64_t>(v);
+    } else {
+      value_ = static_cast<std::uint64_t>(v);
+    }
+  }
+
+  template <typename T>
+    requires std::is_enum_v<T>
+  FormatArg(T v) : FormatArg(static_cast<std::underlying_type_t<T>>(v)) {}
+
+  [[nodiscard]] std::int64_t as_int() const;
+  void append_to(std::string& out, std::string_view spec) const;
+
+ private:
+  std::variant<bool, char, std::int64_t, std::uint64_t, double, std::string_view> value_;
+};
+
+std::string vformat(std::string_view fmt, std::vector<FormatArg> args);
+
+}  // namespace detail
+
+/// Formats `fmt` with the given arguments (std::format subset, see above).
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, Args&&... args) {
+  return detail::vformat(fmt, std::vector<detail::FormatArg>{detail::FormatArg(args)...});
+}
+
+}  // namespace wfs::support

@@ -1,0 +1,58 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <iostream>
+#include <mutex>
+
+namespace wfs::support {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void Logger::set_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Logger::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  const std::scoped_lock lock(g_sink_mutex);
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < Logger::level()) return;
+  const std::scoped_lock lock(g_sink_mutex);
+  std::ostream* out = g_sink.load(std::memory_order_relaxed);
+  if (out == nullptr) out = &std::cerr;
+  (*out) << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace wfs::support

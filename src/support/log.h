@@ -1,0 +1,59 @@
+// Lightweight leveled logger for the framework.
+//
+// The simulator is single-threaded per Simulation instance, but examples and
+// the experiment runner may execute several simulations from a thread pool,
+// so the sink is protected by a mutex (Core Guidelines CP.2: avoid data
+// races; CP.20: RAII locks only).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "support/format.h"
+
+namespace wfs::support {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the fixed, lower-case name used in log lines ("trace", ... "off").
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive). Returns kInfo for anything unrecognised.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+/// Process-wide logger configuration. All functions are thread-safe.
+class Logger {
+ public:
+  /// Global minimum level; messages below it are dropped before formatting.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Redirects output (default: stderr). Pass nullptr to restore stderr.
+  /// The stream must outlive all logging calls.
+  static void set_sink(std::ostream* sink) noexcept;
+
+  /// Emits one formatted line: "[level] component: message\n".
+  static void write(LogLevel level, std::string_view component, std::string_view message);
+};
+
+/// Formatting front-end: log(LogLevel::kInfo, "faas", "scaled to {}", n).
+template <typename... Args>
+void log(LogLevel level, std::string_view component, std::string_view fmt, Args&&... args) {
+  if (level < Logger::level()) return;
+  Logger::write(level, component, format(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace wfs::support
+
+#define WFS_LOG_TRACE(component, ...) \
+  ::wfs::support::log(::wfs::support::LogLevel::kTrace, component, __VA_ARGS__)
+#define WFS_LOG_DEBUG(component, ...) \
+  ::wfs::support::log(::wfs::support::LogLevel::kDebug, component, __VA_ARGS__)
+#define WFS_LOG_INFO(component, ...) \
+  ::wfs::support::log(::wfs::support::LogLevel::kInfo, component, __VA_ARGS__)
+#define WFS_LOG_WARN(component, ...) \
+  ::wfs::support::log(::wfs::support::LogLevel::kWarn, component, __VA_ARGS__)
+#define WFS_LOG_ERROR(component, ...) \
+  ::wfs::support::log(::wfs::support::LogLevel::kError, component, __VA_ARGS__)

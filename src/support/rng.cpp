@@ -1,0 +1,57 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace wfs::support {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  if (stddev <= 0.0) return std::clamp(mean, lo, hi);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double draw = dist(engine_);
+    if (draw >= lo && draw <= hi) return draw;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: no positive weight");
+  double point = uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() {
+  // Draw two words so the child stream is decorrelated from subsequent
+  // parent draws even for adjacent seeds.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1));
+}
+
+}  // namespace wfs::support

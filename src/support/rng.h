@@ -1,0 +1,49 @@
+// Deterministic random number generation.
+//
+// Everything in the framework that needs randomness (recipe generation,
+// latency jitter) draws from an explicitly seeded Rng instance that is passed
+// down by value or reference — never from global state — so that a fixed
+// seed reproduces an experiment bit-for-bit (the determinism property tests
+// in tests/ rely on this).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wfs::support {
+
+/// A seeded 64-bit PRNG (SplitMix64-based engine feeding a mt19937_64) with
+/// convenience draws. Cheap to copy; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Truncated normal: draws N(mean, stddev) re-sampled (max 64 tries, then
+  /// clamped) into [lo, hi].
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; used so sibling recipe
+  /// components do not perturb each other's streams.
+  Rng fork();
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wfs::support

@@ -1,0 +1,84 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdint>
+#include "support/format.h"
+
+namespace wfs::support {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string pad_id(std::uint64_t value, int width) {
+  std::string digits = std::to_string(value);
+  if (static_cast<int>(digits.size()) < width) {
+    digits.insert(0, static_cast<std::size_t>(width) - digits.size(), '0');
+  }
+  return digits;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kSuffixes)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return wfs::support::format("{} B", bytes);
+  return wfs::support::format("{:.2f} {}", value, kSuffixes[unit]);
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 0) return "-" + human_duration(-seconds);
+  if (seconds < 60.0) return wfs::support::format("{:.1f}s", seconds);
+  const auto total = static_cast<std::uint64_t>(seconds);
+  const std::uint64_t h = total / 3600, m = (total % 3600) / 60, s = total % 60;
+  if (h > 0) return wfs::support::format("{}h{:02}m{:02}s", h, m, s);
+  return wfs::support::format("{}m{:02}s", m, s);
+}
+
+}  // namespace wfs::support

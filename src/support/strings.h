@@ -1,0 +1,36 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfs::support {
+
+/// Splits on a single-character separator; empty fields are preserved.
+/// split("a,,b", ',') -> {"a", "", "b"}; split("", ',') -> {""}.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+
+/// Zero-pads a non-negative number to `width` digits: pad_id(7, 8) ->
+/// "00000007" — the WfCommons task-id convention ("blastall_00000002").
+std::string pad_id(std::uint64_t value, int width);
+
+/// Formats a byte count with a binary-unit suffix ("1.50 GiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Formats seconds as "1h02m03s" / "4m05s" / "6.3s" depending on magnitude.
+std::string human_duration(double seconds);
+
+}  // namespace wfs::support

@@ -1,0 +1,58 @@
+#include "support/units.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace wfs::support {
+namespace {
+
+// Parses the leading numeric part, returning the remainder via `rest`.
+double parse_number(const char* text, const char** rest) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text) throw std::invalid_argument(std::string("not a number: ") + text);
+  *rest = end;
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t parse_bytes(const char* text) {
+  const char* rest = nullptr;
+  const double value = parse_number(text, &rest);
+  if (value < 0) throw std::invalid_argument(std::string("negative byte count: ") + text);
+  const std::string suffix(rest);
+  double scale = 1.0;
+  if (suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "k" || suffix == "K") {
+    scale = 1e3;
+  } else if (suffix == "M") {
+    scale = 1e6;
+  } else if (suffix == "G") {
+    scale = 1e9;
+  } else if (suffix == "Ki") {
+    scale = static_cast<double>(kKiB);
+  } else if (suffix == "Mi") {
+    scale = static_cast<double>(kMiB);
+  } else if (suffix == "Gi") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    throw std::invalid_argument("unknown byte suffix: " + suffix);
+  }
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+double parse_cpus(const char* text) {
+  const char* rest = nullptr;
+  const double value = parse_number(text, &rest);
+  if (value < 0) throw std::invalid_argument(std::string("negative cpu count: ") + text);
+  const std::string suffix(rest);
+  if (suffix.empty()) return value;
+  if (suffix == "m") return value / 1000.0;  // millicores
+  throw std::invalid_argument("unknown cpu suffix: " + suffix);
+}
+
+}  // namespace wfs::support

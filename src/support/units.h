@@ -1,0 +1,24 @@
+// Typed unit constants and conversions used throughout the simulator.
+//
+// Simulated time is kept in integer microseconds (SimTime in sim/clock.h);
+// byte quantities in std::uint64_t; rates in double (bytes/s, work-units/s).
+#pragma once
+
+#include <cstdint>
+
+namespace wfs::support {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Parses strings like "512Mi", "2Gi", "100k", "1500" into bytes.
+/// Suffixes: k/M/G (decimal), Ki/Mi/Gi (binary). Throws std::invalid_argument
+/// on malformed input.
+std::uint64_t parse_bytes(const char* text);
+
+/// Parses Kubernetes-style CPU quantities: "2" -> 2.0 cores, "500m" -> 0.5.
+/// Throws std::invalid_argument on malformed input.
+double parse_cpus(const char* text);
+
+}  // namespace wfs::support

@@ -1,0 +1,156 @@
+#include "wfbench/native.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <fstream>
+
+#include "support/format.h"
+
+namespace wfs::wfbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Busy-burns roughly `seconds` of CPU; the volatile accumulator defeats
+// dead-code elimination (what stress-ng's cpu stressor does in spirit).
+double burn_cpu(double seconds) {
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  volatile double sink = 1.0;
+  while (Clock::now() < deadline) {
+    for (int i = 0; i < 1000; ++i) sink = sink * 1.0000001 + 0.0000001;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+NativeOutcome execute_native(const TaskParams& params, const NativeConfig& config) {
+  NativeOutcome outcome;
+  const auto started = Clock::now();
+  const std::filesystem::path workdir =
+      params.workdir.empty() ? config.workdir : std::filesystem::path(params.workdir);
+
+  // Phase 1: read inputs (must have been produced / staged already).
+  for (const std::string& input : params.inputs) {
+    const std::filesystem::path path = workdir / input;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      outcome.error = support::format("missing input file: {}", path.string());
+      return outcome;
+    }
+    char buffer[1 << 16];
+    while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+      outcome.bytes_read += static_cast<std::uint64_t>(in.gcount());
+      if (in.gcount() < static_cast<std::streamsize>(sizeof buffer)) break;
+    }
+  }
+
+  // Phase 2: memory stress + CPU stress at the requested duty cycle.
+  std::vector<char> allocation;
+  if (params.memory_bytes > 0) {
+    allocation.resize(params.memory_bytes);
+    // Touch one byte per page so the allocation is actually resident.
+    for (std::size_t i = 0; i < allocation.size(); i += 4096) allocation[i] = 1;
+  }
+  const double duty = std::clamp(params.percent_cpu, 0.01, 1.0);
+  double busy_budget = params.cpu_work * config.work_unit_seconds;
+  constexpr double kSlice = 0.005;  // 5 ms duty-cycle slices
+  while (busy_budget > 0.0) {
+    const double busy = std::min(busy_budget, kSlice * duty);
+    outcome.busy_seconds += burn_cpu(busy);
+    busy_budget -= busy;
+    if (duty < 1.0 && busy_budget > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(busy / duty * (1.0 - duty)));
+    }
+  }
+
+  // Phase 3: write outputs at their declared sizes.
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  for (const auto& [file, size] : params.outputs) {
+    const std::filesystem::path path = workdir / file;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      outcome.error = support::format("cannot write output file: {}", path.string());
+      return outcome;
+    }
+    static constexpr char kChunk[1 << 14] = {};
+    std::uint64_t remaining = size;
+    while (remaining > 0) {
+      const auto n = static_cast<std::streamsize>(std::min<std::uint64_t>(remaining,
+                                                                          sizeof kChunk));
+      out.write(kChunk, n);
+      remaining -= static_cast<std::uint64_t>(n);
+    }
+    outcome.bytes_written += size;
+  }
+
+  if (!config.persistent_memory) allocation.clear();  // NoPM frees eagerly
+  outcome.ok = true;
+  outcome.runtime_seconds =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  return outcome;
+}
+
+NativeWorkerPool::NativeWorkerPool(int workers, NativeConfig config)
+    : config_(std::move(config)) {
+  if (workers <= 0) throw std::invalid_argument("NativeWorkerPool: workers must be > 0");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+NativeWorkerPool::~NativeWorkerPool() {
+  for (std::jthread& thread : threads_) thread.request_stop();
+  work_available_.notify_all();
+  // jthread joins on destruction.
+}
+
+std::future<NativeOutcome> NativeWorkerPool::submit(TaskParams params) {
+  Job job;
+  job.params = std::move(params);
+  std::future<NativeOutcome> future = job.done.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void NativeWorkerPool::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+std::size_t NativeWorkerPool::completed() const {
+  const std::scoped_lock lock(mutex_);
+  return completed_;
+}
+
+void NativeWorkerPool::worker_loop(std::stop_token stop) {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+    }
+    NativeOutcome outcome = execute_native(job.params, config_);
+    job.done.set_value(std::move(outcome));
+    {
+      const std::scoped_lock lock(mutex_);
+      --inflight_;
+      ++completed_;
+      if (queue_.empty() && inflight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace wfs::wfbench

@@ -1,0 +1,93 @@
+// Native wfbench execution — the REAL thing, not the simulation.
+//
+// wfbench.py performs actual computation: it burns CPU at the requested
+// duty cycle, holds a memory allocation, reads its inputs and writes its
+// outputs as real files. This module is that executable in C++: the same
+// TaskParams request body, executed against the host. A NativeWorkerPool
+// of std::jthreads is the gunicorn worker-pool analogue (Core Guidelines
+// CP.4: think in tasks; CP.20/CP.42: RAII locks, condition-variable waits).
+//
+// The simulated WfBenchService (service.h) is used for the paper-scale
+// experiments; this native path exists so the library is also a working
+// benchmark tool (see examples/native_wfbench.cpp) and so the cost model
+// can be sanity-checked against real execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "wfbench/task_params.h"
+
+namespace wfs::wfbench {
+
+struct NativeConfig {
+  /// Seconds of busy CPU per cpu-work unit (wfbench.py's work unit is
+  /// hardware dependent; keep small for demos/tests).
+  double work_unit_seconds = 0.001;
+  /// Where inputs are read from and outputs written to (the shared-drive
+  /// "workdir"); TaskParams::workdir overrides when non-empty.
+  std::filesystem::path workdir;
+  /// Keep the memory allocation after the task (the PM / --vm-keep knob).
+  bool persistent_memory = false;
+};
+
+struct NativeOutcome {
+  bool ok = false;
+  std::string error;
+  double runtime_seconds = 0.0;   // wall time of the whole task
+  double busy_seconds = 0.0;      // CPU time actually burned
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Executes one wfbench task on the calling thread, for real: reads every
+/// input file (fails if missing), allocates and touches `memory-bytes`,
+/// spins `cpu-work` work units at the `percent-cpu` duty cycle, writes
+/// every declared output file at its declared size.
+[[nodiscard]] NativeOutcome execute_native(const TaskParams& params,
+                                           const NativeConfig& config);
+
+/// Fixed pool of worker threads executing wfbench tasks — the gunicorn
+/// `--workers N` analogue. Tasks queue FIFO; submit() never blocks.
+class NativeWorkerPool {
+ public:
+  NativeWorkerPool(int workers, NativeConfig config);
+  ~NativeWorkerPool();
+
+  NativeWorkerPool(const NativeWorkerPool&) = delete;
+  NativeWorkerPool& operator=(const NativeWorkerPool&) = delete;
+
+  /// Enqueues a task; the future resolves when a worker finishes it.
+  [[nodiscard]] std::future<NativeOutcome> submit(TaskParams params);
+
+  /// Blocks until every queued/in-flight task completed.
+  void drain();
+
+  [[nodiscard]] int workers() const noexcept { return static_cast<int>(threads_.size()); }
+  [[nodiscard]] std::size_t completed() const;
+
+ private:
+  struct Job {
+    TaskParams params;
+    std::promise<NativeOutcome> done;
+  };
+
+  void worker_loop(std::stop_token stop);
+
+  NativeConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable_any work_available_;
+  std::condition_variable idle_;
+  std::deque<Job> queue_;
+  std::size_t inflight_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<std::jthread> threads_;  // last member: joins before state dies
+};
+
+}  // namespace wfs::wfbench

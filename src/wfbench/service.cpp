@@ -1,0 +1,224 @@
+#include "wfbench/service.h"
+
+#include <memory>
+
+#include "json/write.h"
+#include "support/format.h"
+#include "support/log.h"
+
+namespace wfs::wfbench {
+namespace {
+
+net::HttpResponse ok_response(const TaskParams& params, double runtime_seconds) {
+  json::Object body;
+  body.set("name", params.name);
+  body.set("status", "ok");
+  body.set("runtimeInSeconds", runtime_seconds);
+  return net::HttpResponse::make_ok(json::write_compact(json::Value(std::move(body))));
+}
+
+}  // namespace
+
+WfBenchService::WfBenchService(sim::Simulation& sim, cluster::Node& node,
+                               storage::DataStore& fs, ServiceConfig config,
+                               cluster::QuotaGroupId quota_group)
+    : sim_(sim), node_(node), fs_(fs), config_(config), quota_group_(quota_group) {
+  if (config_.workers <= 0) throw std::invalid_argument("WfBenchService: workers must be > 0");
+  workers_.resize(static_cast<std::size_t>(config_.workers));
+  add_resident(config_.base_memory_bytes +
+               config_.memory_per_worker * static_cast<std::uint64_t>(config_.workers));
+  idle_load_ = node_.add_background_load(
+      config_.idle_load_per_worker * static_cast<double>(config_.workers), /*spin=*/true);
+}
+
+WfBenchService::~WfBenchService() { shutdown(); }
+
+void WfBenchService::add_resident(std::uint64_t bytes) {
+  resident_bytes_ += bytes;
+  node_.add_memory(bytes);
+}
+
+void WfBenchService::remove_resident(std::uint64_t bytes) {
+  bytes = std::min(bytes, resident_bytes_);
+  resident_bytes_ -= bytes;
+  node_.remove_memory(bytes);
+}
+
+void WfBenchService::handle(const TaskParams& params, ResponseCallback done) {
+  if (shutdown_) {
+    done(net::HttpResponse::service_unavailable("wfbench service is shut down"));
+    return;
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].busy) {
+      dispatch(i, params, std::move(done));
+      return;
+    }
+  }
+  queue_.push_back(PendingRequest{params, std::move(done)});
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
+}
+
+void WfBenchService::dispatch(std::size_t worker_index, TaskParams params,
+                              ResponseCallback done) {
+  Worker& worker = workers_[worker_index];
+  worker.busy = true;
+  ++busy_workers_;
+  auto shared_params = std::make_shared<TaskParams>(std::move(params));
+  auto shared_done = std::make_shared<ResponseCallback>(std::move(done));
+  worker.active_done = shared_done;
+
+  // Phase 1: read every input from the shared drive. A missing input means
+  // a preceding function has not produced it — the request fails (the WFM's
+  // availability check exists to prevent exactly this).
+  if (shared_params->inputs.empty()) {
+    begin_compute(worker_index, std::move(shared_params), std::move(shared_done));
+    return;
+  }
+  struct ReadState {
+    std::size_t remaining;
+    bool failed = false;
+  };
+  auto state = std::make_shared<ReadState>(ReadState{shared_params->inputs.size()});
+  const std::uint64_t gen = generation_;
+  for (const std::string& input : shared_params->inputs) {
+    fs_.read(input, [this, worker_index, gen, state, shared_params, shared_done](bool read_ok) {
+      if (gen != generation_) return;  // service restarted/shut down meanwhile
+      if (!read_ok) state->failed = true;
+      if (--state->remaining > 0) return;
+      if (state->failed) {
+        ++stats_.failed;
+        ++stats_.missing_input_failures;
+        (*shared_done)(net::HttpResponse::server_error(
+            support::format("missing input file for task {}", shared_params->name)));
+        release_worker(worker_index);
+        return;
+      }
+      begin_compute(worker_index, shared_params, shared_done);
+    });
+  }
+}
+
+bool WfBenchService::reserve_task_memory(Worker& worker, std::uint64_t bytes) {
+  std::uint64_t delta = bytes;
+  if (config_.persistent_memory && worker.kept_bytes > 0) {
+    // The kept allocation is reused; only growth allocates new pages.
+    delta = bytes > worker.kept_bytes ? bytes - worker.kept_bytes : 0;
+  }
+  if (config_.memory_limit_bytes > 0 &&
+      resident_bytes_ + delta > config_.memory_limit_bytes) {
+    return false;  // container OOMKill analogue
+  }
+  worker.task_bytes = delta;
+  if (delta > 0) add_resident(delta);
+  return true;
+}
+
+void WfBenchService::begin_compute(std::size_t worker_index,
+                                   std::shared_ptr<TaskParams> shared_params,
+                                   std::shared_ptr<ResponseCallback> shared_done) {
+  Worker& worker = workers_[worker_index];
+  // Allocator slack (uncapped containers) grows the effective allocation;
+  // the same effective size is used for the PM keep below so accounting
+  // balances across invocations.
+  const auto effective_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(shared_params->memory_bytes) * (1.0 + config_.allocation_slack));
+  if (!reserve_task_memory(worker, effective_bytes)) {
+    ++stats_.failed;
+    ++stats_.oom_failures;
+    (*shared_done)(net::HttpResponse::server_error(
+        support::format("container memory limit exceeded by task {}", shared_params->name)));
+    release_worker(worker_index);
+    return;
+  }
+
+  const std::uint64_t gen = generation_;
+  const sim::SimTime started = sim_.now();
+  worker.work = node_.submit_work(
+      shared_params->percent_cpu, shared_params->cpu_work, quota_group_,
+      [this, worker_index, gen, started, effective_bytes, shared_params, shared_done] {
+        if (gen != generation_) return;
+        workers_[worker_index].work = 0;
+        // Phase 3: write outputs, then settle memory and respond.
+        auto finish_up = [this, worker_index, gen, started, effective_bytes, shared_params,
+                          shared_done] {
+          if (gen != generation_) return;
+          Worker& w = workers_[worker_index];
+          if (config_.persistent_memory) {
+            // --vm-keep: the allocation stays with the worker process.
+            w.kept_bytes = std::max(w.kept_bytes, effective_bytes);
+            w.task_bytes = 0;
+            if (w.kept_bytes > 0 && w.pm_load == 0) {
+              w.pm_load = node_.add_background_load(config_.pm_refresh_load, /*spin=*/true);
+            }
+          } else if (w.task_bytes > 0) {
+            remove_resident(w.task_bytes);
+            w.task_bytes = 0;
+          }
+          ++stats_.completed;
+          const double runtime = sim::to_seconds(sim_.now() - started);
+          (*shared_done)(ok_response(*shared_params, runtime));
+          release_worker(worker_index);
+        };
+        if (shared_params->outputs.empty()) {
+          finish_up();
+          return;
+        }
+        auto remaining = std::make_shared<std::size_t>(shared_params->outputs.size());
+        for (const auto& [file, size] : shared_params->outputs) {
+          fs_.write(file, size, [remaining, finish_up] {
+            if (--*remaining == 0) finish_up();
+          });
+        }
+      });
+}
+
+void WfBenchService::release_worker(std::size_t worker_index) {
+  Worker& worker = workers_[worker_index];
+  worker.busy = false;
+  worker.active_done.reset();
+  --busy_workers_;
+  if (queue_.empty() || shutdown_) return;
+  PendingRequest next = std::move(queue_.front());
+  queue_.pop_front();
+  dispatch(worker_index, std::move(next.params), std::move(next.done));
+}
+
+void WfBenchService::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  ++generation_;  // invalidate all pending async phases
+
+  for (PendingRequest& pending : queue_) {
+    pending.done(net::HttpResponse::service_unavailable("service terminating"));
+    ++stats_.failed;
+  }
+  queue_.clear();
+
+  for (Worker& worker : workers_) {
+    if (worker.active_done) {
+      (*worker.active_done)(net::HttpResponse::service_unavailable("service terminating"));
+      worker.active_done.reset();
+      ++stats_.failed;
+    }
+    if (worker.work != 0) {
+      node_.cancel_work(worker.work);
+      worker.work = 0;
+    }
+    if (worker.pm_load != 0) {
+      node_.remove_background_load(worker.pm_load);
+      worker.pm_load = 0;
+    }
+    worker.busy = false;
+    worker.kept_bytes = 0;
+    worker.task_bytes = 0;
+  }
+  busy_workers_ = 0;
+
+  node_.remove_background_load(idle_load_);
+  remove_resident(resident_bytes_);
+  WFS_LOG_DEBUG("wfbench", "service on {} shut down ({} completed, {} failed)", node_.name(),
+                stats_.completed, stats_.failed);
+}
+
+}  // namespace wfs::wfbench

@@ -1,0 +1,141 @@
+// WfBench as a Service — one serving process (a Knative pod's container or
+// a local Docker container) running the wfbench app behind gunicorn with a
+// fixed worker pool (`--workers N`, the paper's 1w/10w/1000w knob).
+//
+// Each worker executes one request at a time through the three wfbench
+// phases (read inputs -> cpu+memory stress -> write outputs) against the
+// simulated node and shared filesystem. Requests beyond the worker count
+// queue inside the process. Persistent memory (PM, stress-ng --vm-keep)
+// makes a worker retain its stressor allocation between requests until the
+// process exits — the knob behind the paper's memory-usage deltas.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "net/http.h"
+#include "storage/data_store.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::wfbench {
+
+struct ServiceConfig {
+  int workers = 10;
+  /// gunicorn --threads (kept for fidelity; threads share the worker's
+  /// request slot in the paper's setup of --threads 1).
+  int threads = 1;
+  bool persistent_memory = false;
+  /// Resident footprint of the serving process independent of stress
+  /// allocations (python + gunicorn master).
+  std::uint64_t base_memory_bytes = 150ULL << 20;
+  /// Additional resident bytes per forked worker (a preforked
+  /// python/gunicorn worker RSS).
+  std::uint64_t memory_per_worker = 50ULL << 20;
+  /// Cores of low-IPC polling overhead each idle worker costs.
+  double idle_load_per_worker = 0.008;
+  /// Extra spin load per worker actively holding a kept PM allocation
+  /// (the stressor keeps touching pages).
+  double pm_refresh_load = 0.02;
+  /// Memory limit of the container (0 = unlimited). Exceeding it fails the
+  /// request with 500 (OOMKill analogue).
+  std::uint64_t memory_limit_bytes = 0;
+  /// Allocator greediness without a cgroup memory limit: stressor
+  /// allocations grow by this fraction (glibc arenas keep slack when
+  /// nothing pushes back) — the paper's "without such constraints it may
+  /// consume more memory" observation for NoCR containers.
+  double allocation_slack = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t oom_failures = 0;
+  std::uint64_t missing_input_failures = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+class WfBenchService {
+ public:
+  using ResponseCallback = std::function<void(net::HttpResponse)>;
+
+  /// Binds the service to its node. `quota_group` caps the aggregate CPU
+  /// rate of this process's work (cgroup --cpus), kNoQuotaGroup = uncapped.
+  /// Registers the base memory footprint and idle worker loads immediately.
+  WfBenchService(sim::Simulation& sim, cluster::Node& node, storage::DataStore& fs,
+                 ServiceConfig config,
+                 cluster::QuotaGroupId quota_group = cluster::kNoQuotaGroup);
+  ~WfBenchService();
+
+  WfBenchService(const WfBenchService&) = delete;
+  WfBenchService& operator=(const WfBenchService&) = delete;
+
+  /// Handles one wfbench invocation; `done` fires exactly once with the
+  /// HTTP response. Never blocks: excess requests queue.
+  void handle(const TaskParams& params, ResponseCallback done);
+
+  /// Graceful-stop analogue: releases all memory (including PM keeps),
+  /// deregisters loads, cancels in-flight work (their callbacks get 503).
+  /// Idempotent; also runs on destruction.
+  void shutdown();
+
+  [[nodiscard]] bool running() const noexcept { return !shutdown_; }
+  [[nodiscard]] int workers() const noexcept { return config_.workers; }
+  [[nodiscard]] int busy_workers() const noexcept { return busy_workers_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  /// In-flight = executing + queued (what the Knative autoscaler observes).
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return static_cast<std::size_t>(busy_workers_) + queue_.size();
+  }
+  [[nodiscard]] bool has_capacity() const noexcept {
+    return inflight() < static_cast<std::size_t>(config_.workers);
+  }
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+  /// Resident bytes currently accounted to this process on its node.
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept { return resident_bytes_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Worker {
+    bool busy = false;
+    std::uint64_t task_bytes = 0;  // stressor allocation of the current task
+    std::uint64_t kept_bytes = 0;  // PM allocation retained between tasks
+    cluster::LoadId pm_load = 0;   // refresh load while kept_bytes > 0
+    cluster::WorkId work = 0;      // in-flight compute work
+    /// Held so shutdown can answer 503 instead of dropping the request.
+    std::shared_ptr<ResponseCallback> active_done;
+  };
+
+  struct PendingRequest {
+    TaskParams params;
+    ResponseCallback done;
+  };
+
+  void dispatch(std::size_t worker_index, TaskParams params, ResponseCallback done);
+  void begin_compute(std::size_t worker_index, std::shared_ptr<TaskParams> params,
+                     std::shared_ptr<ResponseCallback> done);
+  void release_worker(std::size_t worker_index);
+  bool reserve_task_memory(Worker& worker, std::uint64_t bytes);
+  void add_resident(std::uint64_t bytes);
+  void remove_resident(std::uint64_t bytes);
+
+  sim::Simulation& sim_;
+  cluster::Node& node_;
+  storage::DataStore& fs_;
+  ServiceConfig config_;
+  cluster::QuotaGroupId quota_group_;
+
+  std::vector<Worker> workers_;
+  std::deque<PendingRequest> queue_;
+  int busy_workers_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  cluster::LoadId idle_load_ = 0;
+  ServiceStats stats_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;  // invalidates async phases after shutdown
+};
+
+}  // namespace wfs::wfbench

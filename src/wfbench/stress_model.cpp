@@ -1,0 +1,26 @@
+#include "wfbench/stress_model.h"
+
+#include <algorithm>
+
+namespace wfs::wfbench {
+
+StressEstimate estimate(const TaskParams& params, const EnvironmentModel& env) {
+  StressEstimate out;
+  for (std::size_t i = 0; i < params.inputs.size(); ++i) {
+    out.read_seconds += env.io_latency_seconds +
+                        static_cast<double>(env.assumed_input_bytes) / env.read_bandwidth_bps;
+  }
+  const double rate = std::max(1e-9, env.core_speed * params.percent_cpu);
+  out.compute_seconds = params.cpu_work / rate;
+  for (const auto& [file, size] : params.outputs) {
+    out.write_seconds +=
+        env.io_latency_seconds + static_cast<double>(size) / env.write_bandwidth_bps;
+  }
+  return out;
+}
+
+double cpu_seconds(const TaskParams& params, const EnvironmentModel& env) {
+  return params.cpu_work / std::max(1e-9, env.core_speed);
+}
+
+}  // namespace wfs::wfbench

@@ -1,0 +1,45 @@
+// Cost model of one wfbench task execution.
+//
+// The real wfbench.py runs three phases: read inputs from the shared drive,
+// stress the CPU for `cpu-work` units at `percent-cpu` (while a memory
+// stressor holds --vm-bytes), then write outputs. This header centralises
+// the closed-form expectations used by tests and benches to cross-check the
+// simulated service (the service itself executes the phases event by event
+// against the node/filesystem models).
+#pragma once
+
+#include <cstdint>
+
+#include "wfbench/task_params.h"
+
+namespace wfs::wfbench {
+
+struct StressEstimate {
+  double read_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double write_seconds = 0.0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return read_seconds + compute_seconds + write_seconds;
+  }
+};
+
+struct EnvironmentModel {
+  double core_speed = 1.0;           // work units per second per core
+  double read_bandwidth_bps = 2.0e9;
+  double write_bandwidth_bps = 1.2e9;
+  double io_latency_seconds = 0.002;
+  /// Input sizes are unknown to the request body; estimators assume this
+  /// per-input size unless told otherwise.
+  std::uint64_t assumed_input_bytes = 40 * 1024;
+};
+
+/// Uncontended (full `percent_cpu` allocation, idle filesystem) duration of
+/// a task — the lower bound the simulation approaches on an idle cluster.
+[[nodiscard]] StressEstimate estimate(const TaskParams& params, const EnvironmentModel& env);
+
+/// CPU-seconds the task burns (work / core_speed) — paradigm-independent,
+/// used by resource-conservation property tests.
+[[nodiscard]] double cpu_seconds(const TaskParams& params, const EnvironmentModel& env);
+
+}  // namespace wfs::wfbench

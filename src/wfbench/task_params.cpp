@@ -1,0 +1,74 @@
+#include "wfbench/task_params.h"
+
+#include <stdexcept>
+
+#include "json/parse.h"
+
+namespace wfs::wfbench {
+
+json::Value to_json(const TaskParams& params) {
+  json::Object body;
+  body.set("name", params.name);
+  body.set("percent-cpu", params.percent_cpu);
+  body.set("cpu-work", params.cpu_work);
+  if (params.memory_bytes > 0) body.set("memory-bytes", params.memory_bytes);
+  json::Object out;
+  for (const auto& [file, size] : params.outputs) out.set(file, size);
+  body.set("out", std::move(out));
+  json::Array inputs;
+  for (const std::string& file : params.inputs) inputs.emplace_back(file);
+  body.set("inputs", std::move(inputs));
+  if (!params.workdir.empty()) body.set("workdir", params.workdir);
+  return json::Value(std::move(body));
+}
+
+TaskParams task_params_from_json(const json::Value& body) {
+  if (!body.is_object()) throw std::invalid_argument("wfbench request body is not an object");
+  const json::Object& obj = body.as_object();
+
+  TaskParams params;
+  const json::Value* name = obj.find("name");
+  if (name == nullptr || !name->is_string()) {
+    throw std::invalid_argument("wfbench request missing string field 'name'");
+  }
+  params.name = name->as_string();
+
+  if (const json::Value* v = obj.find("percent-cpu")) {
+    if (!v->is_number()) throw std::invalid_argument("'percent-cpu' must be a number");
+    params.percent_cpu = v->as_double();
+    if (params.percent_cpu <= 0.0 || params.percent_cpu > 64.0) {
+      throw std::invalid_argument("'percent-cpu' out of range");
+    }
+  }
+  if (const json::Value* v = obj.find("cpu-work")) {
+    if (!v->is_number()) throw std::invalid_argument("'cpu-work' must be a number");
+    params.cpu_work = v->as_double();
+    if (params.cpu_work < 0.0) throw std::invalid_argument("'cpu-work' must be non-negative");
+  }
+  if (const json::Value* v = obj.find("memory-bytes")) {
+    if (!v->is_number()) throw std::invalid_argument("'memory-bytes' must be a number");
+    params.memory_bytes = static_cast<std::uint64_t>(v->int_or(0));
+  }
+  if (const json::Value* v = obj.find("out")) {
+    if (!v->is_object()) throw std::invalid_argument("'out' must be an object");
+    for (const auto& [file, size] : v->as_object()) {
+      if (!size.is_number()) throw std::invalid_argument("'out' sizes must be numbers");
+      params.outputs.emplace_back(file, static_cast<std::uint64_t>(size.int_or(0)));
+    }
+  }
+  if (const json::Value* v = obj.find("inputs")) {
+    if (!v->is_array()) throw std::invalid_argument("'inputs' must be an array");
+    for (const json::Value& entry : v->as_array()) {
+      if (!entry.is_string()) throw std::invalid_argument("'inputs' entries must be strings");
+      params.inputs.push_back(entry.as_string());
+    }
+  }
+  if (const json::Value* v = obj.find("workdir")) params.workdir = v->string_or("");
+  return params;
+}
+
+TaskParams parse_task_params(const std::string& text) {
+  return task_params_from_json(json::parse(text));
+}
+
+}  // namespace wfs::wfbench

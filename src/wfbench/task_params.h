@@ -1,0 +1,43 @@
+// The wfbench invocation payload — the JSON body of the POST request the
+// paper sends to the service (§III-B):
+//   {"name":"split_fasta_00000001", "percent-cpu":0.6, "cpu-work":100,
+//    "out":{"split_fasta_00000001_output.txt":204082},
+//    "inputs":["split_fasta_00000001_input.txt"],
+//    "workdir":"../data/wfbench-knative"}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/value.h"
+
+namespace wfs::wfbench {
+
+struct TaskParams {
+  std::string name;
+  double percent_cpu = 0.6;
+  double cpu_work = 100.0;
+  /// Stressor allocation (--vm-bytes). 0 means "no memory stress".
+  std::uint64_t memory_bytes = 0;
+  /// Output files to produce: (file name, size in bytes).
+  std::vector<std::pair<std::string, std::uint64_t>> outputs;
+  /// Input files that must exist on the shared drive.
+  std::vector<std::string> inputs;
+  std::string workdir;
+
+  friend bool operator==(const TaskParams&, const TaskParams&) = default;
+};
+
+/// Serializes to the POST body shape shown above.
+[[nodiscard]] json::Value to_json(const TaskParams& params);
+
+/// Parses a POST body. Throws std::invalid_argument on missing/ill-typed
+/// required fields (name) or malformed structures.
+[[nodiscard]] TaskParams task_params_from_json(const json::Value& body);
+
+/// Parses request text directly (throws json::ParseError on bad JSON).
+[[nodiscard]] TaskParams parse_task_params(const std::string& text);
+
+}  // namespace wfs::wfbench

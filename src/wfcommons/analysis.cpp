@@ -1,0 +1,143 @@
+#include "wfcommons/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+
+std::vector<std::vector<const Task*>> levels(const Workflow& workflow) {
+  const std::vector<std::size_t> order = topological_order(workflow);
+  const auto& tasks = workflow.tasks();
+  std::unordered_map<std::string_view, std::size_t> level_of;
+  std::size_t max_level = 0;
+  for (const std::size_t i : order) {
+    std::size_t level = 0;
+    for (const std::string& parent : tasks[i].parents) {
+      const auto it = level_of.find(parent);
+      if (it != level_of.end()) level = std::max(level, it->second + 1);
+    }
+    level_of.emplace(tasks[i].name, level);
+    max_level = std::max(max_level, level);
+  }
+  std::vector<std::vector<const Task*>> out(workflow.empty() ? 0 : max_level + 1);
+  for (const Task& t : tasks) out[level_of.at(t.name)].push_back(&t);
+  return out;
+}
+
+std::vector<std::size_t> phase_histogram(const Workflow& workflow) {
+  std::vector<std::size_t> out;
+  for (const auto& level : levels(workflow)) out.push_back(level.size());
+  return out;
+}
+
+std::map<std::string, std::size_t> category_histogram(const Workflow& workflow) {
+  std::map<std::string, std::size_t> out;
+  for (const Task& t : workflow.tasks()) ++out[t.category];
+  return out;
+}
+
+DagStats compute_stats(const Workflow& workflow) {
+  DagStats stats;
+  stats.tasks = workflow.size();
+  stats.edges = workflow.edge_count();
+  const auto phase_sizes = phase_histogram(workflow);
+  stats.levels = phase_sizes.size();
+  for (const std::size_t width : phase_sizes) stats.max_width = std::max(stats.max_width, width);
+  stats.mean_width =
+      stats.levels == 0 ? 0.0
+                        : static_cast<double>(stats.tasks) / static_cast<double>(stats.levels);
+  stats.roots = workflow.roots().size();
+  stats.leaves = workflow.leaves().size();
+  stats.categories = category_histogram(workflow).size();
+  for (const TaskFile& f : workflow.external_inputs()) stats.external_input_bytes += f.size_bytes;
+  for (const Task& t : workflow.tasks()) {
+    stats.produced_bytes += t.output_bytes();
+    stats.total_cpu_work += t.cpu_work;
+  }
+  stats.density = stats.tasks == 0
+                      ? 0.0
+                      : static_cast<double>(stats.max_width) / static_cast<double>(stats.tasks);
+  return stats;
+}
+
+BehaviorGroup classify(const Workflow& workflow) {
+  const DagStats stats = compute_stats(workflow);
+  if (stats.density >= 0.5 || stats.levels <= 4) return BehaviorGroup::kDense;
+  return BehaviorGroup::kLayered;
+}
+
+std::string to_string(BehaviorGroup group) {
+  return group == BehaviorGroup::kDense ? "dense (group 1)" : "layered (group 2)";
+}
+
+CriticalPath critical_path(const Workflow& workflow) {
+  CriticalPath out;
+  if (workflow.empty()) return out;
+  const auto& tasks = workflow.tasks();
+  std::unordered_map<std::string_view, std::size_t> index;
+  for (std::size_t i = 0; i < tasks.size(); ++i) index.emplace(tasks[i].name, i);
+
+  const auto duration = [](const Task& task) {
+    return task.cpu_work / std::max(task.percent_cpu, 1e-9);
+  };
+
+  // Longest-path DP over the topological order.
+  std::vector<double> best(tasks.size(), 0.0);
+  std::vector<std::ptrdiff_t> predecessor(tasks.size(), -1);
+  for (const std::size_t i : topological_order(workflow)) {
+    double incoming = 0.0;
+    std::ptrdiff_t from = -1;
+    for (const std::string& parent : tasks[i].parents) {
+      const std::size_t p = index.at(parent);
+      if (best[p] > incoming) {
+        incoming = best[p];
+        from = static_cast<std::ptrdiff_t>(p);
+      }
+    }
+    best[i] = incoming + duration(tasks[i]);
+    predecessor[i] = from;
+  }
+
+  std::size_t tail = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (best[i] > best[tail]) tail = i;
+  }
+  out.seconds = best[tail];
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(tail); i >= 0; i = predecessor[i]) {
+    out.tasks.push_back(&tasks[static_cast<std::size_t>(i)]);
+  }
+  std::reverse(out.tasks.begin(), out.tasks.end());
+  return out;
+}
+
+std::string render_structure(const Workflow& workflow) {
+  std::string out = support::format("{} — {} tasks, {} edges\n", workflow.name(),
+                                    workflow.size(), workflow.edge_count());
+  const auto by_level = levels(workflow);
+  for (std::size_t i = 0; i < by_level.size(); ++i) {
+    // Count per category within this level, keeping first-seen order.
+    std::vector<std::pair<std::string, std::size_t>> counts;
+    for (const Task* t : by_level[i]) {
+      auto it = std::find_if(counts.begin(), counts.end(),
+                             [&](const auto& entry) { return entry.first == t->category; });
+      if (it == counts.end()) {
+        counts.emplace_back(t->category, 1);
+      } else {
+        ++it->second;
+      }
+    }
+    std::string detail;
+    for (const auto& [category, count] : counts) {
+      if (!detail.empty()) detail += ", ";
+      detail += count == 1 ? category : support::format("{} x{}", category, count);
+    }
+    out += support::format("  phase {:>2}: {:>5} task{}  [{}]\n", i, by_level[i].size(),
+                           by_level[i].size() == 1 ? " " : "s", detail);
+  }
+  return out;
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,67 @@
+// Workflow characterisation — the data behind the paper's Figure 3:
+// DAG structure, functions per phase, and function counts by type.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+/// Level decomposition: level(t) = 1 + max(level(parents)), roots at 0.
+/// These levels are exactly the "phases"/"steps" the paper's WFM executes
+/// in lockstep. Tasks within a level keep workflow order.
+[[nodiscard]] std::vector<std::vector<const Task*>> levels(const Workflow& workflow);
+
+/// Number of functions per phase (Figure 3, middle row).
+[[nodiscard]] std::vector<std::size_t> phase_histogram(const Workflow& workflow);
+
+/// Function count per category name (Figure 3, bottom row). Ordered map so
+/// output is deterministic.
+[[nodiscard]] std::map<std::string, std::size_t> category_histogram(const Workflow& workflow);
+
+struct DagStats {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t levels = 0;
+  std::size_t max_width = 0;
+  double mean_width = 0.0;
+  std::size_t roots = 0;
+  std::size_t leaves = 0;
+  std::size_t categories = 0;
+  std::uint64_t external_input_bytes = 0;
+  std::uint64_t produced_bytes = 0;
+  double total_cpu_work = 0.0;
+  /// max_width / tasks — 1.0 means a single flat level.
+  double density = 0.0;
+};
+
+[[nodiscard]] DagStats compute_stats(const Workflow& workflow);
+
+/// The paper's behavioural split (§V-D): group 1 ("dense") workflows have
+/// few phases dominated by one wide level of identical functions; group 2
+/// ("layered") have many phases and diverse types. Classified structurally:
+/// dense iff density >= 0.5 or levels <= 4.
+enum class BehaviorGroup { kDense, kLayered };
+[[nodiscard]] BehaviorGroup classify(const Workflow& workflow);
+[[nodiscard]] std::string to_string(BehaviorGroup group);
+
+/// Critical path: the dependency chain maximising total uncontended
+/// compute time (cpu_work / percent_cpu at unit core speed) — the lower
+/// bound on any paradigm's makespan, however many workers it has.
+struct CriticalPath {
+  std::vector<const Task*> tasks;  // root .. leaf along the longest chain
+  double seconds = 0.0;            // uncontended compute time of the chain
+};
+[[nodiscard]] CriticalPath critical_path(const Workflow& workflow);
+
+/// Multi-line ASCII rendering of structure per phase, e.g.
+///   phase 0:    1 task   [split_fasta]
+///   phase 1:   47 tasks  [blastall x47]
+/// (the textual stand-in for Figure 3's DAG drawings).
+[[nodiscard]] std::string render_structure(const Workflow& workflow);
+
+}  // namespace wfs::wfcommons

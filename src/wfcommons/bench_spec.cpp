@@ -1,0 +1,31 @@
+#include "wfcommons/bench_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wfs::wfcommons {
+
+std::size_t apply_bench_spec(Workflow& workflow, const BenchSpec& spec) {
+  if (spec.cpu_work_scale <= 0.0) throw std::invalid_argument("cpu_work_scale must be positive");
+  if (spec.data_scale <= 0.0) throw std::invalid_argument("data_scale must be positive");
+  if (spec.percent_cpu.has_value() && (*spec.percent_cpu <= 0.0 || *spec.percent_cpu > 1.0)) {
+    throw std::invalid_argument("percent_cpu must be in (0, 1]");
+  }
+
+  std::size_t modified = 0;
+  for (Task& task : workflow.tasks()) {
+    if (!spec.category_filter.empty() && task.category != spec.category_filter) continue;
+    ++modified;
+    if (spec.percent_cpu) task.percent_cpu = *spec.percent_cpu;
+    task.cpu_work *= spec.cpu_work_scale;
+    if (spec.memory_bytes) task.memory_bytes = *spec.memory_bytes;
+    for (TaskFile& file : task.files) {
+      file.size_bytes = static_cast<std::uint64_t>(
+          std::max(1.0, std::round(static_cast<double>(file.size_bytes) * spec.data_scale)));
+    }
+  }
+  return modified;
+}
+
+}  // namespace wfs::wfcommons

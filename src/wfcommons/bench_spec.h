@@ -1,0 +1,29 @@
+// WfBench parameter adjustment: the paper stresses that WfCommons lets the
+// experimenter tune CPU intensity and I/O per function after generation.
+// apply_bench_spec rewrites those knobs over a generated workflow.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+struct BenchSpec {
+  /// Force every task's percent-cpu (unset: keep recipe draws).
+  std::optional<double> percent_cpu;
+  /// Multiply every task's cpu-work.
+  double cpu_work_scale = 1.0;
+  /// Multiply every file size (inputs and outputs).
+  double data_scale = 1.0;
+  /// Force every task's stressor allocation (unset: keep recipe values).
+  std::optional<std::uint64_t> memory_bytes;
+  /// Restrict the rewrite to one category (empty: all tasks).
+  std::string category_filter;
+};
+
+/// Applies the spec in place; returns the number of tasks modified.
+std::size_t apply_bench_spec(Workflow& workflow, const BenchSpec& spec);
+
+}  // namespace wfs::wfcommons

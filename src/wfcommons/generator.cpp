@@ -1,0 +1,26 @@
+#include "wfcommons/generator.h"
+
+namespace wfs::wfcommons {
+
+Workflow WorkflowGenerator::generate(std::string_view recipe, std::size_t num_tasks,
+                                     std::uint64_t seed) const {
+  GenerateOptions options = defaults_;
+  options.num_tasks = num_tasks;
+  options.seed = seed;
+  return make_recipe(recipe)->generate(options);
+}
+
+Workflow WorkflowGenerator::generate(std::string_view recipe) const {
+  return make_recipe(recipe)->generate(defaults_);
+}
+
+std::vector<Workflow> WorkflowGenerator::generate_suite(std::size_t num_tasks,
+                                                        std::uint64_t seed) const {
+  std::vector<Workflow> suite;
+  for (const std::string& name : recipe_names()) {
+    suite.push_back(generate(name, num_tasks, seed));
+  }
+  return suite;
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,33 @@
+// WfGen facade: generate single workflows or the full 7-family benchmark
+// suite the paper evaluates.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+class WorkflowGenerator {
+ public:
+  explicit WorkflowGenerator(GenerateOptions defaults = {}) : defaults_(defaults) {}
+
+  /// Generates one instance; num_tasks/seed override the defaults.
+  [[nodiscard]] Workflow generate(std::string_view recipe, std::size_t num_tasks,
+                                  std::uint64_t seed) const;
+  [[nodiscard]] Workflow generate(std::string_view recipe) const;
+
+  /// One instance of every family at the same target size — the paper's
+  /// benchmark suite for a given workflow size.
+  [[nodiscard]] std::vector<Workflow> generate_suite(std::size_t num_tasks,
+                                                     std::uint64_t seed) const;
+
+  [[nodiscard]] const GenerateOptions& defaults() const noexcept { return defaults_; }
+
+ private:
+  GenerateOptions defaults_;
+};
+
+}  // namespace wfs::wfcommons

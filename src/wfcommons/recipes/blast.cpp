@@ -1,0 +1,73 @@
+#include "wfcommons/recipes/recipes.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+// Knob distributions per function category, shaped after the Blast
+// WfInstances: one cheap splitter, a wide level of uniform blastall
+// searches (the paper's excerpt shows percent-cpu 0.9, ~40 KB outputs),
+// and two cheap merges.
+const CategoryProfile kSplitFasta{
+    .work_scale = 0.5,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 200 * 1024,
+    .output_jitter = 0.1,
+    .memory_bytes = 64ULL << 20,
+};
+const CategoryProfile kBlastall{
+    .work_scale = 1.0,
+    .work_jitter = 0.15,
+    .percent_cpu_lo = 0.8,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 40 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 256ULL << 20,
+};
+const CategoryProfile kCatBlast{
+    .work_scale = 0.15,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 4 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kCat{
+    .work_scale = 0.1,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 64ULL << 20,
+};
+
+}  // namespace
+
+std::string BlastRecipe::description() const {
+  return "BLAST sequence search: split_fasta fans out to a wide level of "
+         "blastall tasks whose hits are merged by cat_blast and cat.";
+}
+
+void BlastRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                           support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  const std::size_t searches = options.num_tasks - 3;
+
+  const std::string split = builder.add_task("split_fasta", kSplitFasta);
+  builder.feed_external(split, "blast_input.fasta", 8ULL << 20);
+
+  const std::string cat_blast = builder.add_task("cat_blast", kCatBlast);
+  const std::string cat = builder.add_task("cat", kCat);
+
+  for (std::size_t i = 0; i < searches; ++i) {
+    const std::string blastall = builder.add_task("blastall", kBlastall);
+    builder.feed(split, blastall);
+    builder.feed(blastall, cat_blast);
+    builder.feed(blastall, cat);
+  }
+}
+
+}  // namespace wfs::wfcommons

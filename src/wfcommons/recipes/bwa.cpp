@@ -1,0 +1,70 @@
+#include "wfcommons/recipes/recipes.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+const CategoryProfile kBwaIndex{
+    .work_scale = 0.6,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.7,
+    .percent_cpu_hi = 0.9,
+    .output_bytes = 6 * 1024 * 1024,
+    .output_jitter = 0.1,
+    .memory_bytes = 512ULL << 20,
+};
+const CategoryProfile kFastqReduce{
+    .work_scale = 0.4,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 512 * 1024,
+    .output_jitter = 0.15,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kBwa{
+    .work_scale = 1.0,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.8,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 96 * 1024,
+    .output_jitter = 0.3,
+    .memory_bytes = 384ULL << 20,
+};
+const CategoryProfile kBwaConcat{
+    .work_scale = 0.15,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 8 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+
+}  // namespace
+
+std::string BwaRecipe::description() const {
+  return "Burrows-Wheeler alignment: bwa_index and fastq_reduce feed a wide "
+         "level of bwa aligners merged by bwa_concat.";
+}
+
+void BwaRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                         support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  const std::size_t aligners = options.num_tasks - 3;
+
+  const std::string index = builder.add_task("bwa_index", kBwaIndex);
+  builder.feed_external(index, "reference_genome.fasta", 64ULL << 20);
+  const std::string reduce = builder.add_task("fastq_reduce", kFastqReduce);
+  builder.feed_external(reduce, "reads.fastq", 32ULL << 20);
+
+  const std::string concat = builder.add_task("bwa_concat", kBwaConcat);
+
+  for (std::size_t i = 0; i < aligners; ++i) {
+    const std::string bwa = builder.add_task("bwa", kBwa);
+    builder.feed(index, bwa);
+    builder.feed(reduce, bwa);
+    builder.feed(bwa, concat);
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,97 @@
+#include "wfcommons/recipes/recipes.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+// Fertilizer-sweep factor: each land unit runs the Cycles crop simulator at
+// kFertilizerLevels fertilization rates.
+constexpr std::size_t kFertilizerLevels = 4;
+
+const CategoryProfile kBaseline{
+    .work_scale = 0.8,
+    .work_jitter = 0.15,
+    .percent_cpu_lo = 0.7,
+    .percent_cpu_hi = 0.9,
+    .output_bytes = 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 256ULL << 20,
+};
+const CategoryProfile kCycles{
+    .work_scale = 1.0,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.7,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 2 * 1024 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 320ULL << 20,
+};
+const CategoryProfile kFertilizerIncrease{
+    .work_scale = 0.35,
+    .work_jitter = 0.15,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.8,
+    .output_bytes = 256 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kSummary{
+    .work_scale = 0.25,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 128 * 1024,
+    .output_jitter = 0.15,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kPlots{
+    .work_scale = 0.3,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 4 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 256ULL << 20,
+};
+
+}  // namespace
+
+std::string CyclesRecipe::description() const {
+  return "Agroecosystem simulation sweep (Cycles): per land unit, a "
+         "baseline run fans into a fertilizer sweep whose increase analyses "
+         "are summarised per unit and plotted globally — many phases, "
+         "moderate widths (paper group 2).";
+}
+
+void CyclesRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                            support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  // Tasks per land unit: baseline + F cycles + F increase + 1 summary.
+  const std::size_t per_unit = 2 + 2 * kFertilizerLevels;
+  const std::size_t units = std::max<std::size_t>(1, (options.num_tasks - 1) / per_unit);
+
+  const std::string plots = builder.add_task("cycles_plots", kPlots);
+
+  for (std::size_t u = 0; u < units; ++u) {
+    const std::string baseline = builder.add_task("baseline_cycles", kBaseline);
+    builder.feed_external(baseline, support::format("land_unit_{}.soil", u), 2ULL << 20);
+    builder.feed_external(baseline, support::format("weather_{}.wth", u), 6ULL << 20);
+
+    const std::string summary =
+        builder.add_task("cycles_fertilizer_increase_output_summary", kSummary);
+    for (std::size_t f = 0; f < kFertilizerLevels; ++f) {
+      const std::string cycles = builder.add_task("cycles", kCycles);
+      builder.feed(baseline, cycles);
+      const std::string increase =
+          builder.add_task("cycles_fertilizer_increase_output", kFertilizerIncrease);
+      builder.feed(cycles, increase);
+      builder.feed(increase, summary);
+    }
+    builder.feed(summary, plots);
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,128 @@
+#include "wfcommons/recipes/recipes.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+const CategoryProfile kFastqSplit{
+    .work_scale = 0.4,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 512 * 1024,
+    .output_jitter = 0.15,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kFilterContams{
+    .work_scale = 0.5,
+    .work_jitter = 0.15,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.85,
+    .output_bytes = 384 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 160ULL << 20,
+};
+const CategoryProfile kSol2Sanger{
+    .work_scale = 0.3,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.75,
+    .output_bytes = 384 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kFast2Bfq{
+    .work_scale = 0.3,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.75,
+    .output_bytes = 256 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kMap{
+    .work_scale = 1.2,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.8,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 640 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 512ULL << 20,
+};
+const CategoryProfile kMapMerge{
+    .work_scale = 0.25,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 4 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 256ULL << 20,
+};
+const CategoryProfile kChr21{
+    .work_scale = 0.35,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.8,
+    .output_bytes = 1024 * 1024,
+    .output_jitter = 0.15,
+    .memory_bytes = 192ULL << 20,
+};
+const CategoryProfile kPileup{
+    .work_scale = 0.5,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.85,
+    .output_bytes = 2 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 256ULL << 20,
+};
+
+}  // namespace
+
+std::string EpigenomicsRecipe::description() const {
+  return "DNA methylation (Epigenomics): per sequencing lane, fastqsplit "
+         "fans into parallel 4-stage chains (filter_contams -> sol2sanger "
+         "-> fast2bfq -> map) merged per lane, then globally, followed by "
+         "chr21 and pileup — the deepest family (paper group 2).";
+}
+
+void EpigenomicsRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                                 support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  // Global tail: map_merge(global) + chr21 + pileup = 3 tasks.
+  // Per lane: fastqsplit + 4*W chain tasks + map_merge = 4W + 2.
+  const std::size_t lanes =
+      std::clamp<std::size_t>(options.num_tasks / 40, 1, 4);
+  const std::size_t chain_budget =
+      (options.num_tasks - 3 - 2 * lanes) / (4 * lanes);
+  const std::size_t chains = std::max<std::size_t>(1, chain_budget);
+
+  const std::string global_merge = builder.add_task("map_merge_global", kMapMerge);
+  const std::string chr21 = builder.add_task("chr21", kChr21);
+  const std::string pileup = builder.add_task("pileup", kPileup);
+  builder.feed(global_merge, chr21);
+  builder.feed(chr21, pileup);
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::string split = builder.add_task("fastqsplit", kFastqSplit);
+    builder.feed_external(split, support::format("lane_{}.sfq", lane), 16ULL << 20);
+    const std::string lane_merge = builder.add_task("map_merge", kMapMerge);
+    for (std::size_t c = 0; c < chains; ++c) {
+      const std::string filter = builder.add_task("filter_contams", kFilterContams);
+      builder.feed(split, filter);
+      const std::string sanger = builder.add_task("sol2sanger", kSol2Sanger);
+      builder.feed(filter, sanger);
+      const std::string bfq = builder.add_task("fast2bfq", kFast2Bfq);
+      builder.feed(sanger, bfq);
+      const std::string map = builder.add_task("map", kMap);
+      builder.feed(bfq, map);
+      builder.feed(map, lane_merge);
+    }
+    builder.feed(lane_merge, global_merge);
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,102 @@
+#include "wfcommons/recipes/recipes.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+// Populations analysed per chromosome (ALL/EUR in the small 1000-genome
+// instances): each gets one mutation_overlap and one frequency task.
+constexpr std::size_t kPopulations = 2;
+
+const CategoryProfile kIndividuals{
+    .work_scale = 1.0,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.75,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 3 * 1024 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 384ULL << 20,
+};
+const CategoryProfile kIndividualsMerge{
+    .work_scale = 0.3,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 24 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 512ULL << 20,
+};
+const CategoryProfile kSifting{
+    .work_scale = 0.4,
+    .work_jitter = 0.15,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.8,
+    .output_bytes = 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 192ULL << 20,
+};
+const CategoryProfile kMutationOverlap{
+    .work_scale = 0.6,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.7,
+    .percent_cpu_hi = 0.9,
+    .output_bytes = 512 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 256ULL << 20,
+};
+const CategoryProfile kFrequency{
+    .work_scale = 0.7,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.7,
+    .percent_cpu_hi = 0.9,
+    .output_bytes = 768 * 1024,
+    .output_jitter = 0.25,
+    .memory_bytes = 256ULL << 20,
+};
+
+}  // namespace
+
+std::string GenomeRecipe::description() const {
+  return "1000-genomes population analysis: per chromosome, parallel "
+         "individuals tasks merge into individuals_merge which joins a "
+         "sifting task to drive per-population mutation_overlap and "
+         "frequency analyses.";
+}
+
+void GenomeRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                            support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  // Per chromosome: K individuals + merge + sifting + 2*kPopulations.
+  const std::size_t fixed_per_chrom = 2 + 2 * kPopulations;
+  const std::size_t chromosomes =
+      std::clamp<std::size_t>(options.num_tasks / 30, 1, 22);
+  const std::size_t budget = options.num_tasks / chromosomes;
+  const std::size_t individuals =
+      budget > fixed_per_chrom ? budget - fixed_per_chrom : 1;
+
+  for (std::size_t chrom = 0; chrom < chromosomes; ++chrom) {
+    const std::string merge = builder.add_task("individuals_merge", kIndividualsMerge);
+    for (std::size_t k = 0; k < individuals; ++k) {
+      const std::string ind = builder.add_task("individuals", kIndividuals);
+      builder.feed_external(ind, support::format("chr{}_slice_{}.vcf", chrom + 1, k),
+                            12ULL << 20);
+      builder.feed(ind, merge);
+    }
+    const std::string sifting = builder.add_task("sifting", kSifting);
+    builder.feed_external(sifting, support::format("chr{}_annotations.vcf", chrom + 1),
+                          4ULL << 20);
+    for (std::size_t pop = 0; pop < kPopulations; ++pop) {
+      const std::string overlap = builder.add_task("mutation_overlap", kMutationOverlap);
+      builder.feed(merge, overlap);
+      builder.feed(sifting, overlap);
+      const std::string frequency = builder.add_task("frequency", kFrequency);
+      builder.feed(merge, frequency);
+      builder.feed(sifting, frequency);
+    }
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,116 @@
+#include "wfcommons/recipes/recipe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/format.h"
+#include "support/strings.h"
+#include "wfcommons/recipes/recipes.h"
+
+namespace wfs::wfcommons {
+
+Workflow Recipe::generate(const GenerateOptions& options) const {
+  GenerateOptions effective = options;
+  effective.num_tasks = std::max(effective.num_tasks, min_tasks());
+  support::Rng rng(effective.seed);
+
+  Workflow workflow(support::format("{}Recipe-{}-{}", display_name(),
+                                    static_cast<std::int64_t>(effective.cpu_work),
+                                    effective.num_tasks));
+  populate(workflow, effective, rng);
+
+  const std::vector<std::string> problems = workflow.validate();
+  if (!problems.empty()) {
+    throw std::logic_error(
+        support::format("recipe {} generated invalid workflow: {}", name(), problems.front()));
+  }
+  return workflow;
+}
+
+RecipeBuilder::RecipeBuilder(Workflow& workflow, const GenerateOptions& options,
+                             support::Rng& rng)
+    : workflow_(workflow), options_(options), rng_(rng) {}
+
+std::string RecipeBuilder::add_task(const std::string& category,
+                                    const CategoryProfile& profile) {
+  Task task;
+  task.id = support::pad_id(counter_++, 8);
+  task.name = category + "_" + task.id;
+  task.category = category;
+  task.percent_cpu = rng_.uniform_real(profile.percent_cpu_lo, profile.percent_cpu_hi);
+  // Round percent-cpu to 2 decimals like the WfCommons instances do.
+  task.percent_cpu = std::round(task.percent_cpu * 100.0) / 100.0;
+  const double work_mean = options_.cpu_work * profile.work_scale;
+  task.cpu_work = rng_.truncated_normal(work_mean, work_mean * profile.work_jitter,
+                                        work_mean * 0.25, work_mean * 4.0);
+  task.memory_bytes = profile.memory_bytes;
+
+  const double size_mean = static_cast<double>(profile.output_bytes) * options_.data_scale;
+  const double size =
+      rng_.truncated_normal(size_mean, size_mean * profile.output_jitter, size_mean * 0.2,
+                            size_mean * 4.0);
+  TaskFile output;
+  output.link = TaskFile::Link::kOutput;
+  output.name = task.name + "_output.txt";
+  output.size_bytes = static_cast<std::uint64_t>(std::max(1.0, size));
+  task.files.push_back(std::move(output));
+
+  const std::string name = task.name;
+  workflow_.add_task(std::move(task));
+  return name;
+}
+
+void RecipeBuilder::feed(const std::string& parent, const std::string& child) {
+  Task* p = workflow_.find(parent);
+  Task* c = workflow_.find(child);
+  if (p == nullptr || c == nullptr) {
+    throw std::invalid_argument("RecipeBuilder::feed: unknown task");
+  }
+  workflow_.connect(parent, child);
+  for (const TaskFile* out : p->outputs()) {
+    // Do not duplicate when a diamond wiring feeds the same file twice.
+    const bool already =
+        std::any_of(c->files.begin(), c->files.end(), [&](const TaskFile& f) {
+          return f.link == TaskFile::Link::kInput && f.name == out->name;
+        });
+    if (!already) {
+      c->files.push_back(TaskFile{TaskFile::Link::kInput, out->name, out->size_bytes});
+    }
+  }
+}
+
+void RecipeBuilder::feed_external(const std::string& task, const std::string& file,
+                                  std::uint64_t size) {
+  Task* t = workflow_.find(task);
+  if (t == nullptr) throw std::invalid_argument("RecipeBuilder::feed_external: unknown task");
+  t->files.push_back(TaskFile{
+      TaskFile::Link::kInput, file,
+      static_cast<std::uint64_t>(static_cast<double>(size) * options_.data_scale)});
+}
+
+std::vector<std::string> recipe_names() {
+  return {"blast", "bwa", "cycles", "epigenomics", "genome", "seismology", "srasearch"};
+}
+
+std::unique_ptr<Recipe> make_recipe(std::string_view name) {
+  const std::string key = support::to_lower(name);
+  if (key == "blast") return std::make_unique<BlastRecipe>();
+  if (key == "bwa") return std::make_unique<BwaRecipe>();
+  if (key == "cycles") return std::make_unique<CyclesRecipe>();
+  if (key == "epigenomics") return std::make_unique<EpigenomicsRecipe>();
+  if (key == "genome" || key == "1000genome" || key == "genomes") {
+    return std::make_unique<GenomeRecipe>();
+  }
+  if (key == "seismology") return std::make_unique<SeismologyRecipe>();
+  if (key == "srasearch") return std::make_unique<SrasearchRecipe>();
+  throw std::invalid_argument("unknown recipe: " + key);
+}
+
+std::vector<std::unique_ptr<Recipe>> all_recipes() {
+  std::vector<std::unique_ptr<Recipe>> out;
+  for (const std::string& name : recipe_names()) out.push_back(make_recipe(name));
+  return out;
+}
+
+}  // namespace wfs::wfcommons

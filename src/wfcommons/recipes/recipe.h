@@ -1,0 +1,109 @@
+// Recipe framework — the WfChef/WfGen analogue.
+//
+// A Recipe knows the structural pattern of one scientific-workflow family
+// (observed in the WfInstances corpus) and can instantiate it at any size:
+// generate(n) returns a Workflow with approximately n tasks whose shape
+// (phases, fan-out, function mix) matches the family. Randomized quantities
+// (file sizes, percent-cpu) are drawn from a seeded Rng so generation is
+// fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+struct GenerateOptions {
+  /// Target task count; recipes clamp to their structural minimum and may
+  /// deviate by a few tasks to keep the family's shape.
+  std::size_t num_tasks = 50;
+  /// Base cpu-work units per task before per-category scaling (the paper's
+  /// "cpu-work" knob; their runs use 100-250).
+  double cpu_work = 100.0;
+  /// Multiplier on all file sizes (the WfBench I/O intensity knob).
+  double data_scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class Recipe {
+ public:
+  virtual ~Recipe() = default;
+
+  /// Lower-case family key, e.g. "blast".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Display name used in workflow instance names, e.g. "Blast".
+  [[nodiscard]] virtual std::string display_name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Smallest structurally valid instance.
+  [[nodiscard]] virtual std::size_t min_tasks() const = 0;
+
+  /// Generates an instance named "<Display>Recipe-<cpu_work>-<n>"
+  /// (mirrors the artifact's "BlastRecipe-250-100" convention). The result
+  /// always passes Workflow::validate().
+  [[nodiscard]] Workflow generate(const GenerateOptions& options) const;
+
+ protected:
+  virtual void populate(Workflow& workflow, const GenerateOptions& options,
+                        support::Rng& rng) const = 0;
+};
+
+/// Per-function-category knob distribution used by the recipe builders.
+struct CategoryProfile {
+  /// cpu-work multiplier relative to GenerateOptions::cpu_work.
+  double work_scale = 1.0;
+  double work_jitter = 0.2;  // relative stddev
+  double percent_cpu_lo = 0.6;
+  double percent_cpu_hi = 0.9;
+  std::uint64_t output_bytes = 40 * 1024;  // per output file before data_scale
+  double output_jitter = 0.25;
+  std::uint64_t memory_bytes = 256ULL << 20;  // stressor allocation
+};
+
+/// Incremental workflow constructor shared by the recipes: sequential
+/// WfCommons-style ids, one default output file per task, and dataflow-
+/// correct dependency wiring (feed() both connects the DAG edge and passes
+/// the parent's output files as the child's inputs).
+class RecipeBuilder {
+ public:
+  RecipeBuilder(Workflow& workflow, const GenerateOptions& options, support::Rng& rng);
+
+  /// Adds a task of `category` with randomized knobs per `profile` and one
+  /// output file "<task>_output.txt". Returns the task name handle.
+  std::string add_task(const std::string& category, const CategoryProfile& profile);
+
+  /// parent -> child: DAG edge plus parent's outputs appended to child's
+  /// inputs (so validate()'s dataflow rule holds by construction).
+  void feed(const std::string& parent, const std::string& child);
+
+  /// Declares an external (staged) input file on a task.
+  void feed_external(const std::string& task, const std::string& file, std::uint64_t size);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return workflow_.size(); }
+
+ private:
+  Workflow& workflow_;
+  const GenerateOptions& options_;
+  support::Rng& rng_;
+  std::uint64_t counter_ = 1;
+};
+
+// ---- catalog ---------------------------------------------------------------
+
+/// All recipe keys, in the paper's order: blast, bwa, cycles, epigenomics,
+/// genome, seismology, srasearch.
+[[nodiscard]] std::vector<std::string> recipe_names();
+
+/// Instantiates by key (case-insensitive). Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Recipe> make_recipe(std::string_view name);
+
+/// Constructs every recipe (for sweeps over all families).
+[[nodiscard]] std::vector<std::unique_ptr<Recipe>> all_recipes();
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,111 @@
+// The seven workflow families the paper evaluates (§V-A, Figure 3):
+// Blast, BWA, Cycles, Epigenomics, Genome(1000genome), Seismology,
+// Srasearch. Structural patterns follow the WfInstances corpus topologies.
+//
+// The paper groups them by behaviour (§V-D):
+//  * group 1 — Blast, BWA, Genome, Seismology, Srasearch: few dense phases,
+//    many identical functions invoked simultaneously;
+//  * group 2 — Cycles, Epigenomics: many phases, diverse function types,
+//    narrower levels.
+#pragma once
+
+#include "wfcommons/recipes/recipe.h"
+
+namespace wfs::wfcommons {
+
+/// Bioinformatics sequence search: split_fasta -> blastall xN -> two merges
+/// (cat_blast, cat). 3 phases, one very wide level.
+class BlastRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "blast"; }
+  [[nodiscard]] std::string display_name() const override { return "Blast"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 4; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// Burrows-Wheeler alignment: {bwa_index, fastq_reduce} -> bwa xN ->
+/// bwa_concat. 3 phases, dense.
+class BwaRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "bwa"; }
+  [[nodiscard]] std::string display_name() const override { return "Bwa"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 4; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// Agroecosystem simulation sweep: per land unit, baseline_cycles ->
+/// cycles xF -> fertilizer_increase_output xF -> summary; global
+/// cycles_plots fan-in. 5 phases, moderate widths, diverse categories
+/// (group 2).
+class CyclesRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "cycles"; }
+  [[nodiscard]] std::string display_name() const override { return "Cycles"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 7; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// DNA methylation pipeline: per lane, fastqsplit -> W parallel 4-stage
+/// chains (filter_contams -> sol2sanger -> fast2bfq -> map) -> map_merge;
+/// then global map_merge -> chr21 -> pileup. ~9 phases (group 2).
+class EpigenomicsRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "epigenomics"; }
+  [[nodiscard]] std::string display_name() const override { return "Epigenomics"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 9; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// 1000-genomes population analysis: per chromosome, individuals xK +
+/// sifting -> individuals_merge -> {mutation_overlap, frequency} per
+/// population. 3 phases, dense.
+class GenomeRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "genome"; }
+  [[nodiscard]] std::string display_name() const override { return "Genome"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 7; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// Seismic source inversion: sG1IterDecon xN -> wrapper_siftSTFByMisfit.
+/// 2 phases, the densest family.
+class SeismologyRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "seismology"; }
+  [[nodiscard]] std::string display_name() const override { return "Seismology"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 2; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+/// Sequence-read-archive search: makeblastdb + K chains of prefetch ->
+/// fasterq_dump -> blastn, merged by cat_output. 4 phases, dense chains.
+class SrasearchRecipe final : public Recipe {
+ public:
+  [[nodiscard]] std::string name() const override { return "srasearch"; }
+  [[nodiscard]] std::string display_name() const override { return "Srasearch"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override { return 5; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options, support::Rng& rng) const override;
+};
+
+}  // namespace wfs::wfcommons

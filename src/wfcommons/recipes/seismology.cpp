@@ -1,0 +1,48 @@
+#include "wfcommons/recipes/recipes.h"
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+const CategoryProfile kDecon{
+    .work_scale = 1.0,
+    .work_jitter = 0.25,
+    .percent_cpu_lo = 0.75,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 24 * 1024,
+    .output_jitter = 0.3,
+    .memory_bytes = 192ULL << 20,
+};
+const CategoryProfile kSift{
+    .work_scale = 0.2,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 2 * 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 128ULL << 20,
+};
+
+}  // namespace
+
+std::string SeismologyRecipe::description() const {
+  return "Seismic source-time-function inversion: one sG1IterDecon per "
+         "station, all sifted by wrapper_siftSTFByMisfit — the densest, "
+         "flattest family (2 phases).";
+}
+
+void SeismologyRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                                support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  const std::size_t stations = options.num_tasks - 1;
+
+  const std::string sift = builder.add_task("wrapper_siftSTFByMisfit", kSift);
+  for (std::size_t i = 0; i < stations; ++i) {
+    const std::string decon = builder.add_task("sG1IterDecon", kDecon);
+    builder.feed_external(decon, support::format("station_{}.seed", i), 1ULL << 20);
+    builder.feed(decon, sift);
+  }
+}
+
+}  // namespace wfs::wfcommons

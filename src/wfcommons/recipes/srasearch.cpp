@@ -1,0 +1,85 @@
+#include "wfcommons/recipes/recipes.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+const CategoryProfile kMakeBlastDb{
+    .work_scale = 0.5,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.6,
+    .percent_cpu_hi = 0.8,
+    .output_bytes = 16 * 1024 * 1024,
+    .output_jitter = 0.15,
+    .memory_bytes = 512ULL << 20,
+};
+const CategoryProfile kPrefetch{
+    .work_scale = 0.3,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.4,
+    .percent_cpu_hi = 0.6,  // mostly I/O bound
+    .output_bytes = 8 * 1024 * 1024,
+    .output_jitter = 0.3,
+    .memory_bytes = 128ULL << 20,
+};
+const CategoryProfile kFasterqDump{
+    .work_scale = 0.5,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.75,
+    .output_bytes = 12 * 1024 * 1024,
+    .output_jitter = 0.3,
+    .memory_bytes = 192ULL << 20,
+};
+const CategoryProfile kBlastn{
+    .work_scale = 1.0,
+    .work_jitter = 0.2,
+    .percent_cpu_lo = 0.8,
+    .percent_cpu_hi = 0.95,
+    .output_bytes = 96 * 1024,
+    .output_jitter = 0.3,
+    .memory_bytes = 384ULL << 20,
+};
+const CategoryProfile kCatOutput{
+    .work_scale = 0.1,
+    .work_jitter = 0.1,
+    .percent_cpu_lo = 0.5,
+    .percent_cpu_hi = 0.7,
+    .output_bytes = 1024 * 1024,
+    .output_jitter = 0.2,
+    .memory_bytes = 64ULL << 20,
+};
+
+}  // namespace
+
+std::string SrasearchRecipe::description() const {
+  return "Sequence-read-archive search: makeblastdb plus per-accession "
+         "prefetch -> fasterq_dump -> blastn chains, merged by cat_output.";
+}
+
+void SrasearchRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                               support::Rng& rng) const {
+  RecipeBuilder builder(wf, options, rng);
+  const std::size_t accessions =
+      std::max<std::size_t>(1, (options.num_tasks - 2) / 3);
+
+  const std::string db = builder.add_task("makeblastdb", kMakeBlastDb);
+  builder.feed_external(db, "reference_sequences.fasta", 32ULL << 20);
+  const std::string cat = builder.add_task("cat_output", kCatOutput);
+
+  for (std::size_t i = 0; i < accessions; ++i) {
+    const std::string prefetch = builder.add_task("prefetch", kPrefetch);
+    builder.feed_external(prefetch, support::format("accession_{}.sra", i), 16ULL << 20);
+    const std::string dump = builder.add_task("fasterq_dump", kFasterqDump);
+    builder.feed(prefetch, dump);
+    const std::string blastn = builder.add_task("blastn", kBlastn);
+    builder.feed(dump, blastn);
+    builder.feed(db, blastn);
+    builder.feed(blastn, cat);
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,34 @@
+#include "wfcommons/translators/hybrid.h"
+
+#include "wfcommons/analysis.h"
+
+namespace wfs::wfcommons {
+
+void HybridTranslator::apply(Workflow& workflow) const {
+  for (Task& task : workflow.tasks()) {
+    bool serverless = config_.default_serverless;
+    const auto it = config_.category_to_serverless.find(task.category);
+    if (it != config_.category_to_serverless.end()) serverless = it->second;
+    task.api_url = serverless ? config_.serverless_url : config_.local_url;
+  }
+}
+
+HybridTranslatorConfig HybridTranslator::policy_by_phase_width(const Workflow& workflow,
+                                                               std::size_t width_threshold,
+                                                               HybridTranslatorConfig base) {
+  // Count, per category, the widest level occupancy it reaches.
+  std::map<std::string, std::size_t> peak_width;
+  for (const auto& level : levels(workflow)) {
+    std::map<std::string, std::size_t> here;
+    for (const Task* task : level) ++here[task->category];
+    for (const auto& [category, count] : here) {
+      peak_width[category] = std::max(peak_width[category], count);
+    }
+  }
+  for (const auto& [category, width] : peak_width) {
+    base.category_to_serverless[category] = width < width_threshold;
+  }
+  return base;
+}
+
+}  // namespace wfs::wfcommons

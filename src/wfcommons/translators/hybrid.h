@@ -1,0 +1,50 @@
+// Hybrid Translator — the paper's §V-D/§VI conjecture made executable:
+// "the optimal strategy for complex workflows might be combining executions
+// on serverless and bare-metal local containers for different tasks or
+// groups of tasks."
+//
+// Routes each task to one of two endpoints by a per-category (or default)
+// policy. Because the workflow manager dispatches purely by each task's
+// api_url, a single WFM run then executes one workflow across BOTH
+// platforms simultaneously — no WFM changes needed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "wfcommons/translators/translator.h"
+
+namespace wfs::wfcommons {
+
+struct HybridTranslatorConfig {
+  std::string serverless_url = "http://wfbench.knative-functions.10.0.0.1.sslip.io:80/wfbench";
+  std::string local_url = "http://localhost:80/wfbench";
+  /// Category -> true = serverless, false = local containers.
+  std::map<std::string, bool> category_to_serverless;
+  /// Placement for categories not listed above.
+  bool default_serverless = true;
+};
+
+class HybridTranslator final : public Translator {
+ public:
+  HybridTranslator() = default;
+  explicit HybridTranslator(HybridTranslatorConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+  [[nodiscard]] ArgsStyle args_style() const override { return ArgsStyle::kKeyValue; }
+  void apply(Workflow& workflow) const override;
+
+  /// Convenience policy: wide phases (>= width_threshold tasks of one
+  /// category in one level) go local (they saturate serverless capacity),
+  /// everything else serverless. Returns the derived config.
+  static HybridTranslatorConfig policy_by_phase_width(const Workflow& workflow,
+                                                      std::size_t width_threshold,
+                                                      HybridTranslatorConfig base = {});
+
+  [[nodiscard]] const HybridTranslatorConfig& config() const noexcept { return config_; }
+
+ private:
+  HybridTranslatorConfig config_;
+};
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,11 @@
+#include "wfcommons/translators/knative.h"
+
+namespace wfs::wfcommons {
+
+void KnativeTranslator::apply(Workflow& workflow) const {
+  for (Task& task : workflow.tasks()) {
+    task.api_url = config_.service_url;
+  }
+}
+
+}  // namespace wfs::wfcommons

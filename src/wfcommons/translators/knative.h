@@ -1,0 +1,35 @@
+// The Knative Translator — the paper's headline WfCommons extension
+// (§III-A): every task entry gains an "api_url" pointing at the wfbench
+// Knative service, and "arguments" becomes the key/value object that maps
+// directly onto the service's POST body.
+#pragma once
+
+#include "wfcommons/translators/translator.h"
+
+namespace wfs::wfcommons {
+
+struct KnativeTranslatorConfig {
+  /// The deployed wfbench Knative service (paper excerpt line 20 uses a
+  /// sslip.io magic-DNS URL of this shape).
+  std::string service_url = "http://wfbench.knative-functions.10.0.0.1.sslip.io:80/wfbench";
+  /// Shared-drive directory the functions read/write (the "workdir"
+  /// request parameter).
+  std::string workdir = "../data/wfbench-knative";
+};
+
+class KnativeTranslator final : public Translator {
+ public:
+  KnativeTranslator() = default;
+  explicit KnativeTranslator(KnativeTranslatorConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "knative"; }
+  [[nodiscard]] ArgsStyle args_style() const override { return ArgsStyle::kKeyValue; }
+  void apply(Workflow& workflow) const override;
+
+  [[nodiscard]] const KnativeTranslatorConfig& config() const noexcept { return config_; }
+
+ private:
+  KnativeTranslatorConfig config_;
+};
+
+}  // namespace wfs::wfcommons

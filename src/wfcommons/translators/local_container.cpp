@@ -1,0 +1,11 @@
+#include "wfcommons/translators/local_container.h"
+
+namespace wfs::wfcommons {
+
+void LocalContainerTranslator::apply(Workflow& workflow) const {
+  for (Task& task : workflow.tasks()) {
+    task.api_url = config_.endpoint_url;
+  }
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,34 @@
+// Local-container Translator — the bare-metal baseline target (§III-D):
+// the same wfbench application served by a long-running Docker container,
+// so tasks point at the container's published port instead of a Knative
+// route.
+#pragma once
+
+#include "wfcommons/translators/translator.h"
+
+namespace wfs::wfcommons {
+
+struct LocalContainerTranslatorConfig {
+  /// The paper runs `docker run ... -p 127.0.0.1:80:8080` and curls
+  /// localhost:80/wfbench.
+  std::string endpoint_url = "http://localhost:80/wfbench";
+  std::string workdir = "../data/wfbench-local";
+};
+
+class LocalContainerTranslator final : public Translator {
+ public:
+  LocalContainerTranslator() = default;
+  explicit LocalContainerTranslator(LocalContainerTranslatorConfig config)
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "local-container"; }
+  [[nodiscard]] ArgsStyle args_style() const override { return ArgsStyle::kKeyValue; }
+  void apply(Workflow& workflow) const override;
+
+  [[nodiscard]] const LocalContainerTranslatorConfig& config() const noexcept { return config_; }
+
+ private:
+  LocalContainerTranslatorConfig config_;
+};
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,95 @@
+#include "wfcommons/translators/nextflow.h"
+
+#include <map>
+
+#include "support/format.h"
+#include "support/strings.h"
+#include "wfcommons/analysis.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+// NextFlow identifiers may not contain the characters WfCommons task names
+// can; sanitize to [A-Za-z0-9_].
+std::string identifier(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+void NextflowTranslator::apply(Workflow& workflow) const {
+  for (Task& task : workflow.tasks()) task.api_url.clear();
+}
+
+json::Value NextflowTranslator::translate(const Workflow& workflow) const {
+  json::Object manifest;
+  manifest.set("name", workflow.name());
+  manifest.set("mainScript", "main.nf");
+  manifest.set("executor", config_.executor);
+  manifest.set("container", config_.container_image);
+  json::Array processes;
+  for (const auto& [category, count] : category_histogram(workflow)) {
+    json::Object process;
+    process.set("name", identifier(category));
+    process.set("invocations", count);
+    processes.emplace_back(std::move(process));
+  }
+  json::Object document;
+  document.set("manifest", std::move(manifest));
+  document.set("processes", std::move(processes));
+  return json::Value(std::move(document));
+}
+
+std::string NextflowTranslator::translate_to_text(const Workflow& workflow) const {
+  std::string out = "#!/usr/bin/env nextflow\n";
+  out += support::format("// generated from {} by the wfserverless NextFlow translator\n",
+                         workflow.name());
+  out += "nextflow.enable.dsl = 2\n\n";
+
+  // One process definition per function category.
+  for (const auto& [category, count] : category_histogram(workflow)) {
+    out += support::format(
+        "process {} {{\n"
+        "  container '{}'\n"
+        "  input:\n"
+        "    val name\n"
+        "    val percentCpu\n"
+        "    val cpuWork\n"
+        "    path inputs\n"
+        "  output:\n"
+        "    path \"${{name}}_output.txt\"\n"
+        "  script:\n"
+        "  \"\"\"\n"
+        "  wfbench.py --name=${{name}} --percent-cpu=${{percentCpu}} "
+        "--cpu-work=${{cpuWork}}\n"
+        "  \"\"\"\n"
+        "}}\n\n",
+        identifier(category), config_.container_image);
+  }
+
+  // The workflow body: invocations in topological order, channels named
+  // after the producing task.
+  out += "workflow {\n";
+  for (const std::size_t index : topological_order(workflow)) {
+    const Task& task = workflow.tasks()[index];
+    std::vector<std::string> input_channels;
+    for (const TaskFile* file : task.inputs()) {
+      input_channels.push_back("'" + file->name + "'");
+    }
+    out += support::format("  {}('{}', {}, {:.1f}, [{}])\n", identifier(task.category),
+                           task.name, task.percent_cpu, task.cpu_work,
+                           support::join(input_channels, ", "));
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wfs::wfcommons

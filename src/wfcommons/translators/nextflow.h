@@ -1,0 +1,39 @@
+// NextFlow Translator — the other pre-existing WfCommons target (§III-A).
+// Emits a NextFlow DSL2 script: one process per function category, one
+// invocation per task, channels wired from the DAG's file dataflow. The
+// JSON form is a small manifest (NextFlow itself consumes the .nf text).
+#pragma once
+
+#include "wfcommons/translators/translator.h"
+
+namespace wfs::wfcommons {
+
+struct NextflowTranslatorConfig {
+  std::string executor = "slurm";
+  std::string container_image = "wfcommons/wfbench:latest";
+};
+
+class NextflowTranslator final : public Translator {
+ public:
+  NextflowTranslator() = default;
+  explicit NextflowTranslator(NextflowTranslatorConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "nextflow"; }
+  [[nodiscard]] ArgsStyle args_style() const override { return ArgsStyle::kList; }
+
+  /// NextFlow is serverful: tasks get no api_url.
+  void apply(Workflow& workflow) const override;
+
+  /// Manifest: {"manifest": {...}, "processes": [category names]}.
+  [[nodiscard]] json::Value translate(const Workflow& workflow) const override;
+
+  /// The DSL2 script ("workflow { ... }" with process definitions).
+  [[nodiscard]] std::string translate_to_text(const Workflow& workflow) const override;
+
+  [[nodiscard]] const NextflowTranslatorConfig& config() const noexcept { return config_; }
+
+ private:
+  NextflowTranslatorConfig config_;
+};
+
+}  // namespace wfs::wfcommons

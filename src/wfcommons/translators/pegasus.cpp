@@ -1,0 +1,75 @@
+#include "wfcommons/translators/pegasus.h"
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+
+void PegasusTranslator::apply(Workflow& workflow) const {
+  for (Task& task : workflow.tasks()) task.api_url.clear();
+}
+
+json::Value PegasusTranslator::translate(const Workflow& workflow) const {
+  json::Object document;
+  document.set("pegasus", "5.0");
+  document.set("name", workflow.name());
+
+  // Replica catalog: the external inputs a planner must locate.
+  json::Array replicas;
+  for (const TaskFile& file : workflow.external_inputs()) {
+    json::Object replica;
+    replica.set("lfn", file.name);
+    json::Array pfns;
+    json::Object pfn;
+    pfn.set("site", config_.site);
+    pfn.set("pfn", "/inputs/" + file.name);
+    pfns.emplace_back(std::move(pfn));
+    replica.set("pfns", std::move(pfns));
+    replicas.emplace_back(std::move(replica));
+  }
+  json::Object replica_catalog;
+  replica_catalog.set("replicas", std::move(replicas));
+  document.set("replicaCatalog", std::move(replica_catalog));
+
+  json::Array jobs;
+  json::Array dependencies;
+  for (const Task& task : workflow.tasks()) {
+    json::Object job;
+    job.set("type", "job");
+    job.set("name", task.category);
+    job.set("id", task.name);
+    json::Array arguments;
+    arguments.emplace_back("--name=" + task.name);
+    arguments.emplace_back(support::format("--percent-cpu={}", task.percent_cpu));
+    arguments.emplace_back(support::format("--cpu-work={}", task.cpu_work));
+    job.set("arguments", std::move(arguments));
+    json::Array uses;
+    for (const TaskFile& file : task.files) {
+      json::Object use;
+      use.set("lfn", file.name);
+      use.set("type", file.link == TaskFile::Link::kOutput ? "output" : "input");
+      use.set("sizeInBytes", file.size_bytes);
+      uses.emplace_back(std::move(use));
+    }
+    job.set("uses", std::move(uses));
+    jobs.emplace_back(std::move(job));
+
+    if (!task.children.empty()) {
+      json::Object dependency;
+      dependency.set("id", task.name);
+      json::Array children;
+      for (const std::string& child : task.children) children.emplace_back(child);
+      dependency.set("children", std::move(children));
+      dependencies.emplace_back(std::move(dependency));
+    }
+  }
+  document.set("jobs", std::move(jobs));
+  document.set("jobDependencies", std::move(dependencies));
+
+  json::Object site_catalog;
+  site_catalog.set("site", config_.site);
+  site_catalog.set("container", config_.container_image);
+  document.set("siteCatalog", std::move(site_catalog));
+  return json::Value(std::move(document));
+}
+
+}  // namespace wfs::wfcommons

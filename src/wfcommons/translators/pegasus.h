@@ -1,0 +1,39 @@
+// Pegasus Translator — the WfCommons translator that predates the paper's
+// Knative one (§III-A: "Currently, WfCommons supports Translators for
+// Pegasus and NextFlow"). Included so the repository covers the full
+// translator surface the paper builds on; emits a Pegasus-5-style workflow
+// document (jobs with argument lists and uses[] file declarations), which
+// serverful Pegasus deployments consume.
+#pragma once
+
+#include "wfcommons/translators/translator.h"
+
+namespace wfs::wfcommons {
+
+struct PegasusTranslatorConfig {
+  std::string site = "condorpool";
+  std::string container_image = "docker://wfcommons/wfbench:latest";
+};
+
+class PegasusTranslator final : public Translator {
+ public:
+  PegasusTranslator() = default;
+  explicit PegasusTranslator(PegasusTranslatorConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "pegasus"; }
+  [[nodiscard]] ArgsStyle args_style() const override { return ArgsStyle::kList; }
+
+  /// Pegasus is serverful: tasks get no api_url.
+  void apply(Workflow& workflow) const override;
+
+  /// Emits {"pegasus": "5.0", "name": ..., "jobs": [...], "jobDependencies":
+  /// [...], "replicaCatalog": {...}} — the Pegasus workflow-document shape.
+  [[nodiscard]] json::Value translate(const Workflow& workflow) const override;
+
+  [[nodiscard]] const PegasusTranslatorConfig& config() const noexcept { return config_; }
+
+ private:
+  PegasusTranslatorConfig config_;
+};
+
+}  // namespace wfs::wfcommons

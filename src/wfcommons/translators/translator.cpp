@@ -1,0 +1,35 @@
+#include "wfcommons/translators/translator.h"
+
+#include <stdexcept>
+
+#include "json/write.h"
+#include "support/strings.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/translators/local_container.h"
+#include "wfcommons/translators/nextflow.h"
+#include "wfcommons/translators/pegasus.h"
+
+namespace wfs::wfcommons {
+
+json::Value Translator::translate(const Workflow& workflow) const {
+  Workflow copy = workflow;
+  apply(copy);
+  return to_json(copy, args_style());
+}
+
+std::string Translator::translate_to_text(const Workflow& workflow) const {
+  return json::write_pretty(translate(workflow));
+}
+
+std::unique_ptr<Translator> make_translator(std::string_view target) {
+  const std::string key = support::to_lower(target);
+  if (key == "knative") return std::make_unique<KnativeTranslator>();
+  if (key == "local" || key == "local-container") {
+    return std::make_unique<LocalContainerTranslator>();
+  }
+  if (key == "pegasus") return std::make_unique<PegasusTranslator>();
+  if (key == "nextflow") return std::make_unique<NextflowTranslator>();
+  throw std::invalid_argument("unknown translator target: " + key);
+}
+
+}  // namespace wfs::wfcommons

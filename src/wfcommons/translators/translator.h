@@ -1,0 +1,44 @@
+// Translator interface — the WfCommons component the paper extends.
+//
+// WfCommons ships Translators for Pegasus and NextFlow; the paper
+// contributes a Knative Translator (and we add a local-container one for
+// the baseline). A Translator rewrites a generated workflow into the form
+// one execution backend consumes: here, attaching per-function HTTP
+// endpoints ("api_url") and switching the argument encoding to the
+// key/value form the wfbench service accepts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "json/value.h"
+#include "wfcommons/wfformat.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+class Translator {
+ public:
+  virtual ~Translator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Rewrites the workflow in place for the target platform (assigns
+  /// api_urls etc.). Idempotent.
+  virtual void apply(Workflow& workflow) const = 0;
+
+  /// Which argument encoding the platform's document uses.
+  [[nodiscard]] virtual ArgsStyle args_style() const = 0;
+
+  /// Full translation: copy, apply, serialize. Targets with their own
+  /// document shape (Pegasus) or language (NextFlow) override these.
+  [[nodiscard]] virtual json::Value translate(const Workflow& workflow) const;
+  [[nodiscard]] virtual std::string translate_to_text(const Workflow& workflow) const;
+};
+
+/// Instantiates "knative", "local", "pegasus" or "nextflow" with default
+/// configs. Throws std::invalid_argument for unknown targets.
+[[nodiscard]] std::unique_ptr<Translator> make_translator(std::string_view target);
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,95 @@
+#include "wfcommons/visualization.h"
+
+#include <map>
+#include <set>
+
+#include "support/format.h"
+#include "support/strings.h"
+#include "wfcommons/analysis.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+// A qualitative palette (ColorBrewer Set3-ish) cycled over categories.
+constexpr const char* kPalette[] = {
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+};
+
+std::string sanitize(const std::string& name) {
+  std::string out = "n_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Workflow& workflow, DotOptions options) {
+  // Stable colour assignment in category-name order.
+  std::map<std::string, std::string> color_of;
+  {
+    std::size_t index = 0;
+    for (const auto& [category, count] : category_histogram(workflow)) {
+      color_of[category] = kPalette[index++ % std::size(kPalette)];
+    }
+  }
+
+  // Decide which (level, category) groups collapse into summary nodes.
+  const auto by_level = levels(workflow);
+  std::map<std::string, std::string> node_of_task;  // task -> dot node id
+  std::string out = support::format("digraph \"{}\" {{\n", workflow.name());
+  if (options.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [style=filled, shape=box, fontname=\"Helvetica\"];\n";
+
+  for (std::size_t level = 0; level < by_level.size(); ++level) {
+    std::map<std::string, std::vector<const Task*>> groups;
+    for (const Task* task : by_level[level]) groups[task->category].push_back(task);
+    out += "  { rank=same;\n";
+    for (const auto& [category, tasks] : groups) {
+      const bool collapse =
+          options.collapse_threshold > 0 && tasks.size() > options.collapse_threshold;
+      if (collapse) {
+        const std::string id = support::format("g_{}_{}", level, sanitize(category));
+        out += support::format(
+            "    {} [label=\"{} x{}\", fillcolor=\"{}\", peripheries=2];\n", id, category,
+            tasks.size(), color_of[category]);
+        for (const Task* task : tasks) node_of_task[task->name] = id;
+      } else {
+        for (const Task* task : tasks) {
+          const std::string id = sanitize(task->name);
+          out += support::format("    {} [label=\"{}\", fillcolor=\"{}\"];\n", id,
+                                 task->name, color_of[category]);
+          node_of_task[task->name] = id;
+        }
+      }
+    }
+    out += "  }\n";
+  }
+
+  // Edges, de-duplicated after collapsing.
+  std::set<std::pair<std::string, std::string>> emitted;
+  for (const Task& task : workflow.tasks()) {
+    for (const std::string& child : task.children) {
+      const std::string& from = node_of_task.at(task.name);
+      const std::string& to = node_of_task.at(child);
+      if (from == to) continue;  // intra-summary edges vanish
+      if (!emitted.emplace(from, to).second) continue;
+      if (options.edge_labels) {
+        std::uint64_t bytes = 0;
+        for (const TaskFile* file : task.outputs()) bytes += file->size_bytes;
+        out += support::format("  {} -> {} [label=\"{}\"];\n", from, to,
+                               support::human_bytes(bytes));
+      } else {
+        out += support::format("  {} -> {};\n", from, to);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wfs::wfcommons

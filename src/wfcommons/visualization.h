@@ -1,0 +1,26 @@
+// DAG visualization — the artifact's generate_visualization.py analogue.
+//
+// Emits Graphviz DOT: one node per task, coloured by function category,
+// ranked by execution phase, so `dot -Tpng workflow.dot` reproduces the
+// left column of the paper's Figure 3.
+#pragma once
+
+#include <string>
+
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+struct DotOptions {
+  /// Collapse wide levels: categories with more than this many tasks in one
+  /// level render as a single "name xN" summary node (0 = never collapse).
+  std::size_t collapse_threshold = 12;
+  /// Include file-size labels on edges.
+  bool edge_labels = false;
+  bool left_to_right = false;  // rankdir=LR instead of TB
+};
+
+/// Renders the workflow as a Graphviz digraph.
+[[nodiscard]] std::string to_dot(const Workflow& workflow, DotOptions options = {});
+
+}  // namespace wfs::wfcommons

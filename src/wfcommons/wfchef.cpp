@@ -1,0 +1,324 @@
+#include "wfcommons/wfchef.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/format.h"
+#include "support/strings.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/wfinstances.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+struct CategoryAccumulator {
+  std::size_t observations = 0;
+  double percent_cpu_sum = 0.0;
+  double percent_cpu_min = 1.0;
+  double percent_cpu_max = 0.0;
+  double cpu_work_sum = 0.0;
+  double cpu_work_sq_sum = 0.0;
+  double output_bytes_sum = 0.0;
+  std::uint64_t memory_bytes_max = 0;
+  double external_bytes_sum = 0.0;
+  std::size_t external_observations = 0;
+  std::size_t count_across_corpus = 0;
+  std::size_t level = 0;
+};
+
+}  // namespace
+
+const CategoryStats* FamilyProfile::find_category(const std::string& name) const {
+  for (const CategoryStats& stats : categories) {
+    if (stats.category == name) return &stats;
+  }
+  return nullptr;
+}
+
+std::string FamilyProfile::to_string() const {
+  std::string out = support::format("profile '{}' learned from {} instance(s), {} levels\n",
+                                    family, instances, levels);
+  for (const CategoryStats& stats : categories) {
+    out += support::format(
+        "  L{} {:<42} n/instance={:.1f}{} percent-cpu={:.2f} cpu-work={:.1f} out={}\n",
+        stats.level, stats.category, stats.mean_count_per_instance,
+        stats.scalable ? " (scalable)" : "          ", stats.percent_cpu_mean,
+        stats.cpu_work_mean,
+        support::human_bytes(static_cast<std::uint64_t>(stats.output_bytes_mean)));
+  }
+  for (const WiringStats& wiring : wiring) {
+    out += support::format("  edge {} -> {} ({:.1f} children/parent, {:.1f} parents/child)\n",
+                           wiring.parent_category, wiring.child_category,
+                           wiring.children_per_parent, wiring.parents_per_child);
+  }
+  return out;
+}
+
+FamilyProfile learn_profile(const std::string& family, const std::vector<Workflow>& corpus) {
+  if (corpus.empty()) throw std::invalid_argument("WfChef: empty corpus for " + family);
+
+  std::map<std::string, CategoryAccumulator> categories;
+  struct EdgeAccumulator {
+    std::size_t edges = 0;
+    std::size_t parent_tasks = 0;
+    std::size_t child_tasks = 0;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeAccumulator> edges;
+  std::size_t max_levels = 0;
+
+  for (const Workflow& wf : corpus) {
+    if (!wf.validate().empty()) {
+      throw std::invalid_argument("WfChef: corpus instance fails validation: " + wf.name());
+    }
+    const auto by_level = levels(wf);
+    max_levels = std::max(max_levels, by_level.size());
+    std::map<std::string, std::size_t> counts;
+    for (std::size_t level = 0; level < by_level.size(); ++level) {
+      for (const Task* task : by_level[level]) {
+        CategoryAccumulator& acc = categories[task->category];
+        // Structural consistency: one family puts a category at one level.
+        if (acc.observations > 0 && acc.level != level) {
+          throw std::invalid_argument(support::format(
+              "WfChef: category {} appears at levels {} and {} across the corpus",
+              task->category, acc.level, level));
+        }
+        acc.level = level;
+        ++acc.observations;
+        ++counts[task->category];
+        acc.percent_cpu_sum += task->percent_cpu;
+        acc.percent_cpu_min = std::min(acc.percent_cpu_min, task->percent_cpu);
+        acc.percent_cpu_max = std::max(acc.percent_cpu_max, task->percent_cpu);
+        acc.cpu_work_sum += task->cpu_work;
+        acc.cpu_work_sq_sum += task->cpu_work * task->cpu_work;
+        acc.output_bytes_sum += static_cast<double>(task->output_bytes());
+        acc.memory_bytes_max = std::max(acc.memory_bytes_max, task->memory_bytes);
+      }
+    }
+    for (const auto& [category, count] : counts) {
+      categories[category].count_across_corpus += count;
+    }
+    // External inputs, attributed to their consuming category.
+    std::unordered_map<std::string, const Task*> producer_of;
+    for (const Task& task : wf.tasks()) {
+      for (const TaskFile* out : task.outputs()) producer_of[out->name] = &task;
+    }
+    for (const Task& task : wf.tasks()) {
+      for (const TaskFile* in : task.inputs()) {
+        if (!producer_of.contains(in->name)) {
+          CategoryAccumulator& acc = categories[task.category];
+          acc.external_bytes_sum += static_cast<double>(in->size_bytes);
+          ++acc.external_observations;
+        }
+      }
+    }
+    // Wiring pattern.
+    std::map<std::pair<std::string, std::string>, std::size_t> instance_edges;
+    for (const Task& task : wf.tasks()) {
+      for (const std::string& child : task.children) {
+        ++instance_edges[{task.category, wf.find(child)->category}];
+      }
+    }
+    for (const auto& [pair, count] : instance_edges) {
+      EdgeAccumulator& acc = edges[pair];
+      acc.edges += count;
+      acc.parent_tasks += counts[pair.first];
+      acc.child_tasks += counts[pair.second];
+    }
+  }
+
+  FamilyProfile profile;
+  profile.family = family;
+  profile.instances = corpus.size();
+  profile.levels = max_levels;
+  for (const auto& [name, acc] : categories) {
+    CategoryStats stats;
+    stats.category = name;
+    stats.observations = acc.observations;
+    const double n = static_cast<double>(acc.observations);
+    stats.percent_cpu_mean = acc.percent_cpu_sum / n;
+    stats.percent_cpu_min = acc.percent_cpu_min;
+    stats.percent_cpu_max = acc.percent_cpu_max;
+    stats.cpu_work_mean = acc.cpu_work_sum / n;
+    const double variance =
+        std::max(0.0, acc.cpu_work_sq_sum / n - stats.cpu_work_mean * stats.cpu_work_mean);
+    stats.cpu_work_stddev = std::sqrt(variance);
+    stats.output_bytes_mean = acc.output_bytes_sum / n;
+    stats.memory_bytes = acc.memory_bytes_max;
+    stats.mean_count_per_instance =
+        static_cast<double>(acc.count_across_corpus) / static_cast<double>(corpus.size());
+    stats.scalable = stats.mean_count_per_instance >= 2.0;
+    stats.level = acc.level;
+    profile.categories.push_back(std::move(stats));
+  }
+  std::sort(profile.categories.begin(), profile.categories.end(),
+            [](const CategoryStats& a, const CategoryStats& b) {
+              if (a.level != b.level) return a.level < b.level;
+              return a.category < b.category;
+            });
+  for (const auto& [pair, acc] : edges) {
+    WiringStats wiring;
+    wiring.parent_category = pair.first;
+    wiring.child_category = pair.second;
+    wiring.children_per_parent =
+        static_cast<double>(acc.edges) / static_cast<double>(acc.parent_tasks);
+    wiring.parents_per_child =
+        static_cast<double>(acc.edges) / static_cast<double>(acc.child_tasks);
+    profile.wiring.push_back(std::move(wiring));
+  }
+  for (CategoryStats& stats : profile.categories) {
+    const CategoryAccumulator& acc = categories.at(stats.category);
+    if (acc.external_observations > 0) {
+      stats.external_input_bytes =
+          acc.external_bytes_sum / static_cast<double>(acc.external_observations);
+    }
+  }
+  return profile;
+}
+
+DerivedRecipe::DerivedRecipe(FamilyProfile profile) : profile_(std::move(profile)) {
+  if (profile_.categories.empty()) {
+    throw std::invalid_argument("DerivedRecipe: profile has no categories");
+  }
+}
+
+std::string DerivedRecipe::display_name() const {
+  std::string name = profile_.family;
+  if (!name.empty()) name[0] = static_cast<char>(std::toupper(name[0]));
+  return name + "Chef";
+}
+
+std::string DerivedRecipe::description() const {
+  return support::format(
+      "WfChef-derived recipe for the '{}' family, learned from {} curated instance(s): {} "
+      "categories over {} levels",
+      profile_.family, profile_.instances, profile_.categories.size(), profile_.levels);
+}
+
+std::size_t DerivedRecipe::min_tasks() const {
+  std::size_t fixed = 0;
+  std::size_t scalable = 0;
+  for (const CategoryStats& stats : profile_.categories) {
+    if (stats.scalable) {
+      ++scalable;  // at least one task each
+    } else {
+      fixed += static_cast<std::size_t>(std::lround(stats.mean_count_per_instance));
+    }
+  }
+  return fixed + scalable;
+}
+
+void DerivedRecipe::populate(Workflow& wf, const GenerateOptions& options,
+                             support::Rng& rng) const {
+  // 1. Decide per-category counts: fixed categories keep their corpus
+  //    counts; scalable ones share the remaining budget proportionally.
+  std::size_t fixed_total = 0;
+  double scalable_weight = 0.0;
+  for (const CategoryStats& stats : profile_.categories) {
+    if (stats.scalable) {
+      scalable_weight += stats.mean_count_per_instance;
+    } else {
+      fixed_total += static_cast<std::size_t>(std::lround(stats.mean_count_per_instance));
+    }
+  }
+  const std::size_t budget =
+      options.num_tasks > fixed_total ? options.num_tasks - fixed_total : 0;
+
+  std::map<std::string, std::size_t> counts;
+  for (const CategoryStats& stats : profile_.categories) {
+    if (stats.scalable) {
+      const double share = stats.mean_count_per_instance / scalable_weight;
+      counts[stats.category] =
+          std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(
+                                       share * static_cast<double>(budget))));
+    } else {
+      counts[stats.category] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(stats.mean_count_per_instance)));
+    }
+  }
+
+  // 2. Materialise tasks level by level with knobs drawn from the profile.
+  std::map<std::string, std::vector<std::string>> tasks_of;
+  std::uint64_t ordinal = 1;
+  const double work_scale = options.cpu_work / 100.0;
+  for (const CategoryStats& stats : profile_.categories) {
+    for (std::size_t i = 0; i < counts[stats.category]; ++i) {
+      Task task;
+      task.id = support::pad_id(ordinal++, 8);
+      task.name = stats.category + "_" + task.id;
+      task.category = stats.category;
+      task.percent_cpu = std::round(rng.uniform_real(stats.percent_cpu_min,
+                                                     stats.percent_cpu_max) *
+                                    100.0) /
+                         100.0;
+      task.cpu_work = work_scale * rng.truncated_normal(
+                                       stats.cpu_work_mean,
+                                       std::max(stats.cpu_work_stddev, 1e-9),
+                                       stats.cpu_work_mean * 0.5, stats.cpu_work_mean * 2.0);
+      task.memory_bytes = stats.memory_bytes;
+      const double out_bytes = stats.output_bytes_mean * options.data_scale;
+      task.files.push_back(TaskFile{TaskFile::Link::kOutput, task.name + "_output.txt",
+                                    static_cast<std::uint64_t>(std::max(1.0, out_bytes))});
+      if (stats.external_input_bytes > 0.0) {
+        task.files.push_back(
+            TaskFile{TaskFile::Link::kInput, task.name + "_staged.in",
+                     static_cast<std::uint64_t>(stats.external_input_bytes *
+                                                options.data_scale)});
+      }
+      tasks_of[stats.category].push_back(task.name);
+      wf.add_task(std::move(task));
+    }
+  }
+
+  // 3. Re-create the wiring pattern.
+  const auto feed = [&wf](const std::string& parent, const std::string& child) {
+    wf.connect(parent, child);
+    Task* p = wf.find(parent);
+    Task* c = wf.find(child);
+    for (const TaskFile* out : p->outputs()) {
+      const bool already =
+          std::any_of(c->files.begin(), c->files.end(), [&](const TaskFile& f) {
+            return f.link == TaskFile::Link::kInput && f.name == out->name;
+          });
+      if (!already) {
+        c->files.push_back(TaskFile{TaskFile::Link::kInput, out->name, out->size_bytes});
+      }
+    }
+  };
+  for (const WiringStats& wiring : profile_.wiring) {
+    const auto& parents = tasks_of[wiring.parent_category];
+    const auto& children = tasks_of[wiring.child_category];
+    const std::size_t p = parents.size();
+    const std::size_t c = children.size();
+    if (p == 0 || c == 0) continue;
+    if (c == 1) {
+      for (const std::string& parent : parents) feed(parent, children[0]);
+    } else if (p == 1) {
+      for (const std::string& child : children) feed(parents[0], child);
+    } else if (p == c) {
+      for (std::size_t i = 0; i < p; ++i) feed(parents[i], children[i]);
+    } else if (p > c) {
+      // Group fan-in: parents distributed round-robin over children.
+      for (std::size_t i = 0; i < p; ++i) feed(parents[i], children[i % c]);
+    } else {
+      // Fan-out: children distributed round-robin over parents.
+      for (std::size_t i = 0; i < c; ++i) feed(parents[i % p], children[i]);
+    }
+  }
+}
+
+std::unique_ptr<DerivedRecipe> chef_from_instances(const std::string& family) {
+  std::vector<Workflow> corpus;
+  for (const InstanceInfo& info : instance_catalog()) {
+    if (info.family == family) corpus.push_back(load_instance(info.name));
+  }
+  if (corpus.empty()) {
+    throw std::invalid_argument("WfChef: no curated instances for family " + family);
+  }
+  return std::make_unique<DerivedRecipe>(learn_profile(family, corpus));
+}
+
+}  // namespace wfs::wfcommons

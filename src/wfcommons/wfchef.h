@@ -1,0 +1,103 @@
+// WfChef — the WfCommons component that "uses the groups of workflow
+// instances to generate recipes of scientific workflows for that type"
+// (paper Figure 2). Given a corpus of instances from one family, WfChef
+// learns:
+//   * the level pattern — the sequence of per-category occupancy across
+//     DAG levels, with "scalable" categories detected (those whose count
+//     grows with instance size);
+//   * per-category knob statistics (percent-cpu, cpu-work, memory,
+//     output size), pooled over the corpus;
+//   * the wiring pattern between adjacent categories (which category
+//     feeds which, fan-in vs fan-out).
+// The learned DerivedRecipe is a Recipe: it generates new instances of any
+// requested size with the family's structure and knob distributions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+/// Pooled statistics of one function category across a corpus.
+struct CategoryStats {
+  std::string category;
+  std::size_t observations = 0;
+  double percent_cpu_mean = 0.0;
+  double percent_cpu_min = 1.0;
+  double percent_cpu_max = 0.0;
+  double cpu_work_mean = 0.0;
+  double cpu_work_stddev = 0.0;
+  double output_bytes_mean = 0.0;
+  std::uint64_t memory_bytes = 0;  // max observed (conservative)
+  /// Mean size of the staged (externally provided) input each task of this
+  /// category consumes; 0 when the category only reads produced files.
+  double external_input_bytes = 0.0;
+  /// Mean count per instance, and whether that count scaled with instance
+  /// size across the corpus (the category WfChef replicates when asked for
+  /// bigger instances).
+  double mean_count_per_instance = 0.0;
+  bool scalable = false;
+  /// Level index (mode over the corpus) this category occupies.
+  std::size_t level = 0;
+};
+
+/// Edge pattern: parent category -> child category with mean multiplicity.
+struct WiringStats {
+  std::string parent_category;
+  std::string child_category;
+  /// Mean number of child tasks per parent task (>= 1: fan-out) and mean
+  /// parents per child (>= 1: fan-in).
+  double children_per_parent = 0.0;
+  double parents_per_child = 0.0;
+};
+
+/// The learned family profile.
+struct FamilyProfile {
+  std::string family;                 // e.g. "blast"
+  std::size_t instances = 0;
+  std::size_t levels = 0;
+  std::vector<CategoryStats> categories;   // ordered by level, then name
+  std::vector<WiringStats> wiring;
+
+  [[nodiscard]] const CategoryStats* find_category(const std::string& name) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Learns a FamilyProfile from a non-empty corpus of same-family instances.
+/// Throws std::invalid_argument when the corpus is empty or structurally
+/// inconsistent (different level-category skeletons).
+[[nodiscard]] FamilyProfile learn_profile(const std::string& family,
+                                          const std::vector<Workflow>& corpus);
+
+/// A Recipe backed by a learned profile: generates instances whose
+/// scalable categories grow toward the requested size while fixed
+/// categories keep their corpus counts, wired by the learned patterns.
+class DerivedRecipe final : public Recipe {
+ public:
+  explicit DerivedRecipe(FamilyProfile profile);
+
+  [[nodiscard]] std::string name() const override { return profile_.family; }
+  [[nodiscard]] std::string display_name() const override;
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] std::size_t min_tasks() const override;
+
+  [[nodiscard]] const FamilyProfile& profile() const noexcept { return profile_; }
+
+ protected:
+  void populate(Workflow& wf, const GenerateOptions& options,
+                support::Rng& rng) const override;
+
+ private:
+  FamilyProfile profile_;
+};
+
+/// Convenience: learn from the built-in WfInstances catalog entries of one
+/// family (throws when the catalog has none).
+[[nodiscard]] std::unique_ptr<DerivedRecipe> chef_from_instances(const std::string& family);
+
+}  // namespace wfs::wfcommons

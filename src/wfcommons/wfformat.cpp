@@ -1,0 +1,419 @@
+#include "wfcommons/wfformat.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "json/parse.h"
+#include "json/write.h"
+#include "support/format.h"
+#include "support/strings.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+json::Value files_to_json(const Task& task) {
+  json::Array files;
+  for (const TaskFile& f : task.files) {
+    json::Object entry;
+    entry.set("link", f.link == TaskFile::Link::kOutput ? "output" : "input");
+    entry.set("name", f.name);
+    entry.set("sizeInBytes", f.size_bytes);
+    files.emplace_back(std::move(entry));
+  }
+  return json::Value(std::move(files));
+}
+
+json::Value arguments_kv(const Task& task) {
+  // The single key/value object the Knative translator emits — identical in
+  // shape to the wfbench POST body (paper §III-B).
+  json::Object kv;
+  kv.set("name", task.name);
+  kv.set("percent-cpu", task.percent_cpu);
+  kv.set("cpu-work", task.cpu_work);
+  kv.set("memory-bytes", task.memory_bytes);
+  json::Object out_files;
+  for (const TaskFile* f : task.outputs()) out_files.set(f->name, f->size_bytes);
+  kv.set("out", std::move(out_files));
+  json::Array inputs;
+  for (const TaskFile* f : task.inputs()) inputs.emplace_back(f->name);
+  kv.set("inputs", std::move(inputs));
+  json::Array arguments;
+  arguments.emplace_back(std::move(kv));
+  return json::Value(std::move(arguments));
+}
+
+json::Value arguments_list(const Task& task) {
+  json::Array arguments;
+  arguments.emplace_back("--name=" + task.name);
+  arguments.emplace_back(support::format("--percent-cpu={}", task.percent_cpu));
+  arguments.emplace_back(support::format("--cpu-work={}", task.cpu_work));
+  arguments.emplace_back(support::format("--memory-bytes={}", task.memory_bytes));
+  std::vector<std::string> outs;
+  for (const TaskFile* f : task.outputs()) {
+    outs.push_back(support::format("{}:{}", f->name, f->size_bytes));
+  }
+  if (!outs.empty()) arguments.emplace_back("--out=" + support::join(outs, ","));
+  std::vector<std::string> ins;
+  for (const TaskFile* f : task.inputs()) ins.push_back(f->name);
+  if (!ins.empty()) arguments.emplace_back("--inputs=" + support::join(ins, ","));
+  return json::Value(std::move(arguments));
+}
+
+json::Value strings_to_json(const std::vector<std::string>& values) {
+  json::Array array;
+  for (const std::string& v : values) array.emplace_back(v);
+  return json::Value(std::move(array));
+}
+
+std::vector<std::string> json_to_strings(const json::Value& value, const char* what) {
+  if (!value.is_array()) {
+    throw std::invalid_argument(support::format("wfformat: {} is not an array", what));
+  }
+  std::vector<std::string> out;
+  for (const json::Value& entry : value.as_array()) {
+    if (!entry.is_string()) {
+      throw std::invalid_argument(support::format("wfformat: {} entry is not a string", what));
+    }
+    out.push_back(entry.as_string());
+  }
+  return out;
+}
+
+void parse_kv_arguments(const json::Object& kv, Task& task) {
+  if (const json::Value* v = kv.find("percent-cpu")) task.percent_cpu = v->double_or(0.6);
+  if (const json::Value* v = kv.find("cpu-work")) task.cpu_work = v->double_or(100.0);
+  if (const json::Value* v = kv.find("memory-bytes")) {
+    task.memory_bytes = static_cast<std::uint64_t>(v->int_or(0));
+  }
+  // Files come from the task-level "files" list; the kv copy is redundant
+  // on read (it exists for the HTTP request), so nothing else to do here.
+}
+
+void parse_list_arguments(const json::Array& list, Task& task) {
+  for (const json::Value& entry : list) {
+    if (!entry.is_string()) continue;
+    const std::string& arg = entry.as_string();
+    const auto value_of = [&](std::string_view prefix) -> std::string {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (arg.starts_with("--percent-cpu=")) {
+      task.percent_cpu = std::strtod(value_of("--percent-cpu=").c_str(), nullptr);
+    } else if (arg.starts_with("--cpu-work=")) {
+      task.cpu_work = std::strtod(value_of("--cpu-work=").c_str(), nullptr);
+    } else if (arg.starts_with("--memory-bytes=")) {
+      task.memory_bytes = std::strtoull(value_of("--memory-bytes=").c_str(), nullptr, 10);
+    }
+  }
+}
+
+Task task_from_json(const std::string& name, const json::Value& value) {
+  if (!value.is_object()) {
+    throw std::invalid_argument("wfformat: task entry is not an object: " + name);
+  }
+  const json::Object& obj = value.as_object();
+  Task task;
+  task.name = name;
+  if (const json::Value* v = obj.find("name")) task.name = v->string_or(name);
+  if (const json::Value* v = obj.find("id")) task.id = v->string_or("");
+  if (const json::Value* v = obj.find("category")) task.category = v->string_or("");
+  if (const json::Value* v = obj.find("type")) task.type = v->string_or("compute");
+  if (const json::Value* v = obj.find("cores")) task.cores = static_cast<int>(v->int_or(1));
+  if (const json::Value* v = obj.find("runtimeInSeconds")) {
+    task.runtime_seconds = v->double_or(0.0);
+  }
+  if (const json::Value* v = obj.find("memoryInBytes")) {
+    task.memory_bytes = static_cast<std::uint64_t>(v->int_or(0));
+  }
+  if (const json::Value* v = obj.find("parents")) task.parents = json_to_strings(*v, "parents");
+  if (const json::Value* v = obj.find("children")) {
+    task.children = json_to_strings(*v, "children");
+  }
+  if (const json::Value* files = obj.find("files"); files != nullptr && files->is_array()) {
+    for (const json::Value& entry : files->as_array()) {
+      if (!entry.is_object()) continue;
+      const json::Object& f = entry.as_object();
+      TaskFile file;
+      file.link = f.find("link") != nullptr && f.at("link").string_or("input") == "output"
+                      ? TaskFile::Link::kOutput
+                      : TaskFile::Link::kInput;
+      file.name = f.find("name") != nullptr ? f.at("name").string_or("") : "";
+      file.size_bytes = f.find("sizeInBytes") != nullptr
+                            ? static_cast<std::uint64_t>(f.at("sizeInBytes").int_or(0))
+                            : 0;
+      task.files.push_back(std::move(file));
+    }
+  }
+  if (const json::Value* command = obj.find("command"); command != nullptr) {
+    if (const json::Value* v = command->find("program")) {
+      task.program = v->string_or("wfbench.py");
+    }
+    if (const json::Value* v = command->find("api_url")) task.api_url = v->string_or("");
+    if (const json::Value* args = command->find("arguments");
+        args != nullptr && args->is_array()) {
+      const json::Array& list = args->as_array();
+      if (!list.empty() && list[0].is_object()) {
+        parse_kv_arguments(list[0].as_object(), task);
+      } else {
+        parse_list_arguments(list, task);
+      }
+    }
+  }
+  return task;
+}
+
+}  // namespace
+
+json::Value task_to_json(const Task& task, ArgsStyle style) {
+  json::Object entry;
+  entry.set("name", task.name);
+  entry.set("type", task.type);
+
+  json::Object command;
+  command.set("program", task.program);
+  command.set("arguments",
+              style == ArgsStyle::kKeyValue ? arguments_kv(task) : arguments_list(task));
+  if (!task.api_url.empty()) command.set("api_url", task.api_url);
+  entry.set("command", std::move(command));
+
+  entry.set("parents", strings_to_json(task.parents));
+  entry.set("children", strings_to_json(task.children));
+  entry.set("files", files_to_json(task));
+  entry.set("runtimeInSeconds", task.runtime_seconds);
+  entry.set("cores", task.cores);
+  entry.set("memoryInBytes", task.memory_bytes);
+  entry.set("id", task.id);
+  entry.set("category", task.category);
+  return json::Value(std::move(entry));
+}
+
+json::Value to_json(const Workflow& workflow, ArgsStyle style) {
+  json::Object document;
+  document.set("name", workflow.name());
+  document.set("schema", workflow.schema_version());
+  document.set("workflowSize", workflow.size());
+  json::Object tasks;
+  for (const Task& task : workflow.tasks()) {
+    tasks.set(task.name, task_to_json(task, style));
+  }
+  document.set("tasks", std::move(tasks));
+  return json::Value(std::move(document));
+}
+
+Workflow from_json(const json::Value& document) {
+  if (!document.is_object()) throw std::invalid_argument("wfformat: document is not an object");
+  const json::Object& root = document.as_object();
+
+  Workflow workflow;
+  if (const json::Value* v = root.find("name")) workflow.set_name(v->string_or(""));
+  if (const json::Value* v = root.find("schema")) {
+    workflow.set_schema_version(v->string_or("1.5"));
+  }
+
+  // Accept both {"tasks": {...}} and a bare top-level map of task entries
+  // (the paper's excerpt shows the bare form).
+  const json::Object* tasks = &root;
+  if (const json::Value* v = root.find("tasks"); v != nullptr && v->is_object()) {
+    tasks = &v->as_object();
+  }
+  for (const auto& [name, entry] : *tasks) {
+    if (!entry.is_object()) continue;  // skip name/schema metadata keys
+    if (entry.find("command") == nullptr && entry.find("files") == nullptr &&
+        entry.find("parents") == nullptr) {
+      continue;  // not a task entry
+    }
+    workflow.tasks().push_back(task_from_json(name, entry));
+  }
+  // Rebuild index lazily; verify structural sanity early so downstream code
+  // can trust parents/children symmetry.
+  const std::vector<std::string> problems = workflow.validate();
+  if (!problems.empty()) {
+    throw std::invalid_argument("wfformat: invalid workflow: " + problems.front());
+  }
+  return workflow;
+}
+
+Workflow parse_workflow(const std::string& text) {
+  const json::Value document = json::parse(text);
+  if (is_wfformat_v15(document)) return from_wfformat_v15(document);
+  return from_json(document);
+}
+
+bool is_wfformat_v15(const json::Value& document) {
+  const json::Value* workflow = document.find("workflow");
+  return workflow != nullptr && workflow->is_object() &&
+         workflow->find("specification") != nullptr;
+}
+
+json::Value to_wfformat_v15(const Workflow& workflow) {
+  json::Object document;
+  document.set("name", workflow.name());
+  document.set("schemaVersion", "1.5");
+
+  // files[]: every distinct file id with its size.
+  json::Array files;
+  {
+    std::vector<std::string> seen;
+    for (const Task& task : workflow.tasks()) {
+      for (const TaskFile& file : task.files) {
+        if (std::find(seen.begin(), seen.end(), file.name) != seen.end()) continue;
+        seen.push_back(file.name);
+        json::Object entry;
+        entry.set("id", file.name);
+        entry.set("sizeInBytes", file.size_bytes);
+        files.emplace_back(std::move(entry));
+      }
+    }
+  }
+
+  json::Array spec_tasks;
+  json::Array exec_tasks;
+  for (const Task& task : workflow.tasks()) {
+    json::Object spec;
+    spec.set("name", task.category);
+    spec.set("id", task.name);
+    json::Array parents;
+    for (const std::string& parent : task.parents) parents.emplace_back(parent);
+    spec.set("parents", std::move(parents));
+    json::Array children;
+    for (const std::string& child : task.children) children.emplace_back(child);
+    spec.set("children", std::move(children));
+    json::Array input_files;
+    for (const TaskFile* file : task.inputs()) input_files.emplace_back(file->name);
+    spec.set("inputFiles", std::move(input_files));
+    json::Array output_files;
+    for (const TaskFile* file : task.outputs()) output_files.emplace_back(file->name);
+    spec.set("outputFiles", std::move(output_files));
+    spec_tasks.emplace_back(std::move(spec));
+
+    json::Object exec;
+    exec.set("id", task.name);
+    exec.set("runtimeInSeconds", task.runtime_seconds);
+    exec.set("coreCount", task.cores);
+    exec.set("avgCPU", task.percent_cpu);
+    // Non-standard-but-namespaced extras so the wfbench knobs survive the
+    // upstream layout (upstream tools ignore unknown keys).
+    exec.set("cpuWork", task.cpu_work);
+    exec.set("memoryInBytes", task.memory_bytes);
+    if (!task.api_url.empty()) exec.set("apiUrl", task.api_url);
+    exec_tasks.emplace_back(std::move(exec));
+  }
+
+  json::Object specification;
+  specification.set("tasks", std::move(spec_tasks));
+  specification.set("files", std::move(files));
+  json::Object execution;
+  execution.set("tasks", std::move(exec_tasks));
+  json::Object workflow_obj;
+  workflow_obj.set("specification", std::move(specification));
+  workflow_obj.set("execution", std::move(execution));
+  document.set("workflow", std::move(workflow_obj));
+  return json::Value(std::move(document));
+}
+
+Workflow from_wfformat_v15(const json::Value& document) {
+  if (!is_wfformat_v15(document)) {
+    throw std::invalid_argument("wfformat: not a v1.5 document");
+  }
+  Workflow workflow;
+  if (const json::Value* v = document.find("name")) workflow.set_name(v->string_or(""));
+  if (const json::Value* v = document.find("schemaVersion")) {
+    workflow.set_schema_version(v->string_or("1.5"));
+  }
+  const json::Value& spec = *document.find("workflow")->find("specification");
+
+  // File table first: id -> size.
+  std::unordered_map<std::string, std::uint64_t> file_sizes;
+  if (const json::Value* files = spec.find("files"); files != nullptr && files->is_array()) {
+    for (const json::Value& entry : files->as_array()) {
+      if (!entry.is_object()) continue;
+      const json::Value* id = entry.find("id");
+      if (id == nullptr || !id->is_string()) continue;
+      const json::Value* size = entry.find("sizeInBytes");
+      file_sizes[id->as_string()] =
+          size != nullptr ? static_cast<std::uint64_t>(size->int_or(0)) : 0;
+    }
+  }
+
+  const json::Value* tasks = spec.find("tasks");
+  if (tasks == nullptr || !tasks->is_array()) {
+    throw std::invalid_argument("wfformat v1.5: specification.tasks missing");
+  }
+  for (const json::Value& entry : tasks->as_array()) {
+    if (!entry.is_object()) continue;
+    Task task;
+    if (const json::Value* v = entry.find("id")) task.name = v->string_or("");
+    if (const json::Value* v = entry.find("name")) task.category = v->string_or("");
+    if (task.name.empty()) throw std::invalid_argument("wfformat v1.5: task without id");
+    // Recover the WfCommons ordinal suffix when present.
+    if (const std::size_t pos = task.name.rfind('_');
+        pos != std::string::npos && pos + 1 < task.name.size()) {
+      task.id = task.name.substr(pos + 1);
+    }
+    if (const json::Value* v = entry.find("parents")) {
+      task.parents = json_to_strings(*v, "parents");
+    }
+    if (const json::Value* v = entry.find("children")) {
+      task.children = json_to_strings(*v, "children");
+    }
+    if (const json::Value* v = entry.find("inputFiles"); v != nullptr && v->is_array()) {
+      for (const json::Value& file : v->as_array()) {
+        if (!file.is_string()) continue;
+        const auto it = file_sizes.find(file.as_string());
+        task.files.push_back(TaskFile{TaskFile::Link::kInput, file.as_string(),
+                                      it != file_sizes.end() ? it->second : 0});
+      }
+    }
+    if (const json::Value* v = entry.find("outputFiles"); v != nullptr && v->is_array()) {
+      for (const json::Value& file : v->as_array()) {
+        if (!file.is_string()) continue;
+        const auto it = file_sizes.find(file.as_string());
+        task.files.push_back(TaskFile{TaskFile::Link::kOutput, file.as_string(),
+                                      it != file_sizes.end() ? it->second : 0});
+      }
+    }
+    workflow.tasks().push_back(std::move(task));
+  }
+
+  // Execution overlay (runtimes, the wfbench knobs, endpoints).
+  if (const json::Value* execution = document.find("workflow")->find("execution")) {
+    if (const json::Value* exec_tasks = execution->find("tasks");
+        exec_tasks != nullptr && exec_tasks->is_array()) {
+      for (const json::Value& entry : exec_tasks->as_array()) {
+        if (!entry.is_object()) continue;
+        const json::Value* id = entry.find("id");
+        if (id == nullptr || !id->is_string()) continue;
+        Task* task = workflow.find(id->as_string());
+        if (task == nullptr) continue;
+        if (const json::Value* v = entry.find("runtimeInSeconds")) {
+          task->runtime_seconds = v->double_or(0.0);
+        }
+        if (const json::Value* v = entry.find("coreCount")) {
+          task->cores = static_cast<int>(v->int_or(1));
+        }
+        if (const json::Value* v = entry.find("avgCPU")) {
+          task->percent_cpu = v->double_or(task->percent_cpu);
+        }
+        if (const json::Value* v = entry.find("cpuWork")) {
+          task->cpu_work = v->double_or(task->cpu_work);
+        }
+        if (const json::Value* v = entry.find("memoryInBytes")) {
+          task->memory_bytes = static_cast<std::uint64_t>(v->int_or(0));
+        }
+        if (const json::Value* v = entry.find("apiUrl")) task->api_url = v->string_or("");
+      }
+    }
+  }
+
+  const std::vector<std::string> problems = workflow.validate();
+  if (!problems.empty()) {
+    throw std::invalid_argument("wfformat v1.5: invalid workflow: " + problems.front());
+  }
+  return workflow;
+}
+
+std::string write_workflow(const Workflow& workflow, ArgsStyle style) {
+  return json::write_pretty(to_json(workflow, style));
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,64 @@
+// (De)serialization of workflows in the WfCommons-derived JSON layout the
+// paper's workflow manager consumes (see the excerpt in §III-A).
+//
+// Two argument styles exist:
+//  * kList — the traditional WfCommons form: "arguments" is a list of
+//    "--flag=value" strings;
+//  * kKeyValue — the paper's Knative-translator form: "arguments" is a list
+//    holding one object of key/values ({"name":..., "percent-cpu":...,
+//    "cpu-work":..., "out":{file:size}, "inputs":[...]}), which maps 1:1
+//    onto the wfbench service's POST body.
+// The reader accepts both; writers pick one.
+#pragma once
+
+#include <string>
+
+#include "json/value.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+enum class ArgsStyle { kList, kKeyValue };
+
+/// Serializes the workflow:
+/// {"name":..., "schema":..., "tasks": {taskName: {...}, ...}}
+[[nodiscard]] json::Value to_json(const Workflow& workflow,
+                                  ArgsStyle style = ArgsStyle::kList);
+
+/// Serializes one task entry (the value under its name key).
+[[nodiscard]] json::Value task_to_json(const Task& task, ArgsStyle style);
+
+/// Parses either argument style back into a Workflow. Throws
+/// std::invalid_argument (with context) on structural problems.
+[[nodiscard]] Workflow from_json(const json::Value& document);
+
+/// Convenience: parse text -> Workflow (throws json::ParseError or
+/// std::invalid_argument).
+[[nodiscard]] Workflow parse_workflow(const std::string& text);
+
+/// Convenience: Workflow -> pretty JSON text.
+[[nodiscard]] std::string write_workflow(const Workflow& workflow,
+                                         ArgsStyle style = ArgsStyle::kList);
+
+// ---- WfCommons wfformat v1.5 (the upstream nested schema) -------------------
+//
+// The upstream WfCommons corpus stores instances as
+//   {"name", "schemaVersion": "1.5",
+//    "workflow": {"specification": {"tasks": [...], "files": [...]},
+//                 "execution": {"tasks": [...]}}}
+// with tasks referencing file ids. These functions interoperate with that
+// layout; parse_workflow() auto-detects it, so corpus files and this
+// repository's flat layout are both accepted everywhere.
+
+/// Serializes into the nested wfformat v1.5 document.
+[[nodiscard]] json::Value to_wfformat_v15(const Workflow& workflow);
+
+/// Parses a wfformat v1.5 document. Throws std::invalid_argument on
+/// structural problems.
+[[nodiscard]] Workflow from_wfformat_v15(const json::Value& document);
+
+/// True when the document looks like wfformat v1.5 (has a "workflow" object
+/// with a "specification").
+[[nodiscard]] bool is_wfformat_v15(const json::Value& document);
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,212 @@
+#include "wfcommons/wfinstances.h"
+
+#include <stdexcept>
+
+namespace wfs::wfcommons {
+namespace {
+
+// Helper: fixed-knob task with one output file.
+Task fixed_task(const std::string& name, const std::string& id, const std::string& category,
+                double percent_cpu, double cpu_work, std::uint64_t memory_bytes,
+                const std::string& output, std::uint64_t output_bytes) {
+  Task task;
+  task.name = name;
+  task.id = id;
+  task.category = category;
+  task.percent_cpu = percent_cpu;
+  task.cpu_work = cpu_work;
+  task.memory_bytes = memory_bytes;
+  task.files.push_back(TaskFile{TaskFile::Link::kOutput, output, output_bytes});
+  return task;
+}
+
+void wire(Workflow& wf, const std::string& parent, const std::string& child) {
+  wf.connect(parent, child);
+  Task* p = wf.find(parent);
+  Task* c = wf.find(child);
+  for (const TaskFile* out : p->outputs()) {
+    c->files.push_back(TaskFile{TaskFile::Link::kInput, out->name, out->size_bytes});
+  }
+}
+
+// A 7-task Blast trace: the excerpt of the paper's §III-A is a task from
+// exactly this shape (one split, parallel blastall, two merges).
+Workflow blast_small() {
+  Workflow wf("blast-chameleon-small");
+  wf.add_task(fixed_task("split_fasta_00000001", "00000001", "split_fasta", 0.6, 52.0,
+                         64ULL << 20, "split_fasta_00000001_output.txt", 204082));
+  wf.find("split_fasta_00000001")
+      ->files.push_back(TaskFile{TaskFile::Link::kInput, "blast_input.fasta", 8ULL << 20});
+  const std::uint64_t blastall_out[4] = {40161, 39874, 41200, 40010};
+  const double blastall_cpu[4] = {0.9, 0.88, 0.91, 0.87};
+  for (int i = 0; i < 4; ++i) {
+    const std::string id = "0000000" + std::to_string(i + 2);
+    const std::string name = "blastall_" + id;
+    wf.add_task(fixed_task(name, id, "blastall", blastall_cpu[i], 100.0, 256ULL << 20,
+                           name + "_output.txt", blastall_out[i]));
+    wire(wf, "split_fasta_00000001", name);
+  }
+  wf.add_task(fixed_task("cat_blast_00000006", "00000006", "cat_blast", 0.62, 15.0,
+                         128ULL << 20, "cat_blast_00000006_output.txt", 4ULL << 20));
+  wf.add_task(fixed_task("cat_00000007", "00000007", "cat", 0.55, 10.0, 64ULL << 20,
+                         "cat_00000007_output.txt", 1ULL << 20));
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "blastall_0000000" + std::to_string(i + 2);
+    wire(wf, name, "cat_blast_00000006");
+    wire(wf, name, "cat_00000007");
+  }
+  return wf;
+}
+
+// A 12-task Epigenomics trace: one lane, two 4-stage chains, lane merge,
+// chr21, pileup.
+Workflow epigenomics_small() {
+  Workflow wf("epigenomics-ilmn-small");
+  wf.add_task(fixed_task("fastqsplit_00000001", "00000001", "fastqsplit", 0.58, 40.0,
+                         128ULL << 20, "fastqsplit_00000001_output.txt", 512 * 1024));
+  wf.find("fastqsplit_00000001")
+      ->files.push_back(TaskFile{TaskFile::Link::kInput, "lane_0.sfq", 16ULL << 20});
+  const char* stages[4] = {"filter_contams", "sol2sanger", "fast2bfq", "map"};
+  const double stage_work[4] = {48.0, 31.0, 29.0, 122.0};
+  const double stage_cpu[4] = {0.72, 0.61, 0.60, 0.89};
+  const std::uint64_t stage_mem[4] = {160ULL << 20, 128ULL << 20, 128ULL << 20,
+                                      512ULL << 20};
+  int ordinal = 2;
+  for (int chain = 0; chain < 2; ++chain) {
+    std::string previous = "fastqsplit_00000001";
+    for (int s = 0; s < 4; ++s) {
+      const std::string id = "0000000" + std::to_string(ordinal++);
+      const std::string name = std::string(stages[s]) + "_" + id;
+      wf.add_task(fixed_task(name, id, stages[s], stage_cpu[s], stage_work[s], stage_mem[s],
+                             name + "_output.txt", 300 * 1024 + chain * 1024));
+      wire(wf, previous, name);
+      previous = name;
+    }
+  }
+  wf.add_task(fixed_task("map_merge_00000010", "00000010", "map_merge", 0.6, 26.0,
+                         256ULL << 20, "map_merge_00000010_output.txt", 4ULL << 20));
+  wire(wf, "map_00000005", "map_merge_00000010");
+  wire(wf, "map_00000009", "map_merge_00000010");
+  wf.add_task(fixed_task("chr21_00000011", "00000011", "chr21", 0.67, 33.0, 192ULL << 20,
+                         "chr21_00000011_output.txt", 1ULL << 20));
+  wire(wf, "map_merge_00000010", "chr21_00000011");
+  wf.add_task(fixed_task("pileup_00000012", "00000012", "pileup", 0.71, 49.0, 256ULL << 20,
+                         "pileup_00000012_output.txt", 2ULL << 20));
+  wire(wf, "chr21_00000011", "pileup_00000012");
+  return wf;
+}
+
+// A 6-task Seismology trace: five deconvolutions, one sift.
+Workflow seismology_small() {
+  Workflow wf("seismology-sgt-small");
+  wf.add_task(fixed_task("wrapper_siftSTFByMisfit_00000006", "00000006",
+                         "wrapper_siftSTFByMisfit", 0.55, 22.0, 128ULL << 20,
+                         "wrapper_siftSTFByMisfit_00000006_output.txt", 2ULL << 20));
+  const double decon_work[5] = {96.0, 104.0, 99.0, 101.0, 95.0};
+  for (int i = 0; i < 5; ++i) {
+    const std::string id = "0000000" + std::to_string(i + 1);
+    const std::string name = "sG1IterDecon_" + id;
+    wf.add_task(fixed_task(name, id, "sG1IterDecon", 0.85, decon_work[i], 192ULL << 20,
+                           name + "_output.txt", 24 * 1024));
+    wf.find(name)->files.push_back(
+        TaskFile{TaskFile::Link::kInput, "station_" + std::to_string(i) + ".seed",
+                 1ULL << 20});
+    wire(wf, name, "wrapper_siftSTFByMisfit_00000006");
+  }
+  return wf;
+}
+
+// An 8-task 1000-Genome trace: one chromosome, four individuals, merge,
+// sifting, one population's overlap + frequency.
+Workflow genome_small() {
+  Workflow wf("1000genome-chr21-small");
+  for (int i = 0; i < 4; ++i) {
+    const std::string id = "0000000" + std::to_string(i + 1);
+    const std::string name = "individuals_" + id;
+    wf.add_task(fixed_task(name, id, "individuals", 0.84, 98.0 + i, 384ULL << 20,
+                           name + "_output.txt", 3ULL << 20));
+    wf.find(name)->files.push_back(TaskFile{
+        TaskFile::Link::kInput, "chr21_slice_" + std::to_string(i) + ".vcf", 12ULL << 20});
+  }
+  wf.add_task(fixed_task("individuals_merge_00000005", "00000005", "individuals_merge", 0.6,
+                         30.0, 512ULL << 20, "individuals_merge_00000005_output.txt",
+                         24ULL << 20));
+  for (int i = 0; i < 4; ++i) {
+    wire(wf, "individuals_0000000" + std::to_string(i + 1), "individuals_merge_00000005");
+  }
+  wf.add_task(fixed_task("sifting_00000006", "00000006", "sifting", 0.68, 41.0,
+                         192ULL << 20, "sifting_00000006_output.txt", 1ULL << 20));
+  wf.find("sifting_00000006")
+      ->files.push_back(TaskFile{TaskFile::Link::kInput, "chr21_annotations.vcf", 4ULL << 20});
+  wf.add_task(fixed_task("mutation_overlap_00000007", "00000007", "mutation_overlap", 0.77,
+                         60.0, 256ULL << 20, "mutation_overlap_00000007_output.txt",
+                         512 * 1024));
+  wf.add_task(fixed_task("frequency_00000008", "00000008", "frequency", 0.79, 70.0,
+                         256ULL << 20, "frequency_00000008_output.txt", 768 * 1024));
+  for (const char* analysis : {"mutation_overlap_00000007", "frequency_00000008"}) {
+    wire(wf, "individuals_merge_00000005", analysis);
+    wire(wf, "sifting_00000006", analysis);
+  }
+  return wf;
+}
+
+// An 11-task Cycles trace: one land unit, four fertilizer levels.
+Workflow cycles_small() {
+  Workflow wf("cycles-unit0-small");
+  wf.add_task(fixed_task("baseline_cycles_00000001", "00000001", "baseline_cycles", 0.78,
+                         81.0, 256ULL << 20, "baseline_cycles_00000001_output.txt",
+                         1ULL << 20));
+  wf.find("baseline_cycles_00000001")
+      ->files.push_back(TaskFile{TaskFile::Link::kInput, "land_unit_0.soil", 2ULL << 20});
+  wf.add_task(fixed_task("cycles_fertilizer_increase_output_summary_00000010", "00000010",
+                         "cycles_fertilizer_increase_output_summary", 0.6, 25.0,
+                         128ULL << 20, "summary_00000010_output.txt", 128 * 1024));
+  for (int f = 0; f < 4; ++f) {
+    const std::string cycles_id = "0000000" + std::to_string(f + 2);
+    const std::string cycles_name = "cycles_" + cycles_id;
+    wf.add_task(fixed_task(cycles_name, cycles_id, "cycles", 0.82, 100.0 + 2 * f,
+                           320ULL << 20, cycles_name + "_output.txt", 2ULL << 20));
+    wire(wf, "baseline_cycles_00000001", cycles_name);
+    const std::string increase_id = "0000000" + std::to_string(f + 6);
+    const std::string increase_name = "cycles_fertilizer_increase_output_" + increase_id;
+    wf.add_task(fixed_task(increase_name, increase_id, "cycles_fertilizer_increase_output",
+                           0.66, 34.0, 128ULL << 20, increase_name + "_output.txt",
+                           256 * 1024));
+    wire(wf, cycles_name, increase_name);
+    wire(wf, increase_name, "cycles_fertilizer_increase_output_summary_00000010");
+  }
+  wf.add_task(fixed_task("cycles_plots_00000011", "00000011", "cycles_plots", 0.6, 29.0,
+                         256ULL << 20, "cycles_plots_00000011_output.txt", 4ULL << 20));
+  wire(wf, "cycles_fertilizer_increase_output_summary_00000010", "cycles_plots_00000011");
+  return wf;
+}
+
+}  // namespace
+
+const std::vector<InstanceInfo>& instance_catalog() {
+  static const std::vector<InstanceInfo> kCatalog = {
+      {"blast-chameleon-small", "bioinformatics", "blast", 7},
+      {"epigenomics-ilmn-small", "bioinformatics", "epigenomics", 12},
+      {"seismology-sgt-small", "seismology", "seismology", 6},
+      {"1000genome-chr21-small", "bioinformatics", "genome", 8},
+      {"cycles-unit0-small", "agroecosystems", "cycles", 11},
+  };
+  return kCatalog;
+}
+
+std::vector<std::string> instance_names() {
+  std::vector<std::string> names;
+  for (const InstanceInfo& info : instance_catalog()) names.push_back(info.name);
+  return names;
+}
+
+Workflow load_instance(std::string_view name) {
+  if (name == "blast-chameleon-small") return blast_small();
+  if (name == "epigenomics-ilmn-small") return epigenomics_small();
+  if (name == "seismology-sgt-small") return seismology_small();
+  if (name == "1000genome-chr21-small") return genome_small();
+  if (name == "cycles-unit0-small") return cycles_small();
+  throw std::invalid_argument("unknown WfInstance: " + std::string(name));
+}
+
+}  // namespace wfs::wfcommons

@@ -1,0 +1,37 @@
+// WfInstances — the curated catalog of small reference workflow instances
+// (the first WfCommons component in the paper's Figure 2: "gathers
+// different scientific workflows and groups them by type").
+//
+// Each instance is a fixed, hand-curated trace: deterministic task knobs
+// and file sizes shaped after published WfInstances executions (Chameleon
+// cloud runs of Pegasus workflows). They are the ground truth the recipes
+// (WfChef analogues) abstract, and they are handy in tests and examples as
+// stable, tiny, realistic workflows.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+
+struct InstanceInfo {
+  std::string name;      // catalog key, e.g. "blast-chameleon-small"
+  std::string domain;    // e.g. "bioinformatics"
+  std::string family;    // recipe key this instance seeds, e.g. "blast"
+  std::size_t tasks = 0;
+};
+
+/// The catalog, in stable order.
+[[nodiscard]] const std::vector<InstanceInfo>& instance_catalog();
+
+/// Catalog keys only.
+[[nodiscard]] std::vector<std::string> instance_names();
+
+/// Materialises an instance; always passes Workflow::validate(). Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] Workflow load_instance(std::string_view name);
+
+}  // namespace wfs::wfcommons

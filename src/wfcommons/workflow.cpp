@@ -1,0 +1,235 @@
+#include "wfcommons/workflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "support/format.h"
+
+namespace wfs::wfcommons {
+
+std::vector<const TaskFile*> Task::inputs() const {
+  std::vector<const TaskFile*> out;
+  for (const TaskFile& f : files) {
+    if (f.link == TaskFile::Link::kInput) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<const TaskFile*> Task::outputs() const {
+  std::vector<const TaskFile*> out;
+  for (const TaskFile& f : files) {
+    if (f.link == TaskFile::Link::kOutput) out.push_back(&f);
+  }
+  return out;
+}
+
+std::uint64_t Task::input_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const TaskFile& f : files) {
+    if (f.link == TaskFile::Link::kInput) total += f.size_bytes;
+  }
+  return total;
+}
+
+std::uint64_t Task::output_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const TaskFile& f : files) {
+    if (f.link == TaskFile::Link::kOutput) total += f.size_bytes;
+  }
+  return total;
+}
+
+Task& Workflow::add_task(Task task) {
+  if (find(task.name) != nullptr) {
+    throw std::invalid_argument("duplicate task name: " + task.name);
+  }
+  tasks_.push_back(std::move(task));
+  index_dirty_ = true;
+  return tasks_.back();
+}
+
+void Workflow::rebuild_index() const {
+  if (!index_dirty_) return;
+  index_.clear();
+  for (std::size_t i = 0; i < tasks_.size(); ++i) index_.emplace(tasks_[i].name, i);
+  index_dirty_ = false;
+}
+
+const Task* Workflow::find(std::string_view name) const noexcept {
+  rebuild_index();
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &tasks_[it->second];
+}
+
+Task* Workflow::find(std::string_view name) noexcept {
+  return const_cast<Task*>(std::as_const(*this).find(name));
+}
+
+void Workflow::connect(std::string_view parent, std::string_view child) {
+  Task* p = find(parent);
+  Task* c = find(child);
+  if (p == nullptr) throw std::invalid_argument("connect: unknown parent " + std::string(parent));
+  if (c == nullptr) throw std::invalid_argument("connect: unknown child " + std::string(child));
+  if (p == c) throw std::invalid_argument("connect: self-edge on " + std::string(parent));
+  if (std::find(p->children.begin(), p->children.end(), c->name) == p->children.end()) {
+    p->children.emplace_back(c->name);
+  }
+  if (std::find(c->parents.begin(), c->parents.end(), p->name) == c->parents.end()) {
+    c->parents.emplace_back(p->name);
+  }
+}
+
+std::vector<const Task*> Workflow::roots() const {
+  std::vector<const Task*> out;
+  for (const Task& t : tasks_) {
+    if (t.parents.empty()) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Task*> Workflow::leaves() const {
+  std::vector<const Task*> out;
+  for (const Task& t : tasks_) {
+    if (t.children.empty()) out.push_back(&t);
+  }
+  return out;
+}
+
+std::size_t Workflow::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const Task& t : tasks_) total += t.children.size();
+  return total;
+}
+
+std::vector<TaskFile> Workflow::external_inputs() const {
+  std::unordered_set<std::string> produced;
+  for (const Task& t : tasks_) {
+    for (const TaskFile& f : t.files) {
+      if (f.link == TaskFile::Link::kOutput) produced.insert(f.name);
+    }
+  }
+  std::vector<TaskFile> out;
+  std::unordered_set<std::string> seen;
+  for (const Task& t : tasks_) {
+    for (const TaskFile& f : t.files) {
+      if (f.link == TaskFile::Link::kInput && !produced.contains(f.name) &&
+          seen.insert(f.name).second) {
+        out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::validate() const {
+  std::vector<std::string> problems;
+  rebuild_index();
+
+  // Duplicate names (add_task prevents them, but deserialized workflows
+  // bypass that path via tasks()).
+  {
+    std::unordered_set<std::string> seen;
+    for (const Task& t : tasks_) {
+      if (!seen.insert(t.name).second) problems.push_back("duplicate task name: " + t.name);
+    }
+  }
+
+  // Reference integrity and symmetry.
+  for (const Task& t : tasks_) {
+    for (const std::string& p : t.parents) {
+      const Task* parent = find(p);
+      if (parent == nullptr) {
+        problems.push_back(support::format("task {} has unknown parent {}", t.name, p));
+      } else if (std::find(parent->children.begin(), parent->children.end(), t.name) ==
+                 parent->children.end()) {
+        problems.push_back(
+            support::format("edge {} -> {} missing from parent's children", p, t.name));
+      }
+    }
+    for (const std::string& c : t.children) {
+      const Task* child = find(c);
+      if (child == nullptr) {
+        problems.push_back(support::format("task {} has unknown child {}", t.name, c));
+      } else if (std::find(child->parents.begin(), child->parents.end(), t.name) ==
+                 child->parents.end()) {
+        problems.push_back(
+            support::format("edge {} -> {} missing from child's parents", t.name, c));
+      }
+    }
+  }
+
+  // Acyclicity.
+  try {
+    (void)topological_order(*this);
+  } catch (const std::invalid_argument&) {
+    problems.emplace_back("workflow contains a cycle");
+  }
+
+  // Dataflow: a consumed file must come from a parent (or be external), and
+  // no file may have two producers.
+  std::unordered_map<std::string, const Task*> producer;
+  for (const Task& t : tasks_) {
+    for (const TaskFile& f : t.files) {
+      if (f.link != TaskFile::Link::kOutput) continue;
+      const auto [it, inserted] = producer.emplace(f.name, &t);
+      if (!inserted) {
+        problems.push_back(support::format("file {} produced by both {} and {}", f.name,
+                                           it->second->name, t.name));
+      }
+    }
+  }
+  for (const Task& t : tasks_) {
+    for (const TaskFile& f : t.files) {
+      if (f.link != TaskFile::Link::kInput) continue;
+      const auto it = producer.find(f.name);
+      if (it == producer.end()) continue;  // external input, staged by the WFM
+      const Task* source = it->second;
+      if (source->name == t.name) {
+        problems.push_back(support::format("task {} consumes its own output {}", t.name, f.name));
+        continue;
+      }
+      if (std::find(t.parents.begin(), t.parents.end(), source->name) == t.parents.end()) {
+        problems.push_back(support::format(
+            "task {} consumes {} produced by non-parent {}", t.name, f.name, source->name));
+      }
+    }
+  }
+
+  return problems;
+}
+
+std::vector<std::size_t> topological_order(const Workflow& workflow) {
+  const auto& tasks = workflow.tasks();
+  std::unordered_map<std::string_view, std::size_t> index;
+  for (std::size_t i = 0; i < tasks.size(); ++i) index.emplace(tasks[i].name, i);
+
+  std::vector<std::size_t> in_degree(tasks.size(), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    in_degree[i] = tasks[i].parents.size();
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(tasks.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    order.push_back(i);
+    for (const std::string& child : tasks[i].children) {
+      const auto it = index.find(child);
+      if (it == index.end()) continue;  // validate() reports this separately
+      if (--in_degree[it->second] == 0) ready.push_back(it->second);
+    }
+  }
+  if (order.size() != tasks.size()) {
+    throw std::invalid_argument("topological_order: workflow contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace wfs::wfcommons

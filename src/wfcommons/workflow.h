@@ -1,0 +1,122 @@
+// Workflow intermediate representation — the WfCommons task-graph model.
+//
+// A Workflow is a DAG of synthetic compute tasks. Every task carries the
+// wfbench knobs the paper's excerpt shows (percent-cpu, cpu-work, input and
+// output files with byte sizes) plus category/id metadata. Translators (see
+// translators/) turn this IR into platform-specific JSON; the serverless WFM
+// (src/core/) consumes the translated form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wfs::wfcommons {
+
+struct TaskFile {
+  enum class Link { kInput, kOutput };
+  Link link = Link::kInput;
+  std::string name;
+  std::uint64_t size_bytes = 0;
+
+  friend bool operator==(const TaskFile&, const TaskFile&) = default;
+};
+
+struct Task {
+  std::string name;      // unique, e.g. "blastall_00000002"
+  std::string id;        // zero-padded ordinal, e.g. "00000002"
+  std::string category;  // function type, e.g. "blastall"
+  std::string type = "compute";
+  std::string program = "wfbench.py";
+
+  // wfbench stress parameters.
+  double percent_cpu = 0.6;      // fraction of one core the CPU stress demands
+  double cpu_work = 100.0;       // work units to burn
+  std::uint64_t memory_bytes = 256ULL << 20;  // stressor --vm-bytes allocation
+  int cores = 1;
+
+  double runtime_seconds = 0.0;  // filled post-execution (0 in specs)
+
+  std::vector<std::string> parents;
+  std::vector<std::string> children;
+  std::vector<TaskFile> files;
+
+  /// HTTP endpoint of the function — empty until a translator assigns it
+  /// (the paper's "api_url" extension).
+  std::string api_url;
+
+  [[nodiscard]] std::vector<const TaskFile*> inputs() const;
+  [[nodiscard]] std::vector<const TaskFile*> outputs() const;
+  [[nodiscard]] std::uint64_t input_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t output_bytes() const noexcept;
+};
+
+class Workflow {
+ public:
+  Workflow() = default;
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Schema tag carried through serialization (WfCommons uses "1.5").
+  [[nodiscard]] const std::string& schema_version() const noexcept { return schema_; }
+  void set_schema_version(std::string v) { schema_ = std::move(v); }
+
+  /// Adds a task; name must be unique. Returns a reference valid until the
+  /// next add_task call.
+  Task& add_task(Task task);
+
+  /// Declares a parent -> child dependency (idempotent); both tasks must
+  /// already exist. Keeps parents/children lists symmetric.
+  void connect(std::string_view parent, std::string_view child);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  /// Mutable access invalidates the name index (callers may add/rename).
+  [[nodiscard]] std::vector<Task>& tasks() noexcept {
+    index_dirty_ = true;
+    return tasks_;
+  }
+
+  [[nodiscard]] const Task* find(std::string_view name) const noexcept;
+  [[nodiscard]] Task* find(std::string_view name) noexcept;
+
+  /// Tasks without parents / without children.
+  [[nodiscard]] std::vector<const Task*> roots() const;
+  [[nodiscard]] std::vector<const Task*> leaves() const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// Input files no task produces — must be staged before execution.
+  [[nodiscard]] std::vector<TaskFile> external_inputs() const;
+
+  /// Structural validation. Returns human-readable problems (empty = valid):
+  ///  * duplicate task names, dangling parent/child references,
+  ///  * asymmetric parent/child lists,
+  ///  * cycles,
+  ///  * a task consuming a file produced by a non-parent (the dataflow
+  ///    condition the WFM's shared-drive check relies on),
+  ///  * a file produced by two different tasks.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  void rebuild_index() const;
+
+  std::string name_;
+  std::string schema_ = "1.5";
+  std::vector<Task> tasks_;
+  // Lazy name -> index cache (invalidated by add_task).
+  mutable std::unordered_map<std::string, std::size_t> index_;
+  mutable bool index_dirty_ = true;
+};
+
+/// Topological order of task indices (Kahn). Throws std::invalid_argument
+/// when the workflow has a cycle.
+[[nodiscard]] std::vector<std::size_t> topological_order(const Workflow& workflow);
+
+}  // namespace wfs::wfcommons

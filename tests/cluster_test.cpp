@@ -1,0 +1,424 @@
+// Unit tests for the cluster substrate: processor-sharing CPU engine,
+// cgroup quota groups, memory residency/OOM, power model, ledger.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "support/rng.h"
+#include "cluster/node.h"
+#include "cluster/power.h"
+#include "cluster/resource_ledger.h"
+#include "sim/periodic.h"
+#include "sim/simulation.h"
+
+namespace wfs::cluster {
+namespace {
+
+NodeSpec small_node(double cores = 4.0) {
+  NodeSpec spec;
+  spec.name = "n0";
+  spec.cores = cores;
+  spec.memory_bytes = 8ULL << 30;
+  spec.core_speed = 1.0;  // 1 work unit / second / core
+  return spec;
+}
+
+// ---- power -------------------------------------------------------------------
+
+TEST(Power, IdleAndFullScale) {
+  PowerModel model{100.0, 400.0, 0.15};
+  EXPECT_DOUBLE_EQ(model.watts(0.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(model.watts(1.0, 0.0), 400.0);
+  EXPECT_DOUBLE_EQ(model.watts(0.5, 0.0), 250.0);
+}
+
+TEST(Power, SpinIsHeavilyDiscounted) {
+  PowerModel model{100.0, 400.0, 0.15};
+  const double compute = model.watts(0.5, 0.0);
+  const double spin = model.watts(0.0, 0.5);
+  EXPECT_GT(compute, spin);
+  EXPECT_DOUBLE_EQ(spin, 100.0 + 300.0 * 0.15 * 0.5);
+}
+
+TEST(Power, SpinCannotExceedFreeCores) {
+  PowerModel model{100.0, 400.0, 0.15};
+  // compute 1.0 leaves no room: spin contribution must vanish.
+  EXPECT_DOUBLE_EQ(model.watts(1.0, 0.8), 400.0);
+}
+
+TEST(Power, ClampsOutOfRangeInputs) {
+  PowerModel model{100.0, 400.0, 0.15};
+  EXPECT_DOUBLE_EQ(model.watts(2.0, 0.0), 400.0);
+  EXPECT_DOUBLE_EQ(model.watts(-1.0, 0.0), 100.0);
+}
+
+// ---- ledger -------------------------------------------------------------------
+
+TEST(Ledger, ReserveAndRelease) {
+  ResourceLedger ledger(10.0, 1000);
+  EXPECT_TRUE(ledger.try_reserve(4.0, 400));
+  EXPECT_TRUE(ledger.try_reserve(6.0, 600));
+  EXPECT_FALSE(ledger.try_reserve(0.1, 0));
+  ledger.release(4.0, 400);
+  EXPECT_DOUBLE_EQ(ledger.free_cpus(), 4.0);
+  EXPECT_EQ(ledger.free_memory(), 400u);
+}
+
+TEST(Ledger, AllOrNothing) {
+  ResourceLedger ledger(10.0, 1000);
+  EXPECT_FALSE(ledger.try_reserve(20.0, 10));   // cpu too big
+  EXPECT_FALSE(ledger.try_reserve(1.0, 2000));  // memory too big
+  EXPECT_DOUBLE_EQ(ledger.reserved_cpus(), 0.0);
+  EXPECT_EQ(ledger.reserved_memory(), 0u);
+}
+
+TEST(Ledger, OverReleaseClampsToZero) {
+  ResourceLedger ledger(10.0, 1000);
+  ASSERT_TRUE(ledger.try_reserve(2.0, 100));
+  ledger.release(5.0, 500);
+  EXPECT_DOUBLE_EQ(ledger.reserved_cpus(), 0.0);
+  EXPECT_EQ(ledger.reserved_memory(), 0u);
+}
+
+TEST(Ledger, ExactFitSurvivesFloatChurn) {
+  ResourceLedger ledger(96.0, 1000);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ledger.try_reserve(0.1, 0));
+    ledger.release(0.1, 0);
+  }
+  EXPECT_TRUE(ledger.try_reserve(96.0, 0));
+}
+
+// ---- node compute (processor sharing) -------------------------------------------
+
+TEST(Node, SingleTaskDurationMatchesModel) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  sim::SimTime done_at = -1;
+  node.submit_work(0.5, 10.0, kNoQuotaGroup, [&] { done_at = sim.now(); });
+  sim.run();
+  // 10 units at 0.5 cores x 1 unit/s = 20 s.
+  EXPECT_NEAR(sim::to_seconds(done_at), 20.0, 1e-3);
+}
+
+TEST(Node, UncontendedTasksRunAtFullDemand) {
+  sim::Simulation sim;
+  Node node(sim, small_node(4.0));
+  int completed = 0;
+  // 4 tasks x 1 core on a 4-core node: no slowdown.
+  for (int i = 0; i < 4; ++i) {
+    node.submit_work(1.0, 10.0, kNoQuotaGroup, [&] { ++completed; });
+  }
+  const sim::SimTime end = sim.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_NEAR(sim::to_seconds(end), 10.0, 1e-3);
+}
+
+TEST(Node, OversubscriptionSlowsProportionally) {
+  sim::Simulation sim;
+  Node node(sim, small_node(4.0));
+  int completed = 0;
+  // 8 tasks x 1 core on 4 cores: 2x slowdown.
+  for (int i = 0; i < 8; ++i) {
+    node.submit_work(1.0, 10.0, kNoQuotaGroup, [&] { ++completed; });
+  }
+  const sim::SimTime end = sim.run();
+  EXPECT_EQ(completed, 8);
+  EXPECT_NEAR(sim::to_seconds(end), 20.0, 1e-2);
+}
+
+TEST(Node, LateArrivalSharesFairly) {
+  sim::Simulation sim;
+  Node node(sim, small_node(1.0));
+  sim::SimTime first_done = -1;
+  sim::SimTime second_done = -1;
+  node.submit_work(1.0, 10.0, kNoQuotaGroup, [&] { first_done = sim.now(); });
+  sim.schedule_at(5 * sim::kSecond, [&] {
+    node.submit_work(1.0, 10.0, kNoQuotaGroup, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  // First: 5 s alone (5 units done) + shares the core until its remaining
+  // 5 units finish at rate 0.5 -> +10 s => t=15. Second: has 5 units left at
+  // t=15, finishes at t=20.
+  EXPECT_NEAR(sim::to_seconds(first_done), 15.0, 1e-2);
+  EXPECT_NEAR(sim::to_seconds(second_done), 20.0, 1e-2);
+}
+
+TEST(Node, WorkConservation) {
+  sim::Simulation sim;
+  Node node(sim, small_node(3.0));
+  double submitted = 0.0;
+  support::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const double units = rng.uniform_real(1.0, 20.0);
+    submitted += units;
+    const sim::SimTime at = sim::from_seconds(rng.uniform_real(0.0, 30.0));
+    sim.schedule_at(at, [&node, units, &rng] {
+      // demand varies per task
+      node.submit_work(0.25 + 0.75 * 0.5, units, kNoQuotaGroup, [] {});
+    });
+  }
+  sim.run();
+  EXPECT_NEAR(node.completed_work_units(), submitted, submitted * 1e-6 + 1e-3);
+  EXPECT_EQ(node.active_work_items(), 0u);
+  EXPECT_DOUBLE_EQ(node.compute_load(), 0.0);
+}
+
+TEST(Node, ZeroWorkCompletesImmediately) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  bool done = false;
+  node.submit_work(1.0, 0.0, kNoQuotaGroup, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Node, CancelWorkNeverCompletes) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  bool done = false;
+  const WorkId id = node.submit_work(1.0, 100.0, kNoQuotaGroup, [&] { done = true; });
+  sim.schedule_at(sim::kSecond, [&] { node.cancel_work(id); });
+  sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(node.active_work_items(), 0u);
+}
+
+TEST(Node, RejectsBadWork) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  EXPECT_THROW(node.submit_work(0.0, 1.0, kNoQuotaGroup, [] {}), std::invalid_argument);
+  EXPECT_THROW(node.submit_work(-1.0, 1.0, kNoQuotaGroup, [] {}), std::invalid_argument);
+  EXPECT_THROW(node.submit_work(1.0, -1.0, kNoQuotaGroup, [] {}), std::invalid_argument);
+}
+
+// ---- quota groups ---------------------------------------------------------------
+
+TEST(Node, QuotaGroupCapsAggregateRate) {
+  sim::Simulation sim;
+  Node node(sim, small_node(8.0));
+  const QuotaGroupId group = node.create_quota_group(2.0);  // --cpus=2
+  int completed = 0;
+  // 4 tasks x 1 core demand, group capped at 2 cores -> each runs at 0.5.
+  for (int i = 0; i < 4; ++i) {
+    node.submit_work(1.0, 10.0, group, [&] { ++completed; });
+  }
+  const sim::SimTime end = sim.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_NEAR(sim::to_seconds(end), 20.0, 1e-2);
+}
+
+TEST(Node, QuotaDoesNotThrottleUnderLimit) {
+  sim::Simulation sim;
+  Node node(sim, small_node(8.0));
+  const QuotaGroupId group = node.create_quota_group(2.0);
+  sim::SimTime done_at = -1;
+  node.submit_work(1.0, 10.0, group, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(sim::to_seconds(done_at), 10.0, 1e-3);
+}
+
+TEST(Node, IndependentQuotaGroups) {
+  sim::Simulation sim;
+  Node node(sim, small_node(8.0));
+  const QuotaGroupId a = node.create_quota_group(1.0);
+  const QuotaGroupId b = node.create_quota_group(4.0);
+  sim::SimTime a_done = -1;
+  sim::SimTime b_done = -1;
+  // a: 2 tasks over 1 core -> 20 s; b: 2 tasks over 4 cores -> 10 s.
+  node.submit_work(1.0, 10.0, a, [&] { a_done = sim.now(); });
+  node.submit_work(1.0, 10.0, a, [] {});
+  node.submit_work(1.0, 10.0, b, [&] { b_done = sim.now(); });
+  node.submit_work(1.0, 10.0, b, [] {});
+  sim.run();
+  EXPECT_NEAR(sim::to_seconds(a_done), 20.0, 1e-2);
+  EXPECT_NEAR(sim::to_seconds(b_done), 10.0, 1e-2);
+}
+
+TEST(Node, DestroyedQuotaGroupUncapsWork) {
+  sim::Simulation sim;
+  Node node(sim, small_node(8.0));
+  const QuotaGroupId group = node.create_quota_group(0.5);
+  sim::SimTime done_at = -1;
+  node.submit_work(1.0, 10.0, group, [&] { done_at = sim.now(); });
+  sim.schedule_at(10 * sim::kSecond, [&] { node.destroy_quota_group(group); });
+  sim.run();
+  // 10 s at 0.5 cores (5 units) + 5 s at 1.0 core = done at t=15.
+  EXPECT_NEAR(sim::to_seconds(done_at), 15.0, 1e-2);
+}
+
+// ---- background load & metrics -------------------------------------------------
+
+TEST(Node, BackgroundLoadAppearsInCpuFraction) {
+  sim::Simulation sim;
+  Node node(sim, small_node(4.0));
+  const LoadId spin = node.add_background_load(1.0, /*spin=*/true);
+  EXPECT_DOUBLE_EQ(node.cpu_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(node.spin_load(), 1.0);
+  node.remove_background_load(spin);
+  EXPECT_DOUBLE_EQ(node.cpu_fraction(), 0.0);
+}
+
+TEST(Node, SpinYieldsToCompute) {
+  sim::Simulation sim;
+  Node node(sim, small_node(4.0));
+  node.add_background_load(4.0, /*spin=*/true);
+  node.submit_work(3.0, 300.0, kNoQuotaGroup, [] {});
+  sim.step(0);
+  // Compute takes 3 cores; spin can only occupy the remaining 1.
+  EXPECT_DOUBLE_EQ(node.compute_load(), 3.0);
+  EXPECT_DOUBLE_EQ(node.spin_load(), 1.0);
+  EXPECT_DOUBLE_EQ(node.cpu_fraction(), 1.0);
+}
+
+TEST(Node, PowerReflectsComputeVsSpin) {
+  sim::Simulation sim;
+  NodeSpec spec = small_node(4.0);
+  spec.power = PowerModel{100.0, 300.0, 0.1};
+  Node node(sim, spec);
+  EXPECT_DOUBLE_EQ(node.power_watts(), 100.0);
+  node.add_background_load(4.0, /*spin=*/true);
+  EXPECT_DOUBLE_EQ(node.power_watts(), 100.0 + 200.0 * 0.1);
+}
+
+// ---- memory -------------------------------------------------------------------
+
+TEST(Node, MemoryAccounting) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  EXPECT_TRUE(node.add_memory(1ULL << 30));
+  EXPECT_TRUE(node.add_memory(2ULL << 30));
+  EXPECT_EQ(node.resident_memory(), 3ULL << 30);
+  node.remove_memory(1ULL << 30);
+  EXPECT_EQ(node.resident_memory(), 2ULL << 30);
+  EXPECT_EQ(node.peak_memory(), 3ULL << 30);
+  EXPECT_EQ(node.oom_events(), 0u);
+}
+
+TEST(Node, OomDetectedButAccountingContinues) {
+  sim::Simulation sim;
+  Node node(sim, small_node());  // 8 GiB
+  EXPECT_TRUE(node.add_memory(7ULL << 30));
+  EXPECT_FALSE(node.add_memory(2ULL << 30));  // 9 GiB > 8 GiB
+  EXPECT_EQ(node.oom_events(), 1u);
+  EXPECT_EQ(node.resident_memory(), 9ULL << 30);
+}
+
+TEST(Node, RemoveMoreThanResidentClamps) {
+  sim::Simulation sim;
+  Node node(sim, small_node());
+  node.add_memory(100);
+  node.remove_memory(1000);
+  EXPECT_EQ(node.resident_memory(), 0u);
+}
+
+// ---- cluster -------------------------------------------------------------------
+
+TEST(Cluster, PaperTestbedShape) {
+  sim::Simulation sim;
+  Cluster cluster = Cluster::paper_testbed(sim);
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_DOUBLE_EQ(cluster.total_cores(), 192.0);
+  EXPECT_EQ(cluster.total_memory(), (256ULL + 192ULL) << 30);
+  EXPECT_NE(cluster.find("master"), nullptr);
+  EXPECT_NE(cluster.find("worker"), nullptr);
+  EXPECT_EQ(cluster.find("gpu"), nullptr);
+}
+
+TEST(Cluster, AggregatesAcrossNodes) {
+  sim::Simulation sim;
+  Cluster cluster(sim, {small_node(4.0), small_node(4.0)});
+  cluster.node(0).add_memory(1ULL << 30);
+  cluster.node(1).add_memory(2ULL << 30);
+  EXPECT_EQ(cluster.resident_memory(), 3ULL << 30);
+  cluster.node(0).submit_work(2.0, 100.0, kNoQuotaGroup, [] {});
+  sim.step(0);
+  EXPECT_DOUBLE_EQ(cluster.compute_load(), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.cpu_fraction(), 0.25);
+}
+
+TEST(Cluster, RequiresAtLeastOneNode) {
+  sim::Simulation sim;
+  EXPECT_THROW(Cluster(sim, {}), std::invalid_argument);
+}
+
+// ---- randomized churn property -------------------------------------------------
+
+class NodeChurn : public testing::TestWithParam<int> {};
+
+TEST_P(NodeChurn, InvariantsHoldUnderRandomSubmitCancelQuota) {
+  // Property: under a random interleaving of submits, cancels, quota-group
+  // creation/destruction and background loads, the node never reports more
+  // compute load than it has cores, every uncancelled item completes
+  // exactly once, and the node drains back to zero.
+  sim::Simulation sim;
+  NodeSpec spec = small_node(6.0);
+  Node node(sim, spec);
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+
+  int completions = 0;
+  int expected_completions = 0;
+  std::vector<WorkId> cancellable;
+  std::vector<QuotaGroupId> groups = {kNoQuotaGroup};
+  std::vector<LoadId> loads;
+
+  sim::PeriodicTask invariant(sim, sim::kSecond, [&](sim::SimTime) {
+    EXPECT_LE(node.compute_load(), spec.cores + 1e-9);
+    EXPECT_GE(node.compute_load(), -1e-9);
+    EXPECT_LE(node.cpu_fraction(), 1.0 + 1e-12);
+  });
+  invariant.start();
+
+  sim::SimTime at = 0;
+  for (int i = 0; i < 120; ++i) {
+    at += sim::from_seconds(rng.uniform_real(0.0, 2.0));
+    const int action = static_cast<int>(rng.uniform_int(0, 9));
+    sim.schedule_at(at, [&, action] {
+      if (action < 5) {  // submit
+        const QuotaGroupId group =
+            groups[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(groups.size()) - 1))];
+        ++expected_completions;
+        const WorkId id = node.submit_work(rng.uniform_real(0.2, 2.0),
+                                           rng.uniform_real(0.5, 15.0), group,
+                                           [&completions] { ++completions; });
+        if (rng.chance(0.3)) cancellable.push_back(id);
+      } else if (action < 7) {  // cancel something still pending (maybe)
+        if (!cancellable.empty()) {
+          const WorkId id = cancellable.back();
+          cancellable.pop_back();
+          // Completed items make cancel a no-op; track precisely by
+          // checking the active set.
+          const std::size_t before = node.active_work_items();
+          node.cancel_work(id);
+          if (node.active_work_items() < before) --expected_completions;
+        }
+      } else if (action == 7) {  // new quota group
+        groups.push_back(node.create_quota_group(rng.uniform_real(0.5, 4.0)));
+      } else if (action == 8) {  // background load toggling
+        if (!loads.empty() && rng.chance(0.5)) {
+          node.remove_background_load(loads.back());
+          loads.pop_back();
+        } else {
+          loads.push_back(node.add_background_load(rng.uniform_real(0.1, 1.0),
+                                                   rng.chance(0.5)));
+        }
+      } else if (groups.size() > 1) {  // destroy a quota group
+        node.destroy_quota_group(groups.back());
+        groups.pop_back();
+      }
+    });
+  }
+  sim.run_until(at + sim::kMinute);
+  invariant.stop();
+  sim.run();
+
+  EXPECT_EQ(completions, expected_completions);
+  EXPECT_EQ(node.active_work_items(), 0u);
+  EXPECT_DOUBLE_EQ(node.compute_load() - node.background_compute_load(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeChurn, testing::Range(1, 7));
+
+}  // namespace
+}  // namespace wfs::cluster

@@ -1,0 +1,232 @@
+// Tests for the Docker-like local-container runtime (the paper's baseline).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "containers/container.h"
+#include "containers/runtime.h"
+#include "json/write.h"
+#include "net/router.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::containers {
+namespace {
+
+class ContainerTest : public testing::Test {
+ protected:
+  ContainerTest() : cluster_(cluster::Cluster::paper_testbed(sim_)), fs_(sim_), router_(sim_) {}
+
+  static ContainerSpec small_spec() {
+    ContainerSpec spec;
+    spec.service.workers = 4;
+    spec.start_delay = sim::kSecond;
+    return spec;
+  }
+
+  net::HttpRequest request_for(const std::string& name, double work = 5.0) {
+    wfbench::TaskParams params;
+    params.name = name;
+    params.percent_cpu = 1.0;
+    params.cpu_work = work;
+    net::HttpRequest request;
+    request.url = net::parse_url("http://localhost:80/wfbench");
+    request.body = json::write_compact(wfbench::to_json(params));
+    return request;
+  }
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  storage::SharedFilesystem fs_;
+  net::Router router_;
+};
+
+TEST_F(ContainerTest, BootDelayBeforeServing) {
+  bool ready = false;
+  LocalContainer container(sim_, cluster_.node(0), fs_, small_spec(), [&] { ready = true; });
+  EXPECT_FALSE(container.running());
+  sim_.run_until(sim::kSecond + 1);
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(container.running());
+  container.stop();
+  EXPECT_FALSE(container.running());
+}
+
+TEST_F(ContainerTest, CpuQuotaThrottles) {
+  ContainerSpec spec = small_spec();
+  spec.cpus = 1.0;  // docker run --cpus=1
+  LocalContainer container(sim_, cluster_.node(0), fs_, spec, nullptr);
+  sim_.run_until(2 * sim::kSecond);
+  int done = 0;
+  wfbench::TaskParams params;
+  params.percent_cpu = 1.0;
+  params.cpu_work = 10.0;
+  for (int i = 0; i < 4; ++i) {
+    params.name = "t" + std::to_string(i);
+    container.service()->handle(params, [&](net::HttpResponse) { ++done; });
+  }
+  const double end = sim::to_seconds(sim_.run());
+  EXPECT_EQ(done, 4);
+  // 40 units through a 1-core quota: ~40 s (plus the 2 s boot offset).
+  EXPECT_NEAR(end, 42.0, 1.0);
+}
+
+TEST_F(ContainerTest, NoCrContainerIsUncapped) {
+  ContainerSpec spec = small_spec();
+  spec.cpus = 0.0;  // NoCR
+  LocalContainer container(sim_, cluster_.node(0), fs_, spec, nullptr);
+  sim_.run_until(2 * sim::kSecond);
+  int done = 0;
+  wfbench::TaskParams params;
+  params.percent_cpu = 1.0;
+  params.cpu_work = 10.0;
+  for (int i = 0; i < 4; ++i) {
+    params.name = "t" + std::to_string(i);
+    container.service()->handle(params, [&](net::HttpResponse) { ++done; });
+  }
+  const double end = sim::to_seconds(sim_.run());
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(end, 12.0, 1.0);  // full parallelism
+}
+
+TEST_F(ContainerTest, StopBeforeBootIsClean) {
+  LocalContainer container(sim_, cluster_.node(0), fs_, small_spec(), nullptr);
+  container.stop();
+  sim_.run();
+  EXPECT_FALSE(container.running());
+  EXPECT_EQ(cluster_.node(0).resident_memory(), 0u);
+}
+
+TEST_F(ContainerTest, MemoryLimitFlowsIntoService) {
+  ContainerSpec spec = small_spec();
+  spec.memory_limit = 1ULL << 30;
+  LocalContainer container(sim_, cluster_.node(0), fs_, spec, nullptr);
+  sim_.run_until(2 * sim::kSecond);
+  wfbench::TaskParams params;
+  params.name = "big";
+  params.cpu_work = 1.0;
+  params.memory_bytes = 4ULL << 30;
+  int status = 0;
+  container.service()->handle(params, [&](net::HttpResponse r) { status = r.status; });
+  sim_.run();
+  EXPECT_EQ(status, 500);  // OOMKill analogue
+  EXPECT_EQ(container.service()->stats().oom_failures, 1u);
+}
+
+// ---- runtime -----------------------------------------------------------------
+
+TEST_F(ContainerTest, RuntimeStartsOneContainerPerNode) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  EXPECT_EQ(runtime.container_count(), 2u);
+  EXPECT_NE(runtime.container(0).node().name(), runtime.container(1).node().name());
+  runtime.shutdown();
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+}
+
+TEST_F(ContainerTest, RuntimeServesOverHttp) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  int status = 0;
+  router_.send(request_for("t1"), [&](net::HttpResponse r) { status = r.status; });
+  sim_.run_until(sim::kMinute);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(runtime.stats().completed, 1u);
+  runtime.shutdown();
+}
+
+TEST_F(ContainerTest, RuntimeBalancesAcrossContainers) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  config.container.service.workers = 2;
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  sim_.run_until(2 * sim::kSecond);
+  for (int i = 0; i < 4; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 1000.0), [](net::HttpResponse) {});
+  }
+  sim_.run_until(3 * sim::kSecond);
+  // Least-loaded dispatch: 2 requests per container, none queued.
+  EXPECT_EQ(runtime.container(0).inflight(), 2u);
+  EXPECT_EQ(runtime.container(1).inflight(), 2u);
+  EXPECT_EQ(runtime.backlog(), 0u);
+  runtime.shutdown();
+}
+
+TEST_F(ContainerTest, RuntimeQueuesWhenAllWorkersBusy) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  config.container.service.workers = 1;
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  sim_.run_until(2 * sim::kSecond);
+  int completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 10.0),
+                 [&](net::HttpResponse r) { completed += r.ok() ? 1 : 0; });
+  }
+  sim_.run_until(3 * sim::kSecond);
+  EXPECT_GT(runtime.backlog(), 0u);  // 6 requests, 2 workers total
+  sim_.run_until(5 * sim::kMinute);
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(runtime.stats().max_backlog, 4u);
+  runtime.shutdown();
+}
+
+TEST_F(ContainerTest, RuntimeShutdownFailsBacklog) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  config.container.service.workers = 1;
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  sim_.run_until(2 * sim::kSecond);
+  std::vector<int> statuses;
+  for (int i = 0; i < 4; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 1000.0),
+                 [&](net::HttpResponse r) { statuses.push_back(r.status); });
+  }
+  sim_.run_until(3 * sim::kSecond);
+  runtime.shutdown();
+  sim_.run();
+  ASSERT_EQ(statuses.size(), 4u);
+  for (const int status : statuses) EXPECT_EQ(status, 503);
+}
+
+TEST_F(ContainerTest, RuntimeBadRequestIs400) {
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  net::HttpRequest request;
+  request.url = net::parse_url("http://localhost:80/wfbench");
+  request.body = "{broken";
+  int status = 0;
+  router_.send(std::move(request), [&](net::HttpResponse r) { status = r.status; });
+  sim_.run_until(sim::kSecond);
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(runtime.stats().bad_requests, 1u);
+  runtime.shutdown();
+}
+
+TEST_F(ContainerTest, ResidentFootprintHeldWholeLifetime) {
+  // The baseline's defining property: memory stays resident while idle.
+  LocalRuntimeConfig config;
+  config.container = small_spec();
+  config.container.service.workers = 96;
+  LocalContainerRuntime runtime(sim_, cluster_, fs_, router_, config);
+  runtime.start();
+  sim_.run_until(2 * sim::kSecond);
+  const std::uint64_t resident = cluster_.resident_memory();
+  EXPECT_GT(resident, 9ULL << 30);  // 2 x (150 MiB + 96 x 50 MiB)
+  sim_.run_until(10 * sim::kMinute);  // ten idle minutes later...
+  EXPECT_EQ(cluster_.resident_memory(), resident);  // ...nothing released
+  runtime.shutdown();
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+}
+
+}  // namespace
+}  // namespace wfs::containers

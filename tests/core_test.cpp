@@ -1,0 +1,545 @@
+// Tests for the core module: execution plans, Table II paradigms, the
+// serverless workflow manager, and the report helpers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/dag.h"
+#include "core/experiment.h"
+#include "core/paradigm.h"
+#include "core/report.h"
+#include "core/results_io.h"
+#include "core/trace.h"
+#include "core/workflow_manager.h"
+#include "json/parse.h"
+#include "net/router.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "wfbench/task_params.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/translators/knative.h"
+
+namespace wfs::core {
+namespace {
+
+wfcommons::Workflow translated(const std::string& recipe, std::size_t tasks,
+                               const std::string& url = "http://svc:80/wfbench") {
+  wfcommons::WorkflowGenerator generator;
+  wfcommons::Workflow wf = generator.generate(recipe, tasks, 1);
+  wfcommons::KnativeTranslatorConfig config;
+  config.service_url = url;
+  wfcommons::KnativeTranslator(config).apply(wf);
+  return wf;
+}
+
+// ---- execution plan -----------------------------------------------------------
+
+TEST(ExecutionPlan, PhasesMatchAnalysisLevels) {
+  const wfcommons::Workflow wf = translated("blast", 30);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+  const auto hist = wfcommons::phase_histogram(wf);
+  ASSERT_EQ(plan.phases.size(), hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_EQ(plan.phases[i].size(), hist[i]);
+  }
+  EXPECT_EQ(plan.task_count(), wf.size());
+  EXPECT_EQ(plan.widest_phase(), 27u);
+}
+
+TEST(ExecutionPlan, TaskParamsCarryWfbenchKnobs) {
+  const wfcommons::Workflow wf = translated("blast", 10);
+  const ExecutionPlan plan = build_plan(wf, "/data/run1");
+  const PlannedTask& task = plan.phases[1][0];  // a blastall
+  const wfcommons::Task* source = wf.find(task.name);
+  ASSERT_NE(source, nullptr);
+  EXPECT_DOUBLE_EQ(task.params.percent_cpu, source->percent_cpu);
+  EXPECT_DOUBLE_EQ(task.params.cpu_work, source->cpu_work);
+  EXPECT_EQ(task.params.memory_bytes, source->memory_bytes);
+  EXPECT_EQ(task.params.workdir, "/data/run1");
+  EXPECT_EQ(task.params.inputs.size(), source->inputs().size());
+  EXPECT_EQ(task.params.outputs.size(), source->outputs().size());
+  EXPECT_EQ(task.api_url, "http://svc:80/wfbench");
+}
+
+TEST(ExecutionPlan, ExternalInputsListed) {
+  const wfcommons::Workflow wf = translated("blast", 10);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+  ASSERT_EQ(plan.external_inputs.size(), 1u);
+  EXPECT_EQ(plan.external_inputs[0].name, "blast_input.fasta");
+}
+
+TEST(ExecutionPlan, RejectsUntranslatedWorkflow) {
+  wfcommons::WorkflowGenerator generator;
+  const wfcommons::Workflow wf = generator.generate("blast", 10, 1);  // no api_url
+  EXPECT_THROW(build_plan(wf, "/shared"), std::invalid_argument);
+}
+
+// ---- paradigms ------------------------------------------------------------------
+
+TEST(Paradigm, TableTwoComplete) {
+  EXPECT_EQ(all_paradigms().size(), 9u);
+  EXPECT_EQ(fine_grained_paradigms().size(), 7u);
+  EXPECT_EQ(coarse_grained_paradigms().size(), 2u);
+}
+
+TEST(Paradigm, NamesRoundTrip) {
+  for (const Paradigm paradigm : all_paradigms()) {
+    EXPECT_EQ(parse_paradigm(to_string(paradigm)), paradigm);
+  }
+  EXPECT_EQ(parse_paradigm("kn10wnopm"), Paradigm::kKn10wNoPM);
+  EXPECT_THROW(parse_paradigm("Kn5wPM"), std::invalid_argument);
+}
+
+TEST(Paradigm, InfoFlagsConsistent) {
+  EXPECT_TRUE(paradigm_info(Paradigm::kKn10wNoPM).serverless);
+  EXPECT_FALSE(paradigm_info(Paradigm::kKn10wNoPM).persistent_memory);
+  EXPECT_FALSE(paradigm_info(Paradigm::kLC10wNoPMNoCR).cpu_requirement);
+  EXPECT_TRUE(paradigm_info(Paradigm::kLC1000wPM).coarse_grained);
+  EXPECT_TRUE(paradigm_info(Paradigm::kKn1wPM).persistent_memory);
+}
+
+TEST(Paradigm, KnativeSpecsMatchLabels) {
+  const auto spec1 = knative_spec_for(Paradigm::kKn1wPM);
+  EXPECT_EQ(spec1.container.workers, 1);
+  EXPECT_TRUE(spec1.container.persistent_memory);
+  const auto spec10 = knative_spec_for(Paradigm::kKn10wNoPM);
+  EXPECT_EQ(spec10.container.workers, 10);
+  EXPECT_FALSE(spec10.container.persistent_memory);
+  EXPECT_GT(spec10.max_scale, 1);
+  const auto coarse = knative_spec_for(Paradigm::kKn1000wPM);
+  EXPECT_EQ(coarse.container.workers, 1000);
+  EXPECT_EQ(coarse.min_scale, 2);
+  EXPECT_EQ(coarse.max_scale, 2);
+  EXPECT_GT(coarse.cpu_request, 90.0);
+  EXPECT_THROW(knative_spec_for(Paradigm::kLC1wPM), std::invalid_argument);
+}
+
+TEST(Paradigm, LocalConfigsMatchLabels) {
+  const auto lc1 = local_config_for(Paradigm::kLC1wPM);
+  EXPECT_EQ(lc1.container.service.workers, 96);  // 1 worker per CPU
+  EXPECT_TRUE(lc1.container.service.persistent_memory);
+  EXPECT_GT(lc1.container.cpus, 0.0);
+  const auto lc10 = local_config_for(Paradigm::kLC10wNoPM);
+  EXPECT_EQ(lc10.container.service.workers, 960);
+  const auto nocr = local_config_for(Paradigm::kLC10wNoPMNoCR);
+  EXPECT_DOUBLE_EQ(nocr.container.cpus, 0.0);
+  EXPECT_EQ(nocr.container.memory_limit, 0u);
+  const auto coarse = local_config_for(Paradigm::kLC1000wPM);
+  EXPECT_EQ(coarse.container.service.workers, 1000);
+  EXPECT_THROW(local_config_for(Paradigm::kKn1wPM), std::invalid_argument);
+}
+
+// ---- workflow manager (against a scripted fake service) --------------------------
+
+class WfmTest : public testing::Test {
+ protected:
+  WfmTest() : fs_(sim_), router_(sim_) {}
+
+  /// Binds a fake wfbench endpoint that records request order, writes the
+  /// declared outputs to the shared drive, then responds 200.
+  void bind_fake_service(sim::SimTime service_time = 100 * sim::kMillisecond) {
+    router_.bind("svc:80", [this, service_time](const net::HttpRequest& request,
+                                                std::shared_ptr<net::Responder> responder) {
+      const wfbench::TaskParams params =
+          wfbench::task_params_from_json(json::parse(request.body));
+      requests_.push_back(params.name);
+      for (const std::string& input : params.inputs) {
+        EXPECT_TRUE(fs_.exists(input)) << params.name << " invoked before input " << input;
+      }
+      sim_.schedule_in(service_time, [this, params, responder] {
+        if (params.outputs.empty()) {
+          responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+          return;
+        }
+        auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+        for (const auto& [file, size] : params.outputs) {
+          fs_.write(file, size, [remaining, responder] {
+            if (--*remaining == 0) {
+              responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+            }
+          });
+        }
+      });
+    });
+  }
+
+  sim::Simulation sim_;
+  storage::SharedFilesystem fs_;
+  net::Router router_;
+  std::vector<std::string> requests_;
+};
+
+TEST_F(WfmTest, ExecutesPhasesInOrderWithHeaderAndTail) {
+  bind_fake_service();
+  WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
+  const wfcommons::Workflow wf = translated("blast", 12);
+
+  WorkflowRunResult result;
+  wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.tasks_total, wf.size());
+  EXPECT_EQ(result.tasks_failed, 0u);
+  EXPECT_EQ(result.phases.size(), 3u);
+
+  // Header first, tail last, phases strictly ordered in between.
+  ASSERT_EQ(requests_.size(), wf.size() + 2);
+  EXPECT_NE(requests_.front().find("header"), std::string::npos);
+  EXPECT_NE(requests_.back().find("tail"), std::string::npos);
+  EXPECT_EQ(requests_[1], "split_fasta_00000001");
+  // Merges (phase 2) come after every blastall (phase 1).
+  const auto merge_pos =
+      std::find_if(requests_.begin(), requests_.end(), [](const std::string& name) {
+        return name.starts_with("cat");
+      });
+  for (auto it = requests_.begin() + 2; it != merge_pos; ++it) {
+    EXPECT_TRUE(it->starts_with("blastall")) << *it;
+  }
+}
+
+TEST_F(WfmTest, PhaseDelayIsApplied) {
+  bind_fake_service(0);
+  WfmConfig config;
+  config.phase_delay = 5 * sim::kSecond;
+  config.add_header_tail = false;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  // 3 phases with >= 5 s between each (plus the trailing delay before the
+  // completion check) -> makespan well above 10 s even with instant tasks.
+  EXPECT_TRUE(result.ok());
+  EXPECT_GE(result.makespan_seconds, 10.0);
+}
+
+TEST_F(WfmTest, WaitsForInFlightOutputsBeforeNextPhase) {
+  bind_fake_service();
+  WfmConfig config;
+  config.add_header_tail = false;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("epigenomics", 40), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  // The fake service asserts (inside bind_fake_service) that every input
+  // existed at invocation time; a failure there means sequencing broke.
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(WfmTest, MissingInputsTimeOutAsTaskFailures) {
+  bind_fake_service();
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.stage_external_inputs = false;  // inputs never appear
+  config.max_input_polls = 3;
+  config.input_poll_interval = 100 * sim::kMillisecond;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.input_wait_timeouts, 1u);
+  // split_fasta fails (staged input missing) and produces nothing, so all
+  // downstream tasks fail too.
+  EXPECT_EQ(result.tasks_failed, result.tasks_total);
+}
+
+TEST_F(WfmTest, ServiceErrorsAreRecordedPerTask) {
+  router_.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> r) {
+    r->respond(net::HttpResponse::server_error("boom"));
+  });
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.check_inputs = false;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("seismology", 8), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.tasks_failed, result.tasks_total);
+  for (const TaskOutcome& task : result.tasks) {
+    EXPECT_EQ(task.http_status, 500);
+    EXPECT_EQ(task.error, "boom");
+  }
+}
+
+TEST_F(WfmTest, RejectsConcurrentRuns) {
+  bind_fake_service();
+  WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
+  wfm.run(translated("blast", 10), [](WorkflowRunResult) {});
+  EXPECT_TRUE(wfm.busy());
+  EXPECT_THROW(wfm.run(translated("blast", 10), [](WorkflowRunResult) {}),
+               std::logic_error);
+  sim_.run();
+  EXPECT_FALSE(wfm.busy());
+}
+
+TEST_F(WfmTest, RetriesRecoverFromTransientFailures) {
+  // A service that 503s the FIRST attempt of every task and succeeds on the
+  // retry; with task_retries = 1 the run must complete cleanly.
+  std::map<std::string, int> attempts;
+  router_.bind("svc:80", [this, &attempts](const net::HttpRequest& request,
+                                           std::shared_ptr<net::Responder> responder) {
+    const wfbench::TaskParams params =
+        wfbench::task_params_from_json(json::parse(request.body));
+    if (++attempts[params.name] == 1 && !params.name.ends_with("header") &&
+        !params.name.ends_with("tail")) {
+      responder->respond(net::HttpResponse::service_unavailable("flaky"));
+      return;
+    }
+    auto finish = [this, params, responder] {
+      auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+      if (params.outputs.empty()) {
+        responder->respond(net::HttpResponse::make_ok());
+        return;
+      }
+      for (const auto& [file, size] : params.outputs) {
+        fs_.write(file, size, [remaining, responder] {
+          if (--*remaining == 0) responder->respond(net::HttpResponse::make_ok());
+        });
+      }
+    };
+    sim_.schedule_in(10 * sim::kMillisecond, finish);
+  });
+
+  WfmConfig config;
+  config.task_retries = 1;
+  config.retry_backoff = 100 * sim::kMillisecond;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  const wfcommons::Workflow wf = translated("blast", 12);
+  WorkflowRunResult result;
+  wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.task_retries, wf.size());  // exactly one retry per task
+  for (const TaskOutcome& task : result.tasks) EXPECT_EQ(task.http_status, 200);
+}
+
+TEST_F(WfmTest, RetryBudgetExhaustionStillFailsTask) {
+  router_.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> r) {
+    r->respond(net::HttpResponse::service_unavailable("always down"));
+  });
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.check_inputs = false;
+  config.task_retries = 2;
+  config.retry_backoff = 100 * sim::kMillisecond;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  const wfcommons::Workflow wf = translated("seismology", 5);
+  WorkflowRunResult result;
+  wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.tasks_failed, result.tasks_total);
+  EXPECT_EQ(result.task_retries, result.tasks_total * 2);  // budget fully spent
+}
+
+TEST_F(WfmTest, HeaderTailDisabled) {
+  bind_fake_service();
+  WfmConfig config;
+  config.add_header_tail = false;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  const wfcommons::Workflow wf = translated("blast", 10);
+  WorkflowRunResult result;
+  wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_EQ(requests_.size(), wf.size());
+}
+
+// ---- tracing ----------------------------------------------------------------------
+
+TEST(Trace, GanttLanesCoverEveryPhaseAndCategory) {
+  ExperimentConfig config;
+  config.recipe = "blast";
+  config.num_tasks = 30;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_TRUE(result.ok());
+  const std::string gantt = render_gantt(result.run);
+  EXPECT_NE(gantt.find("P0 split_fasta"), std::string::npos);
+  EXPECT_NE(gantt.find("P1 blastall"), std::string::npos);
+  EXPECT_NE(gantt.find("P2 cat_blast"), std::string::npos);
+  EXPECT_NE(gantt.find("x27"), std::string::npos);  // lane counts
+  EXPECT_NE(gantt.find('#'), std::string::npos);    // bars rendered
+}
+
+TEST(Trace, PerTaskModeRespectsRowCap) {
+  ExperimentConfig config;
+  config.recipe = "seismology";
+  config.num_tasks = 50;
+  const ExperimentResult result = run_experiment(config);
+  GanttOptions options;
+  options.by_category = false;
+  options.max_rows = 5;
+  const std::string gantt = render_gantt(result.run, options);
+  EXPECT_NE(gantt.find("more tasks"), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceIsValidJsonWithOneEventPerTask) {
+  ExperimentConfig config;
+  config.recipe = "cycles";
+  config.num_tasks = 25;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_TRUE(result.ok());
+  const json::Value doc = json::parse(chrome_trace_json(result.run));
+  const json::Array& events = doc.as_object().at("traceEvents").as_array();
+  // 1 metadata event + 1 complete event per task.
+  EXPECT_EQ(events.size(), result.run.tasks_total + 1);
+  std::size_t complete_events = 0;
+  for (const json::Value& event : events) {
+    if (event.find("ph")->as_string() != "X") continue;
+    ++complete_events;
+    EXPECT_GE(event.find("ts")->as_int(), 0);
+    EXPECT_GT(event.find("dur")->as_int(), 0);
+    EXPECT_LE(static_cast<double>(event.find("ts")->as_int() + event.find("dur")->as_int()),
+              result.makespan_seconds * 1e6 + 1e6);
+  }
+  EXPECT_EQ(complete_events, result.run.tasks_total);
+}
+
+TEST(Trace, StartTimesRespectPhaseOrder) {
+  ExperimentConfig config;
+  config.recipe = "epigenomics";
+  config.num_tasks = 40;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_TRUE(result.ok());
+  // Every task of phase p+1 starts after every task of phase p finished
+  // dispatching (the WFM's lockstep execution).
+  std::map<std::size_t, double> phase_min_start;
+  std::map<std::size_t, double> phase_max_start;
+  for (const TaskOutcome& task : result.run.tasks) {
+    auto [it, inserted] = phase_min_start.try_emplace(task.phase, task.started_seconds);
+    if (!inserted) it->second = std::min(it->second, task.started_seconds);
+    phase_max_start[task.phase] =
+        std::max(phase_max_start[task.phase], task.started_seconds);
+  }
+  for (const auto& [phase, min_start] : phase_min_start) {
+    if (phase == 0) continue;
+    EXPECT_GE(min_start, phase_max_start.at(phase - 1)) << "phase " << phase;
+  }
+}
+
+// ---- results persistence -----------------------------------------------------------
+
+TEST(ResultsIo, RoundTripPreservesEverything) {
+  ExperimentConfig config;
+  config.paradigm = Paradigm::kKn10wNoPM;
+  config.recipe = "seismology";
+  config.num_tasks = 40;
+  config.seed = 7;
+  const ExperimentResult original = run_experiment(config);
+  ASSERT_TRUE(original.ok());
+
+  const ExperimentResult restored = parse_result(write_result(original));
+  EXPECT_EQ(restored.paradigm_name, original.paradigm_name);
+  EXPECT_EQ(restored.config.paradigm, original.config.paradigm);
+  EXPECT_EQ(restored.config.recipe, original.config.recipe);
+  EXPECT_EQ(restored.config.num_tasks, original.config.num_tasks);
+  EXPECT_EQ(restored.config.seed, original.config.seed);
+  EXPECT_EQ(restored.workflow_name, original.workflow_name);
+  EXPECT_EQ(restored.completed, original.completed);
+  EXPECT_DOUBLE_EQ(restored.makespan_seconds, original.makespan_seconds);
+  EXPECT_EQ(restored.run.tasks_total, original.run.tasks_total);
+  EXPECT_NEAR(restored.cpu_percent.time_weighted_mean,
+              original.cpu_percent.time_weighted_mean, 1e-9);
+  EXPECT_NEAR(restored.energy_joules, original.energy_joules, 1e-6);
+  EXPECT_EQ(restored.cold_starts, original.cold_starts);
+  ASSERT_EQ(restored.cpu_series.size(), original.cpu_series.size());
+  for (std::size_t i = 0; i < restored.cpu_series.size(); ++i) {
+    EXPECT_EQ(restored.cpu_series[i].time, original.cpu_series[i].time);
+    EXPECT_DOUBLE_EQ(restored.cpu_series[i].value, original.cpu_series[i].value);
+  }
+}
+
+TEST(ResultsIo, SaveAndLoadFile) {
+  ExperimentConfig config;
+  config.recipe = "blast";
+  config.num_tasks = 20;
+  const ExperimentResult result = run_experiment(config);
+  const std::string path = testing::TempDir() + "/wfs_result.json";
+  ASSERT_TRUE(save_result(result, path));
+  const ExperimentResult loaded = load_result(path);
+  EXPECT_EQ(loaded.workflow_name, result.workflow_name);
+  EXPECT_DOUBLE_EQ(loaded.makespan_seconds, result.makespan_seconds);
+}
+
+TEST(ResultsIo, RejectsGarbage) {
+  EXPECT_THROW(parse_result("[]"), std::invalid_argument);
+  EXPECT_THROW(parse_result(R"({"schema":"other"})"), std::invalid_argument);
+  EXPECT_THROW(load_result("/nonexistent/path.json"), std::invalid_argument);
+}
+
+TEST(ResultsIo, AblationLabelsSurviveRoundTrip) {
+  ExperimentResult result;
+  result.paradigm_name = "cold=2.5s";  // not a Table II name
+  result.workflow_name = "BlastRecipe-100-200";
+  result.completed = true;
+  const ExperimentResult restored = parse_result(write_result(result));
+  EXPECT_EQ(restored.paradigm_name, "cold=2.5s");
+}
+
+// ---- report ----------------------------------------------------------------------
+
+ExperimentResult fake_result(const std::string& paradigm, double time, double cpu, double mem,
+                             double power) {
+  ExperimentResult result;
+  result.paradigm_name = paradigm;
+  result.workflow_name = "BlastRecipe-100-50";
+  result.config.num_tasks = 50;
+  result.completed = true;
+  result.makespan_seconds = time;
+  result.cpu_percent.time_weighted_mean = cpu;
+  result.memory_gib.time_weighted_mean = mem;
+  result.power_watts.time_weighted_mean = power;
+  result.energy_joules = power * time;
+  return result;
+}
+
+TEST(Report, DeltasMatchHandComputation) {
+  const ExperimentResult serverless = fake_result("Kn10wNoPM", 200.0, 10.0, 30.0, 250.0);
+  const ExperimentResult baseline = fake_result("LC10wNoPM", 100.0, 40.0, 120.0, 300.0);
+  const MetricDeltas deltas = compare(serverless, baseline);
+  EXPECT_DOUBLE_EQ(deltas.execution_time_pct, 100.0);
+  EXPECT_DOUBLE_EQ(deltas.cpu_pct, -75.0);
+  EXPECT_DOUBLE_EQ(deltas.memory_pct, -75.0);
+  EXPECT_NEAR(deltas.power_pct, -16.67, 0.01);
+}
+
+TEST(Report, ZeroBaselineIsSafe) {
+  const ExperimentResult a = fake_result("A", 1, 1, 1, 1);
+  const ExperimentResult b = fake_result("B", 0, 0, 0, 0);
+  const MetricDeltas deltas = compare(a, b);
+  EXPECT_DOUBLE_EQ(deltas.cpu_pct, 0.0);
+}
+
+TEST(Report, TableContainsRows) {
+  const std::string table =
+      result_table({fake_result("Kn10wNoPM", 1, 2, 3, 4), fake_result("LC10wNoPM", 5, 6, 7, 8)});
+  EXPECT_NE(table.find("paradigm"), std::string::npos);
+  EXPECT_NE(table.find("Kn10wNoPM"), std::string::npos);
+  EXPECT_NE(table.find("LC10wNoPM"), std::string::npos);
+  EXPECT_NE(table.find("ok"), std::string::npos);
+}
+
+TEST(Report, FailedRunsMarked) {
+  ExperimentResult failed = fake_result("Kn1wPM", 1, 1, 1, 1);
+  failed.completed = false;
+  failed.failure_reason = "did not conclude";
+  EXPECT_NE(result_row(failed).find("FAILED"), std::string::npos);
+}
+
+TEST(Report, DeltaRowRendersSigns) {
+  MetricDeltas deltas;
+  deltas.cpu_pct = -78.11;
+  deltas.memory_pct = -73.92;
+  deltas.execution_time_pct = 12.0;
+  const std::string row = delta_row("serverless vs baseline", deltas);
+  EXPECT_NE(row.find("-78.1"), std::string::npos);
+  EXPECT_NE(row.find("-73.9"), std::string::npos);
+  EXPECT_NE(row.find("+12.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfs::core

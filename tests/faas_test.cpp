@@ -1,0 +1,534 @@
+// Tests for the Knative-like platform: autoscaler decisions, activator
+// buffering, kube scheduler placement, pod lifecycle, and platform
+// integration (scale up on burst, scale-to-zero, cold starts).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "faas/activator.h"
+#include "faas/autoscaler.h"
+#include "faas/kube_scheduler.h"
+#include "faas/platform.h"
+#include "faas/pod.h"
+#include "json/write.h"
+#include "net/router.h"
+#include "sim/periodic.h"
+#include "sim/simulation.h"
+#include "support/rng.h"
+#include "storage/shared_fs.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::faas {
+namespace {
+
+AutoscalerConfig fast_config() {
+  AutoscalerConfig config;
+  config.tick = 2 * sim::kSecond;
+  config.stable_window = 60 * sim::kSecond;
+  config.panic_window = 6 * sim::kSecond;
+  config.scale_to_zero_grace = 30 * sim::kSecond;
+  return config;
+}
+
+// ---- autoscaler -------------------------------------------------------------
+
+TEST(Autoscaler, ZeroTrafficZeroDesired) {
+  Autoscaler scaler(fast_config(), 7.0, 0, 20);
+  scaler.observe(0, 0.0);
+  EXPECT_EQ(scaler.decide(0, 0).desired, 0);
+}
+
+TEST(Autoscaler, DesiredIsCeilOfConcurrencyOverTarget) {
+  Autoscaler scaler(fast_config(), 7.0, 0, 100);
+  // Steady 35 concurrency: desired = ceil(35/7) = 5.
+  for (sim::SimTime t = 0; t <= 60 * sim::kSecond; t += 2 * sim::kSecond) {
+    scaler.observe(t, 35.0);
+  }
+  EXPECT_EQ(scaler.decide(60 * sim::kSecond, 5).desired, 5);
+}
+
+TEST(Autoscaler, MaxScaleClamps) {
+  Autoscaler scaler(fast_config(), 1.0, 0, 3);
+  scaler.observe(0, 1000.0);
+  EXPECT_EQ(scaler.decide(0, 0).desired, 3);
+}
+
+TEST(Autoscaler, MinScaleClamps) {
+  Autoscaler scaler(fast_config(), 1.0, 2, 10);
+  scaler.observe(0, 0.0);
+  EXPECT_EQ(scaler.decide(0, 0).desired, 2);
+}
+
+TEST(Autoscaler, PanicOnBurstAndNoScaleDownDuringPanic) {
+  Autoscaler scaler(fast_config(), 1.0, 0, 100);
+  // Burst: 50 concurrent against 5 ready -> panic (50 >= 2 x 5).
+  scaler.observe(0, 50.0);
+  const Autoscaler::Decision burst = scaler.decide(0, 5);
+  EXPECT_TRUE(burst.panic);
+  EXPECT_GE(burst.desired, 50);
+
+  // Traffic vanishes, but panic persists for the stable window: the scaler
+  // must not drop below the ready count.
+  scaler.observe(10 * sim::kSecond, 0.0);
+  const Autoscaler::Decision during = scaler.decide(10 * sim::kSecond, 50);
+  EXPECT_TRUE(during.panic);
+  EXPECT_GE(during.desired, 50);
+}
+
+TEST(Autoscaler, PanicExpiresAfterStableWindow) {
+  Autoscaler scaler(fast_config(), 1.0, 0, 100);
+  scaler.observe(0, 50.0);
+  (void)scaler.decide(0, 5);
+  EXPECT_TRUE(scaler.in_panic());
+  // 61 s later with no traffic the panic clears and desired drops.
+  scaler.observe(61 * sim::kSecond, 0.0);
+  const Autoscaler::Decision after = scaler.decide(61 * sim::kSecond, 50);
+  EXPECT_FALSE(after.panic);
+  EXPECT_LT(after.desired, 50);
+}
+
+TEST(Autoscaler, ScaleToZeroWaitsForGrace) {
+  Autoscaler scaler(fast_config(), 1.0, 0, 10);
+  scaler.observe(0, 3.0);
+  // 3 ready pods absorb the concurrency of 3: no panic, desired 3.
+  EXPECT_EQ(scaler.decide(0, 3).desired, 3);
+  // Traffic ends at t=0; within the 30 s grace one pod is retained.
+  scaler.observe(10 * sim::kSecond, 0.0);
+  scaler.observe(20 * sim::kSecond, 0.0);
+  EXPECT_EQ(scaler.decide(20 * sim::kSecond, 1).desired, 1);
+  // Old samples age out of the stable window and grace elapses -> zero.
+  for (sim::SimTime t = 22 * sim::kSecond; t <= 90 * sim::kSecond; t += 2 * sim::kSecond) {
+    scaler.observe(t, 0.0);
+  }
+  EXPECT_EQ(scaler.decide(90 * sim::kSecond, 1).desired, 0);
+}
+
+TEST(Autoscaler, RejectsBadConstruction) {
+  EXPECT_THROW(Autoscaler(fast_config(), 0.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Autoscaler(fast_config(), 1.0, 5, 3), std::invalid_argument);
+}
+
+// ---- activator ---------------------------------------------------------------
+
+TEST(Activator, FifoAndWaitAccounting) {
+  Activator activator;
+  wfbench::TaskParams params;
+  params.name = "a";
+  activator.enqueue(params, [](net::HttpResponse) {}, 0);
+  params.name = "b";
+  activator.enqueue(params, [](net::HttpResponse) {}, sim::kSecond);
+  EXPECT_EQ(activator.depth(), 2u);
+  EXPECT_EQ(activator.max_depth(), 2u);
+
+  const Activator::Buffered first = activator.pop(5 * sim::kSecond);
+  EXPECT_EQ(first.params.name, "a");
+  EXPECT_DOUBLE_EQ(activator.total_wait_seconds(), 5.0);
+  const Activator::Buffered second = activator.pop(5 * sim::kSecond);
+  EXPECT_EQ(second.params.name, "b");
+  EXPECT_DOUBLE_EQ(activator.total_wait_seconds(), 9.0);
+  EXPECT_TRUE(activator.empty());
+  EXPECT_THROW(activator.pop(0), std::logic_error);
+}
+
+TEST(Activator, DrainFailsEverything) {
+  Activator activator;
+  int failures = 0;
+  wfbench::TaskParams params;
+  params.name = "x";
+  for (int i = 0; i < 3; ++i) {
+    activator.enqueue(params, [&](net::HttpResponse r) {
+      if (!r.ok()) ++failures;
+    }, 0);
+  }
+  activator.drain_with_error(net::HttpResponse::service_unavailable("bye"));
+  EXPECT_EQ(failures, 3);
+  EXPECT_TRUE(activator.empty());
+  EXPECT_EQ(activator.total_buffered(), 3u);
+}
+
+// ---- kube scheduler -------------------------------------------------------------
+
+TEST(KubeScheduler, SpreadsAcrossNodes) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  KubeScheduler scheduler(cluster);
+  cluster::Node* first = scheduler.place(2.0, 1ULL << 30);
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->ledger().try_reserve(2.0, 1ULL << 30));
+  cluster::Node* second = scheduler.place(2.0, 1ULL << 30);
+  ASSERT_NE(second, nullptr);
+  // LeastAllocated: the second pod must land on the other node.
+  EXPECT_NE(first->name(), second->name());
+}
+
+TEST(KubeScheduler, RefusesWhenNothingFits) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  KubeScheduler scheduler(cluster);
+  EXPECT_EQ(scheduler.place(1000.0, 0), nullptr);           // cpu
+  EXPECT_EQ(scheduler.place(1.0, 1024ULL << 30), nullptr);  // memory
+  EXPECT_EQ(scheduler.failures(), 2u);
+}
+
+TEST(KubeScheduler, MostAllocatedBinPacks) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  KubeScheduler scheduler(cluster, KubeScheduler::Strategy::kMostAllocated);
+  cluster::Node* first = scheduler.place(2.0, 1ULL << 30);
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->ledger().try_reserve(2.0, 1ULL << 30));
+  // Bin-packing keeps stacking onto the same node until it is full.
+  for (int i = 0; i < 10; ++i) {
+    cluster::Node* next = scheduler.place(2.0, 1ULL << 30);
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(next->name(), first->name()) << "pod " << i;
+    ASSERT_TRUE(next->ledger().try_reserve(2.0, 1ULL << 30));
+  }
+}
+
+TEST(KubeScheduler, BinPackSpillsWhenFull) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  KubeScheduler scheduler(cluster, KubeScheduler::Strategy::kMostAllocated);
+  // Fill node 0's CPU entirely, then the next placement must spill over.
+  ASSERT_TRUE(cluster.node(0).ledger().try_reserve(95.0, 0));
+  cluster::Node* node = scheduler.place(2.0, 1ULL << 30);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->name(), cluster.node(1).name());
+}
+
+TEST(KubeScheduler, FillsClusterThenFails) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  KubeScheduler scheduler(cluster);
+  int placed = 0;
+  while (true) {
+    cluster::Node* node = scheduler.place(10.0, 1ULL << 30);
+    if (node == nullptr) break;
+    ASSERT_TRUE(node->ledger().try_reserve(10.0, 1ULL << 30));
+    ++placed;
+  }
+  EXPECT_EQ(placed, 18);  // 2 nodes x floor(96/10)
+}
+
+// ---- pod ------------------------------------------------------------------------
+
+class PodTest : public testing::Test {
+ protected:
+  PodTest()
+      : cluster_(cluster::Cluster::paper_testbed(sim_)), fs_(sim_) {
+    spec_.authority = "wfbench.test:80";
+    spec_.container.workers = 2;
+    spec_.cpu_request = 2.0;
+    spec_.memory_request = 1ULL << 30;
+    spec_.cold_start = sim::from_seconds(2.5);
+  }
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  storage::SharedFilesystem fs_;
+  KnativeServiceSpec spec_;
+};
+
+TEST_F(PodTest, ColdStartDelaysReadiness) {
+  bool ready = false;
+  Pod pod(sim_, "p1", spec_, cluster_.node(0), fs_, [&](Pod&) { ready = true; });
+  EXPECT_EQ(pod.state(), PodState::kStarting);
+  EXPECT_EQ(pod.service(), nullptr);
+  sim_.run_until(sim::from_seconds(2.0));
+  EXPECT_FALSE(ready);
+  sim_.run_until(sim::from_seconds(3.0));
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(pod.ready());
+  EXPECT_EQ(pod.ready_at(), sim::from_seconds(2.5));
+  EXPECT_NE(pod.service(), nullptr);
+}
+
+TEST_F(PodTest, ReservesAndReleasesNodeResources) {
+  const double free_before = cluster_.node(0).ledger().free_cpus();
+  {
+    Pod pod(sim_, "p1", spec_, cluster_.node(0), fs_, nullptr);
+    EXPECT_DOUBLE_EQ(cluster_.node(0).ledger().free_cpus(), free_before - 2.0);
+    sim_.run();
+    pod.terminate();
+    EXPECT_DOUBLE_EQ(cluster_.node(0).ledger().free_cpus(), free_before);
+  }
+}
+
+TEST_F(PodTest, TerminateBeforeReadyCancelsColdStart) {
+  bool ready = false;
+  Pod pod(sim_, "p1", spec_, cluster_.node(0), fs_, [&](Pod&) { ready = true; });
+  pod.terminate();
+  sim_.run();
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(pod.state(), PodState::kTerminated);
+  EXPECT_EQ(cluster_.node(0).resident_memory(), 0u);
+}
+
+TEST_F(PodTest, TerminateReleasesContainerMemory) {
+  Pod pod(sim_, "p1", spec_, cluster_.node(0), fs_, nullptr);
+  sim_.run();
+  EXPECT_GT(cluster_.node(0).resident_memory(), 0u);  // container footprint
+  pod.terminate();
+  EXPECT_EQ(cluster_.node(0).resident_memory(), 0u);
+}
+
+TEST_F(PodTest, CapacityTracksConcurrency) {
+  Pod pod(sim_, "p1", spec_, cluster_.node(0), fs_, nullptr);
+  EXPECT_FALSE(pod.has_capacity());  // not ready yet
+  sim_.run();
+  EXPECT_TRUE(pod.has_capacity());
+  wfbench::TaskParams params;
+  params.name = "t";
+  params.cpu_work = 1000.0;
+  pod.service()->handle(params, [](net::HttpResponse) {});
+  params.name = "t2";
+  pod.service()->handle(params, [](net::HttpResponse) {});
+  EXPECT_EQ(pod.inflight(), 2u);
+  EXPECT_FALSE(pod.has_capacity());  // workers=2 == concurrency limit
+  pod.terminate();
+}
+
+// ---- platform integration ----------------------------------------------------------
+
+class PlatformTest : public testing::Test {
+ protected:
+  PlatformTest()
+      : cluster_(cluster::Cluster::paper_testbed(sim_)), fs_(sim_), router_(sim_) {
+    spec_.authority = "wfbench.kn:80";
+    spec_.container.workers = 10;
+    spec_.cpu_request = 2.0;
+    spec_.cpu_limit = 2.0;
+    spec_.memory_request = 1ULL << 30;
+    spec_.min_scale = 0;
+    spec_.max_scale = 10;
+    spec_.autoscaler = fast_config();
+  }
+
+  net::HttpRequest request_for(const std::string& name, double work = 5.0) {
+    wfbench::TaskParams params;
+    params.name = name;
+    params.percent_cpu = 1.0;
+    params.cpu_work = work;
+    net::HttpRequest request;
+    request.url = net::parse_url("http://wfbench.kn:80/wfbench");
+    request.body = json::write_compact(wfbench::to_json(params));
+    return request;
+  }
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  storage::SharedFilesystem fs_;
+  net::Router router_;
+  KnativeServiceSpec spec_;
+};
+
+TEST_F(PlatformTest, ScaleFromZeroServesRequest) {
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  EXPECT_EQ(platform.ready_pods(), 0);
+
+  int status = 0;
+  sim::SimTime replied_at = -1;
+  router_.send(request_for("t1"), [&](net::HttpResponse response) {
+    status = response.status;
+    replied_at = sim_.now();
+  });
+  sim_.run_until(60 * sim::kSecond);
+
+  EXPECT_EQ(status, 200);
+  // Cold start: autoscaler tick (2 s) + cold start (2.5 s) + work (5 s).
+  EXPECT_GE(replied_at, sim::from_seconds(9.0));
+  EXPECT_EQ(platform.stats().pods_created, 1u);
+  EXPECT_EQ(platform.stats().completed, 1u);
+  EXPECT_GT(platform.activator().total_wait_seconds(), 0.0);
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, BurstScalesOutManyPods) {
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 50.0),
+                 [&](net::HttpResponse r) { completed += r.ok() ? 1 : 0; });
+  }
+  sim_.run_until(10 * sim::kMinute);
+  EXPECT_EQ(completed, 100);
+  EXPECT_GT(platform.stats().max_ready_pods, 3u);
+  EXPECT_LE(platform.stats().max_ready_pods, 10u);  // max_scale respected
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, ScaleToZeroReleasesAllMemory) {
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  router_.send(request_for("t1"), [](net::HttpResponse) {});
+  sim_.run_until(20 * sim::kSecond);
+  EXPECT_GT(cluster_.resident_memory(), 0u);  // pod alive within grace
+  sim_.run_until(5 * sim::kMinute);
+  EXPECT_EQ(platform.ready_pods(), 0);  // scaled to zero
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+  EXPECT_GE(platform.stats().pods_terminated, 1u);
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, MinScaleKeepsPodsWarm) {
+  spec_.min_scale = 2;
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  sim_.run_until(5 * sim::kMinute);
+  EXPECT_EQ(platform.ready_pods(), 2);  // never below min, even idle
+  platform.shutdown();
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+}
+
+TEST_F(PlatformTest, BadRequestBodyIs400) {
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  net::HttpRequest request;
+  request.url = net::parse_url("http://wfbench.kn:80/wfbench");
+  request.body = "not json";
+  int status = 0;
+  router_.send(std::move(request), [&](net::HttpResponse r) { status = r.status; });
+  sim_.run_until(sim::kSecond);
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(platform.stats().bad_requests, 1u);
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, ShutdownFailsBufferedRequests) {
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  int status = 0;
+  router_.send(request_for("t1"), [&](net::HttpResponse r) { status = r.status; });
+  sim_.run_until(500 * sim::kMillisecond);  // request buffered, no pod yet
+  platform.shutdown();
+  sim_.run();
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+}
+
+TEST_F(PlatformTest, UnschedulablePodsCountFailures) {
+  spec_.cpu_request = 300.0;  // cannot fit on any node
+  spec_.min_scale = 0;
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  router_.send(request_for("t1"), [](net::HttpResponse) {});
+  sim_.run_until(30 * sim::kSecond);
+  EXPECT_GT(platform.stats().scheduling_failures, 0u);
+  EXPECT_EQ(platform.ready_pods(), 0);
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, ContainerConcurrencyOverridesWorkerCount) {
+  // container_concurrency < workers: the activator admits fewer requests
+  // per pod than the worker pool could hold (Knative's concurrency knob).
+  spec_.container.workers = 10;
+  spec_.container_concurrency = 3;
+  spec_.min_scale = 1;
+  spec_.max_scale = 1;
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  sim_.run_until(5 * sim::kSecond);
+  for (int i = 0; i < 8; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 1000.0), [](net::HttpResponse) {});
+  }
+  sim_.run_until(6 * sim::kSecond);
+  // Only 3 admitted to the pod; the rest buffered at the activator.
+  EXPECT_EQ(platform.inflight(), 8u);
+  EXPECT_EQ(platform.activator_depth(), 5u);
+  platform.shutdown();
+}
+
+TEST_F(PlatformTest, BinPackedPodsLandOnOneNode) {
+  spec_.scheduling = KubeScheduler::Strategy::kMostAllocated;
+  spec_.min_scale = 4;
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  sim_.run_until(10 * sim::kSecond);
+  // All four warm pods on one node: the other node carries no reservation.
+  const bool node0_empty = cluster_.node(0).ledger().reserved_cpus() == 0.0;
+  const bool node1_empty = cluster_.node(1).ledger().reserved_cpus() == 0.0;
+  EXPECT_NE(node0_empty, node1_empty);
+  platform.shutdown();
+}
+
+class PlatformStorm : public PlatformTest, public testing::WithParamInterface<int> {};
+
+TEST_P(PlatformStorm, EveryRequestIsAnsweredAndInvariantsHold) {
+  // Property test: a randomized arrival pattern (bursts, lulls, mixed task
+  // sizes) must end with every request answered exactly once, pods within
+  // [0, max_scale], and all node resources returned after shutdown.
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+
+  const int total_requests = 150;
+  int answered = 0;
+  int ok_count = 0;
+  sim::SimTime at = 0;
+  for (int i = 0; i < total_requests; ++i) {
+    // Bursty arrivals: 70% immediately, 30% after a lull.
+    at += rng.chance(0.3) ? sim::from_seconds(rng.uniform_real(0.0, 20.0)) : 0;
+    const double work = rng.uniform_real(1.0, 30.0);
+    sim_.schedule_at(at, [this, i, work, &answered, &ok_count] {
+      router_.send(request_for("storm" + std::to_string(i), work),
+                   [&answered, &ok_count](net::HttpResponse response) {
+                     ++answered;
+                     ok_count += response.ok() ? 1 : 0;
+                   });
+    });
+  }
+
+  // Invariant sampling while the storm runs.
+  sim::PeriodicTask invariant_check(sim_, sim::kSecond, [&](sim::SimTime) {
+    EXPECT_LE(platform.total_pods(), spec_.max_scale + 0);
+    EXPECT_GE(platform.ready_pods(), 0);
+    for (std::size_t n = 0; n < cluster_.size(); ++n) {
+      EXPECT_GE(cluster_.node(n).ledger().free_cpus(), -1e-9);
+    }
+  });
+
+  invariant_check.start();
+  sim_.run_until(sim::kHour);
+  invariant_check.stop();
+  EXPECT_EQ(answered, total_requests);
+  EXPECT_EQ(ok_count, total_requests);  // nothing should fail in-bounds
+  EXPECT_EQ(platform.stats().requests, static_cast<std::uint64_t>(total_requests));
+  EXPECT_EQ(platform.stats().completed + platform.stats().failed,
+            static_cast<std::uint64_t>(total_requests));
+  platform.shutdown();
+  EXPECT_EQ(cluster_.resident_memory(), 0u);
+  for (std::size_t n = 0; n < cluster_.size(); ++n) {
+    EXPECT_DOUBLE_EQ(cluster_.node(n).ledger().reserved_cpus(), 0.0);
+    EXPECT_EQ(cluster_.node(n).ledger().reserved_memory(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlatformStorm, testing::Range(1, 6));
+
+TEST_F(PlatformTest, WholeMachinePodSpec) {
+  // The coarse-grained Kn1000wPM shape: one giant pod, min=max=1.
+  spec_.container.workers = 1000;
+  spec_.cpu_request = 94.0;
+  spec_.cpu_limit = 0.0;
+  spec_.memory_request = 120ULL << 30;
+  spec_.min_scale = 1;
+  spec_.max_scale = 1;
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  sim_.run_until(10 * sim::kSecond);
+  EXPECT_EQ(platform.ready_pods(), 1);
+  int completed = 0;
+  for (int i = 0; i < 500; ++i) {
+    router_.send(request_for("t" + std::to_string(i), 10.0),
+                 [&](net::HttpResponse r) { completed += r.ok() ? 1 : 0; });
+  }
+  sim_.run_until(30 * sim::kMinute);
+  EXPECT_EQ(completed, 500);
+  EXPECT_EQ(platform.stats().pods_created, 1u);  // no churn
+  platform.shutdown();
+}
+
+}  // namespace
+}  // namespace wfs::faas

@@ -1,0 +1,317 @@
+// Unit + property tests for the JSON substrate.
+#include <gtest/gtest.h>
+
+#include "json/parse.h"
+#include "json/value.h"
+#include "json/write.h"
+#include "support/rng.h"
+
+namespace wfs::json {
+namespace {
+
+// ---- Value -----------------------------------------------------------------
+
+TEST(JsonValue, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_TRUE(Value(7.5).is_double());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValue, NumericAccessors) {
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(42).as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_THROW(Value("x").as_double(), std::bad_variant_access);
+}
+
+TEST(JsonValue, LenientGetters) {
+  EXPECT_EQ(Value(42).int_or(-1), 42);
+  EXPECT_EQ(Value(2.9).int_or(-1), 2);     // truncation, like the paper's sizes
+  EXPECT_EQ(Value("x").int_or(-1), -1);
+  EXPECT_DOUBLE_EQ(Value("x").double_or(1.5), 1.5);
+  EXPECT_EQ(Value(5).string_or("d"), "d");
+  EXPECT_EQ(Value("v").string_or("d"), "v");
+  EXPECT_TRUE(Value("x").bool_or(true));
+}
+
+TEST(JsonObject, InsertionOrderPreserved) {
+  Object obj;
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : obj) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "alpha", "mid"}));
+}
+
+TEST(JsonObject, OverwriteKeepsPosition) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 99);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.begin()->first, "a");
+  EXPECT_EQ(obj.at("a").as_int(), 99);
+}
+
+TEST(JsonObject, FindAtErase) {
+  Object obj;
+  obj.set("k", "v");
+  EXPECT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), std::out_of_range);
+  EXPECT_TRUE(obj.erase("k"));
+  EXPECT_FALSE(obj.erase("k"));
+  EXPECT_TRUE(obj.empty());
+}
+
+TEST(JsonValue, EqualityMixedNumerics) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(3.5), Value(3.5));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_FALSE(Value("3") == Value(3));
+}
+
+TEST(JsonValue, ObjectEqualityIgnoresOrder) {
+  Object a;
+  a.set("x", 1);
+  a.set("y", 2);
+  Object b;
+  b.set("y", 2);
+  b.set("x", 1);
+  EXPECT_EQ(Value(std::move(a)), Value(std::move(b)));
+}
+
+// ---- parse -----------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5E-2").as_double(), -0.015);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse("40161").is_int());  // file sizes must stay exact
+  EXPECT_TRUE(parse("40161.0").is_double());
+  EXPECT_TRUE(parse("1e2").is_double());
+}
+
+TEST(JsonParse, HugeIntegerDegradesToDouble) {
+  const Value v = parse("123456789012345678901234567890");
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value v = parse(R"({"a": [1, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_array()[1].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find("d")->find("e")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xC3\xA9");           // é
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xE4\xB8\xAD");       // 中
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  EXPECT_EQ(parse(" \n\t{ \"a\" : 1 } \r\n").find("a")->as_int(), 1);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+struct BadInput {
+  const char* text;
+  const char* why;
+};
+
+class JsonParseRejects : public testing::TestWithParam<BadInput> {};
+
+TEST_P(JsonParseRejects, Throws) {
+  EXPECT_THROW(parse(GetParam().text), ParseError) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonParseRejects,
+    testing::Values(
+        BadInput{"", "empty input"},
+        BadInput{"{", "unterminated object"},
+        BadInput{"[1,", "unterminated array"},
+        BadInput{"[1,]", "trailing comma"},
+        BadInput{"{\"a\":}", "missing value"},
+        BadInput{"{a:1}", "unquoted key"},
+        BadInput{"\"abc", "unterminated string"},
+        BadInput{"01", "leading zero"},
+        BadInput{"1.", "missing fraction digits"},
+        BadInput{"1e", "missing exponent digits"},
+        BadInput{"+1", "leading plus"},
+        BadInput{"nul", "bad literal"},
+        BadInput{"tru", "bad literal true"},
+        BadInput{"{} {}", "trailing content"},
+        BadInput{"\"\\x\"", "bad escape"},
+        BadInput{"\"\\u12\"", "short unicode escape"},
+        BadInput{"\"\\ud800\"", "unpaired high surrogate"},
+        BadInput{"\"\\udc00\"", "unpaired low surrogate"},
+        BadInput{"\"\x01\"", "raw control char"},
+        BadInput{"nan", "nan is not JSON"}));
+
+TEST(JsonParse, ReportsLineAndColumn) {
+  try {
+    parse("{\n  \"a\": bad\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "[";
+  EXPECT_THROW(parse(deep, 256), ParseError);
+  // A shallow doc passes with the same limit.
+  EXPECT_NO_THROW(parse("[[[[1]]]]", 256));
+}
+
+TEST(JsonParse, TryParse) {
+  Value out;
+  std::string error;
+  EXPECT_TRUE(try_parse("{\"a\":1}", out, error));
+  EXPECT_FALSE(try_parse("{bad", out, error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- write -----------------------------------------------------------------
+
+TEST(JsonWrite, CompactLayout) {
+  Object obj;
+  obj.set("a", 1);
+  Array arr;
+  arr.emplace_back(2);
+  arr.emplace_back("x");
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(write_compact(Value(std::move(obj))), R"({"a":1,"b":[2,"x"]})");
+}
+
+TEST(JsonWrite, PrettyLayout) {
+  Object obj;
+  obj.set("a", 1);
+  const std::string text = write_pretty(Value(std::move(obj)));
+  EXPECT_EQ(text, "{\n  \"a\": 1\n}\n");
+}
+
+TEST(JsonWrite, EscapesControlCharacters) {
+  EXPECT_EQ(write_compact(Value("a\nb")), R"("a\nb")");
+  EXPECT_EQ(write_compact(Value(std::string(1, '\x01'))), "\"\\u0001\"");
+  EXPECT_EQ(write_compact(Value("quote\"back\\slash")), R"("quote\"back\\slash")");
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull) {
+  EXPECT_EQ(write_compact(Value(std::numeric_limits<double>::quiet_NaN())), "null");
+  EXPECT_EQ(write_compact(Value(std::numeric_limits<double>::infinity())), "null");
+}
+
+TEST(JsonWrite, EmptyContainers) {
+  EXPECT_EQ(write_compact(Value(Array{})), "[]");
+  EXPECT_EQ(write_compact(Value(Object{})), "{}");
+}
+
+// ---- round-trip property ---------------------------------------------------
+
+Value random_value(support::Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth > 3 ? 4 : 6));
+  switch (kind) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.chance(0.5));
+    case 2: return Value(rng.uniform_int(-1'000'000'000, 1'000'000'000));
+    case 3: return Value(rng.uniform_real(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      Array arr;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) arr.push_back(random_value(rng, depth + 1));
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) {
+        obj.set("k" + std::to_string(i), random_value(rng, depth + 1));
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTrip, CompactAndPrettyPreserveValue) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Value original = random_value(rng, 0);
+  EXPECT_EQ(parse(write_compact(original)), original);
+  EXPECT_EQ(parse(write_pretty(original)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, testing::Range(0, 25));
+
+TEST(JsonRoundTrip, PaperExcerptShape) {
+  // The exact structure of the paper's §III-A translated-task excerpt.
+  const char* text = R"({
+    "blastall_00000002": {
+      "name": "blastall_00000002",
+      "type": "compute",
+      "command": {
+        "program": "wfbench.py",
+        "arguments": [{
+          "name": "blastall_00000002",
+          "percent-cpu": 0.9,
+          "cpu-work": 100,
+          "out": {"blastall_00000002_output.txt": 40161},
+          "inputs": ["split_fasta_00000001_output.txt"]
+        }],
+        "api_url": "http://wfbench.knative-functions.00.000.000.000.sslip.io/wfbench"
+      },
+      "parents": ["split_fasta_00000001"],
+      "children": ["cat_blast_00000042", "cat_00000043"],
+      "runtimeInSeconds": 0,
+      "cores": 1,
+      "id": "00000002",
+      "category": "blastall"
+    }
+  })";
+  const Value doc = parse(text);
+  const Value& task = doc.as_object().at("blastall_00000002");
+  EXPECT_DOUBLE_EQ(
+      task.find("command")->find("arguments")->as_array()[0].find("percent-cpu")->as_double(),
+      0.9);
+  EXPECT_EQ(parse(write_compact(doc)), doc);
+}
+
+}  // namespace
+}  // namespace wfs::json

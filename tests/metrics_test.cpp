@@ -1,0 +1,229 @@
+// Unit tests for the telemetry substrate (time series, sampler, pmdump CSV,
+// aggregation, ASCII charts).
+#include <gtest/gtest.h>
+
+#include "metrics/aggregate.h"
+#include "metrics/ascii_chart.h"
+#include "metrics/pmdump.h"
+#include "metrics/sampler.h"
+#include "metrics/time_series.h"
+#include "sim/simulation.h"
+#include "support/strings.h"
+
+namespace wfs::metrics {
+namespace {
+
+TimeSeries make_series(std::initializer_list<std::pair<double, double>> points) {
+  TimeSeries series;
+  for (const auto& [t, v] : points) series.push(sim::from_seconds(t), v);
+  return series;
+}
+
+// ---- time series ---------------------------------------------------------------
+
+TEST(TimeSeries, BasicStats) {
+  const TimeSeries s = make_series({{0, 1.0}, {1, 3.0}, {2, 5.0}});
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(TimeSeries, EmptySeriesIsSafe) {
+  const TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(TimeSeries, RejectsNonMonotonicTime) {
+  TimeSeries s;
+  s.push(10, 1.0);
+  EXPECT_THROW(s.push(5, 2.0), std::invalid_argument);
+  EXPECT_NO_THROW(s.push(10, 3.0));  // equal timestamps allowed
+}
+
+TEST(TimeSeries, Percentiles) {
+  TimeSeries s;
+  for (int i = 1; i <= 100; ++i) s.push(i, static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(TimeSeries, IntegralTrapezoid) {
+  // Power 100 W for 10 s then 200 W for 10 s (linear ramp between samples).
+  const TimeSeries s = make_series({{0, 100}, {10, 100}, {20, 200}});
+  EXPECT_DOUBLE_EQ(s.integral(), 100 * 10 + 150 * 10);  // joules
+}
+
+TEST(TimeSeries, TimeWeightedMeanHandlesIrregularSampling) {
+  // 0 for 1 s, then 10 for 9 s: arithmetic mean = 20/3, weighted ~ 9.5/10.
+  const TimeSeries s = make_series({{0, 0.0}, {1, 0.0}, {10, 10.0}});
+  EXPECT_NEAR(s.time_weighted_mean(), (0.0 * 1 + 5.0 * 9) / 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(make_series({{0, 4}, {1, 4}}).time_weighted_mean(), 4.0);
+}
+
+// ---- aggregation ----------------------------------------------------------------
+
+TEST(Aggregate, SummaryFields) {
+  const Summary s = summarize(make_series({{0, 2.0}, {1, 4.0}, {2, 6.0}}));
+  EXPECT_EQ(s.samples, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);
+  EXPECT_DOUBLE_EQ(s.integral, 8.0);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Aggregate, EmptySummary) {
+  const Summary s = summarize(TimeSeries{});
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+// ---- sampler --------------------------------------------------------------------
+
+TEST(Sampler, SamplesAtCadence) {
+  sim::Simulation sim;
+  Sampler sampler(sim, sim::kSecond);
+  double gauge = 0.0;
+  sampler.add_probe("gauge", [&] { return gauge; });
+  sampler.start();
+  sim.schedule_at(2 * sim::kSecond + 1, [&] { gauge = 7.0; });
+  sim.run_until(5 * sim::kSecond);
+  sampler.stop();
+  const TimeSeries& series = sampler.series("gauge");
+  ASSERT_EQ(series.size(), 6u);  // t = 0..5 s
+  EXPECT_DOUBLE_EQ(series[2].value, 0.0);
+  EXPECT_DOUBLE_EQ(series[3].value, 7.0);
+}
+
+TEST(Sampler, SampleNowAvoidsDuplicates) {
+  sim::Simulation sim;
+  Sampler sampler(sim, sim::kSecond);
+  sampler.add_probe("g", [] { return 1.0; });
+  sampler.sample_now();
+  sampler.sample_now();  // same instant: dropped
+  EXPECT_EQ(sampler.series("g").size(), 1u);
+}
+
+TEST(Sampler, UnknownSeriesThrows) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  EXPECT_THROW(sampler.series("nope"), std::out_of_range);
+  EXPECT_FALSE(sampler.has_series("nope"));
+}
+
+TEST(Sampler, ProbeNamesSortedDeterministically) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  sampler.add_probe("zeta", [] { return 0.0; });
+  sampler.add_probe("alpha", [] { return 0.0; });
+  EXPECT_EQ(sampler.probe_names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+// ---- pmdump ---------------------------------------------------------------------
+
+TEST(Pmdump, CsvLayout) {
+  sim::Simulation sim;
+  Sampler sampler(sim, sim::kSecond);
+  sampler.add_probe("cpu", [&sim] { return sim::to_seconds(sim.now()) * 10.0; });
+  sampler.add_probe("mem", [] { return 2.5; });
+  sampler.start();
+  sim.run_until(2 * sim::kSecond);
+  sampler.stop();
+
+  const std::string csv = pmdump_csv(sampler, {"cpu", "mem"});
+  const auto lines = support::split(csv, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "time,cpu,mem");
+  EXPECT_EQ(lines[1], "0.000,0,2.5");
+  EXPECT_EQ(lines[2], "1.000,10,2.5");
+  EXPECT_EQ(lines[3], "2.000,20,2.5");
+}
+
+TEST(Pmdump, CustomSeparator) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  sampler.add_probe("x", [] { return 1.0; });
+  sampler.sample_now();
+  PmdumpOptions options;
+  options.separator = ';';
+  const std::string csv = pmdump_csv(sampler, {"x"}, options);
+  EXPECT_NE(csv.find("time;x"), std::string::npos);
+}
+
+TEST(Pmdump, AllProbes) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  sampler.add_probe("b", [] { return 1.0; });
+  sampler.add_probe("a", [] { return 2.0; });
+  sampler.sample_now();
+  const std::string csv = pmdump_csv_all(sampler);
+  EXPECT_EQ(support::split(csv, '\n')[0], "time,a,b");
+}
+
+TEST(Pmdump, UnknownSeriesThrows) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  EXPECT_THROW(pmdump_csv(sampler, {"ghost"}), std::out_of_range);
+}
+
+// ---- ascii charts ----------------------------------------------------------------
+
+TEST(AsciiChart, BarChartScalesToMax) {
+  BarChartOptions options;
+  options.width = 10;
+  options.unit = "s";
+  const std::string chart = bar_chart({{"short", 5.0}, {"long", 10.0}}, options);
+  const auto lines = support::split(chart, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("|#####     |"), std::string::npos);
+  EXPECT_NE(lines[1].find("|##########|"), std::string::npos);
+  EXPECT_NE(lines[0].find("5.00 s"), std::string::npos);
+}
+
+TEST(AsciiChart, ZeroMaxProducesEmptyBars) {
+  BarChartOptions options;
+  options.width = 4;
+  const std::string chart = bar_chart({{"z", 0.0}}, options);
+  EXPECT_NE(chart.find("|    |"), std::string::npos);
+}
+
+TEST(AsciiChart, GroupedBarsValidateShape) {
+  GroupedBars data;
+  data.series_names = {"Kn", "LC"};
+  data.row_labels = {"blast"};
+  data.values = {{1.0, 2.0}};
+  EXPECT_NO_THROW(grouped_bar_chart(data));
+  data.values = {{1.0}};
+  EXPECT_THROW(grouped_bar_chart(data), std::invalid_argument);
+  data.values = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW(grouped_bar_chart(data), std::invalid_argument);
+}
+
+TEST(AsciiChart, SparklineWidthAndRange) {
+  TimeSeries series;
+  for (int i = 0; i < 100; ++i) series.push(i, static_cast<double>(i % 10));
+  const std::string line = sparkline(series, 32);
+  EXPECT_EQ(line.size(), 32u);
+  EXPECT_TRUE(sparkline(TimeSeries{}, 32).empty());
+  EXPECT_TRUE(sparkline(series, 0).empty());
+}
+
+TEST(AsciiChart, SparklineFlatSeriesIsLowLevel) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) series.push(i, 5.0);
+  const std::string line = sparkline(series, 10);
+  for (const char c : line) EXPECT_EQ(c, ' ');
+}
+
+}  // namespace
+}  // namespace wfs::metrics

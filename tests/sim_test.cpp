@@ -1,0 +1,225 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/periodic.h"
+#include "sim/simulation.h"
+
+namespace wfs::sim {
+namespace {
+
+// ---- clock -----------------------------------------------------------------
+
+TEST(Clock, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.0015), 1500);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond + 500 * kMillisecond), 2.5);
+  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+}
+
+TEST(Clock, RoundsToNearestMicrosecond) {
+  EXPECT_EQ(from_seconds(1e-7), 0);
+  EXPECT_EQ(from_seconds(6e-7), 1);
+}
+
+// ---- event queue -------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForTies) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // double cancel
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelMiddleEventOnly) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1, [&] { order.push_back(1); });
+  const EventId id = queue.schedule(2, [&] { order.push_back(2); });
+  queue.schedule(3, [&] { order.push_back(3); });
+  queue.cancel(id);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeAndEmptyErrors) {
+  EventQueue queue;
+  EXPECT_THROW(queue.next_time(), std::logic_error);
+  EXPECT_THROW(queue.pop(), std::logic_error);
+  queue.schedule(42, [] {});
+  EXPECT_EQ(queue.next_time(), 42);
+}
+
+// ---- simulation ----------------------------------------------------------------
+
+TEST(Simulation, RunsToCompletion) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  sim.schedule_in(5, [&] { fired.push_back(sim.now()); });
+  sim.schedule_in(2, [&] { fired.push_back(sim.now()); });
+  const SimTime end = sim.run();
+  EXPECT_EQ(end, 5);
+  EXPECT_EQ(fired, (std::vector<SimTime>{2, 5}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_in(10, chain);
+  };
+  sim.schedule_in(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i * kSecond, [&] { ++fired; });
+  }
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  EXPECT_EQ(sim.pending_events(), 5u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(7 * kSecond);
+  EXPECT_EQ(sim.now(), 7 * kSecond);
+}
+
+TEST(Simulation, StepExecutesBoundedEvents) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_in(i, [&] { ++fired; });
+  EXPECT_EQ(sim.step(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule_in(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EventLimitGuardsStorms) {
+  Simulation sim;
+  sim.set_event_limit(100);
+  std::function<void()> storm = [&] { sim.schedule_in(1, storm); };
+  sim.schedule_in(0, storm);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, ZeroDelayRunsAfterPendingAtSameInstant) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0, [&] { order.push_back(3); });
+  });
+  sim.schedule_in(0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ---- periodic ------------------------------------------------------------------
+
+TEST(Periodic, FiresAtFixedCadence) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  PeriodicTask task(sim, kSecond, [&](SimTime t) {
+    fired.push_back(t);
+    if (fired.size() == 3) task.stop();
+  });
+  task.start(0);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{0, kSecond, 2 * kSecond}));
+}
+
+TEST(Periodic, StopPreventsFutureFirings) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, kSecond, [&](SimTime) { ++count; });
+  task.start();
+  sim.schedule_at(2 * kSecond + 1, [&] { task.stop(); });
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(count, 3);  // t=0s,1s,2s
+  EXPECT_FALSE(task.running());
+}
+
+TEST(Periodic, StartIsIdempotent) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, kSecond, [&](SimTime) { ++count; });
+  task.start(0);
+  task.start(0);  // no double-arm
+  sim.run_until(500 * kMillisecond);
+  EXPECT_EQ(count, 1);
+  task.stop();
+}
+
+TEST(Periodic, DelayedFirstFiring) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  PeriodicTask task(sim, kSecond, [&](SimTime t) { fired.push_back(t); });
+  task.start(250 * kMillisecond);
+  sim.run_until(2 * kSecond + 300 * kMillisecond);
+  task.stop();
+  EXPECT_EQ(fired, (std::vector<SimTime>{250 * kMillisecond, 1250 * kMillisecond,
+                                         2250 * kMillisecond}));
+}
+
+TEST(Periodic, RejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(PeriodicTask(sim, 0, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(Periodic, DestructorCancels) {
+  Simulation sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, kSecond, [&](SimTime) { ++count; });
+    task.start();
+  }
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace wfs::sim

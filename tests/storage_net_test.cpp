@@ -1,0 +1,345 @@
+// Unit tests for the shared filesystem and the simulated HTTP layer.
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/router.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+#include "storage/shared_fs.h"
+
+namespace wfs {
+namespace {
+
+// ---- shared filesystem -------------------------------------------------------
+
+TEST(SharedFs, StageMakesFileVisibleImmediately) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  EXPECT_FALSE(fs.exists("input.txt"));
+  fs.stage("input.txt", 1234);
+  EXPECT_TRUE(fs.exists("input.txt"));
+  ASSERT_NE(fs.stat("input.txt"), nullptr);
+  EXPECT_EQ(fs.stat("input.txt")->size_bytes, 1234u);
+  EXPECT_EQ(fs.stat("missing"), nullptr);
+}
+
+TEST(SharedFs, WriteBecomesVisibleOnlyAfterTransfer) {
+  sim::Simulation sim;
+  storage::SharedFsConfig config;
+  config.write_bandwidth_bps = 1e6;  // 1 MB/s
+  config.op_latency = 0;
+  storage::SharedFilesystem fs(sim, config);
+  bool done = false;
+  fs.write("out.txt", 1'000'000, [&] { done = true; });
+  EXPECT_FALSE(fs.exists("out.txt"));  // the WFM's availability check relies on this
+  sim.run_until(sim::from_seconds(0.5));
+  EXPECT_FALSE(fs.exists("out.txt"));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(fs.exists("out.txt"));
+  EXPECT_NEAR(sim::to_seconds(sim.now()), 1.0, 1e-3);
+  EXPECT_EQ(fs.bytes_written(), 1'000'000u);
+}
+
+TEST(SharedFs, ReadMissingFileFailsImmediately) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  bool called = false;
+  bool ok = true;
+  fs.read("nope.txt", [&](bool read_ok) {
+    called = true;
+    ok = read_ok;
+  });
+  EXPECT_TRUE(called);  // synchronous failure, no simulated delay
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(fs.failed_reads(), 1u);
+}
+
+TEST(SharedFs, ReadTransfersTakeTime) {
+  sim::Simulation sim;
+  storage::SharedFsConfig config;
+  config.read_bandwidth_bps = 2e6;
+  config.op_latency = sim::kMillisecond;
+  storage::SharedFilesystem fs(sim, config);
+  fs.stage("data.bin", 2'000'000);
+  bool ok = false;
+  fs.read("data.bin", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_NEAR(sim::to_seconds(sim.now()), 1.001, 1e-3);
+  EXPECT_EQ(fs.bytes_read(), 2'000'000u);
+}
+
+TEST(SharedFs, CongestionSlowsTransfers) {
+  sim::Simulation sim;
+  storage::SharedFsConfig config;
+  config.write_bandwidth_bps = 1e6;
+  config.op_latency = 0;
+  config.congestion_threshold = 2;
+  storage::SharedFilesystem fs(sim, config);
+  // Uncontended baseline.
+  sim::Simulation sim2;
+  storage::SharedFilesystem fs2(sim2, config);
+  fs2.write("solo.txt", 1'000'000, [] {});
+  const double solo = sim::to_seconds(sim2.run());
+
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    fs.write("f" + std::to_string(i), 1'000'000, [&] { ++done; });
+  }
+  const double congested = sim::to_seconds(sim.run());
+  EXPECT_EQ(done, 8);
+  EXPECT_GT(congested, solo * 2.0);  // 8 writes over a 2-op pipe
+}
+
+TEST(SharedFs, RemoveAndClear) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  fs.stage("a", 1);
+  fs.stage("b", 2);
+  EXPECT_EQ(fs.total_bytes(), 3u);
+  EXPECT_TRUE(fs.remove("a"));
+  EXPECT_FALSE(fs.remove("a"));
+  fs.clear();
+  EXPECT_EQ(fs.file_count(), 0u);
+}
+
+// ---- object store ----------------------------------------------------------
+
+TEST(ObjectStore, ReadWriteRoundTrip) {
+  sim::Simulation sim;
+  storage::ObjectStore store(sim);
+  bool written = false;
+  store.write("bucket/key.bin", 1000, [&] { written = true; });
+  EXPECT_FALSE(store.exists("bucket/key.bin"));  // visible only after PUT completes
+  sim.run();
+  EXPECT_TRUE(written);
+  EXPECT_TRUE(store.exists("bucket/key.bin"));
+  bool ok = false;
+  store.read("bucket/key.bin", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(store.bytes_read(), 1000u);
+  EXPECT_EQ(store.bytes_written(), 1000u);
+  EXPECT_EQ(store.get_requests(), 1u);
+  EXPECT_EQ(store.put_requests(), 1u);
+}
+
+TEST(ObjectStore, MissingObjectCostsARoundTrip) {
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 15 * sim::kMillisecond;
+  storage::ObjectStore store(sim, config);
+  bool called = false;
+  bool ok = true;
+  store.read("ghost", [&](bool read_ok) {
+    called = true;
+    ok = read_ok;
+  });
+  EXPECT_FALSE(called);  // unlike the shared drive, the 404 is asynchronous
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(sim.now(), 15 * sim::kMillisecond);
+  EXPECT_EQ(store.failed_reads(), 1u);
+}
+
+TEST(ObjectStore, PerRequestLatencyDominatesSmallObjects) {
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 15 * sim::kMillisecond;
+  storage::ObjectStore store(sim, config);
+  store.stage("tiny", 10);
+  store.read("tiny", [](bool) {});
+  sim.run();
+  EXPECT_GE(sim.now(), 15 * sim::kMillisecond);
+  EXPECT_LT(sim.now(), 16 * sim::kMillisecond);
+}
+
+TEST(ObjectStore, NoCongestionCollapseByDefault) {
+  // 64 concurrent 1 MB writes finish in (latency + 1MB/300MBps) — the
+  // frontend fleet absorbs the fan-out, unlike the NFS model.
+  sim::Simulation sim;
+  storage::ObjectStore store(sim);
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    store.write("obj" + std::to_string(i), 1'000'000, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 64);
+  EXPECT_LT(sim::to_seconds(sim.now()), 0.05);
+}
+
+TEST(ObjectStore, AggregateCeilingShares) {
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 0;
+  config.per_object_write_bps = 300e6;
+  config.aggregate_bps = 300e6;  // total pipe = one object's worth
+  storage::ObjectStore store(sim, config);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    store.write("obj" + std::to_string(i), 300'000'000, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_GT(sim::to_seconds(sim.now()), 3.0);  // ~4 s serialised
+}
+
+TEST(ObjectStore, IsADataStore) {
+  sim::Simulation sim;
+  storage::ObjectStore object_store(sim);
+  storage::SharedFilesystem shared(sim);
+  // Both backends drive the same interface (what the WFM/service consume).
+  for (storage::DataStore* store : {static_cast<storage::DataStore*>(&object_store),
+                                    static_cast<storage::DataStore*>(&shared)}) {
+    store->stage("x", 5);
+    EXPECT_TRUE(store->exists("x"));
+  }
+}
+
+// ---- URLs ---------------------------------------------------------------------
+
+TEST(Url, ParsesFullForm) {
+  const net::Url url = net::parse_url("http://wfbench.knative.10.0.0.1.sslip.io:8080/wfbench");
+  EXPECT_EQ(url.scheme, "http");
+  EXPECT_EQ(url.host, "wfbench.knative.10.0.0.1.sslip.io");
+  EXPECT_EQ(url.port, 8080);
+  EXPECT_EQ(url.path, "/wfbench");
+  EXPECT_EQ(url.authority(), "wfbench.knative.10.0.0.1.sslip.io:8080");
+}
+
+TEST(Url, DefaultPortsAndPath) {
+  EXPECT_EQ(net::parse_url("http://localhost").port, 80);
+  EXPECT_EQ(net::parse_url("https://localhost").port, 443);
+  EXPECT_EQ(net::parse_url("http://localhost").path, "/");
+}
+
+TEST(Url, RoundTrip) {
+  const net::Url url = net::parse_url("http://host:1234/a/b");
+  EXPECT_EQ(url.to_string(), "http://host:1234/a/b");
+}
+
+TEST(Url, RejectsMalformed) {
+  EXPECT_THROW(net::parse_url("no-scheme"), std::invalid_argument);
+  EXPECT_THROW(net::parse_url("http://"), std::invalid_argument);
+  EXPECT_THROW(net::parse_url("http://:80/x"), std::invalid_argument);
+  EXPECT_THROW(net::parse_url("http://host:abc/x"), std::invalid_argument);
+  EXPECT_THROW(net::parse_url("http://host:99999/x"), std::invalid_argument);
+}
+
+// ---- router -------------------------------------------------------------------
+
+net::HttpRequest make_request(const std::string& url, std::string body = "{}") {
+  net::HttpRequest request;
+  request.url = net::parse_url(url);
+  request.body = std::move(body);
+  return request;
+}
+
+TEST(Router, DeliversRequestAndResponse) {
+  sim::Simulation sim;
+  net::Router router(sim);
+  std::string seen_body;
+  router.bind("svc:80", [&](const net::HttpRequest& request,
+                            std::shared_ptr<net::Responder> responder) {
+    seen_body = request.body;
+    responder->respond(net::HttpResponse::make_ok("pong"));
+  });
+  std::string reply;
+  router.send(make_request("http://svc:80/x", "ping"),
+              [&](net::HttpResponse response) { reply = response.body; });
+  sim.run();
+  EXPECT_EQ(seen_body, "ping");
+  EXPECT_EQ(reply, "pong");
+  EXPECT_GT(sim.now(), 0);  // network latency elapsed
+  EXPECT_EQ(router.requests_sent(), 1u);
+  EXPECT_EQ(router.responses_delivered(), 1u);
+}
+
+TEST(Router, UnboundAuthorityIs404) {
+  sim::Simulation sim;
+  net::Router router(sim);
+  int status = 0;
+  router.send(make_request("http://ghost:80/x"),
+              [&](net::HttpResponse response) { status = response.status; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST(Router, UnbindStopsRouting) {
+  sim::Simulation sim;
+  net::Router router(sim);
+  router.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> responder) {
+    responder->respond(net::HttpResponse::make_ok());
+  });
+  EXPECT_TRUE(router.bound("svc:80"));
+  router.unbind("svc:80");
+  EXPECT_FALSE(router.bound("svc:80"));
+  int status = 0;
+  router.send(make_request("http://svc:80/x"),
+              [&](net::HttpResponse response) { status = response.status; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST(Router, DeferredResponse) {
+  sim::Simulation sim;
+  net::Router router(sim);
+  router.bind("svc:80", [&sim](const net::HttpRequest&,
+                               std::shared_ptr<net::Responder> responder) {
+    // Answer 5 simulated seconds later — the activator pattern.
+    sim.schedule_in(5 * sim::kSecond,
+                    [responder] { responder->respond(net::HttpResponse::make_ok()); });
+  });
+  sim::SimTime replied_at = -1;
+  router.send(make_request("http://svc:80/x"),
+              [&](net::HttpResponse) { replied_at = sim.now(); });
+  sim.run();
+  EXPECT_GE(replied_at, 5 * sim::kSecond);
+}
+
+TEST(Router, DoubleRespondIsIgnored) {
+  sim::Simulation sim;
+  net::Router router(sim);
+  router.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> responder) {
+    responder->respond(net::HttpResponse::make_ok("first"));
+    responder->respond(net::HttpResponse::make_ok("second"));
+  });
+  int replies = 0;
+  std::string body;
+  router.send(make_request("http://svc:80/x"), [&](net::HttpResponse response) {
+    ++replies;
+    body = response.body;
+  });
+  sim.run();
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(body, "first");
+}
+
+TEST(Router, LatencyIsDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    net::Router router(sim, net::NetworkConfig{}, seed);
+    router.bind("svc:80",
+                [](const net::HttpRequest&, std::shared_ptr<net::Responder> responder) {
+                  responder->respond(net::HttpResponse::make_ok());
+                });
+    sim::SimTime replied = -1;
+    router.send(make_request("http://svc:80/x"), [&](net::HttpResponse) { replied = sim.now(); });
+    sim.run();
+    return replied;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+TEST(HttpResponse, StatusHelpers) {
+  EXPECT_TRUE(net::HttpResponse::make_ok().ok());
+  EXPECT_FALSE(net::HttpResponse::not_found().ok());
+  EXPECT_FALSE(net::HttpResponse::bad_request("x").ok());
+  EXPECT_FALSE(net::HttpResponse::service_unavailable("x").ok());
+  EXPECT_EQ(net::HttpResponse::server_error("x").status, 500);
+}
+
+}  // namespace
+}  // namespace wfs

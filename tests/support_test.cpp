@@ -1,0 +1,348 @@
+// Unit tests for src/support: format shim, strings, rng, units, cli, log.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/cli.h"
+#include "support/format.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/units.h"
+
+namespace wfs::support {
+namespace {
+
+// ---- format ----------------------------------------------------------------
+
+TEST(Format, PlainSubstitution) {
+  EXPECT_EQ(format("hello {}", "world"), "hello world");
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("no args"), "no args");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 7), "{7}");
+}
+
+TEST(Format, IntegerTypes) {
+  EXPECT_EQ(format("{}", std::int64_t{-42}), "-42");
+  EXPECT_EQ(format("{}", std::uint64_t{42}), "42");
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{:X}", 255), "FF");
+  EXPECT_EQ(format("{:04x}", 15), "000f");
+  EXPECT_EQ(format("{:b}", 5), "101");
+}
+
+TEST(Format, Int64Min) {
+  EXPECT_EQ(format("{}", std::numeric_limits<std::int64_t>::min()),
+            "-9223372036854775808");
+}
+
+TEST(Format, DoublePrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.5), "2");  // banker's rounding via snprintf
+  EXPECT_EQ(format("{:.3e}", 1234.5), "1.234e+03");
+  EXPECT_EQ(format("{:.3g}", 1234.5), "1.23e+03");
+}
+
+TEST(Format, DoubleDefaultIsRoundTrip) {
+  EXPECT_EQ(format("{}", 0.5), "0.5");
+  EXPECT_EQ(format("{}", 2.0), "2");
+}
+
+TEST(Format, RuntimePrecision) {
+  EXPECT_EQ(format("{:.{}f}", 3.14159, 3), "3.142");
+  EXPECT_EQ(format("{:.{}f}", 1.0, 0), "1");
+}
+
+TEST(Format, WidthAndAlignment) {
+  EXPECT_EQ(format("{:>6}", 42), "    42");
+  EXPECT_EQ(format("{:<6}|", 42), "42    |");
+  EXPECT_EQ(format("{:^6}|", "ab"), "  ab  |");
+  EXPECT_EQ(format("{:<6}|", "ab"), "ab    |");
+  EXPECT_EQ(format("{:06}", 42), "000042");
+  EXPECT_EQ(format("{:06}", -42), "-00042");
+  EXPECT_EQ(format("{:*>5}", 7), "****7");
+}
+
+TEST(Format, SignFlag) {
+  EXPECT_EQ(format("{:+.1f}", 3.0), "+3.0");
+  EXPECT_EQ(format("{:+.1f}", -3.0), "-3.0");
+  EXPECT_EQ(format("{:+7.1f}", 12.25), "  +12.2");
+}
+
+TEST(Format, BoolAndChar) {
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", false), "false");
+  EXPECT_EQ(format("{:d}", true), "1");
+  EXPECT_EQ(format("{}", 'x'), "x");
+}
+
+TEST(Format, Strings) {
+  const std::string s = "abc";
+  EXPECT_EQ(format("{}", s), "abc");
+  EXPECT_EQ(format("{}", std::string_view("view")), "view");
+  EXPECT_EQ(format("{:.2}", "abcdef"), "ab");  // string precision truncates
+}
+
+TEST(Format, ErrorsThrow) {
+  EXPECT_THROW(format("{}"), format_error);            // too few args
+  EXPECT_THROW(format("{"), format_error);             // unmatched brace
+  EXPECT_THROW((void)format("}"), format_error);       // stray close
+  EXPECT_THROW(format("{0}", 1), format_error);        // positional unsupported
+  EXPECT_THROW(format("{:ZZ}", 1), format_error);      // junk spec
+}
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  const std::string text = "x,y,,z";
+  EXPECT_EQ(join(split(text, ','), ","), text);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("\t\n abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("blastall_0001", "blastall"));
+  EXPECT_FALSE(starts_with("bla", "blastall"));
+  EXPECT_TRUE(ends_with("output.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", "output.txt"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("Kn10wNoPM"), "kn10wnopm");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, PadId) {
+  EXPECT_EQ(pad_id(2, 8), "00000002");  // the WfCommons convention
+  EXPECT_EQ(pad_id(12345678, 8), "12345678");
+  EXPECT_EQ(pad_id(123456789, 8), "123456789");  // wider than field
+  EXPECT_EQ(pad_id(0, 3), "000");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(40161), "39.22 KiB");
+  EXPECT_EQ(human_bytes(3ULL << 30), "3.00 GiB");
+}
+
+TEST(Strings, HumanDuration) {
+  EXPECT_EQ(human_duration(6.3), "6.3s");
+  EXPECT_EQ(human_duration(65.0), "1m05s");
+  EXPECT_EQ(human_duration(3723.0), "1h02m03s");
+  EXPECT_EQ(human_duration(-6.3), "-6.3s");
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, TruncatedNormalStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.truncated_normal(100.0, 50.0, 80.0, 120.0);
+    EXPECT_GE(v, 80.0);
+    EXPECT_LE(v, 120.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalZeroStddevClamps) {
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(5.0, 0.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(50.0, 0.0, 0.0, 10.0), 10.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(weights), 1u);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // Child stream should not be identical to the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// ---- units -----------------------------------------------------------------
+
+TEST(Units, ParseBytes) {
+  EXPECT_EQ(parse_bytes("1500"), 1500u);
+  EXPECT_EQ(parse_bytes("2k"), 2000u);
+  EXPECT_EQ(parse_bytes("3M"), 3000000u);
+  EXPECT_EQ(parse_bytes("1Ki"), 1024u);
+  EXPECT_EQ(parse_bytes("2Mi"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1Gi"), 1024ull * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1.5Ki"), 1536u);
+}
+
+TEST(Units, ParseBytesErrors) {
+  EXPECT_THROW(parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("10Q"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("-5"), std::invalid_argument);
+}
+
+TEST(Units, ParseCpus) {
+  EXPECT_DOUBLE_EQ(parse_cpus("2"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_cpus("500m"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_cpus("0.25"), 0.25);
+  EXPECT_THROW(parse_cpus("2x"), std::invalid_argument);
+}
+
+// ---- cli -------------------------------------------------------------------
+
+TEST(Cli, DefaultsAndOverrides) {
+  CliParser cli("prog", "test");
+  cli.add_flag("tasks", "50", "size");
+  cli.add_flag("recipe", "blast", "family");
+  cli.add_switch("verbose", "debug");
+  const char* argv[] = {"prog", "--tasks", "100", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("tasks"), 100);
+  EXPECT_EQ(cli.get("recipe"), "blast");
+  EXPECT_TRUE(cli.get_switch("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli("prog", "test");
+  cli.add_flag("seed", "1", "seed");
+  const char* argv[] = {"prog", "--seed=42"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("seed"), 42);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("prog", "test");
+  std::ostringstream sink;
+  // parse() prints usage to stderr; we only assert the return value.
+  const char* argv[] = {"prog", "--nope", "1"};
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(cli.parse(3, argv));
+  (void)testing::internal::GetCapturedStderr();
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("prog", "test");
+  cli.add_flag("tasks", "50", "size");
+  const char* argv[] = {"prog", "--tasks"};
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(cli.parse(2, argv));
+  (void)testing::internal::GetCapturedStderr();
+}
+
+TEST(Cli, PositionalCollected) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "workflow.json", "knative"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"workflow.json", "knative"}));
+}
+
+TEST(Cli, TypedGetterErrors) {
+  CliParser cli("prog", "test");
+  cli.add_flag("tasks", "abc", "size");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get_int("tasks"), std::invalid_argument);
+  EXPECT_THROW(cli.get("unknown"), std::out_of_range);
+}
+
+// ---- log -------------------------------------------------------------------
+
+TEST(Log, LevelsFilter) {
+  std::ostringstream sink;
+  Logger::set_sink(&sink);
+  Logger::set_level(LogLevel::kWarn);
+  WFS_LOG_INFO("test", "hidden {}", 1);
+  WFS_LOG_WARN("test", "visible {}", 2);
+  Logger::set_sink(nullptr);
+  Logger::set_level(LogLevel::kWarn);
+  EXPECT_EQ(sink.str(), "[warn] test: visible 2\n");
+}
+
+TEST(Log, ParseLevel) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Log, ToStringRoundTrip) {
+  for (const LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+}  // namespace
+}  // namespace wfs::support

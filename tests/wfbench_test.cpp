@@ -1,0 +1,536 @@
+// Tests for the wfbench module: POST-body (de)serialization, the stress
+// cost model, and the worker-pool service (queueing, PM/NoPM memory
+// semantics, OOM kills, missing inputs, shutdown).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "cluster/node.h"
+#include "json/parse.h"
+#include "json/write.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "wfbench/native.h"
+#include "wfbench/service.h"
+#include "wfbench/stress_model.h"
+#include "wfbench/task_params.h"
+
+namespace wfs::wfbench {
+namespace {
+
+// ---- task params -------------------------------------------------------------
+
+TEST(TaskParams, PaperRequestParses) {
+  // The exact POST body from §III-B of the paper.
+  const char* body = R"({"name":"split_fasta_00000001", "percent-cpu":0.6,
+      "cpu-work":100, "out":{"split_fasta_00000001_output.txt": 204082},
+      "inputs": ["split_fasta_00000001_input.txt"],
+      "workdir":"../data/wfbench-knative"})";
+  const TaskParams params = parse_task_params(body);
+  EXPECT_EQ(params.name, "split_fasta_00000001");
+  EXPECT_DOUBLE_EQ(params.percent_cpu, 0.6);
+  EXPECT_DOUBLE_EQ(params.cpu_work, 100.0);
+  ASSERT_EQ(params.outputs.size(), 1u);
+  EXPECT_EQ(params.outputs[0].first, "split_fasta_00000001_output.txt");
+  EXPECT_EQ(params.outputs[0].second, 204082u);
+  EXPECT_EQ(params.inputs, (std::vector<std::string>{"split_fasta_00000001_input.txt"}));
+  EXPECT_EQ(params.workdir, "../data/wfbench-knative");
+}
+
+TEST(TaskParams, RoundTrip) {
+  TaskParams params;
+  params.name = "map_00000007";
+  params.percent_cpu = 0.85;
+  params.cpu_work = 120.5;
+  params.memory_bytes = 512 << 20;
+  params.outputs = {{"a.out", 100}, {"b.out", 200}};
+  params.inputs = {"x.in", "y.in"};
+  params.workdir = "/shared";
+  const TaskParams copy = task_params_from_json(to_json(params));
+  EXPECT_EQ(copy, params);
+}
+
+TEST(TaskParams, DefaultsForOptionalFields) {
+  const TaskParams params = parse_task_params(R"({"name":"t"})");
+  EXPECT_DOUBLE_EQ(params.percent_cpu, 0.6);
+  EXPECT_DOUBLE_EQ(params.cpu_work, 100.0);
+  EXPECT_EQ(params.memory_bytes, 0u);
+  EXPECT_TRUE(params.outputs.empty());
+  EXPECT_TRUE(params.inputs.empty());
+}
+
+TEST(TaskParams, RejectsBadBodies) {
+  EXPECT_THROW(parse_task_params("[]"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params("{}"), std::invalid_argument);  // missing name
+  EXPECT_THROW(parse_task_params(R"({"name": 42})"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params(R"({"name":"t","percent-cpu":"high"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_task_params(R"({"name":"t","percent-cpu":0})"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params(R"({"name":"t","cpu-work":-5})"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params(R"({"name":"t","out":[1]})"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params(R"({"name":"t","inputs":[3]})"), std::invalid_argument);
+  EXPECT_THROW(parse_task_params("not json"), json::ParseError);
+}
+
+// ---- stress model ---------------------------------------------------------------
+
+TEST(StressModel, ComputeDominatedEstimate) {
+  TaskParams params;
+  params.name = "t";
+  params.percent_cpu = 0.5;
+  params.cpu_work = 100.0;
+  const EnvironmentModel env;  // core_speed 1.0
+  const StressEstimate estimate = wfbench::estimate(params, env);
+  EXPECT_DOUBLE_EQ(estimate.compute_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(estimate.read_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.write_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.total_seconds(), 200.0);
+}
+
+TEST(StressModel, IoTermsScaleWithSizes) {
+  TaskParams params;
+  params.name = "t";
+  params.cpu_work = 0.0;
+  params.inputs = {"a", "b"};
+  params.outputs = {{"o", 1'200'000'000}};  // 1.2 GB at 1.2 GB/s = 1 s
+  EnvironmentModel env;
+  env.io_latency_seconds = 0.0;
+  const StressEstimate estimate = wfbench::estimate(params, env);
+  EXPECT_GT(estimate.read_seconds, 0.0);
+  EXPECT_NEAR(estimate.write_seconds, 1.0, 1e-6);
+}
+
+TEST(StressModel, CpuSecondsIndependentOfPercentCpu) {
+  TaskParams a;
+  a.name = "a";
+  a.percent_cpu = 0.2;
+  a.cpu_work = 50.0;
+  TaskParams b = a;
+  b.percent_cpu = 0.9;
+  const EnvironmentModel env;
+  EXPECT_DOUBLE_EQ(cpu_seconds(a, env), cpu_seconds(b, env));
+}
+
+// ---- service fixture --------------------------------------------------------------
+
+class ServiceTest : public testing::Test {
+ protected:
+  ServiceTest() : node_(sim_, make_node()), fs_(sim_) {}
+
+  static cluster::NodeSpec make_node() {
+    cluster::NodeSpec spec;
+    spec.name = "n";
+    spec.cores = 8.0;
+    spec.memory_bytes = 16ULL << 30;
+    return spec;
+  }
+
+  TaskParams simple_task(const std::string& name, double work = 10.0,
+                         std::uint64_t mem = 1ULL << 30) {
+    TaskParams params;
+    params.name = name;
+    params.percent_cpu = 1.0;
+    params.cpu_work = work;
+    params.memory_bytes = mem;
+    return params;
+  }
+
+  sim::Simulation sim_;
+  cluster::Node node_;
+  storage::SharedFilesystem fs_;
+};
+
+TEST_F(ServiceTest, ExecutesTaskThroughAllPhases) {
+  ServiceConfig config;
+  config.workers = 2;
+  WfBenchService service(sim_, node_, fs_, config);
+  fs_.stage("in.txt", 1000);
+
+  TaskParams params = simple_task("t1");
+  params.inputs = {"in.txt"};
+  params.outputs = {{"out.txt", 2000}};
+
+  net::HttpResponse response;
+  service.handle(params, [&](net::HttpResponse r) { response = std::move(r); });
+  sim_.run();
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(fs_.exists("out.txt"));
+  EXPECT_EQ(service.stats().completed, 1u);
+  // Response body carries the measured runtime.
+  const json::Value body = json::parse(response.body);
+  EXPECT_GE(body.find("runtimeInSeconds")->as_double(), 10.0);
+}
+
+TEST_F(ServiceTest, QueuesBeyondWorkerCount) {
+  ServiceConfig config;
+  config.workers = 2;
+  WfBenchService service(sim_, node_, fs_, config);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    service.handle(simple_task("t" + std::to_string(i)),
+                   [&](net::HttpResponse) { ++done; });
+  }
+  EXPECT_EQ(service.busy_workers(), 2);
+  EXPECT_EQ(service.queue_depth(), 3u);
+  EXPECT_EQ(service.inflight(), 5u);
+  EXPECT_FALSE(service.has_capacity());
+  sim_.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(service.stats().max_queue_depth, 3u);
+  EXPECT_EQ(service.busy_workers(), 0);
+}
+
+TEST_F(ServiceTest, MissingInputFailsRequest) {
+  ServiceConfig config;
+  WfBenchService service(sim_, node_, fs_, config);
+  TaskParams params = simple_task("t");
+  params.inputs = {"never_written.txt"};
+  net::HttpResponse response;
+  service.handle(params, [&](net::HttpResponse r) { response = std::move(r); });
+  sim_.run();
+  EXPECT_EQ(response.status, 500);
+  EXPECT_EQ(service.stats().missing_input_failures, 1u);
+  EXPECT_EQ(service.busy_workers(), 0);  // worker released on failure
+}
+
+TEST_F(ServiceTest, NoPmReleasesMemoryAfterTask) {
+  ServiceConfig config;
+  config.persistent_memory = false;
+  WfBenchService service(sim_, node_, fs_, config);
+  const std::uint64_t base = service.resident_bytes();
+  service.handle(simple_task("t", 10.0, 2ULL << 30), [](net::HttpResponse) {});
+  sim_.step(0);
+  EXPECT_EQ(service.resident_bytes(), base + (2ULL << 30));
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), base);  // stressor freed
+}
+
+TEST_F(ServiceTest, PmKeepsMemoryUntilShutdown) {
+  ServiceConfig config;
+  config.persistent_memory = true;
+  config.workers = 1;
+  WfBenchService service(sim_, node_, fs_, config);
+  const std::uint64_t base = service.resident_bytes();
+
+  service.handle(simple_task("t1", 10.0, 2ULL << 30), [](net::HttpResponse) {});
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), base + (2ULL << 30));  // --vm-keep
+
+  // A second task reusing the same worker does not double-allocate.
+  service.handle(simple_task("t2", 10.0, 1ULL << 30), [](net::HttpResponse) {});
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), base + (2ULL << 30));
+
+  // Growth allocates only the delta.
+  service.handle(simple_task("t3", 10.0, 3ULL << 30), [](net::HttpResponse) {});
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), base + (3ULL << 30));
+
+  service.shutdown();
+  EXPECT_EQ(service.resident_bytes(), 0u);
+  EXPECT_EQ(node_.resident_memory(), 0u);
+}
+
+TEST_F(ServiceTest, MemoryLimitCausesOomFailure) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.memory_limit_bytes = 2ULL << 30;  // smaller than base + task
+  WfBenchService service(sim_, node_, fs_, config);
+  net::HttpResponse response;
+  service.handle(simple_task("big", 10.0, 4ULL << 30),
+                 [&](net::HttpResponse r) { response = std::move(r); });
+  sim_.run();
+  EXPECT_EQ(response.status, 500);
+  EXPECT_EQ(service.stats().oom_failures, 1u);
+  // Failed allocation must not leak accounting.
+  service.shutdown();
+  EXPECT_EQ(node_.resident_memory(), 0u);
+}
+
+TEST_F(ServiceTest, BaseFootprintScalesWithWorkers) {
+  ServiceConfig one;
+  one.workers = 1;
+  ServiceConfig ten = one;
+  ten.workers = 10;
+  const std::uint64_t before = node_.resident_memory();
+  {
+    WfBenchService a(sim_, node_, fs_, one);
+    const std::uint64_t with_one = node_.resident_memory() - before;
+    WfBenchService b(sim_, node_, fs_, ten);
+    const std::uint64_t with_ten = node_.resident_memory() - before - with_one;
+    EXPECT_EQ(with_ten - with_one, 9u * one.memory_per_worker);
+  }
+  EXPECT_EQ(node_.resident_memory(), before);  // destructors released all
+}
+
+TEST_F(ServiceTest, IdleWorkersRegisterSpinLoad) {
+  ServiceConfig config;
+  config.workers = 100;
+  config.idle_load_per_worker = 0.01;
+  WfBenchService service(sim_, node_, fs_, config);
+  EXPECT_DOUBLE_EQ(node_.spin_load(), 1.0);
+  service.shutdown();
+  EXPECT_DOUBLE_EQ(node_.spin_load(), 0.0);
+}
+
+TEST_F(ServiceTest, PmRefreshLoadAppearsAfterKeep) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.persistent_memory = true;
+  config.idle_load_per_worker = 0.0;
+  config.pm_refresh_load = 0.05;
+  WfBenchService service(sim_, node_, fs_, config);
+  EXPECT_DOUBLE_EQ(node_.spin_load(), 0.0);
+  service.handle(simple_task("t"), [](net::HttpResponse) {});
+  sim_.run();
+  EXPECT_DOUBLE_EQ(node_.spin_load(), 0.05);
+}
+
+TEST_F(ServiceTest, ShutdownAnswers503ToQueuedAndInflight) {
+  ServiceConfig config;
+  config.workers = 1;
+  WfBenchService service(sim_, node_, fs_, config);
+  std::vector<int> statuses;
+  for (int i = 0; i < 3; ++i) {
+    service.handle(simple_task("t" + std::to_string(i), 1000.0),
+                   [&](net::HttpResponse r) { statuses.push_back(r.status); });
+  }
+  service.shutdown();  // one request is executing, two are queued
+  EXPECT_EQ(statuses.size(), 3u);  // 1 in-flight + 2 queued all answered
+  for (const int status : statuses) EXPECT_EQ(status, 503);
+  sim_.run();  // no stray completions fire afterwards
+  EXPECT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
+TEST_F(ServiceTest, RequestsAfterShutdownAre503) {
+  WfBenchService service(sim_, node_, fs_, ServiceConfig{});
+  service.shutdown();
+  net::HttpResponse response;
+  service.handle(simple_task("t"), [&](net::HttpResponse r) { response = std::move(r); });
+  EXPECT_EQ(response.status, 503);
+  EXPECT_FALSE(service.running());
+}
+
+TEST_F(ServiceTest, QuotaGroupThrottlesService) {
+  const cluster::QuotaGroupId group = node_.create_quota_group(1.0);
+  ServiceConfig config;
+  config.workers = 4;
+  WfBenchService service(sim_, node_, fs_, config, group);
+  int done = 0;
+  // 4 tasks x 1.0 demand under a 1-core quota: 4x slowdown -> 40 s.
+  for (int i = 0; i < 4; ++i) {
+    service.handle(simple_task("t" + std::to_string(i), 10.0, 0),
+                   [&](net::HttpResponse) { ++done; });
+  }
+  const double end = sim::to_seconds(sim_.run());
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(end, 40.0, 1.0);
+}
+
+TEST_F(ServiceTest, RejectsNonPositiveWorkerCount) {
+  ServiceConfig config;
+  config.workers = 0;
+  EXPECT_THROW(WfBenchService(sim_, node_, fs_, config), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, AllocationSlackGrowsResidency) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.allocation_slack = 0.15;  // NoCR allocator greediness
+  WfBenchService service(sim_, node_, fs_, config);
+  const std::uint64_t base = service.resident_bytes();
+  service.handle(simple_task("t", 1000.0, 1ULL << 30), [](net::HttpResponse) {});
+  sim_.step(0);
+  const std::uint64_t during = service.resident_bytes() - base;
+  EXPECT_EQ(during, static_cast<std::uint64_t>((1ULL << 30) * 1.15));
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), base);  // NoPM still frees everything
+}
+
+TEST_F(ServiceTest, AllocationSlackWithPmBalancesAcrossRuns) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.persistent_memory = true;
+  config.allocation_slack = 0.15;
+  WfBenchService service(sim_, node_, fs_, config);
+  const std::uint64_t base = service.resident_bytes();
+  // Two identical tasks: the second must not grow the keep (no leak from
+  // slack/keep accounting mismatch).
+  service.handle(simple_task("t1", 10.0, 1ULL << 30), [](net::HttpResponse) {});
+  sim_.run();
+  const std::uint64_t after_first = service.resident_bytes();
+  service.handle(simple_task("t2", 10.0, 1ULL << 30), [](net::HttpResponse) {});
+  sim_.run();
+  EXPECT_EQ(service.resident_bytes(), after_first);
+  EXPECT_GT(after_first, base);
+  service.shutdown();
+  EXPECT_EQ(node_.resident_memory(), 0u);
+}
+
+// ---- cross-validation: closed-form model vs simulated service ------------------
+
+TEST_F(ServiceTest, SimulationMatchesStressModelWhenUncontended) {
+  // One task on an idle node: the simulated runtime must match the
+  // closed-form StressEstimate within I/O-latency tolerance.
+  ServiceConfig config;
+  config.workers = 1;
+  WfBenchService service(sim_, node_, fs_, config);
+  fs_.stage("in.bin", 100'000'000);  // 100 MB
+
+  TaskParams params;
+  params.name = "t";
+  params.percent_cpu = 0.8;
+  params.cpu_work = 40.0;
+  params.memory_bytes = 0;
+  params.inputs = {"in.bin"};
+  params.outputs = {{"out.bin", 60'000'000}};
+
+  EnvironmentModel env;  // defaults mirror SharedFsConfig/NodeSpec defaults
+  env.assumed_input_bytes = 100'000'000;
+  const StressEstimate expected = estimate(params, env);
+
+  double measured = -1.0;
+  service.handle(params, [&](net::HttpResponse response) {
+    const json::Value body = json::parse(response.body);
+    measured = body.find("runtimeInSeconds")->as_double();
+  });
+  sim_.run();
+  ASSERT_GE(measured, 0.0);
+  EXPECT_NEAR(measured, expected.total_seconds(), expected.total_seconds() * 0.05);
+}
+
+TEST_F(ServiceTest, ContentionOnlySlowsComputePhase) {
+  // 16 identical pure-compute tasks on 8 cores: exactly 2x the solo time.
+  ServiceConfig config;
+  config.workers = 16;
+  WfBenchService solo_service(sim_, node_, fs_, config);
+  double solo = -1.0;
+  solo_service.handle(simple_task("solo", 20.0, 0), [&](net::HttpResponse response) {
+    solo = json::parse(response.body).find("runtimeInSeconds")->as_double();
+  });
+  sim_.run();
+  solo_service.shutdown();
+
+  WfBenchService crowd_service(sim_, node_, fs_, config);
+  std::vector<double> runtimes;
+  for (int i = 0; i < 16; ++i) {
+    crowd_service.handle(simple_task("c" + std::to_string(i), 20.0, 0),
+                         [&](net::HttpResponse response) {
+                           runtimes.push_back(json::parse(response.body)
+                                                  .find("runtimeInSeconds")
+                                                  ->as_double());
+                         });
+  }
+  sim_.run();
+  ASSERT_EQ(runtimes.size(), 16u);
+  for (const double runtime : runtimes) EXPECT_NEAR(runtime, solo * 2.0, solo * 0.05);
+}
+
+// ---- native execution (the real, non-simulated wfbench) -----------------------
+
+class NativeTest : public testing::Test {
+ protected:
+  NativeTest() {
+    workdir_ = std::filesystem::temp_directory_path() /
+               ("wfs_native_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(workdir_);
+    config_.workdir = workdir_;
+    config_.work_unit_seconds = 0.0002;  // keep tests fast
+  }
+  ~NativeTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir_, ec);
+  }
+
+  void stage(const std::string& name, std::size_t bytes) {
+    std::ofstream out(workdir_ / name, std::ios::binary);
+    const std::string chunk(bytes, 'x');
+    out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  }
+
+  std::filesystem::path workdir_;
+  NativeConfig config_;
+};
+
+TEST_F(NativeTest, ExecutesAllThreePhasesForReal) {
+  stage("in.txt", 1000);
+  TaskParams params;
+  params.name = "t";
+  params.percent_cpu = 1.0;
+  params.cpu_work = 10.0;
+  params.memory_bytes = 1 << 20;
+  params.inputs = {"in.txt"};
+  params.outputs = {{"out.txt", 2048}};
+  const NativeOutcome outcome = execute_native(params, config_);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.bytes_read, 1000u);
+  EXPECT_EQ(outcome.bytes_written, 2048u);
+  EXPECT_TRUE(std::filesystem::exists(workdir_ / "out.txt"));
+  EXPECT_EQ(std::filesystem::file_size(workdir_ / "out.txt"), 2048u);
+  // ~10 units x 0.2 ms = ~2 ms of busy CPU.
+  EXPECT_NEAR(outcome.busy_seconds, 0.002, 0.0015);
+  EXPECT_GE(outcome.runtime_seconds, outcome.busy_seconds * 0.5);
+}
+
+TEST_F(NativeTest, MissingInputFails) {
+  TaskParams params;
+  params.name = "t";
+  params.cpu_work = 1.0;
+  params.inputs = {"never_staged.txt"};
+  const NativeOutcome outcome = execute_native(params, config_);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("missing input"), std::string::npos);
+}
+
+TEST_F(NativeTest, DutyCycleStretchesWallTime) {
+  TaskParams fast;
+  fast.name = "fast";
+  fast.percent_cpu = 1.0;
+  fast.cpu_work = 50.0;
+  TaskParams slow = fast;
+  slow.name = "slow";
+  slow.percent_cpu = 0.25;  // same work at quarter duty -> ~4x wall
+  const NativeOutcome full = execute_native(fast, config_);
+  const NativeOutcome quarter = execute_native(slow, config_);
+  ASSERT_TRUE(full.ok && quarter.ok);
+  EXPECT_NEAR(full.busy_seconds, quarter.busy_seconds, 0.005);
+  EXPECT_GT(quarter.runtime_seconds, full.runtime_seconds * 1.5);
+}
+
+TEST_F(NativeTest, WorkerPoolRunsEverythingOnce) {
+  NativeWorkerPool pool(3, config_);
+  std::vector<std::future<NativeOutcome>> futures;
+  for (int i = 0; i < 10; ++i) {
+    TaskParams params;
+    params.name = "t" + std::to_string(i);
+    params.percent_cpu = 1.0;
+    params.cpu_work = 2.0;
+    params.outputs = {{"pool_out_" + std::to_string(i) + ".txt", 64}};
+    futures.push_back(pool.submit(params));
+  }
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  pool.drain();
+  EXPECT_EQ(pool.completed(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(std::filesystem::exists(workdir_ /
+                                        ("pool_out_" + std::to_string(i) + ".txt")));
+  }
+}
+
+TEST_F(NativeTest, PoolDestructionWithIdleWorkersIsClean) {
+  // Workers blocked on the condition variable must wake and exit.
+  { NativeWorkerPool pool(4, config_); }
+  SUCCEED();
+}
+
+TEST_F(NativeTest, PoolRejectsBadWorkerCount) {
+  EXPECT_THROW(NativeWorkerPool(0, config_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfs::wfbench

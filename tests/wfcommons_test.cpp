@@ -1,0 +1,933 @@
+// Tests for the WfCommons analogue: workflow IR, validation, analysis,
+// the seven recipes (with property sweeps over sizes and seeds), the
+// generator facade, bench-spec rewriting, serialization and translators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "json/parse.h"
+#include "json/write.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/bench_spec.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/recipes/recipes.h"
+#include "wfcommons/translators/knative.h"
+#include "wfcommons/translators/hybrid.h"
+#include "wfcommons/translators/local_container.h"
+#include "wfcommons/translators/nextflow.h"
+#include "wfcommons/translators/pegasus.h"
+#include "wfcommons/translators/translator.h"
+#include "wfcommons/wfchef.h"
+#include "wfcommons/wfformat.h"
+#include "wfcommons/visualization.h"
+#include "wfcommons/wfinstances.h"
+#include "wfcommons/workflow.h"
+
+namespace wfs::wfcommons {
+namespace {
+
+Workflow diamond() {
+  Workflow wf("diamond");
+  for (const char* name : {"a", "b", "c", "d"}) {
+    Task task;
+    task.name = name;
+    task.category = name;
+    task.files.push_back(
+        TaskFile{TaskFile::Link::kOutput, std::string(name) + ".out", 100});
+    wf.add_task(std::move(task));
+  }
+  const auto wire = [&wf](const char* parent, const char* child) {
+    wf.connect(parent, child);
+    wf.find(child)->files.push_back(
+        TaskFile{TaskFile::Link::kInput, std::string(parent) + ".out", 100});
+  };
+  wire("a", "b");
+  wire("a", "c");
+  wire("b", "d");
+  wire("c", "d");
+  return wf;
+}
+
+// ---- workflow IR -----------------------------------------------------------
+
+TEST(Workflow, AddAndFind) {
+  Workflow wf("w");
+  Task t;
+  t.name = "x";
+  wf.add_task(t);
+  EXPECT_NE(wf.find("x"), nullptr);
+  EXPECT_EQ(wf.find("y"), nullptr);
+  EXPECT_THROW(wf.add_task(t), std::invalid_argument);  // duplicate
+}
+
+TEST(Workflow, ConnectMaintainsSymmetry) {
+  Workflow wf = diamond();
+  EXPECT_EQ(wf.find("a")->children, (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(wf.find("d")->parents, (std::vector<std::string>{"b", "c"}));
+  // Idempotent.
+  wf.connect("a", "b");
+  EXPECT_EQ(wf.find("a")->children.size(), 2u);
+}
+
+TEST(Workflow, ConnectRejectsBadEdges) {
+  Workflow wf = diamond();
+  EXPECT_THROW(wf.connect("a", "ghost"), std::invalid_argument);
+  EXPECT_THROW(wf.connect("ghost", "a"), std::invalid_argument);
+  EXPECT_THROW(wf.connect("a", "a"), std::invalid_argument);
+}
+
+TEST(Workflow, RootsLeavesEdges) {
+  const Workflow wf = diamond();
+  ASSERT_EQ(wf.roots().size(), 1u);
+  EXPECT_EQ(wf.roots()[0]->name, "a");
+  ASSERT_EQ(wf.leaves().size(), 1u);
+  EXPECT_EQ(wf.leaves()[0]->name, "d");
+  EXPECT_EQ(wf.edge_count(), 4u);
+}
+
+TEST(Workflow, ExternalInputs) {
+  Workflow wf = diamond();
+  wf.find("a")->files.push_back(TaskFile{TaskFile::Link::kInput, "staged.txt", 42});
+  const auto externals = wf.external_inputs();
+  ASSERT_EQ(externals.size(), 1u);
+  EXPECT_EQ(externals[0].name, "staged.txt");
+}
+
+TEST(Workflow, TaskFileHelpers) {
+  const Workflow wf = diamond();
+  const Task* d = wf.find("d");
+  EXPECT_EQ(d->inputs().size(), 2u);
+  EXPECT_EQ(d->outputs().size(), 1u);
+  EXPECT_EQ(d->input_bytes(), 200u);
+  EXPECT_EQ(d->output_bytes(), 100u);
+}
+
+TEST(Workflow, ValidDiamondPasses) { EXPECT_TRUE(diamond().validate().empty()); }
+
+TEST(Workflow, ValidateDetectsCycle) {
+  Workflow wf = diamond();
+  // Force d -> a by hand (connect would still allow it; the cycle shows in
+  // topological_order).
+  wf.find("d")->children.push_back("a");
+  wf.find("a")->parents.push_back("d");
+  const auto problems = wf.validate();
+  EXPECT_FALSE(problems.empty());
+  EXPECT_THROW(topological_order(wf), std::invalid_argument);
+}
+
+TEST(Workflow, ValidateDetectsAsymmetry) {
+  Workflow wf = diamond();
+  wf.find("a")->children.push_back("d");  // no matching parent entry
+  EXPECT_FALSE(wf.validate().empty());
+}
+
+TEST(Workflow, ValidateDetectsDanglingReference) {
+  Workflow wf = diamond();
+  wf.find("a")->children.push_back("phantom");
+  EXPECT_FALSE(wf.validate().empty());
+}
+
+TEST(Workflow, ValidateDetectsNonParentDataflow) {
+  Workflow wf = diamond();
+  // d consumes a file produced by a, but a is not d's parent.
+  wf.find("d")->files.push_back(TaskFile{TaskFile::Link::kInput, "a.out", 100});
+  const auto problems = wf.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("non-parent"), std::string::npos);
+}
+
+TEST(Workflow, ValidateDetectsDoubleProducer) {
+  Workflow wf = diamond();
+  wf.find("b")->files.push_back(TaskFile{TaskFile::Link::kOutput, "c.out", 1});
+  EXPECT_FALSE(wf.validate().empty());
+}
+
+TEST(Workflow, TopologicalOrderRespectsEdges) {
+  const Workflow wf = diamond();
+  const auto order = topological_order(wf);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  const auto index_of = [&](const char* name) {
+    for (std::size_t i = 0; i < wf.tasks().size(); ++i) {
+      if (wf.tasks()[i].name == name) return position[i];
+    }
+    return std::size_t{999};
+  };
+  EXPECT_LT(index_of("a"), index_of("b"));
+  EXPECT_LT(index_of("b"), index_of("d"));
+  EXPECT_LT(index_of("c"), index_of("d"));
+}
+
+// ---- analysis ---------------------------------------------------------------
+
+TEST(Analysis, DiamondLevels) {
+  const Workflow wf = diamond();
+  const auto by_level = levels(wf);
+  ASSERT_EQ(by_level.size(), 3u);
+  EXPECT_EQ(by_level[0].size(), 1u);
+  EXPECT_EQ(by_level[1].size(), 2u);
+  EXPECT_EQ(by_level[2].size(), 1u);
+  EXPECT_EQ(phase_histogram(wf), (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Analysis, CategoryHistogram) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 50, 1);
+  const auto hist = category_histogram(wf);
+  EXPECT_EQ(hist.at("split_fasta"), 1u);
+  EXPECT_EQ(hist.at("blastall"), 47u);
+  EXPECT_EQ(hist.at("cat"), 1u);
+  EXPECT_EQ(hist.at("cat_blast"), 1u);
+}
+
+TEST(Analysis, StatsFields) {
+  const Workflow wf = diamond();
+  const DagStats stats = compute_stats(wf);
+  EXPECT_EQ(stats.tasks, 4u);
+  EXPECT_EQ(stats.edges, 4u);
+  EXPECT_EQ(stats.levels, 3u);
+  EXPECT_EQ(stats.max_width, 2u);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.leaves, 1u);
+  EXPECT_EQ(stats.categories, 4u);
+  EXPECT_DOUBLE_EQ(stats.density, 0.5);
+}
+
+TEST(Analysis, PaperGrouping) {
+  // Paper §V-D: Blast/BWA/Genome/Seismology/Srasearch are group 1 (dense),
+  // Cycles and Epigenomics group 2 (layered).
+  WorkflowGenerator generator;
+  const std::set<std::string> dense = {"blast", "bwa", "genome", "seismology", "srasearch"};
+  for (const std::string& name : recipe_names()) {
+    const Workflow wf = generator.generate(name, 120, 3);
+    const BehaviorGroup group = classify(wf);
+    if (dense.contains(name)) {
+      EXPECT_EQ(group, BehaviorGroup::kDense) << name;
+    } else {
+      EXPECT_EQ(group, BehaviorGroup::kLayered) << name;
+    }
+  }
+}
+
+TEST(Analysis, RenderStructureMentionsEveryPhase) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("epigenomics", 60, 1);
+  const std::string text = render_structure(wf);
+  for (std::size_t i = 0; i < phase_histogram(wf).size(); ++i) {
+    EXPECT_NE(text.find("phase"), std::string::npos);
+  }
+  EXPECT_NE(text.find("map"), std::string::npos);
+}
+
+// ---- recipes: property sweep over families x sizes x seeds ------------------
+
+struct RecipeCase {
+  std::string recipe;
+  std::size_t tasks;
+  std::uint64_t seed;
+};
+
+class RecipeProperties : public testing::TestWithParam<RecipeCase> {};
+
+TEST_P(RecipeProperties, GeneratesValidSizedDag) {
+  const RecipeCase& param = GetParam();
+  const auto recipe = make_recipe(param.recipe);
+  GenerateOptions options;
+  options.num_tasks = param.tasks;
+  options.seed = param.seed;
+  const Workflow wf = recipe->generate(options);
+
+  // Structural validity (acyclic, symmetric, dataflow-consistent).
+  EXPECT_TRUE(wf.validate().empty());
+
+  // Size lands near the request (recipes keep family shape, so allow slack).
+  EXPECT_GE(wf.size(), recipe->min_tasks());
+  const double target = static_cast<double>(std::max(param.tasks, recipe->min_tasks()));
+  EXPECT_GE(static_cast<double>(wf.size()), target * 0.55) << wf.name();
+  EXPECT_LE(static_cast<double>(wf.size()), target * 1.45) << wf.name();
+
+  // Every task: unique WfCommons-style name, sane knobs, one output file.
+  std::unordered_set<std::string> names;
+  for (const Task& task : wf.tasks()) {
+    EXPECT_TRUE(names.insert(task.name).second);
+    EXPECT_EQ(task.name, task.category + "_" + task.id);
+    EXPECT_GT(task.percent_cpu, 0.0);
+    EXPECT_LE(task.percent_cpu, 1.0);
+    EXPECT_GT(task.cpu_work, 0.0);
+    EXPECT_GT(task.memory_bytes, 0u);
+    EXPECT_FALSE(task.outputs().empty());
+  }
+
+  // Connected enough to be a workflow: single pass from roots reaches all.
+  EXPECT_FALSE(wf.roots().empty());
+  EXPECT_FALSE(wf.leaves().empty());
+}
+
+std::vector<RecipeCase> recipe_sweep() {
+  std::vector<RecipeCase> cases;
+  for (const std::string& recipe : recipe_names()) {
+    for (const std::size_t tasks : {20u, 50u, 250u, 1000u}) {
+      for (const std::uint64_t seed : {1u, 7u}) {
+        cases.push_back(RecipeCase{recipe, tasks, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, RecipeProperties, testing::ValuesIn(recipe_sweep()),
+                         [](const testing::TestParamInfo<RecipeCase>& info) {
+                           return info.param.recipe + "_" +
+                                  std::to_string(info.param.tasks) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(Recipes, DeterministicForSeed) {
+  for (const std::string& name : recipe_names()) {
+    WorkflowGenerator generator;
+    const Workflow a = generator.generate(name, 80, 5);
+    const Workflow b = generator.generate(name, 80, 5);
+    EXPECT_EQ(write_workflow(a), write_workflow(b)) << name;
+  }
+}
+
+TEST(Recipes, SeedsChangeDraws) {
+  WorkflowGenerator generator;
+  const Workflow a = generator.generate("blast", 80, 1);
+  const Workflow b = generator.generate("blast", 80, 2);
+  EXPECT_NE(write_workflow(a), write_workflow(b));
+}
+
+TEST(Recipes, MinTasksRespected) {
+  for (const auto& recipe : all_recipes()) {
+    GenerateOptions options;
+    options.num_tasks = 1;  // below every minimum
+    const Workflow wf = recipe->generate(options);
+    EXPECT_GE(wf.size(), recipe->min_tasks()) << recipe->name();
+    EXPECT_TRUE(wf.validate().empty());
+  }
+}
+
+TEST(Recipes, CatalogAndAliases) {
+  EXPECT_EQ(recipe_names().size(), 7u);
+  EXPECT_EQ(make_recipe("BLAST")->name(), "blast");
+  EXPECT_EQ(make_recipe("1000genome")->name(), "genome");
+  EXPECT_EQ(make_recipe("genomes")->name(), "genome");
+  EXPECT_THROW(make_recipe("montage"), std::invalid_argument);
+  for (const auto& recipe : all_recipes()) {
+    EXPECT_FALSE(recipe->description().empty());
+    EXPECT_FALSE(recipe->display_name().empty());
+  }
+}
+
+TEST(Recipes, InstanceNamingConvention) {
+  GenerateOptions options;
+  options.num_tasks = 100;
+  options.cpu_work = 250.0;
+  const Workflow wf = BlastRecipe().generate(options);
+  EXPECT_EQ(wf.name(), "BlastRecipe-250-100");  // artifact convention
+}
+
+TEST(Recipes, SeismologyIsTwoPhases) {
+  WorkflowGenerator generator;
+  EXPECT_EQ(phase_histogram(generator.generate("seismology", 100, 1)),
+            (std::vector<std::size_t>{99, 1}));
+}
+
+TEST(Recipes, EpigenomicsIsDeep) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("epigenomics", 100, 1);
+  EXPECT_GE(phase_histogram(wf).size(), 8u);
+}
+
+// ---- generator ---------------------------------------------------------------
+
+TEST(Generator, SuiteContainsAllFamilies) {
+  WorkflowGenerator generator;
+  const auto suite = generator.generate_suite(60, 1);
+  ASSERT_EQ(suite.size(), 7u);
+  std::set<std::string> names;
+  for (const Workflow& wf : suite) {
+    names.insert(wf.name());
+    EXPECT_TRUE(wf.validate().empty());
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Generator, DefaultsApply) {
+  GenerateOptions defaults;
+  defaults.num_tasks = 30;
+  defaults.seed = 9;
+  WorkflowGenerator generator(defaults);
+  const Workflow wf = generator.generate("blast");
+  EXPECT_GE(wf.size(), 25u);
+}
+
+// ---- bench spec -----------------------------------------------------------------
+
+TEST(BenchSpec, ScalesWorkAndData) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 30, 1);
+  const double work_before = compute_stats(wf).total_cpu_work;
+  const auto bytes_before = wf.find(wf.tasks()[1].name)->output_bytes();
+
+  BenchSpec spec;
+  spec.cpu_work_scale = 2.0;
+  spec.data_scale = 3.0;
+  const std::size_t modified = apply_bench_spec(wf, spec);
+  EXPECT_EQ(modified, wf.size());
+  EXPECT_NEAR(compute_stats(wf).total_cpu_work, work_before * 2.0, 1e-6);
+  EXPECT_NEAR(static_cast<double>(wf.find(wf.tasks()[1].name)->output_bytes()),
+              static_cast<double>(bytes_before) * 3.0, 2.0);
+  EXPECT_TRUE(wf.validate().empty());
+}
+
+TEST(BenchSpec, ForcesPercentCpuAndMemory) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("bwa", 20, 1);
+  BenchSpec spec;
+  spec.percent_cpu = 0.9;
+  spec.memory_bytes = 123456;
+  apply_bench_spec(wf, spec);
+  for (const Task& task : wf.tasks()) {
+    EXPECT_DOUBLE_EQ(task.percent_cpu, 0.9);
+    EXPECT_EQ(task.memory_bytes, 123456u);
+  }
+}
+
+TEST(BenchSpec, CategoryFilter) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 30, 1);
+  BenchSpec spec;
+  spec.percent_cpu = 0.5;
+  spec.category_filter = "blastall";
+  const std::size_t modified = apply_bench_spec(wf, spec);
+  EXPECT_EQ(modified, 27u);
+  EXPECT_DOUBLE_EQ(wf.find(wf.tasks()[3].name)->percent_cpu, 0.5);  // a blastall
+  EXPECT_NE(wf.find("split_fasta_00000001")->percent_cpu, 0.5);
+}
+
+TEST(BenchSpec, RejectsBadValues) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 10, 1);
+  BenchSpec spec;
+  spec.cpu_work_scale = 0.0;
+  EXPECT_THROW(apply_bench_spec(wf, spec), std::invalid_argument);
+  spec = BenchSpec{};
+  spec.percent_cpu = 1.5;
+  EXPECT_THROW(apply_bench_spec(wf, spec), std::invalid_argument);
+}
+
+TEST(Analysis, CriticalPathOnDiamond) {
+  Workflow wf = diamond();
+  // a(10s) -> b(30s) -> d(5s) vs a -> c(20s) -> d: critical = a,b,d = 45s.
+  wf.find("a")->cpu_work = 10.0;
+  wf.find("b")->cpu_work = 30.0;
+  wf.find("c")->cpu_work = 20.0;
+  wf.find("d")->cpu_work = 5.0;
+  for (Task& t : wf.tasks()) t.percent_cpu = 1.0;
+  const CriticalPath path = critical_path(wf);
+  ASSERT_EQ(path.tasks.size(), 3u);
+  EXPECT_EQ(path.tasks[0]->name, "a");
+  EXPECT_EQ(path.tasks[1]->name, "b");
+  EXPECT_EQ(path.tasks[2]->name, "d");
+  EXPECT_DOUBLE_EQ(path.seconds, 45.0);
+}
+
+TEST(Analysis, CriticalPathIsMakespanLowerBound) {
+  // Property: on every family, the critical path never exceeds the depth of
+  // the DAG in tasks, spans root to leaf, and is a positive lower bound.
+  WorkflowGenerator generator;
+  for (const std::string& family : recipe_names()) {
+    const Workflow wf = generator.generate(family, 100, 2);
+    const CriticalPath path = critical_path(wf);
+    ASSERT_FALSE(path.tasks.empty()) << family;
+    EXPECT_TRUE(path.tasks.front()->parents.empty()) << family;
+    EXPECT_TRUE(path.tasks.back()->children.empty()) << family;
+    // The chain can never have more hops than the DAG has levels.
+    EXPECT_LE(path.tasks.size(), phase_histogram(wf).size()) << family;
+    EXPECT_GT(path.seconds, 0.0);
+    // Consecutive entries really are parent/child.
+    for (std::size_t i = 1; i < path.tasks.size(); ++i) {
+      const auto& parents = path.tasks[i]->parents;
+      EXPECT_NE(std::find(parents.begin(), parents.end(), path.tasks[i - 1]->name),
+                parents.end())
+          << family;
+    }
+  }
+}
+
+TEST(Analysis, CriticalPathEmptyWorkflow) {
+  const CriticalPath path = critical_path(Workflow("empty"));
+  EXPECT_TRUE(path.tasks.empty());
+  EXPECT_DOUBLE_EQ(path.seconds, 0.0);
+}
+
+// ---- visualization -----------------------------------------------------------
+
+TEST(Visualization, DotContainsEveryCategoryAndValidBraces) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("cycles", 60, 1);
+  const std::string dot = to_dot(wf);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const auto& [category, count] : category_histogram(wf)) {
+    EXPECT_NE(dot.find(category), std::string::npos) << category;
+  }
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Visualization, WideLevelsCollapse) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 100, 1);
+  DotOptions options;
+  options.collapse_threshold = 12;
+  const std::string dot = to_dot(wf, options);
+  EXPECT_NE(dot.find("blastall x97"), std::string::npos);  // one summary node
+  // The 97 individual blastall nodes must NOT be emitted.
+  EXPECT_EQ(dot.find("n_blastall_00000004"), std::string::npos);
+  // Edges de-duplicate: split -> summary appears once.
+  const std::string edge = "n_split_fasta_00000001 -> g_1_n_blastall";
+  const std::size_t first = dot.find(edge);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(dot.find(edge, first + 1), std::string::npos);
+}
+
+TEST(Visualization, NoCollapseMode) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 20, 1);
+  DotOptions options;
+  options.collapse_threshold = 0;
+  options.edge_labels = true;
+  options.left_to_right = true;
+  const std::string dot = to_dot(wf, options);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("n_blastall_00000004"), std::string::npos);
+  EXPECT_NE(dot.find("KiB"), std::string::npos);  // edge byte labels
+}
+
+// ---- WfChef (derived recipes) -----------------------------------------------
+
+TEST(WfChef, LearnsBlastProfileFromInstance) {
+  const FamilyProfile profile =
+      learn_profile("blast", {load_instance("blast-chameleon-small")});
+  EXPECT_EQ(profile.instances, 1u);
+  EXPECT_EQ(profile.levels, 3u);
+  ASSERT_NE(profile.find_category("blastall"), nullptr);
+  const CategoryStats& blastall = *profile.find_category("blastall");
+  EXPECT_TRUE(blastall.scalable);
+  EXPECT_EQ(blastall.level, 1u);
+  EXPECT_DOUBLE_EQ(blastall.mean_count_per_instance, 4.0);
+  EXPECT_NEAR(blastall.percent_cpu_mean, (0.9 + 0.88 + 0.91 + 0.87) / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(blastall.cpu_work_mean, 100.0);
+  const CategoryStats& split = *profile.find_category("split_fasta");
+  EXPECT_FALSE(split.scalable);
+  EXPECT_GT(split.external_input_bytes, 0.0);  // blast_input.fasta
+  EXPECT_FALSE(profile.to_string().empty());
+}
+
+TEST(WfChef, LearnedWiringMatchesInstance) {
+  const FamilyProfile profile =
+      learn_profile("blast", {load_instance("blast-chameleon-small")});
+  bool found_fan_in = false;
+  for (const WiringStats& wiring : profile.wiring) {
+    if (wiring.parent_category == "blastall" && wiring.child_category == "cat_blast") {
+      EXPECT_DOUBLE_EQ(wiring.children_per_parent, 1.0);
+      EXPECT_DOUBLE_EQ(wiring.parents_per_child, 4.0);
+      found_fan_in = true;
+    }
+  }
+  EXPECT_TRUE(found_fan_in);
+}
+
+TEST(WfChef, RejectsEmptyAndInconsistentCorpora) {
+  EXPECT_THROW(learn_profile("blast", {}), std::invalid_argument);
+  // Mixing two different families puts categories at conflicting levels or
+  // produces disjoint skeletons; validation of the derived profile against
+  // a shared category at different levels must throw.
+  Workflow a = load_instance("blast-chameleon-small");
+  Workflow b = load_instance("blast-chameleon-small");
+  // Move cat_blast to a deeper level in b by inserting a chain task.
+  Task extra;
+  extra.name = "blastall_00000099";
+  extra.id = "00000099";
+  extra.category = "cat_blast";  // same category, different level
+  extra.files.push_back(TaskFile{TaskFile::Link::kOutput, "x99.out", 1});
+  b.add_task(extra);
+  b.connect("cat_blast_00000006", "blastall_00000099");
+  b.find("blastall_00000099")
+      ->files.push_back(
+          TaskFile{TaskFile::Link::kInput, "cat_blast_00000006_output.txt", 4ULL << 20});
+  EXPECT_THROW(learn_profile("blast", {a, b}), std::invalid_argument);
+}
+
+class WfChefFamilies : public testing::TestWithParam<std::string> {};
+
+TEST_P(WfChefFamilies, DerivedRecipeGeneratesValidScaledInstances) {
+  const auto recipe = chef_from_instances(GetParam());
+  for (const std::size_t tasks : {recipe->min_tasks(), std::size_t{60}, std::size_t{300}}) {
+    GenerateOptions options;
+    options.num_tasks = tasks;
+    options.seed = 3;
+    const Workflow wf = recipe->generate(options);
+    EXPECT_TRUE(wf.validate().empty()) << GetParam() << " at " << tasks;
+    EXPECT_GE(wf.size(), recipe->min_tasks());
+    // Scaled instances land near the request.
+    if (tasks >= 60) {
+      EXPECT_GE(static_cast<double>(wf.size()), 0.5 * static_cast<double>(tasks));
+      EXPECT_LE(static_cast<double>(wf.size()), 1.5 * static_cast<double>(tasks));
+    }
+    // The derived instance has the learned level structure.
+    EXPECT_EQ(phase_histogram(wf).size(), recipe->profile().levels) << GetParam();
+    // Every learned category appears.
+    const auto hist = category_histogram(wf);
+    for (const CategoryStats& stats : recipe->profile().categories) {
+      EXPECT_TRUE(hist.contains(stats.category)) << stats.category;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, WfChefFamilies,
+                         testing::Values("blast", "epigenomics", "seismology", "genome",
+                                         "cycles"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(WfChef, DerivedBlastScalesTheWideLevel) {
+  const auto recipe = chef_from_instances("blast");
+  GenerateOptions options;
+  options.num_tasks = 103;
+  const Workflow wf = recipe->generate(options);
+  const auto hist = category_histogram(wf);
+  EXPECT_EQ(hist.at("split_fasta"), 1u);
+  EXPECT_EQ(hist.at("cat_blast"), 1u);
+  EXPECT_EQ(hist.at("cat"), 1u);
+  EXPECT_GE(hist.at("blastall"), 90u);  // the scalable category absorbs the budget
+}
+
+TEST(WfChef, UnknownFamilyThrows) {
+  EXPECT_THROW(chef_from_instances("montage"), std::invalid_argument);
+}
+
+// ---- serialization ---------------------------------------------------------------
+
+class WfFormatRoundTrip : public testing::TestWithParam<std::string> {};
+
+TEST_P(WfFormatRoundTrip, BothArgStylesPreserveStructure) {
+  WorkflowGenerator generator;
+  Workflow original = generator.generate(GetParam(), 40, 3);
+  KnativeTranslator().apply(original);  // api_urls survive round trips
+
+  for (const ArgsStyle style : {ArgsStyle::kList, ArgsStyle::kKeyValue}) {
+    const Workflow parsed = parse_workflow(write_workflow(original, style));
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.name(), original.name());
+    for (const Task& task : original.tasks()) {
+      const Task* copy = parsed.find(task.name);
+      ASSERT_NE(copy, nullptr) << task.name;
+      EXPECT_EQ(copy->category, task.category);
+      EXPECT_EQ(copy->parents, task.parents);
+      EXPECT_EQ(copy->children, task.children);
+      EXPECT_EQ(copy->files, task.files);
+      EXPECT_EQ(copy->api_url, task.api_url);
+      EXPECT_NEAR(copy->percent_cpu, task.percent_cpu, 1e-9);
+      EXPECT_NEAR(copy->cpu_work, task.cpu_work, 1e-6);
+      EXPECT_EQ(copy->memory_bytes, task.memory_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, WfFormatRoundTrip,
+                         testing::ValuesIn(recipe_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(WfFormat, KeyValueArgumentsMatchPaperShape) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 10, 1);
+  KnativeTranslator().apply(wf);
+  const json::Value doc = to_json(wf, ArgsStyle::kKeyValue);
+  const json::Value& tasks = doc.as_object().at("tasks");
+  const auto& [name, entry] = *tasks.as_object().begin();
+  const json::Value& arguments = entry.find("command")->find("arguments")->as_array()[0];
+  ASSERT_TRUE(arguments.is_object());
+  EXPECT_TRUE(arguments.find("percent-cpu") != nullptr);
+  EXPECT_TRUE(arguments.find("cpu-work") != nullptr);
+  EXPECT_TRUE(arguments.find("out") != nullptr);
+  EXPECT_TRUE(arguments.find("inputs") != nullptr);
+  EXPECT_NE(entry.find("command")->find("api_url"), nullptr);
+}
+
+TEST(WfFormat, ListArgumentsAreStrings) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 10, 1);
+  const json::Value doc = to_json(wf, ArgsStyle::kList);
+  const json::Value& tasks = doc.as_object().at("tasks");
+  const json::Value& args =
+      tasks.as_object().begin()->second.find("command")->as_object().at("arguments");
+  for (const json::Value& arg : args.as_array()) EXPECT_TRUE(arg.is_string());
+}
+
+TEST(WfFormat, AcceptsBareTopLevelTaskMap) {
+  // The paper's excerpt has tasks at the document root, no "tasks" wrapper.
+  const char* text = R"({
+    "solo_00000001": {
+      "name": "solo_00000001",
+      "type": "compute",
+      "command": {"program": "wfbench.py", "arguments": []},
+      "parents": [], "children": [],
+      "files": [{"link": "output", "name": "solo.out", "sizeInBytes": 10}],
+      "cores": 1, "id": "00000001", "category": "solo"
+    }
+  })";
+  const Workflow wf = parse_workflow(text);
+  EXPECT_EQ(wf.size(), 1u);
+  EXPECT_EQ(wf.find("solo_00000001")->category, "solo");
+}
+
+TEST(WfFormat, RejectsStructurallyBrokenDocuments) {
+  EXPECT_THROW(parse_workflow("[1,2,3]"), std::invalid_argument);
+  // Asymmetric parents/children must be rejected at parse time.
+  const char* bad = R"({
+    "a_1": {"command": {"program": "p", "arguments": []}, "parents": [],
+             "children": ["b_2"], "files": [], "id": "1", "category": "a"},
+    "b_2": {"command": {"program": "p", "arguments": []}, "parents": [],
+             "children": [], "files": [], "id": "2", "category": "b"}
+  })";
+  EXPECT_THROW(parse_workflow(bad), std::invalid_argument);
+}
+
+// ---- wfformat v1.5 (upstream schema interop) ---------------------------------
+
+TEST(WfFormatV15, RoundTripPreservesStructureAndKnobs) {
+  WorkflowGenerator generator;
+  Workflow original = generator.generate("genome", 40, 2);
+  KnativeTranslator().apply(original);
+  const json::Value document = to_wfformat_v15(original);
+  ASSERT_TRUE(is_wfformat_v15(document));
+  const Workflow parsed = from_wfformat_v15(document);
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.name(), original.name());
+  for (const Task& task : original.tasks()) {
+    const Task* copy = parsed.find(task.name);
+    ASSERT_NE(copy, nullptr) << task.name;
+    EXPECT_EQ(copy->category, task.category);
+    EXPECT_EQ(copy->parents, task.parents);
+    EXPECT_EQ(copy->children, task.children);
+    EXPECT_EQ(copy->inputs().size(), task.inputs().size());
+    EXPECT_EQ(copy->outputs().size(), task.outputs().size());
+    EXPECT_NEAR(copy->percent_cpu, task.percent_cpu, 1e-9);
+    EXPECT_NEAR(copy->cpu_work, task.cpu_work, 1e-6);
+    EXPECT_EQ(copy->memory_bytes, task.memory_bytes);
+    EXPECT_EQ(copy->api_url, task.api_url);
+  }
+}
+
+TEST(WfFormatV15, DocumentShapeMatchesUpstream) {
+  WorkflowGenerator generator;
+  const json::Value doc = to_wfformat_v15(generator.generate("blast", 10, 1));
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("schemaVersion").as_string(), "1.5");
+  const json::Object& workflow = root.at("workflow").as_object();
+  const json::Object& spec = workflow.at("specification").as_object();
+  EXPECT_TRUE(spec.at("tasks").is_array());
+  EXPECT_TRUE(spec.at("files").is_array());
+  EXPECT_TRUE(workflow.at("execution").as_object().at("tasks").is_array());
+  // Task entries reference files by id, not inline objects.
+  const json::Object& first = spec.at("tasks").as_array()[1].as_object();
+  EXPECT_TRUE(first.at("inputFiles").as_array()[0].is_string());
+}
+
+TEST(WfFormatV15, ParseWorkflowAutoDetectsSchema) {
+  WorkflowGenerator generator;
+  const Workflow original = generator.generate("cycles", 30, 1);
+  const std::string v15_text = json::write_pretty(to_wfformat_v15(original));
+  const std::string flat_text = write_workflow(original);
+  EXPECT_EQ(parse_workflow(v15_text).size(), original.size());
+  EXPECT_EQ(parse_workflow(flat_text).size(), original.size());
+}
+
+TEST(WfFormatV15, FileSizesResolvedThroughFileTable) {
+  const Workflow original = load_instance("blast-chameleon-small");
+  const Workflow parsed = from_wfformat_v15(to_wfformat_v15(original));
+  const Task* blastall = parsed.find("blastall_00000002");
+  ASSERT_NE(blastall, nullptr);
+  ASSERT_EQ(blastall->outputs().size(), 1u);
+  EXPECT_EQ(blastall->outputs()[0]->size_bytes, 40161u);  // the paper's number
+  ASSERT_EQ(blastall->inputs().size(), 1u);
+  EXPECT_EQ(blastall->inputs()[0]->size_bytes, 204082u);
+}
+
+TEST(WfFormatV15, RejectsBrokenDocuments) {
+  EXPECT_THROW(from_wfformat_v15(json::parse("{}")), std::invalid_argument);
+  EXPECT_THROW(from_wfformat_v15(json::parse(
+                   R"({"workflow": {"specification": {}}})")),
+               std::invalid_argument);
+  // Task without id.
+  EXPECT_THROW(from_wfformat_v15(json::parse(
+                   R"({"workflow": {"specification": {"tasks": [{"name":"x"}]}}})")),
+               std::invalid_argument);
+}
+
+// ---- translators ------------------------------------------------------------------
+
+TEST(Translators, KnativeAssignsApiUrls) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("seismology", 20, 1);
+  for (const Task& task : wf.tasks()) EXPECT_TRUE(task.api_url.empty());
+  KnativeTranslatorConfig config;
+  config.service_url = "http://wfbench.example:80/wfbench";
+  KnativeTranslator(config).apply(wf);
+  for (const Task& task : wf.tasks()) {
+    EXPECT_EQ(task.api_url, "http://wfbench.example:80/wfbench");
+  }
+}
+
+TEST(Translators, LocalContainerAssignsEndpoint) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("seismology", 20, 1);
+  LocalContainerTranslator().apply(wf);
+  for (const Task& task : wf.tasks()) {
+    EXPECT_EQ(task.api_url, "http://localhost:80/wfbench");
+  }
+}
+
+TEST(Translators, TranslateDoesNotMutateInput) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 10, 1);
+  const json::Value doc = KnativeTranslator().translate(wf);
+  for (const Task& task : wf.tasks()) EXPECT_TRUE(task.api_url.empty());
+  // But the translated document carries the endpoint.
+  const json::Value& tasks = doc.as_object().at("tasks");
+  EXPECT_NE(tasks.as_object().begin()->second.find("command")->find("api_url"), nullptr);
+}
+
+TEST(Translators, TranslatedTextParsesBack) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("cycles", 30, 1);
+  const std::string text = KnativeTranslator().translate_to_text(wf);
+  const Workflow parsed = parse_workflow(text);
+  EXPECT_EQ(parsed.size(), wf.size());
+}
+
+TEST(Translators, Factory) {
+  EXPECT_EQ(make_translator("knative")->name(), "knative");
+  EXPECT_EQ(make_translator("local")->name(), "local-container");
+  EXPECT_EQ(make_translator("LOCAL-CONTAINER")->name(), "local-container");
+  EXPECT_EQ(make_translator("pegasus")->name(), "pegasus");
+  EXPECT_EQ(make_translator("nextflow")->name(), "nextflow");
+  EXPECT_THROW(make_translator("airflow"), std::invalid_argument);
+}
+
+TEST(Translators, PegasusDocumentShape) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 12, 1);
+  const json::Value doc = PegasusTranslator().translate(wf);
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("pegasus").as_string(), "5.0");
+  EXPECT_EQ(root.at("name").as_string(), wf.name());
+  const json::Array& jobs = root.at("jobs").as_array();
+  EXPECT_EQ(jobs.size(), wf.size());
+  // Each job carries argument strings and uses[] with both link kinds.
+  const json::Object& job = jobs[1].as_object();  // a blastall
+  EXPECT_TRUE(job.at("arguments").is_array());
+  bool has_input = false;
+  bool has_output = false;
+  for (const json::Value& use : job.at("uses").as_array()) {
+    const std::string type = use.find("type")->as_string();
+    has_input = has_input || type == "input";
+    has_output = has_output || type == "output";
+  }
+  EXPECT_TRUE(has_output);
+  // Dependencies cover every parent -> child edge.
+  std::size_t edges = 0;
+  for (const json::Value& dependency : root.at("jobDependencies").as_array()) {
+    edges += dependency.find("children")->as_array().size();
+  }
+  EXPECT_EQ(edges, wf.edge_count());
+  // The replica catalog lists the external inputs.
+  EXPECT_EQ(root.at("replicaCatalog").as_object().at("replicas").as_array().size(),
+            wf.external_inputs().size());
+  (void)has_input;
+}
+
+TEST(Translators, PegasusClearsEndpoints) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 10, 1);
+  KnativeTranslator().apply(wf);
+  PegasusTranslator().apply(wf);
+  for (const Task& task : wf.tasks()) EXPECT_TRUE(task.api_url.empty());
+}
+
+TEST(Translators, NextflowScriptShape) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 12, 1);
+  const std::string script = NextflowTranslator().translate_to_text(wf);
+  EXPECT_NE(script.find("nextflow.enable.dsl = 2"), std::string::npos);
+  // One process per category.
+  for (const auto& [category, count] : category_histogram(wf)) {
+    EXPECT_NE(script.find("process " + category + " {"), std::string::npos) << category;
+  }
+  // One invocation per task inside the workflow block.
+  std::size_t invocations = 0;
+  std::size_t pos = script.find("workflow {");
+  ASSERT_NE(pos, std::string::npos);
+  while ((pos = script.find("blastall('blastall_", pos + 1)) != std::string::npos) {
+    ++invocations;
+  }
+  EXPECT_EQ(invocations, category_histogram(wf).at("blastall"));
+}
+
+TEST(Translators, NextflowManifest) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("cycles", 30, 1);
+  const json::Value doc = NextflowTranslator().translate(wf);
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("manifest").as_object().at("name").as_string(), wf.name());
+  EXPECT_EQ(root.at("processes").as_array().size(), category_histogram(wf).size());
+}
+
+TEST(Translators, HybridRoutesByCategory) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("blast", 30, 1);
+  HybridTranslatorConfig config;
+  config.serverless_url = "http://kn:80/wfbench";
+  config.local_url = "http://lc:80/wfbench";
+  config.category_to_serverless["blastall"] = false;  // wide level -> local
+  config.default_serverless = true;
+  HybridTranslator(config).apply(wf);
+  for (const Task& task : wf.tasks()) {
+    if (task.category == "blastall") {
+      EXPECT_EQ(task.api_url, "http://lc:80/wfbench") << task.name;
+    } else {
+      EXPECT_EQ(task.api_url, "http://kn:80/wfbench") << task.name;
+    }
+  }
+}
+
+TEST(Translators, HybridWidthPolicy) {
+  WorkflowGenerator generator;
+  const Workflow wf = generator.generate("blast", 30, 1);  // blastall width 27
+  const HybridTranslatorConfig policy =
+      HybridTranslator::policy_by_phase_width(wf, /*width_threshold=*/10);
+  EXPECT_FALSE(policy.category_to_serverless.at("blastall"));   // wide -> local
+  EXPECT_TRUE(policy.category_to_serverless.at("split_fasta"));  // narrow -> serverless
+  EXPECT_TRUE(policy.category_to_serverless.at("cat"));
+}
+
+TEST(Translators, HybridOutputStillValidatesAndPlans) {
+  WorkflowGenerator generator;
+  Workflow wf = generator.generate("cycles", 50, 1);
+  HybridTranslator(HybridTranslator::policy_by_phase_width(wf, 8)).apply(wf);
+  EXPECT_TRUE(wf.validate().empty());
+  for (const Task& task : wf.tasks()) EXPECT_FALSE(task.api_url.empty());
+}
+
+}  // namespace
+}  // namespace wfs::wfcommons
