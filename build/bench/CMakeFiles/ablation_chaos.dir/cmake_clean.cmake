@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chaos.dir/ablation_chaos.cpp.o"
+  "CMakeFiles/ablation_chaos.dir/ablation_chaos.cpp.o.d"
+  "ablation_chaos"
+  "ablation_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

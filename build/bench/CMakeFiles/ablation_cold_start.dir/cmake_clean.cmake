@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cold_start.dir/ablation_cold_start.cpp.o"
+  "CMakeFiles/ablation_cold_start.dir/ablation_cold_start.cpp.o.d"
+  "ablation_cold_start"
+  "ablation_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

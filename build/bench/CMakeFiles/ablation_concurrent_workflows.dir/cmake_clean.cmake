@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_concurrent_workflows.dir/ablation_concurrent_workflows.cpp.o"
+  "CMakeFiles/ablation_concurrent_workflows.dir/ablation_concurrent_workflows.cpp.o.d"
+  "ablation_concurrent_workflows"
+  "ablation_concurrent_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrent_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

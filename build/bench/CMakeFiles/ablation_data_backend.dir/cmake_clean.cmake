@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_backend.dir/ablation_data_backend.cpp.o"
+  "CMakeFiles/ablation_data_backend.dir/ablation_data_backend.cpp.o.d"
+  "ablation_data_backend"
+  "ablation_data_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

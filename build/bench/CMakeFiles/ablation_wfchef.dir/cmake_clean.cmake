@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wfchef.dir/ablation_wfchef.cpp.o"
+  "CMakeFiles/ablation_wfchef.dir/ablation_wfchef.cpp.o.d"
+  "ablation_wfchef"
+  "ablation_wfchef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wfchef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

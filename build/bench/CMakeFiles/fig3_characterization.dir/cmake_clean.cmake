@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_characterization.dir/fig3_characterization.cpp.o"
+  "CMakeFiles/fig3_characterization.dir/fig3_characterization.cpp.o.d"
+  "fig3_characterization"
+  "fig3_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_knative_setups.dir/fig4_knative_setups.cpp.o"
+  "CMakeFiles/fig4_knative_setups.dir/fig4_knative_setups.cpp.o.d"
+  "fig4_knative_setups"
+  "fig4_knative_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_knative_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_knative_setups.
+# This may be replaced when dependencies are built.

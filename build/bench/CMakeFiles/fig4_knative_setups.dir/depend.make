@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_knative_setups.
+# This may be replaced when dependencies are built.

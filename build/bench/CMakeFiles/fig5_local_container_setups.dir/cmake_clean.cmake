@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_local_container_setups.dir/fig5_local_container_setups.cpp.o"
+  "CMakeFiles/fig5_local_container_setups.dir/fig5_local_container_setups.cpp.o.d"
+  "fig5_local_container_setups"
+  "fig5_local_container_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_local_container_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_local_container_setups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_coarse_grained.dir/fig6_coarse_grained.cpp.o"
+  "CMakeFiles/fig6_coarse_grained.dir/fig6_coarse_grained.cpp.o.d"
+  "fig6_coarse_grained"
+  "fig6_coarse_grained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_coarse_grained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

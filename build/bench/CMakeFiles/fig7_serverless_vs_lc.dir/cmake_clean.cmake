@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_serverless_vs_lc.dir/fig7_serverless_vs_lc.cpp.o"
+  "CMakeFiles/fig7_serverless_vs_lc.dir/fig7_serverless_vs_lc.cpp.o.d"
+  "fig7_serverless_vs_lc"
+  "fig7_serverless_vs_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_serverless_vs_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_serverless_vs_lc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_serverless_vs_lc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_autoscaler.dir/micro_autoscaler.cpp.o"
+  "CMakeFiles/micro_autoscaler.dir/micro_autoscaler.cpp.o.d"
+  "micro_autoscaler"
+  "micro_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

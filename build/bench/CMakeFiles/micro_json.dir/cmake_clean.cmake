@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_json.dir/micro_json.cpp.o"
+  "CMakeFiles/micro_json.dir/micro_json.cpp.o.d"
+  "micro_json"
+  "micro_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_recipes.dir/micro_recipes.cpp.o"
+  "CMakeFiles/micro_recipes.dir/micro_recipes.cpp.o.d"
+  "micro_recipes"
+  "micro_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wfm.dir/micro_wfm.cpp.o"
+  "CMakeFiles/micro_wfm.dir/micro_wfm.cpp.o.d"
+  "micro_wfm"
+  "micro_wfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

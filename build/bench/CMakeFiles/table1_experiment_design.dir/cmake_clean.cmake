@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_experiment_design.dir/table1_experiment_design.cpp.o"
+  "CMakeFiles/table1_experiment_design.dir/table1_experiment_design.cpp.o.d"
+  "table1_experiment_design"
+  "table1_experiment_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_experiment_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_paradigms.dir/table2_paradigms.cpp.o"
+  "CMakeFiles/table2_paradigms.dir/table2_paradigms.cpp.o.d"
+  "table2_paradigms"
+  "table2_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_pipeline.dir/genomics_pipeline.cpp.o"
+  "CMakeFiles/genomics_pipeline.dir/genomics_pipeline.cpp.o.d"
+  "genomics_pipeline"
+  "genomics_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_execution.dir/hybrid_execution.cpp.o"
+  "CMakeFiles/hybrid_execution.dir/hybrid_execution.cpp.o.d"
+  "hybrid_execution"
+  "hybrid_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

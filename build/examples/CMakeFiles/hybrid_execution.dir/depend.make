@@ -1,0 +1,2 @@
+# Empty dependencies file for hybrid_execution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_wfbench.dir/native_wfbench.cpp.o"
+  "CMakeFiles/native_wfbench.dir/native_wfbench.cpp.o.d"
+  "native_wfbench"
+  "native_wfbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_wfbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_explorer.dir/paradigm_explorer.cpp.o"
+  "CMakeFiles/paradigm_explorer.dir/paradigm_explorer.cpp.o.d"
+  "paradigm_explorer"
+  "paradigm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_all_wfbench.dir/run_all_wfbench.cpp.o"
+  "CMakeFiles/run_all_wfbench.dir/run_all_wfbench.cpp.o.d"
+  "run_all_wfbench"
+  "run_all_wfbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_all_wfbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for run_all_wfbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfm_runner.dir/wfm_runner.cpp.o"
+  "CMakeFiles/wfm_runner.dir/wfm_runner.cpp.o.d"
+  "wfm_runner"
+  "wfm_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfm_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,86 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/wfserverless.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/wfserverless.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/power.cpp" "src/CMakeFiles/wfserverless.dir/cluster/power.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/cluster/power.cpp.o.d"
+  "/root/repo/src/cluster/resource_ledger.cpp" "src/CMakeFiles/wfserverless.dir/cluster/resource_ledger.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/cluster/resource_ledger.cpp.o.d"
+  "/root/repo/src/containers/container.cpp" "src/CMakeFiles/wfserverless.dir/containers/container.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/containers/container.cpp.o.d"
+  "/root/repo/src/containers/runtime.cpp" "src/CMakeFiles/wfserverless.dir/containers/runtime.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/containers/runtime.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/wfserverless.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/dag.cpp" "src/CMakeFiles/wfserverless.dir/core/dag.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/dag.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/wfserverless.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/CMakeFiles/wfserverless.dir/core/fleet.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/fleet.cpp.o.d"
+  "/root/repo/src/core/paradigm.cpp" "src/CMakeFiles/wfserverless.dir/core/paradigm.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/paradigm.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/wfserverless.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/results_io.cpp" "src/CMakeFiles/wfserverless.dir/core/results_io.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/results_io.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/wfserverless.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/trace.cpp.o.d"
+  "/root/repo/src/core/workflow_manager.cpp" "src/CMakeFiles/wfserverless.dir/core/workflow_manager.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/core/workflow_manager.cpp.o.d"
+  "/root/repo/src/faas/activator.cpp" "src/CMakeFiles/wfserverless.dir/faas/activator.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/activator.cpp.o.d"
+  "/root/repo/src/faas/autoscaler.cpp" "src/CMakeFiles/wfserverless.dir/faas/autoscaler.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/autoscaler.cpp.o.d"
+  "/root/repo/src/faas/kube_scheduler.cpp" "src/CMakeFiles/wfserverless.dir/faas/kube_scheduler.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/kube_scheduler.cpp.o.d"
+  "/root/repo/src/faas/platform.cpp" "src/CMakeFiles/wfserverless.dir/faas/platform.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/platform.cpp.o.d"
+  "/root/repo/src/faas/pod.cpp" "src/CMakeFiles/wfserverless.dir/faas/pod.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/pod.cpp.o.d"
+  "/root/repo/src/faas/service_config.cpp" "src/CMakeFiles/wfserverless.dir/faas/service_config.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/faas/service_config.cpp.o.d"
+  "/root/repo/src/json/parse.cpp" "src/CMakeFiles/wfserverless.dir/json/parse.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/json/parse.cpp.o.d"
+  "/root/repo/src/json/value.cpp" "src/CMakeFiles/wfserverless.dir/json/value.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/json/value.cpp.o.d"
+  "/root/repo/src/json/write.cpp" "src/CMakeFiles/wfserverless.dir/json/write.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/json/write.cpp.o.d"
+  "/root/repo/src/metrics/aggregate.cpp" "src/CMakeFiles/wfserverless.dir/metrics/aggregate.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/metrics/aggregate.cpp.o.d"
+  "/root/repo/src/metrics/ascii_chart.cpp" "src/CMakeFiles/wfserverless.dir/metrics/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/metrics/ascii_chart.cpp.o.d"
+  "/root/repo/src/metrics/pmdump.cpp" "src/CMakeFiles/wfserverless.dir/metrics/pmdump.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/metrics/pmdump.cpp.o.d"
+  "/root/repo/src/metrics/sampler.cpp" "src/CMakeFiles/wfserverless.dir/metrics/sampler.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/metrics/sampler.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/CMakeFiles/wfserverless.dir/metrics/time_series.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/metrics/time_series.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/CMakeFiles/wfserverless.dir/net/http.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/net/http.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/wfserverless.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/net/router.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/wfserverless.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/periodic.cpp" "src/CMakeFiles/wfserverless.dir/sim/periodic.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/sim/periodic.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/wfserverless.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/storage/object_store.cpp" "src/CMakeFiles/wfserverless.dir/storage/object_store.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/storage/object_store.cpp.o.d"
+  "/root/repo/src/storage/shared_fs.cpp" "src/CMakeFiles/wfserverless.dir/storage/shared_fs.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/storage/shared_fs.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/wfserverless.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/CMakeFiles/wfserverless.dir/support/format.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/format.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/wfserverless.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/wfserverless.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/wfserverless.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/units.cpp" "src/CMakeFiles/wfserverless.dir/support/units.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/support/units.cpp.o.d"
+  "/root/repo/src/wfbench/native.cpp" "src/CMakeFiles/wfserverless.dir/wfbench/native.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfbench/native.cpp.o.d"
+  "/root/repo/src/wfbench/service.cpp" "src/CMakeFiles/wfserverless.dir/wfbench/service.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfbench/service.cpp.o.d"
+  "/root/repo/src/wfbench/stress_model.cpp" "src/CMakeFiles/wfserverless.dir/wfbench/stress_model.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfbench/stress_model.cpp.o.d"
+  "/root/repo/src/wfbench/task_params.cpp" "src/CMakeFiles/wfserverless.dir/wfbench/task_params.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfbench/task_params.cpp.o.d"
+  "/root/repo/src/wfcommons/analysis.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/analysis.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/analysis.cpp.o.d"
+  "/root/repo/src/wfcommons/bench_spec.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/bench_spec.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/bench_spec.cpp.o.d"
+  "/root/repo/src/wfcommons/generator.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/generator.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/generator.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/blast.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/blast.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/blast.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/bwa.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/bwa.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/bwa.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/cycles.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/cycles.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/cycles.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/epigenomics.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/epigenomics.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/epigenomics.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/genome.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/genome.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/genome.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/recipe.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/recipe.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/recipe.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/seismology.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/seismology.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/seismology.cpp.o.d"
+  "/root/repo/src/wfcommons/recipes/srasearch.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/srasearch.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/recipes/srasearch.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/hybrid.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/hybrid.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/hybrid.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/knative.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/knative.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/knative.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/local_container.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/local_container.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/local_container.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/nextflow.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/nextflow.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/nextflow.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/pegasus.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/pegasus.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/pegasus.cpp.o.d"
+  "/root/repo/src/wfcommons/translators/translator.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/translator.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/translators/translator.cpp.o.d"
+  "/root/repo/src/wfcommons/visualization.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/visualization.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/visualization.cpp.o.d"
+  "/root/repo/src/wfcommons/wfchef.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/wfchef.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/wfchef.cpp.o.d"
+  "/root/repo/src/wfcommons/wfformat.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/wfformat.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/wfformat.cpp.o.d"
+  "/root/repo/src/wfcommons/wfinstances.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/wfinstances.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/wfinstances.cpp.o.d"
+  "/root/repo/src/wfcommons/workflow.cpp" "src/CMakeFiles/wfserverless.dir/wfcommons/workflow.cpp.o" "gcc" "src/CMakeFiles/wfserverless.dir/wfcommons/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_test.dir/containers_test.cpp.o"
+  "CMakeFiles/containers_test.dir/containers_test.cpp.o.d"
+  "containers_test"
+  "containers_test.pdb"
+  "containers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

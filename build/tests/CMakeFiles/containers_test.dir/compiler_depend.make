@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for containers_test.
+# This may be replaced when dependencies are built.

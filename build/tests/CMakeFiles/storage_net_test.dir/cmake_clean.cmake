@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_net_test.dir/storage_net_test.cpp.o"
+  "CMakeFiles/storage_net_test.dir/storage_net_test.cpp.o.d"
+  "storage_net_test"
+  "storage_net_test.pdb"
+  "storage_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfbench_test.dir/wfbench_test.cpp.o"
+  "CMakeFiles/wfbench_test.dir/wfbench_test.cpp.o.d"
+  "wfbench_test"
+  "wfbench_test.pdb"
+  "wfbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfcommons_test.dir/wfcommons_test.cpp.o"
+  "CMakeFiles/wfcommons_test.dir/wfcommons_test.cpp.o.d"
+  "wfcommons_test"
+  "wfcommons_test.pdb"
+  "wfcommons_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfcommons_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
