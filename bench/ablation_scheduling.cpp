@@ -1,0 +1,114 @@
+// Ablation: WFM dispatch mode — the paper's level barrier vs dependency-driven.
+//
+// §III-C's WFM walks the workflow level by level: every function of level N
+// must return before any function of level N+1 is sent. Dependency-driven
+// scheduling relaxes that to the true DAG constraint — a function is sent
+// the moment its last parent's outputs land — so a slow straggler no longer
+// holds back siblings' independent subtrees. The sweep runs every recipe
+// family under both modes on the same workload and checks three properties:
+//
+//   1. the two modes execute the identical task set with identical per-task
+//      success (scheduling is an ordering choice, not a semantic one),
+//   2. dependency-driven never has a larger makespan,
+//   3. on a phase-heavy, width-imbalanced family (Epigenomics) it is
+//      strictly faster.
+//
+// A final demo runs two workflows concurrently on ONE WorkflowManager —
+// the run-table API the barrier-era `busy()` contract forbade.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fleet.h"
+#include "support/format.h"
+#include "wfcommons/recipes/recipe.h"
+
+int main() {
+  using namespace wfs;
+
+  std::cout << "Ablation — WFM dispatch mode (phase barrier vs dependency-driven)\n";
+  std::cout << "=================================================================\n\n";
+  std::cout << support::format("{:<14} {:>12} {:>12} {:>9}  outcomes\n", "recipe",
+                               "barrier_s", "depdrv_s", "speedup");
+
+  bool ok = true;
+  bool epigenomics_strictly_faster = false;
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    core::ExperimentConfig config;
+    config.paradigm = core::Paradigm::kLC10wNoPM;  // no autoscaling noise
+    config.recipe = recipe;
+    config.num_tasks = 200;
+
+    config.wfm.scheduling = core::SchedulingMode::kPhaseBarrier;
+    const core::ExperimentResult barrier = core::run_experiment(config);
+    config.wfm.scheduling = core::SchedulingMode::kDependencyDriven;
+    const core::ExperimentResult depdriven = core::run_experiment(config);
+
+    // Property 1: identical task sets, identical per-task success.
+    std::map<std::string, bool> expected;
+    for (const core::TaskOutcome& task : barrier.run.tasks) expected[task.name] = task.ok;
+    bool identical = barrier.ok() && depdriven.ok() &&
+                     depdriven.run.tasks.size() == expected.size();
+    for (const core::TaskOutcome& task : depdriven.run.tasks) {
+      const auto it = expected.find(task.name);
+      identical = identical && it != expected.end() && it->second == task.ok;
+    }
+
+    // Property 2 (and 3 for epigenomics): dependency-driven is never slower.
+    const bool not_slower = depdriven.makespan_seconds <= barrier.makespan_seconds + 1e-9;
+    if (recipe == "epigenomics" &&
+        depdriven.makespan_seconds < barrier.makespan_seconds) {
+      epigenomics_strictly_faster = true;
+    }
+    ok = ok && identical && not_slower;
+
+    std::cout << support::format("{:<14} {:>11.1f}s {:>11.1f}s {:>8.2f}x  {}\n", recipe,
+                                 barrier.makespan_seconds, depdriven.makespan_seconds,
+                                 barrier.makespan_seconds / depdriven.makespan_seconds,
+                                 identical ? (not_slower ? "identical" : "SLOWER")
+                                           : "DIVERGED");
+  }
+
+  // Concurrent-runs demo: two families on one shared platform, both driven
+  // by a single WorkflowManager's run table.
+  std::cout << "\nConcurrent runs on one WorkflowManager\n";
+  std::cout << "--------------------------------------\n";
+  core::FleetConfig fleet_config;
+  fleet_config.paradigm = core::Paradigm::kLC10wNoPM;
+  fleet_config.items = {{"blast", 100, 1}, {"seismology", 100, 2}};
+  fleet_config.concurrent = true;
+  fleet_config.wfm.scheduling = core::SchedulingMode::kDependencyDriven;
+  const core::FleetResult fleet = core::run_fleet(fleet_config);
+  double makespan_sum = 0.0;
+  for (const core::WorkflowRunResult& run : fleet.runs) {
+    std::cout << support::format("  run #{}: {} — {:.1f}s, {} tasks\n", run.run_id,
+                                 run.ok() ? "ok" : "FAILED", run.makespan_seconds,
+                                 run.tasks_total);
+    makespan_sum += run.makespan_seconds;
+  }
+  const bool distinct_ids =
+      fleet.runs.size() == 2 && fleet.runs[0].run_id != fleet.runs[1].run_id;
+  const bool overlapped = fleet.wall_seconds < makespan_sum;
+  std::cout << support::format(
+      "  wall {:.1f}s vs {:.1f}s makespan sum — runs {}\n", fleet.wall_seconds,
+      makespan_sum, overlapped ? "overlapped" : "DID NOT OVERLAP");
+  ok = ok && fleet.ok() && distinct_ids && overlapped;
+
+  if (!ok || !epigenomics_strictly_faster) {
+    std::cout << "\nSELF-CHECK FAILED: ";
+    if (!epigenomics_strictly_faster) {
+      std::cout << "dependency-driven not strictly faster on epigenomics";
+    } else {
+      std::cout << "see rows above";
+    }
+    std::cout << "\n";
+    return 1;
+  }
+  std::cout << "\nself-check passed: identical outcomes everywhere, dependency-driven\n"
+               "never slower, strictly faster on epigenomics, and two workflows ran\n"
+               "concurrently on one manager.\n";
+  return 0;
+}

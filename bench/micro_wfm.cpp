@@ -31,6 +31,18 @@ void BM_FullExperimentServerless(benchmark::State& state) {
 }
 BENCHMARK(BM_FullExperimentServerless)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
+void BM_FullExperimentDepDriven(benchmark::State& state) {
+  for (auto _ : state) {
+    wfs::core::ExperimentConfig config;
+    config.paradigm = wfs::core::Paradigm::kKn10wNoPM;
+    config.recipe = "blast";
+    config.num_tasks = static_cast<std::size_t>(state.range(0));
+    config.wfm.scheduling = wfs::core::SchedulingMode::kDependencyDriven;
+    benchmark::DoNotOptimize(wfs::core::run_experiment(config));
+  }
+}
+BENCHMARK(BM_FullExperimentDepDriven)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
 void BM_FullExperimentLocal(benchmark::State& state) {
   for (auto _ : state) {
     wfs::core::ExperimentConfig config;

@@ -11,6 +11,7 @@
 // the paper's portability claim.
 //
 // Usage: ./build/examples/wfm_runner <workflow.json> [--paradigm Kn10wNoPM]
+//                                    [--scheduling phase-barrier|dependency-driven]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,9 +37,12 @@ int main(int argc, char** argv) {
 
   support::CliParser cli("wfm_runner", "execute a translated workflow JSON file");
   cli.add_flag("paradigm", "Kn10wNoPM", "Table II paradigm to deploy");
+  cli.add_flag("scheduling", "phase-barrier",
+               "WFM dispatch mode: phase-barrier or dependency-driven");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
-    std::cerr << "usage: wfm_runner <workflow.json> [--paradigm Kn10wNoPM]\n";
+    std::cerr << "usage: wfm_runner <workflow.json> [--paradigm Kn10wNoPM]"
+                 " [--scheduling phase-barrier|dependency-driven]\n";
     return 1;
   }
 
@@ -60,6 +64,13 @@ int main(int argc, char** argv) {
 
   const core::Paradigm paradigm = core::parse_paradigm(cli.get("paradigm"));
   const core::ParadigmInfo& info = core::paradigm_info(paradigm);
+  core::WfmConfig wfm_config;
+  try {
+    wfm_config.scheduling = core::parse_scheduling_mode(cli.get("scheduling"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
 
   sim::Simulation sim;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
@@ -88,21 +99,22 @@ int main(int argc, char** argv) {
   sampler.sample_now();
   sampler.start();
 
-  core::WorkflowManager wfm(sim, router, fs);
+  core::WorkflowManager wfm(sim, router, fs, wfm_config);
   std::optional<core::WorkflowRunResult> result;
-  wfm.run(workflow, [&](core::WorkflowRunResult r) {
+  const core::RunHandle handle = wfm.run(workflow, [&](core::WorkflowRunResult r) {
     result = std::move(r);
     sampler.stop();
   });
   sim.run_until(4 * sim::kHour);
 
-  if (!result.has_value()) {
+  if (!handle.done() || !result.has_value()) {
     std::cerr << "run did not conclude\n";
     return 1;
   }
   std::cout << support::format(
-      "{} on {}: {} — {:.1f}s, {} of {} functions failed, mean cpu {:.2f}%\n",
-      workflow.name(), info.name, result->ok() ? "ok" : "FAILED", result->makespan_seconds,
+      "{} on {} ({}): {} — {:.1f}s, {} of {} functions failed, mean cpu {:.2f}%\n",
+      workflow.name(), info.name, core::to_string(result->scheduling),
+      result->ok() ? "ok" : "FAILED", result->makespan_seconds,
       result->tasks_failed, result->tasks_total,
       sampler.series("cpu").time_weighted_mean());
   std::cout << "\n" << core::render_gantt(*result);

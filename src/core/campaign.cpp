@@ -56,14 +56,15 @@ const ExperimentResult* Campaign::find(Paradigm paradigm, const std::string& rec
 
 std::string Campaign::summary_csv() const {
   std::string out =
-      "paradigm,recipe,tasks,seed,status,makespan_s,cpu_pct_mean,cpu_pct_max,"
+      "paradigm,recipe,tasks,seed,scheduling,status,makespan_s,cpu_pct_mean,cpu_pct_max,"
       "mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,max_ready_pods,"
       "scheduling_failures,node_oom_events,service_oom_failures,tasks_failed\n";
   for (const ExperimentResult& result : results_) {
     out += support::format(
-        "{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{}\n",
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{}\n",
         result.paradigm_name, result.config.recipe, result.config.num_tasks,
-        result.config.seed, result.ok() ? "ok" : "failed", result.makespan_seconds,
+        result.config.seed, to_string(result.config.wfm.scheduling),
+        result.ok() ? "ok" : "failed", result.makespan_seconds,
         result.cpu_percent.time_weighted_mean, result.cpu_percent.max,
         result.memory_gib.time_weighted_mean, result.memory_gib.max,
         result.power_watts.time_weighted_mean, result.energy_joules / 1000.0,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "wfcommons/analysis.h"
 
@@ -17,6 +19,33 @@ std::size_t ExecutionPlan::widest_phase() const noexcept {
   std::size_t widest = 0;
   for (const auto& phase : phases) widest = std::max(widest, phase.size());
   return widest;
+}
+
+std::size_t ExecutionPlan::flat_id(std::size_t level, std::size_t index) const noexcept {
+  std::size_t id = index;
+  for (std::size_t l = 0; l < level && l < phases.size(); ++l) id += phases[l].size();
+  return id;
+}
+
+const PlannedTask& ExecutionPlan::task(std::size_t flat_id) const {
+  for (const auto& phase : phases) {
+    if (flat_id < phase.size()) return phase[flat_id];
+    flat_id -= phase.size();
+  }
+  throw std::out_of_range("ExecutionPlan::task: flat id out of range");
+}
+
+PlannedTask& ExecutionPlan::task(std::size_t flat_id) {
+  return const_cast<PlannedTask&>(std::as_const(*this).task(flat_id));
+}
+
+std::vector<std::size_t> ExecutionPlan::indegrees() const {
+  std::vector<std::size_t> degrees;
+  degrees.reserve(task_count());
+  for (const auto& phase : phases) {
+    for (const PlannedTask& task : phase) degrees.push_back(task.parents.size());
+  }
+  return degrees;
 }
 
 wfbench::TaskParams to_task_params(const wfcommons::Task& task, const std::string& workdir) {
@@ -43,17 +72,40 @@ ExecutionPlan build_plan(const wfcommons::Workflow& workflow, const std::string&
   ExecutionPlan plan;
   plan.workflow_name = workflow.name();
   plan.external_inputs = workflow.external_inputs();
-  for (const auto& level : wfcommons::levels(workflow)) {
+
+  std::unordered_map<std::string, std::size_t> flat_ids;
+  std::size_t next_id = 0;
+  const auto level_decomposition = wfcommons::levels(workflow);
+  for (std::size_t level = 0; level < level_decomposition.size(); ++level) {
     std::vector<PlannedTask> phase;
-    phase.reserve(level.size());
-    for (const wfcommons::Task* task : level) {
+    phase.reserve(level_decomposition[level].size());
+    for (const wfcommons::Task* task : level_decomposition[level]) {
       if (task->api_url.empty()) {
         throw std::invalid_argument("build_plan: task " + task->name +
                                     " has no api_url (run a translator first)");
       }
-      phase.push_back(PlannedTask{task->name, task->api_url, to_task_params(*task, workdir)});
+      PlannedTask planned{task->name, task->api_url, to_task_params(*task, workdir),
+                          level, {}, {}};
+      flat_ids.emplace(task->name, next_id++);
+      phase.push_back(std::move(planned));
     }
     plan.phases.push_back(std::move(phase));
+  }
+
+  // Second pass: resolve the dependency edges to flat ids (validation above
+  // guarantees every parent/child name exists and the lists are symmetric).
+  for (const auto& level : level_decomposition) {
+    for (const wfcommons::Task* task : level) {
+      PlannedTask& planned = plan.task(flat_ids.at(task->name));
+      planned.parents.reserve(task->parents.size());
+      for (const std::string& parent : task->parents) {
+        planned.parents.push_back(flat_ids.at(parent));
+      }
+      planned.children.reserve(task->children.size());
+      for (const std::string& child : task->children) {
+        planned.children.push_back(flat_ids.at(child));
+      }
+    }
   }
   return plan;
 }

@@ -1,10 +1,15 @@
 // Execution plan: the workflow manager's view of a translated workflow.
 //
-// The WFM (paper §III-C) turns the JSON workflow into a DAG and executes it
-// level by level ("phases"/"steps"): all functions of a phase are invoked
-// simultaneously, the next phase starts only after every response arrived
-// plus a fixed delay. This header materialises that plan: per phase, the
-// ready-to-send wfbench request of every task plus its endpoint.
+// The WFM (paper §III-C) turns the JSON workflow into a DAG. Two execution
+// modes consume this plan (see core/workflow_manager.h):
+//  * phase-barrier — all functions of a level ("phase"/"step") are invoked
+//    simultaneously, the next level starts only after every response arrived
+//    plus a fixed delay (the paper's prototype behaviour);
+//  * dependency-driven — a task is dispatched the moment its last DAG parent
+//    finished (ready-set scheduling).
+// To serve both, the plan materialises the level decomposition (phases) AND
+// the dependency edges: every planned task knows its level plus its parents
+// and children as flat task ids.
 #pragma once
 
 #include <string>
@@ -19,25 +24,42 @@ struct PlannedTask {
   std::string name;
   std::string api_url;
   wfbench::TaskParams params;
+  /// DAG level of this task (= the paper's phase index).
+  std::size_t level = 0;
+  /// Dependency edges as flat task ids (row-major over `phases`). Filled by
+  /// build_plan; empty on hand-built plans, which then behave as if every
+  /// task were a root under dependency-driven scheduling.
+  std::vector<std::size_t> parents;
+  std::vector<std::size_t> children;
 };
 
 struct ExecutionPlan {
   std::string workflow_name;
+  /// Tasks grouped by DAG level, workflow order within a level.
   std::vector<std::vector<PlannedTask>> phases;
   /// Files no task produces; the WFM stages them before phase 0.
   std::vector<wfcommons::TaskFile> external_inputs;
 
   [[nodiscard]] std::size_t task_count() const noexcept;
   [[nodiscard]] std::size_t widest_phase() const noexcept;
+
+  /// Flat task ids enumerate `phases` row-major: level 0's tasks first.
+  [[nodiscard]] std::size_t flat_id(std::size_t level, std::size_t index) const noexcept;
+  [[nodiscard]] const PlannedTask& task(std::size_t flat_id) const;
+  [[nodiscard]] PlannedTask& task(std::size_t flat_id);
+
+  /// Pending-parent counter per task (flat-id indexed) — the ready-set
+  /// dispatcher's initial gate values. Roots have indegree 0.
+  [[nodiscard]] std::vector<std::size_t> indegrees() const;
 };
 
 /// Converts one IR task into the wfbench POST payload.
 [[nodiscard]] wfbench::TaskParams to_task_params(const wfcommons::Task& task,
                                                  const std::string& workdir);
 
-/// Builds the phase plan from a translated workflow (every task must carry
-/// an api_url). Throws std::invalid_argument when a task has no endpoint or
-/// the workflow fails validation.
+/// Builds the plan (levels + dependency edges) from a translated workflow
+/// (every task must carry an api_url). Throws std::invalid_argument when a
+/// task has no endpoint or the workflow fails validation.
 [[nodiscard]] ExecutionPlan build_plan(const wfcommons::Workflow& workflow,
                                        const std::string& workdir);
 

@@ -90,16 +90,18 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   sampler.start();
 
   // ---- execute --------------------------------------------------------------
-  WorkflowManager wfm(sim, router, fs, config.wfm);
+  WorkflowManager wfm(sim, router, fs);
   std::optional<WorkflowRunResult> run_result;
-  wfm.run(workflow, [&run_result, &sampler](WorkflowRunResult r) {
+  // The cell's WfmConfig rides along as a per-run override, so sweeps that
+  // vary phase_delay / scheduling / task_retries share one manager setup.
+  const RunHandle handle = wfm.run(workflow, [&run_result, &sampler](WorkflowRunResult r) {
     run_result = std::move(r);
     sampler.sample_now();
     sampler.stop();
-  });
+  }, config.wfm);
 
   const sim::SimTime deadline = sim::from_seconds(config.deadline_seconds);
-  while (!run_result.has_value() && !sim.idle() && sim.now() < deadline) {
+  while (!handle.done() && !sim.idle() && sim.now() < deadline) {
     sim.step(1);
   }
 

@@ -66,7 +66,10 @@ FleetResult run_fleet(const FleetConfig& config) {
 
   FleetResult result;
   result.runs.resize(workflows.size());
-  std::vector<std::unique_ptr<WorkflowManager>> managers;
+  // One manager carries the whole fleet: its run table keys every active
+  // workflow by run id, so concurrent mode is just N back-to-back run()
+  // calls.
+  WorkflowManager wfm(sim, router, fs, config.wfm);
   std::size_t remaining = workflows.size();
   const auto record = [&](std::size_t index, WorkflowRunResult run) {
     result.runs[index] = std::move(run);
@@ -78,20 +81,17 @@ FleetResult run_fleet(const FleetConfig& config) {
 
   if (config.concurrent) {
     for (std::size_t i = 0; i < workflows.size(); ++i) {
-      managers.push_back(std::make_unique<WorkflowManager>(sim, router, fs, config.wfm));
-      managers.back()->run(workflows[i],
-                           [&record, i](WorkflowRunResult run) { record(i, std::move(run)); });
+      wfm.run(workflows[i],
+              [&record, i](WorkflowRunResult run) { record(i, std::move(run)); });
     }
   } else {
-    managers.push_back(std::make_unique<WorkflowManager>(sim, router, fs, config.wfm));
     // Chained launch: index i+1 starts from i's completion callback.
     auto launch = std::make_shared<std::function<void(std::size_t)>>();
     *launch = [&, launch](std::size_t index) {
-      managers.front()->run(workflows[index],
-                            [&, launch, index](WorkflowRunResult run) {
-                              record(index, std::move(run));
-                              if (index + 1 < workflows.size()) (*launch)(index + 1);
-                            });
+      wfm.run(workflows[index], [&, launch, index](WorkflowRunResult run) {
+        record(index, std::move(run));
+        if (index + 1 < workflows.size()) (*launch)(index + 1);
+      });
     };
     (*launch)(0);
   }

@@ -2,11 +2,12 @@
 // paper's §VII scenario ("the invocation of multiple concurrent functions
 // by different workflows") as a first-class API.
 //
-// In concurrent mode every workflow gets its own WorkflowManager and all
-// start together; in sequential mode each starts when the previous
-// completes (the methodology of the single-workflow figures). Metrics are
-// sampled over the whole fleet window, so the two modes' utilisation and
-// wall time are directly comparable.
+// One WorkflowManager carries the whole fleet: its run table keys every
+// active workflow by run id. In concurrent mode all workflows start
+// together; in sequential mode each starts when the previous completes
+// (the methodology of the single-workflow figures). Metrics are sampled
+// over the whole fleet window, so the two modes' utilisation and wall
+// time are directly comparable.
 #pragma once
 
 #include <string>

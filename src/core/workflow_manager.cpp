@@ -1,6 +1,7 @@
 #include "core/workflow_manager.h"
 
-#include <memory>
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "json/parse.h"
@@ -10,54 +11,142 @@
 
 namespace wfs::core {
 
-struct WorkflowManager::RunState {
+std::string_view to_string(SchedulingMode mode) noexcept {
+  switch (mode) {
+    case SchedulingMode::kPhaseBarrier: return "phase-barrier";
+    case SchedulingMode::kDependencyDriven: return "dependency-driven";
+  }
+  return "?";
+}
+
+SchedulingMode parse_scheduling_mode(std::string_view text) {
+  if (text == "barrier" || text == "phase-barrier" || text == "phasebarrier") {
+    return SchedulingMode::kPhaseBarrier;
+  }
+  if (text == "depdriven" || text == "dependency-driven" || text == "dependencydriven" ||
+      text == "ready") {
+    return SchedulingMode::kDependencyDriven;
+  }
+  throw std::invalid_argument("unknown scheduling mode: " + std::string(text));
+}
+
+namespace detail {
+
+/// One row of the manager's run table. Shared between the manager, the
+/// simulation's scheduled callbacks and any RunHandles; `delivered` gates
+/// every callback so late events after completion/cancellation are no-ops.
+struct WfmRunState {
+  WorkflowManager* owner = nullptr;
+  WfmConfig config;
   ExecutionPlan plan;
-  CompletionCallback on_complete;
+  WorkflowManager::CompletionCallback on_complete;
   WorkflowRunResult result;
   sim::SimTime started_at = 0;
-  sim::SimTime phase_started_at = 0;
-  std::size_t phase_pending = 0;
-  std::size_t phase_failed = 0;
+
+  // Flat task table (row-major over plan.phases) and the ready-set gates.
+  std::vector<const PlannedTask*> tasks;
+  std::vector<std::size_t> pending;        // gate counter; 0 = ready
+  std::vector<sim::SimTime> gate_delay;    // applied when the gate opens
+  std::size_t unfinished = 0;
+
+  // Level-attributed stats (PhaseOutcome source, both modes).
+  struct LevelStats {
+    sim::SimTime first_dispatch = -1;
+    sim::SimTime last_finish = 0;
+    std::size_t finished = 0;
+    std::size_t failed = 0;
+  };
+  std::vector<LevelStats> levels;
+  // Barrier wiring: per level, the flat-id range of the next non-empty
+  // level whose gates open when this level completes.
+  struct NextRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<NextRange> barrier_next;
+  std::vector<std::size_t> level_offset;  // flat id of each level's first task
+
+  bool cancelled = false;
+  bool delivered = false;
 };
+
+}  // namespace detail
+
+using detail::WfmRunState;
+
+// ---- RunHandle -------------------------------------------------------------
+
+bool RunHandle::done() const noexcept {
+  const auto state = state_.lock();
+  return id_ != 0 && (!state || state->delivered);
+}
+
+bool RunHandle::cancel() {
+  const auto state = state_.lock();
+  if (!state || state->delivered || state->owner == nullptr) return false;
+  state->owner->cancel_run(state);
+  return true;
+}
+
+// ---- WorkflowManager -------------------------------------------------------
 
 WorkflowManager::WorkflowManager(sim::Simulation& sim, net::Router& router,
                                  storage::DataStore& fs, WfmConfig config)
     : sim_(sim), router_(router), fs_(fs), config_(std::move(config)) {}
 
-void WorkflowManager::run(const wfcommons::Workflow& workflow, CompletionCallback on_complete) {
-  run(build_plan(workflow, config_.workdir), std::move(on_complete));
+WorkflowManager::~WorkflowManager() {
+  // Orphan still-active runs: their scheduled callbacks check `delivered`
+  // before touching the (now dead) manager, and RunHandle::done() reports
+  // true. Completion callbacks are not fired during teardown.
+  for (auto& [id, state] : runs_) {
+    state->owner = nullptr;
+    state->cancelled = true;
+    state->delivered = true;
+  }
 }
 
-void WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complete) {
-  if (active_) throw std::logic_error("WorkflowManager: a run is already active");
-  active_ = true;
+RunHandle WorkflowManager::run(const wfcommons::Workflow& workflow,
+                               CompletionCallback on_complete,
+                               std::optional<WfmConfig> config) {
+  const std::string& workdir = config ? config->workdir : config_.workdir;
+  return run(build_plan(workflow, workdir), std::move(on_complete), std::move(config));
+}
 
-  auto state = std::make_shared<RunState>();
+RunHandle WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complete,
+                               std::optional<WfmConfig> config) {
+  auto state = std::make_shared<WfmRunState>();
+  state->owner = this;
+  state->config = config ? std::move(*config) : config_;
+  state->result.run_id = next_run_id_++;
+  state->result.scheduling = state->config.scheduling;
   state->result.workflow_name = plan.workflow_name;
   state->result.tasks_total = plan.task_count();
   state->plan = std::move(plan);
   state->on_complete = std::move(on_complete);
   state->started_at = sim_.now();
+  runs_.emplace(state->result.run_id, state);
 
-  if (config_.stage_external_inputs) {
+  if (state->config.stage_external_inputs) {
     for (const wfcommons::TaskFile& file : state->plan.external_inputs) {
       fs_.stage(file.name, file.size_bytes);
     }
   }
 
-  WFS_LOG_INFO("wfm", "running {} ({} tasks, {} phases)", state->result.workflow_name,
-               state->result.tasks_total, state->plan.phases.size());
+  WFS_LOG_INFO("wfm", "run {}: {} ({} tasks, {} levels, {})", state->result.run_id,
+               state->result.workflow_name, state->result.tasks_total,
+               state->plan.phases.size(), to_string(state->config.scheduling));
 
-  if (config_.add_header_tail) {
+  if (state->config.add_header_tail) {
     // The header function marks the run's start on the platform (and warms
     // the route); it carries no files and no work.
-    send_marker(state, "header", [this, state] { start_phase(state, 0); });
+    send_marker(state, "header", [this, state] { start_run(state); });
   } else {
-    start_phase(state, 0);
+    start_run(state);
   }
+  return RunHandle(state->result.run_id, state);
 }
 
-void WorkflowManager::send_marker(std::shared_ptr<RunState> state, const std::string& suffix,
+void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
                                   std::function<void()> next) {
   if (state->plan.phases.empty() || state->plan.phases.front().empty()) {
     next();
@@ -68,7 +157,7 @@ void WorkflowManager::send_marker(std::shared_ptr<RunState> state, const std::st
   params.percent_cpu = 0.1;
   params.cpu_work = 0.0;
   params.memory_bytes = 0;
-  params.workdir = config_.workdir;
+  params.workdir = state->config.workdir;
 
   net::HttpRequest request;
   request.url = net::parse_url(state->plan.phases.front().front().api_url);
@@ -79,35 +168,88 @@ void WorkflowManager::send_marker(std::shared_ptr<RunState> state, const std::st
   });
 }
 
-void WorkflowManager::start_phase(std::shared_ptr<RunState> state, std::size_t phase_index) {
-  if (phase_index >= state->plan.phases.size()) {
-    finish_run(state);
+void WorkflowManager::prime_gates(const StatePtr& state) {
+  const ExecutionPlan& plan = state->plan;
+  const std::size_t total = plan.task_count();
+  state->tasks.reserve(total);
+  state->level_offset.reserve(plan.phases.size());
+  for (const auto& phase : plan.phases) {
+    state->level_offset.push_back(state->tasks.size());
+    for (const PlannedTask& task : phase) state->tasks.push_back(&task);
+  }
+  state->levels.resize(plan.phases.size());
+  state->unfinished = total;
+  state->gate_delay.assign(total, 0);
+  state->barrier_next.assign(plan.phases.size(), {});
+
+  if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
+    state->pending = plan.indegrees();
+    for (sim::SimTime& delay : state->gate_delay) delay = state->config.dispatch_delay;
     return;
   }
-  const auto& phase = state->plan.phases[phase_index];
-  state->phase_started_at = sim_.now();
-  state->phase_pending = phase.size();
-  state->phase_failed = 0;
-  WFS_LOG_DEBUG("wfm", "phase {} of {}: {} functions", phase_index,
-                state->plan.phases.size(), phase.size());
-  if (phase.empty()) {
-    // Degenerate but possible via hand-built plans.
-    state->result.phases.push_back(PhaseOutcome{phase_index, 0, 0, 0.0});
-    sim_.schedule_in(config_.phase_delay,
-                     [this, state, phase_index] { start_phase(state, phase_index + 1); });
-    return;
-  }
-  // All functions of the phase are collected and simultaneously executed
-  // (paper §III-C).
-  for (std::size_t t = 0; t < phase.size(); ++t) {
-    dispatch_task(state, phase_index, t, config_.max_input_polls);
+
+  // Phase barrier: a level's gates (one pending unit per task) open when the
+  // nearest previous non-empty level completes; consecutive empty levels
+  // each contribute one phase_delay, matching the prototype's lockstep loop.
+  state->pending.assign(total, 0);
+  std::size_t previous = std::numeric_limits<std::size_t>::max();  // none yet
+  std::size_t empties = 0;
+  for (std::size_t level = 0; level < plan.phases.size(); ++level) {
+    if (plan.phases[level].empty()) {
+      ++empties;
+      continue;
+    }
+    const std::size_t begin = state->level_offset[level];
+    const std::size_t end = begin + plan.phases[level].size();
+    if (previous == std::numeric_limits<std::size_t>::max()) {
+      // First non-empty level: ready at start (delayed only by any empty
+      // levels preceding it).
+      for (std::size_t id = begin; id < end; ++id) {
+        state->gate_delay[id] = state->config.phase_delay * static_cast<sim::SimTime>(empties);
+      }
+    } else {
+      state->barrier_next[previous] = {begin, end};
+      for (std::size_t id = begin; id < end; ++id) {
+        state->pending[id] = 1;
+        state->gate_delay[id] =
+            state->config.phase_delay * static_cast<sim::SimTime>(1 + empties);
+      }
+    }
+    previous = level;
+    empties = 0;
   }
 }
 
-void WorkflowManager::dispatch_task(std::shared_ptr<RunState> state, std::size_t phase_index,
-                                    std::size_t task_index, int polls_left) {
-  const PlannedTask& task = state->plan.phases[phase_index][task_index];
-  if (config_.check_inputs) {
+void WorkflowManager::start_run(StatePtr state) {
+  if (state->delivered) return;
+  prime_gates(state);
+  if (state->unfinished == 0) {
+    finish_run(state);
+    return;
+  }
+  // Release the initial ready set (tasks whose gate is already open).
+  for (std::size_t id = 0; id < state->pending.size(); ++id) {
+    if (state->pending[id] == 0) release_task(state, id, state->gate_delay[id]);
+  }
+}
+
+void WorkflowManager::release_task(StatePtr state, std::size_t task_id, sim::SimTime delay) {
+  auto dispatch = [this, state, task_id] {
+    dispatch_task(state, task_id, state->config.max_input_polls);
+  };
+  if (delay <= 0) {
+    dispatch();
+  } else {
+    sim_.schedule_in(delay, std::move(dispatch));
+  }
+}
+
+void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int polls_left) {
+  if (state->delivered) return;
+  const PlannedTask& task = *state->tasks[task_id];
+  auto& stats = state->levels[task.level];
+  if (stats.first_dispatch < 0) stats.first_dispatch = sim_.now();
+  if (state->config.check_inputs) {
     bool all_present = true;
     for (const std::string& input : task.params.inputs) {
       if (!fs_.exists(input)) {
@@ -121,50 +263,55 @@ void WorkflowManager::dispatch_task(std::shared_ptr<RunState> state, std::size_t
         TaskOutcome outcome;
         outcome.name = task.name;
         outcome.ok = false;
-        outcome.phase = phase_index;
+        outcome.phase = task.level;
         outcome.started_seconds = sim::to_seconds(sim_.now() - state->started_at);
         outcome.error = "input files never appeared on the shared drive";
-        task_finished(state, phase_index, outcome);
+        task_finished(state, task_id, outcome);
         return;
       }
-      sim_.schedule_in(config_.input_poll_interval,
-                       [this, state, phase_index, task_index, polls_left] {
-                         dispatch_task(state, phase_index, task_index, polls_left - 1);
+      sim_.schedule_in(state->config.input_poll_interval,
+                       [this, state, task_id, polls_left] {
+                         dispatch_task(state, task_id, polls_left - 1);
                        });
       return;
     }
   }
-  send_request(state, phase_index, task_index, config_.task_retries);
+  send_request(state, task_id, state->config.task_retries);
 }
 
-void WorkflowManager::send_request(std::shared_ptr<RunState> state, std::size_t phase_index,
-                                   std::size_t task_index, int retries_left) {
-  const PlannedTask& task = state->plan.phases[phase_index][task_index];
+void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retries_left) {
+  const PlannedTask& task = *state->tasks[task_id];
   net::HttpRequest request;
   request.url = net::parse_url(task.api_url);
   request.body = json::write_compact(wfbench::to_json(task.params));
   const sim::SimTime sent_at = sim_.now();
-  router_.send(std::move(request), [this, state, phase_index, task_index, retries_left,
-                                    name = task.name,
+  router_.send(std::move(request), [this, state, task_id, retries_left, name = task.name,
+                                    level = task.level,
                                     sent_at](const net::HttpResponse& response) {
+    if (state->delivered) return;
     if (!response.ok() && retries_left > 0) {
       // Transient fault (pod killed mid-request, 503 during scale-down):
-      // re-invoke after a short backoff — the function is idempotent, it
-      // just rewrites its outputs.
+      // re-invoke after a backoff — the function is idempotent, it just
+      // rewrites its outputs. A platform Retry-After hint overrides the
+      // configured backoff.
       ++state->result.task_retries;
+      const sim::SimTime backoff =
+          response.retry_after_ms > 0
+              ? static_cast<sim::SimTime>(response.retry_after_ms) * sim::kMillisecond
+              : state->config.retry_backoff;
       WFS_LOG_DEBUG("wfm", "retrying {} ({} attempts left) after status {}", name,
                     retries_left, response.status);
-      sim_.schedule_in(config_.retry_backoff,
-                       [this, state, phase_index, task_index, retries_left] {
-                         send_request(state, phase_index, task_index, retries_left - 1);
-                       });
+      sim_.schedule_in(backoff, [this, state, task_id, retries_left] {
+        if (state->delivered) return;
+        send_request(state, task_id, retries_left - 1);
+      });
       return;
     }
     TaskOutcome outcome;
     outcome.name = name;
     outcome.http_status = response.status;
     outcome.ok = response.ok();
-    outcome.phase = phase_index;
+    outcome.phase = level;
     outcome.started_seconds = sim::to_seconds(sent_at - state->started_at);
     outcome.wall_seconds = sim::to_seconds(sim_.now() - sent_at);
     if (outcome.ok) {
@@ -179,44 +326,95 @@ void WorkflowManager::send_request(std::shared_ptr<RunState> state, std::size_t 
     } else {
       outcome.error = response.body;
     }
-    task_finished(state, phase_index, outcome);
+    task_finished(state, task_id, outcome);
   });
 }
 
-void WorkflowManager::task_finished(std::shared_ptr<RunState> state, std::size_t phase_index,
+void WorkflowManager::task_finished(StatePtr state, std::size_t task_id,
                                     const TaskOutcome& outcome) {
+  if (state->delivered) return;
+  const PlannedTask& task = *state->tasks[task_id];
+  auto& stats = state->levels[task.level];
   if (!outcome.ok) {
     ++state->result.tasks_failed;
-    ++state->phase_failed;
+    ++stats.failed;
     WFS_LOG_DEBUG("wfm", "task {} failed: {} ({})", outcome.name, outcome.http_status,
                   outcome.error);
   }
   state->result.tasks.push_back(outcome);
-  if (--state->phase_pending > 0) return;
+  ++stats.finished;
+  stats.last_finish = std::max(stats.last_finish, sim_.now());
+  --state->unfinished;
 
-  state->result.phases.push_back(
-      PhaseOutcome{phase_index, state->plan.phases[phase_index].size(), state->phase_failed,
-                   sim::to_seconds(sim_.now() - state->phase_started_at)});
-  // The paper's fixed inter-phase settle delay.
-  sim_.schedule_in(config_.phase_delay,
-                   [this, state, phase_index] { start_phase(state, phase_index + 1); });
+  // Open downstream gates. One loop serves both modes; only the edge set
+  // differs: DAG children versus the complete bipartite level barrier.
+  if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
+    for (const std::size_t child : task.children) {
+      if (--state->pending[child] == 0) {
+        release_task(state, child, state->gate_delay[child]);
+      }
+    }
+  } else if (stats.finished == state->plan.phases[task.level].size()) {
+    const auto& next = state->barrier_next[task.level];
+    for (std::size_t id = next.begin; id < next.end; ++id) {
+      if (--state->pending[id] == 0) release_task(state, id, state->gate_delay[id]);
+    }
+  }
+
+  if (state->unfinished == 0) finish_run(state);
 }
 
-void WorkflowManager::finish_run(std::shared_ptr<RunState> state) {
+void WorkflowManager::finish_run(StatePtr state) {
   auto complete = [this, state] {
+    if (state->delivered) return;
     state->result.completed = true;
+    record_level_outcomes(state);
     state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
-    active_ = false;
-    WFS_LOG_INFO("wfm", "{} finished in {:.1f}s ({} failed of {})",
-                 state->result.workflow_name, state->result.makespan_seconds,
-                 state->result.tasks_failed, state->result.tasks_total);
-    if (state->on_complete) state->on_complete(std::move(state->result));
+    WFS_LOG_INFO("wfm", "run {}: {} finished in {:.1f}s ({} failed of {})",
+                 state->result.run_id, state->result.workflow_name,
+                 state->result.makespan_seconds, state->result.tasks_failed,
+                 state->result.tasks_total);
+    deliver(state);
   };
-  if (config_.add_header_tail) {
+  if (state->config.add_header_tail) {
     send_marker(state, "tail", complete);
   } else {
     complete();
   }
+}
+
+void WorkflowManager::record_level_outcomes(const StatePtr& state) {
+  state->result.phases.clear();
+  state->result.phases.reserve(state->levels.size());
+  for (std::size_t level = 0; level < state->levels.size(); ++level) {
+    const auto& stats = state->levels[level];
+    const double wall = stats.first_dispatch >= 0
+                            ? sim::to_seconds(std::max<sim::SimTime>(
+                                  stats.last_finish - stats.first_dispatch, 0))
+                            : 0.0;
+    state->result.phases.push_back(
+        PhaseOutcome{level, state->plan.phases[level].size(), stats.failed, wall});
+  }
+}
+
+void WorkflowManager::cancel_run(const StatePtr& state) {
+  state->cancelled = true;
+  state->result.cancelled = true;
+  state->result.completed = false;
+  record_level_outcomes(state);
+  state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
+  WFS_LOG_INFO("wfm", "run {}: {} cancelled after {:.1f}s ({} of {} tasks done)",
+               state->result.run_id, state->result.workflow_name,
+               state->result.makespan_seconds, state->result.tasks.size(),
+               state->result.tasks_total);
+  deliver(state);
+}
+
+void WorkflowManager::deliver(const StatePtr& state) {
+  if (state->delivered) return;
+  state->delivered = true;
+  runs_.erase(state->result.run_id);
+  if (state->on_complete) state->on_complete(std::move(state->result));
 }
 
 }  // namespace wfs::core

@@ -1,22 +1,36 @@
 // The serverless workflow manager (the paper's §III-C contribution).
 //
-// Behaviourally faithful to the prototype:
+// Behaviourally faithful to the prototype, generalised into a ready-set
+// dispatch engine with two scheduling modes:
 //  * input: a translated workflow (JSON or IR) whose tasks carry api_urls;
-//  * a synthetic header function opens and a tail function closes the run;
-//  * execution proceeds phase by phase over the DAG's levels: every
-//    function of a phase is invoked simultaneously via HTTP POST to its
-//    endpoint;
+//  * a synthetic header function opens and a tail function closes each run;
+//  * phase-barrier mode (paper default): execution proceeds level by level
+//    over the DAG — every function of a level is invoked simultaneously via
+//    HTTP POST, the next level starts only after every response arrived plus
+//    a fixed delay (paper: 1 second);
+//  * dependency-driven mode (extension): every task carries a pending-parent
+//    counter and is dispatched the moment its last DAG parent finished, with
+//    a per-task dispatch delay — imbalanced levels no longer serialise the
+//    run behind their slowest task;
 //  * before invoking a function the WFM checks its input files exist on the
-//    shared drive (polling briefly if not — outputs of the previous phase
-//    may still be in flight);
-//  * a configurable 1-second delay separates consecutive phases.
-// Works against ANY platform bound on the router — Knative or the local
-// container runtime — exactly the portability claim of the paper.
+//    shared drive (polling briefly if not — parent outputs may still be in
+//    flight).
+// Both modes run through ONE dispatch loop: the barrier is expressed as a
+// ready-set whose edges connect consecutive non-empty levels completely.
+//
+// A manager handles any number of concurrent runs; run() returns a RunHandle
+// (run id + done()/cancel()) and internal state lives in a run table keyed
+// by id. Works against ANY platform bound on the router — Knative or the
+// local container runtime — exactly the portability claim of the paper.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dag.h"
@@ -27,9 +41,29 @@
 
 namespace wfs::core {
 
+namespace detail {
+struct WfmRunState;  // the per-run record in the manager's run table
+}
+
+/// How the WFM decides when a task may be dispatched.
+enum class SchedulingMode {
+  kPhaseBarrier,      // paper §III-C: lockstep DAG levels + inter-phase delay
+  kDependencyDriven,  // ready-set: dispatch when the last parent finished
+};
+
+[[nodiscard]] std::string_view to_string(SchedulingMode mode) noexcept;
+/// Accepts "barrier"/"phase-barrier" and "depdriven"/"dependency-driven"/
+/// "ready". Throws std::invalid_argument otherwise.
+[[nodiscard]] SchedulingMode parse_scheduling_mode(std::string_view text);
+
 struct WfmConfig {
-  /// Delay inserted between phases (paper: 1 second).
+  /// Task dispatch policy (see SchedulingMode).
+  SchedulingMode scheduling = SchedulingMode::kPhaseBarrier;
+  /// Phase-barrier mode: delay inserted between levels (paper: 1 second).
   sim::SimTime phase_delay = sim::kSecond;
+  /// Dependency-driven mode: per-task delay between a task becoming ready
+  /// (last parent finished) and its dispatch.
+  sim::SimTime dispatch_delay = 0;
   /// Check input-file availability on the shared drive before dispatch.
   bool check_inputs = true;
   /// Poll cadence / budget while waiting for inputs to appear.
@@ -46,7 +80,8 @@ struct WfmConfig {
   /// Retries make the WFM robust to transient platform faults — pod churn,
   /// 503s during scale-down — without any platform cooperation.
   int task_retries = 0;
-  /// Delay before each retry.
+  /// Delay before each retry; a platform Retry-After hint
+  /// (net::HttpResponse::retry_after_ms) overrides it per response.
   sim::SimTime retry_backoff = 2 * sim::kSecond;
 };
 
@@ -57,20 +92,27 @@ struct TaskOutcome {
   double started_seconds = 0.0;  // request sent (run-relative)
   double runtime_seconds = 0.0;  // service-reported
   double wall_seconds = 0.0;     // request round-trip
-  std::size_t phase = 0;
+  std::size_t phase = 0;         // DAG level of the task
   std::string error;
 };
 
+/// Level-attributed execution stats. Under phase-barrier scheduling a level
+/// IS a lockstep phase; under dependency-driven scheduling levels overlap,
+/// so `wall_seconds` spans first dispatch to last completion of the level's
+/// tasks (reports render identically either way).
 struct PhaseOutcome {
-  std::size_t index = 0;
+  std::size_t index = 0;  // DAG level
   std::size_t tasks = 0;
   std::size_t failed = 0;
   double wall_seconds = 0.0;
 };
 
 struct WorkflowRunResult {
+  std::uint64_t run_id = 0;
   std::string workflow_name;
-  bool completed = false;          // all phases executed (possibly with failures)
+  SchedulingMode scheduling = SchedulingMode::kPhaseBarrier;
+  bool completed = false;          // all tasks executed (possibly with failures)
+  bool cancelled = false;          // aborted via RunHandle::cancel()
   std::size_t tasks_total = 0;
   std::size_t tasks_failed = 0;
   std::size_t task_retries = 0;    // re-sent invocations (fault tolerance)
@@ -82,42 +124,85 @@ struct WorkflowRunResult {
   [[nodiscard]] bool ok() const noexcept { return completed && tasks_failed == 0; }
 };
 
+/// Lightweight, copyable reference to a run in a WorkflowManager's run
+/// table. Valid to query after the run (or even the manager) is gone.
+class RunHandle {
+ public:
+  RunHandle() = default;
+
+  /// Monotonic per-manager run id (0 = default-constructed, invalid).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+  /// True once the completion callback fired (or the run was cancelled, or
+  /// its manager was destroyed).
+  [[nodiscard]] bool done() const noexcept;
+  /// Aborts the run: pending dispatches are suppressed, in-flight responses
+  /// are dropped, and the completion callback fires immediately with
+  /// completed=false / cancelled=true. Returns false when the run already
+  /// finished (or the handle is invalid).
+  bool cancel();
+
+ private:
+  friend class WorkflowManager;
+  RunHandle(std::uint64_t id, std::weak_ptr<detail::WfmRunState> state)
+      : id_(id), state_(std::move(state)) {}
+
+  std::uint64_t id_ = 0;
+  std::weak_ptr<detail::WfmRunState> state_;
+};
+
 class WorkflowManager {
  public:
   using CompletionCallback = std::function<void(WorkflowRunResult)>;
 
   WorkflowManager(sim::Simulation& sim, net::Router& router, storage::DataStore& fs,
                   WfmConfig config = {});
+  ~WorkflowManager();
 
-  /// Runs a translated workflow asynchronously; `on_complete` fires once
-  /// when the tail finishes (or the run aborts). One run at a time.
-  void run(const wfcommons::Workflow& workflow, CompletionCallback on_complete);
+  /// Starts a translated workflow asynchronously; `on_complete` fires once
+  /// when the tail finishes (or the run aborts). Any number of runs may be
+  /// active concurrently. `config` overrides the manager's default WfmConfig
+  /// for this run only (campaigns vary phase_delay/task_retries per run
+  /// without rebuilding the manager).
+  RunHandle run(const wfcommons::Workflow& workflow, CompletionCallback on_complete,
+                std::optional<WfmConfig> config = std::nullopt);
 
   /// Same, from a pre-built plan.
-  void run(ExecutionPlan plan, CompletionCallback on_complete);
+  RunHandle run(ExecutionPlan plan, CompletionCallback on_complete,
+                std::optional<WfmConfig> config = std::nullopt);
 
-  [[nodiscard]] bool busy() const noexcept { return active_; }
+  /// Number of runs currently in the run table.
+  [[nodiscard]] std::size_t active_runs() const noexcept { return runs_.size(); }
+
+  [[deprecated("the one-run-at-a-time contract is gone; use active_runs() or "
+               "RunHandle::done()")]]
+  [[nodiscard]] bool busy() const noexcept { return !runs_.empty(); }
+
   [[nodiscard]] const WfmConfig& config() const noexcept { return config_; }
 
  private:
-  struct RunState;
+  friend class RunHandle;  // cancel() drives cancel_run()
 
-  void start_phase(std::shared_ptr<RunState> state, std::size_t phase_index);
-  void dispatch_task(std::shared_ptr<RunState> state, std::size_t phase_index,
-                     std::size_t task_index, int polls_left);
-  void send_request(std::shared_ptr<RunState> state, std::size_t phase_index,
-                    std::size_t task_index, int retries_left);
-  void task_finished(std::shared_ptr<RunState> state, std::size_t phase_index,
-                     const TaskOutcome& outcome);
-  void finish_run(std::shared_ptr<RunState> state);
-  void send_marker(std::shared_ptr<RunState> state, const std::string& suffix,
-                   std::function<void()> next);
+  using StatePtr = std::shared_ptr<detail::WfmRunState>;
+
+  void start_run(StatePtr state);
+  void prime_gates(const StatePtr& state);
+  void release_task(StatePtr state, std::size_t task_id, sim::SimTime delay);
+  void dispatch_task(StatePtr state, std::size_t task_id, int polls_left);
+  void send_request(StatePtr state, std::size_t task_id, int retries_left);
+  void task_finished(StatePtr state, std::size_t task_id, const TaskOutcome& outcome);
+  void finish_run(StatePtr state);
+  void record_level_outcomes(const StatePtr& state);
+  void cancel_run(const StatePtr& state);
+  void deliver(const StatePtr& state);
+  void send_marker(StatePtr state, const std::string& suffix, std::function<void()> next);
 
   sim::Simulation& sim_;
   net::Router& router_;
   storage::DataStore& fs_;
   WfmConfig config_;
-  bool active_ = false;
+  std::uint64_t next_run_id_ = 1;
+  std::unordered_map<std::uint64_t, StatePtr> runs_;
 };
 
 }  // namespace wfs::core

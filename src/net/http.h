@@ -38,16 +38,32 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string body;
+  /// Retry-After analogue: when > 0, the server hints that the client should
+  /// wait this long before re-sending (platforms attach it to transient
+  /// 503s so the WFM's retry path can back off precisely instead of using
+  /// its fixed retry_backoff).
+  int retry_after_ms = 0;
 
   [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
 
-  static HttpResponse make_ok(std::string body = "{}") { return {200, std::move(body)}; }
-  static HttpResponse not_found(std::string reason = "not found") {
-    return {404, std::move(reason)};
+  /// General-purpose factory; prefer it over brace-initialisation so call
+  /// sites survive field additions.
+  static HttpResponse make(int status, std::string body, int retry_after_ms = 0) {
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    response.retry_after_ms = retry_after_ms;
+    return response;
   }
-  static HttpResponse bad_request(std::string reason) { return {400, std::move(reason)}; }
-  static HttpResponse service_unavailable(std::string reason) { return {503, std::move(reason)}; }
-  static HttpResponse server_error(std::string reason) { return {500, std::move(reason)}; }
+  static HttpResponse make_ok(std::string body = "{}") { return make(200, std::move(body)); }
+  static HttpResponse not_found(std::string reason = "not found") {
+    return make(404, std::move(reason));
+  }
+  static HttpResponse bad_request(std::string reason) { return make(400, std::move(reason)); }
+  static HttpResponse service_unavailable(std::string reason, int retry_after_ms = 0) {
+    return make(503, std::move(reason), retry_after_ms);
+  }
+  static HttpResponse server_error(std::string reason) { return make(500, std::move(reason)); }
 };
 
 }  // namespace wfs::net

@@ -9,6 +9,10 @@
 namespace wfs::wfbench {
 namespace {
 
+/// Retry-After hint on pod-churn 503s: about one autoscaler tick — the time
+/// a replacement replica typically needs to appear.
+constexpr int kRetryAfterMs = 1000;
+
 net::HttpResponse ok_response(const TaskParams& params, double runtime_seconds) {
   json::Object body;
   body.set("name", params.name);
@@ -189,15 +193,21 @@ void WfBenchService::shutdown() {
   shutdown_ = true;
   ++generation_;  // invalidate all pending async phases
 
+  // Pod churn (scale-down, chaos kill): the request would have succeeded on
+  // another replica, so hint a short Retry-After — roughly the platform's
+  // replacement latency — instead of letting clients apply their full
+  // default backoff.
   for (PendingRequest& pending : queue_) {
-    pending.done(net::HttpResponse::service_unavailable("service terminating"));
+    pending.done(
+        net::HttpResponse::service_unavailable("service terminating", kRetryAfterMs));
     ++stats_.failed;
   }
   queue_.clear();
 
   for (Worker& worker : workers_) {
     if (worker.active_done) {
-      (*worker.active_done)(net::HttpResponse::service_unavailable("service terminating"));
+      (*worker.active_done)(
+          net::HttpResponse::service_unavailable("service terminating", kRetryAfterMs));
       worker.active_done.reset();
       ++stats_.failed;
     }

@@ -2,6 +2,7 @@
 // serverless workflow manager, and the report helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "core/dag.h"
@@ -18,6 +19,7 @@
 #include "wfbench/task_params.h"
 #include "wfcommons/analysis.h"
 #include "wfcommons/generator.h"
+#include "wfcommons/recipes/recipe.h"
 #include "wfcommons/translators/knative.h"
 
 namespace wfs::core {
@@ -67,6 +69,36 @@ TEST(ExecutionPlan, ExternalInputsListed) {
   const ExecutionPlan plan = build_plan(wf, "/shared");
   ASSERT_EQ(plan.external_inputs.size(), 1u);
   EXPECT_EQ(plan.external_inputs[0].name, "blast_input.fasta");
+}
+
+TEST(ExecutionPlan, DependencyEdgesMirrorWorkflow) {
+  const wfcommons::Workflow wf = translated("epigenomics", 40);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+
+  const std::vector<std::size_t> indegrees = plan.indegrees();
+  ASSERT_EQ(indegrees.size(), plan.task_count());
+
+  std::size_t edges = 0;
+  std::size_t roots = 0;
+  for (std::size_t level = 0; level < plan.phases.size(); ++level) {
+    for (std::size_t i = 0; i < plan.phases[level].size(); ++i) {
+      const std::size_t id = plan.flat_id(level, i);
+      const PlannedTask& task = plan.task(id);
+      EXPECT_EQ(task.level, level);
+      EXPECT_EQ(task.parents.size(), indegrees[id]);
+      if (task.parents.empty()) ++roots;
+      edges += task.parents.size();
+      // Parent edges always point to an earlier level, and every edge is
+      // mirrored in the parent's child list.
+      for (const std::size_t parent : task.parents) {
+        EXPECT_LT(plan.task(parent).level, level);
+        const auto& siblings = plan.task(parent).children;
+        EXPECT_NE(std::find(siblings.begin(), siblings.end(), id), siblings.end());
+      }
+    }
+  }
+  EXPECT_EQ(edges, wf.edge_count());
+  EXPECT_EQ(roots, wf.roots().size());
 }
 
 TEST(ExecutionPlan, RejectsUntranslatedWorkflow) {
@@ -132,36 +164,67 @@ TEST(Paradigm, LocalConfigsMatchLabels) {
 
 // ---- workflow manager (against a scripted fake service) --------------------------
 
+/// Binds a fake wfbench endpoint on "svc:80" that records request order,
+/// asserts inputs are present, writes the declared outputs to the shared
+/// drive, then responds 200. When `seconds_per_cpu_work` > 0 the service
+/// time scales with the task's cpu_work (for imbalance experiments);
+/// otherwise every request takes `service_time`.
+void bind_fake_wfbench(sim::Simulation& sim, storage::SharedFilesystem& fs,
+                       net::Router& router, std::vector<std::string>* requests,
+                       sim::SimTime service_time = 100 * sim::kMillisecond,
+                       double seconds_per_cpu_work = 0.0) {
+  router.bind("svc:80", [&sim, &fs, requests, service_time, seconds_per_cpu_work](
+                            const net::HttpRequest& request,
+                            std::shared_ptr<net::Responder> responder) {
+    const wfbench::TaskParams params =
+        wfbench::task_params_from_json(json::parse(request.body));
+    if (requests != nullptr) requests->push_back(params.name);
+    for (const std::string& input : params.inputs) {
+      EXPECT_TRUE(fs.exists(input)) << params.name << " invoked before input " << input;
+    }
+    const sim::SimTime busy = seconds_per_cpu_work > 0.0
+                                  ? sim::from_seconds(params.cpu_work * seconds_per_cpu_work)
+                                  : service_time;
+    sim.schedule_in(busy, [&fs, params, responder] {
+      if (params.outputs.empty()) {
+        responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+        return;
+      }
+      auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+      for (const auto& [file, size] : params.outputs) {
+        fs.write(file, size, [remaining, responder] {
+          if (--*remaining == 0) {
+            responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+          }
+        });
+      }
+    });
+  });
+}
+
+/// One isolated run against the fake service: fresh simulation, drive and
+/// router per call, so scheduling modes can be compared without shared
+/// state.
+WorkflowRunResult run_isolated(const wfcommons::Workflow& wf, const WfmConfig& config,
+                               double seconds_per_cpu_work = 0.0) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim);
+  bind_fake_wfbench(sim, fs, router, nullptr, 100 * sim::kMillisecond,
+                    seconds_per_cpu_work);
+  WorkflowManager wfm(sim, router, fs);
+  WorkflowRunResult result;
+  wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); }, config);
+  sim.run();
+  return result;
+}
+
 class WfmTest : public testing::Test {
  protected:
   WfmTest() : fs_(sim_), router_(sim_) {}
 
-  /// Binds a fake wfbench endpoint that records request order, writes the
-  /// declared outputs to the shared drive, then responds 200.
   void bind_fake_service(sim::SimTime service_time = 100 * sim::kMillisecond) {
-    router_.bind("svc:80", [this, service_time](const net::HttpRequest& request,
-                                                std::shared_ptr<net::Responder> responder) {
-      const wfbench::TaskParams params =
-          wfbench::task_params_from_json(json::parse(request.body));
-      requests_.push_back(params.name);
-      for (const std::string& input : params.inputs) {
-        EXPECT_TRUE(fs_.exists(input)) << params.name << " invoked before input " << input;
-      }
-      sim_.schedule_in(service_time, [this, params, responder] {
-        if (params.outputs.empty()) {
-          responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
-          return;
-        }
-        auto remaining = std::make_shared<std::size_t>(params.outputs.size());
-        for (const auto& [file, size] : params.outputs) {
-          fs_.write(file, size, [remaining, responder] {
-            if (--*remaining == 0) {
-              responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
-            }
-          });
-        }
-      });
-    });
+    bind_fake_wfbench(sim_, fs_, router_, &requests_, service_time);
   }
 
   sim::Simulation sim_;
@@ -265,15 +328,118 @@ TEST_F(WfmTest, ServiceErrorsAreRecordedPerTask) {
   }
 }
 
-TEST_F(WfmTest, RejectsConcurrentRuns) {
+TEST_F(WfmTest, ConcurrentRunsShareOneManager) {
   bind_fake_service();
   WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
-  wfm.run(translated("blast", 10), [](WorkflowRunResult) {});
-  EXPECT_TRUE(wfm.busy());
-  EXPECT_THROW(wfm.run(translated("blast", 10), [](WorkflowRunResult) {}),
-               std::logic_error);
+  std::vector<WorkflowRunResult> results;
+  const RunHandle first =
+      wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { results.push_back(std::move(r)); });
+  const RunHandle second =
+      wfm.run(translated("seismology", 8), [&](WorkflowRunResult r) { results.push_back(std::move(r)); });
+  EXPECT_EQ(wfm.active_runs(), 2u);
+  EXPECT_NE(first.id(), second.id());
+  EXPECT_FALSE(first.done());
+  EXPECT_FALSE(second.done());
+
   sim_.run();
-  EXPECT_FALSE(wfm.busy());
+
+  EXPECT_EQ(wfm.active_runs(), 0u);
+  EXPECT_TRUE(first.done());
+  EXPECT_TRUE(second.done());
+  ASSERT_EQ(results.size(), 2u);
+  for (const WorkflowRunResult& result : results) {
+    EXPECT_TRUE(result.ok()) << result.workflow_name;
+  }
+  // The run table kept the interleaved runs apart.
+  EXPECT_NE(results[0].run_id, results[1].run_id);
+  EXPECT_NE(results[0].workflow_name, results[1].workflow_name);
+  EXPECT_EQ(results[0].tasks_total + results[1].tasks_total, 18u);
+}
+
+TEST_F(WfmTest, RunHandleCancelAbortsTheRun) {
+  bind_fake_service();
+  WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
+  WorkflowRunResult result;
+  bool completed_fired = false;
+  RunHandle handle = wfm.run(translated("blast", 10), [&](WorkflowRunResult r) {
+    completed_fired = true;
+    result = std::move(r);
+  });
+  sim_.run_until(2 * sim::kSecond);  // mid-run: phase 0 done, blastalls pending
+
+  ASSERT_FALSE(handle.done());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_TRUE(handle.done());
+  EXPECT_TRUE(completed_fired);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(result.tasks.size(), result.tasks_total);
+  EXPECT_EQ(wfm.active_runs(), 0u);
+  EXPECT_FALSE(handle.cancel());  // idempotent: already done
+
+  // Draining the remaining events must not resurrect the cancelled run.
+  sim_.run();
+  EXPECT_TRUE(result.cancelled);
+}
+
+TEST_F(WfmTest, PerRunConfigOverride) {
+  bind_fake_service(0);
+  WfmConfig slow;  // the manager default: a run would take >= 40 s
+  slow.phase_delay = 20 * sim::kSecond;
+  slow.add_header_tail = false;
+  WorkflowManager wfm(sim_, router_, fs_, slow);
+
+  WfmConfig fast = slow;
+  fast.phase_delay = 0;
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); },
+          fast);
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  EXPECT_LT(result.makespan_seconds, 5.0);  // the override, not the default, applied
+  EXPECT_EQ(wfm.config().phase_delay, 20 * sim::kSecond);  // default untouched
+}
+
+TEST_F(WfmTest, RetryHonorsRetryAfterHint) {
+  // First attempt of every task gets a 503 carrying a 100 ms Retry-After
+  // hint; the configured backoff is a prohibitive 50 s. If the hint drives
+  // the retry clock the run finishes in seconds.
+  std::map<std::string, int> attempts;
+  router_.bind("svc:80", [this, &attempts](const net::HttpRequest& request,
+                                           std::shared_ptr<net::Responder> responder) {
+    const wfbench::TaskParams params =
+        wfbench::task_params_from_json(json::parse(request.body));
+    if (++attempts[params.name] == 1) {
+      responder->respond(net::HttpResponse::service_unavailable("scaling down", 100));
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+    if (params.outputs.empty()) {
+      responder->respond(net::HttpResponse::make_ok());
+      return;
+    }
+    for (const auto& [file, size] : params.outputs) {
+      fs_.write(file, size, [remaining, responder] {
+        if (--*remaining == 0) responder->respond(net::HttpResponse::make_ok());
+      });
+    }
+  });
+
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.task_retries = 1;
+  config.retry_backoff = 50 * sim::kSecond;
+  config.phase_delay = 0;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.task_retries, 0u);
+  EXPECT_LT(result.makespan_seconds, 10.0);  // 50 s backoff would blow past this
 }
 
 TEST_F(WfmTest, RetriesRecoverFromTransientFailures) {
@@ -347,6 +513,116 @@ TEST_F(WfmTest, HeaderTailDisabled) {
   wfm.run(wf, [&](WorkflowRunResult r) { result = std::move(r); });
   sim_.run();
   EXPECT_EQ(requests_.size(), wf.size());
+}
+
+// ---- scheduling modes -------------------------------------------------------------
+
+/// Hand-built DAG with one slow straggler next to a fast chain:
+///
+///   root -> a1 -> a2 -> a3 -> sink     (fast chain, cpu_work 10 each)
+///   root -> b ----------------> sink   (straggler, cpu_work 500)
+///
+/// Under the level barrier, a2 (level 2) cannot start until b (level 1)
+/// finished; dependency-driven scheduling overlaps the chain with b.
+wfcommons::Workflow imbalanced_workflow() {
+  wfcommons::Workflow wf("imbalanced");
+  auto add = [&wf](const std::string& name, double cpu_work,
+                   const std::vector<std::string>& input_files) {
+    wfcommons::Task task;
+    task.name = name;
+    task.category = name;
+    task.cpu_work = cpu_work;
+    task.memory_bytes = 1 << 20;
+    for (const std::string& input : input_files) {
+      task.files.push_back({wfcommons::TaskFile::Link::kInput, input, 1024});
+    }
+    task.files.push_back({wfcommons::TaskFile::Link::kOutput, name + ".out", 1024});
+    task.api_url = "http://svc:80/wfbench";
+    wf.add_task(std::move(task));
+  };
+  add("root", 10, {});
+  add("a1", 10, {"root.out"});
+  add("a2", 10, {"a1.out"});
+  add("a3", 10, {"a2.out"});
+  add("b", 500, {"root.out"});
+  add("sink", 10, {"a3.out", "b.out"});
+  wf.connect("root", "a1");
+  wf.connect("a1", "a2");
+  wf.connect("a2", "a3");
+  wf.connect("root", "b");
+  wf.connect("a3", "sink");
+  wf.connect("b", "sink");
+  EXPECT_TRUE(wf.validate().empty());
+  return wf;
+}
+
+TEST(SchedulingModes, ModesAgreeOnEveryRecipe) {
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    const wfcommons::Workflow wf = translated(recipe, 40);
+
+    WfmConfig barrier;
+    WfmConfig depdriven;
+    depdriven.scheduling = SchedulingMode::kDependencyDriven;
+    const WorkflowRunResult a = run_isolated(wf, barrier);
+    const WorkflowRunResult b = run_isolated(wf, depdriven);
+
+    EXPECT_TRUE(a.ok()) << recipe;
+    EXPECT_TRUE(b.ok()) << recipe;
+    EXPECT_EQ(a.tasks_total, b.tasks_total) << recipe;
+    EXPECT_EQ(a.phases.size(), b.phases.size()) << recipe;
+
+    // Identical task sets with identical per-task success and level
+    // attribution, whatever the dispatch order.
+    std::map<std::string, std::pair<bool, std::size_t>> outcomes_a;
+    for (const TaskOutcome& task : a.tasks) {
+      outcomes_a[task.name] = {task.ok, task.phase};
+    }
+    ASSERT_EQ(outcomes_a.size(), a.tasks_total) << recipe;
+    for (const TaskOutcome& task : b.tasks) {
+      const auto it = outcomes_a.find(task.name);
+      ASSERT_NE(it, outcomes_a.end()) << recipe << ": " << task.name;
+      EXPECT_EQ(it->second.first, task.ok) << recipe << ": " << task.name;
+      EXPECT_EQ(it->second.second, task.phase) << recipe << ": " << task.name;
+    }
+    // Removing the barrier never slows a run down.
+    EXPECT_LE(b.makespan_seconds, a.makespan_seconds + 1e-9) << recipe;
+  }
+}
+
+TEST(SchedulingModes, DependencyDrivenBeatsBarrierOnImbalancedDag) {
+  const wfcommons::Workflow wf = imbalanced_workflow();
+  // No inter-phase delay and no header/tail: the speedup below comes purely
+  // from overlapping the fast chain with the straggler, not from skipping
+  // the paper's 1 s settle delays.
+  WfmConfig barrier;
+  barrier.phase_delay = 0;
+  barrier.add_header_tail = false;
+  WfmConfig depdriven = barrier;
+  depdriven.scheduling = SchedulingMode::kDependencyDriven;
+
+  constexpr double kSecondsPerCpuWork = 0.01;  // b runs 5 s, chain tasks 0.1 s
+  const WorkflowRunResult slow = run_isolated(wf, barrier, kSecondsPerCpuWork);
+  const WorkflowRunResult fast = run_isolated(wf, depdriven, kSecondsPerCpuWork);
+
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(slow.tasks_total, fast.tasks_total);
+  EXPECT_LT(fast.makespan_seconds, slow.makespan_seconds);
+  // The barrier serialises b before the chain's tail: >= b + a2 + a3 + sink.
+  // Dependency-driven hides the whole chain behind b: ~ root + b + sink.
+  EXPECT_GT(slow.makespan_seconds - fast.makespan_seconds, 0.15);
+}
+
+TEST(SchedulingModes, NamesRoundTrip) {
+  EXPECT_EQ(parse_scheduling_mode("barrier"), SchedulingMode::kPhaseBarrier);
+  EXPECT_EQ(parse_scheduling_mode("phase-barrier"), SchedulingMode::kPhaseBarrier);
+  EXPECT_EQ(parse_scheduling_mode("depdriven"), SchedulingMode::kDependencyDriven);
+  EXPECT_EQ(parse_scheduling_mode("dependency-driven"), SchedulingMode::kDependencyDriven);
+  EXPECT_EQ(parse_scheduling_mode(to_string(SchedulingMode::kPhaseBarrier)),
+            SchedulingMode::kPhaseBarrier);
+  EXPECT_EQ(parse_scheduling_mode(to_string(SchedulingMode::kDependencyDriven)),
+            SchedulingMode::kDependencyDriven);
+  EXPECT_THROW(parse_scheduling_mode("lockstep"), std::invalid_argument);
 }
 
 // ---- tracing ----------------------------------------------------------------------

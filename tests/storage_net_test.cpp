@@ -341,5 +341,22 @@ TEST(HttpResponse, StatusHelpers) {
   EXPECT_EQ(net::HttpResponse::server_error("x").status, 500);
 }
 
+TEST(HttpResponse, MakeFactoryAndRetryAfter) {
+  const net::HttpResponse plain = net::HttpResponse::make(204, "");
+  EXPECT_EQ(plain.status, 204);
+  EXPECT_TRUE(plain.ok());
+  EXPECT_EQ(plain.retry_after_ms, 0);  // no hint by default
+
+  const net::HttpResponse hinted = net::HttpResponse::make(503, "busy", 250);
+  EXPECT_EQ(hinted.status, 503);
+  EXPECT_EQ(hinted.body, "busy");
+  EXPECT_EQ(hinted.retry_after_ms, 250);
+
+  // The 503 helper forwards the hint; other helpers never set one.
+  EXPECT_EQ(net::HttpResponse::service_unavailable("x", 1000).retry_after_ms, 1000);
+  EXPECT_EQ(net::HttpResponse::service_unavailable("x").retry_after_ms, 0);
+  EXPECT_EQ(net::HttpResponse::server_error("x").retry_after_ms, 0);
+}
+
 }  // namespace
 }  // namespace wfs
