@@ -4,14 +4,20 @@
 // workflows pay on every scale-up. Sweeping it (0 / 1 / 2.5 / 10 s) on the
 // headline Kn10wNoPM deployment quantifies how much of the serverless
 // execution-time gap is cold start vs throughput ceiling.
+//
+// Pass a path as argv[1] to also record a Chrome trace of the paper-default
+// 2.5 s cell (task attempts, pod cold-start/serving spans, autoscaler
+// decisions) for chrome://tracing / Perfetto.
 #include <iostream>
 
 #include "core/experiment.h"
 #include "core/report.h"
 #include "support/format.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfs;
+
+  const std::string trace_path = argc > 1 ? argv[1] : "";
 
   std::cout << "Ablation — Knative pod cold-start latency (blast-200, Kn10wNoPM)\n";
   std::cout << "================================================================\n\n";
@@ -23,6 +29,7 @@ int main() {
   lc_config.num_tasks = 200;
   const core::ExperimentResult baseline = core::run_experiment(lc_config);
 
+  std::string attribution;
   for (const double cold_start_s : {0.0, 1.0, 2.5, 10.0}) {
     core::ExperimentConfig config;
     config.paradigm = core::Paradigm::kKn10wNoPM;
@@ -31,11 +38,21 @@ int main() {
     faas::KnativeServiceSpec spec = core::knative_spec_for(config.paradigm);
     spec.cold_start = sim::from_seconds(cold_start_s);
     config.knative_spec_override = spec;
+    if (cold_start_s == 2.5) config.trace_path = trace_path;  // paper default
     core::ExperimentResult result = core::run_experiment(config);
     result.paradigm_name = support::format("cold={:.1f}s", cold_start_s);
     std::cout << core::result_row(result);
+    attribution += "  " + result.paradigm_name + "  " + core::overhead_summary(result);
   }
   std::cout << core::result_row(baseline);
+
+  std::cout << "\ncold-start attribution per cell:\n" << attribution;
+  if (!trace_path.empty()) {
+    std::cout << support::format(
+        "\ntrace of the cold=2.5s cell written to {} — open with chrome://tracing "
+        "or https://ui.perfetto.dev\n",
+        trace_path);
+  }
 
   std::cout << "\nnote: even at zero cold start the serverless run stays slower than\n"
                "the baseline — the dominant cost for dense workflows is the capped\n"

@@ -8,13 +8,16 @@
 //  * group 2 (Cycles, Epigenomics): the gap is much narrower;
 //  * across the board serverless matches power while cutting CPU usage (the
 //    paper reports up to 78.11%) and memory usage (up to 73.92%).
+// Pass a path as argv[1] to also record a Chrome trace of one extra
+// blast-200 Kn10wNoPM cell (for chrome://tracing / Perfetto inspection of
+// where the serverless time goes).
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
 #include "wfcommons/recipes/recipe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfs;
 
   std::cout << "Figure 7 — serverless (Kn10wNoPM) vs local containers (LC10wNoPM)\n";
@@ -56,5 +59,19 @@ int main() {
       "to {:.2f}% ({})\n",
       -best_cpu, best_cpu_family, -best_memory, best_memory_family);
   std::cout << "paper reports: up to 78.11% (CPU) and 73.92% (memory)\n";
+
+  if (argc > 1) {
+    // One extra traced cell: blast-200 on the serverless headline setup.
+    core::ExperimentConfig config;
+    config.paradigm = core::Paradigm::kKn10wNoPM;
+    config.recipe = "blast";
+    config.num_tasks = 200;
+    config.trace_path = argv[1];
+    const core::ExperimentResult traced = core::run_experiment(config);
+    std::cout << "\ntraced blast-200 Kn10wNoPM cell:\n" << core::overhead_summary(traced);
+    std::cout << support::format(
+        "trace written to {} — open with chrome://tracing or https://ui.perfetto.dev\n",
+        argv[1]);
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 //
 // Usage: ./build/examples/wfm_runner <workflow.json> [--paradigm Kn10wNoPM]
 //                                    [--scheduling phase-barrier|dependency-driven]
+//                                    [--trace out.json]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "faas/platform.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
+#include "obs/trace_recorder.h"
 #include "storage/shared_fs.h"
 #include "support/cli.h"
 #include "support/format.h"
@@ -39,10 +41,11 @@ int main(int argc, char** argv) {
   cli.add_flag("paradigm", "Kn10wNoPM", "Table II paradigm to deploy");
   cli.add_flag("scheduling", "phase-barrier",
                "WFM dispatch mode: phase-barrier or dependency-driven");
+  cli.add_flag("trace", "", "write a Chrome trace (chrome://tracing) to this file");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::cerr << "usage: wfm_runner <workflow.json> [--paradigm Kn10wNoPM]"
-                 " [--scheduling phase-barrier|dependency-driven]\n";
+                 " [--scheduling phase-barrier|dependency-driven] [--trace out.json]\n";
     return 1;
   }
 
@@ -73,9 +76,14 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulation sim;
+  // Declared before the platform so pods can emit terminate spans during
+  // platform teardown.
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(!cli.get("trace").empty());
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
   storage::SharedFilesystem fs(sim);
   net::Router router(sim);
+  router.set_trace(&recorder);
 
   std::unique_ptr<faas::KnativePlatform> knative;
   std::unique_ptr<containers::LocalContainerRuntime> local;
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
   if (info.serverless) {
     faas::KnativeServiceSpec spec = core::knative_spec_for(paradigm);
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    knative->set_trace(&recorder);
     knative->deploy();
     endpoint = "http://" + spec.authority + "/wfbench";
   } else {
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
   sampler.start();
 
   core::WorkflowManager wfm(sim, router, fs, wfm_config);
+  wfm.set_trace(&recorder);
   std::optional<core::WorkflowRunResult> result;
   const core::RunHandle handle = wfm.run(workflow, [&](core::WorkflowRunResult r) {
     result = std::move(r);
@@ -118,7 +128,30 @@ int main(int argc, char** argv) {
       result->tasks_failed, result->tasks_total,
       sampler.series("cpu").time_weighted_mean());
   std::cout << "\n" << core::render_gantt(*result);
+  std::cout << support::format(
+      "overheads: retry wait {:.2f}s ({} retries), input wait {:.2f}s, "
+      "upstream failures {}",
+      result->retry_wait_seconds, result->task_retries, result->input_wait_seconds,
+      result->upstream_failures);
+  if (knative) {
+    std::cout << support::format(
+        ", {} cold starts ({:.2f}s), activator queue {:.2f}s",
+        knative->stats().pods_created, knative->stats().cold_start_seconds,
+        knative->activator().total_wait_seconds());
+  }
+  std::cout << "\n";
   if (knative) knative->shutdown();
   if (local) local->shutdown();
+  // Save after shutdown so pod "serving" spans (closed on terminate) land in
+  // the trace file.
+  if (recorder.enabled()) {
+    if (recorder.save(cli.get("trace"))) {
+      std::cout << support::format(
+          "trace written to {} — open with chrome://tracing or https://ui.perfetto.dev\n",
+          cli.get("trace"));
+    } else {
+      std::cerr << "failed to write trace to " << cli.get("trace") << "\n";
+    }
+  }
   return result->ok() ? 0 : 1;
 }

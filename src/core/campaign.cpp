@@ -58,10 +58,12 @@ std::string Campaign::summary_csv() const {
   std::string out =
       "paradigm,recipe,tasks,seed,scheduling,status,makespan_s,cpu_pct_mean,cpu_pct_max,"
       "mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,max_ready_pods,"
-      "scheduling_failures,node_oom_events,service_oom_failures,tasks_failed\n";
+      "scheduling_failures,node_oom_events,service_oom_failures,tasks_failed,"
+      "cold_start_s,retry_wait_s,input_wait_s,activator_wait_s\n";
   for (const ExperimentResult& result : results_) {
     out += support::format(
-        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{}\n",
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{},"
+        "{:.3f},{:.3f},{:.3f},{:.3f}\n",
         result.paradigm_name, result.config.recipe, result.config.num_tasks,
         result.config.seed, to_string(result.config.wfm.scheduling),
         result.ok() ? "ok" : "failed", result.makespan_seconds,
@@ -69,7 +71,9 @@ std::string Campaign::summary_csv() const {
         result.memory_gib.time_weighted_mean, result.memory_gib.max,
         result.power_watts.time_weighted_mean, result.energy_joules / 1000.0,
         result.cold_starts, result.max_ready_pods, result.scheduling_failures,
-        result.node_oom_events, result.service_oom_failures, result.run.tasks_failed);
+        result.node_oom_events, result.service_oom_failures, result.run.tasks_failed,
+        result.cold_start_seconds, result.run.retry_wait_seconds,
+        result.run.input_wait_seconds, result.activator_wait_seconds);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "faas/platform.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
+#include "obs/trace_recorder.h"
 #include "storage/object_store.h"
 #include "storage/shared_fs.h"
 #include "support/format.h"
@@ -32,6 +33,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
 
   // ---- substrates -----------------------------------------------------------
   sim::Simulation sim;
+  // Declared before the platform so pods can still emit their terminate
+  // spans while the platform (and its pods) are torn down.
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(!config.trace_path.empty());
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
   std::unique_ptr<storage::DataStore> store;
   if (config.backend == DataBackend::kObjectStore) {
@@ -41,6 +46,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   }
   storage::DataStore& fs = *store;
   net::Router router(sim, net::NetworkConfig{}, config.seed);
+  router.set_trace(&recorder);
 
   // ---- workload -------------------------------------------------------------
   wfcommons::GenerateOptions gen;
@@ -62,6 +68,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     tconfig.workdir = config.wfm.workdir;
     wfcommons::KnativeTranslator(tconfig).apply(workflow);
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    knative->set_trace(&recorder);
     knative->deploy();
   } else {
     containers::LocalRuntimeConfig lconfig = config.local_config_override.has_value()
@@ -91,6 +98,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
 
   // ---- execute --------------------------------------------------------------
   WorkflowManager wfm(sim, router, fs);
+  wfm.set_trace(&recorder);
   std::optional<WorkflowRunResult> run_result;
   // The cell's WfmConfig rides along as a per-run override, so sweeps that
   // vary phase_delay / scheduling / task_retries share one manager setup.
@@ -142,6 +150,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     result.service_oom_failures = knative->service_oom_failures();
     result.activator_wait_seconds = knative->activator().total_wait_seconds();
     knative->shutdown();
+    result.cold_start_seconds = knative->stats().cold_start_seconds;
   }
   if (local) {
     result.service_oom_failures = local->service_oom_failures();
@@ -151,6 +160,9 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     result.failure_reason = support::format("node memory exhausted ({} OOM events)",
                                             result.node_oom_events);
   }
+  // Save after shutdown so pod "serving" spans (closed on terminate) land
+  // in the file.
+  if (recorder.enabled()) recorder.save(config.trace_path);
   return result;
 }
 

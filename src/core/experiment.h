@@ -44,6 +44,12 @@ struct ExperimentConfig {
   /// would produce (the paradigm still selects serverless vs local).
   std::optional<faas::KnativeServiceSpec> knative_spec_override;
   std::optional<containers::LocalRuntimeConfig> local_config_override;
+
+  /// When non-empty, record a Chrome trace (task attempts, pod lifecycles,
+  /// autoscaler decisions, HTTP hops) and write it to this path when the
+  /// run finishes. Empty (the default) disables tracing entirely — no
+  /// events are recorded and the hot paths pay a single null check.
+  std::string trace_path;
 };
 
 struct ExperimentResult {
@@ -73,6 +79,7 @@ struct ExperimentResult {
   std::uint64_t service_oom_failures = 0;
   std::uint64_t chaos_kills = 0;
   double activator_wait_seconds = 0.0;  // total buffered wait (serverless)
+  double cold_start_seconds = 0.0;      // total pod creation->Ready time
 
   // Full series, for CSV export and sparklines.
   metrics::TimeSeries cpu_series;

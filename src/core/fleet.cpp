@@ -79,6 +79,11 @@ FleetResult run_fleet(const FleetConfig& config) {
     }
   };
 
+  // Owner of the sequential launch chain; declared here (not in the else
+  // branch) so it stays alive through run_until() — the chain itself only
+  // holds a weak_ptr, because a shared_ptr self-capture would make the
+  // function own itself and leak.
+  std::shared_ptr<std::function<void(std::size_t)>> launch;
   if (config.concurrent) {
     for (std::size_t i = 0; i < workflows.size(); ++i) {
       wfm.run(workflows[i],
@@ -86,11 +91,13 @@ FleetResult run_fleet(const FleetConfig& config) {
     }
   } else {
     // Chained launch: index i+1 starts from i's completion callback.
-    auto launch = std::make_shared<std::function<void(std::size_t)>>();
-    *launch = [&, launch](std::size_t index) {
-      wfm.run(workflows[index], [&, launch, index](WorkflowRunResult run) {
+    launch = std::make_shared<std::function<void(std::size_t)>>();
+    *launch = [&, weak = std::weak_ptr(launch)](std::size_t index) {
+      wfm.run(workflows[index], [&, weak, index](WorkflowRunResult run) {
         record(index, std::move(run));
-        if (index + 1 < workflows.size()) (*launch)(index + 1);
+        if (index + 1 < workflows.size()) {
+          if (const auto next = weak.lock()) (*next)(index + 1);
+        }
       });
     };
     (*launch)(0);

@@ -35,6 +35,15 @@ std::string result_table(const std::vector<ExperimentResult>& results) {
   return out;
 }
 
+std::string overhead_summary(const ExperimentResult& result) {
+  return support::format(
+      "overheads: {} cold starts ({:.2f}s), retry wait {:.2f}s ({} retries), "
+      "input wait {:.2f}s, activator queue {:.2f}s, upstream failures {}\n",
+      result.cold_starts, result.cold_start_seconds, result.run.retry_wait_seconds,
+      result.run.task_retries, result.run.input_wait_seconds,
+      result.activator_wait_seconds, result.run.upstream_failures);
+}
+
 MetricDeltas compare(const ExperimentResult& candidate, const ExperimentResult& baseline) {
   MetricDeltas deltas;
   deltas.execution_time_pct = pct_change(candidate.makespan_seconds, baseline.makespan_seconds);

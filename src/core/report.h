@@ -20,6 +20,11 @@ namespace wfs::core {
 /// Full table with header.
 [[nodiscard]] std::string result_table(const std::vector<ExperimentResult>& results);
 
+/// One-line breakdown of where a run's overhead went: cold starts, retry
+/// backoff, input-wait polling and activator queueing (always-available
+/// counters — no trace needed).
+[[nodiscard]] std::string overhead_summary(const ExperimentResult& result);
+
 /// Relative change of `candidate` vs `baseline` per metric, as the paper
 /// reports: negative = the candidate uses less.
 struct MetricDeltas {

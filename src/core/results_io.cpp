@@ -95,6 +95,10 @@ json::Value result_to_json(const ExperimentResult& result) {
   outcome.set("makespan_seconds", result.makespan_seconds);
   outcome.set("tasks_total", result.run.tasks_total);
   outcome.set("tasks_failed", result.run.tasks_failed);
+  outcome.set("task_retries", result.run.task_retries);
+  outcome.set("upstream_failures", result.run.upstream_failures);
+  outcome.set("input_wait_seconds", result.run.input_wait_seconds);
+  outcome.set("retry_wait_seconds", result.run.retry_wait_seconds);
   document.set("outcome", std::move(outcome));
 
   json::Object aggregates;
@@ -111,6 +115,7 @@ json::Value result_to_json(const ExperimentResult& result) {
   platform.set("node_oom_events", result.node_oom_events);
   platform.set("service_oom_failures", result.service_oom_failures);
   platform.set("activator_wait_seconds", result.activator_wait_seconds);
+  platform.set("cold_start_seconds", result.cold_start_seconds);
   document.set("platform", std::move(platform));
 
   json::Object series;
@@ -179,6 +184,19 @@ ExperimentResult result_from_json(const json::Value& document) {
     if (const json::Value* v = outcome->find("tasks_failed")) {
       result.run.tasks_failed = static_cast<std::size_t>(v->int_or(0));
     }
+    // Absent in pre-tracing result files; default to zero.
+    if (const json::Value* v = outcome->find("task_retries")) {
+      result.run.task_retries = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = outcome->find("upstream_failures")) {
+      result.run.upstream_failures = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = outcome->find("input_wait_seconds")) {
+      result.run.input_wait_seconds = v->double_or(0.0);
+    }
+    if (const json::Value* v = outcome->find("retry_wait_seconds")) {
+      result.run.retry_wait_seconds = v->double_or(0.0);
+    }
     result.run.completed = result.completed;
     result.run.makespan_seconds = result.makespan_seconds;
   }
@@ -208,6 +226,9 @@ ExperimentResult result_from_json(const json::Value& document) {
     result.service_oom_failures = get_u64("service_oom_failures");
     if (const json::Value* v = platform->find("activator_wait_seconds")) {
       result.activator_wait_seconds = v->double_or(0.0);
+    }
+    if (const json::Value* v = platform->find("cold_start_seconds")) {
+      result.cold_start_seconds = v->double_or(0.0);
     }
   }
   if (const json::Value* series = root.find("series")) {

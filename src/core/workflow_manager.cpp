@@ -6,6 +6,7 @@
 
 #include "json/parse.h"
 #include "json/write.h"
+#include "support/format.h"
 #include "support/log.h"
 #include "wfbench/task_params.h"
 
@@ -47,7 +48,15 @@ struct WfmRunState {
   std::vector<const PlannedTask*> tasks;
   std::vector<std::size_t> pending;        // gate counter; 0 = ready
   std::vector<sim::SimTime> gate_delay;    // applied when the gate opens
+  std::vector<sim::SimTime> dispatched_at; // first dispatch entry; -1 = not yet
+  std::vector<std::uint8_t> failed;        // outcome per finished task (fail-fast)
   std::size_t unfinished = 0;
+
+  // Tracing (null/0 when recording is off for this run).
+  obs::TraceRecorder* trace = nullptr;
+  obs::TraceRecorder::Pid trace_pid = 0;
+  obs::TraceRecorder::Tid run_lane = 0;
+  std::vector<obs::TraceRecorder::Tid> task_lane;
 
   // Level-attributed stats (PhaseOutcome source, both modes).
   struct LevelStats {
@@ -73,6 +82,24 @@ struct WfmRunState {
 }  // namespace detail
 
 using detail::WfmRunState;
+
+namespace {
+
+/// True when this run records trace events.
+bool tracing(const WfmRunState& state) {
+  return state.trace != nullptr && state.trace->enabled();
+}
+
+/// Lazily registers the per-task trace lane (one timeline row per task).
+obs::TraceRecorder::Tid task_lane(WfmRunState& state, std::size_t task_id) {
+  if (state.task_lane[task_id] == 0) {
+    state.task_lane[task_id] =
+        state.trace->lane(state.trace_pid, state.tasks[task_id]->name);
+  }
+  return state.task_lane[task_id];
+}
+
+}  // namespace
 
 // ---- RunHandle -------------------------------------------------------------
 
@@ -124,6 +151,12 @@ RunHandle WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complet
   state->plan = std::move(plan);
   state->on_complete = std::move(on_complete);
   state->started_at = sim_.now();
+  if (trace_ != nullptr && trace_->enabled()) {
+    state->trace = trace_;
+    state->trace_pid = trace_->process(
+        support::format("wfm run {} ({})", state->result.run_id, state->result.workflow_name));
+    state->run_lane = trace_->lane(state->trace_pid, "run");
+  }
   runs_.emplace(state->result.run_id, state);
 
   if (state->config.stage_external_inputs) {
@@ -148,7 +181,17 @@ RunHandle WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complet
 
 void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
                                   std::function<void()> next) {
-  if (state->plan.phases.empty() || state->plan.phases.front().empty()) {
+  // The marker is posted to the same endpoint as the workflow's functions;
+  // any non-empty level provides one (level 0 may legitimately be empty on
+  // hand-built plans, which previously skipped the markers entirely).
+  const PlannedTask* endpoint_task = nullptr;
+  for (const auto& phase : state->plan.phases) {
+    if (!phase.empty()) {
+      endpoint_task = &phase.front();
+      break;
+    }
+  }
+  if (endpoint_task == nullptr) {
     next();
     return;
   }
@@ -160,10 +203,16 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
   params.workdir = state->config.workdir;
 
   net::HttpRequest request;
-  request.url = net::parse_url(state->plan.phases.front().front().api_url);
+  request.url = net::parse_url(endpoint_task->api_url);
   request.body = json::write_compact(wfbench::to_json(params));
-  router_.send(std::move(request), [next = std::move(next)](const net::HttpResponse&) {
+  const sim::SimTime sent_at = sim_.now();
+  router_.send(std::move(request), [state, name = params.name, sent_at,
+                                    next = std::move(next)](const net::HttpResponse&) {
     // Marker outcomes do not affect the run result.
+    if (tracing(*state)) {
+      state->trace->complete(state->trace_pid, state->run_lane, name, "marker", sent_at,
+                             state->owner != nullptr ? state->owner->sim_.now() : sent_at);
+    }
     next();
   });
 }
@@ -180,6 +229,9 @@ void WorkflowManager::prime_gates(const StatePtr& state) {
   state->levels.resize(plan.phases.size());
   state->unfinished = total;
   state->gate_delay.assign(total, 0);
+  state->dispatched_at.assign(total, -1);
+  state->failed.assign(total, 0);
+  state->task_lane.assign(total, 0);
   state->barrier_next.assign(plan.phases.size(), {});
 
   if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
@@ -240,6 +292,13 @@ void WorkflowManager::release_task(StatePtr state, std::size_t task_id, sim::Sim
   if (delay <= 0) {
     dispatch();
   } else {
+    if (tracing(*state)) {
+      // The gate is open but dispatch waits out the configured delay — the
+      // "queued" segment of the task's attempt timeline.
+      state->trace->complete(state->trace_pid, task_lane(*state, task_id),
+                             state->tasks[task_id]->name, "queued", sim_.now(),
+                             sim_.now() + delay);
+    }
     sim_.schedule_in(delay, std::move(dispatch));
   }
 }
@@ -249,6 +308,7 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
   const PlannedTask& task = *state->tasks[task_id];
   auto& stats = state->levels[task.level];
   if (stats.first_dispatch < 0) stats.first_dispatch = sim_.now();
+  if (state->dispatched_at[task_id] < 0) state->dispatched_at[task_id] = sim_.now();
   if (state->config.check_inputs) {
     bool all_present = true;
     for (const std::string& input : task.params.inputs) {
@@ -258,13 +318,39 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
       }
     }
     if (!all_present) {
+      // A failed parent never writes its outputs — polling for them is a
+      // misleading way to spend max_input_polls x input_poll_interval.
+      // (Checked every poll round, so a parent failing mid-wait is caught.)
+      if (state->config.fail_fast_on_upstream_failure) {
+        for (const std::size_t parent : task.parents) {
+          if (state->failed[parent] == 0) continue;
+          ++state->result.upstream_failures;
+          TaskOutcome outcome;
+          outcome.name = task.name;
+          outcome.ok = false;
+          outcome.phase = task.level;
+          outcome.started_seconds =
+              sim::to_seconds(state->dispatched_at[task_id] - state->started_at);
+          outcome.input_wait_seconds =
+              sim::to_seconds(sim_.now() - state->dispatched_at[task_id]);
+          outcome.wall_seconds = outcome.input_wait_seconds;
+          outcome.error = support::format("upstream task {} failed; inputs will never appear",
+                                          state->tasks[parent]->name);
+          task_finished(state, task_id, outcome);
+          return;
+        }
+      }
       if (polls_left <= 0) {
         ++state->result.input_wait_timeouts;
         TaskOutcome outcome;
         outcome.name = task.name;
         outcome.ok = false;
         outcome.phase = task.level;
-        outcome.started_seconds = sim::to_seconds(sim_.now() - state->started_at);
+        outcome.started_seconds =
+            sim::to_seconds(state->dispatched_at[task_id] - state->started_at);
+        outcome.input_wait_seconds =
+            sim::to_seconds(sim_.now() - state->dispatched_at[task_id]);
+        outcome.wall_seconds = outcome.input_wait_seconds;
         outcome.error = "input files never appeared on the shared drive";
         task_finished(state, task_id, outcome);
         return;
@@ -276,19 +362,36 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
       return;
     }
   }
-  send_request(state, task_id, state->config.task_retries);
+  if (tracing(*state) && sim_.now() > state->dispatched_at[task_id]) {
+    state->trace->complete(state->trace_pid, task_lane(*state, task_id), task.name,
+                           "input-wait", state->dispatched_at[task_id], sim_.now());
+  }
+  send_request(state, task_id, state->config.task_retries, AttemptContext{});
 }
 
-void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retries_left) {
+void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retries_left,
+                                   AttemptContext context) {
   const PlannedTask& task = *state->tasks[task_id];
   net::HttpRequest request;
   request.url = net::parse_url(task.api_url);
   request.body = json::write_compact(wfbench::to_json(task.params));
   const sim::SimTime sent_at = sim_.now();
+  // Attempt accounting spans retries: started_seconds/wall_seconds on the
+  // final outcome cover every attempt plus the backoff time between them,
+  // not just the last round-trip.
+  if (context.first_sent_at < 0) context.first_sent_at = sent_at;
+  ++context.attempts;
   router_.send(std::move(request), [this, state, task_id, retries_left, name = task.name,
-                                    level = task.level,
-                                    sent_at](const net::HttpResponse& response) {
+                                    level = task.level, sent_at,
+                                    context](const net::HttpResponse& response) {
     if (state->delivered) return;
+    if (tracing(*state)) {
+      json::Object args;
+      args.set("attempt", context.attempts);
+      args.set("status", response.status);
+      state->trace->complete(state->trace_pid, task_lane(*state, task_id), name,
+                             "attempt", sent_at, sim_.now(), std::move(args));
+    }
     if (!response.ok() && retries_left > 0) {
       // Transient fault (pod killed mid-request, 503 during scale-down):
       // re-invoke after a backoff — the function is idempotent, it just
@@ -301,9 +404,15 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
               : state->config.retry_backoff;
       WFS_LOG_DEBUG("wfm", "retrying {} ({} attempts left) after status {}", name,
                     retries_left, response.status);
-      sim_.schedule_in(backoff, [this, state, task_id, retries_left] {
+      if (tracing(*state)) {
+        state->trace->complete(state->trace_pid, task_lane(*state, task_id), name,
+                               "retry-backoff", sim_.now(), sim_.now() + backoff);
+      }
+      AttemptContext next = context;
+      next.retry_wait_seconds += sim::to_seconds(backoff);
+      sim_.schedule_in(backoff, [this, state, task_id, retries_left, next] {
         if (state->delivered) return;
-        send_request(state, task_id, retries_left - 1);
+        send_request(state, task_id, retries_left - 1, next);
       });
       return;
     }
@@ -312,8 +421,12 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
     outcome.http_status = response.status;
     outcome.ok = response.ok();
     outcome.phase = level;
-    outcome.started_seconds = sim::to_seconds(sent_at - state->started_at);
-    outcome.wall_seconds = sim::to_seconds(sim_.now() - sent_at);
+    outcome.attempts = context.attempts;
+    outcome.retry_wait_seconds = context.retry_wait_seconds;
+    outcome.input_wait_seconds =
+        sim::to_seconds(context.first_sent_at - state->dispatched_at[task_id]);
+    outcome.started_seconds = sim::to_seconds(context.first_sent_at - state->started_at);
+    outcome.wall_seconds = sim::to_seconds(sim_.now() - context.first_sent_at);
     if (outcome.ok) {
       // Extract the service-reported runtime when the body parses.
       json::Value body;
@@ -338,8 +451,27 @@ void WorkflowManager::task_finished(StatePtr state, std::size_t task_id,
   if (!outcome.ok) {
     ++state->result.tasks_failed;
     ++stats.failed;
+    state->failed[task_id] = 1;
     WFS_LOG_DEBUG("wfm", "task {} failed: {} ({})", outcome.name, outcome.http_status,
                   outcome.error);
+  }
+  state->result.input_wait_seconds += outcome.input_wait_seconds;
+  state->result.retry_wait_seconds += outcome.retry_wait_seconds;
+  if (tracing(*state)) {
+    const obs::TraceRecorder::Tid lane = task_lane(*state, task_id);
+    if (outcome.attempts == 0 && outcome.input_wait_seconds > 0.0) {
+      // Never sent: the whole timeline was input polling (timeout or
+      // upstream failure) — the success path emits this span at send time.
+      state->trace->complete(state->trace_pid, lane, outcome.name, "input-wait",
+                             state->dispatched_at[task_id], sim_.now());
+    }
+    json::Object args;
+    args.set("ok", outcome.ok);
+    args.set("attempts", outcome.attempts);
+    args.set("status", outcome.http_status);
+    if (!outcome.error.empty()) args.set("error", outcome.error);
+    state->trace->instant(state->trace_pid, lane, outcome.name, "done", sim_.now(),
+                          std::move(args));
   }
   state->result.tasks.push_back(outcome);
   ++stats.finished;
@@ -370,6 +502,15 @@ void WorkflowManager::finish_run(StatePtr state) {
     state->result.completed = true;
     record_level_outcomes(state);
     state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
+    if (tracing(*state)) {
+      json::Object args;
+      args.set("tasks_total", state->result.tasks_total);
+      args.set("tasks_failed", state->result.tasks_failed);
+      args.set("task_retries", state->result.task_retries);
+      state->trace->complete(state->trace_pid, state->run_lane,
+                             state->result.workflow_name, "run", state->started_at,
+                             sim_.now(), std::move(args));
+    }
     WFS_LOG_INFO("wfm", "run {}: {} finished in {:.1f}s ({} failed of {})",
                  state->result.run_id, state->result.workflow_name,
                  state->result.makespan_seconds, state->result.tasks_failed,
@@ -403,6 +544,12 @@ void WorkflowManager::cancel_run(const StatePtr& state) {
   state->result.completed = false;
   record_level_outcomes(state);
   state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
+  if (tracing(*state)) {
+    json::Object args;
+    args.set("cancelled", true);
+    state->trace->complete(state->trace_pid, state->run_lane, state->result.workflow_name,
+                           "run", state->started_at, sim_.now(), std::move(args));
+  }
   WFS_LOG_INFO("wfm", "run {}: {} cancelled after {:.1f}s ({} of {} tasks done)",
                state->result.run_id, state->result.workflow_name,
                state->result.makespan_seconds, state->result.tasks.size(),

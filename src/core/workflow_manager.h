@@ -35,6 +35,7 @@
 
 #include "core/dag.h"
 #include "net/router.h"
+#include "obs/trace_recorder.h"
 #include "sim/simulation.h"
 #include "storage/data_store.h"
 #include "wfcommons/workflow.h"
@@ -69,6 +70,11 @@ struct WfmConfig {
   /// Poll cadence / budget while waiting for inputs to appear.
   sim::SimTime input_poll_interval = 500 * sim::kMillisecond;
   int max_input_polls = 600;
+  /// When a task's inputs are missing AND one of its DAG parents already
+  /// failed, fail the task immediately with an upstream-failure outcome
+  /// instead of burning the full input-poll budget on files that will never
+  /// appear. Disable to keep the pure poll path (genuinely-late files).
+  bool fail_fast_on_upstream_failure = true;
   /// Send the synthetic header/tail functions.
   bool add_header_tail = true;
   /// Shared-drive directory passed as "workdir" in every request.
@@ -89,10 +95,14 @@ struct TaskOutcome {
   std::string name;
   bool ok = false;
   int http_status = 0;
-  double started_seconds = 0.0;  // request sent (run-relative)
-  double runtime_seconds = 0.0;  // service-reported
-  double wall_seconds = 0.0;     // request round-trip
+  double started_seconds = 0.0;  // FIRST attempt sent (run-relative)
+  double runtime_seconds = 0.0;  // service-reported (final attempt)
+  double wall_seconds = 0.0;     // first request sent -> final response,
+                                 // covering every attempt and backoff
   std::size_t phase = 0;         // DAG level of the task
+  int attempts = 0;              // invocations sent (retries + 1; 0 = never sent)
+  double input_wait_seconds = 0.0;  // spent polling the shared drive for inputs
+  double retry_wait_seconds = 0.0;  // spent in retry backoff between attempts
   std::string error;
 };
 
@@ -117,6 +127,11 @@ struct WorkflowRunResult {
   std::size_t tasks_failed = 0;
   std::size_t task_retries = 0;    // re-sent invocations (fault tolerance)
   std::size_t input_wait_timeouts = 0;
+  /// Tasks failed fast because a DAG parent finished unsuccessfully
+  /// (WfmConfig::fail_fast_on_upstream_failure).
+  std::size_t upstream_failures = 0;
+  double input_wait_seconds = 0.0;  // total across tasks (overhead attribution)
+  double retry_wait_seconds = 0.0;  // total backoff time across tasks
   double makespan_seconds = 0.0;   // header start -> tail response
   std::vector<PhaseOutcome> phases;
   std::vector<TaskOutcome> tasks;
@@ -180,16 +195,29 @@ class WorkflowManager {
 
   [[nodiscard]] const WfmConfig& config() const noexcept { return config_; }
 
+  /// Attaches a shared trace recorder; runs started afterwards emit
+  /// per-task attempt spans into it. nullptr (the default) disables.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
  private:
   friend class RunHandle;  // cancel() drives cancel_run()
 
   using StatePtr = std::shared_ptr<detail::WfmRunState>;
 
+  /// Per-task attempt bookkeeping threaded through the retry loop, so the
+  /// final TaskOutcome can attribute time across every attempt.
+  struct AttemptContext {
+    sim::SimTime first_sent_at = -1;
+    int attempts = 0;
+    double retry_wait_seconds = 0.0;
+  };
+
   void start_run(StatePtr state);
   void prime_gates(const StatePtr& state);
   void release_task(StatePtr state, std::size_t task_id, sim::SimTime delay);
   void dispatch_task(StatePtr state, std::size_t task_id, int polls_left);
-  void send_request(StatePtr state, std::size_t task_id, int retries_left);
+  void send_request(StatePtr state, std::size_t task_id, int retries_left,
+                    AttemptContext context);
   void task_finished(StatePtr state, std::size_t task_id, const TaskOutcome& outcome);
   void finish_run(StatePtr state);
   void record_level_outcomes(const StatePtr& state);
@@ -201,6 +229,7 @@ class WorkflowManager {
   net::Router& router_;
   storage::DataStore& fs_;
   WfmConfig config_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::uint64_t next_run_id_ = 1;
   std::unordered_map<std::uint64_t, StatePtr> runs_;
 };

@@ -51,9 +51,12 @@ Autoscaler::Decision Autoscaler::decide(sim::SimTime now, int ready_pods) {
   const int desired_panic = static_cast<int>(std::ceil(panic / target_));
 
   // Enter (or extend) panic when the short window shows a burst the ready
-  // fleet cannot absorb.
+  // fleet cannot absorb. Compared in floating point: truncating
+  // panic_threshold * ready_pods to int would enter panic one pod too early
+  // for fractional thresholds (e.g. 7 >= int(2.5 * 3) = 7, but 7 < 7.5).
   if (ready_pods > 0 &&
-      desired_panic >= static_cast<int>(config_.panic_threshold * ready_pods)) {
+      static_cast<double>(desired_panic) >=
+          config_.panic_threshold * static_cast<double>(ready_pods)) {
     if (panic_until_ == 0) panic_peak_desired_ = 0;
     panic_until_ = now + config_.stable_window;
   }

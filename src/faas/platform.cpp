@@ -30,6 +30,17 @@ KnativePlatform::KnativePlatform(sim::Simulation& sim, cluster::Cluster& cluster
 
 KnativePlatform::~KnativePlatform() { shutdown(); }
 
+void KnativePlatform::set_trace(obs::TraceRecorder* trace) {
+  if (trace == nullptr || !trace->enabled()) {
+    trace_ = nullptr;
+    return;
+  }
+  trace_ = trace;
+  trace_pid_ = trace_->process(support::format("faas:{}", spec_.name));
+  autoscaler_lane_ = trace_->lane(trace_pid_, "autoscaler");
+  activator_lane_ = trace_->lane(trace_pid_, "activator");
+}
+
 void KnativePlatform::deploy() {
   if (deployed_) return;
   deployed_ = true;
@@ -127,6 +138,12 @@ void KnativePlatform::pump() {
     Pod* pod = pick_pod();
     if (pod == nullptr) return;  // autoscaler will create capacity
     Activator::Buffered buffered = activator_.pop(sim_.now());
+    if (trace_ != nullptr && sim_.now() > buffered.enqueued_at) {
+      json::Object args;
+      args.set("task", buffered.params.name);
+      trace_->complete(trace_pid_, activator_lane_, "buffered", "activator-queue",
+                       buffered.enqueued_at, sim_.now(), std::move(args));
+    }
     auto done = std::move(buffered.done);
     pod->service()->handle(buffered.params,
                            [this, pod, done = std::move(done)](net::HttpResponse response) {
@@ -161,6 +178,21 @@ void KnativePlatform::autoscale_tick(sim::SimTime now) {
   const int starting = starting_pods();
   const Autoscaler::Decision decision = autoscaler_.decide(now, ready);
   if (decision.panic) ++stats_.panic_ticks;
+  if (trace_ != nullptr) {
+    json::Object args;
+    args.set("stable_avg", autoscaler_.stable_average(now));
+    args.set("panic_avg", autoscaler_.panic_average(now));
+    args.set("ready", static_cast<std::int64_t>(ready));
+    args.set("starting", static_cast<std::int64_t>(starting));
+    args.set("desired", static_cast<std::int64_t>(decision.desired));
+    args.set("panic", decision.panic);
+    trace_->instant(trace_pid_, autoscaler_lane_, "decide", "autoscaler", now,
+                    std::move(args));
+    trace_->counter(trace_pid_, "ready_pods", now, static_cast<double>(ready));
+    trace_->counter(trace_pid_, "desired_pods", now,
+                    static_cast<double>(decision.desired));
+    trace_->counter(trace_pid_, "inflight", now, static_cast<double>(inflight()));
+  }
 
   const int current = ready + starting;
   if (decision.desired > current) {
@@ -185,8 +217,14 @@ void KnativePlatform::scale_up(int count) {
     }
     const std::string name =
         support::format("{}-{}", spec_.name, support::pad_id(next_pod_ordinal_++, 5));
-    pods_.push_back(std::make_unique<Pod>(sim_, name, spec_, *node, fs_,
-                                          [this](Pod&) { pump(); }));
+    pods_.push_back(std::make_unique<Pod>(
+        sim_, name, spec_, *node, fs_,
+        [this](Pod& pod) {
+          stats_.cold_start_seconds +=
+              sim::to_seconds(pod.ready_at() - pod.created_at());
+          pump();
+        },
+        trace_, trace_pid_));
     ++stats_.pods_created;
   }
 }

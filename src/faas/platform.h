@@ -22,6 +22,7 @@
 #include "faas/pod.h"
 #include "faas/service_config.h"
 #include "net/router.h"
+#include "obs/trace_recorder.h"
 #include "sim/periodic.h"
 #include "support/rng.h"
 #include "storage/data_store.h"
@@ -39,6 +40,9 @@ struct KnativePlatformStats {
   std::uint64_t scheduling_failures = 0;
   std::uint64_t panic_ticks = 0;
   std::uint64_t chaos_kills = 0;
+  /// Total time pods spent cold-starting (creation -> Ready), seconds.
+  /// Pods killed before reaching Ready do not contribute.
+  double cold_start_seconds = 0.0;
 };
 
 class KnativePlatform {
@@ -49,6 +53,12 @@ class KnativePlatform {
 
   KnativePlatform(const KnativePlatform&) = delete;
   KnativePlatform& operator=(const KnativePlatform&) = delete;
+
+  /// Attaches a shared trace recorder: pod lifecycle spans, autoscaler
+  /// decisions (with stable/panic averages) and activator buffering are
+  /// emitted under one process lane per service. Call before deploy() so
+  /// the min_scale pods are covered. nullptr disables.
+  void set_trace(obs::TraceRecorder* trace);
 
   /// Binds the service route and starts the autoscaler loop; creates
   /// min_scale pods immediately.
@@ -102,6 +112,10 @@ class KnativePlatform {
   std::uint64_t retired_oom_failures_ = 0;
   KnativePlatformStats stats_;
   bool deployed_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceRecorder::Pid trace_pid_ = 0;
+  obs::TraceRecorder::Tid autoscaler_lane_ = 0;
+  obs::TraceRecorder::Tid activator_lane_ = 0;
 };
 
 }  // namespace wfs::faas

@@ -7,13 +7,24 @@
 namespace wfs::faas {
 
 Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
-         cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready)
+         cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
+         obs::TraceRecorder* trace, obs::TraceRecorder::Pid trace_pid)
     : sim_(sim), name_(std::move(name)), spec_(spec), node_(node), fs_(fs) {
   if (!node_.ledger().try_reserve(spec_.cpu_request, spec_.memory_request)) {
     throw std::runtime_error("Pod: node reservation failed for " + name_);
   }
   if (spec_.cpu_limit > 0.0) quota_group_ = node_.create_quota_group(spec_.cpu_limit);
+  created_at_ = sim_.now();
   idle_since_ = sim_.now();
+  if (trace != nullptr && trace->enabled()) {
+    trace_ = trace;
+    trace_pid_ = trace_pid;
+    trace_lane_ = trace_->lane(trace_pid_, name_);
+    json::Object args;
+    args.set("node", node_.name());
+    trace_->instant(trace_pid_, trace_lane_, name_, "pod-scheduled", created_at_,
+                    std::move(args));
+  }
 
   cold_start_event_ =
       sim_.schedule_in(spec_.cold_start, [this, on_ready = std::move(on_ready)] {
@@ -25,6 +36,10 @@ Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
         state_ = PodState::kReady;
         ready_at_ = sim_.now();
         idle_since_ = sim_.now();
+        if (trace_ != nullptr) {
+          trace_->complete(trace_pid_, trace_lane_, name_, "cold-start", created_at_,
+                           ready_at_);
+        }
         WFS_LOG_DEBUG("faas", "pod {} ready on {}", name_, node_.name());
         if (on_ready) on_ready(*this);
       });
@@ -47,6 +62,12 @@ void Pod::terminate() {
     quota_group_ = cluster::kNoQuotaGroup;
   }
   node_.ledger().release(spec_.cpu_request, spec_.memory_request);
+  if (trace_ != nullptr) {
+    if (ready_at_ >= 0) {
+      trace_->complete(trace_pid_, trace_lane_, name_, "serving", ready_at_, sim_.now());
+    }
+    trace_->instant(trace_pid_, trace_lane_, name_, "pod-terminated", sim_.now());
+  }
   state_ = PodState::kTerminated;
   WFS_LOG_DEBUG("faas", "pod {} terminated", name_);
 }

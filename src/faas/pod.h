@@ -16,6 +16,7 @@
 
 #include "cluster/node.h"
 #include "faas/service_config.h"
+#include "obs/trace_recorder.h"
 #include "storage/data_store.h"
 #include "wfbench/service.h"
 
@@ -27,9 +28,12 @@ class Pod {
  public:
   /// Reserves requests on `node` and begins the cold start; `on_ready`
   /// fires when the container starts serving. Throws std::runtime_error if
-  /// the reservation fails (scheduler/ledger disagreement).
+  /// the reservation fails (scheduler/ledger disagreement). When `trace` is
+  /// set (and enabled) the pod emits its lifecycle spans — scheduled /
+  /// cold-start / serving / terminated — on a lane of process `trace_pid`.
   Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
-      cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready);
+      cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
+      obs::TraceRecorder* trace = nullptr, obs::TraceRecorder::Pid trace_pid = 0);
   ~Pod();
 
   Pod(const Pod&) = delete;
@@ -59,6 +63,8 @@ class Pod {
            inflight() < static_cast<std::size_t>(spec_.effective_concurrency());
   }
 
+  /// Simulated instant the pod was created (reservation + cold start began).
+  [[nodiscard]] sim::SimTime created_at() const noexcept { return created_at_; }
   /// Simulated instant the pod became Ready (-1 if it never did).
   [[nodiscard]] sim::SimTime ready_at() const noexcept { return ready_at_; }
   /// Last instant the pod went idle (used by scale-to-zero); updated by the
@@ -76,8 +82,12 @@ class Pod {
   cluster::QuotaGroupId quota_group_ = cluster::kNoQuotaGroup;
   std::unique_ptr<wfbench::WfBenchService> service_;
   sim::EventId cold_start_event_ = 0;
+  sim::SimTime created_at_ = 0;
   sim::SimTime ready_at_ = -1;
   sim::SimTime idle_since_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceRecorder::Pid trace_pid_ = 0;
+  obs::TraceRecorder::Tid trace_lane_ = 0;
 };
 
 }  // namespace wfs::faas

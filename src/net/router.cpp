@@ -29,8 +29,36 @@ sim::SimTime Router::sample_latency() {
   return latency;
 }
 
+void Router::set_trace(obs::TraceRecorder* trace) {
+  if (trace == nullptr || !trace->enabled()) {
+    trace_ = nullptr;
+    return;
+  }
+  trace_ = trace;
+  trace_pid_ = trace_->process("net");
+}
+
+obs::TraceRecorder::Tid Router::authority_lane(const std::string& authority) {
+  return trace_->lane(trace_pid_, authority);
+}
+
 void Router::send(HttpRequest request, std::function<void(HttpResponse)> on_response) {
   ++requests_sent_;
+  if (trace_ != nullptr) {
+    // Wrap the caller's callback so the full round trip (send -> response
+    // delivered, both network hops plus service time) shows up as one span.
+    const sim::SimTime sent_at = sim_.now();
+    const obs::TraceRecorder::Tid lane = authority_lane(request.url.authority());
+    const std::string label = request.method + " " + request.url.path;
+    on_response = [this, sent_at, lane, label,
+                   inner = std::move(on_response)](HttpResponse response) {
+      json::Object args;
+      args.set("status", static_cast<std::int64_t>(response.status));
+      trace_->complete(trace_pid_, lane, label, "http", sent_at, sim_.now(),
+                       std::move(args));
+      inner(std::move(response));
+    };
+  }
   const sim::SimTime to_server = sample_latency();
   sim_.schedule_in(to_server, [this, request = std::move(request),
                                on_response = std::move(on_response)]() mutable {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "net/http.h"
+#include "obs/trace_recorder.h"
 #include "sim/simulation.h"
 #include "support/rng.h"
 
@@ -52,6 +53,11 @@ class Router {
   void unbind(const std::string& authority);
   [[nodiscard]] bool bound(const std::string& authority) const noexcept;
 
+  /// Attaches a shared trace recorder: every request/response round trip is
+  /// emitted as an "http" span on a per-authority lane of the "net" process.
+  /// nullptr (or a disabled recorder) turns tracing off.
+  void set_trace(obs::TraceRecorder* trace);
+
   /// Sends a request; `on_response` fires after simulated network latency
   /// each way. Unbound authorities yield 404 (connection refused analogue).
   void send(HttpRequest request, std::function<void(HttpResponse)> on_response);
@@ -63,6 +69,7 @@ class Router {
 
  private:
   [[nodiscard]] sim::SimTime sample_latency();
+  [[nodiscard]] obs::TraceRecorder::Tid authority_lane(const std::string& authority);
 
   sim::Simulation& sim_;
   NetworkConfig config_;
@@ -70,6 +77,8 @@ class Router {
   std::unordered_map<std::string, Handler> handlers_;
   std::uint64_t requests_sent_ = 0;
   std::uint64_t responses_delivered_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceRecorder::Pid trace_pid_ = 0;
 };
 
 }  // namespace wfs::net

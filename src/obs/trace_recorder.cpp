@@ -1,0 +1,125 @@
+#include "obs/trace_recorder.h"
+
+#include <fstream>
+#include <utility>
+
+#include "json/write.h"
+
+namespace wfs::obs {
+
+TraceRecorder::Pid TraceRecorder::process(const std::string& name) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].name == name) return static_cast<Pid>(i + 1);
+  }
+  processes_.push_back(ProcessInfo{name});
+  return static_cast<Pid>(processes_.size());
+}
+
+TraceRecorder::Tid TraceRecorder::lane(Pid pid, const std::string& name) {
+  for (const LaneInfo& info : lanes_) {
+    if (info.pid == pid && info.name == name) return info.tid;
+  }
+  const Tid tid = static_cast<Tid>(lanes_.size() + 1);
+  lanes_.push_back(LaneInfo{pid, tid, name});
+  return tid;
+}
+
+void TraceRecorder::complete(Pid pid, Tid tid, std::string name, std::string category,
+                             sim::SimTime start, sim::SimTime end, json::Object args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = start;
+  event.dur = end > start ? end - start : 0;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::instant(Pid pid, Tid tid, std::string name, std::string category,
+                            sim::SimTime ts, json::Object args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = ts;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::counter(Pid pid, std::string name, sim::SimTime ts, double value) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.phase = 'C';
+  event.pid = pid;
+  event.ts = ts;
+  json::Object series;
+  series.set("value", value);
+  event.args = std::move(series);
+  event.name = std::move(name);
+  event.category = "counter";
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  processes_.clear();
+  lanes_.clear();
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  json::Array out;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    json::Object meta;
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", static_cast<std::int64_t>(i + 1));
+    json::Object args;
+    args.set("name", processes_[i].name);
+    meta.set("args", std::move(args));
+    out.emplace_back(std::move(meta));
+  }
+  for (const LaneInfo& info : lanes_) {
+    json::Object meta;
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", static_cast<std::int64_t>(info.pid));
+    meta.set("tid", static_cast<std::int64_t>(info.tid));
+    json::Object args;
+    args.set("name", info.name);
+    meta.set("args", std::move(args));
+    out.emplace_back(std::move(meta));
+  }
+  for (const TraceEvent& event : events_) {
+    json::Object rendered;
+    rendered.set("name", event.name);
+    rendered.set("cat", event.category);
+    rendered.set("ph", std::string(1, event.phase));
+    rendered.set("ts", event.ts);
+    if (event.phase == 'X') rendered.set("dur", event.dur);
+    if (event.phase == 'i') rendered.set("s", "t");  // thread-scoped instant
+    rendered.set("pid", static_cast<std::int64_t>(event.pid));
+    if (event.phase != 'C') rendered.set("tid", static_cast<std::int64_t>(event.tid));
+    if (!event.args.empty()) rendered.set("args", event.args);
+    out.emplace_back(std::move(rendered));
+  }
+  json::Object document;
+  document.set("displayTimeUnit", "ms");
+  document.set("traceEvents", std::move(out));
+  return json::write_compact(json::Value(std::move(document)));
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace wfs::obs

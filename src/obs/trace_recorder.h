@@ -1,0 +1,103 @@
+// Unified run tracing — the observability layer behind the paper's §IV
+// overhead attribution.
+//
+// One TraceRecorder is shared by every component of a simulated deployment:
+// the WorkflowManager emits per-task attempt spans (queued → input-wait →
+// in-flight → retry-backoff → done), the FaaS platform emits pod lifecycle
+// spans (scheduled → cold-starting → serving → terminated), autoscaler
+// decisions (with stable/panic window averages) and activator buffering,
+// and the router emits HTTP request/response hops. Events carry simulated
+// timestamps (SimTime is already microseconds, Chrome's trace unit).
+//
+// The recorder is organised like a multi-process Chrome trace: each
+// component registers a *process* lane (pid — one per service/manager/node)
+// and any number of *thread* lanes under it (tid — one per pod, per task,
+// per authority). Export renders chrome://tracing / Perfetto importable
+// JSON with process_name/thread_name metadata.
+//
+// Recording is opt-in and off by default. Every emit call is gated on
+// `enabled()`; components hold a plain pointer (nullptr = no tracing), so
+// the disabled cost is one branch per call site and zero allocations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "sim/clock.h"
+
+namespace wfs::obs {
+
+/// One trace event. `phase` follows the Chrome trace-event format:
+/// 'M' metadata (emitted by the exporter), 'X' complete span, 'i' instant,
+/// 'C' counter.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  std::uint32_t pid = 0;
+  std::uint64_t tid = 0;
+  sim::SimTime ts = 0;        // microseconds (SimTime native unit)
+  sim::SimTime dur = 0;       // complete events only
+  json::Object args;
+};
+
+class TraceRecorder {
+ public:
+  using Pid = std::uint32_t;
+  using Tid = std::uint64_t;
+
+  TraceRecorder() = default;
+
+  /// Recording gate. Off by default; emit calls are no-ops while disabled.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Registers (or looks up) a process lane. Pids start at 1.
+  Pid process(const std::string& name);
+
+  /// Registers (or looks up) a thread lane under `pid`. Tids start at 1 and
+  /// are unique across the whole recorder, so a (pid, tid) pair never
+  /// collides between processes.
+  Tid lane(Pid pid, const std::string& name);
+
+  /// A span that covered [start, end] on the given lane.
+  void complete(Pid pid, Tid tid, std::string name, std::string category,
+                sim::SimTime start, sim::SimTime end, json::Object args = {});
+
+  /// A point-in-time marker.
+  void instant(Pid pid, Tid tid, std::string name, std::string category,
+               sim::SimTime ts, json::Object args = {});
+
+  /// A sampled counter series (rendered as a stacked area track).
+  void counter(Pid pid, std::string name, sim::SimTime ts, double value);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear();
+
+  /// Multi-process Chrome trace JSON: process_name/thread_name 'M' metadata
+  /// for every registered lane, then the recorded events.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`. Returns false on I/O error.
+  bool save(const std::string& path) const;
+
+ private:
+  struct LaneInfo {
+    Pid pid = 0;
+    Tid tid = 0;
+    std::string name;
+  };
+  struct ProcessInfo {
+    std::string name;
+  };
+
+  bool enabled_ = false;
+  std::vector<ProcessInfo> processes_;  // index = pid - 1
+  std::vector<LaneInfo> lanes_;         // index = tid - 1
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wfs::obs

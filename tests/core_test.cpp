@@ -503,6 +503,124 @@ TEST_F(WfmTest, RetryBudgetExhaustionStillFailsTask) {
   EXPECT_EQ(result.task_retries, result.tasks_total * 2);  // budget fully spent
 }
 
+TEST_F(WfmTest, RetryTimingCoversAllAttempts) {
+  // Regression: started_seconds/wall_seconds used to be reset on every
+  // attempt, so a retried task reported only its final round trip — the 2 s
+  // backoff vanished from the timeline. The outcome must anchor on the
+  // FIRST attempt and span every retry.
+  int attempts_seen = 0;
+  router_.bind("svc:80", [&attempts_seen](const net::HttpRequest&,
+                                          std::shared_ptr<net::Responder> responder) {
+    if (++attempts_seen == 1) {
+      responder->respond(net::HttpResponse::service_unavailable("flaky"));
+      return;
+    }
+    responder->respond(net::HttpResponse::make_ok());
+  });
+
+  ExecutionPlan plan;
+  plan.workflow_name = "retry_timing";
+  PlannedTask task;
+  task.name = "solo";
+  task.api_url = "http://svc:80/wfbench";
+  task.params.name = "solo";
+  plan.phases.push_back({task});
+
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.check_inputs = false;
+  config.task_retries = 1;
+  config.retry_backoff = 2 * sim::kSecond;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(std::move(plan), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.tasks.size(), 1u);
+  const TaskOutcome& outcome = result.tasks[0];
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_LT(outcome.started_seconds, 1.0);           // first attempt, not the retry
+  EXPECT_GE(outcome.wall_seconds, 2.0);              // covers backoff + both round trips
+  EXPECT_DOUBLE_EQ(outcome.retry_wait_seconds, 2.0); // the configured backoff
+  EXPECT_DOUBLE_EQ(result.retry_wait_seconds, 2.0);  // rolled up on the run
+}
+
+TEST_F(WfmTest, MarkersSentWhenLevelZeroEmpty) {
+  // Regression: send_marker took its endpoint from phases.front().front(),
+  // so a hand-built plan with an empty level 0 dropped header and tail.
+  // Any non-empty level must provide the endpoint.
+  bind_fake_service(0);
+  ExecutionPlan plan;
+  plan.workflow_name = "gapped";
+  PlannedTask task;
+  task.name = "solo";
+  task.api_url = "http://svc:80/wfbench";
+  task.params.name = "solo";
+  plan.phases.push_back({});      // empty level 0
+  plan.phases.push_back({task});
+
+  WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
+  WorkflowRunResult result;
+  wfm.run(std::move(plan), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(requests_.size(), 3u);  // header + task + tail
+  EXPECT_EQ(requests_.front(), "gapped_header");
+  EXPECT_EQ(requests_[1], "solo");
+  EXPECT_EQ(requests_.back(), "gapped_tail");
+}
+
+TEST_F(WfmTest, UpstreamFailureFailsFast) {
+  // Every invocation 500s: the root task fails outright and its children's
+  // inputs never appear. With fail-fast (the default) the children are
+  // failed immediately with an upstream-failure outcome instead of burning
+  // the full 600 x 0.5 s input-poll budget.
+  router_.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> r) {
+    r->respond(net::HttpResponse::server_error("boom"));
+  });
+  WfmConfig config;
+  config.add_header_tail = false;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.tasks_failed, result.tasks_total);
+  EXPECT_GE(result.upstream_failures, 1u);
+  EXPECT_EQ(result.input_wait_timeouts, 0u);
+  EXPECT_LT(result.makespan_seconds, 30.0);  // poll-out would take >= 300 s
+  bool saw_upstream_error = false;
+  for (const TaskOutcome& task : result.tasks) {
+    if (task.error.find("upstream") != std::string::npos) saw_upstream_error = true;
+  }
+  EXPECT_TRUE(saw_upstream_error);
+}
+
+TEST_F(WfmTest, UpstreamFailureFallsBackToPollingWhenDisabled) {
+  // Flag off: the children keep the pure poll path and time out, exactly
+  // the pre-fix behaviour (for genuinely-late files).
+  router_.bind("svc:80", [](const net::HttpRequest&, std::shared_ptr<net::Responder> r) {
+    r->respond(net::HttpResponse::server_error("boom"));
+  });
+  WfmConfig config;
+  config.add_header_tail = false;
+  config.fail_fast_on_upstream_failure = false;
+  config.max_input_polls = 3;
+  config.input_poll_interval = 100 * sim::kMillisecond;
+  WorkflowManager wfm(sim_, router_, fs_, config);
+  WorkflowRunResult result;
+  wfm.run(translated("blast", 10), [&](WorkflowRunResult r) { result = std::move(r); });
+  sim_.run();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.tasks_failed, result.tasks_total);
+  EXPECT_EQ(result.upstream_failures, 0u);
+  EXPECT_GE(result.input_wait_timeouts, 1u);
+}
+
 TEST_F(WfmTest, HeaderTailDisabled) {
   bind_fake_service();
   WfmConfig config;

@@ -107,6 +107,27 @@ TEST(Autoscaler, RejectsBadConstruction) {
   EXPECT_THROW(Autoscaler(fast_config(), 1.0, 5, 3), std::invalid_argument);
 }
 
+TEST(Autoscaler, FractionalPanicThresholdBoundary) {
+  // Regression: the panic-entry comparison used to truncate
+  // panic_threshold * ready_pods to int, so with threshold 2.5 and 3 ready
+  // pods a desired of 7 entered panic (7 >= int(7.5) = 7) even though the
+  // burst is below the threshold (7 < 7.5).
+  AutoscalerConfig config = fast_config();
+  config.panic_threshold = 2.5;
+  Autoscaler below(config, 1.0, 0, 100);
+  below.observe(0, 7.0);
+  const Autoscaler::Decision calm = below.decide(0, 3);
+  EXPECT_FALSE(calm.panic);
+  EXPECT_FALSE(below.in_panic());
+
+  // One more unit of desired crosses the true threshold (8 >= 7.5).
+  Autoscaler above(config, 1.0, 0, 100);
+  above.observe(0, 8.0);
+  const Autoscaler::Decision burst = above.decide(0, 3);
+  EXPECT_TRUE(burst.panic);
+  EXPECT_TRUE(above.in_panic());
+}
+
 // ---- activator ---------------------------------------------------------------
 
 TEST(Activator, FifoAndWaitAccounting) {
@@ -380,6 +401,19 @@ TEST_F(PlatformTest, MinScaleKeepsPodsWarm) {
   EXPECT_EQ(platform.ready_pods(), 2);  // never below min, even idle
   platform.shutdown();
   EXPECT_EQ(cluster_.resident_memory(), 0u);
+}
+
+TEST_F(PlatformTest, ColdStartSecondsAccumulatePerPodCreation) {
+  spec_.min_scale = 2;
+  spec_.cold_start = sim::from_seconds(2.5);
+  KnativePlatform platform(sim_, cluster_, fs_, router_, spec_);
+  platform.deploy();
+  EXPECT_DOUBLE_EQ(platform.stats().cold_start_seconds, 0.0);  // still booting
+  sim_.run_until(10 * sim::kSecond);
+  // Two min-scale pods, 2.5 s each.
+  EXPECT_EQ(platform.stats().pods_created, 2u);
+  EXPECT_DOUBLE_EQ(platform.stats().cold_start_seconds, 5.0);
+  platform.shutdown();
 }
 
 TEST_F(PlatformTest, BadRequestBodyIs400) {

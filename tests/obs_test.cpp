@@ -1,0 +1,245 @@
+// Tests for the obs module: the shared TraceRecorder, its Chrome trace
+// export, and the end-to-end tracing pipeline through an experiment
+// (task attempts + pod lifecycle + autoscaler decisions + HTTP hops in one
+// file, summary stats reconciled against the always-on counters).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "json/parse.h"
+#include "obs/trace_recorder.h"
+
+namespace wfs::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultAndEmitsNothing) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  const TraceRecorder::Pid pid = recorder.process("wfm");
+  const TraceRecorder::Tid tid = recorder.lane(pid, "lane");
+  recorder.complete(pid, tid, "span", "test", 0, 10);
+  recorder.instant(pid, tid, "mark", "test", 5);
+  recorder.counter(pid, "gauge", 5, 1.0);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(TraceRecorder, RegistriesDedupeByName) {
+  TraceRecorder recorder;
+  const TraceRecorder::Pid a = recorder.process("svc");
+  const TraceRecorder::Pid b = recorder.process("net");
+  EXPECT_EQ(recorder.process("svc"), a);
+  EXPECT_NE(a, b);
+  // Lanes dedupe per process; the same name under two processes is two
+  // lanes, and tids never collide across processes.
+  const TraceRecorder::Tid lane_a = recorder.lane(a, "pod-1");
+  const TraceRecorder::Tid lane_b = recorder.lane(b, "pod-1");
+  EXPECT_EQ(recorder.lane(a, "pod-1"), lane_a);
+  EXPECT_NE(lane_a, lane_b);
+}
+
+TEST(TraceRecorder, GoldenChromeTraceJson) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  const TraceRecorder::Pid pid = recorder.process("wfm");
+  const TraceRecorder::Tid tid = recorder.lane(pid, "lane");
+  recorder.complete(pid, tid, "span", "test", 10, 15);
+  const std::string expected =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"wfm"}},)"
+      R"({"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"lane"}},)"
+      R"({"name":"span","cat":"test","ph":"X","ts":10,"dur":5,"pid":1,"tid":1}]})";
+  EXPECT_EQ(recorder.chrome_trace_json(), expected);
+}
+
+TEST(TraceRecorder, ExportCoversEveryPhaseShape) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  const TraceRecorder::Pid pid = recorder.process("svc");
+  const TraceRecorder::Tid tid = recorder.lane(pid, "pod");
+  json::Object args;
+  args.set("status", 200);
+  recorder.complete(pid, tid, "span", "http", 100, 250, std::move(args));
+  recorder.instant(pid, tid, "mark", "pod-scheduled", 100);
+  recorder.counter(pid, "ready_pods", 300, 3.0);
+
+  const json::Value document = json::parse(recorder.chrome_trace_json());
+  const json::Value* events = document.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 2 metadata records (process + thread name) + 3 events.
+  ASSERT_EQ(events->as_array().size(), 5u);
+  for (const json::Value& event : events->as_array()) {
+    const json::Value* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string phase = ph->string_or("");
+    EXPECT_TRUE(phase == "M" || phase == "X" || phase == "i" || phase == "C") << phase;
+    if (phase == "X") {
+      EXPECT_NE(event.find("dur"), nullptr);
+      EXPECT_EQ(event.find("ts")->int_or(-1), 100);
+      EXPECT_EQ(event.find("dur")->int_or(-1), 150);
+    }
+    if (phase == "i") {
+      EXPECT_EQ(event.find("s")->string_or(""), "t");
+    }
+    if (phase == "C") {
+      EXPECT_DOUBLE_EQ(event.find("args")->find("value")->double_or(0.0), 3.0);
+    }
+  }
+}
+
+TEST(TraceRecorder, ClearResetsRegistriesAndEvents) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  const TraceRecorder::Pid pid = recorder.process("svc");
+  recorder.complete(pid, recorder.lane(pid, "l"), "s", "c", 0, 1);
+  EXPECT_EQ(recorder.size(), 1u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.process("other"), 1u);  // pids restart
+}
+
+// ---- end-to-end: one traced serverless experiment ---------------------------
+
+class TracedExperiment : public testing::Test {
+ protected:
+  static const core::ExperimentResult& result() {
+    static const core::ExperimentResult instance = [] {
+      core::ExperimentConfig config;
+      config.paradigm = core::Paradigm::kKn10wNoPM;
+      config.recipe = "blast";
+      config.num_tasks = 50;
+      config.trace_path = trace_path();
+      return core::run_experiment(config);
+    }();
+    return instance;
+  }
+
+  // Unique per test: ctest runs every discovered test in its own process,
+  // concurrently — a shared filename would race.
+  static std::string trace_path() {
+    const testing::TestInfo* info = testing::UnitTest::GetInstance()->current_test_info();
+    return testing::TempDir() + "wfs_trace_" + (info != nullptr ? info->name() : "shared") +
+           ".json";
+  }
+
+  static const json::Value& trace() {
+    static const json::Value document = [] {
+      (void)result();  // ensure the experiment ran and wrote the file
+      std::ifstream in(trace_path());
+      EXPECT_TRUE(in.good());
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return json::parse(buffer.str());
+    }();
+    return document;
+  }
+
+  /// All events of one category.
+  static std::vector<const json::Value*> events_of(const std::string& category) {
+    std::vector<const json::Value*> matched;
+    const json::Value* events = trace().find("traceEvents");
+    if (events == nullptr || !events->is_array()) return matched;
+    for (const json::Value& event : events->as_array()) {
+      const json::Value* cat = event.find("cat");
+      if (cat != nullptr && cat->string_or("") == category) matched.push_back(&event);
+    }
+    return matched;
+  }
+};
+
+TEST_F(TracedExperiment, RunsCleanAndWritesValidChromeTrace) {
+  ASSERT_TRUE(result().ok()) << result().failure_reason;
+  const json::Value* events = trace().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->as_array().size(), 100u);
+  for (const json::Value& event : events->as_array()) {
+    const std::string phase = event.find("ph")->string_or("");
+    EXPECT_TRUE(phase == "M" || phase == "X" || phase == "i" || phase == "C") << phase;
+    EXPECT_NE(event.find("pid"), nullptr);
+  }
+}
+
+TEST_F(TracedExperiment, TaskAttemptSpansCoverEveryTask) {
+  ASSERT_TRUE(result().ok());
+  const auto attempts = events_of("attempt");
+  // One attempt span per task invocation (retries would add more).
+  EXPECT_GE(attempts.size(), result().run.tasks_total);
+  std::set<std::string> names;
+  for (const json::Value* event : attempts) {
+    names.insert(event->find("name")->string_or(""));
+    EXPECT_NE(event->find("args")->find("status"), nullptr);
+  }
+  for (const core::TaskOutcome& task : result().run.tasks) {
+    EXPECT_TRUE(names.contains(task.name)) << task.name;
+  }
+  // The run span and the header/tail markers ride on the run lane.
+  EXPECT_EQ(events_of("run").size(), 1u);
+  EXPECT_EQ(events_of("marker").size(), 2u);
+}
+
+TEST_F(TracedExperiment, PodLifecycleAndAutoscalerEventsPresent) {
+  ASSERT_TRUE(result().ok());
+  EXPECT_FALSE(events_of("pod-scheduled").empty());
+  EXPECT_FALSE(events_of("cold-start").empty());
+  EXPECT_FALSE(events_of("serving").empty());
+  EXPECT_FALSE(events_of("pod-terminated").empty());
+  const auto decisions = events_of("autoscaler");
+  ASSERT_FALSE(decisions.empty());
+  for (const json::Value* event : decisions) {
+    const json::Value* args = event->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->find("stable_avg"), nullptr);
+    EXPECT_NE(args->find("panic_avg"), nullptr);
+    EXPECT_NE(args->find("desired"), nullptr);
+  }
+  EXPECT_FALSE(events_of("http").empty());
+}
+
+TEST_F(TracedExperiment, ColdStartSpansReconcileWithSummaryStats) {
+  ASSERT_TRUE(result().ok());
+  const auto spans = events_of("cold-start");
+  ASSERT_FALSE(spans.empty());
+  // Every pod that reached Ready has exactly one cold-start span; pods
+  // terminated mid-boot (e.g. at shutdown) count in cold_starts but never
+  // accrue cold-start time.
+  EXPECT_LE(spans.size(), result().cold_starts);
+  double total_seconds = 0.0;
+  for (const json::Value* span : spans) {
+    total_seconds += static_cast<double>(span->find("dur")->int_or(0)) / 1e6;
+  }
+  EXPECT_NEAR(total_seconds, result().cold_start_seconds, 1e-6);
+  EXPECT_GT(result().cold_start_seconds, 0.0);
+}
+
+TEST_F(TracedExperiment, RunWaitTotalsReconcileWithPerTaskOutcomes) {
+  ASSERT_TRUE(result().ok());
+  double input_wait = 0.0;
+  double retry_wait = 0.0;
+  for (const core::TaskOutcome& task : result().run.tasks) {
+    input_wait += task.input_wait_seconds;
+    retry_wait += task.retry_wait_seconds;
+  }
+  EXPECT_NEAR(result().run.input_wait_seconds, input_wait, 1e-9);
+  EXPECT_NEAR(result().run.retry_wait_seconds, retry_wait, 1e-9);
+}
+
+TEST(TracingDisabled, ExperimentRecordsSummaryStatsWithoutTraceFile) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 50;  // trace_path empty: tracing off
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  // The overhead counters are always-on — campaign CSVs stay populated
+  // even when no trace is recorded.
+  EXPECT_GT(result.cold_start_seconds, 0.0);
+  EXPECT_GE(result.run.input_wait_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace wfs::obs
