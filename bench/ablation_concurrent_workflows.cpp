@@ -15,10 +15,17 @@
 #include <iostream>
 
 #include "core/fleet.h"
+#include "support/cli.h"
 #include "support/format.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfs;
+  support::CliParser cli("ablation_concurrent_workflows",
+                         "concurrent workflows on one shared platform");
+  cli.add_flag("jobs", "0", "parallel fleet workers (0 = all cores, 1 = sequential)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+
   std::cout << "Ablation — concurrent workflows on one shared platform\n";
   std::cout << "======================================================\n\n";
 
@@ -34,18 +41,29 @@ int main() {
         fleet.cold_starts);
   };
 
-  core::FleetConfig config;
-  config.items = suite;
+  // The four fleets are independent simulations — run them as one sweep on
+  // the thread pool; results come back in config order.
+  const std::vector<core::Paradigm> paradigms = {core::Paradigm::kKn10wNoPM,
+                                                 core::Paradigm::kLC10wNoPM};
+  std::vector<core::FleetConfig> configs;
+  for (const core::Paradigm paradigm : paradigms) {
+    for (const bool concurrent : {false, true}) {
+      core::FleetConfig config;
+      config.items = suite;
+      config.paradigm = paradigm;
+      config.concurrent = concurrent;
+      configs.push_back(std::move(config));
+    }
+  }
+  const std::vector<core::FleetResult> fleets = core::run_fleets(configs, jobs);
 
-  for (const core::Paradigm paradigm :
-       {core::Paradigm::kKn10wNoPM, core::Paradigm::kLC10wNoPM}) {
-    config.paradigm = paradigm;
-    config.concurrent = false;
-    const core::FleetResult sequential = core::run_fleet(config);
-    config.concurrent = true;
-    const core::FleetResult concurrent = core::run_fleet(config);
-    print(support::format("{} sequential", core::to_string(paradigm)).c_str(), sequential);
-    print(support::format("{} concurrent", core::to_string(paradigm)).c_str(), concurrent);
+  for (std::size_t p = 0; p < paradigms.size(); ++p) {
+    const core::FleetResult& sequential = fleets[p * 2];
+    const core::FleetResult& concurrent = fleets[p * 2 + 1];
+    print(support::format("{} sequential", core::to_string(paradigms[p])).c_str(),
+          sequential);
+    print(support::format("{} concurrent", core::to_string(paradigms[p])).c_str(),
+          concurrent);
     std::cout << support::format(
         "  -> concurrency saves {:.1f}% wall time at {:.2f}x utilisation\n\n",
         (1.0 - concurrent.wall_seconds / sequential.wall_seconds) * 100.0,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "metrics/ascii_chart.h"
@@ -18,26 +19,26 @@ struct SweepResult {
 
 /// Runs the full cross product paradigms x recipes x sizes (the layout of
 /// the paper's faceted figures) and prints progress rows as it goes.
+/// `jobs` > 1 runs cells on a thread pool (0 = hardware_concurrency):
+/// results stay in deterministic grid order, but the printed progress rows
+/// arrive in completion order.
 inline SweepResult run_sweep(const std::vector<core::Paradigm>& paradigms,
                              const std::vector<std::string>& recipes,
                              const std::vector<std::size_t>& sizes,
-                             std::uint64_t seed = 1) {
-  SweepResult sweep;
+                             std::uint64_t seed = 1, std::size_t jobs = 1) {
+  core::CampaignSpec spec;
+  spec.paradigms = paradigms;
+  spec.recipes = recipes;
+  spec.sizes = sizes;
+  spec.seed = seed;
+  spec.jobs = jobs;
+  core::Campaign campaign(std::move(spec));
   std::cout << core::result_header();
-  for (const std::string& recipe : recipes) {
-    for (const std::size_t size : sizes) {
-      for (const core::Paradigm paradigm : paradigms) {
-        core::ExperimentConfig config;
-        config.paradigm = paradigm;
-        config.recipe = recipe;
-        config.num_tasks = size;
-        config.seed = seed;
-        core::ExperimentResult result = core::run_experiment(config);
-        std::cout << core::result_row(result) << std::flush;
-        sweep.results.push_back(std::move(result));
-      }
-    }
-  }
+  campaign.run([](const core::ExperimentResult& result) {
+    std::cout << core::result_row(result) << std::flush;
+  });
+  SweepResult sweep;
+  sweep.results = campaign.results();
   return sweep;
 }
 

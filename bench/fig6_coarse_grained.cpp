@@ -10,12 +10,19 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "support/cli.h"
 #include "wfcommons/recipes/recipe.h"
 
 int main(int argc, char** argv) {
   using namespace wfs;
+  support::CliParser cli("fig6_coarse_grained",
+                         "coarse-grained serverless vs local containers");
   // --quick keeps CI runs short (drops the 1000-task size).
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  cli.add_switch("quick", "drop the 1000-task size");
+  cli.add_flag("jobs", "0", "parallel experiment workers (0 = all cores, 1 = sequential)");
+  if (!cli.parse(argc, argv)) return 1;
+  const bool quick = cli.get_switch("quick");
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
 
   std::cout << "Figure 6 — coarse-grained serverless vs local containers\n";
   std::cout << "========================================================\n\n";
@@ -25,7 +32,7 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{100, 500} : std::vector<std::size_t>{100, 500, 1000};
 
-  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes, 1, jobs);
   bench::print_metric_charts(sweep, paradigms, recipes, sizes);
 
   std::cout << "\ncoarse-grained serverless vs local containers (largest size):\n";

@@ -8,17 +8,23 @@
 //  * group 2 (Cycles, Epigenomics): the gap is much narrower;
 //  * across the board serverless matches power while cutting CPU usage (the
 //    paper reports up to 78.11%) and memory usage (up to 73.92%).
-// Pass a path as argv[1] to also record a Chrome trace of one extra
-// blast-200 Kn10wNoPM cell (for chrome://tracing / Perfetto inspection of
-// where the serverless time goes).
+// Pass a positional path argument to also record a Chrome trace of one
+// extra blast-200 Kn10wNoPM cell (for chrome://tracing / Perfetto
+// inspection of where the serverless time goes).
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
+#include "support/cli.h"
 #include "wfcommons/recipes/recipe.h"
 
 int main(int argc, char** argv) {
   using namespace wfs;
+  support::CliParser cli("fig7_serverless_vs_lc",
+                         "serverless vs local containers headline comparison");
+  cli.add_flag("jobs", "0", "parallel experiment workers (0 = all cores, 1 = sequential)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
 
   std::cout << "Figure 7 — serverless (Kn10wNoPM) vs local containers (LC10wNoPM)\n";
   std::cout << "=================================================================\n\n";
@@ -28,7 +34,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> recipes = wfcommons::recipe_names();
   const std::vector<std::size_t> sizes = {50, 200};
 
-  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes);
+  const bench::SweepResult sweep = bench::run_sweep(paradigms, recipes, sizes, 1, jobs);
   bench::print_metric_charts(sweep, paradigms, recipes, sizes);
 
   std::cout << "\nserverless vs local containers, per family (200-task instances):\n";
@@ -60,18 +66,19 @@ int main(int argc, char** argv) {
       -best_cpu, best_cpu_family, -best_memory, best_memory_family);
   std::cout << "paper reports: up to 78.11% (CPU) and 73.92% (memory)\n";
 
-  if (argc > 1) {
+  if (!cli.positional().empty()) {
     // One extra traced cell: blast-200 on the serverless headline setup.
+    const std::string& trace_path = cli.positional().front();
     core::ExperimentConfig config;
     config.paradigm = core::Paradigm::kKn10wNoPM;
     config.recipe = "blast";
     config.num_tasks = 200;
-    config.trace_path = argv[1];
+    config.trace_path = trace_path;
     const core::ExperimentResult traced = core::run_experiment(config);
     std::cout << "\ntraced blast-200 Kn10wNoPM cell:\n" << core::overhead_summary(traced);
     std::cout << support::format(
         "trace written to {} — open with chrome://tracing or https://ui.perfetto.dev\n",
-        argv[1]);
+        trace_path);
   }
   return 0;
 }

@@ -8,11 +8,21 @@
 #include <iostream>
 
 #include "core/paradigm.h"
+#include "support/cli.h"
 #include "support/format.h"
+#include "support/thread_pool.h"
 #include "wfcommons/recipes/recipe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfs;
+  support::CliParser cli("table1_experiment_design",
+                         "enumerate the paper's Table I design");
+  cli.add_flag("jobs", "0",
+               "campaign workers to plan for (0 = all cores, 1 = sequential)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto jobs_flag = static_cast<std::size_t>(cli.get_int("jobs"));
+  const std::size_t jobs =
+      jobs_flag == 0 ? support::ThreadPool::default_workers() : jobs_flag;
 
   const auto fine = core::fine_grained_paradigms();
   const auto coarse = core::coarse_grained_paradigms();
@@ -52,8 +62,13 @@ int main() {
   }
   std::cout << support::format("   subtotal: {} experiments\n\n", coarse_count);
 
-  std::cout << support::format("total: {} experiments (paper: 140 = 98 + 42)\n",
-                               fine_count + coarse_count);
+  const std::size_t total = fine_count + coarse_count;
+  std::cout << support::format("total: {} experiments (paper: 140 = 98 + 42)\n", total);
+  // Every cell is an independent simulation, so a full rerun spreads over
+  // the campaign thread pool (run_all_wfbench --jobs N).
+  std::cout << support::format(
+      "execution plan: {} pool workers -> at most {} waves of experiments\n", jobs,
+      (total + jobs - 1) / jobs);
   const bool match = fine_count == 98 && coarse_count == 42;
   std::cout << (match ? "design matches the paper's Table I\n"
                       : "WARNING: design deviates from the paper's Table I\n");

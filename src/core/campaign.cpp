@@ -1,9 +1,51 @@
 #include "core/campaign.h"
 
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
 #include "support/format.h"
+#include "support/thread_pool.h"
 #include "wfcommons/recipes/recipe.h"
 
 namespace wfs::core {
+namespace {
+
+/// The full cell grid in deterministic order: seed and scheduling sweeps
+/// outermost (so the default single-value case reproduces the historical
+/// recipe > size > paradigm layout exactly), then the facet triple.
+std::vector<ExperimentConfig> enumerate_cells(const CampaignSpec& spec) {
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.seed} : spec.seeds;
+  std::vector<SchedulingMode> schedulings = spec.schedulings;
+  if (schedulings.empty()) schedulings = {spec.wfm.scheduling};
+
+  std::vector<ExperimentConfig> cells;
+  cells.reserve(spec.cell_count());
+  for (const std::uint64_t seed : seeds) {
+    for (const SchedulingMode scheduling : schedulings) {
+      for (const std::string& recipe : spec.recipes) {
+        for (const std::size_t size : spec.sizes) {
+          for (const Paradigm paradigm : spec.paradigms) {
+            ExperimentConfig config;
+            config.paradigm = paradigm;
+            config.recipe = recipe;
+            config.num_tasks = size;
+            config.seed = seed;
+            config.cpu_work = spec.cpu_work;
+            config.backend = spec.backend;
+            config.wfm = spec.wfm;
+            config.wfm.scheduling = scheduling;
+            cells.push_back(std::move(config));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
 
 CampaignSpec paper_fine_grained_campaign() {
   CampaignSpec spec;
@@ -22,36 +64,65 @@ CampaignSpec paper_coarse_grained_campaign() {
 }
 
 const std::vector<ExperimentResult>& Campaign::run(const Progress& progress) {
+  const std::vector<ExperimentConfig> cells = enumerate_cells(spec_);
+  const std::size_t jobs = std::min(
+      spec_.jobs == 0 ? support::ThreadPool::default_workers() : spec_.jobs,
+      std::max<std::size_t>(1, cells.size()));
+
   results_.clear();
-  results_.reserve(spec_.cell_count());
-  for (const std::string& recipe : spec_.recipes) {
-    for (const std::size_t size : spec_.sizes) {
-      for (const Paradigm paradigm : spec_.paradigms) {
-        ExperimentConfig config;
-        config.paradigm = paradigm;
-        config.recipe = recipe;
-        config.num_tasks = size;
-        config.seed = spec_.seed;
-        config.cpu_work = spec_.cpu_work;
-        config.backend = spec_.backend;
-        config.wfm = spec_.wfm;
-        results_.push_back(run_experiment(config));
-        if (progress) progress(results_.back());
-      }
+  if (jobs <= 1) {
+    results_.reserve(cells.size());
+    for (const ExperimentConfig& config : cells) {
+      results_.push_back(run_experiment(config));
+      if (progress) progress(results_.back());
     }
+    return results_;
   }
+
+  // Parallel path: slots are pre-allocated so each worker writes a distinct
+  // element (no reallocation while workers run) and cell order is preserved
+  // no matter which worker finishes first.
+  results_.resize(cells.size());
+  std::mutex progress_mutex;
+  support::ThreadPool pool(jobs);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    pool.submit([this, &cells, &progress, &progress_mutex, i] {
+      ExperimentResult result;
+      try {
+        result = run_experiment(cells[i]);
+      } catch (const std::exception& e) {
+        result.config = cells[i];
+        result.paradigm_name = paradigm_info(cells[i].paradigm).name;
+        result.completed = false;
+        result.failure_reason = support::format("experiment threw: {}", e.what());
+      }
+      results_[i] = std::move(result);
+      if (progress) {
+        const std::scoped_lock lock(progress_mutex);
+        progress(results_[i]);
+      }
+    });
+  }
+  pool.wait_idle();
   return results_;
 }
 
 const ExperimentResult* Campaign::find(Paradigm paradigm, const std::string& recipe,
-                                       std::size_t size) const {
+                                       std::size_t size,
+                                       std::optional<std::uint64_t> seed,
+                                       std::optional<SchedulingMode> scheduling) const {
+  const ExperimentResult* match = nullptr;
   for (const ExperimentResult& result : results_) {
-    if (result.config.paradigm == paradigm && result.config.recipe == recipe &&
-        result.config.num_tasks == size) {
-      return &result;
+    if (result.config.paradigm != paradigm || result.config.recipe != recipe ||
+        result.config.num_tasks != size) {
+      continue;
     }
+    if (seed.has_value() && result.config.seed != *seed) continue;
+    if (scheduling.has_value() && result.config.wfm.scheduling != *scheduling) continue;
+    if (match != nullptr) return nullptr;  // ambiguous: an omitted key differs
+    match = &result;
   }
-  return nullptr;
+  return match;
 }
 
 std::string Campaign::summary_csv() const {

@@ -2,9 +2,17 @@
 // the C++ analogue of the artifact's run_all_wfbench.sh / run_all_wfbench_
 // local.sh drivers, with results kept in memory and exportable as CSV for
 // downstream analysis (the paper's Jupyter stage).
+//
+// Cells are independent simulations, so the campaign runs them on a
+// support::ThreadPool (`CampaignSpec::jobs` workers). Results are collected
+// in deterministic cell order: summary_csv() and results() are byte-for-byte
+// identical whatever the worker count; only the progress callback observes
+// completion order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,12 +25,21 @@ struct CampaignSpec {
   std::vector<std::string> recipes;
   std::vector<std::size_t> sizes;
   std::uint64_t seed = 1;
+  /// Extra sweep dimensions. Empty (the default) means one value taken from
+  /// `seed` / `wfm.scheduling`; non-empty multiplies the cell grid.
+  std::vector<std::uint64_t> seeds;
+  std::vector<SchedulingMode> schedulings;
   double cpu_work = 100.0;
   DataBackend backend = DataBackend::kSharedDrive;
   WfmConfig wfm;
+  /// Worker threads for run(): 0 = hardware_concurrency, 1 = fully
+  /// sequential (the exact pre-pool code path).
+  std::size_t jobs = 0;
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
-    return paradigms.size() * recipes.size() * sizes.size();
+    return paradigms.size() * recipes.size() * sizes.size() *
+           std::max<std::size_t>(1, seeds.size()) *
+           std::max<std::size_t>(1, schedulings.size());
   }
 };
 
@@ -37,7 +54,10 @@ class Campaign {
   explicit Campaign(CampaignSpec spec) : spec_(std::move(spec)) {}
 
   /// Runs every cell (recipes outermost, paradigms innermost, matching the
-  /// figures' facet layout); `progress` fires after each cell.
+  /// figures' facet layout; seed/scheduling sweeps wrap around that grid).
+  /// `progress` fires exactly once per cell, serialized — but with jobs > 1
+  /// in COMPLETION order, not cell order. The returned results are always
+  /// in cell order.
   const std::vector<ExperimentResult>& run(const Progress& progress = {});
 
   [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
@@ -48,9 +68,15 @@ class Campaign {
     return results_.size() == spec_.cell_count();
   }
 
-  /// nullptr when the cell was not (yet) run.
-  [[nodiscard]] const ExperimentResult* find(Paradigm paradigm, const std::string& recipe,
-                                             std::size_t size) const;
+  /// Cell lookup by config key. The optional seed / scheduling narrow the
+  /// match for campaigns that sweep those dimensions; when the given keys
+  /// are ambiguous (several cells differ only in an omitted dimension) the
+  /// lookup returns nullptr rather than silently picking the first cell.
+  /// nullptr also when the cell was not (yet) run.
+  [[nodiscard]] const ExperimentResult* find(
+      Paradigm paradigm, const std::string& recipe, std::size_t size,
+      std::optional<std::uint64_t> seed = std::nullopt,
+      std::optional<SchedulingMode> scheduling = std::nullopt) const;
 
   /// One CSV row per cell: identity, status, and the aggregate metrics the
   /// paper's analysis notebooks consume.

@@ -1,7 +1,10 @@
 #include "core/fleet.h"
 
+#include <algorithm>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "cluster/cluster.h"
 #include "containers/runtime.h"
@@ -10,6 +13,7 @@
 #include "net/router.h"
 #include "storage/shared_fs.h"
 #include "support/log.h"
+#include "support/thread_pool.h"
 #include "wfcommons/generator.h"
 #include "wfcommons/translators/knative.h"
 #include "wfcommons/translators/local_container.h"
@@ -121,6 +125,44 @@ FleetResult run_fleet(const FleetConfig& config) {
   }
   if (local) local->shutdown();
   return result;
+}
+
+std::vector<FleetResult> run_fleets(const std::vector<FleetConfig>& configs,
+                                    std::size_t jobs, const FleetProgress& progress) {
+  const std::size_t workers = std::min(
+      jobs == 0 ? support::ThreadPool::default_workers() : jobs,
+      std::max<std::size_t>(1, configs.size()));
+
+  std::vector<FleetResult> results;
+  if (workers <= 1) {
+    results.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results.push_back(run_fleet(configs[i]));
+      if (progress) progress(i, results.back());
+    }
+    return results;
+  }
+
+  results.resize(configs.size());
+  std::mutex progress_mutex;
+  support::ThreadPool pool(workers);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    pool.submit([&results, &configs, &progress, &progress_mutex, i] {
+      FleetResult result;
+      try {
+        result = run_fleet(configs[i]);
+      } catch (const std::exception&) {
+        result.completed = false;  // surfaced as !ok(); the sweep goes on
+      }
+      results[i] = std::move(result);
+      if (progress) {
+        const std::scoped_lock lock(progress_mutex);
+        progress(i, results[i]);
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
 }
 
 }  // namespace wfs::core

@@ -52,4 +52,15 @@ struct FleetResult {
 /// Runs the fleet to completion on a fresh simulation.
 [[nodiscard]] FleetResult run_fleet(const FleetConfig& config);
 
+/// Sweep over independent fleets: each config runs on its own simulation,
+/// dispatched to a support::ThreadPool of `jobs` workers (0 =
+/// hardware_concurrency, 1 = plain sequential loop). Results come back in
+/// input order regardless of completion order; `progress` (optional) fires
+/// exactly once per fleet, serialized, in COMPLETION order, with the
+/// config's index in `configs`.
+using FleetProgress = std::function<void(std::size_t index, const FleetResult&)>;
+[[nodiscard]] std::vector<FleetResult> run_fleets(const std::vector<FleetConfig>& configs,
+                                                  std::size_t jobs = 0,
+                                                  const FleetProgress& progress = {});
+
 }  // namespace wfs::core

@@ -17,7 +17,25 @@ bool EventQueue::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   cancelled_.insert(id);
+  // Lazy skipping alone only reclaims a cancelled entry once it surfaces at
+  // the top, so far-future schedule-then-cancel churn would pin memory for
+  // the whole run. Rebuild once cancelled entries exceed half the heap:
+  // O(n) per rebuild, amortised O(1) per cancel.
+  if (cancelled_.size() * 2 > heap_.size()) compact();
   return true;
+}
+
+void EventQueue::compact() const {
+  std::vector<Entry> live;
+  live.reserve(heap_.size() - cancelled_.size());
+  while (!heap_.empty()) {
+    if (!cancelled_.contains(heap_.top().id)) live.push_back(heap_.top());
+    heap_.pop();
+  }
+  // Every cancelled id had exactly one heap entry, and the full drain above
+  // visited them all.
+  cancelled_.clear();
+  heap_ = std::priority_queue<Entry>(std::less<Entry>{}, std::move(live));
 }
 
 void EventQueue::drop_cancelled() const {

@@ -27,12 +27,19 @@ class EventQueue {
   /// to the last popped event). Returns a handle usable with cancel().
   EventId schedule(SimTime at, Callback fn);
 
-  /// Marks an event as cancelled; it will be skipped when reached.
+  /// Marks an event as cancelled; it will be skipped when reached. When
+  /// cancelled entries outnumber the live ones the heap is compacted
+  /// eagerly, so schedule-then-cancel churn (retry timers racing their
+  /// completion, stopped periodic tasks) cannot grow the heap unboundedly.
   /// Returns false when the id is unknown or already fired/cancelled.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const noexcept;
   [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Heap entries, INCLUDING not-yet-reclaimed cancelled ones — a probe for
+  /// the compaction bound (tests assert heap_size() stays O(live events)).
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
 
   /// Time of the next live event; only valid when !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -57,6 +64,7 @@ class EventQueue {
   };
 
   void drop_cancelled() const;
+  void compact() const;
 
   mutable std::priority_queue<Entry> heap_;
   mutable std::unordered_set<EventId> cancelled_;

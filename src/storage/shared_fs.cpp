@@ -36,7 +36,11 @@ void SharedFilesystem::read(const std::string& name, std::function<void(bool)> d
   const auto it = files_.find(name);
   if (it == files_.end()) {
     ++failed_reads_;
-    done(false);
+    // A miss still pays the metadata round trip (an NFS lookup is not free),
+    // and deferring the callback keeps the caller's dispatch loop from being
+    // re-entered mid-call — matching ObjectStore's 404 path, which charges
+    // request_latency.
+    sim_.schedule_in(config_.op_latency, [done = std::move(done)] { done(false); });
     return;
   }
   const std::uint64_t size = it->second.size_bytes;

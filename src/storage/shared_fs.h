@@ -43,8 +43,8 @@ class SharedFilesystem final : public DataStore {
   [[nodiscard]] const FileMeta* stat(const std::string& name) const noexcept;
 
   /// Asynchronous read: `done(true)` after the simulated transfer, or
-  /// `done(false)` immediately (zero simulated delay) when the file is
-  /// missing.
+  /// `done(false)` after `op_latency` when the file is missing (a miss costs
+  /// the metadata round trip and never re-enters the caller synchronously).
   void read(const std::string& name, std::function<void(bool ok)> done) override;
 
   /// Asynchronous write: file becomes visible to exists() only when the

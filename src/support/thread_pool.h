@@ -1,0 +1,59 @@
+// Fixed-size worker pool for running independent simulations in parallel.
+//
+// Each Simulation is strictly single-threaded (see sim/simulation.h), so the
+// natural unit of parallelism in this framework is one whole experiment:
+// campaign and fleet sweeps dispatch each cell to a pool worker and collect
+// results by index, keeping output order deterministic regardless of which
+// worker finishes first. Jobs must not touch shared mutable state other than
+// what they synchronise themselves; the framework-level shared pieces
+// (support::Logger) are thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfs::support {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `workers` threads; 0 means default_workers().
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Waits for queued and in-flight jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs run in submission order but complete in any order;
+  /// a job must not throw (wrap work in try/catch and record failures).
+  void submit(Job job);
+
+  /// Blocks until the queue is empty and no job is executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static std::size_t default_workers() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<Job> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signalled on submit / stop
+  std::condition_variable idle_cv_;  // signalled when a job finishes
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wfs::support

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
 #include "cluster/cluster.h"
 #include "core/campaign.h"
@@ -19,6 +20,7 @@
 #include "wfcommons/wfinstances.h"
 #include "core/report.h"
 #include "metrics/pmdump.h"
+#include "support/format.h"
 #include "wfcommons/analysis.h"
 #include "wfcommons/generator.h"
 
@@ -452,6 +454,113 @@ TEST(Campaign, RunsCellsAndExportsCsv) {
 TEST(Campaign, PaperDesignsMatchTableOne) {
   EXPECT_EQ(paper_fine_grained_campaign().cell_count(), 98u);
   EXPECT_EQ(paper_coarse_grained_campaign().cell_count(), 42u);
+}
+
+// A 12-cell grid of small workflows, shared by the parallelism tests.
+CampaignSpec small_parallel_spec() {
+  CampaignSpec spec;
+  spec.paradigms = {Paradigm::kKn10wNoPM, Paradigm::kLC10wNoPM};
+  spec.recipes = {"blast", "seismology", "cycles"};
+  spec.sizes = {20, 30};
+  return spec;
+}
+
+TEST(Campaign, ParallelRunMatchesSequentialByteForByte) {
+  CampaignSpec spec = small_parallel_spec();
+  ASSERT_EQ(spec.cell_count(), 12u);
+
+  spec.jobs = 1;
+  Campaign sequential(spec);
+  sequential.run();
+  spec.jobs = 4;
+  Campaign parallel(spec);
+  parallel.run();
+
+  EXPECT_TRUE(parallel.completed());
+  ASSERT_EQ(parallel.results().size(), sequential.results().size());
+  // Deterministic collection order: the CSV must not depend on which worker
+  // finished first.
+  EXPECT_EQ(parallel.summary_csv(), sequential.summary_csv());
+  for (std::size_t i = 0; i < parallel.results().size(); ++i) {
+    EXPECT_EQ(parallel.results()[i].config.recipe,
+              sequential.results()[i].config.recipe);
+    EXPECT_DOUBLE_EQ(parallel.results()[i].makespan_seconds,
+                     sequential.results()[i].makespan_seconds);
+  }
+}
+
+TEST(Campaign, ProgressFiresOncePerCellUnderContention) {
+  CampaignSpec spec = small_parallel_spec();
+  spec.jobs = 4;
+  Campaign campaign(spec);
+  // The progress callback is serialized, so plain (unsynchronised-by-the-
+  // caller) state must stay consistent even with 4 workers completing cells.
+  std::size_t calls = 0;
+  std::set<std::string> cells_seen;
+  campaign.run([&](const ExperimentResult& result) {
+    ++calls;
+    cells_seen.insert(support::format("{}/{}/{}", result.paradigm_name,
+                                      result.config.recipe, result.config.num_tasks));
+  });
+  EXPECT_EQ(calls, spec.cell_count());
+  EXPECT_EQ(cells_seen.size(), spec.cell_count());  // each cell exactly once
+}
+
+TEST(Campaign, FindMatchesFullConfigKey) {
+  // Regression: find() used to match only (paradigm, recipe, size), so a
+  // campaign sweeping wfm.scheduling or seeds silently returned the first
+  // matching cell regardless of the remaining key.
+  CampaignSpec spec;
+  spec.paradigms = {Paradigm::kKn10wNoPM};
+  spec.recipes = {"blast"};
+  spec.sizes = {30};
+  spec.schedulings = {SchedulingMode::kPhaseBarrier, SchedulingMode::kDependencyDriven};
+  spec.seeds = {1, 2};
+  spec.jobs = 1;
+  ASSERT_EQ(spec.cell_count(), 4u);
+  Campaign campaign(spec);
+  campaign.run();
+  ASSERT_TRUE(campaign.completed());
+
+  // Ambiguous partial keys no longer pick an arbitrary cell.
+  EXPECT_EQ(campaign.find(Paradigm::kKn10wNoPM, "blast", 30), nullptr);
+  EXPECT_EQ(campaign.find(Paradigm::kKn10wNoPM, "blast", 30, 1), nullptr);
+
+  for (const std::uint64_t seed : {1u, 2u}) {
+    for (const SchedulingMode mode :
+         {SchedulingMode::kPhaseBarrier, SchedulingMode::kDependencyDriven}) {
+      const ExperimentResult* cell =
+          campaign.find(Paradigm::kKn10wNoPM, "blast", 30, seed, mode);
+      ASSERT_NE(cell, nullptr);
+      EXPECT_EQ(cell->config.seed, seed);
+      EXPECT_EQ(cell->config.wfm.scheduling, mode);
+    }
+  }
+  // A fully-specified key that was never run stays a miss.
+  EXPECT_EQ(campaign.find(Paradigm::kKn10wNoPM, "blast", 30, 3,
+                          SchedulingMode::kPhaseBarrier),
+            nullptr);
+}
+
+TEST(Fleet, ParallelSweepMatchesIndividualRuns) {
+  std::vector<FleetConfig> configs(3);
+  configs[0].paradigm = Paradigm::kKn10wNoPM;
+  configs[0].items = {{"blast", 40, 1}, {"bwa", 40, 2}};
+  configs[1].paradigm = Paradigm::kLC10wNoPM;
+  configs[1].items = {{"seismology", 40, 3}};
+  configs[2].paradigm = Paradigm::kKn10wNoPM;
+  configs[2].items = {{"cycles", 40, 4}};
+  configs[2].concurrent = false;
+
+  const std::vector<FleetResult> pooled = run_fleets(configs, 3);
+  ASSERT_EQ(pooled.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const FleetResult solo = run_fleet(configs[i]);
+    EXPECT_EQ(pooled[i].ok(), solo.ok()) << i;
+    EXPECT_DOUBLE_EQ(pooled[i].wall_seconds, solo.wall_seconds) << i;
+    EXPECT_EQ(pooled[i].cold_starts, solo.cold_starts) << i;
+    EXPECT_EQ(pooled[i].runs.size(), solo.runs.size()) << i;
+  }
 }
 
 // ---- WfInstances -----------------------------------------------------------------------

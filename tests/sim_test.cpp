@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/clock.h"
@@ -67,6 +68,50 @@ TEST(EventQueue, CancelMiddleEventOnly) {
   queue.cancel(id);
   while (!queue.empty()) queue.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelledEntriesAreCompactedEagerly) {
+  // Regression: schedule-then-cancel churn against far-future events (retry
+  // timers racing completion, stopped periodic tasks) used to leave every
+  // cancelled entry in the heap until it surfaced at the top — unbounded
+  // growth over a long run. Compaction keeps the heap O(live events).
+  EventQueue queue;
+  constexpr SimTime kFarFuture = 1'000'000'000;
+  // A persistent population of live events the compactor must preserve.
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(queue.schedule(kFarFuture + i, [] {}));
+  }
+  std::size_t max_heap = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = queue.schedule(kFarFuture * 2, [] {});
+    queue.cancel(id);
+    max_heap = std::max(max_heap, queue.heap_size());
+  }
+  // Pre-fix the heap peaks at ~10'100 entries; post-fix it stays within a
+  // small multiple of the live population.
+  EXPECT_LE(max_heap, 2 * live.size() + 2);
+  EXPECT_EQ(queue.size(), live.size());  // only live callbacks remain
+  // The survivors still fire, in order.
+  std::size_t fired = 0;
+  while (!queue.empty()) {
+    queue.pop().fn();
+    ++fired;
+  }
+  EXPECT_EQ(fired, live.size());
+}
+
+TEST(EventQueue, CompactionPreservesTieOrder) {
+  // Rebuilding the heap must not disturb the FIFO-for-ties contract.
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  // Cancel enough same-time padding events to force several compactions.
+  for (int i = 0; i < 100; ++i) queue.cancel(queue.schedule(5, [] {}));
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
 TEST(EventQueue, NextTimeAndEmptyErrors) {

@@ -41,18 +41,62 @@ TEST(SharedFs, WriteBecomesVisibleOnlyAfterTransfer) {
   EXPECT_EQ(fs.bytes_written(), 1'000'000u);
 }
 
-TEST(SharedFs, ReadMissingFileFailsImmediately) {
+TEST(SharedFs, ReadMissingFileCostsOpLatency) {
+  // Regression: the miss path used to invoke done(false) synchronously and
+  // for free, so polling the shared drive for absent files cost no simulated
+  // time and re-entered the caller mid-dispatch.
   sim::Simulation sim;
-  storage::SharedFilesystem fs(sim);
+  storage::SharedFsConfig config;
+  config.op_latency = 2 * sim::kMillisecond;
+  storage::SharedFilesystem fs(sim, config);
   bool called = false;
   bool ok = true;
   fs.read("nope.txt", [&](bool read_ok) {
     called = true;
     ok = read_ok;
   });
-  EXPECT_TRUE(called);  // synchronous failure, no simulated delay
-  EXPECT_FALSE(ok);
+  EXPECT_FALSE(called);  // never re-enters the caller synchronously
   EXPECT_EQ(fs.failed_reads(), 1u);
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(sim.now(), 2 * sim::kMillisecond);  // the metadata round trip
+}
+
+TEST(Storage, MissPathCostsLatencyOnBothBackends) {
+  // Both backends charge their per-operation latency for a failed lookup —
+  // the shared drive its op_latency, the object store its request_latency —
+  // so WFM input polling is never free on either.
+  {
+    sim::Simulation sim;
+    storage::SharedFsConfig config;
+    config.op_latency = 3 * sim::kMillisecond;
+    storage::SharedFilesystem fs(sim, config);
+    bool called = false;
+    fs.read("ghost", [&](bool read_ok) {
+      called = true;
+      EXPECT_FALSE(read_ok);
+    });
+    EXPECT_FALSE(called);
+    sim.run();
+    EXPECT_TRUE(called);
+    EXPECT_EQ(sim.now(), 3 * sim::kMillisecond);
+  }
+  {
+    sim::Simulation sim;
+    storage::ObjectStoreConfig config;
+    config.request_latency = 15 * sim::kMillisecond;
+    storage::ObjectStore store(sim, config);
+    bool called = false;
+    store.read("ghost", [&](bool read_ok) {
+      called = true;
+      EXPECT_FALSE(read_ok);
+    });
+    EXPECT_FALSE(called);
+    sim.run();
+    EXPECT_TRUE(called);
+    EXPECT_EQ(sim.now(), 15 * sim::kMillisecond);
+  }
 }
 
 TEST(SharedFs, ReadTransfersTakeTime) {
@@ -136,7 +180,7 @@ TEST(ObjectStore, MissingObjectCostsARoundTrip) {
     called = true;
     ok = read_ok;
   });
-  EXPECT_FALSE(called);  // unlike the shared drive, the 404 is asynchronous
+  EXPECT_FALSE(called);  // the 404 is asynchronous, like every storage op
   sim.run();
   EXPECT_TRUE(called);
   EXPECT_FALSE(ok);
