@@ -12,6 +12,7 @@
 // extra blast-200 Kn10wNoPM cell (for chrome://tracing / Perfetto
 // inspection of where the serverless time goes).
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   support::CliParser cli("fig7_serverless_vs_lc",
                          "serverless vs local containers headline comparison");
   cli.add_flag("jobs", "0", "parallel experiment workers (0 = all cores, 1 = sequential)");
+  cli.add_flag("metrics-out", "",
+               "write the sweep's merged Prometheus exposition (.prom) to this file");
   if (!cli.parse(argc, argv)) return 1;
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
 
@@ -65,6 +68,21 @@ int main(int argc, char** argv) {
       "to {:.2f}% ({})\n",
       -best_cpu, best_cpu_family, -best_memory, best_memory_family);
   std::cout << "paper reports: up to 78.11% (CPU) and 73.92% (memory)\n";
+
+  if (!cli.get("metrics-out").empty()) {
+    // Per-cell registries merge into one exposition: counters and histogram
+    // buckets add across cells, gauges keep their maxima.
+    const metrics::MetricsSnapshot merged = core::merged_metrics(sweep.results);
+    std::ofstream prom(cli.get("metrics-out"));
+    if (prom) {
+      prom << metrics::prometheus_text(merged);
+      std::cout << support::format("merged metrics exposition written to {}\n",
+                                   cli.get("metrics-out"));
+    } else {
+      std::cerr << "failed to write metrics to " << cli.get("metrics-out") << "\n";
+      return 1;
+    }
+  }
 
   if (!cli.positional().empty()) {
     // One extra traced cell: blast-200 on the serverless headline setup.

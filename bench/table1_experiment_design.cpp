@@ -5,9 +5,11 @@
 // sizes). This binary enumerates exactly that design out of the paradigm
 // catalog and the recipe catalog, so the sweep the other benches run is
 // auditable against the paper's Table I.
+#include <fstream>
 #include <iostream>
 
 #include "core/paradigm.h"
+#include "metrics/registry.h"
 #include "support/cli.h"
 #include "support/format.h"
 #include "support/thread_pool.h"
@@ -19,6 +21,8 @@ int main(int argc, char** argv) {
                          "enumerate the paper's Table I design");
   cli.add_flag("jobs", "0",
                "campaign workers to plan for (0 = all cores, 1 = sequential)");
+  cli.add_flag("metrics-out", "",
+               "write the design plan as a Prometheus exposition (.prom) to this file");
   if (!cli.parse(argc, argv)) return 1;
   const auto jobs_flag = static_cast<std::size_t>(cli.get_int("jobs"));
   const std::size_t jobs =
@@ -72,5 +76,44 @@ int main(int argc, char** argv) {
   const bool match = fine_count == 98 && coarse_count == 42;
   std::cout << (match ? "design matches the paper's Table I\n"
                       : "WARNING: design deviates from the paper's Table I\n");
+
+  if (!cli.get("metrics-out").empty()) {
+    // The plan itself as an exposition: how many cells each granularity and
+    // paradigm contributes, and the worker count the plan assumed.
+    metrics::MetricsRegistry registry;
+    registry
+        .counter("table1_planned_experiments_total",
+                 "experiment cells in the paper's Table I design",
+                 {{"granularity", "fine"}})
+        .inc(static_cast<double>(fine_count));
+    registry
+        .counter("table1_planned_experiments_total",
+                 "experiment cells in the paper's Table I design",
+                 {{"granularity", "coarse"}})
+        .inc(static_cast<double>(coarse_count));
+    for (const core::Paradigm paradigm : fine) {
+      registry
+          .counter("table1_paradigm_cells_total", "cells per computational paradigm",
+                   {{"paradigm", core::to_string(paradigm)}})
+          .inc(static_cast<double>(families.size() * fine_sizes.size()));
+    }
+    for (const core::Paradigm paradigm : coarse) {
+      registry
+          .counter("table1_paradigm_cells_total", "cells per computational paradigm",
+                   {{"paradigm", core::to_string(paradigm)}})
+          .inc(static_cast<double>(families.size() * coarse_sizes.size()));
+    }
+    registry.gauge("table1_pool_workers", "campaign workers the plan assumed")
+        .set(static_cast<double>(jobs));
+    std::ofstream prom(cli.get("metrics-out"));
+    if (prom) {
+      prom << registry.prometheus_text();
+      std::cout << support::format("design exposition written to {}\n",
+                                   cli.get("metrics-out"));
+    } else {
+      std::cerr << "failed to write metrics to " << cli.get("metrics-out") << "\n";
+      return 1;
+    }
+  }
   return match ? 0 : 1;
 }

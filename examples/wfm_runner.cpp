@@ -12,7 +12,7 @@
 //
 // Usage: ./build/examples/wfm_runner <workflow.json> [--paradigm Kn10wNoPM]
 //                                    [--scheduling phase-barrier|dependency-driven]
-//                                    [--trace out.json]
+//                                    [--trace out.json] [--metrics-out run.prom]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -26,6 +26,7 @@
 #include "core/trace.h"
 #include "core/workflow_manager.h"
 #include "faas/platform.h"
+#include "metrics/registry.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
 #include "obs/trace_recorder.h"
@@ -42,10 +43,12 @@ int main(int argc, char** argv) {
   cli.add_flag("scheduling", "phase-barrier",
                "WFM dispatch mode: phase-barrier or dependency-driven");
   cli.add_flag("trace", "", "write a Chrome trace (chrome://tracing) to this file");
+  cli.add_flag("metrics-out", "", "write a Prometheus text exposition (.prom) to this file");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::cerr << "usage: wfm_runner <workflow.json> [--paradigm Kn10wNoPM]"
-                 " [--scheduling phase-barrier|dependency-driven] [--trace out.json]\n";
+                 " [--scheduling phase-barrier|dependency-driven] [--trace out.json]"
+                 " [--metrics-out run.prom]\n";
     return 1;
   }
 
@@ -80,10 +83,15 @@ int main(int argc, char** argv) {
   // platform teardown.
   obs::TraceRecorder recorder;
   recorder.set_enabled(!cli.get("trace").empty());
+  // Metrics are always on here (cheap, and the runner exists to show the
+  // run): the registry outlives the platform so teardown still counts.
+  metrics::MetricsRegistry registry;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
   storage::SharedFilesystem fs(sim);
+  fs.set_metrics(&registry);
   net::Router router(sim);
   router.set_trace(&recorder);
+  router.set_metrics(&registry);
 
   std::unique_ptr<faas::KnativePlatform> knative;
   std::unique_ptr<containers::LocalContainerRuntime> local;
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
     faas::KnativeServiceSpec spec = core::knative_spec_for(paradigm);
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
     knative->set_trace(&recorder);
+    knative->set_metrics(&registry);
     knative->deploy();
     endpoint = "http://" + spec.authority + "/wfbench";
   } else {
@@ -110,6 +119,7 @@ int main(int argc, char** argv) {
 
   core::WorkflowManager wfm(sim, router, fs, wfm_config);
   wfm.set_trace(&recorder);
+  wfm.set_metrics(&registry);
   std::optional<core::WorkflowRunResult> result;
   const core::RunHandle handle = wfm.run(workflow, [&](core::WorkflowRunResult r) {
     result = std::move(r);
@@ -151,6 +161,20 @@ int main(int argc, char** argv) {
           cli.get("trace"));
     } else {
       std::cerr << "failed to write trace to " << cli.get("trace") << "\n";
+    }
+  }
+  // Snapshot after shutdown so terminations count; the same snapshot feeds
+  // the terminal report and the optional .prom export.
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  std::cout << "\n" << core::metrics_report(snapshot);
+  if (!cli.get("metrics-out").empty()) {
+    std::ofstream prom(cli.get("metrics-out"));
+    if (prom) {
+      prom << metrics::prometheus_text(snapshot);
+      std::cout << support::format("metrics exposition written to {}\n",
+                                   cli.get("metrics-out"));
+    } else {
+      std::cerr << "failed to write metrics to " << cli.get("metrics-out") << "\n";
     }
   }
   return result->ok() ? 0 : 1;

@@ -36,6 +36,7 @@ std::vector<ExperimentConfig> enumerate_cells(const CampaignSpec& spec) {
             config.backend = spec.backend;
             config.wfm = spec.wfm;
             config.wfm.scheduling = scheduling;
+            config.collect_metrics = spec.collect_metrics;
             cells.push_back(std::move(config));
           }
         }
@@ -127,19 +128,19 @@ const ExperimentResult* Campaign::find(Paradigm paradigm, const std::string& rec
 
 std::string Campaign::summary_csv() const {
   std::string out =
-      "paradigm,recipe,tasks,seed,scheduling,status,makespan_s,cpu_pct_mean,cpu_pct_max,"
-      "mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,max_ready_pods,"
-      "scheduling_failures,node_oom_events,service_oom_failures,tasks_failed,"
+      "paradigm,recipe,tasks,seed,scheduling,status,makespan_s,cpu_pct_mean,cpu_pct_p50,"
+      "cpu_pct_p99,cpu_pct_max,mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,"
+      "max_ready_pods,scheduling_failures,node_oom_events,service_oom_failures,tasks_failed,"
       "cold_start_s,retry_wait_s,input_wait_s,activator_wait_s\n";
   for (const ExperimentResult& result : results_) {
     out += support::format(
-        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{},{},{},{},"
-        "{:.3f},{:.3f},{:.3f},{:.3f}\n",
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},"
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f}\n",
         result.paradigm_name, result.config.recipe, result.config.num_tasks,
         result.config.seed, to_string(result.config.wfm.scheduling),
         result.ok() ? "ok" : "failed", result.makespan_seconds,
-        result.cpu_percent.time_weighted_mean, result.cpu_percent.max,
-        result.memory_gib.time_weighted_mean, result.memory_gib.max,
+        result.cpu_percent.time_weighted_mean, result.cpu_percent.p50, result.cpu_percent.p99,
+        result.cpu_percent.max, result.memory_gib.time_weighted_mean, result.memory_gib.max,
         result.power_watts.time_weighted_mean, result.energy_joules / 1000.0,
         result.cold_starts, result.max_ready_pods, result.scheduling_failures,
         result.node_oom_events, result.service_oom_failures, result.run.tasks_failed,
@@ -147,6 +148,14 @@ std::string Campaign::summary_csv() const {
         result.run.input_wait_seconds, result.activator_wait_seconds);
   }
   return out;
+}
+
+metrics::MetricsSnapshot merged_metrics(const std::vector<ExperimentResult>& results) {
+  metrics::MetricsSnapshot merged;
+  for (const ExperimentResult& result : results) {
+    if (!result.metrics.empty()) metrics::merge_into(merged, result.metrics);
+  }
+  return merged;
 }
 
 std::size_t Campaign::failed_cells() const {

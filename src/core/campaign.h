@@ -35,6 +35,9 @@ struct CampaignSpec {
   /// Worker threads for run(): 0 = hardware_concurrency, 1 = fully
   /// sequential (the exact pre-pool code path).
   std::size_t jobs = 0;
+  /// Per-cell structured metrics (ExperimentConfig::collect_metrics);
+  /// merged_metrics() aggregates the per-cell snapshots.
+  bool collect_metrics = true;
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return paradigms.size() * recipes.size() * sizes.size() *
@@ -46,6 +49,12 @@ struct CampaignSpec {
 /// The paper's Table I designs, ready to run.
 [[nodiscard]] CampaignSpec paper_fine_grained_campaign();   // 98 cells
 [[nodiscard]] CampaignSpec paper_coarse_grained_campaign(); // 42 cells
+
+/// Merges the per-cell registry snapshots of a result set into one
+/// (metrics::merge_into semantics). Cells without metrics contribute
+/// nothing; the result is empty when none have any.
+[[nodiscard]] metrics::MetricsSnapshot merged_metrics(
+    const std::vector<ExperimentResult>& results);
 
 class Campaign {
  public:
@@ -84,6 +93,13 @@ class Campaign {
 
   /// Count of cells whose run did not conclude cleanly.
   [[nodiscard]] std::size_t failed_cells() const;
+
+  /// One snapshot for the whole campaign: counters and histogram buckets
+  /// summed across cells, gauges as per-cell maxima. Empty when the spec
+  /// disabled metrics.
+  [[nodiscard]] metrics::MetricsSnapshot merged_metrics() const {
+    return core::merged_metrics(results_);
+  }
 
  private:
   CampaignSpec spec_;

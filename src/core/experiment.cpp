@@ -34,9 +34,12 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   // ---- substrates -----------------------------------------------------------
   sim::Simulation sim;
   // Declared before the platform so pods can still emit their terminate
-  // spans while the platform (and its pods) are torn down.
+  // spans while the platform (and its pods) are torn down. Same for the
+  // registry: pod terminations during platform teardown still count.
   obs::TraceRecorder recorder;
   recorder.set_enabled(!config.trace_path.empty());
+  metrics::MetricsRegistry registry;
+  metrics::MetricsRegistry* metrics_registry = config.collect_metrics ? &registry : nullptr;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
   std::unique_ptr<storage::DataStore> store;
   if (config.backend == DataBackend::kObjectStore) {
@@ -45,8 +48,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     store = std::make_unique<storage::SharedFilesystem>(sim);
   }
   storage::DataStore& fs = *store;
+  fs.set_metrics(metrics_registry);
   net::Router router(sim, net::NetworkConfig{}, config.seed);
   router.set_trace(&recorder);
+  router.set_metrics(metrics_registry);
 
   // ---- workload -------------------------------------------------------------
   wfcommons::GenerateOptions gen;
@@ -69,6 +74,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     wfcommons::KnativeTranslator(tconfig).apply(workflow);
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
     knative->set_trace(&recorder);
+    knative->set_metrics(metrics_registry);
     knative->deploy();
   } else {
     containers::LocalRuntimeConfig lconfig = config.local_config_override.has_value()
@@ -99,6 +105,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   // ---- execute --------------------------------------------------------------
   WorkflowManager wfm(sim, router, fs);
   wfm.set_trace(&recorder);
+  wfm.set_metrics(metrics_registry);
   std::optional<WorkflowRunResult> run_result;
   // The cell's WfmConfig rides along as a per-run override, so sweeps that
   // vary phase_delay / scheduling / task_retries share one manager setup.
@@ -161,8 +168,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
                                             result.node_oom_events);
   }
   // Save after shutdown so pod "serving" spans (closed on terminate) land
-  // in the file.
+  // in the file. The metrics snapshot is taken here for the same reason —
+  // terminations during shutdown are part of the run.
   if (recorder.enabled()) recorder.save(config.trace_path);
+  if (metrics_registry != nullptr) result.metrics = metrics_registry->snapshot();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "core/paradigm.h"
 #include "core/workflow_manager.h"
 #include "metrics/aggregate.h"
+#include "metrics/registry.h"
 #include "metrics/time_series.h"
 #include "wfcommons/workflow.h"
 
@@ -50,6 +51,13 @@ struct ExperimentConfig {
   /// run finishes. Empty (the default) disables tracing entirely — no
   /// events are recorded and the hot paths pay a single null check.
   std::string trace_path;
+
+  /// Always-on structured metrics: the run gets its own MetricsRegistry,
+  /// every component is instrumented, and the final snapshot lands in
+  /// ExperimentResult::metrics (and from there in results_io / merged
+  /// campaign expositions). Set false to disable — call sites then pay
+  /// only their null check, exactly like tracing.
+  bool collect_metrics = true;
 };
 
 struct ExperimentResult {
@@ -80,6 +88,11 @@ struct ExperimentResult {
   std::uint64_t chaos_kills = 0;
   double activator_wait_seconds = 0.0;  // total buffered wait (serverless)
   double cold_start_seconds = 0.0;      // total pod creation->Ready time
+
+  /// Final registry snapshot (empty when collect_metrics was off). Render
+  /// with metrics::prometheus_text or merge across cells with
+  /// metrics::merge_into.
+  metrics::MetricsSnapshot metrics;
 
   // Full series, for CSV export and sparklines.
   metrics::TimeSeries cpu_series;

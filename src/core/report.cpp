@@ -1,5 +1,8 @@
 #include "core/report.h"
 
+#include <algorithm>
+
+#include "metrics/ascii_chart.h"
 #include "support/format.h"
 
 namespace wfs::core {
@@ -62,6 +65,82 @@ std::string delta_row(const std::string& label, const MetricDeltas& deltas) {
       "{:<34} time {:+7.1f}%  cpu {:+7.1f}%  mem {:+7.1f}%  power {:+6.1f}%  energy {:+6.1f}%\n",
       label, deltas.execution_time_pct, deltas.cpu_pct, deltas.memory_pct, deltas.power_pct,
       deltas.energy_pct);
+}
+
+namespace {
+
+std::string point_label(const metrics::MetricPoint& point) {
+  if (point.labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : point.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_report(const metrics::MetricsSnapshot& snapshot,
+                           std::size_t max_histograms) {
+  if (snapshot.empty()) return "";
+  std::string out = "== metrics ==\n";
+
+  // Scalar families first: one line per point, deterministic order.
+  for (const auto& family : snapshot.families) {
+    if (family.kind == metrics::MetricKind::kHistogram) continue;
+    for (const auto& point : family.points) {
+      out += support::format("{}{} {:g}\n", family.name, point_label(point), point.value);
+    }
+  }
+
+  // Busiest histogram points (by observation count), each as a populated-
+  // bucket bar chart plus quantile estimates.
+  struct HistogramRef {
+    const metrics::MetricFamily* family;
+    const metrics::MetricPoint* point;
+  };
+  std::vector<HistogramRef> histograms;
+  for (const auto& family : snapshot.families) {
+    if (family.kind != metrics::MetricKind::kHistogram) continue;
+    for (const auto& point : family.points) {
+      if (point.histogram.count > 0) histograms.push_back({&family, &point});
+    }
+  }
+  std::stable_sort(histograms.begin(), histograms.end(),
+                   [](const HistogramRef& a, const HistogramRef& b) {
+                     return a.point->histogram.count > b.point->histogram.count;
+                   });
+  if (histograms.size() > max_histograms) histograms.resize(max_histograms);
+
+  for (const HistogramRef& ref : histograms) {
+    const metrics::HistogramSnapshot& histogram = ref.point->histogram;
+    out += support::format("\n{}{} count={} sum={:.3f} p50={:g} p95={:g} p99={:g} p999={:g}\n",
+                           ref.family->name, point_label(*ref.point), histogram.count,
+                           histogram.sum, metrics::histogram_quantile(histogram, 0.50),
+                           metrics::histogram_quantile(histogram, 0.95),
+                           metrics::histogram_quantile(histogram, 0.99),
+                           metrics::histogram_quantile(histogram, 0.999));
+    std::vector<metrics::Bar> bars;
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (histogram.buckets[i] == 0) continue;
+      std::string label;
+      if (i < histogram.bounds.size()) {
+        const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+        label = support::format("{:g}..{:g}", lower, histogram.bounds[i]);
+      } else {
+        label = support::format(">{:g}", histogram.bounds.back());
+      }
+      bars.push_back({std::move(label), static_cast<double>(histogram.buckets[i])});
+    }
+    metrics::BarChartOptions options;
+    options.value_precision = 0;
+    out += metrics::bar_chart(bars, options);
+  }
+  return out;
 }
 
 }  // namespace wfs::core

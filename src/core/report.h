@@ -38,4 +38,11 @@ struct MetricDeltas {
                                    const ExperimentResult& baseline);
 [[nodiscard]] std::string delta_row(const std::string& label, const MetricDeltas& deltas);
 
+/// Renders a registry snapshot for terminals: counter/gauge totals plus,
+/// for up to `max_histograms` of the busiest histogram points, a populated-
+/// bucket bar chart (via metrics::bar_chart) with p50/p95/p99/p999
+/// estimates. Empty string for an empty snapshot.
+[[nodiscard]] std::string metrics_report(const metrics::MetricsSnapshot& snapshot,
+                                         std::size_t max_histograms = 4);
+
 }  // namespace wfs::core

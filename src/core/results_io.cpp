@@ -47,6 +47,7 @@ json::Value summary_to_json(const metrics::Summary& summary) {
   out.set("stddev", summary.stddev);
   out.set("p50", summary.p50);
   out.set("p95", summary.p95);
+  out.set("p99", summary.p99);
   out.set("integral", summary.integral);
   return json::Value(std::move(out));
 }
@@ -68,6 +69,7 @@ metrics::Summary summary_from_json(const json::Value& value) {
   summary.stddev = get("stddev", 0.0);
   summary.p50 = get("p50", 0.0);
   summary.p95 = get("p95", 0.0);
+  summary.p99 = get("p99", 0.0);  // absent in pre-registry result files
   summary.integral = get("integral", 0.0);
   return summary;
 }
@@ -124,6 +126,12 @@ json::Value result_to_json(const ExperimentResult& result) {
   series.set("power_w", series_to_json(result.power_series));
   series.set("pods", series_to_json(result.pods_series));
   document.set("series", std::move(series));
+
+  // Registry snapshot, omitted entirely when metrics were off so old-format
+  // consumers see no new key.
+  if (!result.metrics.empty()) {
+    document.set("metrics", metrics::snapshot_to_json(result.metrics));
+  }
   return json::Value(std::move(document));
 }
 
@@ -244,6 +252,9 @@ ExperimentResult result_from_json(const json::Value& document) {
     if (const json::Value* v = series->find("pods")) {
       result.pods_series = series_from_json(*v);
     }
+  }
+  if (const json::Value* metrics_json = root.find("metrics")) {
+    result.metrics = metrics::snapshot_from_json(*metrics_json);
   }
   return result;
 }

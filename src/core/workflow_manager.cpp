@@ -6,6 +6,7 @@
 
 #include "json/parse.h"
 #include "json/write.h"
+#include "metrics/registry.h"
 #include "support/format.h"
 #include "support/log.h"
 #include "wfbench/task_params.h"
@@ -120,6 +121,23 @@ bool RunHandle::cancel() {
 WorkflowManager::WorkflowManager(sim::Simulation& sim, net::Router& router,
                                  storage::DataStore& fs, WfmConfig config)
     : sim_(sim), router_(router), fs_(fs), config_(std::move(config)) {}
+
+void WorkflowManager::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    attempts_metric_ = nullptr;
+    retries_metric_ = nullptr;
+    input_wait_metric_ = nullptr;
+    return;
+  }
+  // Registered eagerly so a retry-free run still exposes
+  // wfm_task_retries_total 0 (absence would read as "not instrumented").
+  attempts_metric_ = &registry->counter("wfm_task_attempts_total",
+                                        "Function invocations sent (retries included)");
+  retries_metric_ = &registry->counter("wfm_task_retries_total",
+                                       "Invocations re-sent after transient failures");
+  input_wait_metric_ = &registry->counter(
+      "wfm_input_wait_seconds_total", "Seconds spent polling the data store for task inputs");
+}
 
 WorkflowManager::~WorkflowManager() {
   // Orphan still-active runs: their scheduled callbacks check `delivered`
@@ -381,6 +399,7 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
   // not just the last round-trip.
   if (context.first_sent_at < 0) context.first_sent_at = sent_at;
   ++context.attempts;
+  if (attempts_metric_ != nullptr) attempts_metric_->inc();
   router_.send(std::move(request), [this, state, task_id, retries_left, name = task.name,
                                     level = task.level, sent_at,
                                     context](const net::HttpResponse& response) {
@@ -398,6 +417,7 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
       // rewrites its outputs. A platform Retry-After hint overrides the
       // configured backoff.
       ++state->result.task_retries;
+      if (retries_metric_ != nullptr) retries_metric_->inc();
       const sim::SimTime backoff =
           response.retry_after_ms > 0
               ? static_cast<sim::SimTime>(response.retry_after_ms) * sim::kMillisecond
@@ -457,6 +477,9 @@ void WorkflowManager::task_finished(StatePtr state, std::size_t task_id,
   }
   state->result.input_wait_seconds += outcome.input_wait_seconds;
   state->result.retry_wait_seconds += outcome.retry_wait_seconds;
+  if (input_wait_metric_ != nullptr && outcome.input_wait_seconds > 0.0) {
+    input_wait_metric_->inc(outcome.input_wait_seconds);
+  }
   if (tracing(*state)) {
     const obs::TraceRecorder::Tid lane = task_lane(*state, task_id);
     if (outcome.attempts == 0 && outcome.input_wait_seconds > 0.0) {

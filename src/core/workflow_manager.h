@@ -40,6 +40,11 @@
 #include "storage/data_store.h"
 #include "wfcommons/workflow.h"
 
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+}  // namespace wfs::metrics
+
 namespace wfs::core {
 
 namespace detail {
@@ -199,6 +204,12 @@ class WorkflowManager {
   /// per-task attempt spans into it. nullptr (the default) disables.
   void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
 
+  /// Attaches a metrics registry: wfm_task_attempts_total,
+  /// wfm_task_retries_total and wfm_input_wait_seconds_total are
+  /// pre-registered here (so zero-valued families still show up in the
+  /// exposition) and updated across all runs. nullptr disables.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
  private:
   friend class RunHandle;  // cancel() drives cancel_run()
 
@@ -230,6 +241,9 @@ class WorkflowManager {
   storage::DataStore& fs_;
   WfmConfig config_;
   obs::TraceRecorder* trace_ = nullptr;
+  metrics::Counter* attempts_metric_ = nullptr;
+  metrics::Counter* retries_metric_ = nullptr;
+  metrics::Counter* input_wait_metric_ = nullptr;
   std::uint64_t next_run_id_ = 1;
   std::unordered_map<std::uint64_t, StatePtr> runs_;
 };

@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "metrics/registry.h"
+
 namespace wfs::faas {
+
+void Activator::update_depth_metric() noexcept {
+  if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(queue_.size()));
+}
 
 void Activator::enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now) {
   queue_.push_back(Buffered{std::move(params), std::move(done), now});
   ++total_buffered_;
   max_depth_ = std::max<std::uint64_t>(max_depth_, queue_.size());
+  if (buffered_metric_ != nullptr) buffered_metric_->inc();
+  update_depth_metric();
 }
 
 Activator::Buffered Activator::pop(sim::SimTime now) {
@@ -16,12 +24,14 @@ Activator::Buffered Activator::pop(sim::SimTime now) {
   Buffered out = std::move(queue_.front());
   queue_.pop_front();
   total_wait_seconds_ += sim::to_seconds(now - out.enqueued_at);
+  update_depth_metric();
   return out;
 }
 
 void Activator::drain_with_error(const net::HttpResponse& response) {
   for (Buffered& buffered : queue_) buffered.done(response);
   queue_.clear();
+  update_depth_metric();
 }
 
 }  // namespace wfs::faas

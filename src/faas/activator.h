@@ -14,6 +14,11 @@
 #include "sim/clock.h"
 #include "wfbench/task_params.h"
 
+namespace wfs::metrics {
+class Counter;
+class Gauge;
+}  // namespace wfs::metrics
+
 namespace wfs::faas {
 
 class Activator {
@@ -25,6 +30,14 @@ class Activator {
     ResponseCallback done;
     sim::SimTime enqueued_at;
   };
+
+  /// Attaches pre-resolved metric handles (platform owns the labels):
+  /// buffered_total counts every enqueue, depth mirrors the queue size.
+  /// nullptrs disable.
+  void set_metrics(metrics::Counter* buffered_total, metrics::Gauge* depth) noexcept {
+    buffered_metric_ = buffered_total;
+    depth_metric_ = depth;
+  }
 
   void enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now);
 
@@ -43,10 +56,14 @@ class Activator {
   [[nodiscard]] double total_wait_seconds() const noexcept { return total_wait_seconds_; }
 
  private:
+  void update_depth_metric() noexcept;
+
   std::deque<Buffered> queue_;
   std::uint64_t total_buffered_ = 0;
   std::uint64_t max_depth_ = 0;
   double total_wait_seconds_ = 0.0;
+  metrics::Counter* buffered_metric_ = nullptr;
+  metrics::Gauge* depth_metric_ = nullptr;
 };
 
 }  // namespace wfs::faas

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "json/parse.h"
+#include "metrics/registry.h"
 #include "support/format.h"
 #include "support/strings.h"
 #include "support/log.h"
@@ -41,6 +42,45 @@ void KnativePlatform::set_trace(obs::TraceRecorder* trace) {
   activator_lane_ = trace_->lane(trace_pid_, "activator");
 }
 
+void KnativePlatform::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    cold_start_hist_ = nullptr;
+    pods_created_metric_ = nullptr;
+    pods_terminated_metric_ = nullptr;
+    scale_ups_metric_ = nullptr;
+    scale_downs_metric_ = nullptr;
+    panic_ticks_metric_ = nullptr;
+    scheduling_failures_metric_ = nullptr;
+    ready_pods_metric_ = nullptr;
+    desired_pods_metric_ = nullptr;
+    activator_.set_metrics(nullptr, nullptr);
+    return;
+  }
+  const metrics::LabelSet labels{{"service", spec_.name}};
+  cold_start_hist_ = &registry->histogram(
+      "cold_start_seconds", "Pod creation to Ready duration, seconds", labels);
+  pods_created_metric_ =
+      &registry->counter("pods_created_total", "Pods created (each pays a cold start)", labels);
+  pods_terminated_metric_ = &registry->counter(
+      "pods_terminated_total", "Pods terminated (scale-down, chaos, shutdown)", labels);
+  scale_ups_metric_ = &registry->counter(
+      "autoscaler_scale_ups_total", "Autoscaler decisions that added pods", labels);
+  scale_downs_metric_ = &registry->counter(
+      "autoscaler_scale_downs_total", "Autoscaler decisions that removed pods", labels);
+  panic_ticks_metric_ = &registry->counter(
+      "autoscaler_panic_ticks_total", "Autoscaler ticks spent in panic mode", labels);
+  scheduling_failures_metric_ = &registry->counter(
+      "pod_scheduling_failures_total", "Pod placements rejected for lack of resources", labels);
+  ready_pods_metric_ =
+      &registry->gauge("ready_pods", "Ready pods as of the last autoscaler tick", labels);
+  desired_pods_metric_ = &registry->gauge(
+      "desired_pods", "Autoscaler desired scale as of the last tick", labels);
+  activator_.set_metrics(
+      &registry->counter("activator_buffered_total",
+                         "Requests buffered in the activator awaiting capacity", labels),
+      &registry->gauge("activator_queue_depth", "Requests currently buffered", labels));
+}
+
 void KnativePlatform::deploy() {
   if (deployed_) return;
   deployed_ = true;
@@ -64,6 +104,7 @@ void KnativePlatform::shutdown() {
     if (pod->service() != nullptr) retired_oom_failures_ += pod->service()->stats().oom_failures;
     pod->terminate();
     ++stats_.pods_terminated;
+    if (pods_terminated_metric_ != nullptr) pods_terminated_metric_->inc();
   }
   pods_.clear();
 }
@@ -169,6 +210,7 @@ void KnativePlatform::autoscale_tick(sim::SimTime now) {
         pod->terminate();
         ++stats_.chaos_kills;
         ++stats_.pods_terminated;
+        if (pods_terminated_metric_ != nullptr) pods_terminated_metric_->inc();
       }
     }
     reap_terminated();
@@ -177,7 +219,14 @@ void KnativePlatform::autoscale_tick(sim::SimTime now) {
   const int ready = ready_pods();
   const int starting = starting_pods();
   const Autoscaler::Decision decision = autoscaler_.decide(now, ready);
-  if (decision.panic) ++stats_.panic_ticks;
+  if (decision.panic) {
+    ++stats_.panic_ticks;
+    if (panic_ticks_metric_ != nullptr) panic_ticks_metric_->inc();
+  }
+  if (ready_pods_metric_ != nullptr) ready_pods_metric_->set(static_cast<double>(ready));
+  if (desired_pods_metric_ != nullptr) {
+    desired_pods_metric_->set(static_cast<double>(decision.desired));
+  }
   if (trace_ != nullptr) {
     json::Object args;
     args.set("stable_avg", autoscaler_.stable_average(now));
@@ -196,8 +245,10 @@ void KnativePlatform::autoscale_tick(sim::SimTime now) {
 
   const int current = ready + starting;
   if (decision.desired > current) {
+    if (scale_ups_metric_ != nullptr) scale_ups_metric_->inc();
     scale_up(decision.desired - current);
   } else if (decision.desired < current) {
+    if (scale_downs_metric_ != nullptr) scale_downs_metric_->inc();
     scale_down(current - decision.desired);
   }
   reap_terminated();
@@ -212,6 +263,7 @@ void KnativePlatform::scale_up(int count) {
       // Unschedulable: the cluster is out of allocatable resources. The pod
       // would sit Pending on a real cluster; we retry next tick.
       ++stats_.scheduling_failures;
+      if (scheduling_failures_metric_ != nullptr) scheduling_failures_metric_->inc();
       WFS_LOG_DEBUG("faas", "pod unschedulable ({} pods live)", pods_.size());
       return;
     }
@@ -224,8 +276,9 @@ void KnativePlatform::scale_up(int count) {
               sim::to_seconds(pod.ready_at() - pod.created_at());
           pump();
         },
-        trace_, trace_pid_));
+        trace_, trace_pid_, cold_start_hist_));
     ++stats_.pods_created;
+    if (pods_created_metric_ != nullptr) pods_created_metric_->inc();
   }
 }
 
@@ -243,6 +296,7 @@ void KnativePlatform::scale_down(int count) {
     if (pod->service() != nullptr) retired_oom_failures_ += pod->service()->stats().oom_failures;
     pod->terminate();
     ++stats_.pods_terminated;
+    if (pods_terminated_metric_ != nullptr) pods_terminated_metric_->inc();
     --count;
   }
 }

@@ -27,6 +27,13 @@
 #include "support/rng.h"
 #include "storage/data_store.h"
 
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace wfs::metrics
+
 namespace wfs::faas {
 
 struct KnativePlatformStats {
@@ -59,6 +66,12 @@ class KnativePlatform {
   /// emitted under one process lane per service. Call before deploy() so
   /// the min_scale pods are covered. nullptr disables.
   void set_trace(obs::TraceRecorder* trace);
+
+  /// Attaches a metrics registry: cold-start histogram, pod lifecycle and
+  /// autoscaler decision counters, panic ticks, ready/desired gauges and
+  /// activator depth — all labeled {service=<name>}. Handles resolve here,
+  /// once; call before deploy(). nullptr disables.
+  void set_metrics(metrics::MetricsRegistry* registry);
 
   /// Binds the service route and starts the autoscaler loop; creates
   /// min_scale pods immediately.
@@ -116,6 +129,17 @@ class KnativePlatform {
   obs::TraceRecorder::Pid trace_pid_ = 0;
   obs::TraceRecorder::Tid autoscaler_lane_ = 0;
   obs::TraceRecorder::Tid activator_lane_ = 0;
+
+  // Metric handles, resolved once in set_metrics (nullptr = metrics off).
+  metrics::Histogram* cold_start_hist_ = nullptr;
+  metrics::Counter* pods_created_metric_ = nullptr;
+  metrics::Counter* pods_terminated_metric_ = nullptr;
+  metrics::Counter* scale_ups_metric_ = nullptr;
+  metrics::Counter* scale_downs_metric_ = nullptr;
+  metrics::Counter* panic_ticks_metric_ = nullptr;
+  metrics::Counter* scheduling_failures_metric_ = nullptr;
+  metrics::Gauge* ready_pods_metric_ = nullptr;
+  metrics::Gauge* desired_pods_metric_ = nullptr;
 };
 
 }  // namespace wfs::faas

@@ -2,14 +2,21 @@
 
 #include <stdexcept>
 
+#include "metrics/registry.h"
 #include "support/log.h"
 
 namespace wfs::faas {
 
 Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
          cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
-         obs::TraceRecorder* trace, obs::TraceRecorder::Pid trace_pid)
-    : sim_(sim), name_(std::move(name)), spec_(spec), node_(node), fs_(fs) {
+         obs::TraceRecorder* trace, obs::TraceRecorder::Pid trace_pid,
+         metrics::Histogram* cold_start_hist)
+    : sim_(sim),
+      name_(std::move(name)),
+      spec_(spec),
+      node_(node),
+      fs_(fs),
+      cold_start_hist_(cold_start_hist) {
   if (!node_.ledger().try_reserve(spec_.cpu_request, spec_.memory_request)) {
     throw std::runtime_error("Pod: node reservation failed for " + name_);
   }
@@ -36,6 +43,9 @@ Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
         state_ = PodState::kReady;
         ready_at_ = sim_.now();
         idle_since_ = sim_.now();
+        if (cold_start_hist_ != nullptr) {
+          cold_start_hist_->observe(sim::to_seconds(ready_at_ - created_at_));
+        }
         if (trace_ != nullptr) {
           trace_->complete(trace_pid_, trace_lane_, name_, "cold-start", created_at_,
                            ready_at_);

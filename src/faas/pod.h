@@ -20,6 +20,10 @@
 #include "storage/data_store.h"
 #include "wfbench/service.h"
 
+namespace wfs::metrics {
+class Histogram;
+}  // namespace wfs::metrics
+
 namespace wfs::faas {
 
 enum class PodState { kStarting, kReady, kTerminated };
@@ -31,9 +35,13 @@ class Pod {
   /// the reservation fails (scheduler/ledger disagreement). When `trace` is
   /// set (and enabled) the pod emits its lifecycle spans — scheduled /
   /// cold-start / serving / terminated — on a lane of process `trace_pid`.
+  /// `cold_start_hist`, when set, records the creation->Ready duration in
+  /// seconds the moment the pod becomes Ready (pods killed before Ready
+  /// never observe — same contract as KnativePlatformStats).
   Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
       cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
-      obs::TraceRecorder* trace = nullptr, obs::TraceRecorder::Pid trace_pid = 0);
+      obs::TraceRecorder* trace = nullptr, obs::TraceRecorder::Pid trace_pid = 0,
+      metrics::Histogram* cold_start_hist = nullptr);
   ~Pod();
 
   Pod(const Pod&) = delete;
@@ -88,6 +96,7 @@ class Pod {
   obs::TraceRecorder* trace_ = nullptr;
   obs::TraceRecorder::Pid trace_pid_ = 0;
   obs::TraceRecorder::Tid trace_lane_ = 0;
+  metrics::Histogram* cold_start_hist_ = nullptr;
 };
 
 }  // namespace wfs::faas

@@ -15,14 +15,17 @@ Summary summarize(const TimeSeries& series) {
   out.stddev = series.stddev();
   out.p50 = series.percentile(50.0);
   out.p95 = series.percentile(95.0);
+  out.p99 = series.percentile(99.0);
   out.integral = series.integral();
   return out;
 }
 
 std::string to_string(const Summary& summary) {
-  return wfs::support::format("n={} mean={:.3f} twm={:.3f} min={:.3f} max={:.3f} sd={:.3f} p95={:.3f}",
-                     summary.samples, summary.mean, summary.time_weighted_mean, summary.min,
-                     summary.max, summary.stddev, summary.p95);
+  return wfs::support::format(
+      "n={} mean={:.3f} twm={:.3f} min={:.3f} max={:.3f} sd={:.3f} p50={:.3f} p95={:.3f} "
+      "p99={:.3f} integral={:.3f}",
+      summary.samples, summary.mean, summary.time_weighted_mean, summary.min, summary.max,
+      summary.stddev, summary.p50, summary.p95, summary.p99, summary.integral);
 }
 
 }  // namespace wfs::metrics

@@ -17,6 +17,7 @@ struct Summary {
   double stddev = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   /// value·seconds integral (joules when the series is watts).
   double integral = 0.0;
 };

@@ -1,0 +1,531 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "support/format.h"
+
+namespace wfs::metrics {
+
+namespace {
+
+/// Atomic add for doubles via CAS (fetch_add on atomic<double> is C++20
+/// floating-point atomics, which libstdc++ 12 lowers to the same loop).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+LabelSet sorted_labels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Canonical `{a="1",b="2"}` rendering of a sorted label set; empty labels
+/// render as "" so unlabeled children sort first and sample lines carry no
+/// brace pair.
+std::string label_text(const LabelSet& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Shortest round-trip-ish rendering for sample values: integers print
+/// without a fractional part (counters are usually whole), everything else
+/// uses %.17g which preserves the double exactly.
+std::string sample_value(double value) {
+  if (value == static_cast<std::int64_t>(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Bucket bound rendering for `le=` labels: %g is stable and readable
+/// (0.001, 0.002, ... 16384).
+std::string bound_text(double bound) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", bound);
+  return buffer;
+}
+
+json::Value labels_to_json(const LabelSet& labels) {
+  json::Object out;
+  for (const auto& [key, value] : labels) out.set(key, value);
+  return out;
+}
+
+LabelSet labels_from_json(const json::Value& value) {
+  LabelSet out;
+  if (!value.is_object()) return out;
+  for (const auto& [key, entry] : value.as_object()) {
+    out.emplace_back(key, entry.string_or(""));
+  }
+  return sorted_labels(std::move(out));
+}
+
+MetricKind kind_from_string(std::string_view text) {
+  if (text == "counter") return MetricKind::kCounter;
+  if (text == "gauge") return MetricKind::kGauge;
+  if (text == "histogram") return MetricKind::kHistogram;
+  throw std::invalid_argument("metrics: unknown metric kind '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+void Counter::inc(double amount) noexcept { atomic_add(value_, amount); }
+
+void Gauge::add(double delta) noexcept { atomic_add(value_, delta); }
+
+std::vector<double> HistogramSpec::bounds() const {
+  std::vector<double> out;
+  out.reserve(bucket_count);
+  double bound = first_bound;
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    out.push_back(bound);
+    bound *= growth;
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("metrics: histogram needs >= 1 bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("metrics: histogram bounds must be sorted");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+double histogram_quantile(const HistogramSnapshot& histogram, double q) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("metrics: quantile must be in [0, 1]");
+  if (histogram.count == 0 || histogram.buckets.empty()) return 0.0;
+  const double target = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = histogram.buckets[i];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      if (i >= histogram.bounds.size()) {
+        // Overflow bucket has no upper edge; the last finite bound is the
+        // best defensible estimate.
+        return histogram.bounds.back();
+      }
+      const double upper = histogram.bounds[i];
+      const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+      const double into = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return histogram.bounds.back();
+}
+
+const MetricFamily* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const auto& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+const MetricPoint* MetricsSnapshot::find(std::string_view name,
+                                         const LabelSet& labels) const noexcept {
+  const MetricFamily* family = find(name);
+  if (family == nullptr) return nullptr;
+  const LabelSet wanted = sorted_labels(labels);
+  for (const auto& point : family->points) {
+    if (point.labels == wanted) return &point;
+  }
+  return nullptr;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& family : snapshot.families) {
+    out += support::format("# HELP {} {}\n", family.name, family.help);
+    out += support::format("# TYPE {} {}\n", family.name, to_string(family.kind));
+    for (const auto& point : family.points) {
+      if (family.kind != MetricKind::kHistogram) {
+        out += family.name;
+        out += label_text(point.labels);
+        out.push_back(' ');
+        out += sample_value(point.value);
+        out.push_back('\n');
+        continue;
+      }
+      const HistogramSnapshot& histogram = point.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+        cumulative += i < histogram.buckets.size() ? histogram.buckets[i] : 0;
+        LabelSet labels = point.labels;
+        labels.emplace_back("le", bound_text(histogram.bounds[i]));
+        out += family.name;
+        out += "_bucket";
+        out += label_text(labels);
+        out.push_back(' ');
+        out += std::to_string(cumulative);
+        out.push_back('\n');
+      }
+      LabelSet labels = point.labels;
+      labels.emplace_back("le", "+Inf");
+      out += family.name;
+      out += "_bucket";
+      out += label_text(labels);
+      out.push_back(' ');
+      out += std::to_string(histogram.count);
+      out.push_back('\n');
+      out += family.name;
+      out += "_sum";
+      out += label_text(point.labels);
+      out.push_back(' ');
+      out += sample_value(histogram.sum);
+      out.push_back('\n');
+      out += family.name;
+      out += "_count";
+      out += label_text(point.labels);
+      out.push_back(' ');
+      out += std::to_string(histogram.count);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+json::Value snapshot_to_json(const MetricsSnapshot& snapshot) {
+  json::Array families;
+  families.reserve(snapshot.families.size());
+  for (const auto& family : snapshot.families) {
+    json::Object family_json;
+    family_json.set("name", family.name);
+    family_json.set("help", family.help);
+    family_json.set("kind", std::string(to_string(family.kind)));
+    json::Array points;
+    points.reserve(family.points.size());
+    for (const auto& point : family.points) {
+      json::Object point_json;
+      point_json.set("labels", labels_to_json(point.labels));
+      if (family.kind == MetricKind::kHistogram) {
+        json::Array bounds;
+        for (double bound : point.histogram.bounds) bounds.emplace_back(bound);
+        json::Array buckets;
+        for (std::uint64_t bucket : point.histogram.buckets) buckets.emplace_back(bucket);
+        point_json.set("bounds", std::move(bounds));
+        point_json.set("buckets", std::move(buckets));
+        point_json.set("sum", point.histogram.sum);
+        point_json.set("count", point.histogram.count);
+      } else {
+        point_json.set("value", point.value);
+      }
+      points.emplace_back(std::move(point_json));
+    }
+    family_json.set("points", std::move(points));
+    families.emplace_back(std::move(family_json));
+  }
+  json::Object out;
+  out.set("families", std::move(families));
+  return out;
+}
+
+MetricsSnapshot snapshot_from_json(const json::Value& value) {
+  MetricsSnapshot out;
+  const json::Value* families = value.find("families");
+  if (families == nullptr || !families->is_array()) return out;
+  for (const json::Value& family_json : families->as_array()) {
+    MetricFamily family;
+    if (const json::Value* name = family_json.find("name")) family.name = name->string_or("");
+    if (const json::Value* help = family_json.find("help")) family.help = help->string_or("");
+    if (const json::Value* kind = family_json.find("kind")) {
+      family.kind = kind_from_string(kind->string_or("counter"));
+    }
+    if (const json::Value* points = family_json.find("points"); points != nullptr && points->is_array()) {
+      for (const json::Value& point_json : points->as_array()) {
+        MetricPoint point;
+        if (const json::Value* labels = point_json.find("labels")) {
+          point.labels = labels_from_json(*labels);
+        }
+        if (family.kind == MetricKind::kHistogram) {
+          if (const json::Value* bounds = point_json.find("bounds"); bounds != nullptr && bounds->is_array()) {
+            for (const json::Value& bound : bounds->as_array()) {
+              point.histogram.bounds.push_back(bound.double_or(0.0));
+            }
+          }
+          if (const json::Value* buckets = point_json.find("buckets"); buckets != nullptr && buckets->is_array()) {
+            for (const json::Value& bucket : buckets->as_array()) {
+              point.histogram.buckets.push_back(
+                  static_cast<std::uint64_t>(bucket.int_or(0)));
+            }
+          }
+          if (const json::Value* sum = point_json.find("sum")) {
+            point.histogram.sum = sum->double_or(0.0);
+          }
+          if (const json::Value* count = point_json.find("count")) {
+            point.histogram.count = static_cast<std::uint64_t>(count->int_or(0));
+          }
+        } else if (const json::Value* point_value = point_json.find("value")) {
+          point.value = point_value->double_or(0.0);
+        }
+        family.points.push_back(std::move(point));
+      }
+    }
+    out.families.push_back(std::move(family));
+  }
+  return out;
+}
+
+namespace {
+
+void merge_point(MetricKind kind, MetricPoint& target, const MetricPoint& source) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      target.value += source.value;
+      return;
+    case MetricKind::kGauge:
+      target.value = std::max(target.value, source.value);
+      return;
+    case MetricKind::kHistogram: {
+      if (target.histogram.bounds != source.histogram.bounds ||
+          target.histogram.buckets.size() != source.histogram.buckets.size()) {
+        throw std::invalid_argument("metrics: cannot merge histograms with different bucket layouts");
+      }
+      for (std::size_t i = 0; i < target.histogram.buckets.size(); ++i) {
+        target.histogram.buckets[i] += source.histogram.buckets[i];
+      }
+      target.histogram.sum += source.histogram.sum;
+      target.histogram.count += source.histogram.count;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void merge_into(MetricsSnapshot& target, const MetricsSnapshot& source) {
+  for (const auto& source_family : source.families) {
+    // Families stay sorted by name; insert where the name belongs.
+    auto family_it = std::lower_bound(
+        target.families.begin(), target.families.end(), source_family.name,
+        [](const MetricFamily& family, const std::string& name) { return family.name < name; });
+    if (family_it == target.families.end() || family_it->name != source_family.name) {
+      target.families.insert(family_it, source_family);
+      continue;
+    }
+    if (family_it->kind != source_family.kind) {
+      throw std::invalid_argument("metrics: cannot merge family '" + source_family.name +
+                                  "' with mismatched kinds");
+    }
+    for (const auto& source_point : source_family.points) {
+      const std::string source_key = label_text(source_point.labels);
+      auto point_it = std::lower_bound(
+          family_it->points.begin(), family_it->points.end(), source_key,
+          [](const MetricPoint& point, const std::string& key) {
+            return label_text(point.labels) < key;
+          });
+      if (point_it == family_it->points.end() || point_it->labels != source_point.labels) {
+        family_it->points.insert(point_it, source_point);
+        continue;
+      }
+      merge_point(family_it->kind, *point_it, source_point);
+    }
+  }
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot out = after;
+  for (auto& family : out.families) {
+    const MetricFamily* base_family = before.find(family.name);
+    if (base_family == nullptr) continue;
+    if (base_family->kind != family.kind) {
+      throw std::invalid_argument("metrics: cannot diff family '" + family.name +
+                                  "' with mismatched kinds");
+    }
+    for (auto& point : family.points) {
+      const MetricPoint* base = nullptr;
+      for (const auto& candidate : base_family->points) {
+        if (candidate.labels == point.labels) {
+          base = &candidate;
+          break;
+        }
+      }
+      if (base == nullptr) continue;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          point.value = std::max(0.0, point.value - base->value);
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges report the later value as-is
+        case MetricKind::kHistogram: {
+          if (point.histogram.bounds != base->histogram.bounds ||
+              point.histogram.buckets.size() != base->histogram.buckets.size()) {
+            throw std::invalid_argument(
+                "metrics: cannot diff histograms with different bucket layouts");
+          }
+          for (std::size_t i = 0; i < point.histogram.buckets.size(); ++i) {
+            const std::uint64_t base_count = base->histogram.buckets[i];
+            point.histogram.buckets[i] =
+                point.histogram.buckets[i] >= base_count ? point.histogram.buckets[i] - base_count : 0;
+          }
+          point.histogram.sum = std::max(0.0, point.histogram.sum - base->histogram.sum);
+          point.histogram.count = point.histogram.count >= base->histogram.count
+                                      ? point.histogram.count - base->histogram.count
+                                      : 0;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name, MetricKind kind,
+                                                const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("metrics: family '" + name + "' already registered as " +
+                                std::string(to_string(it->second.kind)));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const LabelSet& labels) {
+  const LabelSet sorted = sorted_labels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, MetricKind::kCounter, help);
+  auto [it, inserted] = fam.children.try_emplace(label_text(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const LabelSet& labels) {
+  const LabelSet sorted = sorted_labels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, MetricKind::kGauge, help);
+  auto [it, inserted] = fam.children.try_emplace(label_text(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      const LabelSet& labels, const HistogramSpec& spec) {
+  const LabelSet sorted = sorted_labels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, MetricKind::kHistogram, help);
+  if (fam.bounds.empty()) fam.bounds = spec.bounds();
+  auto [it, inserted] = fam.children.try_emplace(label_text(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    it->second.histogram = std::make_unique<Histogram>(fam.bounds);
+  }
+  return *it->second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.families.reserve(families_.size());
+  for (const auto& [name, fam] : families_) {
+    MetricFamily family_out;
+    family_out.name = name;
+    family_out.help = fam.help;
+    family_out.kind = fam.kind;
+    family_out.points.reserve(fam.children.size());
+    for (const auto& [key, child] : fam.children) {
+      MetricPoint point;
+      point.labels = child.labels;
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          point.value = child.counter->value();
+          break;
+        case MetricKind::kGauge:
+          point.value = child.gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          point.histogram.bounds = child.histogram->bounds();
+          point.histogram.buckets = child.histogram->bucket_counts();
+          point.histogram.sum = child.histogram->sum();
+          point.histogram.count = child.histogram->count();
+          break;
+      }
+      family_out.points.push_back(std::move(point));
+    }
+    out.families.push_back(std::move(family_out));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  return metrics::prometheus_text(snapshot());
+}
+
+json::Value MetricsRegistry::to_json() const { return snapshot_to_json(snapshot()); }
+
+}  // namespace wfs::metrics

@@ -1,0 +1,216 @@
+// Always-on structured metrics — the third observability pillar beside the
+// Sampler (run-level PCP-style series) and the obs::TraceRecorder (opt-in
+// Chrome traces).
+//
+// A MetricsRegistry holds labeled *families* of instruments, Prometheus
+// style: Counter (monotonic), Gauge (instantaneous) and Histogram
+// (log-bucketed latency/size distribution with p50/p95/p99/p999
+// estimation). Instrumented components resolve their handles ONCE (in a
+// set_metrics call) and keep plain pointers; the hot path is an atomic
+// add behind a single null check — no map lookups, no allocations, and
+// nullptr disables the whole layer exactly like TraceRecorder's gating.
+//
+// Everything is thread-safe: family registration takes the registry mutex,
+// instrument updates are lock-free atomics, so campaign cells running on a
+// support::ThreadPool may share one process-wide registry (tsan-clean).
+// Iteration order is deterministic (families by name, children by label
+// text), which makes snapshots, expositions and merged campaign metrics
+// byte-stable across runs and worker counts.
+//
+// Snapshots are plain data: they ride in ExperimentResult, round-trip
+// through results_io JSON, merge across campaign cells (counters and
+// histogram buckets add, gauges keep the max) and render as Prometheus
+// text exposition (text/plain; version 0.0.4) via prometheus_text().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/value.h"
+
+namespace wfs::metrics {
+
+/// Label key/value pairs. Registration sorts them by key, so any order
+/// names the same child ({a=1,b=2} == {b=2,a=1}).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value (Prometheus counters are doubles, so
+/// second-valued totals like wfm_input_wait_seconds_total fit too).
+class Counter {
+ public:
+  void inc(double amount = 1.0) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Instantaneous value (queue depths, pod counts).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced bucket layout: finite upper bounds first_bound * growth^i for
+/// i in [0, bucket_count), plus an implicit +Inf overflow bucket. The
+/// default covers 1 ms .. ~12 days in factor-of-two steps — wide enough for
+/// request latencies, storage transfers and cold starts alike, and shared
+/// bounds keep histograms mergeable across campaign cells.
+struct HistogramSpec {
+  double first_bound = 1e-3;
+  double growth = 2.0;
+  std::size_t bucket_count = 30;
+
+  [[nodiscard]] std::vector<double> bounds() const;
+};
+
+/// Mergeable log-bucketed distribution. observe() is a binary search over
+/// the (immutable) bounds plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size = bounds().size() + 1, the
+  /// last entry being the +Inf overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// ---- snapshots (plain data; serializable, mergeable) -----------------------
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // finite upper bounds (Prometheus `le`)
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1; last = overflow
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Quantile estimate from bucket counts, q in [0, 1]: linear interpolation
+/// inside the bucket holding the target rank (so the estimate is exact to
+/// within one bucket width). Overflow-bucket ranks clamp to the last finite
+/// bound; an empty histogram yields 0.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& histogram, double q);
+
+struct MetricPoint {
+  LabelSet labels;                // sorted by key
+  double value = 0.0;             // counter / gauge
+  HistogramSnapshot histogram;    // histogram families only
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<MetricPoint> points;  // sorted by label text
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricFamily> families;  // sorted by name
+
+  [[nodiscard]] bool empty() const noexcept { return families.empty(); }
+  [[nodiscard]] const MetricFamily* find(std::string_view name) const noexcept;
+  /// Point lookup; the given labels are sorted before matching.
+  [[nodiscard]] const MetricPoint* find(std::string_view name,
+                                        const LabelSet& labels) const noexcept;
+};
+
+/// Prometheus text exposition (text/plain; version 0.0.4): HELP/TYPE
+/// headers, one sample line per point, cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count` for histograms.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// JSON via json::write — the results_io persistence format.
+[[nodiscard]] json::Value snapshot_to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] MetricsSnapshot snapshot_from_json(const json::Value& value);
+
+/// Accumulates `source` into `target`: counters and histogram buckets add,
+/// gauges keep the maximum (peak depth is the meaningful aggregate). New
+/// families/points are inserted in order. Throws std::invalid_argument on
+/// kind or bucket-layout mismatches.
+void merge_into(MetricsSnapshot& target, const MetricsSnapshot& source);
+
+/// What happened between two snapshots of one registry: counters and
+/// histograms subtract (clamped at zero), gauges report the later value.
+[[nodiscard]] MetricsSnapshot delta(const MetricsSnapshot& before,
+                                    const MetricsSnapshot& after);
+
+// ---- registry --------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create the named child. The returned reference is stable for
+  /// the registry's lifetime — call sites resolve it once and update
+  /// through the pointer. Re-registering an existing name with a different
+  /// kind throws std::invalid_argument; `help` and (for histograms) `spec`
+  /// are taken from the first registration.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const LabelSet& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const LabelSet& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const LabelSet& labels = {}, const HistogramSpec& spec = {});
+
+  /// Consistent point-in-time copy, deterministically ordered.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Convenience exporters over snapshot().
+  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  struct Child {
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::vector<double> bounds;              // histogram families
+    std::map<std::string, Child> children;   // key = canonical label text
+  };
+
+  Family& family(const std::string& name, MetricKind kind, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace wfs::metrics

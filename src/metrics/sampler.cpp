@@ -8,7 +8,11 @@ Sampler::Sampler(sim::Simulation& sim, sim::SimTime period)
     : sim_(sim), task_(sim, period, [this](sim::SimTime) { sample_now(); }) {}
 
 void Sampler::add_probe(std::string name, Probe probe) {
-  channels_[std::move(name)].probe = std::move(probe);
+  Channel& channel = channels_[std::move(name)];
+  channel.probe = std::move(probe);
+  // A replaced probe starts a fresh series: stale samples from the previous
+  // probe (possibly in different units) must not leak into aggregates.
+  channel.series = TimeSeries{};
 }
 
 void Sampler::start() { task_.start(); }

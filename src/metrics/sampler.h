@@ -24,7 +24,9 @@ class Sampler {
 
   Sampler(sim::Simulation& sim, sim::SimTime period = sim::kSecond);
 
-  /// Registers a probe; duplicate names overwrite (series is kept).
+  /// Registers a probe; re-registering an existing name replaces the probe
+  /// AND resets its series (the old samples may be in different units —
+  /// mixing them into one series would corrupt every aggregate).
   void add_probe(std::string name, Probe probe);
 
   void start();

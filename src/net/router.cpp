@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "metrics/registry.h"
+
 namespace wfs::net {
 
 void Responder::respond(HttpResponse response) {
@@ -42,8 +44,51 @@ obs::TraceRecorder::Tid Router::authority_lane(const std::string& authority) {
   return trace_->lane(trace_pid_, authority);
 }
 
+void Router::set_metrics(metrics::MetricsRegistry* registry) {
+  metrics_ = registry;
+  authority_metrics_.clear();
+}
+
+Router::AuthorityMetrics& Router::authority_metrics(const std::string& authority) {
+  auto [it, inserted] = authority_metrics_.try_emplace(authority);
+  if (inserted) {
+    it->second.latency = &metrics_->histogram(
+        "http_request_duration_seconds",
+        "Full request round trip (send to response delivered), seconds",
+        {{"authority", authority}});
+  }
+  return it->second;
+}
+
+void Router::count_response(AuthorityMetrics& slot, const std::string& authority, int status) {
+  // Status codes per authority are few; a sorted probe-by-scan beats the
+  // registry's mutex + map on every response.
+  for (auto& [known_status, counter] : slot.by_status) {
+    if (known_status == status) {
+      counter->inc();
+      return;
+    }
+  }
+  metrics::Counter& counter = metrics_->counter(
+      "http_requests_total", "HTTP round trips completed, by authority and status",
+      {{"authority", authority}, {"status", std::to_string(status)}});
+  slot.by_status.emplace_back(status, &counter);
+  counter.inc();
+}
+
 void Router::send(HttpRequest request, std::function<void(HttpResponse)> on_response) {
   ++requests_sent_;
+  if (metrics_ != nullptr) {
+    const sim::SimTime sent_at = sim_.now();
+    const std::string authority = request.url.authority();
+    on_response = [this, sent_at, authority,
+                   inner = std::move(on_response)](HttpResponse response) {
+      AuthorityMetrics& slot = authority_metrics(authority);
+      slot.latency->observe(sim::to_seconds(sim_.now() - sent_at));
+      count_response(slot, authority, response.status);
+      inner(std::move(response));
+    };
+  }
   if (trace_ != nullptr) {
     // Wrap the caller's callback so the full round trip (send -> response
     // delivered, both network hops plus service time) shows up as one span.

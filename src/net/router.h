@@ -12,11 +12,19 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/http.h"
 #include "obs/trace_recorder.h"
 #include "sim/simulation.h"
 #include "support/rng.h"
+
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace wfs::metrics
 
 namespace wfs::net {
 
@@ -58,6 +66,13 @@ class Router {
   /// nullptr (or a disabled recorder) turns tracing off.
   void set_trace(obs::TraceRecorder* trace);
 
+  /// Attaches a metrics registry: every round trip increments
+  /// `http_requests_total{authority,status}` and observes the full
+  /// send-to-delivery latency in `http_request_duration_seconds{authority}`.
+  /// Handles are resolved once per authority/status and cached, so the hot
+  /// path never touches the registry mutex. nullptr turns metrics off.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
   /// Sends a request; `on_response` fires after simulated network latency
   /// each way. Unbound authorities yield 404 (connection refused analogue).
   void send(HttpRequest request, std::function<void(HttpResponse)> on_response);
@@ -68,8 +83,15 @@ class Router {
   }
 
  private:
+  struct AuthorityMetrics {
+    metrics::Histogram* latency = nullptr;
+    std::vector<std::pair<int, metrics::Counter*>> by_status;
+  };
+
   [[nodiscard]] sim::SimTime sample_latency();
   [[nodiscard]] obs::TraceRecorder::Tid authority_lane(const std::string& authority);
+  AuthorityMetrics& authority_metrics(const std::string& authority);
+  void count_response(AuthorityMetrics& slot, const std::string& authority, int status);
 
   sim::Simulation& sim_;
   NetworkConfig config_;
@@ -79,6 +101,8 @@ class Router {
   std::uint64_t responses_delivered_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   obs::TraceRecorder::Pid trace_pid_ = 0;
+  metrics::MetricsRegistry* metrics_ = nullptr;
+  std::unordered_map<std::string, AuthorityMetrics> authority_metrics_;
 };
 
 }  // namespace wfs::net

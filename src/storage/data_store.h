@@ -11,11 +11,39 @@
 #include <functional>
 #include <string>
 
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace wfs::metrics
+
 namespace wfs::storage {
+
+/// Metric handles shared by every backend, labeled {backend=<name>, op=...}:
+/// storage_ops_total, storage_bytes_total, storage_failed_reads_total and the
+/// storage_op_duration_seconds histogram. resolve() registers the families
+/// once; all-null handles mean metrics are off.
+struct StoreMetrics {
+  metrics::Counter* read_ops = nullptr;
+  metrics::Counter* write_ops = nullptr;
+  metrics::Counter* read_bytes = nullptr;
+  metrics::Counter* write_bytes = nullptr;
+  metrics::Counter* failed_reads = nullptr;
+  metrics::Histogram* read_duration = nullptr;
+  metrics::Histogram* write_duration = nullptr;
+
+  void resolve(metrics::MetricsRegistry& registry, const std::string& backend);
+  void reset() noexcept { *this = StoreMetrics{}; }
+};
 
 class DataStore {
  public:
   virtual ~DataStore() = default;
+
+  /// Attaches a metrics registry (nullptr = off). Backends that report
+  /// metrics override this; the default is a no-op so simple test doubles
+  /// need not care.
+  virtual void set_metrics(metrics::MetricsRegistry* /*registry*/) {}
 
   /// Instantly registers a file (initial input staging).
   virtual void stage(const std::string& name, std::uint64_t size_bytes) = 0;

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "metrics/registry.h"
+
 namespace wfs::storage {
 
 ObjectStore::ObjectStore(sim::Simulation& sim, ObjectStoreConfig config)
     : sim_(sim), config_(config) {}
+
+void ObjectStore::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  metrics_.resolve(*registry, "object_store");
+}
 
 void ObjectStore::stage(const std::string& name, std::uint64_t size_bytes) {
   objects_[name] = size_bytes;
@@ -27,32 +37,43 @@ void ObjectStore::read(const std::string& name, std::function<void(bool)> done) 
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     ++failed_reads_;
+    if (metrics_.failed_reads != nullptr) metrics_.failed_reads->inc();
     // Missing objects still cost a round trip (404 from the frontend).
     sim_.schedule_in(config_.request_latency, [done = std::move(done)] { done(false); });
     return;
   }
   const std::uint64_t size = it->second;
   ++inflight_;
-  sim_.schedule_in(transfer_time(size, config_.per_object_read_bps),
-                   [this, size, done = std::move(done)] {
-                     --inflight_;
-                     bytes_read_ += size;
-                     done(true);
-                   });
+  const sim::SimTime duration = transfer_time(size, config_.per_object_read_bps);
+  sim_.schedule_in(duration, [this, size, duration, done = std::move(done)] {
+    --inflight_;
+    bytes_read_ += size;
+    if (metrics_.read_ops != nullptr) {
+      metrics_.read_ops->inc();
+      metrics_.read_bytes->inc(static_cast<double>(size));
+      metrics_.read_duration->observe(sim::to_seconds(duration));
+    }
+    done(true);
+  });
 }
 
 void ObjectStore::write(std::string name, std::uint64_t size_bytes,
                         std::function<void()> done) {
   ++put_requests_;
   ++inflight_;
-  sim_.schedule_in(transfer_time(size_bytes, config_.per_object_write_bps),
-                   [this, name = std::move(name), size_bytes,
-                    done = std::move(done)]() mutable {
-                     --inflight_;
-                     bytes_written_ += size_bytes;
-                     objects_[std::move(name)] = size_bytes;
-                     done();
-                   });
+  const sim::SimTime duration = transfer_time(size_bytes, config_.per_object_write_bps);
+  sim_.schedule_in(duration, [this, name = std::move(name), size_bytes, duration,
+                              done = std::move(done)]() mutable {
+    --inflight_;
+    bytes_written_ += size_bytes;
+    if (metrics_.write_ops != nullptr) {
+      metrics_.write_ops->inc();
+      metrics_.write_bytes->inc(static_cast<double>(size_bytes));
+      metrics_.write_duration->observe(sim::to_seconds(duration));
+    }
+    objects_[std::move(name)] = size_bytes;
+    done();
+  });
 }
 
 }  // namespace wfs::storage

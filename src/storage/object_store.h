@@ -29,6 +29,9 @@ class ObjectStore final : public DataStore {
  public:
   ObjectStore(sim::Simulation& sim, ObjectStoreConfig config = {});
 
+  /// Registers ops/bytes/duration metrics under backend="object_store".
+  void set_metrics(metrics::MetricsRegistry* registry) override;
+
   void stage(const std::string& name, std::uint64_t size_bytes) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
   void read(const std::string& name, std::function<void(bool ok)> done) override;
@@ -54,6 +57,7 @@ class ObjectStore final : public DataStore {
   std::uint64_t failed_reads_ = 0;
   std::uint64_t get_requests_ = 0;
   std::uint64_t put_requests_ = 0;
+  StoreMetrics metrics_;
 };
 
 }  // namespace wfs::storage

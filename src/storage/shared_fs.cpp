@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/registry.h"
+
 namespace wfs::storage {
 
 SharedFilesystem::SharedFilesystem(sim::Simulation& sim, SharedFsConfig config)
     : sim_(sim), config_(config) {}
+
+void SharedFilesystem::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  metrics_.resolve(*registry, "shared_fs");
+}
 
 void SharedFilesystem::stage(const std::string& name, std::uint64_t size_bytes) {
   files_[name] = FileMeta{size_bytes, sim_.now()};
@@ -36,6 +46,7 @@ void SharedFilesystem::read(const std::string& name, std::function<void(bool)> d
   const auto it = files_.find(name);
   if (it == files_.end()) {
     ++failed_reads_;
+    if (metrics_.failed_reads != nullptr) metrics_.failed_reads->inc();
     // A miss still pays the metadata round trip (an NFS lookup is not free),
     // and deferring the callback keeps the caller's dispatch loop from being
     // re-entered mid-call — matching ObjectStore's 404 path, which charges
@@ -46,9 +57,14 @@ void SharedFilesystem::read(const std::string& name, std::function<void(bool)> d
   const std::uint64_t size = it->second.size_bytes;
   ++inflight_;
   const sim::SimTime duration = transfer_time(size, config_.read_bandwidth_bps);
-  sim_.schedule_in(duration, [this, size, done = std::move(done)] {
+  sim_.schedule_in(duration, [this, size, duration, done = std::move(done)] {
     --inflight_;
     bytes_read_ += size;
+    if (metrics_.read_ops != nullptr) {
+      metrics_.read_ops->inc();
+      metrics_.read_bytes->inc(static_cast<double>(size));
+      metrics_.read_duration->observe(sim::to_seconds(duration));
+    }
     done(true);
   });
 }
@@ -58,9 +74,15 @@ void SharedFilesystem::write(std::string name, std::uint64_t size_bytes,
   ++inflight_;
   const sim::SimTime duration = transfer_time(size_bytes, config_.write_bandwidth_bps);
   sim_.schedule_in(duration,
-                   [this, name = std::move(name), size_bytes, done = std::move(done)]() mutable {
+                   [this, name = std::move(name), size_bytes, duration,
+                    done = std::move(done)]() mutable {
                      --inflight_;
                      bytes_written_ += size_bytes;
+                     if (metrics_.write_ops != nullptr) {
+                       metrics_.write_ops->inc();
+                       metrics_.write_bytes->inc(static_cast<double>(size_bytes));
+                       metrics_.write_duration->observe(sim::to_seconds(duration));
+                     }
                      files_[std::move(name)] = FileMeta{size_bytes, sim_.now()};
                      done();
                    });

@@ -35,6 +35,9 @@ class SharedFilesystem final : public DataStore {
  public:
   SharedFilesystem(sim::Simulation& sim, SharedFsConfig config = {});
 
+  /// Registers ops/bytes/duration metrics under backend="shared_fs".
+  void set_metrics(metrics::MetricsRegistry* registry) override;
+
   /// Instantly registers a file (workflow staging of initial inputs).
   void stage(const std::string& name, std::uint64_t size_bytes) override;
 
@@ -76,6 +79,7 @@ class SharedFilesystem final : public DataStore {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t failed_reads_ = 0;
+  StoreMetrics metrics_;
 };
 
 }  // namespace wfs::storage

@@ -1,0 +1,32 @@
+#include "storage/data_store.h"
+
+#include "metrics/registry.h"
+
+namespace wfs::storage {
+
+void StoreMetrics::resolve(metrics::MetricsRegistry& registry, const std::string& backend) {
+  const auto labels = [&backend](const char* op) {
+    return metrics::LabelSet{{"backend", backend}, {"op", op}};
+  };
+  read_ops = &registry.counter("storage_ops_total",
+                               "Storage operations completed, by backend and op",
+                               labels("read"));
+  write_ops = &registry.counter("storage_ops_total",
+                                "Storage operations completed, by backend and op",
+                                labels("write"));
+  read_bytes = &registry.counter("storage_bytes_total",
+                                 "Bytes transferred, by backend and op", labels("read"));
+  write_bytes = &registry.counter("storage_bytes_total",
+                                  "Bytes transferred, by backend and op", labels("write"));
+  failed_reads = &registry.counter("storage_failed_reads_total",
+                                   "Reads of missing objects, by backend",
+                                   {{"backend", backend}});
+  read_duration = &registry.histogram("storage_op_duration_seconds",
+                                      "Storage operation duration, seconds",
+                                      labels("read"));
+  write_duration = &registry.histogram("storage_op_duration_seconds",
+                                       "Storage operation duration, seconds",
+                                       labels("write"));
+}
+
+}  // namespace wfs::storage

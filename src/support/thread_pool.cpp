@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "metrics/registry.h"
+
 namespace wfs::support {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -21,10 +23,23 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::set_metrics(metrics::MetricsRegistry* registry) {
+  const std::scoped_lock lock(mutex_);
+  if (registry == nullptr) {
+    jobs_metric_ = nullptr;
+    depth_metric_ = nullptr;
+    return;
+  }
+  jobs_metric_ = &registry->counter("pool_jobs_total", "Jobs submitted to the thread pool");
+  depth_metric_ = &registry->gauge("pool_queue_depth", "Jobs queued, not yet picked up");
+}
+
 void ThreadPool::submit(Job job) {
   {
     const std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(job));
+    if (jobs_metric_ != nullptr) jobs_metric_->inc();
+    if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -49,6 +64,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(queue_.size()));
       ++in_flight_;
     }
     job();

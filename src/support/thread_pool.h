@@ -17,6 +17,12 @@
 #include <thread>
 #include <vector>
 
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace wfs::metrics
+
 namespace wfs::support {
 
 class ThreadPool {
@@ -31,6 +37,11 @@ class ThreadPool {
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Attaches a metrics registry: pool_jobs_total counts submissions,
+  /// pool_queue_depth tracks jobs waiting (not yet picked up). Handles are
+  /// updated under the pool's own mutex. nullptr disables.
+  void set_metrics(metrics::MetricsRegistry* registry);
 
   /// Enqueues a job. Jobs run in submission order but complete in any order;
   /// a job must not throw (wrap work in try/catch and record failures).
@@ -54,6 +65,8 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // signalled when a job finishes
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  metrics::Counter* jobs_metric_ = nullptr;   // guarded by mutex_
+  metrics::Gauge* depth_metric_ = nullptr;    // guarded by mutex_
 };
 
 }  // namespace wfs::support

@@ -1,0 +1,516 @@
+// Tests for the always-on metrics registry: instruments, snapshots,
+// Prometheus exposition, JSON persistence, merge/delta algebra, thread
+// safety on a support::ThreadPool, and the end-to-end experiment wiring
+// (every instrumented component shows up in a run's exposition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/results_io.h"
+#include "metrics/registry.h"
+#include "support/thread_pool.h"
+
+namespace wfs::metrics {
+namespace {
+
+// ---- instruments ------------------------------------------------------------------
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter counter;
+  EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+  counter.inc();
+  counter.inc(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(7.0);
+  gauge.add(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+}
+
+TEST(HistogramSpec, DefaultBoundsAreLogSpaced) {
+  const std::vector<double> bounds = HistogramSpec{}.bounds();
+  ASSERT_EQ(bounds.size(), 30u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], 2.0, 1e-9);
+  }
+}
+
+TEST(Histogram, ObservationsLandInTheRightBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);    // <= 1
+  histogram.observe(1.0);    // <= 1 (bounds are inclusive upper edges)
+  histogram.observe(5.0);    // <= 10
+  histogram.observe(50.0);   // <= 100
+  histogram.observe(500.0);  // overflow
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 556.5);
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+// ---- registry ---------------------------------------------------------------------
+
+TEST(Registry, HandlesAreStableAndSharedAcrossLabelOrder) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests_total", "requests",
+                                {{"authority", "svc"}, {"status", "200"}});
+  // Same labels in a different order name the same child.
+  Counter& b = registry.counter("requests_total", "requests",
+                                {{"status", "200"}, {"authority", "svc"}});
+  EXPECT_EQ(&a, &b);
+  // Registering more children must not invalidate earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("requests_total", "requests",
+                     {{"authority", "svc"}, {"status", std::to_string(300 + i)}});
+  }
+  a.inc();
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("widget_total", "widgets");
+  EXPECT_THROW(registry.gauge("widget_total", "widgets"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("widget_total", "widgets"), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.counter("zeta_total", "z");
+  registry.gauge("alpha_depth", "a");
+  registry.counter("mid_total", "m", {{"b", "2"}});
+  registry.counter("mid_total", "m", {{"a", "1"}});
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.families.size(), 3u);
+  EXPECT_EQ(snapshot.families[0].name, "alpha_depth");
+  EXPECT_EQ(snapshot.families[1].name, "mid_total");
+  EXPECT_EQ(snapshot.families[2].name, "zeta_total");
+  // Children sorted by canonical label text.
+  ASSERT_EQ(snapshot.families[1].points.size(), 2u);
+  EXPECT_EQ(snapshot.families[1].points[0].labels, (LabelSet{{"a", "1"}}));
+  EXPECT_EQ(snapshot.families[1].points[1].labels, (LabelSet{{"b", "2"}}));
+}
+
+TEST(Registry, SnapshotFindMatchesUnsortedLabels) {
+  MetricsRegistry registry;
+  registry.counter("ops_total", "ops", {{"backend", "fs"}, {"op", "read"}}).inc(3.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricPoint* point =
+      snapshot.find("ops_total", {{"op", "read"}, {"backend", "fs"}});
+  ASSERT_NE(point, nullptr);
+  EXPECT_DOUBLE_EQ(point->value, 3.0);
+  EXPECT_EQ(snapshot.find("ops_total", {{"op", "write"}}), nullptr);
+  EXPECT_EQ(snapshot.find("missing_total"), nullptr);
+}
+
+// ---- exposition -------------------------------------------------------------------
+
+TEST(Exposition, CounterAndGaugeFormat) {
+  MetricsRegistry registry;
+  registry.counter("http_requests_total", "served requests",
+                   {{"authority", "svc.example"}, {"status", "200"}})
+      .inc(42.0);
+  registry.gauge("ready_pods", "pods ready").set(3.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# HELP http_requests_total served requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE http_requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("http_requests_total{authority=\"svc.example\",status=\"200\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ready_pods gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("ready_pods 3\n"), std::string::npos);
+}
+
+TEST(Exposition, HistogramEmitsCumulativeBuckets) {
+  MetricsRegistry registry;
+  HistogramSpec spec;
+  spec.first_bound = 1.0;
+  spec.growth = 10.0;
+  spec.bucket_count = 2;  // bounds 1, 10
+  Histogram& histogram = registry.histogram("latency_seconds", "latency", {}, spec);
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("odd_total", "odd", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("odd_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+}
+
+// ---- JSON persistence -------------------------------------------------------------
+
+TEST(SnapshotJson, RoundTripPreservesEverything) {
+  MetricsRegistry registry;
+  registry.counter("ops_total", "ops", {{"backend", "fs"}}).inc(7.0);
+  registry.gauge("depth", "queue depth").set(2.0);
+  registry.histogram("lat_seconds", "latency").observe(0.004);
+  const MetricsSnapshot original = registry.snapshot();
+  const MetricsSnapshot restored = snapshot_from_json(snapshot_to_json(original));
+  // Byte-identical expositions prove the snapshots match in full.
+  EXPECT_EQ(prometheus_text(restored), prometheus_text(original));
+}
+
+TEST(SnapshotJson, RejectsUnknownKind) {
+  json::Object family;
+  family.set("name", "x");
+  family.set("help", "");
+  family.set("kind", "tachometer");
+  family.set("points", json::Array{});
+  json::Array families;
+  families.push_back(json::Value(std::move(family)));
+  json::Object document;
+  document.set("families", json::Value(std::move(families)));
+  EXPECT_THROW(snapshot_from_json(json::Value(std::move(document))), std::invalid_argument);
+}
+
+// ---- merge / delta ----------------------------------------------------------------
+
+MetricsSnapshot cell_snapshot(double requests, double depth, double observation) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", "requests", {{"status", "200"}}).inc(requests);
+  registry.gauge("queue_depth", "depth").set(depth);
+  registry.histogram("lat_seconds", "latency").observe(observation);
+  return registry.snapshot();
+}
+
+TEST(Merge, CountersAddGaugesMaxBucketsAdd) {
+  MetricsSnapshot merged;
+  merge_into(merged, cell_snapshot(3.0, 5.0, 0.002));
+  merge_into(merged, cell_snapshot(4.0, 2.0, 0.002));
+  const MetricPoint* requests = merged.find("requests_total", {{"status", "200"}});
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(requests->value, 7.0);
+  const MetricPoint* depth = merged.find("queue_depth", {});
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 5.0);  // max, not sum
+  const MetricPoint* latency = merged.find("lat_seconds", {});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->histogram.count, 2u);
+  const std::uint64_t bucket_total =
+      std::accumulate(latency->histogram.buckets.begin(),
+                      latency->histogram.buckets.end(), std::uint64_t{0});
+  EXPECT_EQ(bucket_total, 2u);
+}
+
+TEST(Merge, KindMismatchThrows) {
+  MetricsRegistry counters;
+  counters.counter("x", "x");
+  MetricsRegistry gauges;
+  gauges.gauge("x", "x");
+  MetricsSnapshot merged = counters.snapshot();
+  EXPECT_THROW(merge_into(merged, gauges.snapshot()), std::invalid_argument);
+}
+
+TEST(Merge, BucketLayoutMismatchThrows) {
+  MetricsRegistry a;
+  a.histogram("h", "h");
+  MetricsRegistry b;
+  HistogramSpec spec;
+  spec.bucket_count = 4;
+  b.histogram("h", "h", {}, spec);
+  MetricsSnapshot merged = a.snapshot();
+  EXPECT_THROW(merge_into(merged, b.snapshot()), std::invalid_argument);
+}
+
+TEST(Delta, CountersSubtractGaugesReportLater) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("ops_total", "ops");
+  Gauge& gauge = registry.gauge("depth", "depth");
+  Histogram& histogram = registry.histogram("lat_seconds", "latency");
+  counter.inc(5.0);
+  gauge.set(9.0);
+  histogram.observe(0.01);
+  const MetricsSnapshot before = registry.snapshot();
+  counter.inc(2.0);
+  gauge.set(4.0);
+  histogram.observe(0.01);
+  const MetricsSnapshot after = registry.snapshot();
+  const MetricsSnapshot diff = delta(before, after);
+  EXPECT_DOUBLE_EQ(diff.find("ops_total", {})->value, 2.0);
+  EXPECT_DOUBLE_EQ(diff.find("depth", {})->value, 4.0);
+  EXPECT_EQ(diff.find("lat_seconds", {})->histogram.count, 1u);
+}
+
+// ---- quantiles --------------------------------------------------------------------
+
+TEST(Quantile, EdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h", "h");
+  histogram.observe(0.01);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot& h = snapshot.find("h", {})->histogram;
+  EXPECT_THROW(histogram_quantile(h, -0.1), std::invalid_argument);
+  EXPECT_THROW(histogram_quantile(h, 1.5), std::invalid_argument);
+}
+
+TEST(Quantile, P99MatchesRawWithinOneBucketWidth) {
+  // Deterministic pseudo-random latencies spread over ~4 decades.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<double> raw;
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("lat_seconds", "latency");
+  for (int i = 0; i < 20000; ++i) {
+    const double unit = static_cast<double>(next() % 1000000) / 1000000.0;
+    const double value = 1e-3 * std::pow(10.0, 4.0 * unit);  // 1ms .. 10s
+    raw.push_back(value);
+    histogram.observe(value);
+  }
+  std::sort(raw.begin(), raw.end());
+  const double exact_p99 = raw[static_cast<std::size_t>(0.99 * raw.size())];
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot& h = snapshot.find("lat_seconds", {})->histogram;
+  const double estimate = histogram_quantile(h, 0.99);
+
+  // The estimate must land in (or adjacent to) the bucket holding the true
+  // p99: error bounded by that bucket's width.
+  const auto upper = std::lower_bound(h.bounds.begin(), h.bounds.end(), exact_p99);
+  ASSERT_NE(upper, h.bounds.end());
+  const double bucket_upper = *upper;
+  const double bucket_lower = upper == h.bounds.begin() ? 0.0 : *(upper - 1);
+  EXPECT_NEAR(estimate, exact_p99, bucket_upper - bucket_lower);
+}
+
+// ---- concurrency ------------------------------------------------------------------
+
+TEST(Concurrency, SharedRegistryOnThreadPoolIsExactAndDeterministic) {
+  // Two "campaign cells" hammer one shared registry from pool workers —
+  // integer increments so the expected totals are exact, then the merged
+  // snapshot of a repeat run must be byte-identical.
+  auto run_cells = [] {
+    MetricsRegistry registry;
+    constexpr int kJobsPerCell = 16;
+    constexpr int kIncsPerJob = 5000;
+    {
+      support::ThreadPool pool(4);
+      for (const char* cell : {"cell_a", "cell_b"}) {
+        Counter& counter =
+            registry.counter("cell_ops_total", "ops", {{"cell", cell}});
+        Histogram& histogram =
+            registry.histogram("cell_lat_seconds", "latency", {{"cell", cell}});
+        for (int job = 0; job < kJobsPerCell; ++job) {
+          pool.submit([&counter, &histogram] {
+            for (int i = 0; i < kIncsPerJob; ++i) {
+              counter.inc();
+              histogram.observe(0.002 * ((i % 4) + 1));
+            }
+          });
+        }
+      }
+      pool.wait_idle();
+    }
+    return registry.snapshot();
+  };
+
+  const MetricsSnapshot first = run_cells();
+  const MetricsSnapshot second = run_cells();
+  for (const char* cell : {"cell_a", "cell_b"}) {
+    const MetricPoint* ops = first.find("cell_ops_total", {{"cell", cell}});
+    ASSERT_NE(ops, nullptr) << cell;
+    EXPECT_DOUBLE_EQ(ops->value, 16.0 * 5000.0) << cell;
+    const MetricPoint* latency = first.find("cell_lat_seconds", {{"cell", cell}});
+    ASSERT_NE(latency, nullptr) << cell;
+    EXPECT_EQ(latency->histogram.count, 16u * 5000u) << cell;
+  }
+  EXPECT_EQ(prometheus_text(first), prometheus_text(second));
+}
+
+TEST(Concurrency, ThreadPoolSelfInstrumentationCounts) {
+  MetricsRegistry registry;
+  support::ThreadPool pool(2);
+  pool.set_metrics(&registry);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 32);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricPoint* jobs = snapshot.find("pool_jobs_total", {});
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->value, 32.0);
+  const MetricPoint* depth = snapshot.find("pool_queue_depth", {});
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 0.0);  // drained
+}
+
+}  // namespace
+}  // namespace wfs::metrics
+
+namespace wfs::core {
+namespace {
+
+// ---- experiment wiring ------------------------------------------------------------
+
+TEST(ExperimentMetrics, ServerlessRunExposesEveryInstrumentedComponent) {
+  ExperimentConfig config;
+  config.paradigm = Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 30;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.metrics.empty());
+
+  const std::string text = metrics::prometheus_text(result.metrics);
+  // Router: per-authority, per-status request counters + latency histogram.
+  EXPECT_NE(text.find("http_requests_total{authority="), std::string::npos);
+  EXPECT_NE(text.find("status=\"200\""), std::string::npos);
+  EXPECT_NE(text.find("http_request_duration_seconds_bucket"), std::string::npos);
+  // FaaS platform: cold starts + pod lifecycle + autoscaler.
+  EXPECT_NE(text.find("cold_start_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("pods_created_total"), std::string::npos);
+  EXPECT_NE(text.find("autoscaler_scale_ups_total"), std::string::npos);
+  // Storage backend.
+  EXPECT_NE(text.find("storage_ops_total{backend=\"shared_fs\",op=\"read\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("storage_bytes_total"), std::string::npos);
+  // WFM families are registered eagerly, so zero-valued retries still show.
+  EXPECT_NE(text.find("wfm_task_attempts_total"), std::string::npos);
+  EXPECT_NE(text.find("wfm_task_retries_total"), std::string::npos);
+
+  // Sanity: the cold-start histogram agrees with the platform's own count.
+  const metrics::MetricFamily* cold = result.metrics.find("cold_start_seconds");
+  ASSERT_NE(cold, nullptr);
+  std::uint64_t cold_count = 0;
+  for (const metrics::MetricPoint& point : cold->points) {
+    cold_count += point.histogram.count;
+  }
+  EXPECT_EQ(cold_count, static_cast<std::uint64_t>(result.cold_starts));
+  // And the attempts counter covers every task at least once.
+  const metrics::MetricPoint* attempts = result.metrics.find("wfm_task_attempts_total", {});
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_GE(attempts->value, static_cast<double>(result.run.tasks_total));
+}
+
+TEST(ExperimentMetrics, CollectMetricsOffYieldsEmptySnapshot) {
+  ExperimentConfig config;
+  config.recipe = "blast";
+  config.num_tasks = 20;
+  config.collect_metrics = false;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.metrics.empty());
+}
+
+TEST(ExperimentMetrics, SnapshotSurvivesResultsIoRoundTrip) {
+  ExperimentConfig config;
+  config.paradigm = Paradigm::kKn10wNoPM;
+  config.recipe = "seismology";
+  config.num_tasks = 30;
+  const ExperimentResult original = run_experiment(config);
+  ASSERT_FALSE(original.metrics.empty());
+  const ExperimentResult restored = parse_result(write_result(original));
+  EXPECT_EQ(metrics::prometheus_text(restored.metrics),
+            metrics::prometheus_text(original.metrics));
+}
+
+TEST(ExperimentMetrics, SummaryCsvIsIdenticalWithMetricsOnAndOff) {
+  auto run_campaign = [](bool collect) {
+    CampaignSpec spec;
+    spec.paradigms = {Paradigm::kKn10wNoPM};
+    spec.recipes = {"blast"};
+    spec.sizes = {20};
+    spec.collect_metrics = collect;
+    Campaign campaign(std::move(spec));
+    campaign.run();
+    return campaign.summary_csv();
+  };
+  EXPECT_EQ(run_campaign(true), run_campaign(false));
+}
+
+TEST(ExperimentMetrics, SummaryP99SurvivesResultsIoAndReachesTheCsv) {
+  ExperimentConfig config;
+  config.paradigm = Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 30;
+  const ExperimentResult original = run_experiment(config);
+  ASSERT_TRUE(original.ok());
+  EXPECT_GE(original.cpu_percent.p99, original.cpu_percent.p50);
+  const ExperimentResult restored = parse_result(write_result(original));
+  EXPECT_DOUBLE_EQ(restored.cpu_percent.p99, original.cpu_percent.p99);
+  EXPECT_DOUBLE_EQ(restored.cpu_percent.p50, original.cpu_percent.p50);
+
+  CampaignSpec spec;
+  spec.paradigms = {Paradigm::kKn10wNoPM};
+  spec.recipes = {"blast"};
+  spec.sizes = {30};
+  Campaign campaign(std::move(spec));
+  campaign.run();
+  const std::string csv = campaign.summary_csv();
+  EXPECT_NE(csv.find("cpu_pct_p50,cpu_pct_p99"), std::string::npos);
+}
+
+TEST(ExperimentMetrics, CampaignMergesCellSnapshots) {
+  CampaignSpec spec;
+  spec.paradigms = {Paradigm::kKn10wNoPM};
+  spec.recipes = {"blast"};
+  spec.sizes = {20};
+  spec.seeds = {1, 2};
+  Campaign campaign(std::move(spec));
+  const std::vector<ExperimentResult>& results = campaign.run();
+  ASSERT_EQ(results.size(), 2u);
+  const metrics::MetricsSnapshot merged = campaign.merged_metrics();
+  ASSERT_FALSE(merged.empty());
+  const metrics::MetricPoint* merged_attempts =
+      merged.find("wfm_task_attempts_total", {});
+  ASSERT_NE(merged_attempts, nullptr);
+  double expected = 0.0;
+  for (const ExperimentResult& result : results) {
+    const metrics::MetricPoint* attempts =
+        result.metrics.find("wfm_task_attempts_total", {});
+    ASSERT_NE(attempts, nullptr);
+    expected += attempts->value;
+  }
+  EXPECT_DOUBLE_EQ(merged_attempts->value, expected);
+}
+
+TEST(ExperimentMetrics, MetricsReportRendersHistogramsAndScalars) {
+  ExperimentConfig config;
+  config.paradigm = Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 30;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_FALSE(result.metrics.empty());
+  const std::string report = metrics_report(result.metrics);
+  EXPECT_NE(report.find("== metrics =="), std::string::npos);
+  EXPECT_NE(report.find("http_requests_total"), std::string::npos);
+  EXPECT_NE(report.find("p99="), std::string::npos);
+  EXPECT_EQ(metrics_report(metrics::MetricsSnapshot{}), "");
+}
+
+}  // namespace
+}  // namespace wfs::core

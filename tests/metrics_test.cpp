@@ -86,6 +86,25 @@ TEST(Aggregate, EmptySummary) {
   const Summary s = summarize(TimeSeries{});
   EXPECT_EQ(s.samples, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Aggregate, P99TracksTailOfTheSeries) {
+  TimeSeries series;
+  for (int i = 1; i <= 100; ++i) series.push(i, static_cast<double>(i));
+  const Summary s = summarize(series);
+  EXPECT_DOUBLE_EQ(s.p99, series.percentile(99.0));
+  EXPECT_GT(s.p99, s.p95);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Aggregate, ToStringIncludesTailAndIntegral) {
+  const Summary s = summarize(make_series({{0, 2.0}, {1, 4.0}, {2, 6.0}}));
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("integral="), std::string::npos);
 }
 
 // ---- sampler --------------------------------------------------------------------
@@ -119,6 +138,23 @@ TEST(Sampler, UnknownSeriesThrows) {
   Sampler sampler(sim);
   EXPECT_THROW(sampler.series("nope"), std::out_of_range);
   EXPECT_FALSE(sampler.has_series("nope"));
+}
+
+TEST(Sampler, AddProbeOverwriteResetsTheSeries) {
+  sim::Simulation sim;
+  Sampler sampler(sim, sim::kSecond);
+  sampler.add_probe("cpu", [] { return 100.0; });
+  sampler.sample_now();
+  ASSERT_EQ(sampler.series("cpu").size(), 1u);
+  // Re-registering the name swaps the probe AND drops the stale samples —
+  // keeping them would splice two different quantities into one series.
+  sampler.add_probe("cpu", [] { return 5.0; });
+  EXPECT_EQ(sampler.series("cpu").size(), 0u);
+  sim.schedule_at(sim::kSecond, [] {});
+  sim.run_until(sim::kSecond);
+  sampler.sample_now();
+  ASSERT_EQ(sampler.series("cpu").size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.series("cpu")[0].value, 5.0);
 }
 
 TEST(Sampler, ProbeNamesSortedDeterministically) {
