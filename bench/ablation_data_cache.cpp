@@ -1,0 +1,72 @@
+// Ablation: node-local data cache + locality-aware placement.
+//
+// Sweeps cache capacity {off, 64 MB, 256 MB} x cache_aware_placement
+// {off, on} x data backend {shared drive, object store} over the seven
+// WfCommons recipes (Kn10wNoPM, 100 tasks). The cache is write-through, so
+// correctness is unchanged; the interesting columns are the hit rate and
+// how many bytes never reach the backing store. Locality-aware placement
+// steers pods to the node that already holds their inputs, so "on" should
+// dominate "off" at equal capacity whenever a workflow re-reads data.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "support/format.h"
+#include "wfcommons/recipes/recipe.h"
+
+namespace {
+
+struct CacheCell {
+  std::uint64_t cache_mb = 0;
+  bool placement = false;
+  const char* label = "";
+};
+
+}  // namespace
+
+int main() {
+  using namespace wfs;
+
+  constexpr CacheCell kCells[] = {
+      {0, false, "off"},         {64, false, "64M/any"},  {64, true, "64M/local"},
+      {256, false, "256M/any"},  {256, true, "256M/local"},
+  };
+
+  std::cout << "Ablation — node-local data cache (Kn10wNoPM, 100 tasks)\n";
+  std::cout << "=======================================================\n\n";
+
+  for (const core::DataBackend backend :
+       {core::DataBackend::kSharedDrive, core::DataBackend::kObjectStore}) {
+    const char* backend_name =
+        backend == core::DataBackend::kSharedDrive ? "shared-drive" : "object-store";
+    std::cout << support::format("backend: {}\n", backend_name);
+    std::cout << support::format("{:<14}{:<12}{:>10}{:>10}{:>14}{:>14}{:>10}\n", "recipe",
+                                 "cache", "time_s", "hit_rate", "backing_rd_MB", "saved_MB",
+                                 "locality");
+    for (const std::string& recipe : wfcommons::recipe_names()) {
+      for (const CacheCell& cell : kCells) {
+        core::ExperimentConfig config;
+        config.paradigm = core::Paradigm::kKn10wNoPM;
+        config.recipe = recipe;
+        config.num_tasks = 100;
+        config.backend = backend;
+        config.data_cache_mb_per_node = cell.cache_mb;
+        config.cache_aware_placement = cell.placement;
+        core::ExperimentResult result = core::run_experiment(config);
+        std::cout << support::format(
+            "{:<14}{:<12}{:>10.1f}{:>10.3f}{:>14.1f}{:>14.1f}{:>10}\n", recipe, cell.label,
+            result.makespan_seconds, result.cache_hit_rate,
+            static_cast<double>(result.storage_bytes_read) / 1.0e6,
+            static_cast<double>(result.cache_bytes_saved) / 1.0e6,
+            result.locality_placements);
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "note: cache off is the exact pre-cache code path (the decorator is\n"
+               "not constructed); hit_rate > 0 with reduced backing_rd_MB vs off\n"
+               "shows the node-local cache absorbing re-reads, and the locality\n"
+               "column counts placements steered by cached input bytes.\n";
+  return 0;
+}

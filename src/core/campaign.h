@@ -31,6 +31,10 @@ struct CampaignSpec {
   std::vector<SchedulingMode> schedulings;
   double cpu_work = 100.0;
   DataBackend backend = DataBackend::kSharedDrive;
+  /// Node-local data cache (ExperimentConfig::data_cache_mb_per_node /
+  /// cache_aware_placement). 0 = off, the exact paper data path.
+  std::uint64_t data_cache_mb_per_node = 0;
+  bool cache_aware_placement = false;
   WfmConfig wfm;
   /// Worker threads for run(): 0 = hardware_concurrency, 1 = fully
   /// sequential (the exact pre-pool code path).

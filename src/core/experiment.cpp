@@ -9,6 +9,7 @@
 #include "metrics/sampler.h"
 #include "net/router.h"
 #include "obs/trace_recorder.h"
+#include "storage/cached_store.h"
 #include "storage/object_store.h"
 #include "storage/shared_fs.h"
 #include "support/format.h"
@@ -47,7 +48,16 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   } else {
     store = std::make_unique<storage::SharedFilesystem>(sim);
   }
-  storage::DataStore& fs = *store;
+  // Cache off (the default) uses the store directly — the exact paper data
+  // path; on, the decorator interposes per-node LRUs.
+  std::unique_ptr<storage::CachedStore> cache;
+  if (config.data_cache_mb_per_node > 0) {
+    storage::CacheConfig cache_config;
+    cache_config.capacity_bytes = config.data_cache_mb_per_node << 20;
+    cache = std::make_unique<storage::CachedStore>(sim, *store, cache_config);
+    cache->set_trace(&recorder);
+  }
+  storage::DataStore& fs = cache ? *cache : *store;
   fs.set_metrics(metrics_registry);
   net::Router router(sim, net::NetworkConfig{}, config.seed);
   router.set_trace(&recorder);
@@ -68,6 +78,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     faas::KnativeServiceSpec spec = config.knative_spec_override.has_value()
                                         ? *config.knative_spec_override
                                         : knative_spec_for(config.paradigm, config.shape);
+    if (config.cache_aware_placement) spec.cache_aware_placement = true;
     wfcommons::KnativeTranslatorConfig tconfig;
     tconfig.service_url = "http://" + spec.authority + "/wfbench";
     tconfig.workdir = config.wfm.workdir;
@@ -75,6 +86,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
     knative->set_trace(&recorder);
     knative->set_metrics(metrics_registry);
+    if (cache) knative->set_data_cache(cache.get());
     knative->deploy();
   } else {
     containers::LocalRuntimeConfig lconfig = config.local_config_override.has_value()
@@ -149,7 +161,18 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   result.energy_joules = result.power_series.integral();
 
   result.node_oom_events = cluster.oom_events();
+  result.storage_bytes_read = store->bytes_read();
+  result.storage_bytes_written = store->bytes_written();
+  if (cache) {
+    const storage::CacheStats cache_stats = cache->stats();
+    result.cache_hits = cache_stats.hits;
+    result.cache_misses = cache_stats.misses;
+    result.cache_evictions = cache_stats.evictions;
+    result.cache_bytes_saved = cache_stats.bytes_saved;
+    result.cache_hit_rate = cache_stats.hit_rate();
+  }
   if (knative) {
+    result.locality_placements = knative->scheduler().locality_placements();
     result.cold_starts = knative->stats().pods_created;
     result.chaos_kills = knative->stats().chaos_kills;
     result.max_ready_pods = knative->stats().max_ready_pods;

@@ -41,6 +41,15 @@ struct ExperimentConfig {
   /// Sampling cadence (PCP: 1 s).
   double sample_period_seconds = 1.0;
 
+  /// Node-local data cache capacity per cluster node, MiB. 0 (the default)
+  /// disables the cache entirely — the store is used directly, the exact
+  /// paper data path.
+  std::uint64_t data_cache_mb_per_node = 0;
+  /// Score pod placement by cached input bytes for the pending tasks
+  /// (falling back to the paradigm's strategy). Only meaningful with
+  /// data_cache_mb_per_node > 0 and a serverless paradigm.
+  bool cache_aware_placement = false;
+
   /// Ablation hooks: when set, these replace the spec the paradigm factory
   /// would produce (the paradigm still selects serverless vs local).
   std::optional<faas::KnativeServiceSpec> knative_spec_override;
@@ -88,6 +97,17 @@ struct ExperimentResult {
   std::uint64_t chaos_kills = 0;
   double activator_wait_seconds = 0.0;  // total buffered wait (serverless)
   double cold_start_seconds = 0.0;      // total pod creation->Ready time
+
+  // Data plane: backing-store traffic, and the node-local cache's counters
+  // (all zero when data_cache_mb_per_node was 0).
+  std::uint64_t storage_bytes_read = 0;     // shared drive / object store
+  std::uint64_t storage_bytes_written = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes_saved = 0;      // shared-drive bytes hits avoided
+  double cache_hit_rate = 0.0;
+  std::uint64_t locality_placements = 0;    // pods placed by cached bytes
 
   /// Final registry snapshot (empty when collect_metrics was off). Render
   /// with metrics::prometheus_text or merge across cells with

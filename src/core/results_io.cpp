@@ -88,6 +88,8 @@ json::Value result_to_json(const ExperimentResult& result) {
   config.set("cpu_work", result.config.cpu_work);
   config.set("backend",
              result.config.backend == DataBackend::kObjectStore ? "objectstore" : "shared");
+  config.set("data_cache_mb_per_node", result.config.data_cache_mb_per_node);
+  config.set("cache_aware_placement", result.config.cache_aware_placement);
   document.set("config", std::move(config));
 
   json::Object outcome;
@@ -118,7 +120,22 @@ json::Value result_to_json(const ExperimentResult& result) {
   platform.set("service_oom_failures", result.service_oom_failures);
   platform.set("activator_wait_seconds", result.activator_wait_seconds);
   platform.set("cold_start_seconds", result.cold_start_seconds);
+  platform.set("storage_bytes_read", result.storage_bytes_read);
+  platform.set("storage_bytes_written", result.storage_bytes_written);
   document.set("platform", std::move(platform));
+
+  // Node-local cache counters, omitted entirely when the cache was off so
+  // old-format consumers see no new key.
+  if (result.config.data_cache_mb_per_node > 0) {
+    json::Object cache;
+    cache.set("hits", result.cache_hits);
+    cache.set("misses", result.cache_misses);
+    cache.set("evictions", result.cache_evictions);
+    cache.set("bytes_saved", result.cache_bytes_saved);
+    cache.set("hit_rate", result.cache_hit_rate);
+    cache.set("locality_placements", result.locality_placements);
+    document.set("cache", std::move(cache));
+  }
 
   json::Object series;
   series.set("cpu_pct", series_to_json(result.cpu_series));
@@ -171,6 +188,13 @@ ExperimentResult result_from_json(const json::Value& document) {
       result.config.backend = v->string_or("shared") == "objectstore"
                                   ? DataBackend::kObjectStore
                                   : DataBackend::kSharedDrive;
+    }
+    // Absent in pre-cache result files; default to off.
+    if (const json::Value* v = config->find("data_cache_mb_per_node")) {
+      result.config.data_cache_mb_per_node = static_cast<std::uint64_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("cache_aware_placement")) {
+      result.config.cache_aware_placement = v->bool_or(false);
     }
   }
   if (const json::Value* outcome = root.find("outcome")) {
@@ -237,6 +261,22 @@ ExperimentResult result_from_json(const json::Value& document) {
     }
     if (const json::Value* v = platform->find("cold_start_seconds")) {
       result.cold_start_seconds = v->double_or(0.0);
+    }
+    result.storage_bytes_read = get_u64("storage_bytes_read");
+    result.storage_bytes_written = get_u64("storage_bytes_written");
+  }
+  if (const json::Value* cache = root.find("cache")) {
+    const auto get_u64 = [&](const char* key) -> std::uint64_t {
+      const json::Value* v = cache->find(key);
+      return v != nullptr ? static_cast<std::uint64_t>(v->int_or(0)) : 0;
+    };
+    result.cache_hits = get_u64("hits");
+    result.cache_misses = get_u64("misses");
+    result.cache_evictions = get_u64("evictions");
+    result.cache_bytes_saved = get_u64("bytes_saved");
+    result.locality_placements = get_u64("locality_placements");
+    if (const json::Value* v = cache->find("hit_rate")) {
+      result.cache_hit_rate = v->double_or(0.0);
     }
   }
   if (const json::Value* series = root.find("series")) {

@@ -47,6 +47,10 @@ class Activator {
   /// Pops the oldest buffered request; caller must have capacity.
   [[nodiscard]] Buffered pop(sim::SimTime now);
 
+  /// The queue, oldest first — the platform's locality hint source (the
+  /// buffered tasks' input sets are what a new pod will read first).
+  [[nodiscard]] const std::deque<Buffered>& buffered() const noexcept { return queue_; }
+
   /// Fails everything in the buffer (platform shutdown).
   void drain_with_error(const net::HttpResponse& response);
 

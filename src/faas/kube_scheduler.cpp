@@ -1,10 +1,19 @@
 #include "faas/kube_scheduler.h"
 
+#include "storage/cached_store.h"
+
 namespace wfs::faas {
 
 cluster::Node* KubeScheduler::place(double cpu_request, std::uint64_t memory_request) {
+  return place(cpu_request, memory_request, {});
+}
+
+cluster::Node* KubeScheduler::place(double cpu_request, std::uint64_t memory_request,
+                                    const std::vector<std::string>& locality_inputs) {
+  const bool locality = cache_ != nullptr && !locality_inputs.empty();
   cluster::Node* best = nullptr;
   double best_score = -1.0;
+  std::uint64_t best_cached = 0;
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     cluster::Node& node = cluster_.node(i);
     const cluster::ResourceLedger& ledger = node.ledger();
@@ -17,15 +26,23 @@ cluster::Node* KubeScheduler::place(double cpu_request, std::uint64_t memory_req
     // fullest node that still fits wins (bin-pack).
     double score = 0.5 * (cpu_free + mem_free);
     if (strategy_ == Strategy::kMostAllocated) score = 1.0 - score;
-    if (score > best_score) {
-      best_score = score;
+    // Cached input bytes dominate the strategy score: reading locally beats
+    // any free-resource spread, and the strategy decides only among nodes
+    // holding equally much (usually nothing).
+    const std::uint64_t cached =
+        locality ? cache_->cached_bytes(node.name(), locality_inputs) : 0;
+    if (best == nullptr || cached > best_cached ||
+        (cached == best_cached && score > best_score)) {
       best = &node;
+      best_cached = cached;
+      best_score = score;
     }
   }
   if (best == nullptr) {
     ++failures_;
   } else {
     ++placements_;
+    if (locality && best_cached > 0) ++locality_placements_;
   }
   return best;
 }

@@ -8,8 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+
+namespace wfs::storage {
+class CachedStore;
+}  // namespace wfs::storage
 
 namespace wfs::faas {
 
@@ -28,15 +34,33 @@ class KubeScheduler {
   /// Chooses a node that can host the requests; does NOT reserve.
   [[nodiscard]] cluster::Node* place(double cpu_request, std::uint64_t memory_request);
 
+  /// Locality-aware placement: among feasible nodes, the one holding the
+  /// most cached bytes of `locality_inputs` wins; the configured strategy
+  /// score breaks ties and handles the nothing-cached fallback. Identical
+  /// to the plain overload when no cache is attached or the input set is
+  /// empty.
+  [[nodiscard]] cluster::Node* place(double cpu_request, std::uint64_t memory_request,
+                                     const std::vector<std::string>& locality_inputs);
+
+  /// Attaches the data cache the locality score reads (nullptr detaches —
+  /// placement falls back to the pure strategy score).
+  void set_data_cache(const storage::CachedStore* cache) noexcept { cache_ = cache; }
+
   [[nodiscard]] Strategy strategy() const noexcept { return strategy_; }
   [[nodiscard]] std::uint64_t placements() const noexcept { return placements_; }
   [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  /// Placements decided by cached input bytes rather than the strategy score.
+  [[nodiscard]] std::uint64_t locality_placements() const noexcept {
+    return locality_placements_;
+  }
 
  private:
   cluster::Cluster& cluster_;
   Strategy strategy_;
+  const storage::CachedStore* cache_ = nullptr;
   std::uint64_t placements_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t locality_placements_ = 0;
 };
 
 }  // namespace wfs::faas

@@ -5,6 +5,7 @@
 
 #include "json/parse.h"
 #include "metrics/registry.h"
+#include "storage/cached_store.h"
 #include "support/format.h"
 #include "support/strings.h"
 #include "support/log.h"
@@ -79,6 +80,11 @@ void KnativePlatform::set_metrics(metrics::MetricsRegistry* registry) {
       &registry->counter("activator_buffered_total",
                          "Requests buffered in the activator awaiting capacity", labels),
       &registry->gauge("activator_queue_depth", "Requests currently buffered", labels));
+}
+
+void KnativePlatform::set_data_cache(storage::CachedStore* cache) {
+  cache_ = cache;
+  scheduler_.set_data_cache(spec_.cache_aware_placement ? cache : nullptr);
 }
 
 void KnativePlatform::deploy() {
@@ -257,8 +263,19 @@ void KnativePlatform::autoscale_tick(sim::SimTime now) {
 }
 
 void KnativePlatform::scale_up(int count) {
+  // Locality hints: the buffered tasks' input sets are what a new pod will
+  // read first, so the scheduler can score nodes by how much of that data
+  // their caches already hold.
+  std::vector<std::string> locality_inputs;
+  if (cache_ != nullptr && spec_.cache_aware_placement) {
+    for (const Activator::Buffered& buffered : activator_.buffered()) {
+      locality_inputs.insert(locality_inputs.end(), buffered.params.inputs.begin(),
+                             buffered.params.inputs.end());
+    }
+  }
   for (int i = 0; i < count; ++i) {
-    cluster::Node* node = scheduler_.place(spec_.cpu_request, spec_.memory_request);
+    cluster::Node* node =
+        scheduler_.place(spec_.cpu_request, spec_.memory_request, locality_inputs);
     if (node == nullptr) {
       // Unschedulable: the cluster is out of allocatable resources. The pod
       // would sit Pending on a real cluster; we retry next tick.
@@ -269,8 +286,10 @@ void KnativePlatform::scale_up(int count) {
     }
     const std::string name =
         support::format("{}-{}", spec_.name, support::pad_id(next_pod_ordinal_++, 5));
+    storage::DataStore& pod_fs =
+        cache_ != nullptr ? cache_->node_view(node->name()) : fs_;
     pods_.push_back(std::make_unique<Pod>(
-        sim_, name, spec_, *node, fs_,
+        sim_, name, spec_, *node, pod_fs,
         [this](Pod& pod) {
           stats_.cold_start_seconds +=
               sim::to_seconds(pod.ready_at() - pod.created_at());

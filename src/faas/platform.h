@@ -34,6 +34,10 @@ class Gauge;
 class Histogram;
 }  // namespace wfs::metrics
 
+namespace wfs::storage {
+class CachedStore;
+}  // namespace wfs::storage
+
 namespace wfs::faas {
 
 struct KnativePlatformStats {
@@ -73,6 +77,13 @@ class KnativePlatform {
   /// once; call before deploy(). nullptr disables.
   void set_metrics(metrics::MetricsRegistry* registry);
 
+  /// Attaches a node-local data cache: new pods read and write through
+  /// their node's view instead of the raw backing store, and — when the
+  /// spec enables cache_aware_placement — the scheduler scores nodes by
+  /// cached input bytes for the buffered tasks. Call before deploy() so
+  /// the min_scale pods are wired too. nullptr detaches.
+  void set_data_cache(storage::CachedStore* cache);
+
   /// Binds the service route and starts the autoscaler loop; creates
   /// min_scale pods immediately.
   void deploy();
@@ -110,6 +121,7 @@ class KnativePlatform {
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
   storage::DataStore& fs_;
+  storage::CachedStore* cache_ = nullptr;
   net::Router& router_;
   KnativeServiceSpec spec_;
   std::string authority_;

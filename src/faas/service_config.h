@@ -58,6 +58,12 @@ struct KnativeServiceSpec {
   /// Pod placement scoring (kube NodeResourcesFit): spread or bin-pack.
   KubeScheduler::Strategy scheduling = KubeScheduler::Strategy::kLeastAllocated;
 
+  /// Score pod placement by cached input bytes for the pending tasks,
+  /// falling back to the strategy above when nothing relevant is cached.
+  /// Only meaningful when the platform has a data cache attached
+  /// (KnativePlatform::set_data_cache).
+  bool cache_aware_placement = false;
+
   /// Chaos injection: per autoscaler tick, each ready pod crashes with this
   /// probability (in-flight requests answer 503; the autoscaler replaces the
   /// pod). 0 disables. Used to exercise the WFM's retry fault tolerance.

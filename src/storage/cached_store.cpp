@@ -1,0 +1,301 @@
+#include "storage/cached_store.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "metrics/registry.h"
+
+namespace wfs::storage {
+
+/// One node's bounded LRU plus the DataStore facade its pods use. The
+/// facade forwards everything except read/write — reads consult the LRU
+/// first, writes go through to the backing store and fill the local cache
+/// on completion.
+struct CachedStore::NodeCache final : DataStore {
+  NodeCache(CachedStore& owner, std::string name)
+      : owner_(owner), node_name_(std::move(name)) {}
+
+  // ---- DataStore facade -----------------------------------------------------
+  void set_metrics(metrics::MetricsRegistry* /*registry*/) override {
+    // The owning CachedStore resolves per-node handles; the view is inert.
+  }
+
+  void stage(const std::string& name, std::uint64_t size_bytes) override {
+    owner_.stage(name, size_bytes);
+  }
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return owner_.backing_.exists(name);
+  }
+
+  void read(const std::string& name, std::function<void(bool)> done) override {
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.where);
+      const std::uint64_t size = it->second.size_bytes;
+      ++stats_.hits;
+      stats_.bytes_saved += size;
+      if (hits_metric_ != nullptr) hits_metric_->inc();
+      if (bytes_saved_metric_ != nullptr) {
+        bytes_saved_metric_->inc(static_cast<double>(size));
+      }
+      const sim::SimTime duration =
+          owner_.config_.hit_latency +
+          sim::from_seconds(static_cast<double>(size) /
+                            std::max(owner_.config_.hit_bandwidth_bps, 1.0));
+      if (owner_.trace_ != nullptr) {
+        owner_.trace_->complete(owner_.trace_pid_, lane_, name, "cache-hit",
+                                owner_.sim_.now(), owner_.sim_.now() + duration);
+      }
+      owner_.sim_.schedule_in(duration, [done = std::move(done)] { done(true); });
+      return;
+    }
+    ++stats_.misses;
+    if (misses_metric_ != nullptr) misses_metric_->inc();
+    const sim::SimTime started = owner_.sim_.now();
+    owner_.backing_.read(name, [this, name, started, done = std::move(done)](bool ok) {
+      if (ok) {
+        // Read-through fill: the bytes just travelled to this node, keep
+        // them. Backends that cannot report a size simply don't fill.
+        if (const std::optional<std::uint64_t> size = owner_.backing_.stat_size(name)) {
+          insert(name, *size);
+        }
+      }
+      if (owner_.trace_ != nullptr) {
+        owner_.trace_->complete(owner_.trace_pid_, lane_, name, "cache-miss", started,
+                                owner_.sim_.now());
+      }
+      done(ok);
+    });
+  }
+
+  void write(std::string name, std::uint64_t size_bytes,
+             std::function<void()> done) override {
+    // Write-through: the backing store stays the source of truth and keeps
+    // its only-visible-on-completion semantics. On completion the writer
+    // node keeps the bytes (its downstream tasks are the likely readers)
+    // and every other node drops its now-stale copy.
+    std::string key = name;
+    owner_.backing_.write(std::move(name), size_bytes,
+                          [this, key = std::move(key), size_bytes,
+                           done = std::move(done)]() mutable {
+                            owner_.invalidate_everywhere(key, this);
+                            insert(key, size_bytes);
+                            done();
+                          });
+  }
+
+  bool remove(const std::string& name) override { return owner_.remove(name); }
+  void clear() override { owner_.clear(); }
+
+  [[nodiscard]] std::optional<std::uint64_t> stat_size(
+      const std::string& name) const override {
+    return owner_.backing_.stat_size(name);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return owner_.backing_.bytes_read();
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return owner_.backing_.bytes_written();
+  }
+  [[nodiscard]] std::uint64_t failed_reads() const override {
+    return owner_.backing_.failed_reads();
+  }
+
+  // ---- LRU ------------------------------------------------------------------
+  void insert(const std::string& name, std::uint64_t size_bytes) {
+    if (size_bytes > owner_.config_.capacity_bytes) return;  // would evict everything
+    if (const auto it = entries_.find(name); it != entries_.end()) {
+      used_bytes_ -= it->second.size_bytes;
+      lru_.erase(it->second.where);
+      entries_.erase(it);
+    }
+    lru_.push_front(name);
+    entries_[name] = Entry{size_bytes, lru_.begin()};
+    used_bytes_ += size_bytes;
+    while (used_bytes_ > owner_.config_.capacity_bytes && !lru_.empty()) {
+      const std::string& victim = lru_.back();
+      const auto victim_it = entries_.find(victim);
+      used_bytes_ -= victim_it->second.size_bytes;
+      entries_.erase(victim_it);
+      lru_.pop_back();
+      ++stats_.evictions;
+      if (evictions_metric_ != nullptr) evictions_metric_->inc();
+    }
+  }
+
+  bool invalidate(const std::string& name) {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    used_bytes_ -= it->second.size_bytes;
+    lru_.erase(it->second.where);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    return true;
+  }
+
+  void invalidate_all() {
+    stats_.invalidations += entries_.size();
+    entries_.clear();
+    lru_.clear();
+    used_bytes_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t cached_size(const std::string& name) const {
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.size_bytes;
+  }
+
+  struct Entry {
+    std::uint64_t size_bytes = 0;
+    std::list<std::string>::iterator where;
+  };
+
+  CachedStore& owner_;
+  std::string node_name_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t used_bytes_ = 0;
+  CacheStats stats_;
+  obs::TraceRecorder::Tid lane_ = 0;
+  metrics::Counter* hits_metric_ = nullptr;
+  metrics::Counter* misses_metric_ = nullptr;
+  metrics::Counter* evictions_metric_ = nullptr;
+  metrics::Counter* bytes_saved_metric_ = nullptr;
+};
+
+CachedStore::CachedStore(sim::Simulation& sim, DataStore& backing, CacheConfig config)
+    : sim_(sim), backing_(backing), config_(config) {}
+
+CachedStore::~CachedStore() = default;
+
+void CachedStore::set_metrics(metrics::MetricsRegistry* registry) {
+  registry_ = registry;
+  backing_.set_metrics(registry);
+  for (auto& [name, cache] : nodes_) attach_instruments(*cache);
+}
+
+void CachedStore::set_trace(obs::TraceRecorder* trace) {
+  trace_ = (trace != nullptr && trace->enabled()) ? trace : nullptr;
+  if (trace_ != nullptr) trace_pid_ = trace_->process("data-cache");
+  for (auto& [name, cache] : nodes_) attach_instruments(*cache);
+}
+
+void CachedStore::attach_instruments(NodeCache& cache) {
+  if (registry_ != nullptr) {
+    const metrics::LabelSet labels{{"node", cache.node_name_}};
+    cache.hits_metric_ = &registry_->counter(
+        "storage_cache_hits_total", "Reads served from the node-local cache", labels);
+    cache.misses_metric_ = &registry_->counter(
+        "storage_cache_misses_total", "Reads that fell through to the backing store",
+        labels);
+    cache.evictions_metric_ = &registry_->counter(
+        "storage_cache_evictions_total", "LRU entries displaced by capacity pressure",
+        labels);
+    cache.bytes_saved_metric_ = &registry_->counter(
+        "storage_cache_bytes_saved_total",
+        "Backing-store bytes hits avoided transferring", labels);
+  } else {
+    cache.hits_metric_ = nullptr;
+    cache.misses_metric_ = nullptr;
+    cache.evictions_metric_ = nullptr;
+    cache.bytes_saved_metric_ = nullptr;
+  }
+  cache.lane_ = trace_ != nullptr ? trace_->lane(trace_pid_, cache.node_name_) : 0;
+}
+
+void CachedStore::stage(const std::string& name, std::uint64_t size_bytes) {
+  invalidate_everywhere(name, nullptr);  // re-staging replaces the content
+  backing_.stage(name, size_bytes);
+}
+
+bool CachedStore::exists(const std::string& name) const { return backing_.exists(name); }
+
+void CachedStore::read(const std::string& name, std::function<void(bool)> done) {
+  backing_.read(name, std::move(done));
+}
+
+void CachedStore::write(std::string name, std::uint64_t size_bytes,
+                        std::function<void()> done) {
+  std::string key = name;
+  backing_.write(std::move(name), size_bytes,
+                 [this, key = std::move(key), done = std::move(done)]() mutable {
+                   invalidate_everywhere(key, nullptr);
+                   done();
+                 });
+}
+
+bool CachedStore::remove(const std::string& name) {
+  invalidate_everywhere(name, nullptr);
+  return backing_.remove(name);
+}
+
+void CachedStore::clear() {
+  for (auto& [name, cache] : nodes_) cache->invalidate_all();
+  backing_.clear();
+}
+
+std::optional<std::uint64_t> CachedStore::stat_size(const std::string& name) const {
+  return backing_.stat_size(name);
+}
+
+std::uint64_t CachedStore::bytes_read() const { return backing_.bytes_read(); }
+std::uint64_t CachedStore::bytes_written() const { return backing_.bytes_written(); }
+std::uint64_t CachedStore::failed_reads() const { return backing_.failed_reads(); }
+
+CachedStore::NodeCache& CachedStore::node(const std::string& node_name) {
+  auto it = nodes_.find(node_name);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(node_name, std::make_unique<NodeCache>(*this, node_name)).first;
+    attach_instruments(*it->second);
+  }
+  return *it->second;
+}
+
+DataStore& CachedStore::node_view(const std::string& node_name) {
+  return node(node_name);
+}
+
+void CachedStore::invalidate_everywhere(const std::string& name,
+                                        const NodeCache* except) {
+  for (auto& [node_name, cache] : nodes_) {
+    if (cache.get() == except) continue;
+    cache->invalidate(name);
+  }
+}
+
+std::uint64_t CachedStore::cached_bytes(const std::string& node_name,
+                                        const std::vector<std::string>& names) const {
+  const auto it = nodes_.find(node_name);
+  if (it == nodes_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const std::string& name : names) total += it->second->cached_size(name);
+  return total;
+}
+
+std::uint64_t CachedStore::node_cached_bytes(const std::string& node_name) const {
+  const auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? 0 : it->second->used_bytes_;
+}
+
+CacheStats CachedStore::node_stats(const std::string& node_name) const {
+  const auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? CacheStats{} : it->second->stats_;
+}
+
+CacheStats CachedStore::stats() const {
+  CacheStats total;
+  for (const auto& [name, cache] : nodes_) {
+    total.hits += cache->stats_.hits;
+    total.misses += cache->stats_.misses;
+    total.evictions += cache->stats_.evictions;
+    total.invalidations += cache->stats_.invalidations;
+    total.bytes_saved += cache->stats_.bytes_saved;
+  }
+  return total;
+}
+
+}  // namespace wfs::storage

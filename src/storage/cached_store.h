@@ -1,0 +1,131 @@
+// Node-local data cache layer — a decorator over any DataStore.
+//
+// The paper's prototype funnels every task's I/O through one shared drive
+// (§III-C) and names "external distributed data storage" as future work
+// (§VII). The cache turns that fixed cost into a tunable one: each cluster
+// node gets a bounded LRU over the backing store, so a task whose inputs
+// were produced (or previously read) on the same node serves them at local
+// NVMe speed instead of paying the shared-drive round trip.
+//
+//   WFM ──────────────► CachedStore ──────────► backing DataStore
+//   (stage/exists:            │ node_view("worker")   (SharedFilesystem
+//    pass-through)            ▼                        or ObjectStore)
+//   Pod on "worker" ───► NodeView ── hit ──► local, no backing traffic
+//                            └──── miss ──► backing.read + read-through fill
+//
+// Consistency rules:
+//  * writes are write-through: the backing store stays the source of truth
+//    and exists() keeps its only-visible-on-completion semantics;
+//  * a completed write fills the writer node's cache and invalidates the
+//    name everywhere else (the old bytes are stale);
+//  * remove()/clear()/stage() through the decorator (or any node view)
+//    invalidate every node cache before touching the backing store.
+// Mutating the backing store directly, behind the decorator's back, is the
+// one way to make a cache stale — don't.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+#include "sim/simulation.h"
+#include "storage/data_store.h"
+
+namespace wfs::storage {
+
+struct CacheConfig {
+  /// Per-node capacity; objects larger than this are never cached.
+  std::uint64_t capacity_bytes = 256ULL << 20;
+  /// Fixed cost of a local hit (page cache / local NVMe lookup).
+  sim::SimTime hit_latency = 200;  // microseconds
+  /// Local read bandwidth for hits — no shared-drive contention.
+  double hit_bandwidth_bps = 8.0e9;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  /// Backing-store bytes a hit avoided transferring.
+  std::uint64_t bytes_saved = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class CachedStore final : public DataStore {
+ public:
+  CachedStore(sim::Simulation& sim, DataStore& backing, CacheConfig config = {});
+  ~CachedStore() override;
+
+  CachedStore(const CachedStore&) = delete;
+  CachedStore& operator=(const CachedStore&) = delete;
+
+  /// Registers per-node hit/miss/eviction/bytes-saved counter families
+  /// (storage_cache_*_total{node=...}) and forwards to the backing store.
+  void set_metrics(metrics::MetricsRegistry* registry) override;
+
+  /// Attaches a trace recorder: each node lane gets "cache-hit" /
+  /// "cache-miss" spans under a "data-cache" process. nullptr disables.
+  void set_trace(obs::TraceRecorder* trace);
+
+  // DataStore interface — the node-less path (the WFM's stage/exists/poll).
+  // Pure pass-through except that mutations invalidate every node cache.
+  void stage(const std::string& name, std::uint64_t size_bytes) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  /// Node-less reads go straight to the backing store and fill no cache.
+  void read(const std::string& name, std::function<void(bool ok)> done) override;
+  void write(std::string name, std::uint64_t size_bytes,
+             std::function<void()> done) override;
+  bool remove(const std::string& name) override;
+  void clear() override;
+  [[nodiscard]] std::optional<std::uint64_t> stat_size(
+      const std::string& name) const override;
+  [[nodiscard]] std::uint64_t bytes_read() const override;
+  [[nodiscard]] std::uint64_t bytes_written() const override;
+  [[nodiscard]] std::uint64_t failed_reads() const override;
+
+  /// The per-node facade pods read and write through. Created on first use;
+  /// the reference stays valid for the CachedStore's lifetime.
+  [[nodiscard]] DataStore& node_view(const std::string& node_name);
+
+  /// Locality signal for the scheduler: how many bytes of `names` the given
+  /// node already holds. Zero for nodes without a view yet.
+  [[nodiscard]] std::uint64_t cached_bytes(const std::string& node_name,
+                                           const std::vector<std::string>& names) const;
+  /// Total bytes resident in one node's cache.
+  [[nodiscard]] std::uint64_t node_cached_bytes(const std::string& node_name) const;
+  /// One node's counters (zeroes for nodes without a view).
+  [[nodiscard]] CacheStats node_stats(const std::string& node_name) const;
+  /// Counters summed across every node.
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] DataStore& backing() noexcept { return backing_; }
+
+ private:
+  struct NodeCache;
+
+  NodeCache& node(const std::string& node_name);
+  void invalidate_everywhere(const std::string& name, const NodeCache* except);
+  void attach_instruments(NodeCache& cache);
+
+  sim::Simulation& sim_;
+  DataStore& backing_;
+  CacheConfig config_;
+  metrics::MetricsRegistry* registry_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceRecorder::Pid trace_pid_ = 0;
+  /// Ordered by node name so invalidation sweeps are deterministic.
+  std::map<std::string, std::unique_ptr<NodeCache>> nodes_;
+};
+
+}  // namespace wfs::storage

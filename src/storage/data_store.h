@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 namespace wfs::metrics {
@@ -58,6 +59,24 @@ class DataStore {
   /// the transfer completes.
   virtual void write(std::string name, std::uint64_t size_bytes,
                      std::function<void()> done) = 0;
+
+  /// Deletes an object (cross-experiment cleanup). Returns true when it was
+  /// present. After remove() returns, the name stays absent until a later
+  /// stage()/write() — an in-flight write started before the remove must not
+  /// resurrect it. Default: nothing to delete.
+  virtual bool remove(const std::string& /*name*/) { return false; }
+
+  /// Drops every object AND resets the traffic counters — a fresh store for
+  /// the next experiment. Completions in flight across clear() must neither
+  /// reinsert objects nor skew the new counters. Default: no-op.
+  virtual void clear() {}
+
+  /// Size of a stored object, or nullopt when absent (or unknown). The
+  /// cache layer uses this to account read-through fills.
+  [[nodiscard]] virtual std::optional<std::uint64_t> stat_size(
+      const std::string& /*name*/) const {
+    return std::nullopt;
+  }
 
   // Traffic counters (for reports).
   [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;

@@ -35,23 +35,38 @@ sim::SimTime ObjectStore::transfer_time(std::uint64_t size_bytes, double per_obj
 void ObjectStore::read(const std::string& name, std::function<void(bool)> done) {
   ++get_requests_;
   const auto it = objects_.find(name);
+  const std::uint64_t epoch = epoch_;
   if (it == objects_.end()) {
     ++failed_reads_;
     if (metrics_.failed_reads != nullptr) metrics_.failed_reads->inc();
-    // Missing objects still cost a round trip (404 from the frontend).
-    sim_.schedule_in(config_.request_latency, [done = std::move(done)] { done(false); });
+    // Missing objects still cost a round trip (404 from the frontend), hold
+    // an inflight slot for it, and count as a read op — the same miss model
+    // as SharedFilesystem.
+    ++inflight_;
+    sim_.schedule_in(config_.request_latency, [this, epoch, done = std::move(done)] {
+      if (epoch == epoch_) {
+        --inflight_;
+        if (metrics_.read_ops != nullptr) {
+          metrics_.read_ops->inc();
+          metrics_.read_duration->observe(sim::to_seconds(config_.request_latency));
+        }
+      }
+      done(false);
+    });
     return;
   }
   const std::uint64_t size = it->second;
   ++inflight_;
   const sim::SimTime duration = transfer_time(size, config_.per_object_read_bps);
-  sim_.schedule_in(duration, [this, size, duration, done = std::move(done)] {
-    --inflight_;
-    bytes_read_ += size;
-    if (metrics_.read_ops != nullptr) {
-      metrics_.read_ops->inc();
-      metrics_.read_bytes->inc(static_cast<double>(size));
-      metrics_.read_duration->observe(sim::to_seconds(duration));
+  sim_.schedule_in(duration, [this, epoch, size, duration, done = std::move(done)] {
+    if (epoch == epoch_) {
+      --inflight_;
+      bytes_read_ += size;
+      if (metrics_.read_ops != nullptr) {
+        metrics_.read_ops->inc();
+        metrics_.read_bytes->inc(static_cast<double>(size));
+        metrics_.read_duration->observe(sim::to_seconds(duration));
+      }
     }
     done(true);
   });
@@ -61,19 +76,53 @@ void ObjectStore::write(std::string name, std::uint64_t size_bytes,
                         std::function<void()> done) {
   ++put_requests_;
   ++inflight_;
+  const std::uint64_t epoch = epoch_;
+  const std::uint64_t gen = generation_of(name);
   const sim::SimTime duration = transfer_time(size_bytes, config_.per_object_write_bps);
-  sim_.schedule_in(duration, [this, name = std::move(name), size_bytes, duration,
+  sim_.schedule_in(duration, [this, epoch, gen, name = std::move(name), size_bytes, duration,
                               done = std::move(done)]() mutable {
-    --inflight_;
-    bytes_written_ += size_bytes;
-    if (metrics_.write_ops != nullptr) {
-      metrics_.write_ops->inc();
-      metrics_.write_bytes->inc(static_cast<double>(size_bytes));
-      metrics_.write_duration->observe(sim::to_seconds(duration));
+    if (epoch == epoch_) {
+      --inflight_;
+      bytes_written_ += size_bytes;
+      if (metrics_.write_ops != nullptr) {
+        metrics_.write_ops->inc();
+        metrics_.write_bytes->inc(static_cast<double>(size_bytes));
+        metrics_.write_duration->observe(sim::to_seconds(duration));
+      }
+      if (generation_of(name) == gen) {
+        objects_[std::move(name)] = size_bytes;
+      }
     }
-    objects_[std::move(name)] = size_bytes;
     done();
   });
+}
+
+std::uint64_t ObjectStore::generation_of(const std::string& name) const {
+  const auto it = remove_gen_.find(name);
+  return it == remove_gen_.end() ? 0 : it->second;
+}
+
+bool ObjectStore::remove(const std::string& name) {
+  ++remove_gen_[name];
+  return objects_.erase(name) > 0;
+}
+
+void ObjectStore::clear() {
+  ++epoch_;
+  objects_.clear();
+  remove_gen_.clear();
+  inflight_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  failed_reads_ = 0;
+  get_requests_ = 0;
+  put_requests_ = 0;
+}
+
+std::optional<std::uint64_t> ObjectStore::stat_size(const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace wfs::storage

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "sim/simulation.h"
@@ -34,23 +35,38 @@ class ObjectStore final : public DataStore {
 
   void stage(const std::string& name, std::uint64_t size_bytes) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
+  /// A 404 is a request like any other: it charges request_latency, holds an
+  /// inflight slot for that window, and lands in the op-duration histogram —
+  /// the same miss model as SharedFilesystem::read.
   void read(const std::string& name, std::function<void(bool ok)> done) override;
   void write(std::string name, std::uint64_t size_bytes, std::function<void()> done) override;
+
+  /// DELETE: in-flight PUTs of the same key must not resurrect it.
+  bool remove(const std::string& name) override;
+  /// Empties the bucket and resets traffic/request counters; in-flight
+  /// completions are invalidated (epoch guard).
+  void clear() override;
+  [[nodiscard]] std::optional<std::uint64_t> stat_size(
+      const std::string& name) const override;
 
   [[nodiscard]] std::uint64_t bytes_read() const override { return bytes_read_; }
   [[nodiscard]] std::uint64_t bytes_written() const override { return bytes_written_; }
   [[nodiscard]] std::uint64_t failed_reads() const override { return failed_reads_; }
 
   [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::size_t inflight_ops() const noexcept { return inflight_; }
   [[nodiscard]] std::uint64_t get_requests() const noexcept { return get_requests_; }
   [[nodiscard]] std::uint64_t put_requests() const noexcept { return put_requests_; }
 
  private:
   [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double per_object_bps) const;
+  [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
 
   sim::Simulation& sim_;
   ObjectStoreConfig config_;
   std::unordered_map<std::string, std::uint64_t> objects_;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::string, std::uint64_t> remove_gen_;
   std::size_t inflight_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;

@@ -44,26 +44,40 @@ sim::SimTime SharedFilesystem::transfer_time(std::uint64_t size_bytes, double ba
 
 void SharedFilesystem::read(const std::string& name, std::function<void(bool)> done) {
   const auto it = files_.find(name);
+  const std::uint64_t epoch = epoch_;
   if (it == files_.end()) {
     ++failed_reads_;
     if (metrics_.failed_reads != nullptr) metrics_.failed_reads->inc();
-    // A miss still pays the metadata round trip (an NFS lookup is not free),
-    // and deferring the callback keeps the caller's dispatch loop from being
-    // re-entered mid-call — matching ObjectStore's 404 path, which charges
-    // request_latency.
-    sim_.schedule_in(config_.op_latency, [done = std::move(done)] { done(false); });
+    // A miss is an op like any other: it pays the metadata round trip (an
+    // NFS lookup is not free), occupies a congestion slot while in flight,
+    // and lands in the op-duration histogram — matching ObjectStore's 404
+    // path. Deferring the callback also keeps the caller's dispatch loop
+    // from being re-entered mid-call.
+    ++inflight_;
+    sim_.schedule_in(config_.op_latency, [this, epoch, done = std::move(done)] {
+      if (epoch == epoch_) {
+        --inflight_;
+        if (metrics_.read_ops != nullptr) {
+          metrics_.read_ops->inc();
+          metrics_.read_duration->observe(sim::to_seconds(config_.op_latency));
+        }
+      }
+      done(false);
+    });
     return;
   }
   const std::uint64_t size = it->second.size_bytes;
   ++inflight_;
   const sim::SimTime duration = transfer_time(size, config_.read_bandwidth_bps);
-  sim_.schedule_in(duration, [this, size, duration, done = std::move(done)] {
-    --inflight_;
-    bytes_read_ += size;
-    if (metrics_.read_ops != nullptr) {
-      metrics_.read_ops->inc();
-      metrics_.read_bytes->inc(static_cast<double>(size));
-      metrics_.read_duration->observe(sim::to_seconds(duration));
+  sim_.schedule_in(duration, [this, epoch, size, duration, done = std::move(done)] {
+    if (epoch == epoch_) {
+      --inflight_;
+      bytes_read_ += size;
+      if (metrics_.read_ops != nullptr) {
+        metrics_.read_ops->inc();
+        metrics_.read_bytes->inc(static_cast<double>(size));
+        metrics_.read_duration->observe(sim::to_seconds(duration));
+      }
     }
     done(true);
   });
@@ -72,25 +86,56 @@ void SharedFilesystem::read(const std::string& name, std::function<void(bool)> d
 void SharedFilesystem::write(std::string name, std::uint64_t size_bytes,
                              std::function<void()> done) {
   ++inflight_;
+  const std::uint64_t epoch = epoch_;
+  const std::uint64_t gen = generation_of(name);
   const sim::SimTime duration = transfer_time(size_bytes, config_.write_bandwidth_bps);
   sim_.schedule_in(duration,
-                   [this, name = std::move(name), size_bytes, duration,
+                   [this, epoch, gen, name = std::move(name), size_bytes, duration,
                     done = std::move(done)]() mutable {
-                     --inflight_;
-                     bytes_written_ += size_bytes;
-                     if (metrics_.write_ops != nullptr) {
-                       metrics_.write_ops->inc();
-                       metrics_.write_bytes->inc(static_cast<double>(size_bytes));
-                       metrics_.write_duration->observe(sim::to_seconds(duration));
+                     // The writer's done() always fires (its workflow moves
+                     // on), but a completion that straddles clear()/remove()
+                     // must not mutate the fresh store's state.
+                     if (epoch == epoch_) {
+                       --inflight_;
+                       bytes_written_ += size_bytes;
+                       if (metrics_.write_ops != nullptr) {
+                         metrics_.write_ops->inc();
+                         metrics_.write_bytes->inc(static_cast<double>(size_bytes));
+                         metrics_.write_duration->observe(sim::to_seconds(duration));
+                       }
+                       if (generation_of(name) == gen) {
+                         files_[std::move(name)] = FileMeta{size_bytes, sim_.now()};
+                       }
                      }
-                     files_[std::move(name)] = FileMeta{size_bytes, sim_.now()};
                      done();
                    });
 }
 
-bool SharedFilesystem::remove(const std::string& name) { return files_.erase(name) > 0; }
+std::uint64_t SharedFilesystem::generation_of(const std::string& name) const {
+  const auto it = remove_gen_.find(name);
+  return it == remove_gen_.end() ? 0 : it->second;
+}
 
-void SharedFilesystem::clear() { files_.clear(); }
+bool SharedFilesystem::remove(const std::string& name) {
+  ++remove_gen_[name];  // in-flight writes of this name must not land
+  return files_.erase(name) > 0;
+}
+
+void SharedFilesystem::clear() {
+  ++epoch_;  // invalidate every in-flight completion
+  files_.clear();
+  remove_gen_.clear();
+  inflight_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  failed_reads_ = 0;
+}
+
+std::optional<std::uint64_t> SharedFilesystem::stat_size(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.size_bytes;
+}
 
 std::uint64_t SharedFilesystem::total_bytes() const noexcept {
   std::uint64_t total = 0;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,8 +47,11 @@ class SharedFilesystem final : public DataStore {
   [[nodiscard]] const FileMeta* stat(const std::string& name) const noexcept;
 
   /// Asynchronous read: `done(true)` after the simulated transfer, or
-  /// `done(false)` after `op_latency` when the file is missing (a miss costs
-  /// the metadata round trip and never re-enters the caller synchronously).
+  /// `done(false)` after `op_latency` when the file is missing. A miss is an
+  /// op like any other: it costs the metadata round trip, occupies a
+  /// congestion slot while in flight (an NFS GETATTR contends for the same
+  /// server), lands in the op-duration histogram, and never re-enters the
+  /// caller synchronously — matching ObjectStore's 404 path.
   void read(const std::string& name, std::function<void(bool ok)> done) override;
 
   /// Asynchronous write: file becomes visible to exists() only when the
@@ -56,9 +60,16 @@ class SharedFilesystem final : public DataStore {
   void write(std::string name, std::uint64_t size_bytes,
              std::function<void()> done) override;
 
-  /// Deletes a file if present (used by cleanup between experiments).
-  bool remove(const std::string& name);
-  void clear();
+  /// Deletes a file if present (used by cleanup between experiments). Also
+  /// bars any in-flight write of the same name from re-inserting it on
+  /// completion.
+  bool remove(const std::string& name) override;
+  /// Forgets every file AND resets the traffic counters; completions in
+  /// flight across the clear are invalidated (epoch guard) so they can
+  /// neither resurrect files nor underflow `inflight_`.
+  void clear() override;
+  [[nodiscard]] std::optional<std::uint64_t> stat_size(
+      const std::string& name) const override;
 
   [[nodiscard]] std::size_t file_count() const noexcept { return files_.size(); }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept;
@@ -71,10 +82,16 @@ class SharedFilesystem final : public DataStore {
 
  private:
   [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double bandwidth) const;
+  [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
 
   sim::Simulation& sim_;
   SharedFsConfig config_;
   std::unordered_map<std::string, FileMeta> files_;
+  /// Bumped by clear(); completions captured under an older epoch are dead.
+  std::uint64_t epoch_ = 0;
+  /// Per-name removal generation: a write completes into files_ only if no
+  /// remove() of that name happened while it was in flight.
+  std::unordered_map<std::string, std::uint64_t> remove_gen_;
   std::size_t inflight_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;

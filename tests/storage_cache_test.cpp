@@ -1,0 +1,348 @@
+// Node-local data cache layer: the CachedStore decorator (per-node LRU,
+// write-through, invalidation), the KubeScheduler locality policy it
+// feeds, and the end-to-end experiment/campaign wiring.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/results_io.h"
+#include "faas/kube_scheduler.h"
+#include "metrics/registry.h"
+#include "obs/trace_recorder.h"
+#include "sim/simulation.h"
+#include "storage/cached_store.h"
+#include "storage/shared_fs.h"
+
+namespace wfs {
+namespace {
+
+storage::SharedFsConfig slow_fs_config() {
+  storage::SharedFsConfig config;
+  config.op_latency = 2 * sim::kMillisecond;
+  config.read_bandwidth_bps = 1e6;  // 1 MB/s: shared-drive reads are visibly slow
+  config.write_bandwidth_bps = 1e6;
+  return config;
+}
+
+// ---- decorator behaviour ----------------------------------------------------
+
+TEST(CachedStore, SecondReadOnANodeIsAHitAndSkipsTheBackingStore) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& node = cache.node_view("worker");
+  fs.stage("input.dat", 1'000'000);
+
+  bool first = false;
+  node.read("input.dat", [&](bool ok) { first = ok; });
+  sim.run();
+  ASSERT_TRUE(first);
+  const double miss_seconds = sim::to_seconds(sim.now());
+  EXPECT_NEAR(miss_seconds, 1.002, 1e-3);  // the full shared-drive trip
+  EXPECT_EQ(fs.bytes_read(), 1'000'000u);
+
+  bool second = false;
+  node.read("input.dat", [&](bool ok) { second = ok; });
+  sim.run();
+  ASSERT_TRUE(second);
+  // Served locally: ~125 ms at 8 GB/s + 200 us, and no new backing traffic.
+  EXPECT_LT(sim::to_seconds(sim.now()) - miss_seconds, 0.01);
+  EXPECT_EQ(fs.bytes_read(), 1'000'000u);
+
+  const storage::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes_saved, 1'000'000u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(CachedStore, WriteIsWriteThroughAndFillsTheWriterNodeOnly) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& producer = cache.node_view("master");
+  storage::DataStore& consumer = cache.node_view("worker");
+
+  producer.write("out.dat", 500'000, [] {});
+  EXPECT_FALSE(producer.exists("out.dat"));  // visible only on completion
+  sim.run();
+  EXPECT_TRUE(producer.exists("out.dat"));
+  EXPECT_TRUE(fs.exists("out.dat"));  // the backing store is the truth
+  EXPECT_EQ(cache.node_cached_bytes("master"), 500'000u);
+  EXPECT_EQ(cache.node_cached_bytes("worker"), 0u);
+
+  // Producer-side read: a hit. Other node: a miss that fills via
+  // read-through.
+  producer.read("out.dat", [](bool) {});
+  consumer.read("out.dat", [](bool) {});
+  sim.run();
+  EXPECT_EQ(cache.node_stats("master").hits, 1u);
+  EXPECT_EQ(cache.node_stats("worker").misses, 1u);
+  EXPECT_EQ(cache.node_cached_bytes("worker"), 500'000u);
+}
+
+TEST(CachedStore, OverwriteInvalidatesOtherNodesCopies) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& a = cache.node_view("a");
+  storage::DataStore& b = cache.node_view("b");
+  fs.stage("shared.dat", 1000);
+  a.read("shared.dat", [](bool) {});
+  sim.run();
+  ASSERT_EQ(cache.node_cached_bytes("a"), 1000u);
+
+  b.write("shared.dat", 2000, [] {});  // new version from the other node
+  sim.run();
+  EXPECT_EQ(cache.node_cached_bytes("a"), 0u);  // stale copy dropped
+  EXPECT_EQ(cache.node_cached_bytes("b"), 2000u);
+  EXPECT_EQ(cache.node_stats("a").invalidations, 1u);
+}
+
+TEST(CachedStore, LruEvictionKeepsTheCacheBounded) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CacheConfig config;
+  config.capacity_bytes = 2500;
+  storage::CachedStore cache(sim, fs, config);
+  storage::DataStore& node = cache.node_view("n");
+  fs.stage("a", 1000);
+  fs.stage("b", 1000);
+  fs.stage("c", 1000);
+
+  node.read("a", [](bool) {});
+  sim.run();
+  node.read("b", [](bool) {});
+  sim.run();
+  node.read("a", [](bool) {});  // touch: "a" becomes MRU
+  sim.run();
+  node.read("c", [](bool) {});  // evicts "b", the LRU entry
+  sim.run();
+
+  EXPECT_EQ(cache.node_cached_bytes("n"), 2000u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.cached_bytes("n", {"a"}), 1000u);
+  EXPECT_EQ(cache.cached_bytes("n", {"b"}), 0u);
+  EXPECT_EQ(cache.cached_bytes("n", {"c"}), 1000u);
+
+  // Objects larger than the whole cache are never admitted.
+  fs.stage("huge", 10'000);
+  node.read("huge", [](bool) {});
+  sim.run();
+  EXPECT_EQ(cache.cached_bytes("n", {"huge"}), 0u);
+  EXPECT_EQ(cache.node_cached_bytes("n"), 2000u);
+}
+
+TEST(CachedStore, RemoveAndClearInvalidateEveryNode) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& a = cache.node_view("a");
+  storage::DataStore& b = cache.node_view("b");
+  fs.stage("x", 100);
+  fs.stage("y", 200);
+  a.read("x", [](bool) {});
+  b.read("x", [](bool) {});
+  b.read("y", [](bool) {});
+  sim.run();
+  ASSERT_EQ(cache.node_cached_bytes("a"), 100u);
+  ASSERT_EQ(cache.node_cached_bytes("b"), 300u);
+
+  EXPECT_TRUE(cache.remove("x"));
+  EXPECT_FALSE(cache.exists("x"));
+  EXPECT_EQ(cache.node_cached_bytes("a"), 0u);
+  EXPECT_EQ(cache.node_cached_bytes("b"), 200u);
+  // The next read of a removed name is an honest miss, not a stale hit.
+  bool ok = true;
+  a.read("x", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_FALSE(ok);
+
+  cache.clear();
+  EXPECT_EQ(cache.node_cached_bytes("a"), 0u);
+  EXPECT_EQ(cache.node_cached_bytes("b"), 0u);
+  EXPECT_FALSE(cache.exists("y"));
+  EXPECT_EQ(fs.bytes_read(), 0u);  // clear() forwarded to the backing store
+}
+
+TEST(CachedStore, RestagingInvalidatesCachedCopies) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& node = cache.node_view("n");
+  cache.stage("in.dat", 1000);
+  node.read("in.dat", [](bool) {});
+  sim.run();
+  ASSERT_EQ(cache.cached_bytes("n", {"in.dat"}), 1000u);
+
+  cache.stage("in.dat", 4000);  // replaced content
+  EXPECT_EQ(cache.cached_bytes("n", {"in.dat"}), 0u);
+  node.read("in.dat", [](bool) {});
+  sim.run();
+  EXPECT_EQ(cache.cached_bytes("n", {"in.dat"}), 4000u);
+}
+
+TEST(CachedStore, NodelessReadsPassThroughWithoutFillingAnyCache) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  (void)cache.node_view("n");
+  fs.stage("wfm-polled.dat", 1000);
+  cache.read("wfm-polled.dat", [](bool) {});  // the WFM's path
+  sim.run();
+  EXPECT_EQ(cache.node_cached_bytes("n"), 0u);
+  const storage::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+}
+
+TEST(CachedStore, EmitsMetricsAndTraceSpans) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  metrics::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  cache.set_metrics(&registry);
+  cache.set_trace(&recorder);
+  storage::DataStore& node = cache.node_view("worker");
+  fs.stage("d", 1000);
+  node.read("d", [](bool) {});
+  sim.run();
+  node.read("d", [](bool) {});
+  sim.run();
+
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  const metrics::MetricPoint* hits =
+      snapshot.find("storage_cache_hits_total", {{"node", "worker"}});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_DOUBLE_EQ(hits->value, 1.0);
+  const metrics::MetricPoint* misses =
+      snapshot.find("storage_cache_misses_total", {{"node", "worker"}});
+  ASSERT_NE(misses, nullptr);
+  EXPECT_DOUBLE_EQ(misses->value, 1.0);
+  const metrics::MetricPoint* saved =
+      snapshot.find("storage_cache_bytes_saved_total", {{"node", "worker"}});
+  ASSERT_NE(saved, nullptr);
+  EXPECT_DOUBLE_EQ(saved->value, 1000.0);
+
+  bool saw_hit = false;
+  bool saw_miss = false;
+  for (const obs::TraceEvent& event : recorder.events()) {
+    saw_hit = saw_hit || event.category == "cache-hit";
+    saw_miss = saw_miss || event.category == "cache-miss";
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_miss);
+}
+
+// ---- locality-aware placement -----------------------------------------------
+
+TEST(KubeSchedulerLocality, CachedInputBytesWinOverTheStrategyScore) {
+  sim::Simulation sim;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  // Warm the *smaller* node's cache so LeastAllocated (which favours the
+  // bigger master node on equal load) would pick differently.
+  const std::string warm = cluster.node(1).name();
+  fs.stage("in1", 1000);
+  fs.stage("in2", 500);
+  cache.node_view(warm).read("in1", [](bool) {});
+  cache.node_view(warm).read("in2", [](bool) {});
+  sim.run();
+
+  faas::KubeScheduler scheduler(cluster);
+  scheduler.set_data_cache(&cache);
+  cluster::Node* chosen = scheduler.place(2.0, 1ULL << 30, {"in1", "in2"});
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->name(), warm);
+  EXPECT_EQ(scheduler.locality_placements(), 1u);
+
+  // Empty input set: pure strategy score, identical to the plain overload.
+  cluster::Node* strategy_pick = scheduler.place(2.0, 1ULL << 30, {});
+  cluster::Node* plain_pick = scheduler.place(2.0, 1ULL << 30);
+  ASSERT_NE(strategy_pick, nullptr);
+  EXPECT_EQ(strategy_pick, plain_pick);
+  EXPECT_EQ(scheduler.locality_placements(), 1u);  // unchanged
+
+  // Nothing relevant cached: fall back to the strategy score too.
+  cluster::Node* cold_pick = scheduler.place(2.0, 1ULL << 30, {"elsewhere"});
+  EXPECT_EQ(cold_pick, plain_pick);
+  EXPECT_EQ(scheduler.locality_placements(), 1u);
+}
+
+// ---- end-to-end wiring ------------------------------------------------------
+
+TEST(ExperimentCache, CacheOnYieldsHitsAndCutsSharedDriveReads) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 40;
+
+  const core::ExperimentResult off = core::run_experiment(config);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.cache_hits + off.cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(off.cache_hit_rate, 0.0);
+  EXPECT_GT(off.storage_bytes_read, 0u);
+
+  config.data_cache_mb_per_node = 256;
+  config.cache_aware_placement = true;
+  const core::ExperimentResult on = core::run_experiment(config);
+  ASSERT_TRUE(on.ok());
+  EXPECT_GT(on.cache_hits, 0u);
+  EXPECT_GT(on.cache_hit_rate, 0.0);
+  EXPECT_GT(on.cache_bytes_saved, 0u);
+  // Every byte a hit served locally is a byte the shared drive never moved.
+  EXPECT_LT(on.storage_bytes_read, off.storage_bytes_read);
+}
+
+TEST(ExperimentCache, ResultJsonRoundTripsCacheCounters) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "seismology";
+  config.num_tasks = 30;
+  config.data_cache_mb_per_node = 128;
+  config.cache_aware_placement = true;
+  const core::ExperimentResult original = core::run_experiment(config);
+  ASSERT_TRUE(original.ok());
+
+  const core::ExperimentResult restored =
+      core::parse_result(core::write_result(original));
+  EXPECT_EQ(restored.config.data_cache_mb_per_node, 128u);
+  EXPECT_TRUE(restored.config.cache_aware_placement);
+  EXPECT_EQ(restored.cache_hits, original.cache_hits);
+  EXPECT_EQ(restored.cache_misses, original.cache_misses);
+  EXPECT_EQ(restored.cache_bytes_saved, original.cache_bytes_saved);
+  EXPECT_DOUBLE_EQ(restored.cache_hit_rate, original.cache_hit_rate);
+  EXPECT_EQ(restored.storage_bytes_read, original.storage_bytes_read);
+  EXPECT_EQ(restored.storage_bytes_written, original.storage_bytes_written);
+}
+
+TEST(CampaignCache, SummaryCsvIsByteIdenticalWhenTheCacheIsDisabled) {
+  // The knobs default to off; a spec that sets them to their defaults must
+  // reproduce the exact same bytes — the cache may not perturb any paper
+  // figure unless explicitly enabled.
+  const auto run_csv = [](std::uint64_t cache_mb, bool placement) {
+    core::CampaignSpec spec;
+    spec.paradigms = {core::Paradigm::kKn10wNoPM};
+    spec.recipes = {"blast"};
+    spec.sizes = {20};
+    spec.data_cache_mb_per_node = cache_mb;
+    spec.cache_aware_placement = placement;
+    core::Campaign campaign(std::move(spec));
+    campaign.run();
+    return campaign.summary_csv();
+  };
+  EXPECT_EQ(run_csv(0, false), run_csv(0, true));  // placement alone is inert
+
+  const std::string enabled = run_csv(256, true);
+  EXPECT_NE(enabled, run_csv(0, false));
+  EXPECT_NE(enabled.find("cache_hit_rate,shared_drive_bytes_saved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfs

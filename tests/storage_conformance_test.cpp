@@ -1,0 +1,396 @@
+// Backend-conformance suite: SharedFilesystem and ObjectStore must agree on
+// the storage-layer contract — miss accounting, congestion-slot semantics,
+// cleanup (clear/remove) hygiene across in-flight completions, and the
+// metrics they emit. Each divergence here was a real bug: the shared-fs
+// miss path used to occupy no congestion slot and record no op-duration
+// observation, clear() left counters stale, and an in-flight write callback
+// could resurrect its file after clear()/remove().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+#include "storage/shared_fs.h"
+
+namespace wfs {
+namespace {
+
+/// Uniform handle over both backends so every conformance test runs
+/// verbatim against each.
+struct Backend {
+  std::string name;           // metrics label
+  storage::DataStore* store = nullptr;
+  std::function<std::size_t()> inflight;
+  sim::SimTime miss_latency = 0;
+};
+
+class SharedFsBackend {
+ public:
+  explicit SharedFsBackend(sim::Simulation& sim) {
+    storage::SharedFsConfig config;
+    config.op_latency = 2 * sim::kMillisecond;
+    fs_ = std::make_unique<storage::SharedFilesystem>(sim, config);
+  }
+  Backend backend() {
+    return {"shared_fs", fs_.get(), [this] { return fs_->inflight_ops(); },
+            2 * sim::kMillisecond};
+  }
+
+ private:
+  std::unique_ptr<storage::SharedFilesystem> fs_;
+};
+
+class ObjectStoreBackend {
+ public:
+  explicit ObjectStoreBackend(sim::Simulation& sim) {
+    storage::ObjectStoreConfig config;
+    config.request_latency = 15 * sim::kMillisecond;
+    os_ = std::make_unique<storage::ObjectStore>(sim, config);
+  }
+  Backend backend() {
+    return {"object_store", os_.get(), [this] { return os_->inflight_ops(); },
+            15 * sim::kMillisecond};
+  }
+
+ private:
+  std::unique_ptr<storage::ObjectStore> os_;
+};
+
+template <typename Fn>
+void for_each_backend(Fn&& fn) {
+  {
+    sim::Simulation sim;
+    SharedFsBackend shared(sim);
+    Backend backend = shared.backend();
+    SCOPED_TRACE("backend=shared_fs");
+    fn(sim, backend);
+  }
+  {
+    sim::Simulation sim;
+    ObjectStoreBackend object(sim);
+    Backend backend = object.backend();
+    SCOPED_TRACE("backend=object_store");
+    fn(sim, backend);
+  }
+}
+
+// ---- satellite: unified miss accounting -------------------------------------
+
+TEST(StorageConformance, MissOccupiesACongestionSlotWhileInFlight) {
+  // Regression: the shared-fs miss path used to schedule its callback
+  // without taking an inflight slot, so a storm of misses (WFM polling)
+  // never contended with real transfers — unlike the object store, whose
+  // 404s go through the same frontend. A miss is an op: it holds a slot
+  // for its latency window on BOTH backends.
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    bool called = false;
+    backend.store->read("missing", [&](bool ok) {
+      called = true;
+      EXPECT_FALSE(ok);
+    });
+    EXPECT_FALSE(called);
+    EXPECT_EQ(backend.inflight(), 1u);  // the miss holds a slot
+    sim.run();
+    EXPECT_TRUE(called);
+    EXPECT_EQ(backend.inflight(), 0u);
+    EXPECT_EQ(sim.now(), backend.miss_latency);
+    EXPECT_EQ(backend.store->failed_reads(), 1u);
+  });
+}
+
+TEST(StorageConformance, MissCountsAsReadOpAndLandsInTheDurationHistogram) {
+  // The other half of the divergence: a miss must show up in
+  // storage_ops_total{op=read} and storage_op_duration_seconds like any
+  // completed operation, on both backends, identically.
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    metrics::MetricsRegistry registry;
+    backend.store->set_metrics(&registry);
+    backend.store->read("missing", [](bool) {});
+    sim.run();
+
+    const metrics::MetricsSnapshot snapshot = registry.snapshot();
+    const metrics::MetricPoint* ops = snapshot.find(
+        "storage_ops_total", {{"backend", backend.name}, {"op", "read"}});
+    ASSERT_NE(ops, nullptr);
+    EXPECT_DOUBLE_EQ(ops->value, 1.0);
+    const metrics::MetricPoint* failed =
+        snapshot.find("storage_failed_reads_total", {{"backend", backend.name}});
+    ASSERT_NE(failed, nullptr);
+    EXPECT_DOUBLE_EQ(failed->value, 1.0);
+    const metrics::MetricPoint* duration = snapshot.find(
+        "storage_op_duration_seconds", {{"backend", backend.name}, {"op", "read"}});
+    ASSERT_NE(duration, nullptr);
+    EXPECT_EQ(duration->histogram.count, 1u);
+    EXPECT_NEAR(duration->histogram.sum, sim::to_seconds(backend.miss_latency), 1e-9);
+    // No bytes moved: the bytes family stays untouched by a miss.
+    const metrics::MetricPoint* bytes = snapshot.find(
+        "storage_bytes_total", {{"backend", backend.name}, {"op", "read"}});
+    if (bytes != nullptr) EXPECT_DOUBLE_EQ(bytes->value, 0.0);
+  });
+}
+
+TEST(SharedFsConformance, MissContendsWithRealTransfersAtTheBoundary) {
+  // With congestion_threshold = 1, an in-flight miss pushes a concurrent
+  // real read over the threshold: the read's slot count is 2, so it gets
+  // half the pipe. Before the fix the miss was invisible to the congestion
+  // model and the read ran at full bandwidth.
+  sim::Simulation sim;
+  storage::SharedFsConfig config;
+  config.op_latency = 2 * sim::kMillisecond;
+  config.read_bandwidth_bps = 1e6;  // 1 MB/s
+  config.congestion_threshold = 1;
+  storage::SharedFilesystem fs(sim, config);
+  fs.stage("real.dat", 1'000'000);
+
+  fs.read("missing", [](bool) {});            // slot 1: the miss
+  sim::SimTime read_done_at = 0;
+  fs.read("real.dat", [&](bool ok) {          // slot 2: shares the pipe
+    EXPECT_TRUE(ok);
+    read_done_at = sim.now();
+  });
+  sim.run();
+  // 1 MB at 0.5 MB/s = 2 s (+ op latency), not 1 s.
+  EXPECT_NEAR(sim::to_seconds(read_done_at), 2.002, 1e-3);
+}
+
+// ---- satellite: congestion boundary -----------------------------------------
+
+TEST(SharedFsConformance, CongestionBoundaryIsSelfInclusiveAndPathAgnostic) {
+  // Pins the intended semantics: each transfer's slot count includes
+  // itself, so with threshold = 2 the first two concurrent ops run at full
+  // bandwidth and the third — the (threshold+1)-th — is computed with
+  // inflight = 3 and gets threshold/3 of the pipe. The read and write
+  // paths must agree exactly at that boundary.
+  constexpr std::uint64_t kSize = 1'000'000;
+  const auto run_reads = [](int count) {
+    sim::Simulation sim;
+    storage::SharedFsConfig config;
+    config.op_latency = 0;
+    config.read_bandwidth_bps = 1e6;
+    config.write_bandwidth_bps = 1e6;  // symmetric so paths are comparable
+    config.congestion_threshold = 2;
+    storage::SharedFilesystem fs(sim, config);
+    for (int i = 0; i < count; ++i) fs.stage("f" + std::to_string(i), kSize);
+    sim::SimTime last = 0;
+    for (int i = 0; i < count; ++i) {
+      fs.read("f" + std::to_string(i), [&, i](bool ok) {
+        EXPECT_TRUE(ok);
+        last = std::max(last, sim.now());
+      });
+    }
+    sim.run();
+    return sim::to_seconds(last);
+  };
+  const auto run_writes = [](int count) {
+    sim::Simulation sim;
+    storage::SharedFsConfig config;
+    config.op_latency = 0;
+    config.read_bandwidth_bps = 1e6;
+    config.write_bandwidth_bps = 1e6;
+    config.congestion_threshold = 2;
+    storage::SharedFilesystem fs(sim, config);
+    sim::SimTime last = 0;
+    for (int i = 0; i < count; ++i) {
+      fs.write("f" + std::to_string(i), kSize, [&] { last = std::max(last, sim.now()); });
+    }
+    sim.run();
+    return sim::to_seconds(last);
+  };
+
+  // At the threshold: both concurrent ops see inflight <= 2, full speed.
+  EXPECT_NEAR(run_reads(2), 1.0, 1e-6);
+  EXPECT_NEAR(run_writes(2), 1.0, 1e-6);
+  // One past the threshold: the third op shares (2/3 of the pipe).
+  EXPECT_NEAR(run_reads(3), 1.5, 1e-6);
+  EXPECT_NEAR(run_writes(3), 1.5, 1e-6);
+  // The paths agree exactly — no pre/post-increment divergence.
+  EXPECT_DOUBLE_EQ(run_reads(3), run_writes(3));
+}
+
+// ---- satellite: clear()/remove() hygiene ------------------------------------
+
+TEST(StorageConformance, ClearResetsTrafficCounters) {
+  // Regression: clear() used to drop the files but keep bytes_read /
+  // bytes_written / failed_reads from the previous experiment, skewing
+  // cross-experiment accounting.
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    backend.store->stage("a", 1000);
+    backend.store->read("a", [](bool) {});
+    backend.store->write("b", 2000, [] {});
+    backend.store->read("missing", [](bool) {});
+    sim.run();
+    EXPECT_GT(backend.store->bytes_read(), 0u);
+    EXPECT_GT(backend.store->bytes_written(), 0u);
+    EXPECT_EQ(backend.store->failed_reads(), 1u);
+
+    backend.store->clear();
+    EXPECT_EQ(backend.store->bytes_read(), 0u);
+    EXPECT_EQ(backend.store->bytes_written(), 0u);
+    EXPECT_EQ(backend.store->failed_reads(), 0u);
+    EXPECT_EQ(backend.inflight(), 0u);
+    EXPECT_FALSE(backend.store->exists("a"));
+    EXPECT_FALSE(backend.store->exists("b"));
+  });
+}
+
+TEST(StorageConformance, InFlightWriteDoesNotResurrectAfterClear) {
+  // Regression: a write completion scheduled before clear() used to
+  // re-insert its file into the fresh store.
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    bool done = false;
+    backend.store->write("ghost", 1'000'000, [&] { done = true; });
+    backend.store->clear();  // mid-flight
+    sim.run();
+    EXPECT_TRUE(done);  // the writer's callback still fires
+    EXPECT_FALSE(backend.store->exists("ghost"));
+    EXPECT_EQ(backend.store->bytes_written(), 0u);
+    EXPECT_EQ(backend.inflight(), 0u);
+  });
+}
+
+TEST(StorageConformance, InFlightReadAcrossClearDoesNotUnderflowInflight) {
+  // Regression: the read completion used to decrement inflight_
+  // unconditionally; after clear() reset it to zero, the stale completion
+  // underflowed the counter and poisoned the congestion model (a size_t
+  // wrap means every later transfer computes as massively congested).
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    backend.store->stage("a", 1'000'000);
+    bool done = false;
+    backend.store->read("a", [&](bool) { done = true; });
+    backend.store->clear();  // mid-flight
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(backend.inflight(), 0u);  // not SIZE_MAX
+    EXPECT_EQ(backend.store->bytes_read(), 0u);
+  });
+}
+
+TEST(StorageConformance, RemoveBarsInFlightWriteFromLanding) {
+  // remove() guarantees the name stays absent until a *later* stage/write:
+  // an in-flight write that raced the removal must not land, but a write
+  // issued after the removal must.
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    backend.store->write("data", 1000, [] {});
+    (void)backend.store->remove("data");  // before the transfer completes
+    sim.run();
+    EXPECT_FALSE(backend.store->exists("data"));
+
+    backend.store->write("data", 1000, [] {});  // fresh write, after remove
+    sim.run();
+    EXPECT_TRUE(backend.store->exists("data"));
+  });
+}
+
+TEST(StorageConformance, RemoveReportsPresenceAndStatSizeAgrees) {
+  for_each_backend([](sim::Simulation& sim, Backend& backend) {
+    backend.store->stage("x", 4321);
+    ASSERT_TRUE(backend.store->stat_size("x").has_value());
+    EXPECT_EQ(*backend.store->stat_size("x"), 4321u);
+    EXPECT_FALSE(backend.store->stat_size("y").has_value());
+    EXPECT_TRUE(backend.store->remove("x"));
+    EXPECT_FALSE(backend.store->remove("x"));
+    EXPECT_FALSE(backend.store->stat_size("x").has_value());
+    (void)sim;
+  });
+}
+
+// ---- satellite: object-store aggregate ceiling ------------------------------
+
+TEST(ObjectStoreAggregate, ZeroMeansUnlimitedUnder100Writers) {
+  // aggregate_bps = 0: a hundred concurrent writers all run at the
+  // per-object rate — the frontend fleet absorbs the fan-in, no collapse.
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 15 * sim::kMillisecond;
+  config.per_object_write_bps = 1e6;
+  config.aggregate_bps = 0.0;
+  storage::ObjectStore os(sim, config);
+  constexpr int kWriters = 100;
+  constexpr std::uint64_t kSize = 1'000'000;  // 1 s at per-object rate
+  int completed = 0;
+  for (int i = 0; i < kWriters; ++i) {
+    os.write("obj" + std::to_string(i), kSize, [&] {
+      ++completed;
+      EXPECT_NEAR(sim::to_seconds(sim.now()), 1.015, 1e-6);  // all at full rate
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kWriters);
+  EXPECT_EQ(os.bytes_written(), kWriters * kSize);
+}
+
+TEST(ObjectStoreAggregate, FiniteCeilingThrottles100Writers) {
+  // A finite ceiling divides across the in-flight set: the k-th concurrent
+  // writer sees min(per_object, aggregate / k). With aggregate = 10x the
+  // per-object rate, the first ten writers are per-object-bound and the
+  // hundredth runs at a tenth of the per-object rate.
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 0;
+  config.per_object_write_bps = 1e6;
+  config.aggregate_bps = 1e7;  // 10x per-object
+  storage::ObjectStore os(sim, config);
+  constexpr int kWriters = 100;
+  constexpr std::uint64_t kSize = 1'000'000;
+  std::vector<double> done_at(kWriters, 0.0);
+  for (int i = 0; i < kWriters; ++i) {
+    os.write("obj" + std::to_string(i), kSize, [&, i] {
+      done_at[i] = sim::to_seconds(sim.now());
+    });
+  }
+  sim.run();
+  EXPECT_NEAR(done_at[0], 1.0, 1e-6);    // 1st: aggregate/1 > per-object
+  EXPECT_NEAR(done_at[9], 1.0, 1e-6);    // 10th: aggregate/10 == per-object
+  EXPECT_NEAR(done_at[19], 2.0, 1e-6);   // 20th: half the per-object rate
+  EXPECT_NEAR(done_at[99], 10.0, 1e-6);  // 100th: a tenth
+}
+
+TEST(ObjectStoreAggregate, PerObjectRateBindsWhenCeilingIsGenerous) {
+  // The two limits compose as a min(): a huge aggregate never speeds a
+  // single object past its per-object rate.
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 0;
+  config.per_object_write_bps = 1e6;
+  config.aggregate_bps = 1e12;
+  storage::ObjectStore os(sim, config);
+  bool done = false;
+  os.write("solo", 2'000'000, [&] {
+    done = true;
+    EXPECT_NEAR(sim::to_seconds(sim.now()), 2.0, 1e-6);
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ObjectStoreAggregate, ListAfterPutIsStronglyConsistent) {
+  // Modern S3 semantics: invisible while the PUT is in flight, and the
+  // moment the PUT completes every reader sees the object — an immediate
+  // GET succeeds with the full size.
+  sim::Simulation sim;
+  storage::ObjectStoreConfig config;
+  config.request_latency = 10 * sim::kMillisecond;
+  config.per_object_write_bps = 1e6;
+  storage::ObjectStore os(sim, config);
+  bool read_ok = false;
+  os.write("fresh", 500'000, [&] {
+    EXPECT_TRUE(os.exists("fresh"));  // visible at completion, not before
+    ASSERT_TRUE(os.stat_size("fresh").has_value());
+    EXPECT_EQ(*os.stat_size("fresh"), 500'000u);
+    os.read("fresh", [&](bool ok) { read_ok = ok; });
+  });
+  EXPECT_FALSE(os.exists("fresh"));  // not visible while in flight
+  sim.run();
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(os.failed_reads(), 0u);
+}
+
+}  // namespace
+}  // namespace wfs
