@@ -1,0 +1,375 @@
+// Plan-representation micro-bench: the PR-6 before/after ablation.
+//
+// Builds the SAME translated workflow into both plan representations —
+//  * legacy: the seed's row-of-structs `vector<vector<PlannedTask>>`
+//    (per-task strings, per-task TaskParams, per-task heap edge vectors),
+//  * columnar: the ExecutionPlan structure-of-arrays (interned arena,
+//    constant-compressed columns, CSR adjacency) —
+// and reports, at 10^3 and 10^5 tasks:
+//  * bytes/task of live heap each representation retains (global
+//    operator new/delete are intercepted and malloc_usable_size-accounted,
+//    so the figure includes allocator rounding, i.e. real memory);
+//  * simulated tasks/second of a dependency-driven ready-set sweep over
+//    the whole DAG (the dispatcher's data-structure walk with the network
+//    and simulator stripped away: pop a ready task, read its cpu_work,
+//    decrement its children's pending counters, push newly-ready ids).
+//
+// Exit status: 0 when, at the largest size, the columnar plan is at least
+// --min-ratio x smaller per task AND sweeps faster than the legacy
+// representation; 1 otherwise. --json-out lands the figures for
+// baselines/BENCH_plan.json.
+#include <malloc.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dag.h"
+#include "json/value.h"
+#include "json/write.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/translators/knative.h"
+
+namespace {
+
+// Live-heap accounting: every global new/delete passes through here.
+// malloc_usable_size counts the bytes the allocator actually dedicates to
+// the block (request + rounding), so deltas measure real retained memory.
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_live_blocks{0};
+
+void track_alloc(void* p) noexcept {
+  g_live_bytes.fetch_add(static_cast<std::int64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+  g_live_blocks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void track_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(static_cast<std::int64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+  g_live_blocks.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size)) {
+    track_alloc(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = std::malloc(size)) {
+    track_alloc(p);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept {
+  track_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  track_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  track_free(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  track_free(p);
+  std::free(p);
+}
+
+namespace {
+
+using wfs::core::ExecutionPlan;
+using wfs::core::PlannedTask;
+using wfs::core::TaskId;
+
+std::int64_t live_bytes() { return g_live_bytes.load(std::memory_order_relaxed); }
+
+wfs::wfcommons::Workflow translated(const std::string& recipe, std::size_t tasks) {
+  wfs::wfcommons::GenerateOptions options;
+  options.num_tasks = tasks;
+  options.seed = 1;
+  wfs::wfcommons::Workflow wf = wfs::wfcommons::make_recipe(recipe)->generate(options);
+  wfs::wfcommons::KnativeTranslatorConfig config;
+  config.service_url = "http://svc:80/wfbench";
+  wfs::wfcommons::KnativeTranslator(config).apply(wf);
+  return wf;
+}
+
+/// The seed's plan representation, built the way the seed's build_plan
+/// built it (exact reserves — measured at its best).
+struct LegacyPlan {
+  std::vector<std::vector<PlannedTask>> phases;
+};
+
+void build_legacy(LegacyPlan& out, const wfs::wfcommons::Workflow& wf,
+                  const std::string& workdir) {
+  std::unordered_map<std::string, std::size_t> flat_ids;
+  std::size_t next_id = 0;
+  const auto level_decomposition = wfs::wfcommons::levels(wf);
+  out.phases.reserve(level_decomposition.size());
+  for (std::size_t level = 0; level < level_decomposition.size(); ++level) {
+    std::vector<PlannedTask> phase;
+    phase.reserve(level_decomposition[level].size());
+    for (const wfs::wfcommons::Task* task : level_decomposition[level]) {
+      phase.push_back(PlannedTask{task->name, task->api_url,
+                                  wfs::core::to_task_params(*task, workdir), level,
+                                  {}, {}});
+      flat_ids.emplace(task->name, next_id++);
+    }
+    out.phases.push_back(std::move(phase));
+  }
+  std::size_t level_start = 0;
+  for (std::size_t level = 0; level < level_decomposition.size(); ++level) {
+    for (std::size_t i = 0; i < level_decomposition[level].size(); ++i) {
+      const wfs::wfcommons::Task* task = level_decomposition[level][i];
+      PlannedTask& planned = out.phases[level][i];
+      planned.parents.reserve(task->parents.size());
+      for (const std::string& parent : task->parents) {
+        planned.parents.push_back(flat_ids.at(parent));
+      }
+      planned.children.reserve(task->children.size());
+      for (const std::string& child : task->children) {
+        planned.children.push_back(flat_ids.at(child));
+      }
+    }
+    level_start += level_decomposition[level].size();
+  }
+}
+
+struct SweepResult {
+  double tasks_per_sec = 0.0;
+  std::size_t processed = 0;
+};
+
+/// Dependency-driven ready-set sweep over the legacy representation: the
+/// seed WFM's walk — a flat pointer table into the phase vectors, per-task
+/// heap `children` vectors, `pending` counters sized from `parents`.
+SweepResult sweep_legacy(const LegacyPlan& plan, std::size_t rounds) {
+  std::vector<const PlannedTask*> tasks;
+  for (const auto& phase : plan.phases) {
+    for (const PlannedTask& task : phase) tasks.push_back(&task);
+  }
+  const std::size_t n = tasks.size();
+  std::vector<std::size_t> pristine(n);
+  for (std::size_t i = 0; i < n; ++i) pristine[i] = tasks[i]->parents.size();
+
+  std::vector<std::size_t> pending(n);
+  std::vector<std::size_t> queue;
+  queue.reserve(n);
+  double sink = 0.0;
+  std::size_t processed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    pending = pristine;
+    queue.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pending[i] == 0) queue.push_back(i);
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const std::size_t id = queue[head++];
+      sink += tasks[id]->params.cpu_work;
+      for (const std::size_t child : tasks[id]->children) {
+        if (--pending[child] == 0) queue.push_back(child);
+      }
+    }
+    processed += queue.size();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  [[maybe_unused]] static volatile double g_sink;
+  g_sink = sink;
+  SweepResult result;
+  result.processed = processed;
+  result.tasks_per_sec = static_cast<double>(processed) /
+                         std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+/// The same sweep over the columnar plan: indegree column copied into the
+/// pending counters, children as CSR spans, cpu_work as a flat column read.
+SweepResult sweep_columnar(const ExecutionPlan& plan, std::size_t rounds) {
+  const std::size_t n = plan.task_count();
+  const auto indegrees = plan.indegrees();
+  std::vector<std::uint32_t> pending(n);
+  std::vector<TaskId> queue;
+  queue.reserve(n);
+  double sink = 0.0;
+  std::size_t processed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::copy(indegrees.begin(), indegrees.end(), pending.begin());
+    queue.clear();
+    for (TaskId id = 0; id < n; ++id) {
+      if (pending[id] == 0) queue.push_back(id);
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const TaskId id = queue[head++];
+      sink += plan.cpu_work(id);
+      for (const TaskId child : plan.children(id)) {
+        if (--pending[child] == 0) queue.push_back(child);
+      }
+    }
+    processed += queue.size();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  [[maybe_unused]] static volatile double g_sink;
+  g_sink = sink;
+  SweepResult result;
+  result.processed = processed;
+  result.tasks_per_sec = static_cast<double>(processed) /
+                         std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+struct SizeReport {
+  std::size_t tasks = 0;
+  double legacy_bytes_per_task = 0.0;
+  double columnar_bytes_per_task = 0.0;
+  double compression_ratio = 0.0;
+  double legacy_tasks_per_sec = 0.0;
+  double columnar_tasks_per_sec = 0.0;
+  double sweep_speedup = 0.0;
+};
+
+SizeReport run_size(const std::string& recipe, std::size_t tasks) {
+  const wfs::wfcommons::Workflow wf = translated(recipe, tasks);
+  const std::string workdir = "/shared/wfbench";
+
+  // Build each representation inside a live-byte window; every build
+  // temporary (level decomposition, id maps, builder streams) is freed
+  // before the window closes, so the delta is exactly what the
+  // representation retains.
+  auto legacy = std::make_unique<LegacyPlan>();
+  const std::int64_t legacy_before = live_bytes();
+  build_legacy(*legacy, wf, workdir);
+  const std::int64_t legacy_bytes = live_bytes() - legacy_before;
+
+  auto plan = std::make_unique<ExecutionPlan>();
+  const std::int64_t columnar_before = live_bytes();
+  *plan = wfs::core::build_plan(wf, workdir);
+  const std::int64_t columnar_bytes = live_bytes() - columnar_before;
+
+  const std::size_t n = plan->task_count();
+  // Enough rounds that the sweep timing window is well above clock noise.
+  const std::size_t rounds = std::max<std::size_t>(3, 3'000'000 / std::max<std::size_t>(n, 1));
+  const SweepResult legacy_sweep = sweep_legacy(*legacy, rounds);
+  const SweepResult columnar_sweep = sweep_columnar(*plan, rounds);
+  if (legacy_sweep.processed != rounds * n || columnar_sweep.processed != rounds * n) {
+    std::cerr << "FAILED: sweep did not visit every task (cycle or broken edges)\n";
+    std::exit(1);
+  }
+
+  SizeReport report;
+  report.tasks = n;
+  report.legacy_bytes_per_task =
+      static_cast<double>(legacy_bytes) / static_cast<double>(n);
+  report.columnar_bytes_per_task =
+      static_cast<double>(columnar_bytes) / static_cast<double>(n);
+  report.compression_ratio = report.legacy_bytes_per_task / report.columnar_bytes_per_task;
+  report.legacy_tasks_per_sec = legacy_sweep.tasks_per_sec;
+  report.columnar_tasks_per_sec = columnar_sweep.tasks_per_sec;
+  report.sweep_speedup = report.columnar_tasks_per_sec / report.legacy_tasks_per_sec;
+  return report;
+}
+
+void print_report(const SizeReport& r) {
+  std::cout << wfs::support::format("{} tasks\n", r.tasks);
+  std::cout << wfs::support::format("  bytes/task     legacy {:>10.1f}   columnar {:>8.1f}   ratio {:>5.2f}x\n",
+                                    r.legacy_bytes_per_task, r.columnar_bytes_per_task,
+                                    r.compression_ratio);
+  std::cout << wfs::support::format("  sweep tasks/s  legacy {:>10.3g}   columnar {:>8.3g}   speedup {:>4.2f}x\n\n",
+                                    r.legacy_tasks_per_sec, r.columnar_tasks_per_sec,
+                                    r.sweep_speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+  support::CliParser cli("micro_plan",
+                         "plan representation ablation: row-of-structs vs columnar");
+  cli.add_flag("recipe", "blast", "workflow family to instantiate");
+  cli.add_flag("small", "1000", "small instance size (tasks)");
+  cli.add_flag("large", "100000", "large instance size (tasks)");
+  cli.add_flag("min-ratio", "5", "required bytes/task compression at the large size");
+  cli.add_flag("json-out", "", "write the figures as JSON to this file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string recipe = cli.get("recipe");
+  const auto small = static_cast<std::size_t>(cli.get_int("small"));
+  const auto large = static_cast<std::size_t>(cli.get_int("large"));
+  const double min_ratio = cli.get_double("min-ratio");
+
+  std::cout << "micro_plan — row-of-structs vs columnar ExecutionPlan (" << recipe
+            << ")\n";
+  std::cout << "================================================================\n\n";
+
+  const SizeReport small_report = run_size(recipe, small);
+  print_report(small_report);
+  const SizeReport large_report = run_size(recipe, large);
+  print_report(large_report);
+
+  if (!cli.get("json-out").empty()) {
+    json::Object doc;
+    doc.set("bench", std::string("micro_plan"));
+    doc.set("recipe", recipe);
+    json::Array sizes;
+    for (const SizeReport* r : {&small_report, &large_report}) {
+      json::Object o;
+      o.set("tasks", r->tasks);
+      o.set("legacy_bytes_per_task", r->legacy_bytes_per_task);
+      o.set("columnar_bytes_per_task", r->columnar_bytes_per_task);
+      o.set("compression_ratio", r->compression_ratio);
+      o.set("legacy_tasks_per_sec", r->legacy_tasks_per_sec);
+      o.set("columnar_tasks_per_sec", r->columnar_tasks_per_sec);
+      o.set("sweep_speedup", r->sweep_speedup);
+      sizes.push_back(json::Value(std::move(o)));
+    }
+    doc.set("sizes", std::move(sizes));
+    std::ofstream out(cli.get("json-out"));
+    out << json::write_pretty(json::Value(std::move(doc))) << "\n";
+    std::cout << "wrote " << cli.get("json-out") << "\n";
+  }
+
+  bool ok = true;
+  if (large_report.compression_ratio < min_ratio) {
+    std::cout << support::format(
+        "FAILED: bytes/task compression {:.2f}x below required {:g}x at {} tasks\n",
+        large_report.compression_ratio, min_ratio, large_report.tasks);
+    ok = false;
+  }
+  if (large_report.sweep_speedup <= 1.0) {
+    std::cout << support::format(
+        "FAILED: columnar sweep not faster ({:.2f}x) at {} tasks\n",
+        large_report.sweep_speedup, large_report.tasks);
+    ok = false;
+  }
+  if (ok) {
+    std::cout << support::format(
+        "columnar plan: {:.2f}x smaller, {:.2f}x faster sweep at {} tasks\n",
+        large_report.compression_ratio, large_report.sweep_speedup, large_report.tasks);
+  }
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 //   ./build/examples/paradigm_explorer --recipe bwa --paradigm LC1wPM --structure
 //   ./build/examples/paradigm_explorer --recipe blast --translate nextflow
 //   ./build/examples/paradigm_explorer --recipe genome --backend objectstore
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -52,6 +53,9 @@ int main(int argc, char** argv) {
   support::CliParser cli("paradigm_explorer", "run any (family, size, paradigm) cell");
   cli.add_flag("recipe", "blast", "workflow family");
   cli.add_flag("tasks", "100", "workflow size");
+  cli.add_flag("scale-factor", "1",
+               "multiplier on --tasks for mega-scale instances (e.g. 1000 turns "
+               "a 100-task family into a 10^5-task ensemble)");
   cli.add_flag("seed", "1", "generation seed");
   cli.add_flag("paradigm", "Kn10wNoPM", "Table II paradigm name");
   cli.add_flag("backend", "shared", "data backend: shared | objectstore");
@@ -68,12 +72,14 @@ int main(int argc, char** argv) {
 
   const std::string recipe = cli.get("recipe");
   const auto tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+  const double scale_factor = cli.get_double("scale-factor");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   // Translation-only mode: the WfCommons-extension story on its own.
   if (!cli.get("translate").empty()) {
     wfcommons::GenerateOptions options;
     options.num_tasks = tasks;
+    options.scale_factor = scale_factor;
     options.seed = seed;
     options.cpu_work = cli.get_double("cpu-work");
     const wfcommons::Workflow wf = wfcommons::make_recipe(recipe)->generate(options);
@@ -84,7 +90,8 @@ int main(int argc, char** argv) {
 
   core::ExperimentConfig config;
   config.recipe = recipe;
-  config.num_tasks = tasks;
+  config.num_tasks =
+      static_cast<std::size_t>(static_cast<double>(tasks) * std::max(scale_factor, 1.0));
   config.seed = seed;
   config.cpu_work = cli.get_double("cpu-work");
   config.paradigm = core::parse_paradigm(cli.get("paradigm"));

@@ -1,51 +1,215 @@
 #include "core/dag.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
-#include <unordered_map>
-#include <utility>
 
 #include "wfcommons/analysis.h"
 
 namespace wfs::core {
 
-std::size_t ExecutionPlan::task_count() const noexcept {
-  std::size_t total = 0;
-  for (const auto& phase : phases) total += phase.size();
+namespace {
+
+template <typename T>
+std::size_t capacity_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+wfbench::TaskParams ExecutionPlan::task_params(TaskId id) const {
+  wfbench::TaskParams params;
+  params.name = std::string(name(id));
+  params.percent_cpu = percent_cpu_[id];
+  params.cpu_work = cpu_work_[id];
+  params.memory_bytes = memory_bytes_[id];
+  const std::size_t outputs = output_count(id);
+  params.outputs.reserve(outputs);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    params.outputs.emplace_back(std::string(output_name(id, i)), output_size(id, i));
+  }
+  const std::size_t inputs = input_count(id);
+  params.inputs.reserve(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    params.inputs.emplace_back(input_name(id, i));
+  }
+  params.workdir = std::string(workdir(id));
+  return params;
+}
+
+std::size_t ExecutionPlan::memory_footprint_bytes() const noexcept {
+  std::size_t total = sizeof(*this);
+  total += arena_.capacity();
+  total += workflow_name_.capacity();
+  total += capacity_bytes(names_) + api_urls_.capacity_bytes() + workdirs_.capacity_bytes();
+  total += capacity_bytes(indegrees_);
+  total += capacity_bytes(percent_cpu_) + capacity_bytes(cpu_work_);
+  total += memory_bytes_.capacity_bytes();
+  total += capacity_bytes(parent_offsets_) + capacity_bytes(parent_edges_);
+  total += capacity_bytes(child_offsets_) + capacity_bytes(child_edges_);
+  total += capacity_bytes(input_offsets_) + capacity_bytes(input_files_);
+  total += capacity_bytes(output_offsets_) + capacity_bytes(output_files_);
+  total += capacity_bytes(output_sizes_) + capacity_bytes(level_offsets_);
+  total += capacity_bytes(external_inputs_);
+  for (const wfcommons::TaskFile& file : external_inputs_) total += file.name.capacity();
   return total;
 }
 
-std::size_t ExecutionPlan::widest_phase() const noexcept {
-  std::size_t widest = 0;
-  for (const auto& phase : phases) widest = std::max(widest, phase.size());
-  return widest;
+PlanBuilder::PlanBuilder(std::string workflow_name) {
+  plan_.workflow_name_ = std::move(workflow_name);
 }
 
-std::size_t ExecutionPlan::flat_id(std::size_t level, std::size_t index) const noexcept {
-  std::size_t id = index;
-  for (std::size_t l = 0; l < level && l < phases.size(); ++l) id += phases[l].size();
+void PlanBuilder::reserve(std::size_t tasks, std::size_t edges) {
+  plan_.names_.reserve(tasks);
+  plan_.api_urls_.reserve(tasks);
+  plan_.workdirs_.reserve(tasks);
+  levels_.reserve(tasks);
+  plan_.percent_cpu_.reserve(tasks);
+  plan_.cpu_work_.reserve(tasks);
+  plan_.memory_bytes_.reserve(tasks);
+  plan_.input_offsets_.reserve(tasks + 1);
+  plan_.output_offsets_.reserve(tasks + 1);
+  parent_stream_.reserve(edges);
+  child_stream_.reserve(edges);
+}
+
+ExecutionPlan::StrRef PlanBuilder::intern(std::string_view text) {
+  // Transparent lookup would avoid this copy; the table is build-time only
+  // and dies with the builder, so keep it simple.
+  auto it = intern_.find(std::string(text));
+  if (it != intern_.end()) return it->second;
+  if (plan_.arena_.size() + text.size() + 1 > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("PlanBuilder: string arena exceeds 4 GiB");
+  }
+  const auto ref = static_cast<ExecutionPlan::StrRef>(plan_.arena_.size());
+  plan_.arena_.append(text);
+  plan_.arena_.push_back('\0');  // .strtab layout: refs are offsets only
+  intern_.emplace(std::string(text), ref);
+  return ref;
+}
+
+TaskId PlanBuilder::add_task(std::uint32_t level, std::string_view name,
+                             std::string_view api_url, double percent_cpu,
+                             double cpu_work, std::uint64_t memory_bytes,
+                             std::string_view workdir) {
+  if (static_cast<std::int64_t>(level) < last_level_) {
+    throw std::invalid_argument("PlanBuilder::add_task: levels must be non-decreasing");
+  }
+  last_level_ = level;
+  const TaskId id = static_cast<TaskId>(plan_.names_.size());
+  plan_.names_.push_back(intern(name));
+  plan_.api_urls_.push_back(intern(api_url));
+  plan_.workdirs_.push_back(intern(workdir));
+  levels_.push_back(level);
+  plan_.percent_cpu_.push_back(percent_cpu);
+  plan_.cpu_work_.push_back(cpu_work);
+  plan_.memory_bytes_.push_back(memory_bytes);
+  // CSR starts for the new task's file lists (the +1 sentinel lands in build()).
+  plan_.input_offsets_.push_back(static_cast<std::uint32_t>(plan_.input_files_.size()));
+  plan_.output_offsets_.push_back(static_cast<std::uint32_t>(plan_.output_files_.size()));
   return id;
 }
 
-const PlannedTask& ExecutionPlan::task(std::size_t flat_id) const {
-  for (const auto& phase : phases) {
-    if (flat_id < phase.size()) return phase[flat_id];
-    flat_id -= phase.size();
+void PlanBuilder::add_input(std::string_view file) {
+  if (plan_.names_.empty()) {
+    throw std::logic_error("PlanBuilder::add_input: no task added yet");
   }
-  throw std::out_of_range("ExecutionPlan::task: flat id out of range");
+  plan_.input_files_.push_back(intern(file));
 }
 
-PlannedTask& ExecutionPlan::task(std::size_t flat_id) {
-  return const_cast<PlannedTask&>(std::as_const(*this).task(flat_id));
+void PlanBuilder::add_output(std::string_view file, std::uint64_t size_bytes) {
+  if (plan_.names_.empty()) {
+    throw std::logic_error("PlanBuilder::add_output: no task added yet");
+  }
+  plan_.output_files_.push_back(intern(file));
+  plan_.output_sizes_.push_back(size_bytes);
 }
 
-std::vector<std::size_t> ExecutionPlan::indegrees() const {
-  std::vector<std::size_t> degrees;
-  degrees.reserve(task_count());
-  for (const auto& phase : phases) {
-    for (const PlannedTask& task : phase) degrees.push_back(task.parents.size());
+void PlanBuilder::add_parent(TaskId child, TaskId parent) {
+  parent_stream_.emplace_back(child, parent);
+}
+
+void PlanBuilder::add_child(TaskId parent, TaskId child) {
+  child_stream_.emplace_back(parent, child);
+}
+
+void PlanBuilder::ensure_levels(std::size_t count) {
+  if (count > ensured_levels_) ensured_levels_ = count;
+}
+
+void PlanBuilder::set_external_inputs(std::vector<wfcommons::TaskFile> files) {
+  plan_.external_inputs_ = std::move(files);
+}
+
+namespace {
+
+/// Stable counting-sort of an edge stream into CSR: offsets[i] = start of
+/// bucket i, edges laid out in stream order within each bucket — so a task's
+/// neighbour list keeps exactly the order its edges were declared in.
+void build_csr(const std::vector<std::pair<TaskId, TaskId>>& stream, std::size_t tasks,
+               std::vector<std::uint32_t>& offsets, std::vector<TaskId>& edges,
+               const char* what) {
+  offsets.assign(tasks + 1, 0);
+  for (const auto& [bucket, value] : stream) {
+    if (bucket >= tasks || value >= tasks) {
+      throw std::invalid_argument(std::string("PlanBuilder::build: ") + what +
+                                  " edge references an unknown task id");
+    }
+    ++offsets[bucket + 1];
   }
-  return degrees;
+  for (std::size_t i = 1; i <= tasks; ++i) offsets[i] += offsets[i - 1];
+  edges.resize(stream.size());
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [bucket, value] : stream) {
+    edges[cursor[bucket]++] = value;
+  }
+}
+
+}  // namespace
+
+ExecutionPlan PlanBuilder::build() && {
+  const std::size_t tasks = plan_.names_.size();
+
+  build_csr(parent_stream_, tasks, plan_.parent_offsets_, plan_.parent_edges_, "parent");
+  build_csr(child_stream_, tasks, plan_.child_offsets_, plan_.child_edges_, "child");
+
+  plan_.indegrees_.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    plan_.indegrees_[i] = plan_.parent_offsets_[i + 1] - plan_.parent_offsets_[i];
+  }
+
+  // File-list CSR sentinels.
+  plan_.input_offsets_.push_back(static_cast<std::uint32_t>(plan_.input_files_.size()));
+  plan_.output_offsets_.push_back(static_cast<std::uint32_t>(plan_.output_files_.size()));
+
+  // Level index: levels are non-decreasing (enforced in add_task), so each
+  // level is the contiguous id range [offsets[l], offsets[l+1]).
+  const std::size_t levels =
+      std::max(ensured_levels_, static_cast<std::size_t>(last_level_ + 1));
+  plan_.level_offsets_.assign(levels + 1, 0);
+  for (std::uint32_t level : levels_) ++plan_.level_offsets_[level + 1];
+  plan_.widest_ = 0;
+  for (std::size_t l = 1; l <= levels; ++l) {
+    plan_.widest_ = std::max(plan_.widest_, plan_.level_offsets_[l]);
+    plan_.level_offsets_[l] += plan_.level_offsets_[l - 1];
+  }
+
+  // The plan is immutable from here on: drop constant columns to one value
+  // and trim every column's capacity to its size.
+  plan_.api_urls_.collapse_if_uniform();
+  plan_.workdirs_.collapse_if_uniform();
+  plan_.memory_bytes_.collapse_if_uniform();
+  plan_.arena_.shrink_to_fit();
+  plan_.names_.shrink_to_fit();
+  plan_.percent_cpu_.shrink_to_fit();
+  plan_.cpu_work_.shrink_to_fit();
+  plan_.input_offsets_.shrink_to_fit();
+  plan_.output_offsets_.shrink_to_fit();
+  plan_.input_files_.shrink_to_fit();
+  plan_.output_files_.shrink_to_fit();
+  plan_.output_sizes_.shrink_to_fit();
+
+  return std::move(plan_);
 }
 
 wfbench::TaskParams to_task_params(const wfcommons::Task& task, const std::string& workdir) {
@@ -69,45 +233,85 @@ ExecutionPlan build_plan(const wfcommons::Workflow& workflow, const std::string&
   if (!problems.empty()) {
     throw std::invalid_argument("build_plan: invalid workflow: " + problems.front());
   }
-  ExecutionPlan plan;
-  plan.workflow_name = workflow.name();
-  plan.external_inputs = workflow.external_inputs();
 
-  std::unordered_map<std::string, std::size_t> flat_ids;
-  std::size_t next_id = 0;
+  PlanBuilder builder(workflow.name());
+  builder.set_external_inputs(workflow.external_inputs());
+  builder.reserve(workflow.size(), workflow.edge_count());
+
+  std::unordered_map<std::string_view, TaskId> flat_ids;
+  flat_ids.reserve(workflow.size());
   const auto level_decomposition = wfcommons::levels(workflow);
   for (std::size_t level = 0; level < level_decomposition.size(); ++level) {
-    std::vector<PlannedTask> phase;
-    phase.reserve(level_decomposition[level].size());
     for (const wfcommons::Task* task : level_decomposition[level]) {
       if (task->api_url.empty()) {
         throw std::invalid_argument("build_plan: task " + task->name +
                                     " has no api_url (run a translator first)");
       }
-      PlannedTask planned{task->name, task->api_url, to_task_params(*task, workdir),
-                          level, {}, {}};
-      flat_ids.emplace(task->name, next_id++);
-      phase.push_back(std::move(planned));
+      const TaskId id =
+          builder.add_task(static_cast<std::uint32_t>(level), task->name, task->api_url,
+                           task->percent_cpu, task->cpu_work, task->memory_bytes, workdir);
+      // Same file ordering to_task_params produced: outputs, then inputs,
+      // each in declaration order.
+      for (const wfcommons::TaskFile& file : task->files) {
+        if (file.link == wfcommons::TaskFile::Link::kOutput) {
+          builder.add_output(file.name, file.size_bytes);
+        }
+      }
+      for (const wfcommons::TaskFile& file : task->files) {
+        if (file.link == wfcommons::TaskFile::Link::kInput) {
+          builder.add_input(file.name);
+        }
+      }
+      flat_ids.emplace(task->name, id);
     }
-    plan.phases.push_back(std::move(phase));
   }
 
-  // Second pass: resolve the dependency edges to flat ids (validation above
-  // guarantees every parent/child name exists and the lists are symmetric).
+  // Second pass: resolve dependency edges to flat ids (validation above
+  // guarantees every referenced name exists and the lists are symmetric).
+  // Both directions are recorded from the task's own lists so the per-task
+  // orderings match the IR exactly.
   for (const auto& level : level_decomposition) {
     for (const wfcommons::Task* task : level) {
-      PlannedTask& planned = plan.task(flat_ids.at(task->name));
-      planned.parents.reserve(task->parents.size());
+      const TaskId id = flat_ids.at(task->name);
       for (const std::string& parent : task->parents) {
-        planned.parents.push_back(flat_ids.at(parent));
+        builder.add_parent(id, flat_ids.at(parent));
       }
-      planned.children.reserve(task->children.size());
       for (const std::string& child : task->children) {
-        planned.children.push_back(flat_ids.at(child));
+        builder.add_child(id, flat_ids.at(child));
       }
     }
   }
-  return plan;
+  return std::move(builder).build();
+}
+
+ExecutionPlan plan_from_phases(std::string workflow_name,
+                               const std::vector<std::vector<PlannedTask>>& phases,
+                               std::vector<wfcommons::TaskFile> external_inputs) {
+  PlanBuilder builder(std::move(workflow_name));
+  builder.set_external_inputs(std::move(external_inputs));
+  for (std::size_t level = 0; level < phases.size(); ++level) {
+    for (const PlannedTask& task : phases[level]) {
+      builder.add_task(static_cast<std::uint32_t>(level), task.name, task.api_url,
+                       task.params.percent_cpu, task.params.cpu_work,
+                       task.params.memory_bytes, task.params.workdir);
+      for (const auto& [file, size] : task.params.outputs) builder.add_output(file, size);
+      for (const std::string& file : task.params.inputs) builder.add_input(file);
+    }
+  }
+  TaskId id = 0;
+  for (const auto& phase : phases) {
+    for (const PlannedTask& task : phase) {
+      for (std::size_t parent : task.parents) {
+        builder.add_parent(id, static_cast<TaskId>(parent));
+      }
+      for (std::size_t child : task.children) {
+        builder.add_child(id, static_cast<TaskId>(child));
+      }
+      ++id;
+    }
+  }
+  builder.ensure_levels(phases.size());
+  return std::move(builder).build();
 }
 
 }  // namespace wfs::core

@@ -7,12 +7,33 @@
 //    plus a fixed delay (the paper's prototype behaviour);
 //  * dependency-driven — a task is dispatched the moment its last DAG parent
 //    finished (ready-set scheduling).
-// To serve both, the plan materialises the level decomposition (phases) AND
-// the dependency edges: every planned task knows its level plus its parents
-// and children as flat task ids.
+//
+// The plan is COLUMNAR (structure of arrays): every per-task attribute lives
+// in a flat id-indexed column, adjacency is CSR (one edge array + one offset
+// array per direction), and all strings — task names, api_urls, file names,
+// workdirs — are interned once into a shared character arena and referenced
+// by 8-byte handles. A row-of-structs representation (the pre-PR-6
+// `vector<vector<PlannedTask>>`) costs ~15 heap blocks and several hundred
+// bytes per task; the columnar layout costs a handful of contiguous arrays
+// and O(100) bytes/task, which is what lets a single plan hold 10^5-10^6
+// tasks (the Merlin "ensembles of millions of tasks" regime).
+//
+// Task ids are level-major: level 0's tasks first, then level 1's, in
+// workflow order within a level. A level is therefore a contiguous id range.
+//
+// Construction: `build_plan` (from a translated workflow) or `PlanBuilder`
+// (programmatic, used by tests and benches). The legacy `PlannedTask` struct
+// and `plan_from_phases` survive one more PR as a deprecated shim for
+// hand-built plans.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "wfbench/task_params.h"
@@ -20,37 +41,310 @@
 
 namespace wfs::core {
 
+/// Flat task id — level-major position in the plan. 32 bits carry 4 G tasks,
+/// and halving the id width is most of what makes CSR edges cheap.
+using TaskId = std::uint32_t;
+
+/// DEPRECATED row-of-structs task record, kept one PR so hand-built plans
+/// (tests, benches) and the before/after ablation in bench/micro_plan still
+/// compile. New code uses the columnar accessors / PlanBuilder instead.
 struct PlannedTask {
   std::string name;
   std::string api_url;
   wfbench::TaskParams params;
   /// DAG level of this task (= the paper's phase index).
   std::size_t level = 0;
-  /// Dependency edges as flat task ids (row-major over `phases`). Filled by
-  /// build_plan; empty on hand-built plans, which then behave as if every
-  /// task were a root under dependency-driven scheduling.
+  /// Dependency edges as flat task ids. Empty on hand-built plans, which
+  /// then behave as if every task were a root under dependency-driven
+  /// scheduling.
   std::vector<std::size_t> parents;
   std::vector<std::size_t> children;
 };
 
-struct ExecutionPlan {
-  std::string workflow_name;
-  /// Tasks grouped by DAG level, workflow order within a level.
-  std::vector<std::vector<PlannedTask>> phases;
+class PlanBuilder;
+
+class ExecutionPlan {
+ public:
+  /// One level's contiguous id range, iterable as TaskId values.
+  class LevelSpan {
+   public:
+    class iterator {
+     public:
+      using value_type = TaskId;
+      using difference_type = std::ptrdiff_t;
+      iterator() = default;
+      explicit iterator(TaskId id) : id_(id) {}
+      TaskId operator*() const noexcept { return id_; }
+      iterator& operator++() noexcept {
+        ++id_;
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator old = *this;
+        ++id_;
+        return old;
+      }
+      friend bool operator==(iterator, iterator) = default;
+
+     private:
+      TaskId id_ = 0;
+    };
+
+    LevelSpan() = default;
+    LevelSpan(TaskId first, TaskId last) : first_(first), last_(last) {}
+    [[nodiscard]] TaskId front() const noexcept { return first_; }
+    [[nodiscard]] TaskId begin_id() const noexcept { return first_; }
+    [[nodiscard]] TaskId end_id() const noexcept { return last_; }
+    [[nodiscard]] std::size_t size() const noexcept { return last_ - first_; }
+    [[nodiscard]] bool empty() const noexcept { return first_ == last_; }
+    [[nodiscard]] iterator begin() const noexcept { return iterator(first_); }
+    [[nodiscard]] iterator end() const noexcept { return iterator(last_); }
+
+   private:
+    TaskId first_ = 0;
+    TaskId last_ = 0;
+  };
+
+  ExecutionPlan() = default;
+
+  // ---- shape (all O(1): counts are stored at build time, not scanned) ----
+
+  [[nodiscard]] const std::string& workflow_name() const noexcept { return workflow_name_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+  }
+  /// Width of the widest level. Stored by the builder — O(1), no scan.
+  [[nodiscard]] std::size_t widest_phase() const noexcept { return widest_; }
+  /// Dependency edges (parent lists; the child direction mirrors it on
+  /// build_plan output, but hand-built plans may fill either side alone).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return parent_edges_.size(); }
+
+  // ---- per-task columns ----
+
+  /// Level of a task — O(log level_count) over the level index (ids are
+  /// level-major, so the level is the offset bucket containing the id).
+  [[nodiscard]] std::uint32_t level_of(TaskId id) const noexcept {
+    const auto it = std::upper_bound(level_offsets_.begin(), level_offsets_.end(), id);
+    return static_cast<std::uint32_t>(it - level_offsets_.begin()) - 1;
+  }
+  [[nodiscard]] std::string_view name(TaskId id) const noexcept { return str(names_[id]); }
+  [[nodiscard]] std::string_view api_url(TaskId id) const noexcept {
+    return str(api_urls_[id]);
+  }
+  [[nodiscard]] std::string_view workdir(TaskId id) const noexcept {
+    return str(workdirs_[id]);
+  }
+  [[nodiscard]] double percent_cpu(TaskId id) const noexcept { return percent_cpu_[id]; }
+  [[nodiscard]] double cpu_work(TaskId id) const noexcept { return cpu_work_[id]; }
+  [[nodiscard]] std::uint64_t memory_bytes(TaskId id) const noexcept {
+    return memory_bytes_[id];
+  }
+
+  /// CSR adjacency — O(1) span views, no per-task heap vectors.
+  [[nodiscard]] std::span<const TaskId> parents(TaskId id) const noexcept {
+    return {parent_edges_.data() + parent_offsets_[id],
+            parent_offsets_[id + 1] - parent_offsets_[id]};
+  }
+  [[nodiscard]] std::span<const TaskId> children(TaskId id) const noexcept {
+    return {child_edges_.data() + child_offsets_[id],
+            child_offsets_[id + 1] - child_offsets_[id]};
+  }
+
+  /// Pending-parent counters per task — the ready-set dispatcher's initial
+  /// gate values; roots hold 0. Returns a view of the precomputed column.
+  /// (The pre-PR-6 signature returned a freshly recomputed
+  /// `std::vector<std::size_t>` by value; that copy semantic is deprecated —
+  /// callers who need a mutable countdown copy the span themselves.)
+  [[nodiscard]] std::span<const std::uint32_t> indegrees() const noexcept {
+    return indegrees_;
+  }
+
+  // ---- level index ----
+
+  [[nodiscard]] LevelSpan tasks_in_level(std::size_t level) const noexcept {
+    return {level_offsets_[level], level_offsets_[level + 1]};
+  }
+  [[nodiscard]] std::size_t level_size(std::size_t level) const noexcept {
+    return level_offsets_[level + 1] - level_offsets_[level];
+  }
+  /// First flat id of (level, index-within-level) — O(1) via the level index.
+  [[nodiscard]] TaskId flat_id(std::size_t level, std::size_t index) const noexcept {
+    return level_offsets_[level] + static_cast<TaskId>(index);
+  }
+
+  // ---- per-task files (CSR over the interned arena) ----
+
+  [[nodiscard]] std::size_t input_count(TaskId id) const noexcept {
+    return input_offsets_[id + 1] - input_offsets_[id];
+  }
+  [[nodiscard]] std::string_view input_name(TaskId id, std::size_t i) const noexcept {
+    return str(input_files_[input_offsets_[id] + i]);
+  }
+  [[nodiscard]] std::size_t output_count(TaskId id) const noexcept {
+    return output_offsets_[id + 1] - output_offsets_[id];
+  }
+  [[nodiscard]] std::string_view output_name(TaskId id, std::size_t i) const noexcept {
+    return str(output_files_[output_offsets_[id] + i]);
+  }
+  [[nodiscard]] std::uint64_t output_size(TaskId id, std::size_t i) const noexcept {
+    return output_sizes_[output_offsets_[id] + i];
+  }
+
+  /// Materialises the wfbench POST payload for one task (name, knobs, file
+  /// lists, workdir) from the columns. Built per dispatch attempt; the plan
+  /// itself never stores row-major TaskParams.
+  [[nodiscard]] wfbench::TaskParams task_params(TaskId id) const;
+
   /// Files no task produces; the WFM stages them before phase 0.
-  std::vector<wfcommons::TaskFile> external_inputs;
+  [[nodiscard]] const std::vector<wfcommons::TaskFile>& external_inputs() const noexcept {
+    return external_inputs_;
+  }
 
-  [[nodiscard]] std::size_t task_count() const noexcept;
-  [[nodiscard]] std::size_t widest_phase() const noexcept;
+  /// Bytes of heap the plan's columns + arena occupy (capacity-based; the
+  /// memory-footprint figure bench/micro_plan reports).
+  [[nodiscard]] std::size_t memory_footprint_bytes() const noexcept;
 
-  /// Flat task ids enumerate `phases` row-major: level 0's tasks first.
-  [[nodiscard]] std::size_t flat_id(std::size_t level, std::size_t index) const noexcept;
-  [[nodiscard]] const PlannedTask& task(std::size_t flat_id) const;
-  [[nodiscard]] PlannedTask& task(std::size_t flat_id);
+ private:
+  friend class PlanBuilder;
 
-  /// Pending-parent counter per task (flat-id indexed) — the ready-set
-  /// dispatcher's initial gate values. Roots have indegree 0.
-  [[nodiscard]] std::vector<std::size_t> indegrees() const;
+  /// Interned string handle: byte offset into the NUL-terminated `arena_`
+  /// (the ELF .strtab layout). 4 bytes per reference; the length is
+  /// recovered on access. Plan strings never carry embedded NULs.
+  using StrRef = std::uint32_t;
+
+  /// Constant-compressed column: when every row holds the same value — api
+  /// urls after a translator pass, the shared workdir, default memory
+  /// limits — the column stores ONE value instead of task_count() copies.
+  /// The builder fills it like a plain vector; build() collapses it.
+  template <typename T>
+  class UniformColumn {
+   public:
+    [[nodiscard]] T operator[](std::size_t i) const noexcept {
+      return values_.empty() ? uniform_ : values_[i];
+    }
+    [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+      return values_.capacity() * sizeof(T);
+    }
+    void push_back(T value) { values_.push_back(std::move(value)); }
+    void reserve(std::size_t n) { values_.reserve(n); }
+    /// Collapses N identical rows to the single stored value.
+    void collapse_if_uniform() {
+      if (values_.empty()) return;
+      for (const T& value : values_) {
+        if (!(value == values_.front())) {
+          values_.shrink_to_fit();
+          return;
+        }
+      }
+      uniform_ = values_.front();
+      values_.clear();
+      values_.shrink_to_fit();
+    }
+
+   private:
+    T uniform_{};
+    std::vector<T> values_;
+  };
+
+  [[nodiscard]] std::string_view str(StrRef ref) const noexcept {
+    return std::string_view(arena_.data() + ref);
+  }
+
+  std::string workflow_name_;
+  std::vector<wfcommons::TaskFile> external_inputs_;
+
+  /// Every string of the plan (names, urls, file names, workdirs), each
+  /// distinct value stored exactly once.
+  std::string arena_;
+
+  // Flat id-indexed columns. api_url / workdir / memory are uniform across
+  // tasks on every translator's output, so those columns constant-compress.
+  // There is no stored level column: ids are level-major, so level_of is a
+  // binary search over the (tiny) level index.
+  std::vector<StrRef> names_;
+  UniformColumn<StrRef> api_urls_;
+  UniformColumn<StrRef> workdirs_;
+  std::vector<std::uint32_t> indegrees_;
+  std::vector<double> percent_cpu_;
+  std::vector<double> cpu_work_;
+  UniformColumn<std::uint64_t> memory_bytes_;
+
+  // CSR adjacency, both directions (offsets have task_count()+1 entries).
+  std::vector<std::uint32_t> parent_offsets_;
+  std::vector<TaskId> parent_edges_;
+  std::vector<std::uint32_t> child_offsets_;
+  std::vector<TaskId> child_edges_;
+
+  // CSR file lists.
+  std::vector<std::uint32_t> input_offsets_;
+  std::vector<StrRef> input_files_;
+  std::vector<std::uint32_t> output_offsets_;
+  std::vector<StrRef> output_files_;
+  std::vector<std::uint64_t> output_sizes_;
+
+  // Level index: tasks of level l are ids [level_offsets_[l], level_offsets_[l+1]).
+  std::vector<TaskId> level_offsets_;
+  std::uint32_t widest_ = 0;
+};
+
+/// Incremental columnar-plan constructor. Tasks must be added in level-major
+/// order (non-decreasing level); file declarations attach to the most
+/// recently added task (the columns are append-only CSR streams). Edge
+/// direction lists are recorded independently — `connect` fills both — so a
+/// legacy plan's exact parent/child orderings survive the conversion.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string workflow_name);
+
+  void reserve(std::size_t tasks, std::size_t edges);
+
+  /// Adds a task; `level` must be >= the previous task's level. Throws
+  /// std::invalid_argument on level regression.
+  TaskId add_task(std::uint32_t level, std::string_view name, std::string_view api_url,
+                  double percent_cpu, double cpu_work, std::uint64_t memory_bytes,
+                  std::string_view workdir);
+
+  /// Declares an input / output file of the LAST added task.
+  void add_input(std::string_view file);
+  void add_output(std::string_view file, std::uint64_t size_bytes);
+
+  /// Appends `parent` to `child`'s parent list / `child` to `parent`'s child
+  /// list. `connect` does both (the normal, symmetric case).
+  void add_parent(TaskId child, TaskId parent);
+  void add_child(TaskId parent, TaskId child);
+  void connect(TaskId parent, TaskId child) {
+    add_parent(child, parent);
+    add_child(parent, child);
+  }
+
+  /// Grows the level count to at least `count` (covers trailing empty
+  /// levels, which legacy hand-built plans could express).
+  void ensure_levels(std::size_t count);
+
+  void set_external_inputs(std::vector<wfcommons::TaskFile> files);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return plan_.names_.size(); }
+
+  /// Finalises CSR offsets + the indegree column and returns the plan. The
+  /// builder is consumed.
+  [[nodiscard]] ExecutionPlan build() &&;
+
+ private:
+  ExecutionPlan::StrRef intern(std::string_view text);
+
+  ExecutionPlan plan_;
+  // (parent, child) edge streams in insertion order, bucketed stably into
+  // CSR at build() so per-task list order matches the legacy representation.
+  std::vector<std::pair<TaskId, TaskId>> parent_stream_;  // (child, parent)
+  std::vector<std::pair<TaskId, TaskId>> child_stream_;   // (parent, child)
+  // Arena intern table; views point into plan_.arena_ via stable indices.
+  std::unordered_map<std::string, ExecutionPlan::StrRef> intern_;
+  // Per-task levels, kept builder-side only: build() folds them into the
+  // plan's level index and the column is discarded.
+  std::vector<std::uint32_t> levels_;
+  std::int64_t last_level_ = -1;
+  std::size_t ensured_levels_ = 0;
 };
 
 /// Converts one IR task into the wfbench POST payload.
@@ -62,5 +356,15 @@ struct ExecutionPlan {
 /// task has no endpoint or the workflow fails validation.
 [[nodiscard]] ExecutionPlan build_plan(const wfcommons::Workflow& workflow,
                                        const std::string& workdir);
+
+/// DEPRECATED compatibility shim: converts a legacy row-of-structs plan
+/// (tasks grouped by level, edges as flat-id vectors) into the columnar
+/// representation. `params.name` is ignored in favour of the task name (the
+/// two were always equal on build_plan output). Will be removed next PR —
+/// construct through PlanBuilder instead.
+[[deprecated("build hand-made plans with core::PlanBuilder")]]
+[[nodiscard]] ExecutionPlan plan_from_phases(
+    std::string workflow_name, const std::vector<std::vector<PlannedTask>>& phases,
+    std::vector<wfcommons::TaskFile> external_inputs = {});
 
 }  // namespace wfs::core

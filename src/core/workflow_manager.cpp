@@ -45,13 +45,20 @@ struct WfmRunState {
   WorkflowRunResult result;
   sim::SimTime started_at = 0;
 
-  // Flat task table (row-major over plan.phases) and the ready-set gates.
-  std::vector<const PlannedTask*> tasks;
-  std::vector<std::size_t> pending;        // gate counter; 0 = ready
+  // Ready-set gates, indexed by flat TaskId (the plan's columnar ids).
+  std::vector<std::uint32_t> pending;      // gate counter; 0 = ready
   std::vector<sim::SimTime> gate_delay;    // applied when the gate opens
   std::vector<sim::SimTime> dispatched_at; // first dispatch entry; -1 = not yet
   std::vector<std::uint8_t> failed;        // outcome per finished task (fail-fast)
   std::size_t unfinished = 0;
+
+  // Batched ready set: gate openings append newly-ready ids here and the
+  // outermost frame drains the span — one queue walk instead of recursive
+  // per-child release, and reentrancy-safe when a release finishes a task
+  // synchronously (fail-fast) and opens further gates mid-drain.
+  std::vector<TaskId> ready_queue;
+  std::size_t ready_head = 0;
+  bool draining = false;
 
   // Tracing (null/0 when recording is off for this run).
   obs::TraceRecorder* trace = nullptr;
@@ -70,11 +77,10 @@ struct WfmRunState {
   // Barrier wiring: per level, the flat-id range of the next non-empty
   // level whose gates open when this level completes.
   struct NextRange {
-    std::size_t begin = 0;
-    std::size_t end = 0;
+    TaskId begin = 0;
+    TaskId end = 0;
   };
   std::vector<NextRange> barrier_next;
-  std::vector<std::size_t> level_offset;  // flat id of each level's first task
 
   bool cancelled = false;
   bool delivered = false;
@@ -92,10 +98,10 @@ bool tracing(const WfmRunState& state) {
 }
 
 /// Lazily registers the per-task trace lane (one timeline row per task).
-obs::TraceRecorder::Tid task_lane(WfmRunState& state, std::size_t task_id) {
+obs::TraceRecorder::Tid task_lane(WfmRunState& state, TaskId task_id) {
   if (state.task_lane[task_id] == 0) {
     state.task_lane[task_id] =
-        state.trace->lane(state.trace_pid, state.tasks[task_id]->name);
+        state.trace->lane(state.trace_pid, std::string(state.plan.name(task_id)));
   }
   return state.task_lane[task_id];
 }
@@ -164,7 +170,7 @@ RunHandle WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complet
   state->config = config ? std::move(*config) : config_;
   state->result.run_id = next_run_id_++;
   state->result.scheduling = state->config.scheduling;
-  state->result.workflow_name = plan.workflow_name;
+  state->result.workflow_name = plan.workflow_name();
   state->result.tasks_total = plan.task_count();
   state->plan = std::move(plan);
   state->on_complete = std::move(on_complete);
@@ -178,14 +184,14 @@ RunHandle WorkflowManager::run(ExecutionPlan plan, CompletionCallback on_complet
   runs_.emplace(state->result.run_id, state);
 
   if (state->config.stage_external_inputs) {
-    for (const wfcommons::TaskFile& file : state->plan.external_inputs) {
+    for (const wfcommons::TaskFile& file : state->plan.external_inputs()) {
       fs_.stage(file.name, file.size_bytes);
     }
   }
 
   WFS_LOG_INFO("wfm", "run {}: {} ({} tasks, {} levels, {})", state->result.run_id,
                state->result.workflow_name, state->result.tasks_total,
-               state->plan.phases.size(), to_string(state->config.scheduling));
+               state->plan.level_count(), to_string(state->config.scheduling));
 
   if (state->config.add_header_tail) {
     // The header function marks the run's start on the platform (and warms
@@ -202,14 +208,16 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
   // The marker is posted to the same endpoint as the workflow's functions;
   // any non-empty level provides one (level 0 may legitimately be empty on
   // hand-built plans, which previously skipped the markers entirely).
-  const PlannedTask* endpoint_task = nullptr;
-  for (const auto& phase : state->plan.phases) {
-    if (!phase.empty()) {
-      endpoint_task = &phase.front();
+  const ExecutionPlan& plan = state->plan;
+  std::string_view endpoint;
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    const auto range = plan.tasks_in_level(level);
+    if (!range.empty()) {
+      endpoint = plan.api_url(range.front());
       break;
     }
   }
-  if (endpoint_task == nullptr) {
+  if (endpoint.empty()) {
     next();
     return;
   }
@@ -221,7 +229,7 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
   params.workdir = state->config.workdir;
 
   net::HttpRequest request;
-  request.url = net::parse_url(endpoint_task->api_url);
+  request.url = net::parse_url(endpoint);
   request.body = json::write_compact(wfbench::to_json(params));
   const sim::SimTime sent_at = sim_.now();
   router_.send(std::move(request), [state, name = params.name, sent_at,
@@ -238,22 +246,17 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
 void WorkflowManager::prime_gates(const StatePtr& state) {
   const ExecutionPlan& plan = state->plan;
   const std::size_t total = plan.task_count();
-  state->tasks.reserve(total);
-  state->level_offset.reserve(plan.phases.size());
-  for (const auto& phase : plan.phases) {
-    state->level_offset.push_back(state->tasks.size());
-    for (const PlannedTask& task : phase) state->tasks.push_back(&task);
-  }
-  state->levels.resize(plan.phases.size());
+  state->levels.resize(plan.level_count());
   state->unfinished = total;
   state->gate_delay.assign(total, 0);
   state->dispatched_at.assign(total, -1);
   state->failed.assign(total, 0);
   state->task_lane.assign(total, 0);
-  state->barrier_next.assign(plan.phases.size(), {});
+  state->barrier_next.assign(plan.level_count(), {});
 
   if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
-    state->pending = plan.indegrees();
+    const auto indegrees = plan.indegrees();
+    state->pending.assign(indegrees.begin(), indegrees.end());
     for (sim::SimTime& delay : state->gate_delay) delay = state->config.dispatch_delay;
     return;
   }
@@ -264,22 +267,21 @@ void WorkflowManager::prime_gates(const StatePtr& state) {
   state->pending.assign(total, 0);
   std::size_t previous = std::numeric_limits<std::size_t>::max();  // none yet
   std::size_t empties = 0;
-  for (std::size_t level = 0; level < plan.phases.size(); ++level) {
-    if (plan.phases[level].empty()) {
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    const auto range = plan.tasks_in_level(level);
+    if (range.empty()) {
       ++empties;
       continue;
     }
-    const std::size_t begin = state->level_offset[level];
-    const std::size_t end = begin + plan.phases[level].size();
     if (previous == std::numeric_limits<std::size_t>::max()) {
       // First non-empty level: ready at start (delayed only by any empty
       // levels preceding it).
-      for (std::size_t id = begin; id < end; ++id) {
+      for (const TaskId id : range) {
         state->gate_delay[id] = state->config.phase_delay * static_cast<sim::SimTime>(empties);
       }
     } else {
-      state->barrier_next[previous] = {begin, end};
-      for (std::size_t id = begin; id < end; ++id) {
+      state->barrier_next[previous] = {range.begin_id(), range.end_id()};
+      for (const TaskId id : range) {
         state->pending[id] = 1;
         state->gate_delay[id] =
             state->config.phase_delay * static_cast<sim::SimTime>(1 + empties);
@@ -290,6 +292,22 @@ void WorkflowManager::prime_gates(const StatePtr& state) {
   }
 }
 
+void WorkflowManager::drain_ready(const StatePtr& state) {
+  // Reentrancy guard: a release may finish a task synchronously (fail-fast)
+  // and enqueue more ready ids — those extend the queue the outermost frame
+  // is already walking, so the nested call just returns.
+  if (state->draining) return;
+  state->draining = true;
+  while (state->ready_head < state->ready_queue.size()) {
+    const TaskId id = state->ready_queue[state->ready_head++];
+    release_task(state, id, state->gate_delay[id]);
+    if (state->delivered) break;
+  }
+  state->ready_queue.clear();
+  state->ready_head = 0;
+  state->draining = false;
+}
+
 void WorkflowManager::start_run(StatePtr state) {
   if (state->delivered) return;
   prime_gates(state);
@@ -298,12 +316,13 @@ void WorkflowManager::start_run(StatePtr state) {
     return;
   }
   // Release the initial ready set (tasks whose gate is already open).
-  for (std::size_t id = 0; id < state->pending.size(); ++id) {
-    if (state->pending[id] == 0) release_task(state, id, state->gate_delay[id]);
+  for (TaskId id = 0; id < state->pending.size(); ++id) {
+    if (state->pending[id] == 0) state->ready_queue.push_back(id);
   }
+  drain_ready(state);
 }
 
-void WorkflowManager::release_task(StatePtr state, std::size_t task_id, sim::SimTime delay) {
+void WorkflowManager::release_task(StatePtr state, TaskId task_id, sim::SimTime delay) {
   auto dispatch = [this, state, task_id] {
     dispatch_task(state, task_id, state->config.max_input_polls);
   };
@@ -314,23 +333,25 @@ void WorkflowManager::release_task(StatePtr state, std::size_t task_id, sim::Sim
       // The gate is open but dispatch waits out the configured delay — the
       // "queued" segment of the task's attempt timeline.
       state->trace->complete(state->trace_pid, task_lane(*state, task_id),
-                             state->tasks[task_id]->name, "queued", sim_.now(),
+                             std::string(state->plan.name(task_id)), "queued", sim_.now(),
                              sim_.now() + delay);
     }
     sim_.schedule_in(delay, std::move(dispatch));
   }
 }
 
-void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int polls_left) {
+void WorkflowManager::dispatch_task(StatePtr state, TaskId task_id, int polls_left) {
   if (state->delivered) return;
-  const PlannedTask& task = *state->tasks[task_id];
-  auto& stats = state->levels[task.level];
+  const ExecutionPlan& plan = state->plan;
+  const std::size_t level = plan.level_of(task_id);
+  auto& stats = state->levels[level];
   if (stats.first_dispatch < 0) stats.first_dispatch = sim_.now();
   if (state->dispatched_at[task_id] < 0) state->dispatched_at[task_id] = sim_.now();
   if (state->config.check_inputs) {
     bool all_present = true;
-    for (const std::string& input : task.params.inputs) {
-      if (!fs_.exists(input)) {
+    const std::size_t inputs = plan.input_count(task_id);
+    for (std::size_t i = 0; i < inputs; ++i) {
+      if (!fs_.exists(std::string(plan.input_name(task_id, i)))) {
         all_present = false;
         break;
       }
@@ -340,20 +361,20 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
       // misleading way to spend max_input_polls x input_poll_interval.
       // (Checked every poll round, so a parent failing mid-wait is caught.)
       if (state->config.fail_fast_on_upstream_failure) {
-        for (const std::size_t parent : task.parents) {
+        for (const TaskId parent : plan.parents(task_id)) {
           if (state->failed[parent] == 0) continue;
           ++state->result.upstream_failures;
           TaskOutcome outcome;
-          outcome.name = task.name;
+          outcome.name = std::string(plan.name(task_id));
           outcome.ok = false;
-          outcome.phase = task.level;
+          outcome.phase = level;
           outcome.started_seconds =
               sim::to_seconds(state->dispatched_at[task_id] - state->started_at);
           outcome.input_wait_seconds =
               sim::to_seconds(sim_.now() - state->dispatched_at[task_id]);
           outcome.wall_seconds = outcome.input_wait_seconds;
           outcome.error = support::format("upstream task {} failed; inputs will never appear",
-                                          state->tasks[parent]->name);
+                                          plan.name(parent));
           task_finished(state, task_id, outcome);
           return;
         }
@@ -361,9 +382,9 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
       if (polls_left <= 0) {
         ++state->result.input_wait_timeouts;
         TaskOutcome outcome;
-        outcome.name = task.name;
+        outcome.name = std::string(plan.name(task_id));
         outcome.ok = false;
-        outcome.phase = task.level;
+        outcome.phase = level;
         outcome.started_seconds =
             sim::to_seconds(state->dispatched_at[task_id] - state->started_at);
         outcome.input_wait_seconds =
@@ -381,18 +402,19 @@ void WorkflowManager::dispatch_task(StatePtr state, std::size_t task_id, int pol
     }
   }
   if (tracing(*state) && sim_.now() > state->dispatched_at[task_id]) {
-    state->trace->complete(state->trace_pid, task_lane(*state, task_id), task.name,
-                           "input-wait", state->dispatched_at[task_id], sim_.now());
+    state->trace->complete(state->trace_pid, task_lane(*state, task_id),
+                           std::string(plan.name(task_id)), "input-wait",
+                           state->dispatched_at[task_id], sim_.now());
   }
   send_request(state, task_id, state->config.task_retries, AttemptContext{});
 }
 
-void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retries_left,
+void WorkflowManager::send_request(StatePtr state, TaskId task_id, int retries_left,
                                    AttemptContext context) {
-  const PlannedTask& task = *state->tasks[task_id];
+  const ExecutionPlan& plan = state->plan;
   net::HttpRequest request;
-  request.url = net::parse_url(task.api_url);
-  request.body = json::write_compact(wfbench::to_json(task.params));
+  request.url = net::parse_url(plan.api_url(task_id));
+  request.body = json::write_compact(wfbench::to_json(plan.task_params(task_id)));
   const sim::SimTime sent_at = sim_.now();
   // Attempt accounting spans retries: started_seconds/wall_seconds on the
   // final outcome cover every attempt plus the backoff time between them,
@@ -400,9 +422,10 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
   if (context.first_sent_at < 0) context.first_sent_at = sent_at;
   ++context.attempts;
   if (attempts_metric_ != nullptr) attempts_metric_->inc();
-  router_.send(std::move(request), [this, state, task_id, retries_left, name = task.name,
-                                    level = task.level, sent_at,
-                                    context](const net::HttpResponse& response) {
+  router_.send(std::move(request),
+               [this, state, task_id, retries_left, name = std::string(plan.name(task_id)),
+                level = static_cast<std::size_t>(plan.level_of(task_id)), sent_at,
+                context](const net::HttpResponse& response) {
     if (state->delivered) return;
     if (tracing(*state)) {
       json::Object args;
@@ -463,11 +486,12 @@ void WorkflowManager::send_request(StatePtr state, std::size_t task_id, int retr
   });
 }
 
-void WorkflowManager::task_finished(StatePtr state, std::size_t task_id,
+void WorkflowManager::task_finished(StatePtr state, TaskId task_id,
                                     const TaskOutcome& outcome) {
   if (state->delivered) return;
-  const PlannedTask& task = *state->tasks[task_id];
-  auto& stats = state->levels[task.level];
+  const ExecutionPlan& plan = state->plan;
+  const std::size_t level = plan.level_of(task_id);
+  auto& stats = state->levels[level];
   if (!outcome.ok) {
     ++state->result.tasks_failed;
     ++stats.failed;
@@ -501,20 +525,20 @@ void WorkflowManager::task_finished(StatePtr state, std::size_t task_id,
   stats.last_finish = std::max(stats.last_finish, sim_.now());
   --state->unfinished;
 
-  // Open downstream gates. One loop serves both modes; only the edge set
-  // differs: DAG children versus the complete bipartite level barrier.
+  // Collect the newly-ready ids this completion unlocks. One batch serves
+  // both modes; only the edge set differs: the CSR children span versus the
+  // complete bipartite level barrier.
   if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
-    for (const std::size_t child : task.children) {
-      if (--state->pending[child] == 0) {
-        release_task(state, child, state->gate_delay[child]);
-      }
+    for (const TaskId child : plan.children(task_id)) {
+      if (--state->pending[child] == 0) state->ready_queue.push_back(child);
     }
-  } else if (stats.finished == state->plan.phases[task.level].size()) {
-    const auto& next = state->barrier_next[task.level];
-    for (std::size_t id = next.begin; id < next.end; ++id) {
-      if (--state->pending[id] == 0) release_task(state, id, state->gate_delay[id]);
+  } else if (stats.finished == plan.level_size(level)) {
+    const auto& next = state->barrier_next[level];
+    for (TaskId id = next.begin; id < next.end; ++id) {
+      if (--state->pending[id] == 0) state->ready_queue.push_back(id);
     }
   }
+  drain_ready(state);
 
   if (state->unfinished == 0) finish_run(state);
 }
@@ -557,7 +581,7 @@ void WorkflowManager::record_level_outcomes(const StatePtr& state) {
                                   stats.last_finish - stats.first_dispatch, 0))
                             : 0.0;
     state->result.phases.push_back(
-        PhaseOutcome{level, state->plan.phases[level].size(), stats.failed, wall});
+        PhaseOutcome{level, state->plan.level_size(level), stats.failed, wall});
   }
 }
 

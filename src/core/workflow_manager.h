@@ -194,10 +194,6 @@ class WorkflowManager {
   /// Number of runs currently in the run table.
   [[nodiscard]] std::size_t active_runs() const noexcept { return runs_.size(); }
 
-  [[deprecated("the one-run-at-a-time contract is gone; use active_runs() or "
-               "RunHandle::done()")]]
-  [[nodiscard]] bool busy() const noexcept { return !runs_.empty(); }
-
   [[nodiscard]] const WfmConfig& config() const noexcept { return config_; }
 
   /// Attaches a shared trace recorder; runs started afterwards emit
@@ -225,11 +221,15 @@ class WorkflowManager {
 
   void start_run(StatePtr state);
   void prime_gates(const StatePtr& state);
-  void release_task(StatePtr state, std::size_t task_id, sim::SimTime delay);
-  void dispatch_task(StatePtr state, std::size_t task_id, int polls_left);
-  void send_request(StatePtr state, std::size_t task_id, int retries_left,
+  /// Dispatches every id queued in the run's batched ready set. Reentrant
+  /// calls (a release finishing a task synchronously and unlocking more ids)
+  /// extend the queue the outermost frame is draining.
+  void drain_ready(const StatePtr& state);
+  void release_task(StatePtr state, TaskId task_id, sim::SimTime delay);
+  void dispatch_task(StatePtr state, TaskId task_id, int polls_left);
+  void send_request(StatePtr state, TaskId task_id, int retries_left,
                     AttemptContext context);
-  void task_finished(StatePtr state, std::size_t task_id, const TaskOutcome& outcome);
+  void task_finished(StatePtr state, TaskId task_id, const TaskOutcome& outcome);
   void finish_run(StatePtr state);
   void record_level_outcomes(const StatePtr& state);
   void cancel_run(const StatePtr& state);

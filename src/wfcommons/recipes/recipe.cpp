@@ -12,6 +12,9 @@ namespace wfs::wfcommons {
 
 Workflow Recipe::generate(const GenerateOptions& options) const {
   GenerateOptions effective = options;
+  const double scale = std::max(effective.scale_factor, 1.0);
+  effective.num_tasks =
+      static_cast<std::size_t>(static_cast<double>(effective.num_tasks) * scale);
   effective.num_tasks = std::max(effective.num_tasks, min_tasks());
   support::Rng rng(effective.seed);
 
@@ -68,13 +71,12 @@ void RecipeBuilder::feed(const std::string& parent, const std::string& child) {
     throw std::invalid_argument("RecipeBuilder::feed: unknown task");
   }
   workflow_.connect(parent, child);
+  // Do not duplicate when a diamond wiring feeds the same file twice. The
+  // builder-side name set keeps this O(1) per file (every input addition
+  // flows through feed/feed_external, so the set mirrors c->files exactly).
+  std::unordered_set<std::string>& seen = input_names_[child];
   for (const TaskFile* out : p->outputs()) {
-    // Do not duplicate when a diamond wiring feeds the same file twice.
-    const bool already =
-        std::any_of(c->files.begin(), c->files.end(), [&](const TaskFile& f) {
-          return f.link == TaskFile::Link::kInput && f.name == out->name;
-        });
-    if (!already) {
+    if (seen.insert(out->name).second) {
       c->files.push_back(TaskFile{TaskFile::Link::kInput, out->name, out->size_bytes});
     }
   }
@@ -84,6 +86,7 @@ void RecipeBuilder::feed_external(const std::string& task, const std::string& fi
                                   std::uint64_t size) {
   Task* t = workflow_.find(task);
   if (t == nullptr) throw std::invalid_argument("RecipeBuilder::feed_external: unknown task");
+  input_names_[task].insert(file);
   t->files.push_back(TaskFile{
       TaskFile::Link::kInput, file,
       static_cast<std::uint64_t>(static_cast<double>(size) * options_.data_scale)});

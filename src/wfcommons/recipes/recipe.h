@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "support/rng.h"
@@ -28,6 +30,11 @@ struct GenerateOptions {
   double cpu_work = 100.0;
   /// Multiplier on all file sizes (the WfBench I/O intensity knob).
   double data_scale = 1.0;
+  /// Multiplier applied to num_tasks before generation — the mega-scale
+  /// knob. `num_tasks=50, scale_factor=2000` yields a ~10^5-task instance
+  /// of the same family shape (Merlin-style million-task ensembles are
+  /// scale_factor=2e4). Values < 1 are clamped to 1.
+  double scale_factor = 1.0;
   std::uint64_t seed = 1;
 };
 
@@ -91,6 +98,10 @@ class RecipeBuilder {
   const GenerateOptions& options_;
   support::Rng& rng_;
   std::uint64_t counter_ = 1;
+  // Input-file names per task, mirrored from feed()/feed_external(): keeps
+  // diamond-wiring dedup O(1) per file instead of scanning the child's file
+  // list (quadratic at wide fan-in — blast's cat task at 10^5 tasks).
+  std::unordered_map<std::string, std::unordered_set<std::string>> input_names_;
 };
 
 // ---- catalog ---------------------------------------------------------------

@@ -43,18 +43,42 @@ std::uint64_t Task::output_bytes() const noexcept {
 }
 
 Task& Workflow::add_task(Task task) {
-  if (find(task.name) != nullptr) {
+  // Extend the caches in place instead of dirtying them: a recipe adding N
+  // tasks stays O(N) rather than paying a full index rebuild per add.
+  rebuild_index();
+  if (index_.contains(task.name)) {
     throw std::invalid_argument("duplicate task name: " + task.name);
   }
+  for (const std::string& c : task.children) {
+    child_edge_cache_.insert(edge_key(task.name, c));
+  }
+  for (const std::string& p : task.parents) {
+    parent_edge_cache_.insert(edge_key(p, task.name));
+  }
+  index_.emplace(task.name, tasks_.size());
   tasks_.push_back(std::move(task));
-  index_dirty_ = true;
   return tasks_.back();
+}
+
+std::string Workflow::edge_key(std::string_view parent, std::string_view child) {
+  std::string key;
+  key.reserve(parent.size() + 1 + child.size());
+  key.append(parent);
+  key.push_back('\x1f');  // unit separator — cannot appear in task names
+  key.append(child);
+  return key;
 }
 
 void Workflow::rebuild_index() const {
   if (!index_dirty_) return;
   index_.clear();
   for (std::size_t i = 0; i < tasks_.size(); ++i) index_.emplace(tasks_[i].name, i);
+  child_edge_cache_.clear();
+  parent_edge_cache_.clear();
+  for (const Task& t : tasks_) {
+    for (const std::string& c : t.children) child_edge_cache_.insert(edge_key(t.name, c));
+    for (const std::string& p : t.parents) parent_edge_cache_.insert(edge_key(p, t.name));
+  }
   index_dirty_ = false;
 }
 
@@ -74,12 +98,12 @@ void Workflow::connect(std::string_view parent, std::string_view child) {
   if (p == nullptr) throw std::invalid_argument("connect: unknown parent " + std::string(parent));
   if (c == nullptr) throw std::invalid_argument("connect: unknown child " + std::string(child));
   if (p == c) throw std::invalid_argument("connect: self-edge on " + std::string(parent));
-  if (std::find(p->children.begin(), p->children.end(), c->name) == p->children.end()) {
-    p->children.emplace_back(c->name);
-  }
-  if (std::find(c->parents.begin(), c->parents.end(), p->name) == c->parents.end()) {
-    c->parents.emplace_back(p->name);
-  }
+  // O(1) idempotency via the edge caches (find() above rebuilt them if
+  // stale) — a linear scan of the adjacency lists makes wide fan-in/out
+  // generation quadratic.
+  const std::string key = edge_key(p->name, c->name);
+  if (child_edge_cache_.insert(key).second) p->children.emplace_back(c->name);
+  if (parent_edge_cache_.insert(key).second) c->parents.emplace_back(p->name);
 }
 
 std::vector<const Task*> Workflow::roots() const {
@@ -137,24 +161,21 @@ std::vector<std::string> Workflow::validate() const {
     }
   }
 
-  // Reference integrity and symmetry.
+  // Reference integrity and symmetry (the edge caches — rebuilt above with
+  // the index — turn the per-edge membership tests into hash lookups).
   for (const Task& t : tasks_) {
     for (const std::string& p : t.parents) {
-      const Task* parent = find(p);
-      if (parent == nullptr) {
+      if (find(p) == nullptr) {
         problems.push_back(support::format("task {} has unknown parent {}", t.name, p));
-      } else if (std::find(parent->children.begin(), parent->children.end(), t.name) ==
-                 parent->children.end()) {
+      } else if (!child_edge_cache_.contains(edge_key(p, t.name))) {
         problems.push_back(
             support::format("edge {} -> {} missing from parent's children", p, t.name));
       }
     }
     for (const std::string& c : t.children) {
-      const Task* child = find(c);
-      if (child == nullptr) {
+      if (find(c) == nullptr) {
         problems.push_back(support::format("task {} has unknown child {}", t.name, c));
-      } else if (std::find(child->parents.begin(), child->parents.end(), t.name) ==
-                 child->parents.end()) {
+      } else if (!parent_edge_cache_.contains(edge_key(t.name, c))) {
         problems.push_back(
             support::format("edge {} -> {} missing from child's parents", t.name, c));
       }
@@ -191,7 +212,7 @@ std::vector<std::string> Workflow::validate() const {
         problems.push_back(support::format("task {} consumes its own output {}", t.name, f.name));
         continue;
       }
-      if (std::find(t.parents.begin(), t.parents.end(), source->name) == t.parents.end()) {
+      if (!parent_edge_cache_.contains(edge_key(source->name, t.name))) {
         problems.push_back(support::format(
             "task {} consumes {} produced by non-parent {}", t.name, f.name, source->name));
       }

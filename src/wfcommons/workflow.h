@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace wfs::wfcommons {
@@ -106,12 +107,21 @@ class Workflow {
 
  private:
   void rebuild_index() const;
+  [[nodiscard]] static std::string edge_key(std::string_view parent, std::string_view child);
 
   std::string name_;
   std::string schema_ = "1.5";
   std::vector<Task> tasks_;
-  // Lazy name -> index cache (invalidated by add_task).
+  // Lazy name -> index cache. add_task extends it incrementally (keeping
+  // generation linear in the task count); only mutable tasks() access dirties
+  // it and forces a rebuild.
   mutable std::unordered_map<std::string, std::size_t> index_;
+  // Edge-presence caches, one per direction ("parent\x1fchild" keys), rebuilt
+  // with the index. connect() consults them for O(1) idempotency instead of
+  // scanning the adjacency lists; validate() uses them for linear-time
+  // symmetry and dataflow checks.
+  mutable std::unordered_set<std::string> child_edge_cache_;   // in parent's children
+  mutable std::unordered_set<std::string> parent_edge_cache_;  // in child's parents
   mutable bool index_dirty_ = true;
 };
 

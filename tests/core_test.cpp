@@ -41,9 +41,10 @@ TEST(ExecutionPlan, PhasesMatchAnalysisLevels) {
   const wfcommons::Workflow wf = translated("blast", 30);
   const ExecutionPlan plan = build_plan(wf, "/shared");
   const auto hist = wfcommons::phase_histogram(wf);
-  ASSERT_EQ(plan.phases.size(), hist.size());
+  ASSERT_EQ(plan.level_count(), hist.size());
   for (std::size_t i = 0; i < hist.size(); ++i) {
-    EXPECT_EQ(plan.phases[i].size(), hist[i]);
+    EXPECT_EQ(plan.level_size(i), hist[i]);
+    EXPECT_EQ(plan.tasks_in_level(i).size(), hist[i]);
   }
   EXPECT_EQ(plan.task_count(), wf.size());
   EXPECT_EQ(plan.widest_phase(), 27u);
@@ -52,47 +53,48 @@ TEST(ExecutionPlan, PhasesMatchAnalysisLevels) {
 TEST(ExecutionPlan, TaskParamsCarryWfbenchKnobs) {
   const wfcommons::Workflow wf = translated("blast", 10);
   const ExecutionPlan plan = build_plan(wf, "/data/run1");
-  const PlannedTask& task = plan.phases[1][0];  // a blastall
-  const wfcommons::Task* source = wf.find(task.name);
+  const TaskId id = plan.flat_id(1, 0);  // a blastall
+  const wfbench::TaskParams params = plan.task_params(id);
+  const wfcommons::Task* source = wf.find(plan.name(id));
   ASSERT_NE(source, nullptr);
-  EXPECT_DOUBLE_EQ(task.params.percent_cpu, source->percent_cpu);
-  EXPECT_DOUBLE_EQ(task.params.cpu_work, source->cpu_work);
-  EXPECT_EQ(task.params.memory_bytes, source->memory_bytes);
-  EXPECT_EQ(task.params.workdir, "/data/run1");
-  EXPECT_EQ(task.params.inputs.size(), source->inputs().size());
-  EXPECT_EQ(task.params.outputs.size(), source->outputs().size());
-  EXPECT_EQ(task.api_url, "http://svc:80/wfbench");
+  EXPECT_DOUBLE_EQ(params.percent_cpu, source->percent_cpu);
+  EXPECT_DOUBLE_EQ(params.cpu_work, source->cpu_work);
+  EXPECT_EQ(params.memory_bytes, source->memory_bytes);
+  EXPECT_EQ(params.workdir, "/data/run1");
+  EXPECT_EQ(params.inputs.size(), source->inputs().size());
+  EXPECT_EQ(params.outputs.size(), source->outputs().size());
+  EXPECT_EQ(plan.api_url(id), "http://svc:80/wfbench");
 }
 
 TEST(ExecutionPlan, ExternalInputsListed) {
   const wfcommons::Workflow wf = translated("blast", 10);
   const ExecutionPlan plan = build_plan(wf, "/shared");
-  ASSERT_EQ(plan.external_inputs.size(), 1u);
-  EXPECT_EQ(plan.external_inputs[0].name, "blast_input.fasta");
+  ASSERT_EQ(plan.external_inputs().size(), 1u);
+  EXPECT_EQ(plan.external_inputs()[0].name, "blast_input.fasta");
 }
 
 TEST(ExecutionPlan, DependencyEdgesMirrorWorkflow) {
   const wfcommons::Workflow wf = translated("epigenomics", 40);
   const ExecutionPlan plan = build_plan(wf, "/shared");
 
-  const std::vector<std::size_t> indegrees = plan.indegrees();
+  const auto indegrees = plan.indegrees();
   ASSERT_EQ(indegrees.size(), plan.task_count());
 
   std::size_t edges = 0;
   std::size_t roots = 0;
-  for (std::size_t level = 0; level < plan.phases.size(); ++level) {
-    for (std::size_t i = 0; i < plan.phases[level].size(); ++i) {
-      const std::size_t id = plan.flat_id(level, i);
-      const PlannedTask& task = plan.task(id);
-      EXPECT_EQ(task.level, level);
-      EXPECT_EQ(task.parents.size(), indegrees[id]);
-      if (task.parents.empty()) ++roots;
-      edges += task.parents.size();
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    for (std::size_t i = 0; i < plan.level_size(level); ++i) {
+      const TaskId id = plan.flat_id(level, i);
+      const auto parents = plan.parents(id);
+      EXPECT_EQ(plan.level_of(id), level);
+      EXPECT_EQ(parents.size(), indegrees[id]);
+      if (parents.empty()) ++roots;
+      edges += parents.size();
       // Parent edges always point to an earlier level, and every edge is
       // mirrored in the parent's child list.
-      for (const std::size_t parent : task.parents) {
-        EXPECT_LT(plan.task(parent).level, level);
-        const auto& siblings = plan.task(parent).children;
+      for (const TaskId parent : parents) {
+        EXPECT_LT(plan.level_of(parent), level);
+        const auto siblings = plan.children(parent);
         EXPECT_NE(std::find(siblings.begin(), siblings.end(), id), siblings.end());
       }
     }
@@ -518,13 +520,15 @@ TEST_F(WfmTest, RetryTimingCoversAllAttempts) {
     responder->respond(net::HttpResponse::make_ok());
   });
 
-  ExecutionPlan plan;
-  plan.workflow_name = "retry_timing";
   PlannedTask task;
   task.name = "solo";
   task.api_url = "http://svc:80/wfbench";
   task.params.name = "solo";
-  plan.phases.push_back({task});
+  // The legacy row-of-structs shim must keep seed semantics for one PR.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecutionPlan plan = plan_from_phases("retry_timing", {{task}});
+#pragma GCC diagnostic pop
 
   WfmConfig config;
   config.add_header_tail = false;
@@ -551,14 +555,15 @@ TEST_F(WfmTest, MarkersSentWhenLevelZeroEmpty) {
   // so a hand-built plan with an empty level 0 dropped header and tail.
   // Any non-empty level must provide the endpoint.
   bind_fake_service(0);
-  ExecutionPlan plan;
-  plan.workflow_name = "gapped";
   PlannedTask task;
   task.name = "solo";
   task.api_url = "http://svc:80/wfbench";
   task.params.name = "solo";
-  plan.phases.push_back({});      // empty level 0
-  plan.phases.push_back({task});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Empty level 0, the task on level 1.
+  ExecutionPlan plan = plan_from_phases("gapped", {{}, {task}});
+#pragma GCC diagnostic pop
 
   WorkflowManager wfm(sim_, router_, fs_, WfmConfig{});
   WorkflowRunResult result;

@@ -1,0 +1,359 @@
+// Columnar ExecutionPlan suites (ctest label: plan).
+//
+// Three concerns:
+//  * CSR round-trip — the columnar adjacency mirrors the workflow IR
+//    exactly (symmetry, root indegrees, level monotonicity) for all seven
+//    recipe families;
+//  * representation equivalence — a WFM run driven by the columnar plan
+//    produces a byte-identical result document (and hence byte-identical
+//    campaign CSVs, which are pure functions of run results) to one driven
+//    by a plan converted from the seed's row-of-structs representation,
+//    for every family under both scheduling modes;
+//  * the O(1) stored counts and the deprecated compatibility shim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dag.h"
+#include "core/workflow_manager.h"
+#include "json/parse.h"
+#include "json/write.h"
+#include "net/router.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "support/format.h"
+#include "wfbench/task_params.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/translators/knative.h"
+
+namespace wfs::core {
+namespace {
+
+wfcommons::Workflow translated(const std::string& recipe, std::size_t tasks,
+                               double scale_factor = 1.0) {
+  wfcommons::GenerateOptions options;
+  options.num_tasks = tasks;
+  options.scale_factor = scale_factor;
+  options.seed = 1;
+  wfcommons::Workflow wf = wfcommons::make_recipe(recipe)->generate(options);
+  wfcommons::KnativeTranslatorConfig config;
+  config.service_url = "http://svc:80/wfbench";
+  wfcommons::KnativeTranslator(config).apply(wf);
+  return wf;
+}
+
+/// Rebuilds the plan the way the seed's build_plan did — row-of-structs
+/// PlannedTask records grouped by level — then converts through the
+/// deprecated shim. The equivalence suite runs this against the columnar
+/// build_plan output.
+ExecutionPlan seed_representation_plan(const wfcommons::Workflow& wf,
+                                       const std::string& workdir) {
+  std::vector<std::vector<PlannedTask>> phases;
+  std::unordered_map<std::string, std::size_t> flat_ids;
+  std::size_t next_id = 0;
+  const auto level_decomposition = wfcommons::levels(wf);
+  for (std::size_t level = 0; level < level_decomposition.size(); ++level) {
+    std::vector<PlannedTask> phase;
+    for (const wfcommons::Task* task : level_decomposition[level]) {
+      phase.push_back(PlannedTask{task->name, task->api_url,
+                                  to_task_params(*task, workdir), level, {}, {}});
+      flat_ids.emplace(task->name, next_id++);
+    }
+    phases.push_back(std::move(phase));
+  }
+  for (const auto& level : level_decomposition) {
+    for (const wfcommons::Task* task : level) {
+      const std::size_t id = flat_ids.at(task->name);
+      std::size_t offset = id;
+      std::size_t l = 0;
+      while (offset >= phases[l].size()) {
+        offset -= phases[l].size();
+        ++l;
+      }
+      PlannedTask& planned = phases[l][offset];
+      for (const std::string& parent : task->parents) {
+        planned.parents.push_back(flat_ids.at(parent));
+      }
+      for (const std::string& child : task->children) {
+        planned.children.push_back(flat_ids.at(child));
+      }
+    }
+  }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  return plan_from_phases(wf.name(), phases, wf.external_inputs());
+#pragma GCC diagnostic pop
+}
+
+/// Fake wfbench endpoint: checks inputs, writes outputs, service time scales
+/// with cpu_work so the simulated schedule is sensitive to per-task knobs.
+void bind_fake_wfbench(sim::Simulation& sim, storage::SharedFilesystem& fs,
+                       net::Router& router) {
+  router.bind("svc:80", [&sim, &fs](const net::HttpRequest& request,
+                                    std::shared_ptr<net::Responder> responder) {
+    const wfbench::TaskParams params =
+        wfbench::task_params_from_json(json::parse(request.body));
+    for (const std::string& input : params.inputs) {
+      EXPECT_TRUE(fs.exists(input)) << params.name << " invoked before input " << input;
+    }
+    const sim::SimTime busy = sim::from_seconds(0.001 * params.cpu_work);
+    sim.schedule_in(busy, [&fs, params, responder] {
+      if (params.outputs.empty()) {
+        responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+        return;
+      }
+      auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+      for (const auto& [file, size] : params.outputs) {
+        fs.write(file, size, [remaining, responder] {
+          if (--*remaining == 0) {
+            responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+          }
+        });
+      }
+    });
+  });
+}
+
+/// One isolated run of a pre-built plan: fresh simulation, drive and router
+/// per call, so two representations execute in identical environments.
+WorkflowRunResult run_isolated(ExecutionPlan plan, const WfmConfig& config) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim);
+  bind_fake_wfbench(sim, fs, router);
+  WorkflowManager wfm(sim, router, fs);
+  WorkflowRunResult result;
+  wfm.run(std::move(plan), [&](WorkflowRunResult r) { result = std::move(r); }, config);
+  sim.run();
+  return result;
+}
+
+/// Canonical result document: every field of the run including the ordered
+/// per-task schedule. Byte-identical documents imply identical campaign
+/// CSVs (summary rows are derived from exactly these fields).
+std::string result_document(const WorkflowRunResult& result) {
+  json::Object doc;
+  doc.set("workflow", result.workflow_name);
+  doc.set("scheduling", std::string(to_string(result.scheduling)));
+  doc.set("completed", result.completed);
+  doc.set("tasks_total", result.tasks_total);
+  doc.set("tasks_failed", result.tasks_failed);
+  doc.set("task_retries", result.task_retries);
+  doc.set("input_wait_timeouts", result.input_wait_timeouts);
+  doc.set("upstream_failures", result.upstream_failures);
+  doc.set("input_wait_seconds", result.input_wait_seconds);
+  doc.set("retry_wait_seconds", result.retry_wait_seconds);
+  doc.set("makespan_seconds", result.makespan_seconds);
+  json::Array phases;
+  for (const PhaseOutcome& phase : result.phases) {
+    json::Object p;
+    p.set("index", phase.index);
+    p.set("tasks", phase.tasks);
+    p.set("failed", phase.failed);
+    p.set("wall_seconds", phase.wall_seconds);
+    phases.push_back(json::Value(std::move(p)));
+  }
+  doc.set("phases", std::move(phases));
+  json::Array tasks;
+  for (const TaskOutcome& task : result.tasks) {
+    json::Object t;
+    t.set("name", task.name);
+    t.set("ok", task.ok);
+    t.set("status", task.http_status);
+    t.set("started", task.started_seconds);
+    t.set("runtime", task.runtime_seconds);
+    t.set("wall", task.wall_seconds);
+    t.set("phase", task.phase);
+    t.set("attempts", task.attempts);
+    t.set("input_wait", task.input_wait_seconds);
+    t.set("retry_wait", task.retry_wait_seconds);
+    t.set("error", task.error);
+    tasks.push_back(json::Value(std::move(t)));
+  }
+  doc.set("tasks", std::move(tasks));
+  return json::write_compact(json::Value(std::move(doc)));
+}
+
+// ---- CSR round-trip ---------------------------------------------------------
+
+TEST(PlanCsr, RoundTripsEveryRecipe) {
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    const wfcommons::Workflow wf = translated(recipe, 40);
+    const ExecutionPlan plan = build_plan(wf, "/shared");
+    const auto indegrees = plan.indegrees();
+    ASSERT_EQ(plan.task_count(), wf.size()) << recipe;
+    ASSERT_EQ(indegrees.size(), plan.task_count()) << recipe;
+
+    std::size_t edges = 0;
+    for (TaskId id = 0; id < plan.task_count(); ++id) {
+      const auto parents = plan.parents(id);
+      EXPECT_EQ(indegrees[id], parents.size()) << recipe;
+      if (parents.empty()) {
+        // Roots have indegree 0 and sit on level 0 in every family.
+        EXPECT_EQ(plan.level_of(id), 0u) << recipe;
+      }
+      edges += parents.size();
+      for (const TaskId parent : parents) {
+        // Level monotonicity along edges.
+        EXPECT_LT(plan.level_of(parent), plan.level_of(id)) << recipe;
+        // Parent/child symmetry: the reverse CSR direction holds the edge.
+        const auto children = plan.children(parent);
+        EXPECT_NE(std::find(children.begin(), children.end(), id), children.end())
+            << recipe;
+      }
+      for (const TaskId child : plan.children(id)) {
+        const auto back = plan.parents(child);
+        EXPECT_NE(std::find(back.begin(), back.end(), id), back.end()) << recipe;
+      }
+    }
+    EXPECT_EQ(edges, plan.edge_count()) << recipe;
+    EXPECT_EQ(edges, wf.edge_count()) << recipe;
+
+    // The level index tiles the id space contiguously.
+    TaskId next = 0;
+    for (std::size_t level = 0; level < plan.level_count(); ++level) {
+      const auto range = plan.tasks_in_level(level);
+      EXPECT_EQ(range.begin_id(), next) << recipe;
+      for (const TaskId id : range) EXPECT_EQ(plan.level_of(id), level) << recipe;
+      next = range.end_id();
+    }
+    EXPECT_EQ(next, plan.task_count()) << recipe;
+  }
+}
+
+TEST(PlanCsr, NamesAndUrlsAreInterned) {
+  const wfcommons::Workflow wf = translated("blast", 30);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+  for (TaskId id = 0; id < plan.task_count(); ++id) {
+    EXPECT_NE(wf.find(plan.name(id)), nullptr);
+    EXPECT_EQ(plan.api_url(id), "http://svc:80/wfbench");
+    EXPECT_EQ(plan.workdir(id), "/shared");
+  }
+  // All api_url views alias ONE arena copy.
+  EXPECT_EQ(plan.api_url(0).data(), plan.api_url(plan.task_count() - 1).data());
+}
+
+// ---- O(1) stored counts (satellite: widest_phase/task_count regression) -----
+
+TEST(PlanCounts, StoredCountsMatchBuildPlanOutput) {
+  const wfcommons::Workflow wf = translated("blast", 30);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+  // Pinned against the known blast-30 shape (3 levels: split/blastall/cat).
+  EXPECT_EQ(plan.task_count(), wf.size());
+  EXPECT_EQ(plan.widest_phase(), 27u);
+  EXPECT_EQ(plan.level_count(), 3u);
+
+  // Stored counts equal what a scan over the level index yields.
+  std::size_t total = 0;
+  std::size_t widest = 0;
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    total += plan.level_size(level);
+    widest = std::max(widest, plan.level_size(level));
+  }
+  EXPECT_EQ(plan.task_count(), total);
+  EXPECT_EQ(plan.widest_phase(), widest);
+}
+
+TEST(PlanCounts, IndegreesReturnsTheStoredColumn) {
+  const wfcommons::Workflow wf = translated("epigenomics", 40);
+  const ExecutionPlan plan = build_plan(wf, "/shared");
+  // A view, not a recomputed copy: repeated calls alias the same storage.
+  EXPECT_EQ(plan.indegrees().data(), plan.indegrees().data());
+  const auto indegrees = plan.indegrees();
+  for (TaskId id = 0; id < plan.task_count(); ++id) {
+    EXPECT_EQ(indegrees[id], plan.parents(id).size());
+  }
+}
+
+// ---- deprecated shim --------------------------------------------------------
+
+TEST(PlanShim, PreservesStructureAndTrailingEmptyLevels) {
+  PlannedTask a;
+  a.name = "a";
+  a.api_url = "http://svc:80/wfbench";
+  a.params.name = "a";
+  a.level = 0;
+  a.children = {1};
+  PlannedTask b;
+  b.name = "b";
+  b.api_url = "http://svc:80/wfbench";
+  b.params.name = "b";
+  b.params.inputs = {"a_output.txt"};
+  b.level = 1;
+  b.parents = {0};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ExecutionPlan plan = plan_from_phases("shim", {{a}, {b}, {}});
+#pragma GCC diagnostic pop
+  EXPECT_EQ(plan.task_count(), 2u);
+  EXPECT_EQ(plan.level_count(), 3u);  // the trailing empty level survives
+  EXPECT_EQ(plan.level_size(2), 0u);
+  EXPECT_EQ(plan.name(0), "a");
+  EXPECT_EQ(plan.name(1), "b");
+  ASSERT_EQ(plan.parents(1).size(), 1u);
+  EXPECT_EQ(plan.parents(1)[0], 0u);
+  ASSERT_EQ(plan.children(0).size(), 1u);
+  EXPECT_EQ(plan.children(0)[0], 1u);
+  EXPECT_EQ(plan.indegrees()[0], 0u);
+  EXPECT_EQ(plan.indegrees()[1], 1u);
+  EXPECT_EQ(plan.input_count(1), 1u);
+  EXPECT_EQ(plan.input_name(1, 0), "a_output.txt");
+}
+
+// ---- representation equivalence ---------------------------------------------
+
+TEST(PlanEquivalence, ColumnarMatchesSeedRepresentationEveryRecipeBothModes) {
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    const wfcommons::Workflow wf = translated(recipe, 40);
+    for (const SchedulingMode mode :
+         {SchedulingMode::kPhaseBarrier, SchedulingMode::kDependencyDriven}) {
+      WfmConfig config;
+      config.scheduling = mode;
+      const WorkflowRunResult columnar =
+          run_isolated(build_plan(wf, config.workdir), config);
+      const WorkflowRunResult seed =
+          run_isolated(seed_representation_plan(wf, config.workdir), config);
+      EXPECT_TRUE(columnar.ok()) << recipe << "/" << to_string(mode);
+      // Byte-identical documents: identical per-task schedules, phase
+      // attribution and roll-ups => identical campaign CSV rows.
+      EXPECT_EQ(result_document(columnar), result_document(seed))
+          << recipe << "/" << to_string(mode);
+    }
+  }
+}
+
+TEST(PlanEquivalence, TaskParamsMaterialiseIdentically) {
+  const wfcommons::Workflow wf = translated("genome", 60);
+  const ExecutionPlan plan = build_plan(wf, "/shared/wfbench");
+  for (TaskId id = 0; id < plan.task_count(); ++id) {
+    const wfcommons::Task* source = wf.find(plan.name(id));
+    ASSERT_NE(source, nullptr);
+    const wfbench::TaskParams expected = to_task_params(*source, "/shared/wfbench");
+    const wfbench::TaskParams actual = plan.task_params(id);
+    EXPECT_EQ(json::write_compact(wfbench::to_json(actual)),
+              json::write_compact(wfbench::to_json(expected)))
+        << plan.name(id);
+  }
+}
+
+// ---- mega-scale generation --------------------------------------------------
+
+TEST(PlanScale, ScaleFactorMultipliesInstanceSize) {
+  const wfcommons::Workflow base = translated("seismology", 50);
+  const wfcommons::Workflow scaled = translated("seismology", 50, 20.0);
+  EXPECT_GE(scaled.size(), base.size() * 18);  // ~20x, family shape preserved
+  const ExecutionPlan plan = build_plan(scaled, "/shared");
+  EXPECT_EQ(plan.task_count(), scaled.size());
+  EXPECT_GT(plan.widest_phase(), base.size());
+  // The columnar footprint stays lean: well under 1 KiB per task even with
+  // per-task file lists.
+  EXPECT_LT(plan.memory_footprint_bytes() / plan.task_count(), 1024u);
+}
+
+}  // namespace
+}  // namespace wfs::core
