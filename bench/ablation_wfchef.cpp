@@ -16,6 +16,7 @@
 #include "faas/platform.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
+#include "sim/simulation.h"
 #include "storage/shared_fs.h"
 
 #include "core/experiment.h"

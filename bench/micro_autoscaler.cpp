@@ -6,6 +6,7 @@
 #include "faas/autoscaler.h"
 #include "faas/kube_scheduler.h"
 #include "faas/service_config.h"
+#include "sim/simulation.h"
 
 namespace {
 

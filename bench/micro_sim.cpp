@@ -1,55 +1,398 @@
-// Micro-benchmarks: discrete-event engine throughput (the cost floor under
-// every experiment) and the processor-sharing rebalance path.
-#include <benchmark/benchmark.h>
+// Simulation-engine micro-bench: the PR's before/after ablation for the
+// sharded, batch-dispatching event core.
+//
+// Replays a translated 10^5-task workflow DAG as a pure event workload —
+// task start / finish / child-notify events spread across a small cluster
+// of nodes, service times quantised to a scheduling grid, cross-node
+// notifications paying a fixed transfer latency — on three engines:
+//  * legacy: the seed's engine, reproduced verbatim below (one
+//    priority_queue of (time, seq, id) entries + an id->callback map; two
+//    O(log n) heap operations and three hash-map touches per event);
+//  * batched: today's sim::Simulation (min-heap of DISTINCT timestamps over
+//    FIFO buckets, whole instants dispatched per heap operation);
+//  * sharded N: sim::ShardedSimulation with the cluster nodes mapped onto N
+//    shards and the transfer latency as the conservative lookahead.
+//
+// Every engine must finish every task and produce the same order-invariant
+// (id, finish-time) checksum — the determinism contract — and the sharded
+// engine at --shards must beat the legacy engine by --min-speedup in
+// simulated events/second. Exit status: 0 when both hold, 1 otherwise.
+// --json-out lands the figures for baselines/BENCH_sim.json.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
-#include "cluster/node.h"
+#include "core/dag.h"
+#include "json/value.h"
+#include "json/write.h"
+#include "sim/sharded.h"
 #include "sim/simulation.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/translators/knative.h"
 
 namespace {
 
-void BM_ScheduleAndRun(benchmark::State& state) {
-  const auto events = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    wfs::sim::Simulation sim;
-    for (std::size_t i = 0; i < events; ++i) {
-      sim.schedule_in(static_cast<wfs::sim::SimTime>(i % 1000), [] {});
-    }
-    sim.run();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events));
-}
-BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+using wfs::core::ExecutionPlan;
+using wfs::core::TaskId;
+using wfs::sim::SimTime;
 
-void BM_CancelHeavyQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    wfs::sim::Simulation sim;
-    std::vector<wfs::sim::EventId> ids;
-    ids.reserve(10000);
-    for (int i = 0; i < 10000; ++i) {
-      ids.push_back(sim.schedule_in(i, [] {}));
-    }
-    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
-    sim.run();
-  }
-}
-BENCHMARK(BM_CancelHeavyQueue);
+// ---- the seed engine, reproduced verbatim ------------------------------------
+// One heap entry per event, callbacks in a side map so cancel() can release
+// them promptly. This is the exact pre-batching implementation (minus
+// cancel, which the replay never uses): the "before" half of the ablation.
+class LegacySim {
+ public:
+  using Callback = std::function<void()>;
 
-void BM_ProcessorSharingRebalance(benchmark::State& state) {
-  // N concurrent work items; each completion triggers a full rebalance —
-  // the hot path of wide workflow phases.
-  const auto n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    wfs::sim::Simulation sim;
-    wfs::cluster::NodeSpec spec;
-    spec.cores = 96.0;
-    wfs::cluster::Node node(sim, spec);
-    for (int i = 0; i < n; ++i) {
-      node.submit_work(0.8, 10.0 + i % 7, wfs::cluster::kNoQuotaGroup, [] {});
-    }
-    sim.run();
+  void schedule_at(SimTime at, Callback fn) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(Entry{at, next_sequence_++, id});
+    callbacks_.emplace(id, std::move(fn));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  void schedule_in(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  void run() {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      const auto it = callbacks_.find(top.id);
+      Callback fn = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = top.time;
+      ++executed_;
+      fn();
+    }
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t sequence;
+    std::uint64_t id;
+    bool operator<(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// ---- plan-replay workload ----------------------------------------------------
+
+constexpr std::size_t kNodes = 4;         // cluster nodes (fixed across engines)
+constexpr SimTime kLocalDelay = 100;      // same-node child notification
+constexpr SimTime kTransfer = 500;        // cross-node transfer = the lookahead
+constexpr SimTime kGrid = 100;            // service-time quantum
+
+// Deterministic quantised service time: collisions on the grid are the
+// realistic regime (schedulers tick, services are quantised) and what the
+// bucket queue exploits.
+SimTime duration_of(double cpu_work) {
+  const auto steps = static_cast<std::uint64_t>(cpu_work * 10.0) % 64;
+  return kGrid * static_cast<SimTime>(1 + steps);
 }
-BENCHMARK(BM_ProcessorSharingRebalance)->Arg(50)->Arg(200)->Arg(1000);
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Engine adapters: where events live (one queue, or one shard per node
+// group) and how a cross-node notification travels.
+struct SequentialOnLegacy {
+  LegacySim& sim;
+  void schedule_in(std::size_t /*node*/, SimTime delay, LegacySim::Callback fn) {
+    sim.schedule_in(delay, std::move(fn));
+  }
+  [[nodiscard]] SimTime now(std::size_t /*node*/) const { return sim.now(); }
+  void notify(std::size_t /*from*/, std::size_t /*to*/, SimTime at, LegacySim::Callback fn) {
+    sim.schedule_at(at, std::move(fn));
+  }
+};
+
+struct SequentialOnBatched {
+  wfs::sim::Simulation& sim;
+  void schedule_in(std::size_t /*node*/, SimTime delay, wfs::sim::EventQueue::Callback fn) {
+    sim.schedule_in(delay, std::move(fn));
+  }
+  [[nodiscard]] SimTime now(std::size_t /*node*/) const { return sim.now(); }
+  void notify(std::size_t /*from*/, std::size_t /*to*/, SimTime at,
+              wfs::sim::EventQueue::Callback fn) {
+    sim.schedule_at(at, std::move(fn));
+  }
+};
+
+struct ShardedByNode {
+  wfs::sim::ShardedSimulation& sim;
+  [[nodiscard]] wfs::sim::ShardedSimulation::Shard& of(std::size_t node) const {
+    return sim.shard(node % sim.shard_count());
+  }
+  void schedule_in(std::size_t node, SimTime delay, wfs::sim::EventQueue::Callback fn) {
+    of(node).schedule_in(delay, std::move(fn));
+  }
+  [[nodiscard]] SimTime now(std::size_t node) const { return of(node).now(); }
+  void notify(std::size_t from, std::size_t to, SimTime at,
+              wfs::sim::EventQueue::Callback fn) {
+    of(from).post(to % sim.shard_count(), at, std::move(fn));
+  }
+};
+
+/// Replays the DAG on `engine`. Every task belongs to a node; its events
+/// run on that node's shard only, and each node's state (pending counters
+/// of ITS tasks, checksum lane) is touched by that shard alone — the
+/// sharded-engine contract.
+template <typename Engine>
+class Replay {
+ public:
+  Replay(const ExecutionPlan& plan, Engine engine)
+      : plan_(plan), engine_(engine), pending_(plan.task_count()),
+        checksum_lane_(kNodes, 0), finished_lane_(kNodes, 0) {
+    const auto indegrees = plan_.indegrees();
+    for (TaskId id = 0; id < plan_.task_count(); ++id) {
+      pending_[id] = indegrees[id];
+      if (pending_[id] == 0) {
+        engine_.schedule_in(node_of(id), 0, [this, id] { start(id); });
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t lane : checksum_lane_) total += lane;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t finished() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t lane : finished_lane_) total += lane;
+    return total;
+  }
+
+ private:
+  static std::size_t node_of(TaskId id) { return id % kNodes; }
+
+  void start(TaskId id) {
+    engine_.schedule_in(node_of(id), duration_of(plan_.cpu_work(id)),
+                        [this, id] { finish(id); });
+  }
+
+  void finish(TaskId id) {
+    const std::size_t node = node_of(id);
+    const SimTime now = engine_.now(node);
+    checksum_lane_[node] +=
+        mix(id * 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(now));
+    ++finished_lane_[node];
+    for (const TaskId child : plan_.children(id)) {
+      const std::size_t target = node_of(child);
+      const SimTime at = now + (target == node ? kLocalDelay : kTransfer);
+      engine_.notify(node, target, at, [this, child] {
+        if (--pending_[child] == 0) start(child);
+      });
+    }
+  }
+
+  const ExecutionPlan& plan_;
+  Engine engine_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<std::uint64_t> checksum_lane_;
+  std::vector<std::uint64_t> finished_lane_;
+};
+
+struct EngineReport {
+  std::string name;
+  std::uint64_t events = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t checksum = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t windows = 0;      // sharded engines only
+  std::uint64_t sync_stalls = 0;  // sharded engines only
+};
+
+EngineReport run_legacy(const ExecutionPlan& plan) {
+  LegacySim sim;
+  Replay<SequentialOnLegacy> replay(plan, SequentialOnLegacy{sim});
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+  EngineReport report;
+  report.name = "legacy";
+  report.events = sim.executed();
+  report.finished = replay.finished();
+  report.checksum = replay.checksum();
+  report.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  report.events_per_sec = static_cast<double>(report.events) / report.wall_seconds;
+  return report;
+}
+
+EngineReport run_batched(const ExecutionPlan& plan) {
+  wfs::sim::Simulation sim;
+  sim.set_event_limit(1'000'000'000);
+  Replay<SequentialOnBatched> replay(plan, SequentialOnBatched{sim});
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+  EngineReport report;
+  report.name = "batched";
+  report.events = sim.executed_events();
+  report.finished = replay.finished();
+  report.checksum = replay.checksum();
+  report.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  report.events_per_sec = static_cast<double>(report.events) / report.wall_seconds;
+  return report;
+}
+
+EngineReport run_sharded(const ExecutionPlan& plan, std::size_t shards) {
+  wfs::sim::ShardedConfig config;
+  config.lookahead = kTransfer;
+  config.event_limit = 1'000'000'000;
+  wfs::sim::ShardedSimulation sim(shards, config);
+  Replay<ShardedByNode> replay(plan, ShardedByNode{sim});
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+  EngineReport report;
+  report.name = wfs::support::format("sharded{}", shards);
+  report.events = sim.executed_events();
+  report.finished = replay.finished();
+  report.checksum = replay.checksum();
+  report.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  report.events_per_sec = static_cast<double>(report.events) / report.wall_seconds;
+  report.windows = sim.windows();
+  report.sync_stalls = sim.sync_stalls();
+  return report;
+}
+
+void print_report(const EngineReport& r, const EngineReport& legacy) {
+  std::cout << wfs::support::format(
+      "  {:<9} {:>9} events  {:>7.3f} s  {:>11.4g} events/s  {:>5.2f}x",
+      r.name, r.events, r.wall_seconds, r.events_per_sec,
+      r.events_per_sec / legacy.events_per_sec);
+  if (r.windows > 0) {
+    std::cout << wfs::support::format("  ({} windows, {} stalls)", r.windows,
+                                      r.sync_stalls);
+  }
+  std::cout << "\n";
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+  support::CliParser cli("micro_sim",
+                         "event-engine ablation: seed heap vs batched vs sharded");
+  cli.add_flag("recipe", "blast", "workflow family to instantiate");
+  cli.add_flag("tasks", "100000", "instance size (tasks)");
+  cli.add_flag("shards", "4", "shard count for the headline comparison");
+  cli.add_flag("min-speedup", "2", "required events/s gain of sharded over legacy");
+  cli.add_flag("json-out", "", "write the figures as JSON to this file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string recipe = cli.get("recipe");
+  const auto tasks = static_cast<std::size_t>(cli.get_int("tasks"));
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards"));
+  const double min_speedup = cli.get_double("min-speedup");
+
+  wfcommons::GenerateOptions options;
+  options.num_tasks = tasks;
+  options.seed = 1;
+  wfcommons::Workflow wf = wfcommons::make_recipe(recipe)->generate(options);
+  wfcommons::KnativeTranslatorConfig tconfig;
+  tconfig.service_url = "http://svc:80/wfbench";
+  wfcommons::KnativeTranslator(tconfig).apply(wf);
+  const core::ExecutionPlan plan = core::build_plan(wf, "/shared/wfbench");
+
+  std::cout << support::format(
+      "micro_sim — plan replay of {} ({} tasks) across {} nodes\n", recipe,
+      plan.task_count(), kNodes);
+  std::cout << "================================================================\n";
+
+  const EngineReport legacy = run_legacy(plan);
+  print_report(legacy, legacy);
+  const EngineReport batched = run_batched(plan);
+  print_report(batched, legacy);
+  std::vector<std::size_t> counts{2};
+  if (shards != 2) counts.push_back(shards);
+  std::vector<EngineReport> sharded_reports;
+  for (const std::size_t count : counts) {
+    sharded_reports.push_back(run_sharded(plan, count));
+    print_report(sharded_reports.back(), legacy);
+  }
+  const EngineReport& headline = sharded_reports.back();
+
+  bool ok = true;
+  std::vector<const EngineReport*> checked{&batched};
+  for (const EngineReport& r : sharded_reports) checked.push_back(&r);
+  for (const EngineReport* r : checked) {
+    if (r->checksum != legacy.checksum || r->finished != plan.task_count()) {
+      std::cout << support::format(
+          "FAILED: {} diverged from the seed engine (checksum {:x} vs {:x}, "
+          "{} of {} tasks finished)\n",
+          r->name, r->checksum, legacy.checksum, r->finished, plan.task_count());
+      ok = false;
+    }
+  }
+  const double speedup = headline.events_per_sec / legacy.events_per_sec;
+  if (ok && speedup < min_speedup) {
+    std::cout << support::format(
+        "FAILED: {} at {:.2f}x over legacy, below required {:g}x\n", headline.name,
+        speedup, min_speedup);
+    ok = false;
+  }
+  if (ok) {
+    std::cout << support::format(
+        "\n{}: {:.2f}x simulated events/s over the seed engine, checksums equal\n",
+        headline.name, speedup);
+  }
+
+  if (!cli.get("json-out").empty()) {
+    json::Object doc;
+    doc.set("bench", std::string("micro_sim"));
+    doc.set("recipe", recipe);
+    doc.set("tasks", plan.task_count());
+    doc.set("nodes", kNodes);
+    json::Array engines;
+    const auto add = [&engines](const EngineReport& r) {
+      json::Object o;
+      o.set("engine", r.name);
+      o.set("events", r.events);
+      o.set("events_per_sec", r.events_per_sec);
+      o.set("wall_seconds", r.wall_seconds);
+      if (r.windows > 0) {
+        o.set("windows", r.windows);
+        o.set("sync_stalls", r.sync_stalls);
+      }
+      engines.push_back(json::Value(std::move(o)));
+    };
+    add(legacy);
+    add(batched);
+    for (const EngineReport& r : sharded_reports) add(r);
+    doc.set("engines", std::move(engines));
+    doc.set("speedup_over_legacy", speedup);
+    std::ofstream out(cli.get("json-out"));
+    out << json::write_pretty(json::Value(std::move(doc))) << "\n";
+    std::cout << "wrote " << cli.get("json-out") << "\n";
+  }
+  return ok ? 0 : 1;
+}

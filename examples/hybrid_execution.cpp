@@ -21,6 +21,7 @@
 #include "faas/platform.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
+#include "sim/simulation.h"
 #include "storage/shared_fs.h"
 #include "support/cli.h"
 #include "support/format.h"

@@ -30,6 +30,7 @@
 #include "metrics/sampler.h"
 #include "net/router.h"
 #include "obs/trace_recorder.h"
+#include "sim/simulation.h"
 #include "storage/shared_fs.h"
 #include "support/cli.h"
 #include "support/format.h"

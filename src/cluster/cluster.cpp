@@ -4,13 +4,13 @@
 
 namespace wfs::cluster {
 
-Cluster::Cluster(sim::Simulation& sim, std::vector<NodeSpec> specs) {
+Cluster::Cluster(sim::Context& sim, std::vector<NodeSpec> specs) {
   if (specs.empty()) throw std::invalid_argument("Cluster: at least one node required");
   nodes_.reserve(specs.size());
   for (auto& spec : specs) nodes_.push_back(std::make_unique<Node>(sim, std::move(spec)));
 }
 
-Cluster Cluster::paper_testbed(sim::Simulation& sim) {
+Cluster Cluster::paper_testbed(sim::Context& sim) {
   NodeSpec master;
   master.name = "master";
   master.cores = 96.0;

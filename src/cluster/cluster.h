@@ -12,11 +12,11 @@ namespace wfs::cluster {
 
 class Cluster {
  public:
-  Cluster(sim::Simulation& sim, std::vector<NodeSpec> specs);
+  Cluster(sim::Context& sim, std::vector<NodeSpec> specs);
 
   /// The paper's testbed: master (96 hw threads, 256 GB) + worker
   /// (96 hw threads, 192 GB), 1 work-unit/s cores.
-  static Cluster paper_testbed(sim::Simulation& sim);
+  static Cluster paper_testbed(sim::Context& sim);
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }

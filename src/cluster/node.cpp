@@ -16,7 +16,7 @@ constexpr double kWorkEpsilon = 1e-9;
 
 }  // namespace
 
-Node::Node(sim::Simulation& sim, NodeSpec spec)
+Node::Node(sim::Context& sim, NodeSpec spec)
     : sim_(sim), spec_(std::move(spec)), ledger_(spec_.cores, spec_.memory_bytes) {
   if (spec_.cores <= 0) throw std::invalid_argument("Node: cores must be positive");
   if (spec_.core_speed <= 0) throw std::invalid_argument("Node: core_speed must be positive");

@@ -19,7 +19,7 @@
 
 #include "cluster/power.h"
 #include "cluster/resource_ledger.h"
-#include "sim/simulation.h"
+#include "sim/context.h"
 
 namespace wfs::cluster {
 
@@ -40,7 +40,7 @@ struct NodeSpec {
 
 class Node {
  public:
-  Node(sim::Simulation& sim, NodeSpec spec);
+  Node(sim::Context& sim, NodeSpec spec);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -123,7 +123,7 @@ class Node {
   void advance_to_now();
   void complete_work(WorkId id);
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   NodeSpec spec_;
   ResourceLedger ledger_;
 

@@ -4,7 +4,7 @@
 
 namespace wfs::containers {
 
-LocalContainer::LocalContainer(sim::Simulation& sim, cluster::Node& node,
+LocalContainer::LocalContainer(sim::Context& sim, cluster::Node& node,
                                storage::DataStore& fs, ContainerSpec spec,
                                std::function<void()> on_ready)
     : sim_(sim), node_(node), fs_(fs), spec_(std::move(spec)) {

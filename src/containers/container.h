@@ -40,7 +40,7 @@ class LocalContainer {
   /// With CR set, the cpus are also reserved in the node ledger (docker
   /// does not reserve, but the paper's CR runs sized containers such that
   /// reservations reflect intent; NoCR reserves nothing).
-  LocalContainer(sim::Simulation& sim, cluster::Node& node, storage::DataStore& fs,
+  LocalContainer(sim::Context& sim, cluster::Node& node, storage::DataStore& fs,
                  ContainerSpec spec, std::function<void()> on_ready);
   ~LocalContainer();
 
@@ -62,7 +62,7 @@ class LocalContainer {
   }
 
  private:
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   cluster::Node& node_;
   storage::DataStore& fs_;
   ContainerSpec spec_;

@@ -8,7 +8,7 @@
 
 namespace wfs::containers {
 
-LocalContainerRuntime::LocalContainerRuntime(sim::Simulation& sim, cluster::Cluster& cluster,
+LocalContainerRuntime::LocalContainerRuntime(sim::Context& sim, cluster::Cluster& cluster,
                                              storage::DataStore& fs, net::Router& router,
                                              LocalRuntimeConfig config)
     : sim_(sim), cluster_(cluster), fs_(fs), router_(router), config_(std::move(config)) {}

@@ -37,7 +37,7 @@ struct LocalRuntimeStats {
 
 class LocalContainerRuntime {
  public:
-  LocalContainerRuntime(sim::Simulation& sim, cluster::Cluster& cluster,
+  LocalContainerRuntime(sim::Context& sim, cluster::Cluster& cluster,
                         storage::DataStore& fs, net::Router& router,
                         LocalRuntimeConfig config);
   ~LocalContainerRuntime();
@@ -70,7 +70,7 @@ class LocalContainerRuntime {
   [[nodiscard]] LocalContainer* pick_container();
   void pump();
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   cluster::Cluster& cluster_;
   storage::DataStore& fs_;
   net::Router& router_;

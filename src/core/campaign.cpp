@@ -36,6 +36,7 @@ std::vector<ExperimentConfig> enumerate_cells(const CampaignSpec& spec) {
             config.backend = spec.backend;
             config.data_cache_mb_per_node = spec.data_cache_mb_per_node;
             config.cache_aware_placement = spec.cache_aware_placement;
+            config.sim_shards = spec.sim_shards;
             config.wfm = spec.wfm;
             config.wfm.scheduling = scheduling;
             config.collect_metrics = spec.collect_metrics;

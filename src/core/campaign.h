@@ -35,6 +35,9 @@ struct CampaignSpec {
   /// cache_aware_placement). 0 = off, the exact paper data path.
   std::uint64_t data_cache_mb_per_node = 0;
   bool cache_aware_placement = false;
+  /// Simulation-engine shards per cell (ExperimentConfig::sim_shards).
+  /// summary_csv()/results() are byte-identical at every value.
+  std::size_t sim_shards = 1;
   WfmConfig wfm;
   /// Worker threads for run(): 0 = hardware_concurrency, 1 = fully
   /// sequential (the exact pre-pool code path).

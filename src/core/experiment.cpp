@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
@@ -9,6 +10,8 @@
 #include "metrics/sampler.h"
 #include "net/router.h"
 #include "obs/trace_recorder.h"
+#include "sim/sharded.h"
+#include "sim/simulation.h"
 #include "storage/cached_store.h"
 #include "storage/object_store.h"
 #include "storage/shared_fs.h"
@@ -33,7 +36,25 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   result.paradigm_name = paradigm.name;
 
   // ---- substrates -----------------------------------------------------------
-  sim::Simulation sim;
+  // Engine selection. sim_shards == 1 (the default) drives the classic
+  // single-queue Simulation. > 1 runs the same experiment on the
+  // conservative-lookahead ShardedSimulation; every paper substrate shares
+  // state (cluster, store, router), so they all bind to shard 0 and results
+  // are byte-identical at any shard count, while the windowed engine —
+  // lookahead accounting, barriers, occupancy metrics — is exercised end to
+  // end. bench/micro_sim's plan-replay model is what fans independent work
+  // across shards.
+  std::unique_ptr<sim::Simulation> plain_sim;
+  std::unique_ptr<sim::ShardedSimulation> sharded_sim;
+  sim::Context* sim_context = nullptr;
+  if (config.sim_shards > 1) {
+    sharded_sim = std::make_unique<sim::ShardedSimulation>(config.sim_shards);
+    sim_context = &sharded_sim->shard(0);
+  } else {
+    plain_sim = std::make_unique<sim::Simulation>();
+    sim_context = plain_sim.get();
+  }
+  sim::Context& sim = *sim_context;
   // Declared before the platform so pods can still emit their terminate
   // spans while the platform (and its pods) are torn down. Same for the
   // registry: pod terminations during platform teardown still count.
@@ -128,8 +149,28 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   }, config.wfm);
 
   const sim::SimTime deadline = sim::from_seconds(config.deadline_seconds);
-  while (!handle.done() && !sim.idle() && sim.now() < deadline) {
-    sim.step(1);
+  if (sharded_sim) {
+    // Conservative lookahead = the smallest latency any substrate declares
+    // for a cross-component interaction (floored at 1 us). Nothing can cross
+    // shards faster, so no window can miss a message.
+    sim::SimTime lookahead = router.min_latency();
+    if (const sim::SimTime store_min = fs.min_op_latency(); store_min > 0) {
+      lookahead = std::min(lookahead, store_min);
+    }
+    if (knative) lookahead = std::min(lookahead, knative->spec().min_edge_latency());
+    sharded_sim->set_lookahead(std::max<sim::SimTime>(1, lookahead));
+    sharded_sim->set_metrics(metrics_registry);
+    sharded_sim->set_trace(&recorder);
+    // The stop predicate observes the last executed event's time, so the
+    // engine — exactly like the step(1) loop below — still executes the
+    // event that crosses the deadline before halting.
+    sharded_sim->run([&handle, &engine = *sharded_sim, deadline] {
+      return handle.done() || engine.now() >= deadline;
+    });
+  } else {
+    while (!handle.done() && !plain_sim->idle() && plain_sim->now() < deadline) {
+      plain_sim->step(1);
+    }
   }
 
   // ---- outcome --------------------------------------------------------------

@@ -41,6 +41,14 @@ struct ExperimentConfig {
   /// Sampling cadence (PCP: 1 s).
   double sample_period_seconds = 1.0;
 
+  /// Event-queue shards for the simulation engine. 1 (the default) is the
+  /// classic single-queue Simulation; > 1 runs the experiment on the
+  /// conservative-lookahead ShardedSimulation (sim/sharded.h) with the
+  /// lookahead derived from the substrates' declared minimum latencies.
+  /// Results are byte-identical at every value — see DESIGN.md, "Parallel
+  /// simulation".
+  std::size_t sim_shards = 1;
+
   /// Node-local data cache capacity per cluster node, MiB. 0 (the default)
   /// disables the cache entirely — the store is used directly, the exact
   /// paper data path.

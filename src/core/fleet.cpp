@@ -11,6 +11,8 @@
 #include "faas/platform.h"
 #include "metrics/sampler.h"
 #include "net/router.h"
+#include "sim/sharded.h"
+#include "sim/simulation.h"
 #include "storage/shared_fs.h"
 #include "support/log.h"
 #include "support/thread_pool.h"
@@ -24,7 +26,20 @@ FleetResult run_fleet(const FleetConfig& config) {
   if (config.items.empty()) throw std::invalid_argument("run_fleet: no workflows");
   const ParadigmInfo& paradigm = paradigm_info(config.paradigm);
 
-  sim::Simulation sim;
+  // Same engine selection as ExperimentRunner::run — the single-queue
+  // Simulation at sim_shards == 1, the lookahead engine (all substrates on
+  // shard 0) above that. Fleet results are identical either way.
+  std::unique_ptr<sim::Simulation> plain_sim;
+  std::unique_ptr<sim::ShardedSimulation> sharded_sim;
+  sim::Context* sim_context = nullptr;
+  if (config.sim_shards > 1) {
+    sharded_sim = std::make_unique<sim::ShardedSimulation>(config.sim_shards);
+    sim_context = &sharded_sim->shard(0);
+  } else {
+    plain_sim = std::make_unique<sim::Simulation>();
+    sim_context = plain_sim.get();
+  }
+  sim::Context& sim = *sim_context;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
   storage::SharedFilesystem fs(sim);
   net::Router router(sim, net::NetworkConfig{}, config.items.front().seed);
@@ -107,7 +122,15 @@ FleetResult run_fleet(const FleetConfig& config) {
     (*launch)(0);
   }
 
-  sim.run_until(sim::from_seconds(config.deadline_seconds));
+  const sim::SimTime deadline = sim::from_seconds(config.deadline_seconds);
+  if (sharded_sim) {
+    sim::SimTime lookahead = std::min(router.min_latency(), fs.min_op_latency());
+    if (knative) lookahead = std::min(lookahead, knative->spec().min_edge_latency());
+    sharded_sim->set_lookahead(std::max<sim::SimTime>(1, lookahead));
+    sharded_sim->run_until(deadline);
+  } else {
+    plain_sim->run_until(deadline);
+  }
 
   result.completed = remaining == 0;
   for (const WorkflowRunResult& run : result.runs) {

@@ -33,6 +33,9 @@ struct FleetConfig {
   WfmConfig wfm;
   DeploymentShape shape;
   double deadline_seconds = 4.0 * 3600.0;
+  /// Simulation-engine shards; same contract as ExperimentConfig::sim_shards
+  /// (1 = the classic single-queue engine, results identical at any value).
+  std::size_t sim_shards = 1;
 };
 
 struct FleetResult {

@@ -90,6 +90,7 @@ json::Value result_to_json(const ExperimentResult& result) {
              result.config.backend == DataBackend::kObjectStore ? "objectstore" : "shared");
   config.set("data_cache_mb_per_node", result.config.data_cache_mb_per_node);
   config.set("cache_aware_placement", result.config.cache_aware_placement);
+  config.set("sim_shards", result.config.sim_shards);
   document.set("config", std::move(config));
 
   json::Object outcome;
@@ -195,6 +196,10 @@ ExperimentResult result_from_json(const json::Value& document) {
     }
     if (const json::Value* v = config->find("cache_aware_placement")) {
       result.config.cache_aware_placement = v->bool_or(false);
+    }
+    // Absent in pre-sharding result files; default to the sequential engine.
+    if (const json::Value* v = config->find("sim_shards")) {
+      result.config.sim_shards = static_cast<std::size_t>(v->int_or(1));
     }
   }
   if (const json::Value* outcome = root.find("outcome")) {

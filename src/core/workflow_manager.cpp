@@ -124,7 +124,7 @@ bool RunHandle::cancel() {
 
 // ---- WorkflowManager -------------------------------------------------------
 
-WorkflowManager::WorkflowManager(sim::Simulation& sim, net::Router& router,
+WorkflowManager::WorkflowManager(sim::Context& sim, net::Router& router,
                                  storage::DataStore& fs, WfmConfig config)
     : sim_(sim), router_(router), fs_(fs), config_(std::move(config)) {}
 

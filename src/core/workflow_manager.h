@@ -36,7 +36,7 @@
 #include "core/dag.h"
 #include "net/router.h"
 #include "obs/trace_recorder.h"
-#include "sim/simulation.h"
+#include "sim/context.h"
 #include "storage/data_store.h"
 #include "wfcommons/workflow.h"
 
@@ -175,7 +175,7 @@ class WorkflowManager {
  public:
   using CompletionCallback = std::function<void(WorkflowRunResult)>;
 
-  WorkflowManager(sim::Simulation& sim, net::Router& router, storage::DataStore& fs,
+  WorkflowManager(sim::Context& sim, net::Router& router, storage::DataStore& fs,
                   WfmConfig config = {});
   ~WorkflowManager();
 
@@ -236,7 +236,7 @@ class WorkflowManager {
   void deliver(const StatePtr& state);
   void send_marker(StatePtr state, const std::string& suffix, std::function<void()> next);
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   net::Router& router_;
   storage::DataStore& fs_;
   WfmConfig config_;

@@ -12,7 +12,7 @@
 
 namespace wfs::faas {
 
-KnativePlatform::KnativePlatform(sim::Simulation& sim, cluster::Cluster& cluster,
+KnativePlatform::KnativePlatform(sim::Context& sim, cluster::Cluster& cluster,
                                  storage::DataStore& fs, net::Router& router,
                                  KnativeServiceSpec spec)
     : sim_(sim),

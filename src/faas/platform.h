@@ -58,7 +58,7 @@ struct KnativePlatformStats {
 
 class KnativePlatform {
  public:
-  KnativePlatform(sim::Simulation& sim, cluster::Cluster& cluster,
+  KnativePlatform(sim::Context& sim, cluster::Cluster& cluster,
                   storage::DataStore& fs, net::Router& router, KnativeServiceSpec spec);
   ~KnativePlatform();
 
@@ -118,7 +118,7 @@ class KnativePlatform {
   void scale_down(int count);
   void reap_terminated();
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   cluster::Cluster& cluster_;
   storage::DataStore& fs_;
   storage::CachedStore* cache_ = nullptr;

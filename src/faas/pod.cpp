@@ -7,7 +7,7 @@
 
 namespace wfs::faas {
 
-Pod::Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
+Pod::Pod(sim::Context& sim, std::string name, const KnativeServiceSpec& spec,
          cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
          obs::TraceRecorder* trace, obs::TraceRecorder::Pid trace_pid,
          metrics::Histogram* cold_start_hist)

@@ -38,7 +38,7 @@ class Pod {
   /// `cold_start_hist`, when set, records the creation->Ready duration in
   /// seconds the moment the pod becomes Ready (pods killed before Ready
   /// never observe — same contract as KnativePlatformStats).
-  Pod(sim::Simulation& sim, std::string name, const KnativeServiceSpec& spec,
+  Pod(sim::Context& sim, std::string name, const KnativeServiceSpec& spec,
       cluster::Node& node, storage::DataStore& fs, std::function<void(Pod&)> on_ready,
       obs::TraceRecorder* trace = nullptr, obs::TraceRecorder::Pid trace_pid = 0,
       metrics::Histogram* cold_start_hist = nullptr);
@@ -81,7 +81,7 @@ class Pod {
   void touch_idle(sim::SimTime now) noexcept { idle_since_ = now; }
 
  private:
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   std::string name_;
   const KnativeServiceSpec& spec_;
   cluster::Node& node_;

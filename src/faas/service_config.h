@@ -79,6 +79,14 @@ struct KnativeServiceSpec {
   [[nodiscard]] double target_concurrency() const noexcept {
     return autoscaler.target_utilization * static_cast<double>(effective_concurrency());
   }
+
+  /// Fastest spontaneous platform action (pod boot or an autoscaler tick) —
+  /// the faas layer's contribution to a sharded simulation's conservative
+  /// lookahead. All other platform interactions ride the router and are
+  /// covered by its minimum hop latency.
+  [[nodiscard]] sim::SimTime min_edge_latency() const noexcept {
+    return cold_start < autoscaler.tick ? cold_start : autoscaler.tick;
+  }
 };
 
 }  // namespace wfs::faas

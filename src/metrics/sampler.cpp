@@ -4,7 +4,7 @@
 
 namespace wfs::metrics {
 
-Sampler::Sampler(sim::Simulation& sim, sim::SimTime period)
+Sampler::Sampler(sim::Context& sim, sim::SimTime period)
     : sim_(sim), task_(sim, period, [this](sim::SimTime) { sample_now(); }) {}
 
 void Sampler::add_probe(std::string name, Probe probe) {

@@ -14,7 +14,7 @@
 
 #include "metrics/time_series.h"
 #include "sim/periodic.h"
-#include "sim/simulation.h"
+#include "sim/context.h"
 
 namespace wfs::metrics {
 
@@ -22,7 +22,7 @@ class Sampler {
  public:
   using Probe = std::function<double()>;
 
-  Sampler(sim::Simulation& sim, sim::SimTime period = sim::kSecond);
+  Sampler(sim::Context& sim, sim::SimTime period = sim::kSecond);
 
   /// Registers a probe; re-registering an existing name replaces the probe
   /// AND resets its series (the old samples may be in different units —
@@ -48,7 +48,7 @@ class Sampler {
     TimeSeries series;
   };
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   // std::map: deterministic probe iteration order for pmdump column order.
   std::map<std::string, Channel> channels_;
   sim::PeriodicTask task_;

@@ -12,7 +12,7 @@ void Responder::respond(HttpResponse response) {
   send_(std::move(response));
 }
 
-Router::Router(sim::Simulation& sim, NetworkConfig config, std::uint64_t seed)
+Router::Router(sim::Context& sim, NetworkConfig config, std::uint64_t seed)
     : sim_(sim), config_(config), rng_(seed) {}
 
 void Router::bind(const std::string& authority, Handler handler) {

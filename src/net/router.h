@@ -17,7 +17,7 @@
 
 #include "net/http.h"
 #include "obs/trace_recorder.h"
-#include "sim/simulation.h"
+#include "sim/context.h"
 #include "support/rng.h"
 
 namespace wfs::metrics {
@@ -54,7 +54,7 @@ struct NetworkConfig {
 
 class Router {
  public:
-  Router(sim::Simulation& sim, NetworkConfig config = {}, std::uint64_t seed = 42);
+  Router(sim::Context& sim, NetworkConfig config = {}, std::uint64_t seed = 42);
 
   /// Registers/overwrites the handler for an authority ("host:port").
   void bind(const std::string& authority, Handler handler);
@@ -77,6 +77,10 @@ class Router {
   /// each way. Unbound authorities yield 404 (connection refused analogue).
   void send(HttpRequest request, std::function<void(HttpResponse)> on_response);
 
+  /// Minimum one-way hop latency (jitter only adds): the network's
+  /// contribution to a sharded simulation's conservative lookahead.
+  [[nodiscard]] sim::SimTime min_latency() const noexcept { return config_.base_latency; }
+
   [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
   [[nodiscard]] std::uint64_t responses_delivered() const noexcept {
     return responses_delivered_;
@@ -93,7 +97,7 @@ class Router {
   AuthorityMetrics& authority_metrics(const std::string& authority);
   void count_response(AuthorityMetrics& slot, const std::string& authority, int status);
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   NetworkConfig config_;
   support::Rng rng_;
   std::unordered_map<std::string, Handler> handlers_;

@@ -1,0 +1,37 @@
+// The scheduling surface every simulated component programs against.
+//
+// Substrates (cluster, storage, network, platform, WFM) only ever need four
+// operations: read the clock, schedule relative/absolute callbacks, and
+// cancel. Extracting them as an interface lets the same component code run
+// either on the classic single-threaded `Simulation` or bound to one shard
+// of a `ShardedSimulation` — the component cannot tell the difference, and
+// must not try to (shard-local time only advances inside its own events).
+#pragma once
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+
+namespace wfs::sim {
+
+class Context {
+ public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  virtual ~Context() = default;
+
+  /// Current simulated time as observed by this context.
+  [[nodiscard]] virtual SimTime now() const noexcept = 0;
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0;
+  /// a zero delay runs after all currently pending work at `now`).
+  virtual EventId schedule_in(SimTime delay, EventQueue::Callback fn) = 0;
+
+  /// Schedules `fn` at an absolute time (>= now).
+  virtual EventId schedule_at(SimTime at, EventQueue::Callback fn) = 0;
+
+  /// Cancels a pending event. False when already fired/cancelled/unknown.
+  virtual bool cancel(EventId id) = 0;
+};
+
+}  // namespace wfs::sim

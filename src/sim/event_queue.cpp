@@ -1,75 +1,179 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
 namespace wfs::sim {
 
 EventId EventQueue::schedule(SimTime at, Callback fn) {
+  if (at < floor_) {
+    throw std::invalid_argument(
+        "EventQueue::schedule: time is in the past relative to the last "
+        "popped event (causal order violation)");
+  }
   const EventId id = next_id_++;
-  heap_.push(Entry{at, next_sequence_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  if ((id >> 5) >= states_.size()) states_.push_back(0);
+  set_state(id, kResident);
+  const auto [it, inserted] = buckets_.try_emplace(at);
+  if (inserted) {
+    if (!spare_.empty()) {
+      it->second.items = std::move(spare_.back());
+      spare_.pop_back();
+    }
+    times_.push_back(at);
+    std::push_heap(times_.begin(), times_.end(), std::greater<>{});
+  }
+  it->second.items.push_back(BatchItem{id, std::move(fn)});
+  ++retained_;
+  ++bucket_live_;
+  ++live_count_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
-  // Lazy skipping alone only reclaims a cancelled entry once it surfaces at
-  // the top, so far-future schedule-then-cancel churn would pin memory for
-  // the whole run. Rebuild once cancelled entries exceed half the heap:
-  // O(n) per rebuild, amortised O(1) per cancel.
-  if (cancelled_.size() * 2 > heap_.size()) compact();
+  if (id == 0 || id >= next_id_) return false;
+  const std::uint8_t state = state_of(id);
+  if (state == kDead) return false;
+  set_state(id, kDead);
+  --live_count_;
+  if (state == kExtracted) {
+    // Extracted into a running batch; claim() will observe the tombstone.
+    ++batch_cancelled_;
+    return true;
+  }
+  --bucket_live_;
+  ++cancelled_resident_;
+  // Lazy skipping alone only reclaims a cancelled entry once its bucket is
+  // dispatched, so far-future schedule-then-cancel churn would pin memory
+  // for the whole run. Sweep once bucket-resident tombstones exceed half
+  // the retained entries: O(n) per sweep, amortised O(1) per cancel.
+  if (cancelled_resident_ * 2 > retained_) sweep_cancelled();
   return true;
 }
 
-void EventQueue::compact() const {
-  std::vector<Entry> live;
-  live.reserve(heap_.size() - cancelled_.size());
-  while (!heap_.empty()) {
-    if (!cancelled_.contains(heap_.top().id)) live.push_back(heap_.top());
-    heap_.pop();
+void EventQueue::sweep_cancelled() {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    Bucket& bucket = it->second;
+    auto& items = bucket.items;
+    std::size_t write = bucket.head;
+    for (std::size_t read = bucket.head; read < items.size(); ++read) {
+      if (state_of(items[read].id) == kDead) {
+        --retained_;
+        --cancelled_resident_;
+        continue;
+      }
+      if (write != read) items[write] = std::move(items[read]);
+      ++write;
+    }
+    items.resize(write);
+    if (write == bucket.head) {
+      // Fully-cancelled bucket: retire it here; the times_ heap is rebuilt
+      // below so its timestamp disappears too.
+      items.clear();
+      spare_.push_back(std::move(items));
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  // Every cancelled id had exactly one heap entry, and the full drain above
-  // visited them all.
-  cancelled_.clear();
-  heap_ = std::priority_queue<Entry>(std::less<Entry>{}, std::move(live));
+  assert(cancelled_resident_ == 0);
+  times_.clear();
+  times_.reserve(buckets_.size());
+  for (const auto& [time, bucket] : buckets_) times_.push_back(time);
+  std::make_heap(times_.begin(), times_.end(), std::greater<>{});
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::pop_time(SimTime time) const {
+  assert(!times_.empty() && times_.front() == time);
+  std::pop_heap(times_.begin(), times_.end(), std::greater<>{});
+  times_.pop_back();
+  const auto it = buckets_.find(time);
+  assert(it != buckets_.end());
+  std::vector<BatchItem> recycled = std::move(it->second.items);
+  recycled.clear();
+  spare_.push_back(std::move(recycled));
+  buckets_.erase(it);
+}
+
+// Advances past cancelled tombstones until the front bucket's cursor rests
+// on a live item (or the heap drains). Each tombstone is visited once.
+void EventQueue::drop_dead_buckets() const {
+  while (!times_.empty()) {
+    const SimTime time = times_.front();
+    Bucket& bucket = buckets_.at(time);
+    while (bucket.head < bucket.items.size() &&
+           state_of(bucket.items[bucket.head].id) == kDead) {
+      ++bucket.head;
+      --retained_;
+      --cancelled_resident_;
+    }
+    if (bucket.head < bucket.items.size()) return;
+    pop_time(time);
   }
 }
-
-bool EventQueue::empty() const noexcept {
-  drop_cancelled();
-  return heap_.empty();
-}
-
-std::size_t EventQueue::size() const noexcept { return callbacks_.size(); }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-  return heap_.top().time;
+  drop_dead_buckets();
+  if (times_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return times_.front();
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Popped popped{top.time, std::move(it->second)};
-  callbacks_.erase(it);
-  return popped;
+  drop_dead_buckets();
+  if (times_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  const SimTime time = times_.front();
+  Bucket& bucket = buckets_.at(time);
+  // drop_dead_buckets left the cursor on a live item.
+  BatchItem item = std::move(bucket.items[bucket.head]);
+  ++bucket.head;
+  --retained_;
+  --bucket_live_;
+  --live_count_;
+  set_state(item.id, kDead);
+  if (bucket.head == bucket.items.size()) pop_time(time);
+  floor_ = time;
+  return Popped{time, std::move(item.fn)};
+}
+
+SimTime EventQueue::pop_batch(std::vector<BatchItem>& out) {
+  out.clear();
+  drop_dead_buckets();
+  if (times_.empty()) throw std::logic_error("EventQueue::pop_batch on empty queue");
+  const SimTime time = times_.front();
+  Bucket& bucket = buckets_.at(time);
+  if (out.capacity() < bucket.items.size() - bucket.head) {
+    out.reserve(bucket.items.size() - bucket.head);
+  }
+  for (std::size_t i = bucket.head; i < bucket.items.size(); ++i) {
+    BatchItem& item = bucket.items[i];
+    --retained_;
+    if (state_of(item.id) == kDead) {
+      --cancelled_resident_;
+      continue;
+    }
+    // Keep the event live (as kExtracted) so a same-instant predecessor in
+    // this batch can still cancel() it before claim() runs it.
+    set_state(item.id, kExtracted);
+    --bucket_live_;
+    out.push_back(std::move(item));
+  }
+  bucket.head = bucket.items.size();
+  pop_time(time);
+  floor_ = time;
+  return time;
+}
+
+bool EventQueue::claim(EventId id) {
+  if (batch_cancelled_ > 0 && state_of(id) == kDead) {
+    --batch_cancelled_;
+    return false;
+  }
+  set_state(id, kDead);
+  --live_count_;
+  return true;
 }
 
 }  // namespace wfs::sim

@@ -1,12 +1,17 @@
-// Priority queue of timed events with stable FIFO ordering for ties and
-// O(log n) cancellation via handles.
+// Priority queue of timed events with stable FIFO ordering for ties,
+// cancellation via handles, and batched same-timestamp extraction.
+//
+// Layout: a min-heap of DISTINCT timestamps over per-timestamp buckets
+// (append-ordered vectors). Events at one instant cost one heap operation
+// for the whole bucket instead of one per event — the dominant cost of the
+// old one-entry-per-event heap — and dispatching a simulation instant is a
+// single `pop_batch` that hands the caller the whole bucket as a vector.
+// FIFO-for-ties falls out of bucket append order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.h"
@@ -17,29 +22,36 @@ namespace wfs::sim {
 /// reused within one queue.
 using EventId = std::uint64_t;
 
-/// Min-heap of (time, sequence) ordered events. Events scheduled for the
-/// same instant fire in scheduling order — required for reproducibility.
+/// Min-heap of timestamp buckets. Events scheduled for the same instant
+/// fire in scheduling order — required for reproducibility.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `fn` at absolute time `at` (must not be in the past relative
-  /// to the last popped event). Returns a handle usable with cancel().
+  /// Schedules `fn` at absolute time `at`. Throws std::invalid_argument
+  /// when `at` lies in the past relative to the last popped event — every
+  /// user (not just Simulation) gets time monotonicity enforced, so a
+  /// misbehaving direct scheduler (cross-shard delivery, tests) cannot
+  /// silently corrupt causal order. Returns a handle usable with cancel().
   EventId schedule(SimTime at, Callback fn);
 
   /// Marks an event as cancelled; it will be skipped when reached. When
-  /// cancelled entries outnumber the live ones the heap is compacted
+  /// cancelled entries outnumber the live ones the buckets are swept
   /// eagerly, so schedule-then-cancel churn (retry timers racing their
-  /// completion, stopped periodic tasks) cannot grow the heap unboundedly.
-  /// Returns false when the id is unknown or already fired/cancelled.
+  /// completion, stopped periodic tasks) cannot grow retained entries
+  /// unboundedly. Returns false when the id is unknown or already
+  /// fired/cancelled. Cancelling an event that `pop_batch` has already
+  /// extracted (but whose callback has not been claimed) still works.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept;
-  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return bucket_live_ == 0; }
+  /// Live (schedulable, not-yet-fired, not-cancelled) events, including
+  /// batch-extracted ones awaiting claim().
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
 
-  /// Heap entries, INCLUDING not-yet-reclaimed cancelled ones — a probe for
-  /// the compaction bound (tests assert heap_size() stays O(live events)).
-  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
+  /// Retained entries, INCLUDING not-yet-reclaimed cancelled ones — a probe
+  /// for the compaction bound (tests assert heap_size() stays O(live)).
+  [[nodiscard]] std::size_t heap_size() const noexcept { return retained_; }
 
   /// Time of the next live event; only valid when !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -51,27 +63,63 @@ class EventQueue {
   };
   Popped pop();
 
- private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t sequence;
-    EventId id;
-    // greater-than for min-heap via std::priority_queue's max-heap default
-    bool operator<(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return sequence > other.sequence;
-    }
+  /// One extracted event of a batch; claim it before invoking.
+  struct BatchItem {
+    EventId id = 0;
+    Callback fn;
   };
 
-  void drop_cancelled() const;
-  void compact() const;
+  /// Extracts EVERY live event at the earliest timestamp into `out`
+  /// (cleared first) in FIFO order and returns that timestamp. Events
+  /// scheduled at the same instant while the batch executes land in a new
+  /// bucket and come back with the next pop_batch — exactly the order
+  /// one-at-a-time pop() would have produced. Before invoking an item the
+  /// caller MUST claim() it: a batched event can still be cancelled by an
+  /// earlier event of the same batch. Only valid when !empty().
+  SimTime pop_batch(std::vector<BatchItem>& out);
 
-  mutable std::priority_queue<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  // Callbacks stored separately so cancel() can release them promptly.
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::uint64_t next_sequence_ = 0;
+  /// Claims a batched event for dispatch. False when it was cancelled
+  /// after extraction — the caller must then skip the callback.
+  bool claim(EventId id);
+
+ private:
+  struct Bucket {
+    std::vector<BatchItem> items;
+    std::size_t head = 0;  // items[0, head) already popped or reclaimed
+  };
+
+  // Per-event lifecycle, 2 bits per id in a dense array — ids are handed
+  // out sequentially, so this replaces an id->time hash map (and its cache
+  // miss per schedule/dispatch/cancel) with one in-cache bit probe.
+  enum : std::uint8_t { kDead = 0, kResident = 1, kExtracted = 2 };
+  [[nodiscard]] std::uint8_t state_of(EventId id) const noexcept {
+    return static_cast<std::uint8_t>((states_[id >> 5] >> ((id & 31) * 2)) & 3);
+  }
+  void set_state(EventId id, std::uint8_t state) noexcept {
+    std::uint64_t& word = states_[id >> 5];
+    const unsigned shift = static_cast<unsigned>(id & 31) * 2;
+    word = (word & ~(std::uint64_t{3} << shift)) |
+           (std::uint64_t{state} << shift);
+  }
+
+  void drop_dead_buckets() const;
+  void sweep_cancelled();
+  void pop_time(SimTime time) const;
+
+  // Heap of distinct timestamps (min on top via std::greater).
+  mutable std::vector<SimTime> times_;
+  mutable std::unordered_map<SimTime, Bucket> buckets_;
+  std::vector<std::uint64_t> states_;  // 32 event states per word
+  // Recycled bucket storage: exhausted buckets park their vectors here so
+  // steady-state operation allocates nothing per timestamp.
+  mutable std::vector<std::vector<BatchItem>> spare_;
+  mutable std::size_t retained_ = 0;  // items held across all buckets
+  std::size_t bucket_live_ = 0;       // live events resident in buckets
+  std::size_t live_count_ = 0;        // live events incl. extracted unclaimed
+  mutable std::size_t cancelled_resident_ = 0;  // tombstones still in buckets
+  std::size_t batch_cancelled_ = 0;   // extracted items cancelled pre-claim
   EventId next_id_ = 1;
+  SimTime floor_ = 0;  // last popped/batched timestamp
 };
 
 }  // namespace wfs::sim

@@ -4,7 +4,7 @@
 
 namespace wfs::sim {
 
-PeriodicTask::PeriodicTask(Simulation& sim, SimTime period, Callback fn)
+PeriodicTask::PeriodicTask(Context& sim, SimTime period, Callback fn)
     : sim_(sim), period_(period), fn_(std::move(fn)) {
   if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period must be positive");
 }
@@ -34,8 +34,11 @@ void PeriodicTask::fire() {
   pending_ = 0;
   if (!running_) return;
   fn_(sim_.now());
-  // The callback may have stopped us.
-  if (running_) arm(period_);
+  // The callback may have stopped us — or stopped AND restarted us, in
+  // which case start() already armed the next occurrence and re-arming
+  // here would double the firing rate and leak an untracked event
+  // (pending_ would be overwritten while start()'s event stays live).
+  if (running_ && pending_ == 0) arm(period_);
 }
 
 }  // namespace wfs::sim

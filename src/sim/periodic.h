@@ -5,26 +5,28 @@
 
 #include <functional>
 
-#include "sim/simulation.h"
+#include "sim/context.h"
 
 namespace wfs::sim {
 
 /// RAII periodic task. The callback receives the firing time. Destroying or
-/// stop()ping cancels the pending occurrence. The referenced Simulation must
+/// stop()ping cancels the pending occurrence. The referenced Context must
 /// outlive the PeriodicTask.
 class PeriodicTask {
  public:
   using Callback = std::function<void(SimTime)>;
 
   /// Creates a stopped task; call start().
-  PeriodicTask(Simulation& sim, SimTime period, Callback fn);
+  PeriodicTask(Context& sim, SimTime period, Callback fn);
   ~PeriodicTask();
 
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   /// Begins firing `first_delay` from now, then every `period`.
-  /// Restarting an already running task is a no-op.
+  /// Restarting an already running task is a no-op. May be called from
+  /// inside the task's own callback (e.g. stop() + start() to re-phase):
+  /// the occurrence armed here is the only one that remains pending.
   void start(SimTime first_delay = 0);
 
   /// Cancels future occurrences (the currently executing one completes).
@@ -37,7 +39,7 @@ class PeriodicTask {
   void fire();
   void arm(SimTime delay);
 
-  Simulation& sim_;
+  Context& sim_;
   SimTime period_;
   Callback fn_;
   EventId pending_ = 0;

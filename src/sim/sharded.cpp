@@ -1,0 +1,308 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "metrics/registry.h"
+#include "obs/trace_recorder.h"
+#include "support/format.h"
+#include "support/thread_pool.h"
+
+namespace wfs::sim {
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+}  // namespace
+
+// ---- Shard ------------------------------------------------------------------
+
+EventId ShardedSimulation::Shard::schedule_in(SimTime delay, EventQueue::Callback fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("ShardedSimulation::Shard::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId ShardedSimulation::Shard::schedule_at(SimTime at, EventQueue::Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("ShardedSimulation::Shard::schedule_at: time in the past");
+  }
+  return queue_.schedule(at, std::move(fn));
+}
+
+void ShardedSimulation::Shard::post(std::size_t target, SimTime at,
+                                    EventQueue::Callback fn) {
+  if (target >= owner_.shards_.size()) {
+    throw std::out_of_range("ShardedSimulation::Shard::post: no such shard");
+  }
+  if (target == index_) {
+    schedule_at(at, std::move(fn));
+    return;
+  }
+  ++stats_.posts_sent;
+  if (owner_.in_window_.load(std::memory_order_relaxed)) {
+    // Conservative guarantee: the target may be executing anywhere before
+    // the horizon right now, so a message landing inside the window would
+    // race (and break reproducibility). Lookahead must cover the latency.
+    if (at < owner_.horizon_) {
+      throw std::invalid_argument(
+          "ShardedSimulation::Shard::post: delivery time inside the current "
+          "window (cross-shard latency shorter than the configured lookahead)");
+    }
+    outbox_.push_back(Mail{target, at, std::move(fn)});
+    return;
+  }
+  // Between windows the engine is single-threaded; deliver directly.
+  if (at < owner_.committed_) {
+    throw std::invalid_argument(
+        "ShardedSimulation::Shard::post: delivery time before committed time");
+  }
+  owner_.shards_[target]->queue_.schedule(at, std::move(fn));
+}
+
+void ShardedSimulation::Shard::run_window(SimTime horizon, const StopPredicate& stop) {
+  try {
+    bool ran = false;
+    if (stop) {
+      // Mirror the classic `while (!stop()) sim.step(1)` driver exactly:
+      // the predicate gates every dispatch and observes the time of the
+      // last EXECUTED event, so a deadline predicate still lets the
+      // crossing event run. One event at a time — a batch already popped
+      // when the predicate fires would be thrown away, losing events.
+      while (!queue_.empty() && queue_.next_time() < horizon) {
+        if (stop()) {
+          owner_.stop_requested_.store(true, std::memory_order_relaxed);
+          if (ran) ++stats_.active_windows;
+          return;
+        }
+        EventQueue::Popped popped = queue_.pop();
+        ++stats_.executed;
+        if (stats_.executed > owner_.config_.event_limit) {
+          throw std::runtime_error(
+              "ShardedSimulation event limit exceeded (runaway event storm?)");
+        }
+        ran = true;
+        now_ = popped.time;
+        popped.fn();
+      }
+    } else {
+      while (!queue_.empty() && queue_.next_time() < horizon) {
+        const SimTime t = queue_.pop_batch(batch_);
+        for (EventQueue::BatchItem& item : batch_) {
+          if (!queue_.claim(item.id)) continue;
+          ++stats_.executed;
+          if (stats_.executed > owner_.config_.event_limit) {
+            batch_.clear();
+            throw std::runtime_error(
+                "ShardedSimulation event limit exceeded (runaway event storm?)");
+          }
+          ran = true;
+          now_ = t;
+          item.fn();
+          item.fn = nullptr;
+        }
+        batch_.clear();
+      }
+    }
+    if (ran) ++stats_.active_windows;
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+}
+
+// ---- engine -----------------------------------------------------------------
+
+ShardedSimulation::ShardedSimulation(std::size_t shards, ShardedConfig config)
+    : config_(config) {
+  if (shards == 0) throw std::invalid_argument("ShardedSimulation: need >= 1 shard");
+  if (config_.lookahead < 1) {
+    throw std::invalid_argument("ShardedSimulation: lookahead must be >= 1 us");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.emplace_back(new Shard(*this, i));
+  }
+  std::size_t workers = config_.workers == 0
+                            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                            : config_.workers;
+  workers = std::min(workers, shards);
+  if (workers > 1) pool_ = std::make_unique<support::ThreadPool>(workers);
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+SimTime ShardedSimulation::now() const noexcept {
+  SimTime latest = drained_until_;
+  for (const auto& shard : shards_) latest = std::max(latest, shard->now_);
+  return latest;
+}
+
+bool ShardedSimulation::idle() const {
+  return std::all_of(shards_.begin(), shards_.end(),
+                     [](const auto& shard) { return shard->queue_.empty(); });
+}
+
+std::uint64_t ShardedSimulation::executed_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->stats_.executed;
+  return total;
+}
+
+void ShardedSimulation::deliver_mail() {
+  // Source-shard order, send order within a source: the target queue's
+  // sequence numbers — and hence all tie-breaks — are reproducible for any
+  // worker count.
+  for (const auto& source : shards_) {
+    for (Shard::Mail& mail : source->outbox_) {
+      shards_[mail.target]->queue_.schedule(mail.at, std::move(mail.fn));
+    }
+    source->outbox_.clear();
+  }
+}
+
+bool ShardedSimulation::run_window(SimTime deadline, const StopPredicate& stop) {
+  SimTime open = kNever;
+  std::size_t nonempty = 0;
+  for (const auto& shard : shards_) {
+    if (shard->queue_.empty()) continue;
+    ++nonempty;
+    open = std::min(open, shard->queue_.next_time());
+  }
+  if (nonempty == 0 || open > deadline) return false;
+
+  horizon_ = open > kNever - config_.lookahead ? kNever : open + config_.lookahead;
+  if (deadline != kNever && horizon_ > deadline) horizon_ = deadline + 1;
+
+  occupied_.clear();
+  std::size_t stalled = 0;
+  for (const auto& shard : shards_) {
+    if (shard->queue_.empty()) continue;
+    if (shard->queue_.next_time() < horizon_) {
+      occupied_.push_back(shard.get());
+    } else {
+      ++shard->stats_.stall_windows;
+      ++stalled;
+    }
+  }
+
+  ++windows_;
+  sync_stalls_ += stalled;
+  const bool parallel = pool_ != nullptr && occupied_.size() > 1;
+  if (parallel) ++parallel_windows_;
+
+  in_window_.store(true, std::memory_order_relaxed);
+  if (parallel) {
+    for (Shard* shard : occupied_) {
+      pool_->submit([shard, horizon = horizon_, &stop] {
+        shard->run_window(horizon, stop);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    // Single occupied shard — or no pool: run inline, in shard order.
+    for (Shard* shard : occupied_) shard->run_window(horizon_, stop);
+  }
+  in_window_.store(false, std::memory_order_relaxed);
+
+  for (Shard* shard : occupied_) {
+    if (shard->error_) {
+      std::exception_ptr error = std::exchange(shard->error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+
+  deliver_mail();
+  committed_ = horizon_;
+
+  if (windows_metric_ != nullptr) {
+    windows_metric_->inc();
+    if (parallel) parallel_windows_metric_->inc();
+    if (stalled > 0) stall_windows_metric_->inc(static_cast<double>(stalled));
+    occupancy_metric_->observe(static_cast<double>(occupied_.size()));
+    for (const Shard* shard : occupied_) {
+      shard_events_metric_[shard->index_]->inc(
+          static_cast<double>(shard->stats_.executed) -
+          shard_events_seen_[shard->index_]);
+      shard_events_seen_[shard->index_] =
+          static_cast<double>(shard->stats_.executed);
+    }
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->counter(trace_pid_, "occupied_shards", open,
+                    static_cast<double>(occupied_.size()));
+    trace_->counter(trace_pid_, "stalled_shards", open, static_cast<double>(stalled));
+  }
+  return true;
+}
+
+SimTime ShardedSimulation::run(const StopPredicate& stop) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (!run_window(kNever, stop)) break;
+  }
+  return now();
+}
+
+SimTime ShardedSimulation::run_until(SimTime deadline, const StopPredicate& stop) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (!run_window(deadline, stop)) break;
+  }
+  // Mirror Simulation::run_until: when everything at or before the deadline
+  // has drained, the clock still advances to the deadline.
+  if (!stop_requested_.load(std::memory_order_relaxed) && drained_until_ < deadline) {
+    drained_until_ = deadline;
+  }
+  return now();
+}
+
+void ShardedSimulation::set_lookahead(SimTime lookahead) {
+  if (in_window_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("ShardedSimulation::set_lookahead: window in flight");
+  }
+  if (lookahead < 1) {
+    throw std::invalid_argument("ShardedSimulation: lookahead must be >= 1 us");
+  }
+  config_.lookahead = lookahead;
+}
+
+void ShardedSimulation::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    windows_metric_ = nullptr;
+    parallel_windows_metric_ = nullptr;
+    stall_windows_metric_ = nullptr;
+    occupancy_metric_ = nullptr;
+    shard_events_metric_.clear();
+    shard_events_seen_.clear();
+    return;
+  }
+  windows_metric_ = &registry->counter("sim_windows_total",
+                                       "Lookahead windows executed");
+  parallel_windows_metric_ =
+      &registry->counter("sim_window_parallel_total",
+                         "Windows with more than one occupied shard");
+  stall_windows_metric_ =
+      &registry->counter("sim_sync_stall_windows_total",
+                         "Shard-windows stalled on conservative lookahead");
+  occupancy_metric_ = &registry->histogram("sim_window_occupancy",
+                                           "Occupied shards per window");
+  shard_events_metric_.clear();
+  shard_events_seen_.assign(shards_.size(), 0.0);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_events_metric_.push_back(
+        &registry->counter("sim_shard_events_total", "Events dispatched per shard",
+                           {{"shard", support::format("{}", i)}}));
+  }
+}
+
+void ShardedSimulation::set_trace(obs::TraceRecorder* recorder) {
+  trace_ = recorder;
+  if (trace_ != nullptr) trace_pid_ = trace_->process("sim-shards");
+}
+
+}  // namespace wfs::sim

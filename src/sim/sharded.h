@@ -1,0 +1,213 @@
+// Sharded discrete-event engine: conservative-lookahead parallel simulation.
+//
+// A ShardedSimulation partitions one experiment's events across N event
+// queues ("shards" — naturally one per cluster node or service). Execution
+// proceeds in windows: each window opens at the earliest pending event time
+// t and closes at t + lookahead; every shard with events inside the window
+// executes them independently (in parallel on a worker pool when available),
+// then all shards synchronize at a barrier and buffered cross-shard
+// messages are merged deterministically.
+//
+// Safety (the classic conservative argument): a shard may only influence
+// another through post(), and post() refuses delivery times before the
+// window's closing horizon. Transfer latencies and phase delays give the
+// natural lookahead — any interaction between components on different
+// shards takes at least one network/storage hop, so no message can land
+// inside the window being executed and each shard's event order is
+// independent of thread scheduling.
+//
+// Determinism: per shard, events run in (time, FIFO) order exactly like a
+// single Simulation; cross-shard mail is delivered at the barrier in
+// (source shard, send order) order, so queue sequence numbers — and hence
+// every tie-break — are reproducible for any worker count, including 1.
+// Campaign CSVs are byte-identical whatever `sim_shards` is set to.
+//
+// Contract for callbacks: an event bound to shard k may touch shard-k state
+// only. Components that share state must be bound to the same shard (the
+// experiment runner binds every paper substrate to shard 0 today; the
+// plan-replay model in bench/micro_sim shards per cluster node).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/context.h"
+#include "sim/event_queue.h"
+
+namespace wfs::metrics {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace wfs::metrics
+
+namespace wfs::obs {
+class TraceRecorder;
+}  // namespace wfs::obs
+
+namespace wfs::support {
+class ThreadPool;
+}  // namespace wfs::support
+
+namespace wfs::sim {
+
+struct ShardedConfig {
+  /// Conservative lookahead window width, microseconds (>= 1). Cross-shard
+  /// posts during a window must land at or after the window's horizon;
+  /// callers derive this from their minimum declared cross-shard latency
+  /// (network hop, storage op, phase delay).
+  SimTime lookahead = kMillisecond;
+  /// Worker threads executing a window's occupied shards. 0 = one per
+  /// hardware core (capped at the shard count); 1 = run occupied shards
+  /// inline on the driving thread, in shard order. Windows with a single
+  /// occupied shard always run inline — no handoff cost — which makes the
+  /// one-shard engine equivalent to a plain Simulation loop.
+  std::size_t workers = 0;
+  /// Safety valve: run()/run_until() throw std::runtime_error once any
+  /// shard has dispatched this many events (storm guard).
+  std::uint64_t event_limit = 500'000'000;
+};
+
+/// Per-shard occupancy/progress counters (see also set_metrics()).
+struct ShardStats {
+  std::uint64_t executed = 0;        // events dispatched by this shard
+  std::uint64_t active_windows = 0;  // windows with >=1 event executed here
+  std::uint64_t stall_windows = 0;   // pending events, none inside window
+  std::uint64_t posts_sent = 0;      // cross-shard messages originated here
+};
+
+class ShardedSimulation {
+ public:
+  /// Called (on the executing shard's thread) before every event dispatch;
+  /// returning true halts the engine after the events already run. With a
+  /// single occupied shard this gives exactly the semantics of the classic
+  /// `while (!stop()) sim.step(1)` driver loop.
+  using StopPredicate = std::function<bool()>;
+
+  /// One shard: a full sim::Context plus cross-shard post(). Obtained from
+  /// ShardedSimulation::shard(); components bound to it cannot tell it
+  /// apart from a plain Simulation.
+  class Shard final : public Context {
+   public:
+    [[nodiscard]] SimTime now() const noexcept override { return now_; }
+    EventId schedule_in(SimTime delay, EventQueue::Callback fn) override;
+    EventId schedule_at(SimTime at, EventQueue::Callback fn) override;
+    bool cancel(EventId id) override { return queue_.cancel(id); }
+
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+    [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+    /// Schedules `fn` on another shard at absolute time `at`. During a
+    /// window, delivery is buffered and merged at the barrier, and `at`
+    /// must be at or after the window horizon (throws std::invalid_argument
+    /// otherwise — the conservative-synchronization guarantee). Posting to
+    /// the own shard is a plain schedule_at.
+    void post(std::size_t target, SimTime at, EventQueue::Callback fn);
+
+   private:
+    friend class ShardedSimulation;
+    struct Mail {
+      std::size_t target = 0;
+      SimTime at = 0;
+      EventQueue::Callback fn;
+    };
+
+    Shard(ShardedSimulation& owner, std::size_t index)
+        : owner_(owner), index_(index) {}
+    void run_window(SimTime horizon, const StopPredicate& stop);
+
+    ShardedSimulation& owner_;
+    std::size_t index_;
+    EventQueue queue_;
+    std::vector<EventQueue::BatchItem> batch_;  // reused across instants
+    std::vector<Mail> outbox_;                  // drained at each barrier
+    SimTime now_ = 0;
+    ShardStats stats_;
+    std::exception_ptr error_;
+  };
+
+  explicit ShardedSimulation(std::size_t shards, ShardedConfig config = {});
+  ~ShardedSimulation();
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t index) { return *shards_.at(index); }
+
+  /// Max executed event time across shards (run_until advances it to the
+  /// deadline when every event drained first, mirroring Simulation).
+  [[nodiscard]] SimTime now() const noexcept;
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t executed_events() const noexcept;
+
+  /// Runs until every queue drains (or `stop` returns true). Returns now().
+  SimTime run(const StopPredicate& stop = {});
+
+  /// Runs events with time <= deadline (Simulation::run_until semantics).
+  SimTime run_until(SimTime deadline, const StopPredicate& stop = {});
+
+  // Window/synchronization counters (the perf-trajectory observables).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  [[nodiscard]] std::uint64_t parallel_windows() const noexcept { return parallel_windows_; }
+  /// Total shard-windows stalled on lookahead (pending events, none
+  /// executable before the horizon).
+  [[nodiscard]] std::uint64_t sync_stalls() const noexcept { return sync_stalls_; }
+  [[nodiscard]] const ShardStats& stats(std::size_t index) const {
+    return shards_.at(index)->stats_;
+  }
+
+  void set_event_limit(std::uint64_t limit) noexcept { config_.event_limit = limit; }
+
+  /// Replaces the lookahead window width — callers derive it from the
+  /// minimum latency their components declare (DataStore::min_op_latency,
+  /// Router::min_latency, KnativeServiceSpec::min_edge_latency) once those
+  /// exist, which is after the engine they bind to. Throws when called
+  /// mid-window or with a width < 1 us.
+  void set_lookahead(SimTime lookahead);
+  [[nodiscard]] SimTime lookahead() const noexcept { return config_.lookahead; }
+
+  /// Registers sim_windows_total / sim_window_parallel_total /
+  /// sim_sync_stall_windows_total counters, a sim_window_occupancy
+  /// histogram and per-shard sim_shard_events_total{shard=...} counters.
+  /// nullptr disables.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
+  /// Emits "occupied_shards" / "stalled_shards" counter series under a
+  /// "sim-shards" trace process, one sample per window. nullptr disables.
+  void set_trace(obs::TraceRecorder* recorder);
+
+ private:
+  bool run_window(SimTime deadline, const StopPredicate& stop);
+  void deliver_mail();
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<Shard*> occupied_;  // scratch, reused per window
+
+  SimTime horizon_ = 0;        // closing time of the in-flight window
+  SimTime committed_ = 0;      // every event before this has executed
+  SimTime drained_until_ = 0;  // run_until() clock floor when queues drain
+  std::atomic<bool> in_window_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t parallel_windows_ = 0;
+  std::uint64_t sync_stalls_ = 0;
+
+  metrics::Counter* windows_metric_ = nullptr;
+  metrics::Counter* parallel_windows_metric_ = nullptr;
+  metrics::Counter* stall_windows_metric_ = nullptr;
+  metrics::Histogram* occupancy_metric_ = nullptr;
+  std::vector<metrics::Counter*> shard_events_metric_;
+  std::vector<double> shard_events_seen_;  // last value flushed per shard
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+};
+
+}  // namespace wfs::sim

@@ -24,13 +24,29 @@ void Simulation::execute_next() {
   fn();
 }
 
+void Simulation::execute_batch() {
+  now_ = queue_.pop_batch(batch_);
+  for (EventQueue::BatchItem& item : batch_) {
+    // A batch-mate that already ran may have cancelled this event.
+    if (!queue_.claim(item.id)) continue;
+    ++executed_;
+    if (executed_ > event_limit_) {
+      batch_.clear();
+      throw std::runtime_error("Simulation event limit exceeded (runaway event storm?)");
+    }
+    item.fn();
+    item.fn = nullptr;  // release the closure as eagerly as pop() would
+  }
+  batch_.clear();
+}
+
 SimTime Simulation::run() {
-  while (!queue_.empty()) execute_next();
+  while (!queue_.empty()) execute_batch();
   return now_;
 }
 
 SimTime Simulation::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.next_time() <= deadline) execute_next();
+  while (!queue_.empty() && queue_.next_time() <= deadline) execute_batch();
   if (now_ < deadline) now_ = deadline;
   return now_;
 }

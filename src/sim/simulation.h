@@ -1,37 +1,44 @@
 // The discrete-event simulation driver.
 //
 // One Simulation owns the clock and the event queue; every substrate
-// (cluster, platform, network, sampler) schedules callbacks against it.
-// A Simulation is strictly single-threaded (Core Guidelines CP.3: the less
-// shared writable data the better); run several Simulation instances on
-// separate threads for parallel experiment sweeps.
+// (cluster, platform, network, sampler) schedules callbacks against it
+// through the sim::Context interface. A Simulation is strictly
+// single-threaded (Core Guidelines CP.3: the less shared writable data the
+// better); run several Simulation instances on separate threads for
+// parallel experiment sweeps, or use sim::ShardedSimulation to parallelize
+// INSIDE one experiment.
+//
+// run()/run_until() dispatch in same-timestamp batches: the whole bucket
+// of events at the current instant is extracted with one heap operation
+// and executed back to back, in exactly the order one-at-a-time popping
+// would have produced (cancellations between batch-mates included).
 #pragma once
 
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/clock.h"
+#include "sim/context.h"
 #include "sim/event_queue.h"
 
 namespace wfs::sim {
 
-class Simulation {
+class Simulation final : public Context {
  public:
   Simulation() = default;
-  Simulation(const Simulation&) = delete;
-  Simulation& operator=(const Simulation&) = delete;
 
   /// Current simulated time.
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime now() const noexcept override { return now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0;
   /// a zero delay runs after all currently pending work at `now`).
-  EventId schedule_in(SimTime delay, EventQueue::Callback fn);
+  EventId schedule_in(SimTime delay, EventQueue::Callback fn) override;
 
   /// Schedules `fn` at an absolute time (>= now).
-  EventId schedule_at(SimTime at, EventQueue::Callback fn);
+  EventId schedule_at(SimTime at, EventQueue::Callback fn) override;
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) override { return queue_.cancel(id); }
 
   /// Runs until the queue drains. Returns the final time.
   SimTime run();
@@ -40,7 +47,8 @@ class Simulation {
   /// min(deadline, last event time) or deadline if events remain.
   SimTime run_until(SimTime deadline);
 
-  /// Executes at most `max_events` events (for debugging/stepping).
+  /// Executes at most `max_events` events one at a time (for
+  /// debugging/stepping and drivers that re-check state between events).
   std::size_t step(std::size_t max_events = 1);
 
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
@@ -53,8 +61,10 @@ class Simulation {
 
  private:
   void execute_next();
+  void execute_batch();
 
   EventQueue queue_;
+  std::vector<EventQueue::BatchItem> batch_;  // reused across instants
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 500'000'000;

@@ -167,7 +167,7 @@ struct CachedStore::NodeCache final : DataStore {
   metrics::Counter* bytes_saved_metric_ = nullptr;
 };
 
-CachedStore::CachedStore(sim::Simulation& sim, DataStore& backing, CacheConfig config)
+CachedStore::CachedStore(sim::Context& sim, DataStore& backing, CacheConfig config)
     : sim_(sim), backing_(backing), config_(config) {}
 
 CachedStore::~CachedStore() = default;

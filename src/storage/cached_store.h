@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "obs/trace_recorder.h"
-#include "sim/simulation.h"
+#include "sim/context.h"
 #include "storage/data_store.h"
 
 namespace wfs::storage {
@@ -63,7 +63,7 @@ struct CacheStats {
 
 class CachedStore final : public DataStore {
  public:
-  CachedStore(sim::Simulation& sim, DataStore& backing, CacheConfig config = {});
+  CachedStore(sim::Context& sim, DataStore& backing, CacheConfig config = {});
   ~CachedStore() override;
 
   CachedStore(const CachedStore&) = delete;
@@ -111,6 +111,13 @@ class CachedStore final : public DataStore {
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] DataStore& backing() noexcept { return backing_; }
 
+  /// Fastest possible completion: a local cache hit (or the backing store,
+  /// should it ever declare something quicker).
+  [[nodiscard]] sim::SimTime min_op_latency() const noexcept override {
+    const sim::SimTime backing = backing_.min_op_latency();
+    return backing > 0 && backing < config_.hit_latency ? backing : config_.hit_latency;
+  }
+
  private:
   struct NodeCache;
 
@@ -118,7 +125,7 @@ class CachedStore final : public DataStore {
   void invalidate_everywhere(const std::string& name, const NodeCache* except);
   void attach_instruments(NodeCache& cache);
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   DataStore& backing_;
   CacheConfig config_;
   metrics::MetricsRegistry* registry_ = nullptr;

@@ -12,6 +12,8 @@
 #include <optional>
 #include <string>
 
+#include "sim/clock.h"
+
 namespace wfs::metrics {
 class MetricsRegistry;
 class Counter;
@@ -77,6 +79,13 @@ class DataStore {
       const std::string& /*name*/) const {
     return std::nullopt;
   }
+
+  /// Minimum simulated latency of any read/write this store can complete —
+  /// the store's contribution to a sharded simulation's conservative
+  /// lookahead (no completion callback may fire sooner than this after the
+  /// operation starts). 0 means "no declared bound" and callers must fall
+  /// back to the 1 us floor.
+  [[nodiscard]] virtual sim::SimTime min_op_latency() const noexcept { return 0; }
 
   // Traffic counters (for reports).
   [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;

@@ -6,7 +6,7 @@
 
 namespace wfs::storage {
 
-ObjectStore::ObjectStore(sim::Simulation& sim, ObjectStoreConfig config)
+ObjectStore::ObjectStore(sim::Context& sim, ObjectStoreConfig config)
     : sim_(sim), config_(config) {}
 
 void ObjectStore::set_metrics(metrics::MetricsRegistry* registry) {

@@ -13,7 +13,7 @@
 #include <optional>
 #include <unordered_map>
 
-#include "sim/simulation.h"
+#include "sim/context.h"
 #include "storage/data_store.h"
 
 namespace wfs::storage {
@@ -28,7 +28,7 @@ struct ObjectStoreConfig {
 
 class ObjectStore final : public DataStore {
  public:
-  ObjectStore(sim::Simulation& sim, ObjectStoreConfig config = {});
+  ObjectStore(sim::Context& sim, ObjectStoreConfig config = {});
 
   /// Registers ops/bytes/duration metrics under backend="object_store".
   void set_metrics(metrics::MetricsRegistry* registry) override;
@@ -46,6 +46,12 @@ class ObjectStore final : public DataStore {
   /// Empties the bucket and resets traffic/request counters; in-flight
   /// completions are invalidated (epoch guard).
   void clear() override;
+
+  /// Every request pays at least the HTTP+auth round trip — the bound a
+  /// sharded simulation uses for its conservative lookahead.
+  [[nodiscard]] sim::SimTime min_op_latency() const noexcept override {
+    return config_.request_latency;
+  }
   [[nodiscard]] std::optional<std::uint64_t> stat_size(
       const std::string& name) const override;
 
@@ -62,7 +68,7 @@ class ObjectStore final : public DataStore {
   [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double per_object_bps) const;
   [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   ObjectStoreConfig config_;
   std::unordered_map<std::string, std::uint64_t> objects_;
   std::uint64_t epoch_ = 0;

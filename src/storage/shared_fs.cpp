@@ -7,7 +7,7 @@
 
 namespace wfs::storage {
 
-SharedFilesystem::SharedFilesystem(sim::Simulation& sim, SharedFsConfig config)
+SharedFilesystem::SharedFilesystem(sim::Context& sim, SharedFsConfig config)
     : sim_(sim), config_(config) {}
 
 void SharedFilesystem::set_metrics(metrics::MetricsRegistry* registry) {

@@ -14,7 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "sim/context.h"
 #include "storage/data_store.h"
 
 namespace wfs::storage {
@@ -34,7 +34,7 @@ struct FileMeta {
 
 class SharedFilesystem final : public DataStore {
  public:
-  SharedFilesystem(sim::Simulation& sim, SharedFsConfig config = {});
+  SharedFilesystem(sim::Context& sim, SharedFsConfig config = {});
 
   /// Registers ops/bytes/duration metrics under backend="shared_fs".
   void set_metrics(metrics::MetricsRegistry* registry) override;
@@ -68,6 +68,12 @@ class SharedFilesystem final : public DataStore {
   /// flight across the clear are invalidated (epoch guard) so they can
   /// neither resurrect files nor underflow `inflight_`.
   void clear() override;
+
+  /// Every operation pays at least op_latency — the NFS round trip bounds
+  /// a sharded simulation's lookahead.
+  [[nodiscard]] sim::SimTime min_op_latency() const noexcept override {
+    return config_.op_latency;
+  }
   [[nodiscard]] std::optional<std::uint64_t> stat_size(
       const std::string& name) const override;
 
@@ -84,7 +90,7 @@ class SharedFilesystem final : public DataStore {
   [[nodiscard]] sim::SimTime transfer_time(std::uint64_t size_bytes, double bandwidth) const;
   [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   SharedFsConfig config_;
   std::unordered_map<std::string, FileMeta> files_;
   /// Bumped by clear(); completions captured under an older epoch are dead.

@@ -21,6 +21,17 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // A submit that raced shutdown can slip into the queue after every worker
+  // observed stop_ + empty and exited; without this drain such a job would
+  // sit in queue_ forever, silently breaking the "every submitted job
+  // completes" contract. The workers are joined, so run leftovers inline.
+  const std::scoped_lock lock(mutex_);
+  while (!queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(queue_.size()));
+    job();
+  }
 }
 
 void ThreadPool::set_metrics(metrics::MetricsRegistry* registry) {

@@ -32,7 +32,9 @@ class ThreadPool {
   /// Spawns `workers` threads; 0 means default_workers().
   explicit ThreadPool(std::size_t workers = 0);
 
-  /// Waits for queued and in-flight jobs, then joins the workers.
+  /// Waits for queued and in-flight jobs, then joins the workers. Jobs that
+  /// raced shutdown into the queue after the workers exited are drained
+  /// inline — every job that submit() accepted runs, unconditionally.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

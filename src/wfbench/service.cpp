@@ -23,7 +23,7 @@ net::HttpResponse ok_response(const TaskParams& params, double runtime_seconds) 
 
 }  // namespace
 
-WfBenchService::WfBenchService(sim::Simulation& sim, cluster::Node& node,
+WfBenchService::WfBenchService(sim::Context& sim, cluster::Node& node,
                                storage::DataStore& fs, ServiceConfig config,
                                cluster::QuotaGroupId quota_group)
     : sim_(sim), node_(node), fs_(fs), config_(config), quota_group_(quota_group) {

@@ -65,7 +65,7 @@ class WfBenchService {
   /// Binds the service to its node. `quota_group` caps the aggregate CPU
   /// rate of this process's work (cgroup --cpus), kNoQuotaGroup = uncapped.
   /// Registers the base memory footprint and idle worker loads immediately.
-  WfBenchService(sim::Simulation& sim, cluster::Node& node, storage::DataStore& fs,
+  WfBenchService(sim::Context& sim, cluster::Node& node, storage::DataStore& fs,
                  ServiceConfig config,
                  cluster::QuotaGroupId quota_group = cluster::kNoQuotaGroup);
   ~WfBenchService();
@@ -122,7 +122,7 @@ class WfBenchService {
   void add_resident(std::uint64_t bytes);
   void remove_resident(std::uint64_t bytes);
 
-  sim::Simulation& sim_;
+  sim::Context& sim_;
   cluster::Node& node_;
   storage::DataStore& fs_;
   ServiceConfig config_;

@@ -14,6 +14,7 @@
 #include "containers/runtime.h"
 #include "faas/platform.h"
 #include "net/router.h"
+#include "sim/simulation.h"
 #include "storage/shared_fs.h"
 #include "wfcommons/translators/hybrid.h"
 #include "wfcommons/translators/knative.h"

@@ -309,8 +309,11 @@ TEST(Quantile, P99MatchesRawWithinOneBucketWidth) {
 
 TEST(Concurrency, SharedRegistryOnThreadPoolIsExactAndDeterministic) {
   // Two "campaign cells" hammer one shared registry from pool workers —
-  // integer increments so the expected totals are exact, then the merged
-  // snapshot of a repeat run must be byte-identical.
+  // integer increments and dyadic (exactly-representable) observations so
+  // every partial sum is exact whatever order the workers interleave in —
+  // then the merged snapshot of a repeat run must be byte-identical.
+  // (Non-dyadic values like 0.002 would make the atomic double sum depend
+  // on addition order by an ulp, a real flake under tsan scheduling.)
   auto run_cells = [] {
     MetricsRegistry registry;
     constexpr int kJobsPerCell = 16;
@@ -326,7 +329,7 @@ TEST(Concurrency, SharedRegistryOnThreadPoolIsExactAndDeterministic) {
           pool.submit([&counter, &histogram] {
             for (int i = 0; i < kIncsPerJob; ++i) {
               counter.inc();
-              histogram.observe(0.002 * ((i % 4) + 1));
+              histogram.observe(0.001953125 * ((i % 4) + 1));  // k / 2^9
             }
           });
         }

@@ -1,0 +1,258 @@
+// Tests for the conservative-lookahead sharded engine (sim/sharded.h) and
+// the determinism contract behind it: experiment results are byte-identical
+// whatever sim_shards is set to, for any worker count.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/fleet.h"
+#include "metrics/registry.h"
+#include "sim/sharded.h"
+#include "sim/simulation.h"
+#include "wfcommons/recipes/recipe.h"
+
+namespace wfs::sim {
+namespace {
+
+// ---- engine semantics --------------------------------------------------------
+
+TEST(ShardedSim, SingleShardMatchesSimulationOrder) {
+  // The same event program, one-queue engine vs one-shard engine: identical
+  // execution order — the sharded engine degenerates to the classic loop.
+  const auto program = [](Context& sim, std::vector<int>& order) {
+    sim.schedule_in(20, [&order] { order.push_back(3); });
+    sim.schedule_in(10, [&sim, &order] {
+      order.push_back(1);
+      sim.schedule_in(0, [&order] { order.push_back(2); });
+    });
+    sim.schedule_in(20, [&order] { order.push_back(4); });
+  };
+
+  Simulation plain;
+  std::vector<int> plain_order;
+  program(plain, plain_order);
+  plain.run();
+
+  ShardedSimulation sharded(1);
+  std::vector<int> sharded_order;
+  program(sharded.shard(0), sharded_order);
+  sharded.run();
+
+  EXPECT_EQ(sharded_order, plain_order);
+  EXPECT_EQ(sharded.now(), plain.now());
+  EXPECT_EQ(sharded.executed_events(), 4u);
+}
+
+TEST(ShardedSim, StopPredicateExecutesDeadlineCrossingEvent) {
+  // The classic driver `while (!done && now < deadline) step(1)` executes
+  // the event that crosses the deadline (the predicate sees the previous
+  // event's time). The sharded stop predicate must behave identically.
+  ShardedSimulation engine(1);
+  Context& sim = engine.shard(0);
+  std::vector<SimTime> ran;
+  sim.schedule_in(10, [&] { ran.push_back(10); });
+  sim.schedule_in(60, [&] { ran.push_back(60); });
+  sim.schedule_in(70, [&] { ran.push_back(70); });
+  engine.run([&engine] { return engine.now() >= 50; });
+  EXPECT_EQ(ran, (std::vector<SimTime>{10, 60}));
+  EXPECT_EQ(engine.now(), 60);
+  EXPECT_FALSE(engine.idle());  // the 70 event is still pending
+}
+
+TEST(ShardedSim, RunUntilAdvancesClockWhenIdle) {
+  ShardedSimulation engine(2);
+  engine.shard(0).schedule_in(5, [] {});
+  engine.run_until(100);
+  EXPECT_EQ(engine.now(), 100);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(ShardedSim, RunUntilLeavesLaterEventsPending) {
+  ShardedSimulation engine(2);
+  int ran = 0;
+  engine.shard(0).schedule_in(5, [&ran] { ++ran; });
+  engine.shard(1).schedule_in(200, [&ran] { ++ran; });
+  engine.run_until(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(engine.idle());
+  engine.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.now(), 200);
+}
+
+TEST(ShardedSim, CrossShardPostBelowHorizonThrows) {
+  ShardedConfig config;
+  config.lookahead = 50;
+  config.workers = 1;
+  ShardedSimulation engine(2, config);
+  ShardedSimulation::Shard& shard0 = engine.shard(0);
+  shard0.schedule_in(0, [&shard0] {
+    // Window horizon is 0 + 50; a delivery at t=10 would land inside it.
+    shard0.post(1, 10, [] {});
+  });
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+TEST(ShardedSim, CrossShardPostAtHorizonIsDelivered) {
+  ShardedConfig config;
+  config.lookahead = 50;
+  config.workers = 1;
+  ShardedSimulation engine(2, config);
+  ShardedSimulation::Shard& shard0 = engine.shard(0);
+  bool delivered = false;
+  shard0.schedule_in(0, [&shard0, &delivered] {
+    shard0.post(1, 50, [&delivered] { delivered = true; });
+  });
+  engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(engine.shard(1).now(), 50);
+  EXPECT_EQ(engine.stats(0).posts_sent, 1u);
+}
+
+// Ping-pong across two shards: the per-shard execution sequences must be
+// identical whatever the worker count — the determinism half of the
+// conservative-synchronization argument.
+TEST(ShardedSim, PingPongIsDeterministicForAnyWorkerCount) {
+  constexpr SimTime kHop = 25;
+  constexpr int kHops = 40;
+
+  const auto run_with_workers = [&](std::size_t workers) {
+    ShardedConfig config;
+    config.lookahead = kHop;
+    config.workers = workers;
+    ShardedSimulation engine(2, config);
+    // Per-shard logs: each is appended to only by its own shard's events,
+    // so parallel windows never race on them.
+    std::vector<std::vector<SimTime>> log(2);
+    std::function<void(std::size_t, int)> hop = [&](std::size_t me, int n) {
+      log[me].push_back(engine.shard(me).now());
+      if (n >= kHops) return;
+      const std::size_t other = 1 - me;
+      engine.shard(me).post(other, engine.shard(me).now() + kHop,
+                            [&hop, other, n] { hop(other, n + 1); });
+    };
+    engine.shard(0).schedule_in(0, [&hop] { hop(0, 0); });
+    // Keep both shards occupied so windows genuinely overlap.
+    engine.shard(1).schedule_in(0, [&log, &engine] {
+      log[1].push_back(engine.shard(1).now());
+    });
+    engine.run();
+    return std::make_pair(std::move(log), engine.executed_events());
+  };
+
+  const auto [serial_log, serial_events] = run_with_workers(1);
+  const auto [parallel_log, parallel_events] = run_with_workers(2);
+  EXPECT_EQ(serial_log, parallel_log);
+  EXPECT_EQ(serial_events, parallel_events);
+  // One kick-off event per shard plus one posted event per hop.
+  EXPECT_EQ(serial_events, static_cast<std::uint64_t>(kHops) + 2);
+}
+
+TEST(ShardedSim, LookaheadStallsAreCounted) {
+  ShardedConfig config;
+  config.lookahead = 10;
+  ShardedSimulation engine(2, config);
+  engine.shard(0).schedule_in(0, [] {});
+  engine.shard(1).schedule_in(1000, [] {});
+  engine.run();
+  // Window [0,10) runs shard 0 while shard 1 (next event at 1000) stalls.
+  EXPECT_GE(engine.sync_stalls(), 1u);
+  EXPECT_GE(engine.stats(1).stall_windows, 1u);
+  EXPECT_EQ(engine.windows(), 2u);
+}
+
+TEST(ShardedSim, EventLimitGuardsStorms) {
+  ShardedConfig config;
+  config.event_limit = 100;
+  ShardedSimulation engine(1, config);
+  ShardedSimulation::Shard& shard = engine.shard(0);
+  std::function<void()> storm = [&] { shard.schedule_in(1, storm); };
+  shard.schedule_in(0, storm);
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(ShardedSim, SetLookaheadValidates) {
+  ShardedSimulation engine(2);
+  EXPECT_THROW(engine.set_lookahead(0), std::invalid_argument);
+  engine.set_lookahead(123);
+  EXPECT_EQ(engine.lookahead(), 123);
+}
+
+TEST(ShardedSim, RegistersWindowMetrics) {
+  metrics::MetricsRegistry registry;
+  ShardedConfig config;
+  config.lookahead = 10;
+  ShardedSimulation engine(2, config);
+  engine.set_metrics(&registry);
+  engine.shard(0).schedule_in(0, [] {});
+  engine.shard(1).schedule_in(5, [] {});
+  engine.run();
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.find("sim_windows_total"), nullptr);
+  ASSERT_NE(snapshot.find("sim_window_occupancy"), nullptr);
+  ASSERT_NE(snapshot.find("sim_shard_events_total"), nullptr);
+  EXPECT_GE(engine.windows(), 1u);
+}
+
+}  // namespace
+}  // namespace wfs::sim
+
+// ---- determinism suite -------------------------------------------------------
+//
+// The tentpole's central promise: campaign CSVs are byte-identical at every
+// shard count, across all seven workflow families and both scheduling
+// modes. A seed-vs-sharded mismatch anywhere in the event pipeline (queue
+// ordering, deadline handling, RNG consumption) shows up here as a diff.
+
+namespace wfs::core {
+namespace {
+
+std::string campaign_csv(std::size_t sim_shards) {
+  CampaignSpec spec;
+  spec.paradigms = {Paradigm::kKn10wNoPM};
+  spec.recipes = wfcommons::recipe_names();  // all seven families
+  spec.sizes = {20};
+  spec.schedulings = {SchedulingMode::kPhaseBarrier, SchedulingMode::kDependencyDriven};
+  spec.jobs = 1;
+  spec.collect_metrics = false;  // CSV identity is about the run, not meters
+  spec.sim_shards = sim_shards;
+  Campaign campaign(spec);
+  campaign.run();
+  return campaign.summary_csv();
+}
+
+TEST(SimDeterminism, CampaignCsvByteIdenticalAcrossShardCounts) {
+  const std::string sequential = campaign_csv(1);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(campaign_csv(2), sequential) << "2 shards diverged from the seed engine";
+  EXPECT_EQ(campaign_csv(4), sequential) << "4 shards diverged from the seed engine";
+}
+
+TEST(SimDeterminism, FleetResultsIdenticalAcrossShardCounts) {
+  const auto run_with_shards = [](std::size_t sim_shards) {
+    FleetConfig config;
+    config.items = {{"blast", 30, 1}, {"cycles", 30, 2}};
+    config.concurrent = true;
+    config.sim_shards = sim_shards;
+    return run_fleet(config);
+  };
+  const FleetResult seed = run_with_shards(1);
+  const FleetResult sharded = run_with_shards(4);
+  ASSERT_TRUE(seed.completed);
+  ASSERT_TRUE(sharded.completed);
+  EXPECT_EQ(sharded.wall_seconds, seed.wall_seconds);
+  EXPECT_EQ(sharded.energy_joules, seed.energy_joules);
+  EXPECT_EQ(sharded.cold_starts, seed.cold_starts);
+  ASSERT_EQ(sharded.runs.size(), seed.runs.size());
+  for (std::size_t i = 0; i < seed.runs.size(); ++i) {
+    EXPECT_EQ(sharded.runs[i].makespan_seconds, seed.runs[i].makespan_seconds) << i;
+    EXPECT_EQ(sharded.runs[i].tasks_failed, seed.runs[i].tasks_failed) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wfs::core

@@ -266,5 +266,80 @@ TEST(Periodic, DestructorCancels) {
   EXPECT_EQ(count, 0);
 }
 
+// Regression: a callback that stop()s and then start()s its own task (the
+// re-phase idiom) must leave exactly ONE occurrence armed. fire() used to
+// re-arm unconditionally after the callback, doubling the firing rate on
+// every re-phase and leaking the event start() had armed.
+TEST(Periodic, StopThenStartInsideCallbackDoesNotDoubleArm) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  PeriodicTask task(sim, 10, [&](SimTime t) {
+    fired.push_back(t);
+    task.stop();
+    task.start(10);  // re-phase: next occurrence 10 us from now, nothing else
+  });
+  task.start(0);
+  sim.run_until(50);
+  task.stop();
+  EXPECT_EQ(fired, (std::vector<SimTime>{0, 10, 20, 30, 40, 50}));
+  // The stop() above cancelled the single pending occurrence; a double-arm
+  // would leave its leaked twin behind and keep the simulation busy.
+  EXPECT_TRUE(sim.idle());
+}
+
+// ---- event queue: past-time guard and batched extraction ---------------------
+
+// Regression: schedule() used to accept times before the queue's cursor,
+// silently corrupting causal order for direct users (Simulation re-checked
+// on its own). Now the queue itself refuses.
+TEST(EventQueue, ScheduleBeforeLastPoppedTimeThrows) {
+  EventQueue queue;
+  queue.schedule(10, [] {});
+  queue.pop().fn();
+  EXPECT_THROW(queue.schedule(5, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(queue.schedule(10, [] {}));  // the current instant is fine
+}
+
+TEST(EventQueue, PopBatchExtractsWholeInstantInFifoOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) queue.schedule(7, [&order, i] { order.push_back(i); });
+  queue.schedule(9, [&order] { order.push_back(99); });
+
+  std::vector<EventQueue::BatchItem> batch;
+  EXPECT_EQ(queue.pop_batch(batch), 7);
+  EXPECT_EQ(batch.size(), 4u);
+  for (EventQueue::BatchItem& item : batch) {
+    ASSERT_TRUE(queue.claim(item.id));
+    item.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(queue.pop_batch(batch), 9);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+// A batch-mate scheduled earlier at the same instant may cancel a later one;
+// claim() is what keeps that exact single-queue semantic under batching.
+TEST(EventQueue, BatchMateCanCancelLaterSameInstantEvent) {
+  EventQueue queue;
+  bool victim_ran = false;
+  EventId victim = 0;
+  queue.schedule(5, [&] { queue.cancel(victim); });
+  victim = queue.schedule(5, [&] { victim_ran = true; });
+
+  std::vector<EventQueue::BatchItem> batch;
+  queue.pop_batch(batch);
+  ASSERT_EQ(batch.size(), 2u);
+  int claimed = 0;
+  for (EventQueue::BatchItem& item : batch) {
+    if (!queue.claim(item.id)) continue;
+    ++claimed;
+    item.fn();
+  }
+  EXPECT_EQ(claimed, 1);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(queue.empty());
+}
+
 }  // namespace
 }  // namespace wfs::sim

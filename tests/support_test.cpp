@@ -412,6 +412,28 @@ TEST(ThreadPool, DestructorDrainsQueuedJobs) {
   EXPECT_EQ(count.load(), 64);
 }
 
+// Pins the shutdown contract: every job submit() accepted runs — including
+// one that lands in the queue while the destructor is already stopping the
+// workers. A worker that has observed stop_ with an empty queue exits for
+// good, so without the destructor's inline drain a straggler submitted at
+// that instant would sit in the queue forever.
+TEST(ThreadPool, LateSubmitDuringShutdownStillRuns) {
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      pool.submit([&ran, &pool] {
+        // By the time this runs the destructor may have set stop_ and the
+        // second worker may already be gone; the follow-up must run anyway.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    ASSERT_EQ(ran.load(), 2) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, DefaultWorkersIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_workers(), 1u);
   ThreadPool pool;  // 0 = default width must construct fine
