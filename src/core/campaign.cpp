@@ -36,6 +36,9 @@ std::vector<ExperimentConfig> enumerate_cells(const CampaignSpec& spec) {
             config.backend = spec.backend;
             config.data_cache_mb_per_node = spec.data_cache_mb_per_node;
             config.cache_aware_placement = spec.cache_aware_placement;
+            config.storage_nodes = spec.storage_nodes;
+            config.replication_factor = spec.replication_factor;
+            config.p2p_transfer = spec.p2p_transfer;
             config.sim_shards = spec.sim_shards;
             config.wfm = spec.wfm;
             config.wfm.scheduling = scheduling;
@@ -135,11 +138,11 @@ std::string Campaign::summary_csv() const {
       "cpu_pct_p99,cpu_pct_max,mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,"
       "max_ready_pods,scheduling_failures,node_oom_events,service_oom_failures,tasks_failed,"
       "cold_start_s,retry_wait_s,input_wait_s,activator_wait_s,cache_hit_rate,"
-      "shared_drive_bytes_saved\n";
+      "shared_drive_bytes_saved,p2p_bytes_saved,storage_repair_bytes\n";
   for (const ExperimentResult& result : results_) {
     out += support::format(
         "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},"
-        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{}\n",
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{}\n",
         result.paradigm_name, result.config.recipe, result.config.num_tasks,
         result.config.seed, to_string(result.config.wfm.scheduling),
         result.ok() ? "ok" : "failed", result.makespan_seconds,
@@ -150,7 +153,8 @@ std::string Campaign::summary_csv() const {
         result.node_oom_events, result.service_oom_failures, result.run.tasks_failed,
         result.cold_start_seconds, result.run.retry_wait_seconds,
         result.run.input_wait_seconds, result.activator_wait_seconds,
-        result.cache_hit_rate, result.cache_bytes_saved);
+        result.cache_hit_rate, result.cache_bytes_saved, result.p2p_bytes_saved,
+        result.storage_repair_bytes);
   }
   return out;
 }

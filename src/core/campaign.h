@@ -35,6 +35,11 @@ struct CampaignSpec {
   /// cache_aware_placement). 0 = off, the exact paper data path.
   std::uint64_t data_cache_mb_per_node = 0;
   bool cache_aware_placement = false;
+  /// Sharded data plane (ExperimentConfig::storage_nodes etc.). 0 = the
+  /// single shared store, the exact paper data path.
+  std::size_t storage_nodes = 0;
+  std::size_t replication_factor = 2;
+  bool p2p_transfer = false;
   /// Simulation-engine shards per cell (ExperimentConfig::sim_shards).
   /// summary_csv()/results() are byte-identical at every value.
   std::size_t sim_shards = 1;

@@ -15,6 +15,7 @@
 #include "storage/cached_store.h"
 #include "storage/object_store.h"
 #include "storage/shared_fs.h"
+#include "storage/sharded_store.h"
 #include "support/format.h"
 #include "support/log.h"
 #include "support/units.h"
@@ -63,8 +64,19 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   metrics::MetricsRegistry registry;
   metrics::MetricsRegistry* metrics_registry = config.collect_metrics ? &registry : nullptr;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  // storage_nodes > 0 swaps the single shared store for the sharded,
+  // replicated tier; 0 (the default) keeps the exact paper data path.
   std::unique_ptr<storage::DataStore> store;
-  if (config.backend == DataBackend::kObjectStore) {
+  storage::ShardedObjectStore* sharded_store = nullptr;
+  if (config.storage_nodes > 0) {
+    storage::ShardedStoreConfig sharded_config;
+    sharded_config.num_nodes = config.storage_nodes;
+    sharded_config.replication_factor = config.replication_factor;
+    auto sharded = std::make_unique<storage::ShardedObjectStore>(sim, sharded_config);
+    sharded->set_trace(&recorder);
+    sharded_store = sharded.get();
+    store = std::move(sharded);
+  } else if (config.backend == DataBackend::kObjectStore) {
     store = std::make_unique<storage::ObjectStore>(sim);
   } else {
     store = std::make_unique<storage::SharedFilesystem>(sim);
@@ -75,8 +87,16 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   if (config.data_cache_mb_per_node > 0) {
     storage::CacheConfig cache_config;
     cache_config.capacity_bytes = config.data_cache_mb_per_node << 20;
+    cache_config.p2p_enabled = config.p2p_transfer;
     cache = std::make_unique<storage::CachedStore>(sim, *store, cache_config);
     cache->set_trace(&recorder);
+  }
+  // Durability chaos: a storage node dies mid-run; survivable at RF >= 2.
+  if (sharded_store != nullptr && config.storage_kill_at_seconds > 0.0) {
+    sim.schedule_in(sim::from_seconds(config.storage_kill_at_seconds),
+                    [sharded_store, node = config.storage_kill_node] {
+                      sharded_store->kill_node(node);
+                    });
   }
   storage::DataStore& fs = cache ? *cache : *store;
   fs.set_metrics(metrics_registry);
@@ -89,6 +109,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
   gen.num_tasks = config.num_tasks;
   gen.seed = config.seed;
   gen.cpu_work = config.cpu_work;
+  gen.data_scale = config.data_scale;
   wfcommons::Workflow workflow = wfcommons::make_recipe(config.recipe)->generate(gen);
   result.workflow_name = workflow.name();
 
@@ -211,6 +232,15 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
     result.cache_evictions = cache_stats.evictions;
     result.cache_bytes_saved = cache_stats.bytes_saved;
     result.cache_hit_rate = cache_stats.hit_rate();
+    result.p2p_transfers = cache_stats.p2p_transfers;
+    result.p2p_bytes_saved = cache_stats.p2p_bytes;
+  }
+  if (sharded_store != nullptr) {
+    result.storage_repair_objects = sharded_store->repaired_objects();
+    result.storage_repair_bytes = sharded_store->repaired_bytes();
+    result.storage_node_kills = sharded_store->node_kills();
+    result.storage_under_replicated = sharded_store->under_replicated();
+    result.storage_lost_objects = sharded_store->lost_objects();
   }
   if (knative) {
     result.locality_placements = knative->scheduler().locality_placements();

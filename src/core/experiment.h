@@ -33,6 +33,10 @@ struct ExperimentConfig {
   DataBackend backend = DataBackend::kSharedDrive;
   /// WfBench cpu-work base (paper uses 100-250).
   double cpu_work = 100.0;
+  /// WfBench I/O-intensity knob: multiplier on every generated file size
+  /// (1.0 = the recipes' published footprints). The storage ablations use
+  /// it to put the data plane on the critical path.
+  double data_scale = 1.0;
   /// Safety deadline: runs still going after this much simulated time are
   /// reported as failed ("did not conclude").
   double deadline_seconds = 4.0 * 3600.0;
@@ -57,6 +61,24 @@ struct ExperimentConfig {
   /// (falling back to the paradigm's strategy). Only meaningful with
   /// data_cache_mb_per_node > 0 and a serverless paradigm.
   bool cache_aware_placement = false;
+
+  /// Sharded data plane. 0 (the default) keeps the single-store `backend`
+  /// path — the exact paper data path; > 0 replaces it with a
+  /// storage::ShardedObjectStore of that many storage nodes behind
+  /// consistent hashing.
+  std::size_t storage_nodes = 0;
+  /// Copies per object on the sharded store (clamped to [1, storage_nodes]).
+  std::size_t replication_factor = 2;
+  /// Peer-to-peer transfer: cache misses pull from a peer node's cache over
+  /// the node-to-node link instead of the backing store. Requires
+  /// data_cache_mb_per_node > 0.
+  bool p2p_transfer = false;
+  /// Chaos hook for the durability ablation: kill this storage node at the
+  /// given simulated time (0 seconds = never). Only meaningful with
+  /// storage_nodes > 0; survivable at replication_factor >= 2 thanks to
+  /// read failover + background repair.
+  double storage_kill_at_seconds = 0.0;
+  std::size_t storage_kill_node = 0;
 
   /// Ablation hooks: when set, these replace the spec the paradigm factory
   /// would produce (the paradigm still selects serverless vs local).
@@ -116,6 +138,15 @@ struct ExperimentResult {
   std::uint64_t cache_bytes_saved = 0;      // shared-drive bytes hits avoided
   double cache_hit_rate = 0.0;
   std::uint64_t locality_placements = 0;    // pods placed by cached bytes
+
+  // Sharded data plane (all zero when storage_nodes was 0).
+  std::uint64_t p2p_transfers = 0;          // misses served from a peer cache
+  std::uint64_t p2p_bytes_saved = 0;        // backing bytes those pulls avoided
+  std::uint64_t storage_repair_objects = 0; // objects re-replicated after kills
+  std::uint64_t storage_repair_bytes = 0;
+  std::uint64_t storage_node_kills = 0;
+  std::uint64_t storage_under_replicated = 0;  // still degraded at run end
+  std::uint64_t storage_lost_objects = 0;      // every replica died pre-repair
 
   /// Final registry snapshot (empty when collect_metrics was off). Render
   /// with metrics::prometheus_text or merge across cells with

@@ -13,7 +13,9 @@
 #include "net/router.h"
 #include "sim/sharded.h"
 #include "sim/simulation.h"
+#include "storage/cached_store.h"
 #include "storage/shared_fs.h"
+#include "storage/sharded_store.h"
 #include "support/log.h"
 #include "support/thread_pool.h"
 #include "wfcommons/generator.h"
@@ -41,7 +43,29 @@ FleetResult run_fleet(const FleetConfig& config) {
   }
   sim::Context& sim = *sim_context;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
-  storage::SharedFilesystem fs(sim);
+  // Same data-plane assembly as ExperimentRunner::run: plain shared fs by
+  // default, the sharded tier at storage_nodes > 0, optionally wrapped in
+  // the node-local cache (which p2p requires).
+  std::unique_ptr<storage::DataStore> store;
+  storage::ShardedObjectStore* sharded_store = nullptr;
+  if (config.storage_nodes > 0) {
+    storage::ShardedStoreConfig sharded_config;
+    sharded_config.num_nodes = config.storage_nodes;
+    sharded_config.replication_factor = config.replication_factor;
+    auto sharded = std::make_unique<storage::ShardedObjectStore>(sim, sharded_config);
+    sharded_store = sharded.get();
+    store = std::move(sharded);
+  } else {
+    store = std::make_unique<storage::SharedFilesystem>(sim);
+  }
+  std::unique_ptr<storage::CachedStore> cache;
+  if (config.data_cache_mb_per_node > 0) {
+    storage::CacheConfig cache_config;
+    cache_config.capacity_bytes = config.data_cache_mb_per_node << 20;
+    cache_config.p2p_enabled = config.p2p_transfer;
+    cache = std::make_unique<storage::CachedStore>(sim, *store, cache_config);
+  }
+  storage::DataStore& fs = cache ? *cache : *store;
   net::Router router(sim, net::NetworkConfig{}, config.items.front().seed);
 
   // One shared platform deployment for the whole fleet.
@@ -51,6 +75,7 @@ FleetResult run_fleet(const FleetConfig& config) {
   if (paradigm.serverless) {
     faas::KnativeServiceSpec spec = knative_spec_for(config.paradigm, config.shape);
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
+    if (cache) knative->set_data_cache(cache.get());
     knative->deploy();
     endpoint = "http://" + spec.authority + "/wfbench";
   } else {
@@ -147,6 +172,14 @@ FleetResult run_fleet(const FleetConfig& config) {
     knative->shutdown();
   }
   if (local) local->shutdown();
+  if (cache) {
+    const storage::CacheStats cache_stats = cache->stats();
+    result.cache_hits = cache_stats.hits;
+    result.p2p_transfers = cache_stats.p2p_transfers;
+  }
+  if (sharded_store != nullptr) {
+    result.storage_repair_objects = sharded_store->repaired_objects();
+  }
   return result;
 }
 

@@ -36,6 +36,13 @@ struct FleetConfig {
   /// Simulation-engine shards; same contract as ExperimentConfig::sim_shards
   /// (1 = the classic single-queue engine, results identical at any value).
   std::size_t sim_shards = 1;
+
+  /// Data-plane knobs, same contract as ExperimentConfig: all defaults off
+  /// keep the fleet on the plain shared filesystem.
+  std::uint64_t data_cache_mb_per_node = 0;
+  std::size_t storage_nodes = 0;
+  std::size_t replication_factor = 2;
+  bool p2p_transfer = false;
 };
 
 struct FleetResult {
@@ -47,6 +54,10 @@ struct FleetResult {
   metrics::Summary power_watts;
   double energy_joules = 0.0;
   std::uint64_t cold_starts = 0;
+  // Data plane (zero when the knobs were off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t p2p_transfers = 0;
+  std::uint64_t storage_repair_objects = 0;
   std::vector<WorkflowRunResult> runs;
 
   [[nodiscard]] bool ok() const noexcept { return completed && workflows_failed == 0; }

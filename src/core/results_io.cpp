@@ -86,11 +86,15 @@ json::Value result_to_json(const ExperimentResult& result) {
   config.set("num_tasks", result.config.num_tasks);
   config.set("seed", result.config.seed);
   config.set("cpu_work", result.config.cpu_work);
+  config.set("data_scale", result.config.data_scale);
   config.set("backend",
              result.config.backend == DataBackend::kObjectStore ? "objectstore" : "shared");
   config.set("data_cache_mb_per_node", result.config.data_cache_mb_per_node);
   config.set("cache_aware_placement", result.config.cache_aware_placement);
   config.set("sim_shards", result.config.sim_shards);
+  config.set("storage_nodes", result.config.storage_nodes);
+  config.set("replication_factor", result.config.replication_factor);
+  config.set("p2p_transfer", result.config.p2p_transfer);
   document.set("config", std::move(config));
 
   json::Object outcome;
@@ -135,7 +139,21 @@ json::Value result_to_json(const ExperimentResult& result) {
     cache.set("bytes_saved", result.cache_bytes_saved);
     cache.set("hit_rate", result.cache_hit_rate);
     cache.set("locality_placements", result.locality_placements);
+    cache.set("p2p_transfers", result.p2p_transfers);
+    cache.set("p2p_bytes_saved", result.p2p_bytes_saved);
     document.set("cache", std::move(cache));
+  }
+
+  // Sharded data plane counters, omitted entirely when the single-store
+  // path ran so old-format consumers see no new key.
+  if (result.config.storage_nodes > 0) {
+    json::Object sharded;
+    sharded.set("repair_objects", result.storage_repair_objects);
+    sharded.set("repair_bytes", result.storage_repair_bytes);
+    sharded.set("node_kills", result.storage_node_kills);
+    sharded.set("under_replicated", result.storage_under_replicated);
+    sharded.set("lost_objects", result.storage_lost_objects);
+    document.set("sharded_store", std::move(sharded));
   }
 
   json::Object series;
@@ -185,6 +203,9 @@ ExperimentResult result_from_json(const json::Value& document) {
     if (const json::Value* v = config->find("cpu_work")) {
       result.config.cpu_work = v->double_or(100.0);
     }
+    if (const json::Value* v = config->find("data_scale")) {
+      result.config.data_scale = v->double_or(1.0);
+    }
     if (const json::Value* v = config->find("backend")) {
       result.config.backend = v->string_or("shared") == "objectstore"
                                   ? DataBackend::kObjectStore
@@ -200,6 +221,16 @@ ExperimentResult result_from_json(const json::Value& document) {
     // Absent in pre-sharding result files; default to the sequential engine.
     if (const json::Value* v = config->find("sim_shards")) {
       result.config.sim_shards = static_cast<std::size_t>(v->int_or(1));
+    }
+    // Absent in pre-sharded-store result files; default to the single store.
+    if (const json::Value* v = config->find("storage_nodes")) {
+      result.config.storage_nodes = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("replication_factor")) {
+      result.config.replication_factor = static_cast<std::size_t>(v->int_or(2));
+    }
+    if (const json::Value* v = config->find("p2p_transfer")) {
+      result.config.p2p_transfer = v->bool_or(false);
     }
   }
   if (const json::Value* outcome = root.find("outcome")) {
@@ -280,9 +311,22 @@ ExperimentResult result_from_json(const json::Value& document) {
     result.cache_evictions = get_u64("evictions");
     result.cache_bytes_saved = get_u64("bytes_saved");
     result.locality_placements = get_u64("locality_placements");
+    result.p2p_transfers = get_u64("p2p_transfers");
+    result.p2p_bytes_saved = get_u64("p2p_bytes_saved");
     if (const json::Value* v = cache->find("hit_rate")) {
       result.cache_hit_rate = v->double_or(0.0);
     }
+  }
+  if (const json::Value* sharded = root.find("sharded_store")) {
+    const auto get_u64 = [&](const char* key) -> std::uint64_t {
+      const json::Value* v = sharded->find(key);
+      return v != nullptr ? static_cast<std::uint64_t>(v->int_or(0)) : 0;
+    };
+    result.storage_repair_objects = get_u64("repair_objects");
+    result.storage_repair_bytes = get_u64("repair_bytes");
+    result.storage_node_kills = get_u64("node_kills");
+    result.storage_under_replicated = get_u64("under_replicated");
+    result.storage_lost_objects = get_u64("lost_objects");
   }
   if (const json::Value* series = root.find("series")) {
     if (const json::Value* v = series->find("cpu_pct")) {

@@ -55,13 +55,51 @@ struct CachedStore::NodeCache final : DataStore {
     ++stats_.misses;
     if (misses_metric_ != nullptr) misses_metric_->inc();
     const sim::SimTime started = owner_.sim_.now();
-    owner_.backing_.read(name, [this, name, started, done = std::move(done)](bool ok) {
-      if (ok) {
+    // Snapshot the fill guards at issue: the size observed now is the size
+    // of the bytes this read will actually carry, and the generation/epoch
+    // pin detects any stage()/write()/remove()/clear() that races the
+    // transfer — a late fill must not resurrect an invalidated entry or
+    // record a re-staged size for old bytes.
+    const std::optional<std::uint64_t> issue_size = owner_.backing_.stat_size(name);
+    const std::uint64_t epoch = owner_.cache_epoch_;
+    const std::uint64_t gen = owner_.generation_of(name);
+
+    if (owner_.config_.p2p_enabled && issue_size.has_value()) {
+      if (NodeCache* peer = owner_.find_peer_with(name, this)) {
+        // Peer-to-peer pull: the producer's node streams its cached copy
+        // over the node-to-node link; the backing store never sees it.
+        const std::uint64_t size = *issue_size;
+        ++stats_.p2p_transfers;
+        stats_.p2p_bytes += size;
+        if (p2p_metric_ != nullptr) p2p_metric_->inc();
+        if (p2p_bytes_metric_ != nullptr) p2p_bytes_metric_->inc(static_cast<double>(size));
+        peer->lru_touch(name);
+        const sim::SimTime duration =
+            owner_.config_.p2p_latency +
+            sim::from_seconds(static_cast<double>(size) /
+                              std::max(owner_.config_.p2p_bandwidth_bps, 1.0));
+        owner_.sim_.schedule_in(duration, [this, name, size, epoch, gen, started,
+                                           done = std::move(done)] {
+          if (epoch == owner_.cache_epoch_ && gen == owner_.generation_of(name)) {
+            insert(name, size);
+          }
+          if (owner_.trace_ != nullptr) {
+            owner_.trace_->complete(owner_.trace_pid_, lane_, name, "cache-p2p", started,
+                                    owner_.sim_.now());
+          }
+          done(true);
+        });
+        return;
+      }
+    }
+
+    owner_.backing_.read(name, [this, name, started, issue_size, epoch, gen,
+                                done = std::move(done)](bool ok) {
+      if (ok && issue_size.has_value() && epoch == owner_.cache_epoch_ &&
+          gen == owner_.generation_of(name)) {
         // Read-through fill: the bytes just travelled to this node, keep
         // them. Backends that cannot report a size simply don't fill.
-        if (const std::optional<std::uint64_t> size = owner_.backing_.stat_size(name)) {
-          insert(name, *size);
-        }
+        insert(name, *issue_size);
       }
       if (owner_.trace_ != nullptr) {
         owner_.trace_->complete(owner_.trace_pid_, lane_, name, "cache-miss", started,
@@ -81,8 +119,20 @@ struct CachedStore::NodeCache final : DataStore {
     owner_.backing_.write(std::move(name), size_bytes,
                           [this, key = std::move(key), size_bytes,
                            done = std::move(done)]() mutable {
+                            // The backing store may have barred this landing
+                            // (a remove() raced the transfer, or clear()
+                            // reset the world). Re-validate before filling:
+                            // only bytes the backing store actually holds
+                            // may be served from cache.
+                            const std::optional<std::uint64_t> landed =
+                                owner_.backing_.stat_size(key);
+                            owner_.bump_generation(key);
                             owner_.invalidate_everywhere(key, this);
-                            insert(key, size_bytes);
+                            if (landed.has_value() && *landed == size_bytes) {
+                              insert(key, size_bytes);
+                            } else {
+                              invalidate(key);
+                            }
                             done();
                           });
   }
@@ -127,6 +177,13 @@ struct CachedStore::NodeCache final : DataStore {
     }
   }
 
+  /// Refresh recency without changing contents — a peer serving a p2p pull
+  /// just used its copy.
+  void lru_touch(const std::string& name) {
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) lru_.splice(lru_.begin(), lru_, it->second.where);
+  }
+
   bool invalidate(const std::string& name) {
     const auto it = entries_.find(name);
     if (it == entries_.end()) return false;
@@ -165,6 +222,8 @@ struct CachedStore::NodeCache final : DataStore {
   metrics::Counter* misses_metric_ = nullptr;
   metrics::Counter* evictions_metric_ = nullptr;
   metrics::Counter* bytes_saved_metric_ = nullptr;
+  metrics::Counter* p2p_metric_ = nullptr;
+  metrics::Counter* p2p_bytes_metric_ = nullptr;
 };
 
 CachedStore::CachedStore(sim::Context& sim, DataStore& backing, CacheConfig config)
@@ -198,17 +257,25 @@ void CachedStore::attach_instruments(NodeCache& cache) {
     cache.bytes_saved_metric_ = &registry_->counter(
         "storage_cache_bytes_saved_total",
         "Backing-store bytes hits avoided transferring", labels);
+    cache.p2p_metric_ = &registry_->counter(
+        "storage_cache_p2p_total", "Misses served from a peer node's cache", labels);
+    cache.p2p_bytes_metric_ = &registry_->counter(
+        "storage_cache_p2p_bytes_total",
+        "Backing-store bytes peer-to-peer pulls avoided transferring", labels);
   } else {
     cache.hits_metric_ = nullptr;
     cache.misses_metric_ = nullptr;
     cache.evictions_metric_ = nullptr;
     cache.bytes_saved_metric_ = nullptr;
+    cache.p2p_metric_ = nullptr;
+    cache.p2p_bytes_metric_ = nullptr;
   }
   cache.lane_ = trace_ != nullptr ? trace_->lane(trace_pid_, cache.node_name_) : 0;
 }
 
 void CachedStore::stage(const std::string& name, std::uint64_t size_bytes) {
-  invalidate_everywhere(name, nullptr);  // re-staging replaces the content
+  bump_generation(name);  // bar in-flight fills of the replaced content
+  invalidate_everywhere(name, nullptr);
   backing_.stage(name, size_bytes);
 }
 
@@ -223,17 +290,21 @@ void CachedStore::write(std::string name, std::uint64_t size_bytes,
   std::string key = name;
   backing_.write(std::move(name), size_bytes,
                  [this, key = std::move(key), done = std::move(done)]() mutable {
+                   bump_generation(key);
                    invalidate_everywhere(key, nullptr);
                    done();
                  });
 }
 
 bool CachedStore::remove(const std::string& name) {
+  bump_generation(name);  // an in-flight fill must not resurrect it
   invalidate_everywhere(name, nullptr);
   return backing_.remove(name);
 }
 
 void CachedStore::clear() {
+  ++cache_epoch_;  // bar every in-flight fill
+  name_gen_.clear();
   for (auto& [name, cache] : nodes_) cache->invalidate_all();
   backing_.clear();
 }
@@ -267,6 +338,23 @@ void CachedStore::invalidate_everywhere(const std::string& name,
   }
 }
 
+void CachedStore::bump_generation(const std::string& name) { ++name_gen_[name]; }
+
+std::uint64_t CachedStore::generation_of(const std::string& name) const {
+  const auto it = name_gen_.find(name);
+  return it == name_gen_.end() ? 0 : it->second;
+}
+
+CachedStore::NodeCache* CachedStore::find_peer_with(const std::string& name,
+                                                    const NodeCache* except) {
+  // Ordered scan so the serving peer is deterministic across runs.
+  for (auto& [node_name, cache] : nodes_) {
+    if (cache.get() == except) continue;
+    if (cache->cached_size(name) > 0) return cache.get();
+  }
+  return nullptr;
+}
+
 std::uint64_t CachedStore::cached_bytes(const std::string& node_name,
                                         const std::vector<std::string>& names) const {
   const auto it = nodes_.find(node_name);
@@ -294,6 +382,8 @@ CacheStats CachedStore::stats() const {
     total.evictions += cache->stats_.evictions;
     total.invalidations += cache->stats_.invalidations;
     total.bytes_saved += cache->stats_.bytes_saved;
+    total.p2p_transfers += cache->stats_.p2p_transfers;
+    total.p2p_bytes += cache->stats_.p2p_bytes;
   }
   return total;
 }

@@ -19,17 +19,27 @@
 //  * a completed write fills the writer node's cache and invalidates the
 //    name everywhere else (the old bytes are stale);
 //  * remove()/clear()/stage() through the decorator (or any node view)
-//    invalidate every node cache before touching the backing store.
+//    invalidate every node cache before touching the backing store;
+//  * fills are generation-guarded: a mutation that raced an in-flight read
+//    or write bars the late fill, so a cache entry always describes bytes
+//    the backing store actually holds.
 // Mutating the backing store directly, behind the decorator's back, is the
 // one way to make a cache stale — don't.
+//
+// With `p2p_enabled` a miss first looks for the object in a peer node's
+// cache and pulls it over the node-to-node link — the producer's node
+// serves its consumers directly and the shared backing store never sees
+// the transfer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/trace_recorder.h"
@@ -45,6 +55,12 @@ struct CacheConfig {
   sim::SimTime hit_latency = 200;  // microseconds
   /// Local read bandwidth for hits — no shared-drive contention.
   double hit_bandwidth_bps = 8.0e9;
+  /// Peer-to-peer transfer: a miss pulls from another node's cache over the
+  /// node-to-node link instead of the backing store, when a peer holds it.
+  bool p2p_enabled = false;
+  /// Node-to-node link round trip for a p2p pull.
+  sim::SimTime p2p_latency = 300;  // microseconds
+  double p2p_bandwidth_bps = 2.0e9;
 };
 
 struct CacheStats {
@@ -54,6 +70,10 @@ struct CacheStats {
   std::uint64_t invalidations = 0;
   /// Backing-store bytes a hit avoided transferring.
   std::uint64_t bytes_saved = 0;
+  /// Misses served from a peer node's cache over the node-to-node link.
+  std::uint64_t p2p_transfers = 0;
+  /// Backing-store bytes those peer pulls avoided transferring.
+  std::uint64_t p2p_bytes = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;
@@ -111,11 +131,15 @@ class CachedStore final : public DataStore {
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] DataStore& backing() noexcept { return backing_; }
 
-  /// Fastest possible completion: a local cache hit (or the backing store,
-  /// should it ever declare something quicker).
+  /// Fastest possible completion: a local cache hit, a p2p link pull when
+  /// enabled, or the backing store, should it ever declare something
+  /// quicker. Keeps sharded-simulation lookahead conservative.
   [[nodiscard]] sim::SimTime min_op_latency() const noexcept override {
+    sim::SimTime bound = config_.hit_latency;
+    if (config_.p2p_enabled) bound = std::min(bound, config_.p2p_latency);
     const sim::SimTime backing = backing_.min_op_latency();
-    return backing > 0 && backing < config_.hit_latency ? backing : config_.hit_latency;
+    if (backing > 0) bound = std::min(bound, backing);
+    return bound;
   }
 
  private:
@@ -124,6 +148,14 @@ class CachedStore final : public DataStore {
   NodeCache& node(const std::string& node_name);
   void invalidate_everywhere(const std::string& name, const NodeCache* except);
   void attach_instruments(NodeCache& cache);
+  /// Mutation guards barring stale fills: stage/remove/landed writes bump
+  /// the name's generation, clear() bumps the epoch; an in-flight fill only
+  /// lands when both still match the snapshot taken at issue.
+  void bump_generation(const std::string& name);
+  [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
+  /// First peer node (by name) whose cache holds `name`; nullptr when none.
+  [[nodiscard]] NodeCache* find_peer_with(const std::string& name,
+                                          const NodeCache* except);
 
   sim::Context& sim_;
   DataStore& backing_;
@@ -133,6 +165,8 @@ class CachedStore final : public DataStore {
   obs::TraceRecorder::Pid trace_pid_ = 0;
   /// Ordered by node name so invalidation sweeps are deterministic.
   std::map<std::string, std::unique_ptr<NodeCache>> nodes_;
+  std::uint64_t cache_epoch_ = 0;
+  std::unordered_map<std::string, std::uint64_t> name_gen_;
 };
 
 }  // namespace wfs::storage

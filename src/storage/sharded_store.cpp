@@ -1,0 +1,540 @@
+#include "storage/sharded_store.h"
+
+#include <utility>
+
+#include "metrics/registry.h"
+
+namespace wfs::storage {
+namespace {
+
+/// FNV-1a with a murmur3 finalizer, spelled out so ring placement is
+/// identical on every platform (std::hash makes no such promise and would
+/// break committed baselines). Plain FNV-1a leaves the high bits of short
+/// keys that differ only in a trailing character nearly untouched — the
+/// vnode labels "s0#0".."s0#63" would all land on one tiny arc and the
+/// ring would degenerate; the finalizer avalanches every input bit across
+/// the whole word.
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+std::string node_label(std::size_t node) { return "s" + std::to_string(node); }
+
+}  // namespace
+
+ShardedObjectStore::ShardedObjectStore(sim::Context& sim, ShardedStoreConfig config)
+    : sim_(sim), config_(config) {
+  config_.num_nodes = std::max<std::size_t>(1, config_.num_nodes);
+  config_.replication_factor =
+      std::min(std::max<std::size_t>(1, config_.replication_factor), config_.num_nodes);
+  config_.virtual_nodes = std::max<std::size_t>(1, config_.virtual_nodes);
+  nodes_.resize(config_.num_nodes);
+  ring_.reserve(config_.num_nodes * config_.virtual_nodes);
+  for (std::size_t node = 0; node < config_.num_nodes; ++node) {
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
+      ring_.emplace_back(fnv1a(node_label(node) + "#" + std::to_string(v)), node);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void ShardedObjectStore::set_metrics(metrics::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    metrics_.reset();
+    repair_objects_metric_ = nullptr;
+    repair_bytes_metric_ = nullptr;
+  } else {
+    metrics_.resolve(*registry, "sharded_store");
+    repair_objects_metric_ = &registry->counter(
+        "storage_repair_objects_total",
+        "Objects re-replicated by the background repair loop", {});
+    repair_bytes_metric_ = &registry->counter(
+        "storage_repair_bytes_total", "Bytes moved by repair transfers", {});
+  }
+  for (std::size_t node = 0; node < nodes_.size(); ++node) attach_node_instruments(node);
+}
+
+void ShardedObjectStore::set_trace(obs::TraceRecorder* trace) {
+  trace_ = (trace != nullptr && trace->enabled()) ? trace : nullptr;
+  if (trace_ != nullptr) trace_pid_ = trace_->process("sharded-store");
+  for (std::size_t node = 0; node < nodes_.size(); ++node) attach_node_instruments(node);
+}
+
+void ShardedObjectStore::attach_node_instruments(std::size_t node) {
+  NodeState& state = nodes_[node];
+  if (registry_ != nullptr) {
+    const auto labels = [&](const char* op) {
+      return metrics::LabelSet{{"node", node_label(node)}, {"op", op}};
+    };
+    state.read_ops = &registry_->counter(
+        "storage_node_ops_total", "Operations served, by storage node and op",
+        labels("read"));
+    state.write_ops = &registry_->counter(
+        "storage_node_ops_total", "Operations served, by storage node and op",
+        labels("write"));
+    state.replicate_ops = &registry_->counter(
+        "storage_node_ops_total", "Operations served, by storage node and op",
+        labels("replicate"));
+  } else {
+    state.read_ops = nullptr;
+    state.write_ops = nullptr;
+    state.replicate_ops = nullptr;
+  }
+  state.lane = trace_ != nullptr ? trace_->lane(trace_pid_, node_label(node)) : 0;
+}
+
+void ShardedObjectStore::trace_span(std::size_t node, const std::string& name,
+                                    const char* category, sim::SimTime start,
+                                    sim::SimTime end) {
+  if (trace_ != nullptr) {
+    trace_->complete(trace_pid_, nodes_[node].lane, name, category, start, end);
+  }
+}
+
+// ---- placement ---------------------------------------------------------------
+
+std::vector<std::size_t> ShardedObjectStore::placement_of(const std::string& name) const {
+  // Walk the ring clockwise from hash(name); the first `replication_factor`
+  // distinct LIVE nodes are the object's replica set.
+  std::vector<std::size_t> placement;
+  const std::uint64_t point = fnv1a(name);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, std::size_t{0}));
+  for (std::size_t steps = 0; steps < ring_.size() && placement.size() < config_.replication_factor;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::size_t node = it->second;
+    if (!nodes_[node].alive) continue;
+    if (std::find(placement.begin(), placement.end(), node) == placement.end()) {
+      placement.push_back(node);
+    }
+  }
+  return placement;
+}
+
+std::size_t ShardedObjectStore::primary_of(const std::string& name) const {
+  const std::uint64_t point = fnv1a(name);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<std::size_t> ShardedObjectStore::replicas_of(const std::string& name) const {
+  return placement_of(name);
+}
+
+std::size_t ShardedObjectStore::replication_target() const noexcept {
+  return std::min(config_.replication_factor, live_nodes());
+}
+
+bool ShardedObjectStore::is_under_replicated(const ObjectMeta& meta) const {
+  return meta.holders.size() < replication_target();
+}
+
+sim::SimTime ShardedObjectStore::node_transfer_time(std::size_t node,
+                                                    std::uint64_t size_bytes,
+                                                    double per_object_bps) const {
+  // SharedFilesystem congestion semantics, applied per node: full rate up
+  // to the threshold, then the node's pipe divides across its in-flight set.
+  double bps = per_object_bps;
+  const std::size_t inflight = nodes_[node].inflight;
+  if (config_.congestion_threshold > 0 && inflight > config_.congestion_threshold) {
+    bps = per_object_bps * static_cast<double>(config_.congestion_threshold) /
+          static_cast<double>(inflight);
+  }
+  return sim::from_seconds(static_cast<double>(size_bytes) / std::max(bps, 1.0));
+}
+
+std::uint64_t ShardedObjectStore::generation_of(const std::string& name) const {
+  const auto it = remove_gen_.find(name);
+  return it == remove_gen_.end() ? 0 : it->second;
+}
+
+void ShardedObjectStore::begin_op(std::size_t node) {
+  ++inflight_;
+  ++nodes_[node].inflight;
+}
+
+void ShardedObjectStore::end_op(std::size_t node, std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // a clear() reset the counters already
+  --inflight_;
+  --nodes_[node].inflight;
+}
+
+// ---- DataStore ---------------------------------------------------------------
+
+void ShardedObjectStore::stage(const std::string& name, std::uint64_t size_bytes) {
+  ObjectMeta meta;
+  meta.size_bytes = size_bytes;
+  meta.holders = placement_of(name);
+  objects_[name] = std::move(meta);
+}
+
+bool ShardedObjectStore::exists(const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it != objects_.end() && !it->second.holders.empty();
+}
+
+std::optional<std::uint64_t> ShardedObjectStore::stat_size(const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end() || it->second.holders.empty()) return std::nullopt;
+  return it->second.size_bytes;
+}
+
+void ShardedObjectStore::read(const std::string& name, std::function<void(bool)> done) {
+  const std::uint64_t epoch = epoch_;
+  const auto it = objects_.find(name);
+  if (it == objects_.end() || it->second.holders.empty()) {
+    // 404 from the ring owner: the request still pays the RPC, holds a slot
+    // on that node, and counts as a read op — the same miss model as the
+    // other backends.
+    ++failed_reads_;
+    if (metrics_.failed_reads != nullptr) metrics_.failed_reads->inc();
+    const std::size_t node = primary_of(name);
+    begin_op(node);
+    const sim::SimTime started = sim_.now();
+    sim_.schedule_in(config_.op_latency, [this, epoch, node, name, started,
+                                          done = std::move(done)] {
+      if (epoch == epoch_) {
+        end_op(node, epoch);
+        if (metrics_.read_ops != nullptr) {
+          metrics_.read_ops->inc();
+          metrics_.read_duration->observe(sim::to_seconds(config_.op_latency));
+        }
+        if (nodes_[node].read_ops != nullptr) nodes_[node].read_ops->inc();
+        trace_span(node, name, "store-miss", started, sim_.now());
+      }
+      done(false);
+    });
+    return;
+  }
+
+  // Nearest replica: the first live holder in ring order. Every holder is
+  // live (kill_node scrubs dead copies), so this is holders.front() when
+  // the primary survives; each failover position past the object's ring
+  // owner costs one extra link hop.
+  const ObjectMeta& meta = it->second;
+  std::size_t node = meta.holders.front();
+  std::size_t hops = 0;
+  {
+    // Count how far down the preference walk the serving replica sits.
+    const std::uint64_t point = fnv1a(name);
+    auto walk = std::lower_bound(ring_.begin(), ring_.end(),
+                                 std::make_pair(point, std::size_t{0}));
+    std::vector<std::size_t> seen;
+    for (std::size_t steps = 0; steps < ring_.size(); ++steps, ++walk) {
+      if (walk == ring_.end()) walk = ring_.begin();
+      const std::size_t candidate = walk->second;
+      if (std::find(seen.begin(), seen.end(), candidate) != seen.end()) continue;
+      if (nodes_[candidate].alive &&
+          std::find(meta.holders.begin(), meta.holders.end(), candidate) !=
+              meta.holders.end()) {
+        node = candidate;
+        hops = seen.size();
+        break;
+      }
+      seen.push_back(candidate);
+    }
+  }
+  const std::uint64_t size = meta.size_bytes;
+  begin_op(node);
+  const sim::SimTime duration = config_.op_latency +
+                                static_cast<sim::SimTime>(hops) * config_.link_latency +
+                                node_transfer_time(node, size, config_.per_object_read_bps);
+  const sim::SimTime started = sim_.now();
+  sim_.schedule_in(duration, [this, epoch, node, name, size, duration, started,
+                              done = std::move(done)] {
+    if (epoch == epoch_) {
+      end_op(node, epoch);
+      bytes_read_ += size;
+      if (metrics_.read_ops != nullptr) {
+        metrics_.read_ops->inc();
+        metrics_.read_bytes->inc(static_cast<double>(size));
+        metrics_.read_duration->observe(sim::to_seconds(duration));
+      }
+      if (nodes_[node].read_ops != nullptr) nodes_[node].read_ops->inc();
+      ++nodes_[node].ops;
+      trace_span(node, name, "store-read", started, sim_.now());
+    }
+    done(true);
+  });
+}
+
+void ShardedObjectStore::write(std::string name, std::uint64_t size_bytes,
+                               std::function<void()> done) {
+  const std::uint64_t epoch = epoch_;
+  const std::uint64_t gen = generation_of(name);
+  const std::vector<std::size_t> targets = placement_of(name);
+  if (targets.empty()) {
+    // Every storage node is dead; the client's request times out after the
+    // RPC window and nothing lands (the next exists() poll reports absent).
+    sim_.schedule_in(config_.op_latency, [done = std::move(done)] { done(); });
+    return;
+  }
+
+  // Fan-out: the primary ingests the object at its own bandwidth, every
+  // other replica receives it over the node-to-node link, all in parallel.
+  // The write acks — and the object becomes visible — when the slowest leg
+  // lands.
+  const sim::SimTime started = sim_.now();
+  std::vector<sim::SimTime> leg_durations;
+  leg_durations.reserve(targets.size());
+  sim::SimTime slowest = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::size_t node = targets[i];
+    begin_op(node);
+    sim::SimTime duration;
+    if (i == 0) {
+      duration = config_.op_latency +
+                 node_transfer_time(node, size_bytes, config_.per_object_write_bps);
+    } else {
+      duration = config_.op_latency + config_.link_latency +
+                 sim::from_seconds(static_cast<double>(size_bytes) /
+                                   std::max(config_.link_bps, 1.0));
+    }
+    leg_durations.push_back(duration);
+    slowest = std::max(slowest, duration);
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::size_t node = targets[i];
+    const bool primary = i == 0;
+    sim_.schedule_in(leg_durations[i], [this, epoch, node, primary, started, key = name] {
+      if (epoch != epoch_) return;
+      end_op(node, epoch);
+      NodeState& state = nodes_[node];
+      ++state.ops;
+      if (primary) {
+        if (state.write_ops != nullptr) state.write_ops->inc();
+        trace_span(node, key, "store-write", started, sim_.now());
+      } else {
+        if (state.replicate_ops != nullptr) state.replicate_ops->inc();
+        trace_span(node, key, "store-replicate", started, sim_.now());
+      }
+    });
+  }
+  sim_.schedule_in(slowest, [this, epoch, gen, targets, name = std::move(name), size_bytes,
+                             slowest, done = std::move(done)]() mutable {
+    if (epoch == epoch_) {
+      bytes_written_ += size_bytes;
+      if (metrics_.write_ops != nullptr) {
+        metrics_.write_ops->inc();
+        metrics_.write_bytes->inc(static_cast<double>(size_bytes));
+        metrics_.write_duration->observe(sim::to_seconds(slowest));
+      }
+      if (generation_of(name) == gen) {
+        ObjectMeta meta;
+        meta.size_bytes = size_bytes;
+        // A replica killed while the transfer was in flight never landed
+        // its copy; the survivors carry the object.
+        for (const std::size_t node : targets) {
+          if (nodes_[node].alive) meta.holders.push_back(node);
+        }
+        if (!meta.holders.empty()) {
+          const bool degraded = meta.holders.size() < replication_target();
+          objects_[name] = std::move(meta);
+          if (degraded) {
+            repair_queue_.insert(name);
+            schedule_repair();
+          }
+        }
+      }
+    }
+    done();
+  });
+}
+
+bool ShardedObjectStore::remove(const std::string& name) {
+  ++remove_gen_[name];  // in-flight writes of this name must not land
+  repair_queue_.erase(name);
+  return objects_.erase(name) > 0;
+}
+
+void ShardedObjectStore::clear() {
+  ++epoch_;  // invalidate every in-flight completion and pending repair
+  objects_.clear();
+  remove_gen_.clear();
+  repair_queue_.clear();
+  repair_armed_ = false;
+  for (NodeState& node : nodes_) {
+    node.alive = true;
+    node.inflight = 0;
+    node.ops = 0;
+  }
+  inflight_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  failed_reads_ = 0;
+  repaired_objects_ = 0;
+  repaired_bytes_ = 0;
+  node_kills_ = 0;
+  lost_objects_ = 0;
+}
+
+// ---- failure / repair --------------------------------------------------------
+
+bool ShardedObjectStore::node_alive(std::size_t node) const {
+  return node < nodes_.size() && nodes_[node].alive;
+}
+
+std::size_t ShardedObjectStore::live_nodes() const noexcept {
+  std::size_t live = 0;
+  for (const NodeState& node : nodes_) live += node.alive ? 1 : 0;
+  return live;
+}
+
+std::size_t ShardedObjectStore::node_object_count(std::size_t node) const {
+  std::size_t count = 0;
+  for (const auto& [name, meta] : objects_) {
+    count += std::find(meta.holders.begin(), meta.holders.end(), node) != meta.holders.end()
+                 ? 1
+                 : 0;
+  }
+  return count;
+}
+
+std::size_t ShardedObjectStore::under_replicated() const {
+  std::size_t count = 0;
+  for (const auto& [name, meta] : objects_) count += is_under_replicated(meta) ? 1 : 0;
+  return count;
+}
+
+std::uint64_t ShardedObjectStore::lost_objects() const { return lost_objects_; }
+
+bool ShardedObjectStore::kill_node(std::size_t node) {
+  if (node >= nodes_.size() || !nodes_[node].alive) return false;
+  nodes_[node].alive = false;
+  ++node_kills_;
+  // Scrub the dead copies. Objects left with zero live replicas are lost;
+  // the rest queue for re-replication.
+  std::vector<std::string> lost;
+  for (auto& [name, meta] : objects_) {
+    const auto held = std::find(meta.holders.begin(), meta.holders.end(), node);
+    if (held == meta.holders.end()) continue;
+    meta.holders.erase(held);
+    if (meta.holders.empty()) {
+      lost.push_back(name);
+    } else if (is_under_replicated(meta)) {
+      repair_queue_.insert(name);
+    }
+  }
+  for (const std::string& name : lost) {
+    objects_.erase(name);
+    repair_queue_.erase(name);
+    ++lost_objects_;
+  }
+  schedule_repair();
+  return true;
+}
+
+void ShardedObjectStore::schedule_repair() {
+  if (repair_armed_ || repair_queue_.empty()) return;
+  repair_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_in(config_.repair_delay, [this, epoch] {
+    if (epoch != epoch_) return;  // cleared while pending
+    repair_armed_ = false;
+    run_repair_sweep();
+  });
+}
+
+void ShardedObjectStore::run_repair_sweep() {
+  // Start up to max_parallel_repairs link transfers, draining the queue in
+  // lexicographic order so repair traffic is deterministic. Whatever cannot
+  // start this sweep re-arms for the next one.
+  std::size_t started = 0;
+  auto it = repair_queue_.begin();
+  while (it != repair_queue_.end() && started < config_.max_parallel_repairs) {
+    const std::string name = *it;
+    const auto obj = objects_.find(name);
+    if (obj == objects_.end() || !is_under_replicated(obj->second)) {
+      it = repair_queue_.erase(it);  // removed or already healthy
+      continue;
+    }
+    const ObjectMeta& meta = obj->second;
+    // Destination: the first live non-holder on the object's preference
+    // walk — the node the ring would have picked had it been placed now.
+    std::size_t dest = nodes_.size();
+    {
+      const std::uint64_t point = fnv1a(name);
+      auto walk = std::lower_bound(ring_.begin(), ring_.end(),
+                                   std::make_pair(point, std::size_t{0}));
+      std::vector<std::size_t> seen;
+      for (std::size_t steps = 0; steps < ring_.size(); ++steps, ++walk) {
+        if (walk == ring_.end()) walk = ring_.begin();
+        const std::size_t candidate = walk->second;
+        if (std::find(seen.begin(), seen.end(), candidate) != seen.end()) continue;
+        seen.push_back(candidate);
+        if (!nodes_[candidate].alive) continue;
+        if (std::find(meta.holders.begin(), meta.holders.end(), candidate) !=
+            meta.holders.end()) {
+          continue;
+        }
+        dest = candidate;
+        break;
+      }
+    }
+    if (dest == nodes_.size()) {
+      // No live node lacks a copy — the object is as replicated as the
+      // cluster allows (is_under_replicated() can't be true here, but stay
+      // defensive).
+      it = repair_queue_.erase(it);
+      continue;
+    }
+    it = repair_queue_.erase(it);
+    ++started;
+    const std::uint64_t gen = generation_of(name);
+    const std::uint64_t size = meta.size_bytes;
+    begin_op(dest);
+    const std::uint64_t epoch = epoch_;
+    const sim::SimTime duration =
+        config_.link_latency +
+        sim::from_seconds(static_cast<double>(size) / std::max(config_.link_bps, 1.0));
+    const sim::SimTime began = sim_.now();
+    sim_.schedule_in(duration, [this, epoch, name, dest, size, gen, began] {
+      if (epoch != epoch_) return;
+      end_op(dest, epoch);
+      trace_span(dest, name, "store-repair", began, sim_.now());
+      finish_repair_transfer(name, dest, size, gen);
+    });
+  }
+  if (!repair_queue_.empty()) schedule_repair();
+}
+
+void ShardedObjectStore::finish_repair_transfer(const std::string& name, std::size_t dest,
+                                                std::uint64_t size_bytes,
+                                                std::uint64_t gen) {
+  const auto it = objects_.find(name);
+  // The object may have been removed or overwritten while the copy was on
+  // the wire; a stale copy must not resurrect or double-count it.
+  if (it == objects_.end() || generation_of(name) != gen || !nodes_[dest].alive) {
+    schedule_repair();
+    return;
+  }
+  ObjectMeta& meta = it->second;
+  if (std::find(meta.holders.begin(), meta.holders.end(), dest) == meta.holders.end()) {
+    meta.holders.push_back(dest);
+    ++repaired_objects_;
+    repaired_bytes_ += size_bytes;
+    if (repair_objects_metric_ != nullptr) repair_objects_metric_->inc();
+    if (repair_bytes_metric_ != nullptr) {
+      repair_bytes_metric_->inc(static_cast<double>(size_bytes));
+    }
+    if (nodes_[dest].replicate_ops != nullptr) nodes_[dest].replicate_ops->inc();
+  }
+  if (is_under_replicated(meta)) repair_queue_.insert(name);
+  schedule_repair();
+}
+
+}  // namespace wfs::storage

@@ -1,0 +1,210 @@
+// Sharded, replicated object store — the paper's §VII "external distributed
+// data storage" grown into a real storage tier.
+//
+// N storage nodes sit behind a consistent-hash ring (virtual nodes, so
+// adding or removing a node remaps only the arcs it owned). Every object is
+// placed on `replication_factor` distinct nodes walked clockwise from its
+// hash:
+//
+//            hash(name)                       write: fan out to every
+//                │                            replica, ack when the
+//        ┌───── ring ─────┐                   slowest one lands
+//        ▼                │
+//   s2 ──●── s0 ──●── s1 ─┴●─ s2 ...          read: nearest (ring-first)
+//        primary   replica                    LIVE replica; each failover
+//                                             hop costs one link trip
+//
+// Failure model: kill_node() drops a node and everything it held. Reads
+// fail over to the surviving replicas; a background repair loop then
+// re-replicates every under-replicated object over the node-to-node link
+// until the replication factor is restored. The repair loop is event-
+// driven — it arms itself on kill and disarms when nothing is left to
+// repair, so an idle store schedules no events and sim.run() terminates.
+//
+// Like the other backends the store is strongly consistent (visible only
+// on write completion), honours the remove-generation and clear-epoch
+// contracts of DataStore, and reports through StoreMetrics under
+// backend="sharded_store" plus per-storage-node op/repair counters and a
+// "sharded-store" trace process with one lane per node.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+#include "sim/context.h"
+#include "storage/data_store.h"
+
+namespace wfs::storage {
+
+struct ShardedStoreConfig {
+  /// Storage nodes behind the ring.
+  std::size_t num_nodes = 4;
+  /// Copies per object; writes ack when the slowest replica lands.
+  std::size_t replication_factor = 2;
+  /// Ring points per node — more points, smoother arcs (and smaller remap
+  /// fraction when the node set changes).
+  std::size_t virtual_nodes = 64;
+  /// Client <-> storage-node request round trip (RPC + lookup). Higher
+  /// than the shared drive's 2 ms — every op crosses the ring.
+  sim::SimTime op_latency = 5 * sim::kMillisecond;
+  /// Per-node disk/NIC rates, the same class of box as the shared drive
+  /// (SharedFsConfig) — the scale-out win is N boxes, not a faster box.
+  double per_object_read_bps = 2.0e9;
+  double per_object_write_bps = 1.2e9;
+  /// Transfers beyond this many concurrent ops ON ONE NODE share that
+  /// node's pipe (SharedFilesystem semantics, per node). The ring spreads
+  /// a wide phase across num_nodes pipes, so the fleet congests at
+  /// num_nodes x threshold where the shared drive congests at threshold.
+  std::size_t congestion_threshold = 16;
+  /// Node-to-node hop: replica fan-out, read failover, repair streams.
+  sim::SimTime link_latency = 500;  // microseconds
+  double link_bps = 2.5e9;
+  /// Kill -> first repair sweep (and sweep -> sweep while work remains).
+  sim::SimTime repair_delay = 50 * sim::kMillisecond;
+  /// Repair transfers started per sweep.
+  std::size_t max_parallel_repairs = 4;
+};
+
+class ShardedObjectStore final : public DataStore {
+ public:
+  ShardedObjectStore(sim::Context& sim, ShardedStoreConfig config = {});
+
+  /// Registers the shared StoreMetrics families under
+  /// backend="sharded_store", per-node storage_node_ops_total{node=,op=}
+  /// counters, and the repair counter pair.
+  void set_metrics(metrics::MetricsRegistry* registry) override;
+  /// Attaches a trace recorder: a "sharded-store" process with one lane per
+  /// storage node carrying read/write/replicate/repair spans.
+  void set_trace(obs::TraceRecorder* trace);
+
+  void stage(const std::string& name, std::uint64_t size_bytes) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  /// Reads from the nearest (ring-first) live replica; each hop past the
+  /// primary pays one link round trip. A miss — or an object whose every
+  /// replica died — charges op_latency, holds an inflight slot and lands in
+  /// the duration histogram, the same 404 model as the other backends.
+  void read(const std::string& name, std::function<void(bool ok)> done) override;
+  /// Write fan-out: the primary streams the object, every other replica
+  /// receives it over the node-to-node link in parallel; done() (and
+  /// visibility) when the slowest leg lands.
+  void write(std::string name, std::uint64_t size_bytes,
+             std::function<void()> done) override;
+  bool remove(const std::string& name) override;
+  /// Fresh store: drops every object, revives dead nodes, resets counters;
+  /// in-flight completions and pending repairs are epoch-invalidated.
+  void clear() override;
+  [[nodiscard]] std::optional<std::uint64_t> stat_size(
+      const std::string& name) const override;
+
+  /// Conservative lookahead bound: nothing completes faster than the
+  /// cheaper of a node RPC and a node-to-node link hop (repair legs and
+  /// failover hops ride the link).
+  [[nodiscard]] sim::SimTime min_op_latency() const noexcept override {
+    return std::min(config_.op_latency, config_.link_latency);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const override { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const override { return bytes_written_; }
+  [[nodiscard]] std::uint64_t failed_reads() const override { return failed_reads_; }
+
+  // ---- failure / repair ------------------------------------------------------
+  /// Kills a storage node: its copies are gone, in-flight ops it served
+  /// still complete (the stream already left the NIC), future reads fail
+  /// over, and the repair loop arms. False when already dead / out of range.
+  bool kill_node(std::size_t node);
+  [[nodiscard]] bool node_alive(std::size_t node) const;
+  [[nodiscard]] std::size_t live_nodes() const noexcept;
+
+  /// Objects currently holding fewer live copies than they should (their
+  /// replication target is min(replication_factor, live nodes)).
+  [[nodiscard]] std::size_t under_replicated() const;
+  [[nodiscard]] std::uint64_t repaired_objects() const noexcept { return repaired_objects_; }
+  [[nodiscard]] std::uint64_t repaired_bytes() const noexcept { return repaired_bytes_; }
+  [[nodiscard]] std::uint64_t node_kills() const noexcept { return node_kills_; }
+  /// Objects whose every replica died before repair could copy them out.
+  [[nodiscard]] std::uint64_t lost_objects() const;
+
+  // ---- introspection ---------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return config_.num_nodes; }
+  /// Ring-order replica set currently targeted for `name` (live nodes only).
+  [[nodiscard]] std::vector<std::size_t> replicas_of(const std::string& name) const;
+  /// Ring owner of `name` ignoring liveness — the pure hash placement, for
+  /// remap tests.
+  [[nodiscard]] std::size_t primary_of(const std::string& name) const;
+  [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  /// Copies held by one node.
+  [[nodiscard]] std::size_t node_object_count(std::size_t node) const;
+  [[nodiscard]] std::size_t inflight_ops() const noexcept { return inflight_; }
+  [[nodiscard]] const ShardedStoreConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ObjectMeta {
+    std::uint64_t size_bytes = 0;
+    /// Nodes currently holding a copy, ring-preference order.
+    std::vector<std::size_t> holders;
+  };
+  struct NodeState {
+    bool alive = true;
+    std::size_t inflight = 0;
+    std::uint64_t ops = 0;
+    metrics::Counter* read_ops = nullptr;
+    metrics::Counter* write_ops = nullptr;
+    metrics::Counter* replicate_ops = nullptr;
+    obs::TraceRecorder::Tid lane = 0;
+  };
+
+  /// First `replication_factor` distinct LIVE nodes walking the ring
+  /// clockwise from hash(name). Empty when every node is dead.
+  [[nodiscard]] std::vector<std::size_t> placement_of(const std::string& name) const;
+  [[nodiscard]] sim::SimTime node_transfer_time(std::size_t node, std::uint64_t size_bytes,
+                                                double per_object_bps) const;
+  [[nodiscard]] std::uint64_t generation_of(const std::string& name) const;
+  [[nodiscard]] std::size_t replication_target() const noexcept;
+  [[nodiscard]] bool is_under_replicated(const ObjectMeta& meta) const;
+  void attach_node_instruments(std::size_t node);
+  void trace_span(std::size_t node, const std::string& name, const char* category,
+                  sim::SimTime start, sim::SimTime end);
+  void begin_op(std::size_t node);
+  void end_op(std::size_t node, std::uint64_t epoch);
+  void schedule_repair();
+  void run_repair_sweep();
+  void finish_repair_transfer(const std::string& name, std::size_t dest,
+                              std::uint64_t size_bytes, std::uint64_t gen);
+
+  sim::Context& sim_;
+  ShardedStoreConfig config_;
+  /// (point, node) ring, sorted by point. Built once per node set.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  std::vector<NodeState> nodes_;
+  /// Ordered so repair sweeps and invariant scans are deterministic.
+  std::map<std::string, ObjectMeta> objects_;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::string, std::uint64_t> remove_gen_;
+  /// Names needing another copy; repair drains it in lexicographic order.
+  std::set<std::string> repair_queue_;
+  bool repair_armed_ = false;
+  std::size_t inflight_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t failed_reads_ = 0;
+  std::uint64_t repaired_objects_ = 0;
+  std::uint64_t repaired_bytes_ = 0;
+  std::uint64_t node_kills_ = 0;
+  std::uint64_t lost_objects_ = 0;
+  StoreMetrics metrics_;
+  metrics::MetricsRegistry* registry_ = nullptr;
+  metrics::Counter* repair_objects_metric_ = nullptr;
+  metrics::Counter* repair_bytes_metric_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceRecorder::Pid trace_pid_ = 0;
+};
+
+}  // namespace wfs::storage

@@ -344,5 +344,174 @@ TEST(CampaignCache, SummaryCsvIsByteIdenticalWhenTheCacheIsDisabled) {
   EXPECT_NE(enabled.find("cache_hit_rate,shared_drive_bytes_saved"), std::string::npos);
 }
 
+// ---- regression: phantom writer-node cache fill -----------------------------
+
+TEST(CachedStore, RemoveMidFlightWriteDoesNotFillTheWriterCache) {
+  // Regression: the backing stores bar a write completion whose generation
+  // a remove() raced (the name must stay absent), but the writer node's
+  // cache used to fill unconditionally on completion — and then served
+  // hits for an object the backing store never landed (read() succeeded
+  // while exists() was false).
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& writer = cache.node_view("w");
+
+  writer.write("out.dat", 1000, [] {});
+  (void)cache.remove("out.dat");  // bars the in-flight landing
+  sim.run();
+  EXPECT_FALSE(cache.exists("out.dat"));
+  EXPECT_EQ(cache.node_cached_bytes("w"), 0u);  // no phantom fill
+
+  bool ok = true;
+  writer.read("out.dat", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_FALSE(ok);  // an honest miss, not a stale hit
+
+  // A write issued AFTER the remove lands normally and may fill.
+  writer.write("out.dat", 2000, [] {});
+  sim.run();
+  EXPECT_TRUE(cache.exists("out.dat"));
+  EXPECT_EQ(cache.node_cached_bytes("w"), 2000u);
+}
+
+// ---- regression: stale read-through fill ------------------------------------
+
+TEST(CachedStore, RestageDuringInFlightMissDoesNotFillStaleBytes) {
+  // Regression: the miss path used to fill from stat_size() AFTER the
+  // backing read completed, so a stage() that raced the in-flight read
+  // resurrected the entry its invalidation had just dropped — recording
+  // the NEW size for the OLD bytes on the wire.
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& node = cache.node_view("n");
+  cache.stage("in.dat", 1'000'000);
+
+  node.read("in.dat", [](bool) {});  // old bytes leave the drive (~1 s)
+  cache.stage("in.dat", 4'000'000);  // content replaced mid-transfer
+  sim.run();
+  // The late fill must not land: the bytes the node received are not the
+  // bytes the backing store now holds.
+  EXPECT_EQ(cache.cached_bytes("n", {"in.dat"}), 0u);
+
+  // A fresh read caches the current content at its current size.
+  node.read("in.dat", [](bool) {});
+  sim.run();
+  EXPECT_EQ(cache.cached_bytes("n", {"in.dat"}), 4'000'000u);
+}
+
+TEST(CachedStore, RemoveDuringInFlightMissDoesNotResurrectTheEntry) {
+  // Same race, remove() flavour: after remove() the name must stay absent
+  // until a later stage/write — including in every node cache.
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CachedStore cache(sim, fs);
+  storage::DataStore& node = cache.node_view("n");
+  cache.stage("gone.dat", 1'000'000);
+
+  node.read("gone.dat", [](bool) {});  // miss in flight
+  (void)cache.remove("gone.dat");
+  sim.run();
+  EXPECT_FALSE(cache.exists("gone.dat"));
+  EXPECT_EQ(cache.cached_bytes("n", {"gone.dat"}), 0u);  // not resurrected
+
+  bool ok = true;
+  node.read("gone.dat", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+// ---- peer-to-peer transfer --------------------------------------------------
+
+TEST(CachedStoreP2p, MissPullsFromThePeerCacheInsteadOfTheBackingStore) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CacheConfig config;
+  config.p2p_enabled = true;
+  storage::CachedStore cache(sim, fs, config);
+  storage::DataStore& producer = cache.node_view("a");
+  storage::DataStore& consumer = cache.node_view("b");
+
+  producer.write("out.dat", 1'000'000, [] {});
+  sim.run();
+  const std::uint64_t backing_reads = fs.bytes_read();
+
+  bool ok = false;
+  const double start = sim::to_seconds(sim.now());
+  consumer.read("out.dat", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  // The pull rode the node-to-node link: no new backing traffic, and far
+  // faster than the ~1 s shared-drive trip (0.5 ms at 2 GB/s + 300 us).
+  EXPECT_EQ(fs.bytes_read(), backing_reads);
+  EXPECT_LT(sim::to_seconds(sim.now()) - start, 0.01);
+  EXPECT_EQ(cache.node_cached_bytes("b"), 1'000'000u);  // the pull filled b
+
+  const storage::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.p2p_transfers, 1u);
+  EXPECT_EQ(stats.p2p_bytes, 1'000'000u);
+
+  // b now serves its own hits.
+  consumer.read("out.dat", [](bool) {});
+  sim.run();
+  EXPECT_EQ(cache.node_stats("b").hits, 1u);
+  EXPECT_EQ(cache.stats().p2p_transfers, 1u);  // no second pull
+}
+
+TEST(CachedStoreP2p, FallsBackToTheBackingStoreWhenNoPeerHoldsIt) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CacheConfig config;
+  config.p2p_enabled = true;
+  storage::CachedStore cache(sim, fs, config);
+  (void)cache.node_view("a");
+  storage::DataStore& consumer = cache.node_view("b");
+  fs.stage("cold.dat", 500'000);
+
+  bool ok = false;
+  consumer.read("cold.dat", [&](bool read_ok) { ok = read_ok; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(fs.bytes_read(), 500'000u);  // the backing store served it
+  EXPECT_EQ(cache.stats().p2p_transfers, 0u);
+}
+
+TEST(CachedStoreP2p, RemoveDuringInFlightPullBarsTheFill) {
+  // The p2p fill obeys the same generation guard as read-through: a
+  // remove() racing the link transfer bars the receiving node's insert.
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());
+  storage::CacheConfig config;
+  config.p2p_enabled = true;
+  storage::CachedStore cache(sim, fs, config);
+  storage::DataStore& producer = cache.node_view("a");
+  storage::DataStore& consumer = cache.node_view("b");
+  producer.write("hot.dat", 1'000'000, [] {});
+  sim.run();
+
+  consumer.read("hot.dat", [](bool) {});  // p2p pull in flight
+  (void)cache.remove("hot.dat");
+  sim.run();
+  EXPECT_EQ(cache.cached_bytes("b", {"hot.dat"}), 0u);
+}
+
+TEST(CachedStoreP2p, MinOpLatencyCoversTheP2pLink) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim, slow_fs_config());  // op_latency 2 ms
+  storage::CacheConfig config;
+  config.hit_latency = 500;
+  config.p2p_latency = 300;
+  {
+    storage::CachedStore cache(sim, fs, config);
+    EXPECT_EQ(cache.min_op_latency(), 500);  // p2p off: hit latency binds
+  }
+  config.p2p_enabled = true;
+  {
+    storage::CachedStore cache(sim, fs, config);
+    EXPECT_EQ(cache.min_op_latency(), 300);  // p2p on: the link binds
+  }
+}
+
 }  // namespace
 }  // namespace wfs

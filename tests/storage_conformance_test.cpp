@@ -1,7 +1,7 @@
-// Backend-conformance suite: SharedFilesystem and ObjectStore must agree on
-// the storage-layer contract — miss accounting, congestion-slot semantics,
-// cleanup (clear/remove) hygiene across in-flight completions, and the
-// metrics they emit. Each divergence here was a real bug: the shared-fs
+// Backend-conformance suite: SharedFilesystem, ObjectStore and
+// ShardedObjectStore must agree on the storage-layer contract — miss
+// accounting, congestion-slot semantics, cleanup (clear/remove) hygiene
+// across in-flight completions, and the metrics they emit. Each divergence here was a real bug: the shared-fs
 // miss path used to occupy no congestion slot and record no op-duration
 // observation, clear() left counters stale, and an in-flight write callback
 // could resurrect its file after clear()/remove().
@@ -18,6 +18,7 @@
 #include "sim/simulation.h"
 #include "storage/object_store.h"
 #include "storage/shared_fs.h"
+#include "storage/sharded_store.h"
 
 namespace wfs {
 namespace {
@@ -63,6 +64,22 @@ class ObjectStoreBackend {
   std::unique_ptr<storage::ObjectStore> os_;
 };
 
+class ShardedBackend {
+ public:
+  explicit ShardedBackend(sim::Simulation& sim) {
+    storage::ShardedStoreConfig config;
+    config.op_latency = 5 * sim::kMillisecond;
+    store_ = std::make_unique<storage::ShardedObjectStore>(sim, config);
+  }
+  Backend backend() {
+    return {"sharded_store", store_.get(), [this] { return store_->inflight_ops(); },
+            5 * sim::kMillisecond};
+  }
+
+ private:
+  std::unique_ptr<storage::ShardedObjectStore> store_;
+};
+
 template <typename Fn>
 void for_each_backend(Fn&& fn) {
   {
@@ -77,6 +94,13 @@ void for_each_backend(Fn&& fn) {
     ObjectStoreBackend object(sim);
     Backend backend = object.backend();
     SCOPED_TRACE("backend=object_store");
+    fn(sim, backend);
+  }
+  {
+    sim::Simulation sim;
+    ShardedBackend sharded(sim);
+    Backend backend = sharded.backend();
+    SCOPED_TRACE("backend=sharded_store");
     fn(sim, backend);
   }
 }

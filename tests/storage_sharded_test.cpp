@@ -1,0 +1,427 @@
+// Sharded, replicated data plane: consistent-hash placement, write fan-out,
+// read failover, node failure + background repair, and the end-to-end
+// experiment / campaign / determinism wiring (DESIGN.md, "Distributed data
+// plane").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/fleet.h"
+#include "core/results_io.h"
+#include "metrics/registry.h"
+#include "sim/simulation.h"
+#include "storage/cached_store.h"
+#include "storage/sharded_store.h"
+
+namespace wfs {
+namespace {
+
+storage::ShardedStoreConfig fast_config(std::size_t nodes, std::size_t rf) {
+  storage::ShardedStoreConfig config;
+  config.num_nodes = nodes;
+  config.replication_factor = rf;
+  config.op_latency = 5 * sim::kMillisecond;
+  config.repair_delay = 10 * sim::kMillisecond;
+  return config;
+}
+
+// ---- consistent hashing -----------------------------------------------------
+
+TEST(ShardedStoreRing, PlacementIsSpreadAndStableAcrossInstances) {
+  sim::Simulation sim_a;
+  sim::Simulation sim_b;
+  storage::ShardedObjectStore a(sim_a, fast_config(4, 2));
+  storage::ShardedObjectStore b(sim_b, fast_config(4, 2));
+
+  std::vector<std::size_t> per_node(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    // Placement is a pure function of the name and node set: two
+    // independent instances agree exactly (the property that makes
+    // committed baselines platform-stable).
+    EXPECT_EQ(a.primary_of(name), b.primary_of(name));
+    EXPECT_EQ(a.replicas_of(name), b.replicas_of(name));
+    const std::vector<std::size_t> replicas = a.replicas_of(name);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);  // distinct nodes
+    ++per_node[replicas[0]];
+  }
+  // Virtual nodes smooth the arcs: every node owns a non-trivial share of
+  // the primary role (a perfectly even split would be 250 each).
+  for (std::size_t node = 0; node < 4; ++node) {
+    EXPECT_GT(per_node[node], 100u) << "node " << node << " owns too little";
+  }
+}
+
+TEST(ShardedStoreRing, AddingANodeRemapsOnlyItsArc) {
+  // The consistent-hashing contract: growing N nodes to N+1 moves roughly
+  // 1/(N+1) of the keyspace — not the ~N/(N+1) a mod-N scheme would.
+  sim::Simulation sim_a;
+  sim::Simulation sim_b;
+  storage::ShardedObjectStore four(sim_a, fast_config(4, 1));
+  storage::ShardedObjectStore five(sim_b, fast_config(5, 1));
+
+  constexpr int kKeys = 2000;
+  int remapped = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    if (four.primary_of(name) != five.primary_of(name)) ++remapped;
+  }
+  const double fraction = static_cast<double>(remapped) / kKeys;
+  EXPECT_GT(fraction, 0.10);  // the new node did take ownership of an arc
+  EXPECT_LT(fraction, 0.35);  // ...but only its arc, not the whole keyspace
+  // Every remapped key moved TO the new node (nothing shuffled between
+  // survivors).
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    if (four.primary_of(name) != five.primary_of(name)) {
+      EXPECT_EQ(five.primary_of(name), 4u) << name;
+    }
+  }
+}
+
+// ---- replication ------------------------------------------------------------
+
+TEST(ShardedStoreReplication, WriteFansOutToEveryReplicaAndAcksAtTheSlowest) {
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 3));
+  bool done = false;
+  store.write("obj", 1'000'000, [&] {
+    done = true;
+    EXPECT_TRUE(store.exists("obj"));  // visible exactly at the ack
+  });
+  EXPECT_FALSE(store.exists("obj"));  // invisible while legs are in flight
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(store.replicas_of("obj").size(), 3u);
+  EXPECT_EQ(store.under_replicated(), 0u);
+  // Logical traffic counts the object once, not once per replica.
+  EXPECT_EQ(store.bytes_written(), 1'000'000u);
+}
+
+TEST(ShardedStoreReplication, ReadsSucceedWithOneNodeDownAtRf2) {
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 2));
+  for (int i = 0; i < 50; ++i) {
+    store.stage("obj-" + std::to_string(i), 10'000);
+  }
+  ASSERT_TRUE(store.kill_node(0));
+  // Immediately after the kill — before repair has run — every object must
+  // still be readable from its surviving replica.
+  int ok_reads = 0;
+  for (int i = 0; i < 50; ++i) {
+    store.read("obj-" + std::to_string(i), [&](bool ok) { ok_reads += ok ? 1 : 0; });
+  }
+  sim.run();
+  EXPECT_EQ(ok_reads, 50);
+  EXPECT_EQ(store.lost_objects(), 0u);
+}
+
+TEST(ShardedStoreReplication, FailoverReadPaysTheLinkHop) {
+  sim::Simulation sim;
+  storage::ShardedStoreConfig config = fast_config(4, 2);
+  config.per_object_read_bps = 1e12;  // make latency terms dominate
+  config.repair_delay = 3600 * sim::kSecond;  // keep repair out of this test
+  storage::ShardedObjectStore store(sim, config);
+  store.stage("obj", 1000);
+  const std::vector<std::size_t> replicas = store.replicas_of("obj");
+  ASSERT_EQ(replicas.size(), 2u);
+
+  sim::SimTime primary_read = 0;
+  store.read("obj", [&](bool ok) {
+    ASSERT_TRUE(ok);
+    primary_read = sim.now();
+  });
+  sim.run();
+  // Ring-first replica: RPC latency plus the (ceil'd, ~1 us) transfer tick.
+  EXPECT_GE(primary_read, config.op_latency);
+  EXPECT_LT(primary_read, config.op_latency + config.link_latency);
+
+  ASSERT_TRUE(store.kill_node(replicas[0]));
+  const sim::SimTime failover_started = sim.now();
+  sim::SimTime failover_read = 0;
+  store.read("obj", [&](bool ok) {
+    ASSERT_TRUE(ok);
+    failover_read = sim.now() - failover_started;
+  });
+  sim.run();
+  // One position further down the preference walk = exactly one link hop
+  // on top of the primary-path read.
+  EXPECT_EQ(failover_read - primary_read, config.link_latency);
+}
+
+// ---- failure + repair -------------------------------------------------------
+
+TEST(ShardedStoreRepair, ReReplicatesEverythingAfterAKill) {
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 2));
+  metrics::MetricsRegistry registry;
+  store.set_metrics(&registry);
+  constexpr int kObjects = 40;
+  for (int i = 0; i < kObjects; ++i) {
+    store.stage("obj-" + std::to_string(i), 100'000);
+  }
+  ASSERT_EQ(store.under_replicated(), 0u);
+
+  ASSERT_TRUE(store.kill_node(1));
+  const std::size_t degraded = store.under_replicated();
+  EXPECT_GT(degraded, 0u);  // node 1 held replicas of roughly half the set
+
+  sim.run();  // the repair loop drains and disarms; run() terminates
+  EXPECT_EQ(store.under_replicated(), 0u);  // invariant: repair settles fully
+  EXPECT_EQ(store.repaired_objects(), degraded);
+  EXPECT_EQ(store.repaired_bytes(), degraded * 100'000u);
+  EXPECT_EQ(store.lost_objects(), 0u);
+  // Every object's copies all sit on live nodes.
+  for (int i = 0; i < kObjects; ++i) {
+    for (const std::size_t node : store.replicas_of("obj-" + std::to_string(i))) {
+      EXPECT_TRUE(store.node_alive(node));
+    }
+  }
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  const metrics::MetricPoint* repairs =
+      snapshot.find("storage_repair_objects_total", {});
+  ASSERT_NE(repairs, nullptr);
+  EXPECT_DOUBLE_EQ(repairs->value, static_cast<double>(degraded));
+}
+
+TEST(ShardedStoreRepair, SurvivesASecondKillAndLosesNothingAtRf2) {
+  // Kill one node, let repair settle, kill another: RF 2 tolerates any
+  // sequence of single failures with a repair window between them.
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 2));
+  for (int i = 0; i < 30; ++i) store.stage("obj-" + std::to_string(i), 50'000);
+
+  ASSERT_TRUE(store.kill_node(0));
+  sim.run();  // settle
+  ASSERT_EQ(store.under_replicated(), 0u);
+  ASSERT_TRUE(store.kill_node(2));
+  sim.run();  // settle again
+  EXPECT_EQ(store.under_replicated(), 0u);
+  EXPECT_EQ(store.lost_objects(), 0u);
+  EXPECT_EQ(store.live_nodes(), 2u);
+  int ok_reads = 0;
+  for (int i = 0; i < 30; ++i) {
+    store.read("obj-" + std::to_string(i), [&](bool ok) { ok_reads += ok ? 1 : 0; });
+  }
+  sim.run();
+  EXPECT_EQ(ok_reads, 30);
+}
+
+TEST(ShardedStoreRepair, Rf1LosesTheKilledNodesObjects) {
+  // The contrast case the durability ablation shows: without replication a
+  // storage-node kill is data loss, honestly reported.
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 1));
+  for (int i = 0; i < 40; ++i) store.stage("obj-" + std::to_string(i), 1000);
+  const std::size_t on_node0 = store.node_object_count(0);
+  ASSERT_GT(on_node0, 0u);
+  ASSERT_TRUE(store.kill_node(0));
+  sim.run();
+  EXPECT_EQ(store.lost_objects(), on_node0);
+  EXPECT_EQ(store.object_count(), 40u - on_node0);
+}
+
+TEST(ShardedStoreRepair, RemoveDuringRepairTransferDoesNotResurrect) {
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 2));
+  store.stage("obj", 500'000'000);  // big enough that the copy takes a while
+  ASSERT_TRUE(store.kill_node(store.replicas_of("obj").front()));
+  ASSERT_EQ(store.under_replicated(), 1u);
+  // Let the repair sweep start its transfer, then remove the object while
+  // the copy is on the wire.
+  sim.run_until(12 * sim::kMillisecond);  // past repair_delay = 10 ms
+  (void)store.remove("obj");
+  sim.run();
+  EXPECT_FALSE(store.exists("obj"));
+  EXPECT_EQ(store.under_replicated(), 0u);
+  EXPECT_EQ(store.repaired_objects(), 0u);  // the stale copy did not count
+}
+
+TEST(ShardedStoreRepair, ClearRevivesNodesAndCancelsPendingRepairs) {
+  sim::Simulation sim;
+  storage::ShardedObjectStore store(sim, fast_config(4, 2));
+  for (int i = 0; i < 10; ++i) store.stage("obj-" + std::to_string(i), 1000);
+  ASSERT_TRUE(store.kill_node(0));
+  store.clear();  // mid repair-delay
+  sim.run();
+  EXPECT_EQ(store.live_nodes(), 4u);
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_EQ(store.repaired_objects(), 0u);
+  EXPECT_EQ(store.node_kills(), 0u);
+  EXPECT_EQ(store.inflight_ops(), 0u);
+}
+
+// ---- lookahead bound --------------------------------------------------------
+
+TEST(ShardedStoreContract, MinOpLatencyCoversTheLinkPath) {
+  sim::Simulation sim;
+  storage::ShardedStoreConfig config = fast_config(4, 2);
+  config.op_latency = 5 * sim::kMillisecond;
+  config.link_latency = 500;
+  storage::ShardedObjectStore store(sim, config);
+  // Repair legs and failover hops ride the link, so the bound must be the
+  // cheaper of the two paths — not just the client RPC.
+  EXPECT_EQ(store.min_op_latency(), 500);
+}
+
+// ---- experiment / campaign wiring -------------------------------------------
+
+TEST(ExperimentSharded, ShardedStoreCarriesAWorkflowEndToEnd) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 40;
+  config.storage_nodes = 4;
+  config.replication_factor = 2;
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_GT(result.storage_bytes_read, 0u);
+  EXPECT_GT(result.storage_bytes_written, 0u);
+  EXPECT_EQ(result.storage_node_kills, 0u);
+  EXPECT_EQ(result.storage_under_replicated, 0u);
+}
+
+TEST(ExperimentSharded, KillingAStorageNodeMidRunIsSurvivableAtRf2) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "seismology";
+  config.num_tasks = 40;
+  config.storage_nodes = 4;
+  config.replication_factor = 2;
+  config.storage_kill_at_seconds = 5.0;  // mid-run
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  EXPECT_EQ(result.storage_node_kills, 1u);
+  EXPECT_EQ(result.storage_lost_objects, 0u);
+}
+
+TEST(ExperimentSharded, P2pTransfersCutBackingReads) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 40;
+  config.storage_nodes = 4;
+  config.replication_factor = 2;
+  config.data_cache_mb_per_node = 256;
+  // Placement deliberately NOT cache-aware: consumers land away from the
+  // producer's node, so every inter-task read is a remote miss — exactly
+  // the traffic the p2p path exists to absorb.
+  const core::ExperimentResult cached = core::run_experiment(config);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.p2p_transfers, 0u);  // knob off: no peer pulls
+
+  config.p2p_transfer = true;
+  const core::ExperimentResult p2p = core::run_experiment(config);
+  ASSERT_TRUE(p2p.ok());
+  EXPECT_GT(p2p.p2p_transfers, 0u);
+  EXPECT_GT(p2p.p2p_bytes_saved, 0u);
+  // Every peer pull is a backing-store read that never happened.
+  EXPECT_LT(p2p.storage_bytes_read, cached.storage_bytes_read);
+}
+
+TEST(ExperimentSharded, ResultJsonRoundTripsShardedCounters) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "cycles";
+  config.num_tasks = 30;
+  config.storage_nodes = 4;
+  config.replication_factor = 2;
+  config.data_cache_mb_per_node = 128;
+  config.p2p_transfer = true;
+  config.storage_kill_at_seconds = 5.0;
+  const core::ExperimentResult original = core::run_experiment(config);
+  ASSERT_TRUE(original.completed);
+
+  const core::ExperimentResult restored =
+      core::parse_result(core::write_result(original));
+  EXPECT_EQ(restored.config.storage_nodes, 4u);
+  EXPECT_EQ(restored.config.replication_factor, 2u);
+  EXPECT_TRUE(restored.config.p2p_transfer);
+  EXPECT_EQ(restored.p2p_transfers, original.p2p_transfers);
+  EXPECT_EQ(restored.p2p_bytes_saved, original.p2p_bytes_saved);
+  EXPECT_EQ(restored.storage_repair_objects, original.storage_repair_objects);
+  EXPECT_EQ(restored.storage_repair_bytes, original.storage_repair_bytes);
+  EXPECT_EQ(restored.storage_node_kills, original.storage_node_kills);
+  EXPECT_EQ(restored.storage_under_replicated, original.storage_under_replicated);
+  EXPECT_EQ(restored.storage_lost_objects, original.storage_lost_objects);
+}
+
+TEST(CampaignSharded, SummaryCsvIsByteIdenticalWhenTheKnobsAreOff) {
+  // PR 5 / PR 7 pattern: the new knobs default off, and a spec that sets
+  // them to their defaults must reproduce the exact same bytes as one that
+  // never mentions them.
+  const auto run_csv = [](std::size_t nodes, bool p2p) {
+    core::CampaignSpec spec;
+    spec.paradigms = {core::Paradigm::kKn10wNoPM};
+    spec.recipes = {"blast"};
+    spec.sizes = {20};
+    spec.storage_nodes = nodes;
+    spec.p2p_transfer = p2p;
+    if (p2p) spec.data_cache_mb_per_node = 256;
+    core::Campaign campaign(std::move(spec));
+    campaign.run();
+    return campaign.summary_csv();
+  };
+  const std::string baseline = run_csv(0, false);
+  EXPECT_EQ(run_csv(0, false), baseline);  // defaults are deterministic
+  EXPECT_NE(run_csv(4, false), baseline);  // the sharded tier changes timing
+  EXPECT_NE(baseline.find("p2p_bytes_saved,storage_repair_bytes"), std::string::npos);
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(SimDeterminism, ShardedStoreCampaignByteIdenticalAcrossSimShards) {
+  // The min_op_latency declarations (store RPC/link, cache hit/p2p) feed
+  // the sharded engine's lookahead; campaigns over the full data plane must
+  // stay byte-identical at every shard count.
+  const auto run_csv = [](std::size_t sim_shards) {
+    core::CampaignSpec spec;
+    spec.paradigms = {core::Paradigm::kKn10wNoPM};
+    spec.recipes = {"blast", "seismology"};
+    spec.sizes = {20};
+    spec.storage_nodes = 4;
+    spec.replication_factor = 2;
+    spec.data_cache_mb_per_node = 256;
+    spec.p2p_transfer = true;
+    spec.jobs = 1;
+    spec.collect_metrics = false;
+    spec.sim_shards = sim_shards;
+    core::Campaign campaign(std::move(spec));
+    campaign.run();
+    return campaign.summary_csv();
+  };
+  const std::string sequential = run_csv(1);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(run_csv(2), sequential) << "2 shards diverged from the seed engine";
+  EXPECT_EQ(run_csv(4), sequential) << "4 shards diverged from the seed engine";
+}
+
+TEST(SimDeterminism, ShardedStoreFleetIdenticalAcrossSimShards) {
+  const auto run_with_shards = [](std::size_t sim_shards) {
+    core::FleetConfig config;
+    config.items = {{"blast", 30, 1}, {"cycles", 30, 2}};
+    config.concurrent = true;
+    config.sim_shards = sim_shards;
+    config.storage_nodes = 4;
+    config.replication_factor = 2;
+    config.data_cache_mb_per_node = 256;
+    config.p2p_transfer = true;
+    return core::run_fleet(config);
+  };
+  const core::FleetResult seed = run_with_shards(1);
+  const core::FleetResult sharded = run_with_shards(4);
+  ASSERT_TRUE(seed.completed);
+  ASSERT_TRUE(sharded.completed);
+  EXPECT_EQ(sharded.wall_seconds, seed.wall_seconds);
+  EXPECT_EQ(sharded.cache_hits, seed.cache_hits);
+  EXPECT_EQ(sharded.p2p_transfers, seed.p2p_transfers);
+}
+
+}  // namespace
+}  // namespace wfs
