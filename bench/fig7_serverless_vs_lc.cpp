@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   cli.add_flag("jobs", "0", "parallel experiment workers (0 = all cores, 1 = sequential)");
   cli.add_flag("metrics-out", "",
                "write the sweep's merged Prometheus exposition (.prom) to this file");
+  cli.add_switch("profile",
+                 "run one blast-200 Kn10wNoPM cell and print its critical-path attribution");
   if (!cli.parse(argc, argv)) return 1;
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
 
@@ -84,19 +86,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!cli.positional().empty()) {
-    // One extra traced cell: blast-200 on the serverless headline setup.
-    const std::string& trace_path = cli.positional().front();
+  if (!cli.positional().empty() || cli.get_switch("profile")) {
+    // One extra cell: blast-200 on the serverless headline setup — traced
+    // when a path was given, profiled when --profile asked for it (the two
+    // compose: the trace then carries the critical-path lane).
     core::ExperimentConfig config;
     config.paradigm = core::Paradigm::kKn10wNoPM;
     config.recipe = "blast";
     config.num_tasks = 200;
-    config.trace_path = trace_path;
-    const core::ExperimentResult traced = core::run_experiment(config);
-    std::cout << "\ntraced blast-200 Kn10wNoPM cell:\n" << core::overhead_summary(traced);
-    std::cout << support::format(
-        "trace written to {} — open with chrome://tracing or https://ui.perfetto.dev\n",
-        trace_path);
+    if (!cli.positional().empty()) config.trace_path = cli.positional().front();
+    const core::ExperimentResult extra = core::run_experiment(config);
+    std::cout << "\nblast-200 Kn10wNoPM cell:\n" << core::overhead_summary(extra);
+    if (cli.get_switch("profile")) std::cout << core::profile_summary(extra);
+    if (!config.trace_path.empty()) {
+      std::cout << support::format(
+          "trace written to {} — open with chrome://tracing or https://ui.perfetto.dev\n",
+          config.trace_path);
+    }
   }
   return 0;
 }

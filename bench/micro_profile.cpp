@@ -1,0 +1,155 @@
+// Micro bench: the run profiler's makespan attribution, self-checked.
+//
+// Three cells, each engineered so a different segment of the taxonomy owns
+// the observed critical path:
+//  * cold-start — blast-100 on Kn10wNoPM with a 10 s pod boot and light
+//    compute: every scale-up pays ten simulated seconds of boot, so the
+//    profiler must blame cold starts;
+//  * transfer — genome-100 on the shared drive with 100x file sizes and
+//    near-zero compute (the ablation_sharded_store shape): the one-box data
+//    plane is the critical resource, so the profiler must blame transfer;
+//  * compute — blast-50 on resident local containers at a heavy cpu-work:
+//    no cold starts, little queueing, so compute must own the path.
+//
+// Every cell also asserts the accounting identity the profiler guarantees:
+// the critical-path segments sum to the makespan within 1e-6 s. A wrong
+// attribution or a broken identity exits non-zero, so the bench doubles as
+// a regression gate; --json-out lands the percentages for
+// baselines/BENCH_profile.json and scripts/bench_check.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "json/value.h"
+#include "json/write.h"
+#include "obs/profile.h"
+#include "support/cli.h"
+#include "support/format.h"
+
+namespace {
+
+struct Cell {
+  std::string name;
+  wfs::core::ExperimentConfig config;
+  wfs::obs::Segment expect;
+};
+
+std::vector<Cell> build_cells() {
+  using namespace wfs;
+  std::vector<Cell> cells;
+
+  {
+    Cell cell;
+    cell.name = "cold-start";
+    cell.config.paradigm = core::Paradigm::kKn10wNoPM;
+    cell.config.recipe = "blast";
+    cell.config.num_tasks = 100;
+    cell.config.cpu_work = 1.0;
+    faas::KnativeServiceSpec spec = core::knative_spec_for(cell.config.paradigm);
+    spec.cold_start = sim::from_seconds(10.0);
+    cell.config.knative_spec_override = spec;
+    cell.expect = obs::Segment::kColdStart;
+    cells.push_back(std::move(cell));
+  }
+  {
+    Cell cell;
+    cell.name = "transfer";
+    cell.config.paradigm = core::Paradigm::kKn1wNoPM;
+    cell.config.recipe = "genome";
+    cell.config.num_tasks = 100;
+    cell.config.cpu_work = 1.0;
+    cell.config.data_scale = 100.0;
+    // Zero pod boot so the data plane — not the first cold start — owns
+    // the path; this cell isolates transfer the way the cold cell isolates
+    // boot latency.
+    faas::KnativeServiceSpec spec = core::knative_spec_for(cell.config.paradigm);
+    spec.cold_start = sim::SimTime{0};
+    cell.config.knative_spec_override = spec;
+    cell.expect = obs::Segment::kTransfer;
+    cells.push_back(std::move(cell));
+  }
+  {
+    Cell cell;
+    cell.name = "compute";
+    cell.config.paradigm = core::Paradigm::kLC10wNoPM;
+    cell.config.recipe = "blast";
+    cell.config.num_tasks = 50;
+    cell.config.cpu_work = 250.0;
+    cell.expect = obs::Segment::kCompute;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfs;
+  support::CliParser cli("micro_profile",
+                         "critical-path attribution on three engineered cells");
+  cli.add_flag("json-out", "", "write the figures as JSON to this file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::cout << "Micro — run profiler attribution (cold-start / transfer / compute cells)\n";
+  std::cout << "========================================================================\n";
+
+  bool ok = true;
+  json::Array rows;
+  for (const Cell& cell : build_cells()) {
+    const core::ExperimentResult result = core::run_experiment(cell.config);
+    const obs::RunProfile& profile = result.run.profile;
+    std::cout << support::format("\n[{}] {}-{} on {}\n", cell.name, cell.config.recipe,
+                                 cell.config.num_tasks, result.paradigm_name);
+    if (!result.ok() || !profile.valid) {
+      std::cout << support::format("FAILED: run did not complete ({})\n",
+                                   result.failure_reason);
+      ok = false;
+      continue;
+    }
+    std::cout << core::profile_summary(profile);
+
+    // Identity: the critical-path segments tile [0, makespan] exactly.
+    const double closure = std::abs(profile.critical.total() - profile.makespan_seconds);
+    if (closure > 1e-6) {
+      std::cout << support::format(
+          "FAILED: attribution does not sum to the makespan (off by {:.9f}s)\n", closure);
+      ok = false;
+    }
+    const obs::Segment dominant = profile.dominant();
+    if (dominant != cell.expect) {
+      std::cout << support::format("FAILED: expected {} to dominate, profiler blames {}\n",
+                                   obs::to_string(cell.expect), obs::to_string(dominant));
+      ok = false;
+    }
+
+    json::Object row;
+    row.set("cell", cell.name);
+    row.set("makespan_s", profile.makespan_seconds);
+    row.set("static_cp_s", profile.static_cp_seconds);
+    row.set("dominant", std::string(obs::to_string(dominant)));
+    row.set("dominant_pct", profile.pct(dominant));
+    row.set("overhead_pct", profile.pct(obs::Segment::kOverhead));
+    for (std::size_t i = 0; i < obs::kSegmentCount; ++i) {
+      const auto segment = static_cast<obs::Segment>(i);
+      row.set(std::string(obs::to_string(segment)) + "_pct", profile.pct(segment));
+    }
+    rows.push_back(json::Value(std::move(row)));
+  }
+
+  if (!cli.get("json-out").empty()) {
+    json::Object doc;
+    doc.set("bench", std::string("micro_profile"));
+    doc.set("cells", std::move(rows));
+    std::ofstream out(cli.get("json-out"));
+    out << json::write_pretty(json::Value(std::move(doc))) << "\n";
+    std::cout << "\nwrote " << cli.get("json-out") << "\n";
+  }
+
+  std::cout << (ok ? "\nall attribution checks passed\n"
+                   : "\nFAILED: attribution checks did not hold\n");
+  return ok ? 0 : 1;
+}

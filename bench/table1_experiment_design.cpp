@@ -8,7 +8,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/experiment.h"
 #include "core/paradigm.h"
+#include "core/report.h"
 #include "metrics/registry.h"
 #include "support/cli.h"
 #include "support/format.h"
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
                "campaign workers to plan for (0 = all cores, 1 = sequential)");
   cli.add_flag("metrics-out", "",
                "write the design plan as a Prometheus exposition (.prom) to this file");
+  cli.add_switch("profile",
+                 "run one representative cell (blast-200 Kn10wNoPM) and print its "
+                 "critical-path attribution");
   if (!cli.parse(argc, argv)) return 1;
   const auto jobs_flag = static_cast<std::size_t>(cli.get_int("jobs"));
   const std::size_t jobs =
@@ -114,6 +119,19 @@ int main(int argc, char** argv) {
       std::cerr << "failed to write metrics to " << cli.get("metrics-out") << "\n";
       return 1;
     }
+  }
+
+  if (cli.get_switch("profile")) {
+    // The design is a plan, not a run — but one representative cell shows
+    // what each planned experiment's makespan decomposes into.
+    core::ExperimentConfig config;
+    config.paradigm = core::Paradigm::kKn10wNoPM;
+    config.recipe = "blast";
+    config.num_tasks = 200;
+    const core::ExperimentResult cell = core::run_experiment(config);
+    std::cout << "\nrepresentative cell (blast-200 Kn10wNoPM):\n"
+              << core::result_header() << core::result_row(cell)
+              << core::profile_summary(cell);
   }
   return match ? 0 : 1;
 }

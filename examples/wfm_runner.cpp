@@ -13,6 +13,7 @@
 // Usage: ./build/examples/wfm_runner <workflow.json> [--paradigm Kn10wNoPM]
 //                                    [--scheduling phase-barrier|dependency-driven]
 //                                    [--trace out.json] [--metrics-out run.prom]
+//                                    [--profile]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -45,11 +46,12 @@ int main(int argc, char** argv) {
                "WFM dispatch mode: phase-barrier or dependency-driven");
   cli.add_flag("trace", "", "write a Chrome trace (chrome://tracing) to this file");
   cli.add_flag("metrics-out", "", "write a Prometheus text exposition (.prom) to this file");
+  cli.add_switch("profile", "print the critical-path makespan attribution");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::cerr << "usage: wfm_runner <workflow.json> [--paradigm Kn10wNoPM]"
                  " [--scheduling phase-barrier|dependency-driven] [--trace out.json]"
-                 " [--metrics-out run.prom]\n";
+                 " [--metrics-out run.prom] [--profile]\n";
     return 1;
   }
 
@@ -151,6 +153,9 @@ int main(int argc, char** argv) {
         knative->activator().total_wait_seconds());
   }
   std::cout << "\n";
+  if (cli.get_switch("profile")) {
+    std::cout << "\n" << core::profile_summary(result->profile);
+  }
   if (knative) knative->shutdown();
   if (local) local->shutdown();
   // Save after shutdown so pod "serving" spans (closed on terminate) land in

@@ -76,14 +76,16 @@ void LocalContainerRuntime::handle_request(const net::HttpRequest& request,
     return;
   }
   backlog_.push_back(Queued{
-      std::move(params), [this, responder](net::HttpResponse response) {
+      std::move(params),
+      [this, responder](net::HttpResponse response) {
         if (response.ok()) {
           ++stats_.completed;
         } else {
           ++stats_.failed;
         }
         responder->respond(std::move(response));
-      }});
+      },
+      sim_.now()});
   stats_.max_backlog = std::max<std::uint64_t>(stats_.max_backlog, backlog_.size());
   pump();
 }
@@ -107,9 +109,12 @@ void LocalContainerRuntime::pump() {
     if (container == nullptr) return;  // all workers busy; retry on completion
     Queued queued = std::move(backlog_.front());
     backlog_.pop_front();
+    // No cold start here — resident containers only ever queue.
+    const double wait = sim::to_seconds(sim_.now() - queued.enqueued_at);
     auto done = std::move(queued.done);
     container->service()->handle(queued.params,
-                                 [this, done = std::move(done)](net::HttpResponse response) {
+                                 [this, wait, done = std::move(done)](net::HttpResponse response) {
+                                   response.timing.queue_seconds += wait;
                                    done(std::move(response));
                                    pump();
                                  });

@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "containers/container.h"
 #include "net/router.h"
+#include "sim/clock.h"
 #include "storage/data_store.h"
 
 namespace wfs::containers {
@@ -63,6 +64,7 @@ class LocalContainerRuntime {
   struct Queued {
     wfbench::TaskParams params;
     std::function<void(net::HttpResponse)> done;
+    sim::SimTime enqueued_at = 0;
   };
 
   void handle_request(const net::HttpRequest& request,

@@ -138,11 +138,15 @@ std::string Campaign::summary_csv() const {
       "cpu_pct_p99,cpu_pct_max,mem_gib_mean,mem_gib_max,power_w_mean,energy_kj,cold_starts,"
       "max_ready_pods,scheduling_failures,node_oom_events,service_oom_failures,tasks_failed,"
       "cold_start_s,retry_wait_s,input_wait_s,activator_wait_s,cache_hit_rate,"
-      "shared_drive_bytes_saved,p2p_bytes_saved,storage_repair_bytes\n";
+      "shared_drive_bytes_saved,p2p_bytes_saved,storage_repair_bytes";
+  if (spec_.profile) {
+    out += ",cp_length_seconds,cp_coldstart_pct,cp_queue_pct,cp_transfer_pct,cp_compute_pct";
+  }
+  out += "\n";
   for (const ExperimentResult& result : results_) {
     out += support::format(
         "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},"
-        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{}\n",
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{:.3f},{:.3f},{},{},{}",
         result.paradigm_name, result.config.recipe, result.config.num_tasks,
         result.config.seed, to_string(result.config.wfm.scheduling),
         result.ok() ? "ok" : "failed", result.makespan_seconds,
@@ -155,6 +159,15 @@ std::string Campaign::summary_csv() const {
         result.run.input_wait_seconds, result.activator_wait_seconds,
         result.cache_hit_rate, result.cache_bytes_saved, result.p2p_bytes_saved,
         result.storage_repair_bytes);
+    if (spec_.profile) {
+      const obs::RunProfile& profile = result.run.profile;
+      out += support::format(",{:.3f},{:.3f},{:.3f},{:.3f},{:.3f}",
+                             profile.cp_length_seconds, profile.pct(obs::Segment::kColdStart),
+                             profile.pct(obs::Segment::kQueue),
+                             profile.pct(obs::Segment::kTransfer),
+                             profile.pct(obs::Segment::kCompute));
+    }
+    out += "\n";
   }
   return out;
 }

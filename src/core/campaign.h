@@ -50,6 +50,12 @@ struct CampaignSpec {
   /// Per-cell structured metrics (ExperimentConfig::collect_metrics);
   /// merged_metrics() aggregates the per-cell snapshots.
   bool collect_metrics = true;
+  /// Append critical-path attribution columns (cp_length_seconds,
+  /// cp_coldstart_pct, cp_queue_pct, cp_transfer_pct, cp_compute_pct) to
+  /// summary_csv(). Off (the default) keeps the CSV byte-identical to
+  /// profile-unaware consumers; the per-run RunProfile is computed either
+  /// way.
+  bool profile = false;
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return paradigms.size() * recipes.size() * sizes.size() *

@@ -314,4 +314,22 @@ ExecutionPlan plan_from_phases(std::string workflow_name,
   return std::move(builder).build();
 }
 
+double static_critical_path_seconds(const ExecutionPlan& plan) {
+  // Ids are level-major, hence topological: every parent id is smaller than
+  // its children's, so one forward pass is a valid longest-path DP.
+  const std::size_t total = plan.task_count();
+  std::vector<double> longest(total, 0.0);
+  double best = 0.0;
+  for (TaskId id = 0; id < total; ++id) {
+    const double duration = plan.cpu_work(id) / std::max(plan.percent_cpu(id), 1e-9);
+    double start = 0.0;
+    for (const TaskId parent : plan.parents(id)) {
+      start = std::max(start, longest[parent]);
+    }
+    longest[id] = start + duration;
+    best = std::max(best, longest[id]);
+  }
+  return best;
+}
+
 }  // namespace wfs::core

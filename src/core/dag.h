@@ -357,6 +357,12 @@ class PlanBuilder {
 [[nodiscard]] ExecutionPlan build_plan(const wfcommons::Workflow& workflow,
                                        const std::string& workdir);
 
+/// Static critical-path length of the plan's DAG in seconds — the longest
+/// dependency chain of uncontended compute durations (cpu_work / percent_cpu,
+/// matching wfcommons::critical_path). Ignores cold starts, queueing,
+/// transfers and retries, so it lower-bounds any observed makespan.
+[[nodiscard]] double static_critical_path_seconds(const ExecutionPlan& plan);
+
 /// DEPRECATED compatibility shim: converts a legacy row-of-structs plan
 /// (tasks grouped by level, edges as flat-id vectors) into the columnar
 /// representation. `params.name` is ignored in favour of the task name (the

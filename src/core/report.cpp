@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "metrics/ascii_chart.h"
+#include "metrics/time_series.h"
 #include "support/format.h"
 
 namespace wfs::core {
@@ -45,6 +46,50 @@ std::string overhead_summary(const ExperimentResult& result) {
       result.cold_starts, result.cold_start_seconds, result.run.retry_wait_seconds,
       result.run.task_retries, result.run.input_wait_seconds,
       result.activator_wait_seconds, result.run.upstream_failures);
+}
+
+std::string profile_summary(const obs::RunProfile& profile) {
+  if (!profile.valid) return "profile: unavailable (run did not complete)\n";
+  std::string out = support::format(
+      "== run profile ==\n"
+      "observed critical path: {:.2f}s across {} tasks "
+      "(static DAG lower bound {:.2f}s)\n",
+      profile.cp_length_seconds, profile.path.size(), profile.static_cp_seconds);
+
+  // Segments sorted by critical-path share, nonzero only, with a 40-char bar.
+  struct Row {
+    obs::Segment segment;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < obs::kSegmentCount; ++i) {
+    const auto segment = static_cast<obs::Segment>(i);
+    if (profile.critical[segment] > 0.0) rows.push_back({segment, profile.critical[segment]});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.seconds > b.seconds; });
+  for (const Row& row : rows) {
+    const double pct = profile.pct(row.segment);
+    const auto width = static_cast<std::size_t>(pct / 100.0 * 40.0 + 0.5);
+    out += support::format("{:<14} {:>9.2f}s {:>5.1f}%  {}\n", obs::to_string(row.segment),
+                           row.seconds, pct, std::string(width, '#'));
+  }
+  out += support::format("dominant segment: {}\n", obs::to_string(profile.dominant()));
+
+  if (profile.task_wall_series.size() >= 2) {
+    const metrics::TimeSeries p99 =
+        metrics::windowed_percentile(profile.task_wall_series, 4, 99.0);
+    out += "task wall p99 by quarter:";
+    for (const metrics::Sample& sample : p99.samples()) {
+      out += support::format(" {:.2f}s@{:.0f}s", sample.value, sim::to_seconds(sample.time));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string profile_summary(const ExperimentResult& result) {
+  return profile_summary(result.run.profile);
 }
 
 MetricDeltas compare(const ExperimentResult& candidate, const ExperimentResult& baseline) {

@@ -25,6 +25,13 @@ namespace wfs::core {
 /// counters — no trace needed).
 [[nodiscard]] std::string overhead_summary(const ExperimentResult& result);
 
+/// ASCII makespan attribution: the observed critical path's segment
+/// breakdown (sorted, with bars), the static DAG lower bound, and windowed
+/// task-wall p99s so attribution-over-time is visible under load.
+[[nodiscard]] std::string profile_summary(const obs::RunProfile& profile);
+/// Convenience overload for experiment cells.
+[[nodiscard]] std::string profile_summary(const ExperimentResult& result);
+
 /// Relative change of `candidate` vs `baseline` per metric, as the paper
 /// reports: negative = the candidate uses less.
 struct MetricDeltas {

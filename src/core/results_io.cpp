@@ -6,6 +6,7 @@
 
 #include "json/parse.h"
 #include "json/write.h"
+#include "obs/profile.h"
 
 namespace wfs::core {
 namespace {
@@ -167,6 +168,12 @@ json::Value result_to_json(const ExperimentResult& result) {
   // consumers see no new key.
   if (!result.metrics.empty()) {
     document.set("metrics", metrics::snapshot_to_json(result.metrics));
+  }
+
+  // Run profile (observed critical path + makespan attribution), omitted for
+  // runs that never completed so old-format consumers see no new key.
+  if (result.run.profile.valid) {
+    document.set("profile", obs::profile_to_json(result.run.profile));
   }
   return json::Value(std::move(document));
 }
@@ -344,6 +351,9 @@ ExperimentResult result_from_json(const json::Value& document) {
   }
   if (const json::Value* metrics_json = root.find("metrics")) {
     result.metrics = metrics::snapshot_from_json(*metrics_json);
+  }
+  if (const json::Value* profile = root.find("profile")) {
+    result.run.profile = obs::profile_from_json(*profile);
   }
   return result;
 }

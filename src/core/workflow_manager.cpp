@@ -48,8 +48,12 @@ struct WfmRunState {
   // Ready-set gates, indexed by flat TaskId (the plan's columnar ids).
   std::vector<std::uint32_t> pending;      // gate counter; 0 = ready
   std::vector<sim::SimTime> gate_delay;    // applied when the gate opens
+  std::vector<sim::SimTime> released_at;   // gate opened; -1 = not yet
   std::vector<sim::SimTime> dispatched_at; // first dispatch entry; -1 = not yet
   std::vector<std::uint8_t> failed;        // outcome per finished task (fail-fast)
+  // Observed critical-path edges: the id whose completion opened each gate
+  // (last-finishing parent, or the barrier level's last finisher); -1 = root.
+  std::vector<std::int64_t> gated_by;
   std::size_t unfinished = 0;
 
   // Batched ready set: gate openings append newly-ready ids here and the
@@ -232,12 +236,26 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
   request.url = net::parse_url(endpoint);
   request.body = json::write_compact(wfbench::to_json(params));
   const sim::SimTime sent_at = sim_.now();
-  router_.send(std::move(request), [state, name = params.name, sent_at,
-                                    next = std::move(next)](const net::HttpResponse&) {
-    // Marker outcomes do not affect the run result.
+  router_.send(std::move(request), [state, suffix, name = params.name, sent_at,
+                                    next = std::move(next)](const net::HttpResponse& response) {
+    const sim::SimTime now =
+        state->owner != nullptr ? state->owner->sim_.now() : sent_at;
+    // Marker outcomes do not affect the run result, but the header's round
+    // trip gates the first release — the profiler needs its timing to place
+    // a fresh deployment's first cold start on the critical path.
+    if (suffix == "header") {
+      MarkerOutcome& header = state->result.header;
+      header.sent = true;
+      header.sent_seconds = sim::to_seconds(sent_at - state->started_at);
+      header.finished_seconds = sim::to_seconds(now - state->started_at);
+      header.queue_seconds = response.timing.queue_seconds;
+      header.cold_start_seconds = response.timing.cold_start_seconds;
+      header.transfer_seconds = response.timing.transfer_seconds;
+      header.compute_seconds = response.timing.compute_seconds;
+    }
     if (tracing(*state)) {
       state->trace->complete(state->trace_pid, state->run_lane, name, "marker", sent_at,
-                             state->owner != nullptr ? state->owner->sim_.now() : sent_at);
+                             now);
     }
     next();
   });
@@ -249,8 +267,10 @@ void WorkflowManager::prime_gates(const StatePtr& state) {
   state->levels.resize(plan.level_count());
   state->unfinished = total;
   state->gate_delay.assign(total, 0);
+  state->released_at.assign(total, -1);
   state->dispatched_at.assign(total, -1);
   state->failed.assign(total, 0);
+  state->gated_by.assign(total, -1);
   state->task_lane.assign(total, 0);
   state->barrier_next.assign(plan.level_count(), {});
 
@@ -323,6 +343,7 @@ void WorkflowManager::start_run(StatePtr state) {
 }
 
 void WorkflowManager::release_task(StatePtr state, TaskId task_id, sim::SimTime delay) {
+  state->released_at[task_id] = sim_.now();
   auto dispatch = [this, state, task_id] {
     dispatch_task(state, task_id, state->config.max_input_polls);
   };
@@ -453,6 +474,7 @@ void WorkflowManager::send_request(StatePtr state, TaskId task_id, int retries_l
       }
       AttemptContext next = context;
       next.retry_wait_seconds += sim::to_seconds(backoff);
+      next.timing += response.timing;
       sim_.schedule_in(backoff, [this, state, task_id, retries_left, next] {
         if (state->delivered) return;
         send_request(state, task_id, retries_left - 1, next);
@@ -470,6 +492,12 @@ void WorkflowManager::send_request(StatePtr state, TaskId task_id, int retries_l
         sim::to_seconds(context.first_sent_at - state->dispatched_at[task_id]);
     outcome.started_seconds = sim::to_seconds(context.first_sent_at - state->started_at);
     outcome.wall_seconds = sim::to_seconds(sim_.now() - context.first_sent_at);
+    net::ServerTiming timing = context.timing;
+    timing += response.timing;
+    outcome.queue_seconds = timing.queue_seconds;
+    outcome.cold_start_seconds = timing.cold_start_seconds;
+    outcome.transfer_seconds = timing.transfer_seconds;
+    outcome.compute_seconds = timing.compute_seconds;
     if (outcome.ok) {
       // Extract the service-reported runtime when the body parses.
       json::Value body;
@@ -486,12 +514,22 @@ void WorkflowManager::send_request(StatePtr state, TaskId task_id, int retries_l
   });
 }
 
-void WorkflowManager::task_finished(StatePtr state, TaskId task_id,
-                                    const TaskOutcome& outcome) {
+void WorkflowManager::task_finished(StatePtr state, TaskId task_id, TaskOutcome outcome) {
   if (state->delivered) return;
   const ExecutionPlan& plan = state->plan;
   const std::size_t level = plan.level_of(task_id);
   auto& stats = state->levels[level];
+  // Profiler timeline, filled centrally so every outcome path (success,
+  // retry exhaustion, fail-fast, input-wait timeout) carries it.
+  outcome.task_id = static_cast<std::int64_t>(task_id);
+  outcome.gated_by = state->gated_by[task_id];
+  outcome.released_seconds = sim::to_seconds(
+      (state->released_at[task_id] >= 0 ? state->released_at[task_id] : state->started_at) -
+      state->started_at);
+  outcome.dispatched_seconds = sim::to_seconds(
+      (state->dispatched_at[task_id] >= 0 ? state->dispatched_at[task_id] : state->started_at) -
+      state->started_at);
+  outcome.finished_seconds = sim::to_seconds(sim_.now() - state->started_at);
   if (!outcome.ok) {
     ++state->result.tasks_failed;
     ++stats.failed;
@@ -528,14 +566,23 @@ void WorkflowManager::task_finished(StatePtr state, TaskId task_id,
   // Collect the newly-ready ids this completion unlocks. One batch serves
   // both modes; only the edge set differs: the CSR children span versus the
   // complete bipartite level barrier.
+  // The unlocker is, by construction, the last completion the gate waited
+  // on: the final parent (dependency edge) or the barrier level's slowest
+  // task (resource-wait edge) — exactly the observed critical-path edge.
   if (state->config.scheduling == SchedulingMode::kDependencyDriven) {
     for (const TaskId child : plan.children(task_id)) {
-      if (--state->pending[child] == 0) state->ready_queue.push_back(child);
+      if (--state->pending[child] == 0) {
+        state->gated_by[child] = static_cast<std::int64_t>(task_id);
+        state->ready_queue.push_back(child);
+      }
     }
   } else if (stats.finished == plan.level_size(level)) {
     const auto& next = state->barrier_next[level];
     for (TaskId id = next.begin; id < next.end; ++id) {
-      if (--state->pending[id] == 0) state->ready_queue.push_back(id);
+      if (--state->pending[id] == 0) {
+        state->gated_by[id] = static_cast<std::int64_t>(task_id);
+        state->ready_queue.push_back(id);
+      }
     }
   }
   drain_ready(state);
@@ -543,12 +590,90 @@ void WorkflowManager::task_finished(StatePtr state, TaskId task_id,
   if (state->unfinished == 0) finish_run(state);
 }
 
+namespace {
+
+/// Lowers the run's TaskOutcomes into the profiler's input rows.
+std::vector<obs::TaskTiming> profile_timings(const WorkflowRunResult& result) {
+  std::vector<obs::TaskTiming> timings;
+  timings.reserve(result.tasks.size());
+  for (const TaskOutcome& outcome : result.tasks) {
+    obs::TaskTiming timing;
+    timing.name = outcome.name;
+    timing.task_id = outcome.task_id;
+    timing.gated_by = outcome.gated_by;
+    timing.released = outcome.released_seconds;
+    timing.dispatched = outcome.dispatched_seconds;
+    timing.first_sent = outcome.started_seconds;
+    timing.finished = outcome.finished_seconds;
+    timing.queue_seconds = outcome.queue_seconds;
+    timing.cold_start_seconds = outcome.cold_start_seconds;
+    timing.transfer_seconds = outcome.transfer_seconds;
+    timing.compute_seconds = outcome.compute_seconds;
+    timing.retry_wait_seconds = outcome.retry_wait_seconds;
+    timing.attempts = outcome.attempts;
+    timing.ok = outcome.ok;
+    timings.push_back(std::move(timing));
+  }
+  // The header marker gates every initially-ready task: no release happens
+  // until its response returns, so on a fresh deployment its round trip is
+  // the first cold start. Surface it as the path's leading node and re-gate
+  // the roots on it; otherwise that time shows up as head-gap overhead.
+  if (result.header.sent &&
+      result.header.finished_seconds >= result.header.sent_seconds) {
+    std::int64_t header_id = 0;
+    for (const TaskOutcome& outcome : result.tasks) {
+      header_id = std::max(header_id, outcome.task_id + 1);
+    }
+    for (obs::TaskTiming& timing : timings) {
+      if (timing.gated_by < 0) timing.gated_by = header_id;
+    }
+    obs::TaskTiming timing;
+    timing.name = result.workflow_name + "_header";
+    timing.task_id = header_id;
+    timing.gated_by = -1;
+    timing.released = result.header.sent_seconds;
+    timing.dispatched = result.header.sent_seconds;
+    timing.first_sent = result.header.sent_seconds;
+    timing.finished = result.header.finished_seconds;
+    timing.queue_seconds = result.header.queue_seconds;
+    timing.cold_start_seconds = result.header.cold_start_seconds;
+    timing.transfer_seconds = result.header.transfer_seconds;
+    timing.compute_seconds = result.header.compute_seconds;
+    timing.attempts = 1;
+    timing.ok = true;
+    timings.push_back(std::move(timing));
+  }
+  return timings;
+}
+
+}  // namespace
+
 void WorkflowManager::finish_run(StatePtr state) {
   auto complete = [this, state] {
     if (state->delivered) return;
     state->result.completed = true;
     record_level_outcomes(state);
     state->result.makespan_seconds = sim::to_seconds(sim_.now() - state->started_at);
+    state->result.profile = obs::build_profile(profile_timings(state->result),
+                                               state->result.makespan_seconds);
+    state->result.profile.static_cp_seconds = static_critical_path_seconds(state->plan);
+    if (tracing(*state)) {
+      // Highlighted critical-path lane: one span per path node, labelled by
+      // its dominant segment, so the bottleneck chain pops out of the trace.
+      const obs::TraceRecorder::Tid cp_lane = state->trace->lane(state->trace_pid,
+                                                                 "critical-path");
+      for (const obs::CriticalPathNode& node : state->result.profile.path) {
+        json::Object args;
+        args.set("dominant", obs::to_string(node.dominant()));
+        for (std::size_t i = 0; i < obs::kSegmentCount; ++i) {
+          args.set(obs::to_string(static_cast<obs::Segment>(i)), node.segments.seconds[i]);
+        }
+        state->trace->complete(state->trace_pid, cp_lane, node.name, "critical-path",
+                               state->started_at + sim::from_seconds(node.start_seconds),
+                               state->started_at + sim::from_seconds(node.end_seconds),
+                               std::move(args));
+      }
+    }
     if (tracing(*state)) {
       json::Object args;
       args.set("tasks_total", state->result.tasks_total);

@@ -35,6 +35,7 @@
 
 #include "core/dag.h"
 #include "net/router.h"
+#include "obs/profile.h"
 #include "obs/trace_recorder.h"
 #include "sim/context.h"
 #include "storage/data_store.h"
@@ -109,6 +110,19 @@ struct TaskOutcome {
   double input_wait_seconds = 0.0;  // spent polling the shared drive for inputs
   double retry_wait_seconds = 0.0;  // spent in retry backoff between attempts
   std::string error;
+
+  // Profiler timeline (run-relative instants + server-reported segments,
+  // summed across attempts). gated_by is the plan id whose completion opened
+  // this task's gate — the observed critical-path edge; -1 = ready at start.
+  std::int64_t task_id = -1;
+  std::int64_t gated_by = -1;
+  double released_seconds = 0.0;    // gate opened
+  double dispatched_seconds = 0.0;  // first dispatch (input checks begin)
+  double finished_seconds = 0.0;    // final response arrived
+  double queue_seconds = 0.0;       // platform/in-process buffering
+  double cold_start_seconds = 0.0;  // buffering overlapping a pod boot
+  double transfer_seconds = 0.0;    // service-side reads + writes
+  double compute_seconds = 0.0;     // service-side stress phase
 };
 
 /// Level-attributed execution stats. Under phase-barrier scheduling a level
@@ -120,6 +134,21 @@ struct PhaseOutcome {
   std::size_t tasks = 0;
   std::size_t failed = 0;
   double wall_seconds = 0.0;
+};
+
+/// The header marker's round trip (run-relative instants plus the
+/// server-reported segments). The WFM releases no task until the header
+/// response returns, so on a fresh deployment this round trip carries the
+/// first cold start — the profiler turns it into the leading node of the
+/// observed critical path instead of unexplained head-gap overhead.
+struct MarkerOutcome {
+  bool sent = false;
+  double sent_seconds = 0.0;
+  double finished_seconds = 0.0;
+  double queue_seconds = 0.0;
+  double cold_start_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double compute_seconds = 0.0;
 };
 
 struct WorkflowRunResult {
@@ -140,6 +169,10 @@ struct WorkflowRunResult {
   double makespan_seconds = 0.0;   // header start -> tail response
   std::vector<PhaseOutcome> phases;
   std::vector<TaskOutcome> tasks;
+  MarkerOutcome header;
+  /// Always-on makespan attribution (valid on completed runs): the observed
+  /// critical path and its segment breakdown. See obs/profile.h.
+  obs::RunProfile profile;
 
   [[nodiscard]] bool ok() const noexcept { return completed && tasks_failed == 0; }
 };
@@ -217,6 +250,9 @@ class WorkflowManager {
     sim::SimTime first_sent_at = -1;
     int attempts = 0;
     double retry_wait_seconds = 0.0;
+    /// Server-Timing accumulated across attempts (failed ones included —
+    /// their buffering and transfer time was really spent).
+    net::ServerTiming timing;
   };
 
   void start_run(StatePtr state);
@@ -229,7 +265,7 @@ class WorkflowManager {
   void dispatch_task(StatePtr state, TaskId task_id, int polls_left);
   void send_request(StatePtr state, TaskId task_id, int retries_left,
                     AttemptContext context);
-  void task_finished(StatePtr state, TaskId task_id, const TaskOutcome& outcome);
+  void task_finished(StatePtr state, TaskId task_id, TaskOutcome outcome);
   void finish_run(StatePtr state);
   void record_level_outcomes(const StatePtr& state);
   void cancel_run(const StatePtr& state);

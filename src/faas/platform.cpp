@@ -191,14 +191,22 @@ void KnativePlatform::pump() {
       trace_->complete(trace_pid_, activator_lane_, "buffered", "activator-queue",
                        buffered.enqueued_at, sim_.now(), std::move(args));
     }
+    // Server-Timing: activator buffering, and the part of it that overlapped
+    // the serving pod's boot — the request-visible cold-start cost.
+    const double wait = sim::to_seconds(sim_.now() - buffered.enqueued_at);
+    const double cold =
+        std::clamp(sim::to_seconds(pod->ready_at() - buffered.enqueued_at), 0.0, wait);
     auto done = std::move(buffered.done);
-    pod->service()->handle(buffered.params,
-                           [this, pod, done = std::move(done)](net::HttpResponse response) {
-                             pod->touch_idle(sim_.now());
-                             done(std::move(response));
-                             // Capacity freed: release buffered work.
-                             pump();
-                           });
+    pod->service()->handle(
+        buffered.params,
+        [this, pod, wait, cold, done = std::move(done)](net::HttpResponse response) {
+          pod->touch_idle(sim_.now());
+          response.timing.queue_seconds += wait;
+          response.timing.cold_start_seconds += cold;
+          done(std::move(response));
+          // Capacity freed: release buffered work.
+          pump();
+        });
   }
 }
 

@@ -71,4 +71,43 @@ double TimeSeries::time_weighted_mean() const noexcept {
   return integral() / span;
 }
 
+namespace {
+
+double values_percentile(std::vector<double>& values, double p) {
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+TimeSeries windowed_percentile(const TimeSeries& series, std::size_t windows, double p) {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of [0,100]");
+  TimeSeries out;
+  if (series.empty()) return out;
+  const sim::SimTime begin = series.samples().front().time;
+  const sim::SimTime end = series.samples().back().time;
+  if (windows < 2 || series.size() < 2 || end <= begin) {
+    out.push(end, series.percentile(p));
+    return out;
+  }
+  const double width = static_cast<double>(end - begin) / static_cast<double>(windows);
+  std::size_t index = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const auto window_end =
+        w + 1 == windows ? end
+                         : begin + static_cast<sim::SimTime>(width * static_cast<double>(w + 1));
+    std::vector<double> values;
+    while (index < series.size() && series[index].time <= window_end) {
+      values.push_back(series[index].value);
+      ++index;
+    }
+    if (!values.empty()) out.push(window_end, values_percentile(values, p));
+  }
+  return out;
+}
+
 }  // namespace wfs::metrics

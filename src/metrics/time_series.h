@@ -43,4 +43,12 @@ class TimeSeries {
   std::vector<Sample> samples_;
 };
 
+/// Percentile-over-time: splits the series' time span into `windows` equal
+/// windows and emits one sample per non-empty window — time at the window's
+/// end, value the percentile of the samples inside it. With fewer than 2
+/// samples (or a zero span) the result collapses to one whole-series sample.
+/// Throws like TimeSeries::percentile for p outside [0, 100].
+[[nodiscard]] TimeSeries windowed_percentile(const TimeSeries& series, std::size_t windows,
+                                             double p);
+
 }  // namespace wfs::metrics

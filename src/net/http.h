@@ -35,6 +35,25 @@ struct HttpRequest {
   std::string body;
 };
 
+/// Server-Timing analogue: where the request's wall time went on the serving
+/// side. The service stamps transfer/compute (and in-process queueing); the
+/// platform in front of it adds buffering and the cold-start overlap. The
+/// run profiler (obs/profile.h) consumes these to attribute makespan.
+struct ServerTiming {
+  double queue_seconds = 0.0;       // buffered before a worker/pod accepted it
+  double cold_start_seconds = 0.0;  // part of the buffering spent booting a pod
+  double transfer_seconds = 0.0;    // data-plane reads + writes
+  double compute_seconds = 0.0;     // stress (cpu/memory) phase
+
+  ServerTiming& operator+=(const ServerTiming& other) noexcept {
+    queue_seconds += other.queue_seconds;
+    cold_start_seconds += other.cold_start_seconds;
+    transfer_seconds += other.transfer_seconds;
+    compute_seconds += other.compute_seconds;
+    return *this;
+  }
+};
+
 struct HttpResponse {
   int status = 200;
   std::string body;
@@ -43,6 +62,8 @@ struct HttpResponse {
   /// 503s so the WFM's retry path can back off precisely instead of using
   /// its fixed retry_backoff).
   int retry_after_ms = 0;
+  /// Filled by the serving side on both success and failure responses.
+  ServerTiming timing;
 
   [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
 

@@ -1,0 +1,91 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wfs::obs {
+namespace {
+
+/// Splits one node's interval [window_start, timing.finished] into segments.
+/// Boundaries are forced monotonic so the pieces telescope exactly; the
+/// interior of the attempt window is closed by an overhead residual (network
+/// round-trips, response handling) computed by subtraction.
+CriticalPathNode attribute(const TaskTiming& timing, double window_start, bool first_node) {
+  CriticalPathNode node;
+  node.name = timing.name;
+  node.task_id = timing.task_id;
+  node.start_seconds = window_start;
+
+  const double t0 = window_start;
+  const double t1 = std::max(t0, timing.released);
+  // Tasks that never sent an attempt (input-wait timeout, upstream failure)
+  // report first_sent == finished: the whole window past dispatch is wait.
+  const double sent = timing.attempts > 0 ? timing.first_sent : timing.finished;
+  const double t2 = std::max(t1, timing.dispatched);
+  const double t3 = std::max(t2, sent);
+  const double t4 = std::max(t3, timing.finished);
+  node.end_seconds = t4;
+
+  // Pre-release gap: for the chain's first node this is the header marker /
+  // platform warm-up (overhead); between nodes it is ~0 by construction
+  // (gates open at the predecessor's finish instant) but any scheduler slack
+  // counts as queueing.
+  node.segments[first_node ? Segment::kOverhead : Segment::kQueue] += t1 - t0;
+  // Gate-open -> dispatch: the WFM's own delay (phase_delay / dispatch_delay).
+  node.segments[Segment::kQueue] += t2 - t1;
+  // Dispatch -> first attempt: input-availability polling.
+  node.segments[Segment::kInputWait] += t3 - t2;
+
+  // The attempt window [t3, t4] splits along the server-reported segments;
+  // cold start is carved out of the buffered time it overlaps.
+  const double wall = t4 - t3;
+  const double cold = std::min(timing.cold_start_seconds, timing.queue_seconds);
+  node.segments[Segment::kColdStart] += cold;
+  node.segments[Segment::kQueue] += timing.queue_seconds - cold;
+  node.segments[Segment::kTransfer] += timing.transfer_seconds;
+  node.segments[Segment::kCompute] += timing.compute_seconds;
+  node.segments[Segment::kRetryBackoff] += timing.retry_wait_seconds;
+  node.segments[Segment::kOverhead] += wall - timing.queue_seconds -
+                                       timing.transfer_seconds - timing.compute_seconds -
+                                       timing.retry_wait_seconds;
+  return node;
+}
+
+}  // namespace
+
+std::vector<CriticalPathNode> observed_critical_path(const std::vector<TaskTiming>& timings) {
+  std::vector<CriticalPathNode> path;
+  if (timings.empty()) return path;
+
+  std::unordered_map<std::int64_t, std::size_t> by_id;
+  by_id.reserve(timings.size());
+  std::size_t tail = 0;
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    if (timings[i].task_id >= 0) by_id.emplace(timings[i].task_id, i);
+    if (timings[i].finished > timings[tail].finished) tail = i;
+  }
+
+  // Chain backwards over gated_by; the bound guards against malformed input
+  // (a gated_by cycle would otherwise never terminate).
+  std::vector<std::size_t> chain;
+  std::size_t current = tail;
+  while (chain.size() <= timings.size()) {
+    chain.push_back(current);
+    const std::int64_t pred = timings[current].gated_by;
+    if (pred < 0) break;
+    const auto it = by_id.find(pred);
+    if (it == by_id.end() || it->second == current) break;
+    current = it->second;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  path.reserve(chain.size());
+  double window_start = 0.0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    path.push_back(attribute(timings[chain[i]], window_start, /*first_node=*/i == 0));
+    window_start = path.back().end_seconds;
+  }
+  return path;
+}
+
+}  // namespace wfs::obs

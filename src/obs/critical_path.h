@@ -1,0 +1,27 @@
+// Observed critical-path extraction.
+//
+// The WFM records, per task, which completion opened its ready gate
+// (`gated_by`): the last-finishing DAG parent under dependency-driven
+// scheduling, or the last-finishing task of the previous non-empty level
+// under the phase barrier — the barrier IS a resource-wait edge, so the
+// walk follows both edge kinds with one mechanism. Chaining gated_by
+// backwards from the last-finishing task yields a path whose nodes tile
+// [first gate open, last finish] with no holes: each gate opened at the
+// exact instant its predecessor finished.
+#pragma once
+
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace wfs::obs {
+
+/// Walks gated_by edges back from the last-finishing task and attributes
+/// each node's interval [predecessor finish, own finish] to the segment
+/// taxonomy. The first node's pre-release gap (header marker / platform
+/// warm-up) lands in kOverhead. Returns the path in execution order
+/// (root .. tail); empty for empty input.
+[[nodiscard]] std::vector<CriticalPathNode> observed_critical_path(
+    const std::vector<TaskTiming>& timings);
+
+}  // namespace wfs::obs

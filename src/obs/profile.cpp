@@ -1,0 +1,211 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/critical_path.h"
+#include "sim/clock.h"
+
+namespace wfs::obs {
+namespace {
+
+constexpr const char* kSegmentNames[kSegmentCount] = {
+    "queue", "cold-start", "input-wait", "transfer", "compute", "retry-backoff", "overhead",
+};
+
+json::Value breakdown_to_json(const SegmentBreakdown& breakdown) {
+  json::Object out;
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    out.set(kSegmentNames[i], breakdown.seconds[i]);
+  }
+  return json::Value(std::move(out));
+}
+
+SegmentBreakdown breakdown_from_json(const json::Value& value) {
+  SegmentBreakdown breakdown;
+  if (!value.is_object()) return breakdown;
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    if (const json::Value* v = value.find(kSegmentNames[i])) {
+      breakdown.seconds[i] = v->double_or(0.0);
+    }
+  }
+  return breakdown;
+}
+
+json::Value series_to_json(const metrics::TimeSeries& series) {
+  json::Array t;
+  json::Array v;
+  for (const metrics::Sample& sample : series.samples()) {
+    t.emplace_back(sim::to_seconds(sample.time));
+    v.emplace_back(sample.value);
+  }
+  json::Object out;
+  out.set("t", std::move(t));
+  out.set("v", std::move(v));
+  return json::Value(std::move(out));
+}
+
+metrics::TimeSeries series_from_json(const json::Value& value) {
+  metrics::TimeSeries series;
+  if (!value.is_object()) return series;
+  const json::Value* t = value.find("t");
+  const json::Value* v = value.find("v");
+  if (t == nullptr || v == nullptr || !t->is_array() || !v->is_array()) return series;
+  const std::size_t n = std::min(t->as_array().size(), v->as_array().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    series.push(sim::from_seconds(t->as_array()[i].double_or(0.0)),
+                v->as_array()[i].double_or(0.0));
+  }
+  return series;
+}
+
+}  // namespace
+
+const char* to_string(Segment segment) noexcept {
+  const auto index = static_cast<std::size_t>(segment);
+  return index < kSegmentCount ? kSegmentNames[index] : "?";
+}
+
+Segment parse_segment(std::string_view name) {
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    if (name == kSegmentNames[i]) return static_cast<Segment>(i);
+  }
+  throw std::invalid_argument("unknown profile segment: " + std::string(name));
+}
+
+double SegmentBreakdown::total() const noexcept {
+  double sum = 0.0;
+  for (const double s : seconds) sum += s;
+  return sum;
+}
+
+Segment SegmentBreakdown::dominant() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kSegmentCount; ++i) {
+    if (seconds[i] > seconds[best]) best = i;
+  }
+  return static_cast<Segment>(best);
+}
+
+SegmentBreakdown& SegmentBreakdown::operator+=(const SegmentBreakdown& other) noexcept {
+  for (std::size_t i = 0; i < kSegmentCount; ++i) seconds[i] += other.seconds[i];
+  return *this;
+}
+
+RunProfile build_profile(const std::vector<TaskTiming>& timings, double makespan_seconds) {
+  RunProfile profile;
+  profile.valid = true;
+  profile.makespan_seconds = makespan_seconds;
+  profile.cp_length_seconds = makespan_seconds;
+
+  profile.path = observed_critical_path(timings);
+  for (const CriticalPathNode& node : profile.path) profile.critical += node.segments;
+  // Tail gap (last finish -> tail marker response) closes the attribution
+  // over [0, makespan]; with no tasks the whole run is marker overhead.
+  const double covered = profile.path.empty() ? 0.0 : profile.path.back().end_seconds;
+  profile.critical[Segment::kOverhead] += makespan_seconds - covered;
+
+  // Per-task totals and the finish-ordered series. The per-task window is
+  // [released, finished] — overlapping across parallel tasks, so the totals
+  // measure task-time, not wall time.
+  std::vector<const TaskTiming*> by_finish;
+  by_finish.reserve(timings.size());
+  for (const TaskTiming& timing : timings) by_finish.push_back(&timing);
+  std::sort(by_finish.begin(), by_finish.end(),
+            [](const TaskTiming* a, const TaskTiming* b) { return a->finished < b->finished; });
+  std::vector<TaskTiming> single(1);
+  for (const TaskTiming* timing : by_finish) {
+    single[0] = *timing;
+    single[0].gated_by = -1;
+    const std::vector<CriticalPathNode> own = observed_critical_path(single);
+    SegmentBreakdown segments;
+    for (const CriticalPathNode& node : own) segments += node.segments;
+    // The single-node walk starts its window at 0; drop the pre-release part.
+    segments[Segment::kOverhead] -= timing->released;
+    profile.total += segments;
+    const sim::SimTime finish = sim::from_seconds(timing->finished);
+    const double sent = timing->attempts > 0 ? timing->first_sent : timing->finished;
+    profile.task_wall_series.push(finish, std::max(0.0, timing->finished - sent));
+    profile.queue_series.push(
+        finish,
+        std::max(0.0, timing->dispatched - timing->released) + timing->queue_seconds);
+    profile.transfer_series.push(finish, timing->transfer_seconds);
+  }
+  return profile;
+}
+
+json::Value profile_to_json(const RunProfile& profile) {
+  json::Object out;
+  out.set("makespan_seconds", profile.makespan_seconds);
+  out.set("cp_length_seconds", profile.cp_length_seconds);
+  out.set("static_cp_seconds", profile.static_cp_seconds);
+  out.set("critical", breakdown_to_json(profile.critical));
+  out.set("total", breakdown_to_json(profile.total));
+  json::Array path;
+  for (const CriticalPathNode& node : profile.path) {
+    json::Object rendered;
+    rendered.set("task", node.name);
+    rendered.set("id", node.task_id);
+    rendered.set("start_seconds", node.start_seconds);
+    rendered.set("end_seconds", node.end_seconds);
+    rendered.set("segments", breakdown_to_json(node.segments));
+    path.emplace_back(std::move(rendered));
+  }
+  out.set("path", std::move(path));
+  json::Object series;
+  series.set("task_wall", series_to_json(profile.task_wall_series));
+  series.set("queue", series_to_json(profile.queue_series));
+  series.set("transfer", series_to_json(profile.transfer_series));
+  out.set("series", std::move(series));
+  return json::Value(std::move(out));
+}
+
+RunProfile profile_from_json(const json::Value& value) {
+  RunProfile profile;
+  if (!value.is_object()) return profile;
+  profile.valid = true;
+  if (const json::Value* v = value.find("makespan_seconds")) {
+    profile.makespan_seconds = v->double_or(0.0);
+  }
+  if (const json::Value* v = value.find("cp_length_seconds")) {
+    profile.cp_length_seconds = v->double_or(0.0);
+  }
+  if (const json::Value* v = value.find("static_cp_seconds")) {
+    profile.static_cp_seconds = v->double_or(0.0);
+  }
+  if (const json::Value* v = value.find("critical")) {
+    profile.critical = breakdown_from_json(*v);
+  }
+  if (const json::Value* v = value.find("total")) profile.total = breakdown_from_json(*v);
+  if (const json::Value* path = value.find("path"); path != nullptr && path->is_array()) {
+    for (const json::Value& entry : path->as_array()) {
+      CriticalPathNode node;
+      if (const json::Value* v = entry.find("task")) node.name = v->string_or("");
+      if (const json::Value* v = entry.find("id")) node.task_id = v->int_or(-1);
+      if (const json::Value* v = entry.find("start_seconds")) {
+        node.start_seconds = v->double_or(0.0);
+      }
+      if (const json::Value* v = entry.find("end_seconds")) {
+        node.end_seconds = v->double_or(0.0);
+      }
+      if (const json::Value* v = entry.find("segments")) {
+        node.segments = breakdown_from_json(*v);
+      }
+      profile.path.push_back(std::move(node));
+    }
+  }
+  if (const json::Value* series = value.find("series")) {
+    if (const json::Value* v = series->find("task_wall")) {
+      profile.task_wall_series = series_from_json(*v);
+    }
+    if (const json::Value* v = series->find("queue")) {
+      profile.queue_series = series_from_json(*v);
+    }
+    if (const json::Value* v = series->find("transfer")) {
+      profile.transfer_series = series_from_json(*v);
+    }
+  }
+  return profile;
+}
+
+}  // namespace wfs::obs

@@ -1,0 +1,139 @@
+// Run profiling — always-available makespan attribution (no trace needed).
+//
+// Answers the question the Chrome traces only answer visually: *why* is a
+// run's makespan what it is? The WFM and FaaS layers already measure every
+// per-attempt segment (scheduler queueing, activator buffering, pod cold
+// start, input-wait polling, data-plane transfer, compute, retry backoff);
+// the profiler consumes those per-task timelines, extracts the *observed*
+// critical path through the executed DAG — walking dependency edges and the
+// phase-barrier's resource-wait edges — and attributes the full makespan to
+// a fixed segment taxonomy.
+//
+// The attribution telescopes: every critical-path node accounts for the
+// exact interval from its predecessor's finish to its own finish, interior
+// splits are residual-closed, and the head/tail marker gaps land in the
+// overhead bucket — so the per-segment seconds sum to the makespan to
+// floating-point precision (asserted at 1e-6 s by tests and bench).
+//
+// Unlike tracing, profiling is always on: building a RunProfile is one
+// O(tasks) pass at run completion, so every WorkflowRunResult carries one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "metrics/time_series.h"
+
+namespace wfs::obs {
+
+/// The fixed segment taxonomy makespan is attributed to.
+enum class Segment : std::uint8_t {
+  kQueue = 0,     // scheduler gate delay + platform buffering awaiting capacity
+  kColdStart,     // buffered time overlapping the serving pod's cold start
+  kInputWait,     // WFM polling the data store for parent outputs
+  kTransfer,      // data-plane reads + writes inside the service
+  kCompute,       // wfbench stress (cpu/memory) phase
+  kRetryBackoff,  // WFM backoff between re-sent attempts
+  kOverhead,      // network hops, header/tail markers, unattributed residual
+};
+inline constexpr std::size_t kSegmentCount = 7;
+
+[[nodiscard]] const char* to_string(Segment segment) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] Segment parse_segment(std::string_view name);
+
+/// Seconds per segment. Indexable by Segment; total() sums all buckets.
+struct SegmentBreakdown {
+  std::array<double, kSegmentCount> seconds{};
+
+  [[nodiscard]] double& operator[](Segment s) noexcept {
+    return seconds[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double operator[](Segment s) const noexcept {
+    return seconds[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double total() const noexcept;
+  /// Largest bucket (ties: first in enum order).
+  [[nodiscard]] Segment dominant() const noexcept;
+
+  SegmentBreakdown& operator+=(const SegmentBreakdown& other) noexcept;
+};
+
+/// One task's observed timeline, produced by the WorkflowManager. All
+/// instants are run-relative seconds; the per-segment durations come from
+/// the response's ServerTiming plus the WFM's own bookkeeping.
+struct TaskTiming {
+  std::string name;
+  std::int64_t task_id = -1;   // columnar plan id
+  std::int64_t gated_by = -1;  // plan id whose completion opened this gate (-1 = ready at start)
+  double released = 0.0;       // gate opened
+  double dispatched = 0.0;     // first dispatch (input checks begin)
+  double first_sent = 0.0;     // first HTTP attempt left the WFM
+  double finished = 0.0;       // final response arrived
+  double queue_seconds = 0.0;      // platform buffering across attempts
+  double cold_start_seconds = 0.0; // part of the buffering spent on a pod boot
+  double transfer_seconds = 0.0;   // service-side reads + writes
+  double compute_seconds = 0.0;    // service-side stress phase
+  double retry_wait_seconds = 0.0; // WFM backoff between attempts
+  int attempts = 0;
+  bool ok = false;
+};
+
+/// One node of the observed critical path. The node owns the interval
+/// [start_seconds, end_seconds] — from its predecessor's finish (or run
+/// start) to its own finish — and `segments` splits exactly that interval.
+struct CriticalPathNode {
+  std::string name;
+  std::int64_t task_id = -1;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  SegmentBreakdown segments;
+
+  [[nodiscard]] Segment dominant() const noexcept { return segments.dominant(); }
+};
+
+/// The profiler's output, carried on every completed WorkflowRunResult.
+struct RunProfile {
+  bool valid = false;  // false for cancelled / never-finished runs
+  double makespan_seconds = 0.0;
+  /// Span of the observed critical path. The chain is contiguous from run
+  /// start to run end (marker gaps are attributed as overhead), so this
+  /// equals the makespan — and is therefore always >= the static DAG lower
+  /// bound below.
+  double cp_length_seconds = 0.0;
+  /// wfcommons::critical_path over the abstract DAG: the uncontended-compute
+  /// lower bound that ignores cold starts, queueing and transfers.
+  double static_cp_seconds = 0.0;
+  std::vector<CriticalPathNode> path;  // root .. last-finishing task
+  /// Attribution along the critical path; total() == makespan (±1e-6 s).
+  SegmentBreakdown critical;
+  /// Attribution summed over ALL tasks (parallel work overlaps, so this
+  /// totals task-time, not wall time).
+  SegmentBreakdown total;
+  /// Per-task series keyed by finish time, for windowed percentiles
+  /// (metrics::windowed_percentile) — attribution-over-time under load.
+  metrics::TimeSeries task_wall_series;  // first attempt sent -> final response
+  metrics::TimeSeries queue_series;      // gate delay + platform buffering
+  metrics::TimeSeries transfer_series;   // data-plane seconds
+
+  /// Critical-path share of a segment, percent of makespan.
+  [[nodiscard]] double pct(Segment s) const noexcept {
+    return makespan_seconds > 0.0 ? critical[s] / makespan_seconds * 100.0 : 0.0;
+  }
+  [[nodiscard]] Segment dominant() const noexcept { return critical.dominant(); }
+};
+
+/// Builds the profile from per-task timelines: extracts the observed
+/// critical path (obs/critical_path.h) and closes the attribution over
+/// [0, makespan]. `timings` may arrive in any order.
+[[nodiscard]] RunProfile build_profile(const std::vector<TaskTiming>& timings,
+                                       double makespan_seconds);
+
+/// JSON round-trip for the results schema's "profile" key.
+[[nodiscard]] json::Value profile_to_json(const RunProfile& profile);
+[[nodiscard]] RunProfile profile_from_json(const json::Value& value);
+
+}  // namespace wfs::obs

@@ -8,6 +8,7 @@
 namespace wfs::obs {
 
 TraceRecorder::Pid TraceRecorder::process(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < processes_.size(); ++i) {
     if (processes_[i].name == name) return static_cast<Pid>(i + 1);
   }
@@ -16,6 +17,7 @@ TraceRecorder::Pid TraceRecorder::process(const std::string& name) {
 }
 
 TraceRecorder::Tid TraceRecorder::lane(Pid pid, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const LaneInfo& info : lanes_) {
     if (info.pid == pid && info.name == name) return info.tid;
   }
@@ -26,7 +28,7 @@ TraceRecorder::Tid TraceRecorder::lane(Pid pid, const std::string& name) {
 
 void TraceRecorder::complete(Pid pid, Tid tid, std::string name, std::string category,
                              sim::SimTime start, sim::SimTime end, json::Object args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -36,12 +38,13 @@ void TraceRecorder::complete(Pid pid, Tid tid, std::string name, std::string cat
   event.ts = start;
   event.dur = end > start ? end - start : 0;
   event.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 void TraceRecorder::instant(Pid pid, Tid tid, std::string name, std::string category,
                             sim::SimTime ts, json::Object args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -50,11 +53,12 @@ void TraceRecorder::instant(Pid pid, Tid tid, std::string name, std::string cate
   event.tid = tid;
   event.ts = ts;
   event.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 void TraceRecorder::counter(Pid pid, std::string name, sim::SimTime ts, double value) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent event;
   event.phase = 'C';
   event.pid = pid;
@@ -64,16 +68,24 @@ void TraceRecorder::counter(Pid pid, std::string name, sim::SimTime ts, double v
   event.args = std::move(series);
   event.name = std::move(name);
   event.category = "counter";
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(event));
 }
 
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
 void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   processes_.clear();
   lanes_.clear();
 }
 
 std::string TraceRecorder::chrome_trace_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   json::Array out;
   for (std::size_t i = 0; i < processes_.size(); ++i) {
     json::Object meta;

@@ -18,9 +18,16 @@
 // Recording is opt-in and off by default. Every emit call is gated on
 // `enabled()`; components hold a plain pointer (nullptr = no tracing), so
 // the disabled cost is one branch per call site and zero allocations.
+//
+// Thread safety: registration, emission, clear() and export are internally
+// synchronized, so one recorder may be shared by concurrent runs (parallel
+// campaigns, --jobs N). events() returns an unsynchronized reference — read
+// it only after concurrent emitters have quiesced.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,8 +58,10 @@ class TraceRecorder {
   TraceRecorder() = default;
 
   /// Recording gate. Off by default; emit calls are no-ops while disabled.
-  void set_enabled(bool on) noexcept { enabled_ = on; }
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Registers (or looks up) a process lane. Pids start at 1.
   Pid process(const std::string& name);
@@ -73,8 +82,9 @@ class TraceRecorder {
   /// A sampled counter series (rendered as a stacked area track).
   void counter(Pid pid, std::string name, sim::SimTime ts, double value);
 
+  /// Unsynchronized view — only valid once concurrent emitters quiesced.
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t size() const;
   void clear();
 
   /// Multi-process Chrome trace JSON: process_name/thread_name 'M' metadata
@@ -94,7 +104,10 @@ class TraceRecorder {
     std::string name;
   };
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  /// Guards processes_/lanes_/events_ against concurrent runs sharing one
+  /// recorder (parallel campaigns).
+  mutable std::mutex mutex_;
   std::vector<ProcessInfo> processes_;  // index = pid - 1
   std::vector<LaneInfo> lanes_;         // index = tid - 1
   std::vector<TraceEvent> events_;

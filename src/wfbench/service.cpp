@@ -59,14 +59,16 @@ void WfBenchService::handle(const TaskParams& params, ResponseCallback done) {
       return;
     }
   }
-  queue_.push_back(PendingRequest{params, std::move(done)});
+  queue_.push_back(PendingRequest{params, std::move(done), sim_.now()});
   stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
 }
 
 void WfBenchService::dispatch(std::size_t worker_index, TaskParams params,
-                              ResponseCallback done) {
+                              ResponseCallback done, double queue_seconds) {
   Worker& worker = workers_[worker_index];
   worker.busy = true;
+  worker.queue_seconds = queue_seconds;
+  worker.accepted_at = sim_.now();
   ++busy_workers_;
   auto shared_params = std::make_shared<TaskParams>(std::move(params));
   auto shared_done = std::make_shared<ResponseCallback>(std::move(done));
@@ -93,8 +95,12 @@ void WfBenchService::dispatch(std::size_t worker_index, TaskParams params,
       if (state->failed) {
         ++stats_.failed;
         ++stats_.missing_input_failures;
-        (*shared_done)(net::HttpResponse::server_error(
-            support::format("missing input file for task {}", shared_params->name)));
+        net::HttpResponse response = net::HttpResponse::server_error(
+            support::format("missing input file for task {}", shared_params->name));
+        const Worker& w = workers_[worker_index];
+        response.timing.queue_seconds = w.queue_seconds;
+        response.timing.transfer_seconds = sim::to_seconds(sim_.now() - w.accepted_at);
+        (*shared_done)(std::move(response));
         release_worker(worker_index);
         return;
       }
@@ -130,8 +136,11 @@ void WfBenchService::begin_compute(std::size_t worker_index,
   if (!reserve_task_memory(worker, effective_bytes)) {
     ++stats_.failed;
     ++stats_.oom_failures;
-    (*shared_done)(net::HttpResponse::server_error(
-        support::format("container memory limit exceeded by task {}", shared_params->name)));
+    net::HttpResponse response = net::HttpResponse::server_error(
+        support::format("container memory limit exceeded by task {}", shared_params->name));
+    response.timing.queue_seconds = worker.queue_seconds;
+    response.timing.transfer_seconds = sim::to_seconds(sim_.now() - worker.accepted_at);
+    (*shared_done)(std::move(response));
     release_worker(worker_index);
     return;
   }
@@ -143,9 +152,10 @@ void WfBenchService::begin_compute(std::size_t worker_index,
       [this, worker_index, gen, started, effective_bytes, shared_params, shared_done] {
         if (gen != generation_) return;
         workers_[worker_index].work = 0;
+        const sim::SimTime compute_done = sim_.now();
         // Phase 3: write outputs, then settle memory and respond.
-        auto finish_up = [this, worker_index, gen, started, effective_bytes, shared_params,
-                          shared_done] {
+        auto finish_up = [this, worker_index, gen, started, compute_done, effective_bytes,
+                          shared_params, shared_done] {
           if (gen != generation_) return;
           Worker& w = workers_[worker_index];
           if (config_.persistent_memory) {
@@ -161,7 +171,13 @@ void WfBenchService::begin_compute(std::size_t worker_index,
           }
           ++stats_.completed;
           const double runtime = sim::to_seconds(sim_.now() - started);
-          (*shared_done)(ok_response(*shared_params, runtime));
+          net::HttpResponse response = ok_response(*shared_params, runtime);
+          // Server-Timing: reads before `started`, writes after compute_done.
+          response.timing.queue_seconds = w.queue_seconds;
+          response.timing.transfer_seconds =
+              sim::to_seconds((started - w.accepted_at) + (sim_.now() - compute_done));
+          response.timing.compute_seconds = sim::to_seconds(compute_done - started);
+          (*shared_done)(std::move(response));
           release_worker(worker_index);
         };
         if (shared_params->outputs.empty()) {
@@ -185,7 +201,8 @@ void WfBenchService::release_worker(std::size_t worker_index) {
   if (queue_.empty() || shutdown_) return;
   PendingRequest next = std::move(queue_.front());
   queue_.pop_front();
-  dispatch(worker_index, std::move(next.params), std::move(next.done));
+  dispatch(worker_index, std::move(next.params), std::move(next.done),
+           sim::to_seconds(sim_.now() - next.enqueued_at));
 }
 
 void WfBenchService::shutdown() {

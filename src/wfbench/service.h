@@ -18,6 +18,7 @@
 
 #include "cluster/node.h"
 #include "net/http.h"
+#include "sim/clock.h"
 #include "storage/data_store.h"
 #include "wfbench/task_params.h"
 
@@ -105,6 +106,8 @@ class WfBenchService {
     std::uint64_t kept_bytes = 0;  // PM allocation retained between tasks
     cluster::LoadId pm_load = 0;   // refresh load while kept_bytes > 0
     cluster::WorkId work = 0;      // in-flight compute work
+    double queue_seconds = 0.0;    // in-process wait before this worker took it
+    sim::SimTime accepted_at = 0;  // when the worker started the read phase
     /// Held so shutdown can answer 503 instead of dropping the request.
     std::shared_ptr<ResponseCallback> active_done;
   };
@@ -112,9 +115,11 @@ class WfBenchService {
   struct PendingRequest {
     TaskParams params;
     ResponseCallback done;
+    sim::SimTime enqueued_at = 0;
   };
 
-  void dispatch(std::size_t worker_index, TaskParams params, ResponseCallback done);
+  void dispatch(std::size_t worker_index, TaskParams params, ResponseCallback done,
+                double queue_seconds = 0.0);
   void begin_compute(std::size_t worker_index, std::shared_ptr<TaskParams> params,
                      std::shared_ptr<ResponseCallback> done);
   void release_worker(std::size_t worker_index);

@@ -69,6 +69,34 @@ TEST(TimeSeries, TimeWeightedMeanHandlesIrregularSampling) {
   EXPECT_DOUBLE_EQ(make_series({{0, 4}, {1, 4}}).time_weighted_mean(), 4.0);
 }
 
+TEST(TimeSeries, WindowedPercentileSplitsTheSpan) {
+  // 40 s span, values 1..40 at 1 Hz: four 10 s windows, one p99 sample each
+  // (time at the window's end, value from the samples inside it).
+  TimeSeries s;
+  for (int i = 1; i <= 40; ++i) s.push(sim::from_seconds(i), static_cast<double>(i));
+  const TimeSeries windowed = windowed_percentile(s, 4, 100.0);
+  ASSERT_EQ(windowed.size(), 4u);
+  EXPECT_DOUBLE_EQ(windowed[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(windowed[1].value, 20.0);
+  EXPECT_DOUBLE_EQ(windowed[2].value, 30.0);
+  EXPECT_DOUBLE_EQ(windowed[3].value, 40.0);
+  EXPECT_EQ(windowed[3].time, sim::from_seconds(40));
+  EXPECT_THROW(windowed_percentile(s, 4, 101.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, WindowedPercentileCollapsesDegenerateInputs) {
+  // Fewer than 2 samples, a zero span, or a single window: one whole-series
+  // sample.
+  const TimeSeries single = make_series({{5, 7.0}});
+  EXPECT_EQ(windowed_percentile(single, 4, 99.0).size(), 1u);
+  const TimeSeries flat = make_series({{3, 1.0}, {3, 9.0}});
+  const TimeSeries collapsed = windowed_percentile(flat, 4, 100.0);
+  ASSERT_EQ(collapsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(collapsed[0].value, 9.0);
+  EXPECT_EQ(windowed_percentile(make_series({{0, 1.0}, {10, 2.0}}), 1, 50.0).size(), 1u);
+  EXPECT_TRUE(windowed_percentile(TimeSeries{}, 4, 99.0).empty());
+}
+
 // ---- aggregation ----------------------------------------------------------------
 
 TEST(Aggregate, SummaryFields) {

@@ -1,0 +1,380 @@
+// Run profiler: observed critical-path extraction and makespan attribution
+// (obs/profile.h, obs/critical_path.h) plus its end-to-end wiring — results
+// JSON, campaign CSV gating, the trace recorder's thread safety under
+// concurrent runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/dag.h"
+#include "core/experiment.h"
+#include "core/results_io.h"
+#include "core/workflow_manager.h"
+#include "json/parse.h"
+#include "json/value.h"
+#include "net/router.h"
+#include "obs/critical_path.h"
+#include "obs/profile.h"
+#include "obs/trace_recorder.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "wfbench/task_params.h"
+#include "wfcommons/analysis.h"
+#include "wfcommons/generator.h"
+#include "wfcommons/recipes/recipe.h"
+#include "wfcommons/translators/knative.h"
+
+namespace wfs::obs {
+namespace {
+
+wfcommons::Workflow translated(const std::string& recipe, std::size_t tasks) {
+  wfcommons::WorkflowGenerator generator;
+  wfcommons::Workflow wf = generator.generate(recipe, tasks, 1);
+  wfcommons::KnativeTranslatorConfig config;
+  config.service_url = "http://svc:80/wfbench";
+  wfcommons::KnativeTranslator(config).apply(wf);
+  return wf;
+}
+
+/// Minimal scripted wfbench endpoint: waits `service_time`, writes the
+/// declared outputs, responds 200. No gtest assertions inside — the
+/// concurrency test runs it off the main thread.
+void bind_fake_wfbench(sim::Simulation& sim, storage::SharedFilesystem& fs,
+                       net::Router& router,
+                       sim::SimTime service_time = 100 * sim::kMillisecond) {
+  router.bind("svc:80", [&sim, &fs, service_time](const net::HttpRequest& request,
+                                                  std::shared_ptr<net::Responder> responder) {
+    const wfbench::TaskParams params =
+        wfbench::task_params_from_json(json::parse(request.body));
+    sim.schedule_in(service_time, [&fs, params, responder] {
+      if (params.outputs.empty()) {
+        responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+        return;
+      }
+      auto remaining = std::make_shared<std::size_t>(params.outputs.size());
+      for (const auto& [file, size] : params.outputs) {
+        fs.write(file, size, [remaining, responder] {
+          if (--*remaining == 0) {
+            responder->respond(net::HttpResponse::make_ok(R"({"runtimeInSeconds":0.1})"));
+          }
+        });
+      }
+    });
+  });
+}
+
+core::WorkflowRunResult run_against_fake(const wfcommons::Workflow& wf,
+                                         obs::TraceRecorder* recorder = nullptr) {
+  sim::Simulation sim;
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim);
+  bind_fake_wfbench(sim, fs, router);
+  core::WorkflowManager wfm(sim, router, fs);
+  if (recorder != nullptr) wfm.set_trace(recorder);
+  core::WorkflowRunResult result;
+  wfm.run(wf, [&](core::WorkflowRunResult r) { result = std::move(r); });
+  sim.run();
+  return result;
+}
+
+// ---- segment taxonomy -------------------------------------------------------
+
+TEST(Segment, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    const auto segment = static_cast<Segment>(i);
+    EXPECT_EQ(parse_segment(to_string(segment)), segment);
+  }
+  EXPECT_STREQ(to_string(Segment::kColdStart), "cold-start");
+  EXPECT_THROW(parse_segment("boot"), std::invalid_argument);
+}
+
+TEST(SegmentBreakdown, TotalAndDominant) {
+  SegmentBreakdown breakdown;
+  breakdown[Segment::kQueue] = 2.0;
+  breakdown[Segment::kCompute] = 5.0;
+  breakdown[Segment::kTransfer] = 1.0;
+  EXPECT_DOUBLE_EQ(breakdown.total(), 8.0);
+  EXPECT_EQ(breakdown.dominant(), Segment::kCompute);
+  SegmentBreakdown other;
+  other[Segment::kQueue] = 4.0;
+  breakdown += other;
+  EXPECT_DOUBLE_EQ(breakdown[Segment::kQueue], 6.0);
+  EXPECT_EQ(breakdown.dominant(), Segment::kQueue);
+}
+
+// ---- attribution on a hand-built chain --------------------------------------
+
+std::vector<TaskTiming> synthetic_chain() {
+  // A [0, 10]: 2 s platform queue of which 1 s overlapped a pod boot, 3 s
+  // transfer, 4 s compute — 1 s of the wall unexplained (overhead).
+  TaskTiming a;
+  a.name = "a";
+  a.task_id = 0;
+  a.gated_by = -1;
+  a.released = 0.0;
+  a.dispatched = 0.0;
+  a.first_sent = 0.0;
+  a.finished = 10.0;
+  a.queue_seconds = 2.0;
+  a.cold_start_seconds = 1.0;
+  a.transfer_seconds = 3.0;
+  a.compute_seconds = 4.0;
+  a.attempts = 1;
+  a.ok = true;
+  // B [10, 20], gated by A: 1 s WFM dispatch delay, then a fully-explained
+  // 9 s attempt of pure compute.
+  TaskTiming b;
+  b.name = "b";
+  b.task_id = 1;
+  b.gated_by = 0;
+  b.released = 10.0;
+  b.dispatched = 11.0;
+  b.first_sent = 11.0;
+  b.finished = 20.0;
+  b.compute_seconds = 9.0;
+  b.attempts = 1;
+  b.ok = true;
+  return {a, b};
+}
+
+TEST(ObservedCriticalPath, FollowsGateEdgesFromTheTail) {
+  const std::vector<CriticalPathNode> path = observed_critical_path(synthetic_chain());
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].name, "a");
+  EXPECT_EQ(path[1].name, "b");
+  EXPECT_DOUBLE_EQ(path[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(path[0].end_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(path[1].start_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(path[1].end_seconds, 20.0);
+}
+
+TEST(BuildProfile, AttributesEveryKnownSecondAndClosesTheResidual) {
+  const RunProfile profile = build_profile(synthetic_chain(), 20.5);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_DOUBLE_EQ(profile.makespan_seconds, 20.5);
+  EXPECT_DOUBLE_EQ(profile.cp_length_seconds, 20.5);
+  // A: cold-start is the 1 s of queue that overlapped the boot; B adds the
+  // 1 s dispatch gap to queue. The 0.5 s tail gap closes into overhead.
+  EXPECT_DOUBLE_EQ(profile.critical[Segment::kColdStart], 1.0);
+  EXPECT_DOUBLE_EQ(profile.critical[Segment::kQueue], 2.0);
+  EXPECT_DOUBLE_EQ(profile.critical[Segment::kTransfer], 3.0);
+  EXPECT_DOUBLE_EQ(profile.critical[Segment::kCompute], 13.0);
+  EXPECT_DOUBLE_EQ(profile.critical[Segment::kOverhead], 1.5);
+  EXPECT_NEAR(profile.critical.total(), profile.makespan_seconds, 1e-9);
+  EXPECT_EQ(profile.dominant(), Segment::kCompute);
+  // Whole-run totals track every task, sorted by finish for the series.
+  EXPECT_EQ(profile.task_wall_series.size(), 2u);
+  EXPECT_EQ(profile.queue_series.size(), 2u);
+}
+
+// ---- real runs --------------------------------------------------------------
+
+TEST(RunProfiler, SumsToMakespanOnARealRun) {
+  const core::WorkflowRunResult result = run_against_fake(translated("blast", 30));
+  ASSERT_TRUE(result.ok());
+  const RunProfile& profile = result.profile;
+  ASSERT_TRUE(profile.valid);
+  EXPECT_NEAR(profile.critical.total(), result.makespan_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(profile.cp_length_seconds, result.makespan_seconds);
+  // The path tiles [0, last finish] contiguously from the run's start.
+  ASSERT_FALSE(profile.path.empty());
+  EXPECT_DOUBLE_EQ(profile.path.front().start_seconds, 0.0);
+  for (std::size_t i = 1; i < profile.path.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile.path[i].start_seconds, profile.path[i - 1].end_seconds);
+  }
+  // The header marker gates the first release, so it leads the path.
+  EXPECT_NE(profile.path.front().name.find("header"), std::string::npos);
+}
+
+TEST(RunProfiler, StaticPlanPathMatchesWfcommonsAnalysis) {
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    const wfcommons::Workflow wf = translated(recipe, 60);
+    const core::ExecutionPlan plan = core::build_plan(wf, "/shared");
+    EXPECT_NEAR(core::static_critical_path_seconds(plan),
+                wfcommons::critical_path(wf).seconds, 1e-9)
+        << recipe;
+  }
+}
+
+TEST(RunProfiler, ObservedAtLeastStaticOnEveryRecipe) {
+  for (const std::string& recipe : wfcommons::recipe_names()) {
+    core::ExperimentConfig config;
+    config.recipe = recipe;
+    config.num_tasks = 50;
+    config.collect_metrics = false;
+    const core::ExperimentResult result = core::run_experiment(config);
+    ASSERT_TRUE(result.ok()) << recipe << ": " << result.failure_reason;
+    const RunProfile& profile = result.run.profile;
+    ASSERT_TRUE(profile.valid) << recipe;
+    EXPECT_GT(profile.static_cp_seconds, 0.0) << recipe;
+    // The static DAG chain ignores queueing, cold starts and transfers, so
+    // it lower-bounds what the run actually observed.
+    EXPECT_GE(profile.cp_length_seconds + 1e-9, profile.static_cp_seconds) << recipe;
+  }
+}
+
+// The paper's serverless tax, found by the profiler: a cold-start-dominated
+// cell must blame cold starts, a data-bound cell must blame transfer.
+TEST(RunProfiler, ColdStartDominatedCellBlamesColdStarts) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn10wNoPM;
+  config.recipe = "blast";
+  config.num_tasks = 100;
+  config.cpu_work = 1.0;
+  faas::KnativeServiceSpec spec = core::knative_spec_for(config.paradigm);
+  spec.cold_start = sim::from_seconds(10.0);
+  config.knative_spec_override = spec;
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  const RunProfile& profile = result.run.profile;
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.dominant(), Segment::kColdStart);
+  EXPECT_NEAR(profile.critical.total(), profile.makespan_seconds, 1e-6);
+}
+
+TEST(RunProfiler, TransferDominatedCellBlamesTransfer) {
+  core::ExperimentConfig config;
+  config.paradigm = core::Paradigm::kKn1wNoPM;
+  config.recipe = "genome";
+  config.num_tasks = 100;
+  config.cpu_work = 1.0;
+  config.data_scale = 100.0;  // shared drive, cache off: the paper data path
+  faas::KnativeServiceSpec spec = core::knative_spec_for(config.paradigm);
+  spec.cold_start = sim::SimTime{0};
+  config.knative_spec_override = spec;
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.ok()) << result.failure_reason;
+  const RunProfile& profile = result.run.profile;
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.dominant(), Segment::kTransfer);
+  EXPECT_NEAR(profile.critical.total(), profile.makespan_seconds, 1e-6);
+}
+
+// ---- serialization ----------------------------------------------------------
+
+TEST(ProfileJson, RoundTripsEveryField) {
+  RunProfile profile = build_profile(synthetic_chain(), 20.5);
+  profile.static_cp_seconds = 13.0;
+  const RunProfile back = profile_from_json(profile_to_json(profile));
+  ASSERT_TRUE(back.valid);
+  EXPECT_DOUBLE_EQ(back.makespan_seconds, profile.makespan_seconds);
+  EXPECT_DOUBLE_EQ(back.cp_length_seconds, profile.cp_length_seconds);
+  EXPECT_DOUBLE_EQ(back.static_cp_seconds, profile.static_cp_seconds);
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    const auto segment = static_cast<Segment>(i);
+    EXPECT_DOUBLE_EQ(back.critical[segment], profile.critical[segment]);
+    EXPECT_DOUBLE_EQ(back.total[segment], profile.total[segment]);
+  }
+  ASSERT_EQ(back.path.size(), profile.path.size());
+  for (std::size_t i = 0; i < profile.path.size(); ++i) {
+    EXPECT_EQ(back.path[i].name, profile.path[i].name);
+    EXPECT_EQ(back.path[i].task_id, profile.path[i].task_id);
+    EXPECT_DOUBLE_EQ(back.path[i].start_seconds, profile.path[i].start_seconds);
+    EXPECT_DOUBLE_EQ(back.path[i].end_seconds, profile.path[i].end_seconds);
+    EXPECT_EQ(back.path[i].dominant(), profile.path[i].dominant());
+  }
+  ASSERT_EQ(back.task_wall_series.size(), profile.task_wall_series.size());
+  for (std::size_t i = 0; i < profile.task_wall_series.size(); ++i) {
+    EXPECT_EQ(back.task_wall_series[i].time, profile.task_wall_series[i].time);
+    EXPECT_DOUBLE_EQ(back.task_wall_series[i].value, profile.task_wall_series[i].value);
+  }
+  EXPECT_EQ(back.queue_series.size(), profile.queue_series.size());
+  EXPECT_EQ(back.transfer_series.size(), profile.transfer_series.size());
+}
+
+TEST(ResultsIo, ProfileKeyRoundTripsAndIsOmittedWhenInvalid) {
+  core::ExperimentResult result;
+  result.workflow_name = "wf";
+  result.run.profile = build_profile(synthetic_chain(), 20.5);
+  const json::Value document = core::result_to_json(result);
+  ASSERT_NE(document.find("profile"), nullptr);
+  const core::ExperimentResult back = core::result_from_json(document);
+  ASSERT_TRUE(back.run.profile.valid);
+  EXPECT_DOUBLE_EQ(back.run.profile.makespan_seconds, 20.5);
+  EXPECT_DOUBLE_EQ(back.run.profile.critical[Segment::kCompute],
+                   result.run.profile.critical[Segment::kCompute]);
+
+  // Runs without a valid profile (e.g. deadline hits) keep the document
+  // free of the key, exactly as before the profiler existed.
+  core::ExperimentResult bare;
+  bare.workflow_name = "wf";
+  EXPECT_EQ(core::result_to_json(bare).find("profile"), nullptr);
+}
+
+TEST(Campaign, CsvColumnsAreGatedOnTheProfileFlag) {
+  core::CampaignSpec spec;
+  spec.paradigms = {core::Paradigm::kKn10wNoPM};
+  spec.recipes = {"blast"};
+  spec.sizes = {50};
+  spec.jobs = 1;
+  spec.collect_metrics = false;
+  core::Campaign off(spec);
+  off.run();
+  spec.profile = true;
+  core::Campaign on(spec);
+  on.run();
+
+  const std::string csv_off = off.summary_csv();
+  const std::string csv_on = on.summary_csv();
+  // Off: the exact pre-profiler header, byte for byte.
+  EXPECT_EQ(csv_off.substr(0, csv_off.find('\n')),
+            "paradigm,recipe,tasks,seed,scheduling,status,makespan_s,cpu_pct_mean,"
+            "cpu_pct_p50,cpu_pct_p99,cpu_pct_max,mem_gib_mean,mem_gib_max,power_w_mean,"
+            "energy_kj,cold_starts,max_ready_pods,scheduling_failures,node_oom_events,"
+            "service_oom_failures,tasks_failed,cold_start_s,retry_wait_s,input_wait_s,"
+            "activator_wait_s,cache_hit_rate,shared_drive_bytes_saved,p2p_bytes_saved,"
+            "storage_repair_bytes");
+  EXPECT_EQ(csv_off.find("cp_length_seconds"), std::string::npos);
+  // On: the same rows with the attribution columns appended.
+  EXPECT_NE(csv_on.find(",cp_length_seconds,cp_coldstart_pct,cp_queue_pct,"
+                        "cp_transfer_pct,cp_compute_pct"),
+            std::string::npos);
+  std::istringstream off_lines(csv_off);
+  std::istringstream on_lines(csv_on);
+  std::string off_line;
+  std::string on_line;
+  while (std::getline(off_lines, off_line)) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(on_lines, on_line)));
+    EXPECT_TRUE(on_line.starts_with(off_line)) << on_line;
+    EXPECT_GT(on_line.size(), off_line.size());
+  }
+}
+
+// ---- trace recorder under concurrent runs -----------------------------------
+
+// Two simulations tracing into ONE recorder from two threads — the campaign
+// `--jobs N` shape. TSan (build-tsan preset) turns any recorder race into a
+// hard failure; without it this still exercises the locked paths.
+TEST(TraceRecorderConcurrency, TwoRunsCanShareOneRecorder) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  auto worker = [&recorder] {
+    wfcommons::Workflow wf = translated("blast", 20);
+    (void)run_against_fake(wf, &recorder);
+  };
+  std::thread first(worker);
+  std::thread second(worker);
+  first.join();
+  second.join();
+  EXPECT_GT(recorder.size(), 0u);
+  const json::Value document = json::parse(recorder.chrome_trace_json());
+  const json::Value* events = document.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Both runs landed their spans (same names dedupe to one process entry,
+  // but each run closes exactly one "run" span).
+  std::size_t run_spans = 0;
+  for (const json::Value& event : events->as_array()) {
+    const json::Value* cat = event.find("cat");
+    if (cat != nullptr && cat->string_or("") == "run") ++run_spans;
+  }
+  EXPECT_EQ(run_spans, 2u);
+}
+
+}  // namespace
+}  // namespace wfs::obs

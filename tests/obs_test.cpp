@@ -216,6 +216,28 @@ TEST_F(TracedExperiment, ColdStartSpansReconcileWithSummaryStats) {
   EXPECT_GT(result().cold_start_seconds, 0.0);
 }
 
+TEST_F(TracedExperiment, CriticalPathLaneHighlightsTheBottleneckChain) {
+  ASSERT_TRUE(result().ok());
+  const auto nodes = events_of("critical-path");
+  ASSERT_EQ(nodes.size(), result().run.profile.path.size());
+  ASSERT_FALSE(nodes.empty());
+  double covered_seconds = 0.0;
+  for (const json::Value* node : nodes) {
+    const json::Value* args = node->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->find("dominant"), nullptr);
+    EXPECT_NE(args->find("cold-start"), nullptr);
+    EXPECT_NE(args->find("compute"), nullptr);
+    covered_seconds += static_cast<double>(node->find("dur")->int_or(0)) / 1e6;
+  }
+  // The lane's spans tile the path contiguously: together they cover
+  // everything up to the last task's finish (the tail gap to the makespan
+  // has no span — it is pure run overhead).
+  const auto& path = result().run.profile.path;
+  EXPECT_NEAR(covered_seconds, path.back().end_seconds - path.front().start_seconds,
+              1e-5);
+}
+
 TEST_F(TracedExperiment, RunWaitTotalsReconcileWithPerTaskOutcomes) {
   ASSERT_TRUE(result().ok());
   double input_wait = 0.0;
