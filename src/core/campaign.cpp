@@ -40,6 +40,9 @@ std::vector<ExperimentConfig> enumerate_cells(const CampaignSpec& spec) {
             config.replication_factor = spec.replication_factor;
             config.p2p_transfer = spec.p2p_transfer;
             config.sim_shards = spec.sim_shards;
+            config.tenant_quota = spec.tenant_quota;
+            config.tenant_queue_limit = spec.tenant_queue_limit;
+            config.fair_dequeue = spec.fair_dequeue;
             config.wfm = spec.wfm;
             config.wfm.scheduling = scheduling;
             config.collect_metrics = spec.collect_metrics;

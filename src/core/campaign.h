@@ -43,6 +43,12 @@ struct CampaignSpec {
   /// Simulation-engine shards per cell (ExperimentConfig::sim_shards).
   /// summary_csv()/results() are byte-identical at every value.
   std::size_t sim_shards = 1;
+  /// Per-tenant admission control (ExperimentConfig knobs of the same
+  /// names). All defaults off — the exact single-tenant activator, with
+  /// summary_csv() byte-identical to pre-tenancy campaigns.
+  std::size_t tenant_quota = 0;
+  std::size_t tenant_queue_limit = 0;
+  bool fair_dequeue = false;
   WfmConfig wfm;
   /// Worker threads for run(): 0 = hardware_concurrency, 1 = fully
   /// sequential (the exact pre-pool code path).

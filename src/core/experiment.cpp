@@ -121,6 +121,13 @@ ExperimentResult ExperimentRunner::run(const ExperimentConfig& config) const {
                                         ? *config.knative_spec_override
                                         : knative_spec_for(config.paradigm, config.shape);
     if (config.cache_aware_placement) spec.cache_aware_placement = true;
+    // Only non-default knobs are applied, so a knative_spec_override that
+    // carries its own AdmissionConfig is not clobbered by the zeros.
+    if (config.tenant_quota > 0) spec.admission.tenant_inflight_limit = config.tenant_quota;
+    if (config.tenant_queue_limit > 0) {
+      spec.admission.tenant_queue_limit = config.tenant_queue_limit;
+    }
+    if (config.fair_dequeue) spec.admission.fair_dequeue = true;
     wfcommons::KnativeTranslatorConfig tconfig;
     tconfig.service_url = "http://" + spec.authority + "/wfbench";
     tconfig.workdir = config.wfm.workdir;

@@ -80,6 +80,14 @@ struct ExperimentConfig {
   double storage_kill_at_seconds = 0.0;
   std::size_t storage_kill_node = 0;
 
+  /// Per-tenant admission control at the activator (faas::AdmissionConfig).
+  /// All defaults off — the exact single-tenant FIFO activator, and request
+  /// bodies / CSVs byte-identical to the seed. Only meaningful for
+  /// serverless paradigms; tenants are labeled via WfmConfig::tenant.
+  std::size_t tenant_quota = 0;        // per-tenant in-flight limit
+  std::size_t tenant_queue_limit = 0;  // per-tenant buffered bound (503 over it)
+  bool fair_dequeue = false;           // weighted-fair dequeue across tenants
+
   /// Ablation hooks: when set, these replace the spec the paradigm factory
   /// would produce (the paradigm still selects serverless vs local).
   std::optional<faas::KnativeServiceSpec> knative_spec_override;

@@ -74,6 +74,9 @@ FleetResult run_fleet(const FleetConfig& config) {
   std::string endpoint;
   if (paradigm.serverless) {
     faas::KnativeServiceSpec spec = knative_spec_for(config.paradigm, config.shape);
+    spec.admission.tenant_inflight_limit = config.tenant_quota;
+    spec.admission.tenant_queue_limit = config.tenant_queue_limit;
+    spec.admission.fair_dequeue = config.fair_dequeue;
     knative = std::make_unique<faas::KnativePlatform>(sim, cluster, fs, router, spec);
     if (cache) knative->set_data_cache(cache.get());
     knative->deploy();
@@ -128,10 +131,19 @@ FleetResult run_fleet(const FleetConfig& config) {
   // holds a weak_ptr, because a shared_ptr self-capture would make the
   // function own itself and leak.
   std::shared_ptr<std::function<void(std::size_t)>> launch;
+  // Per-run WfmConfig only when an item carries a tenant label; the
+  // std::nullopt path is the exact pre-tenancy code.
+  const auto run_config = [&config](std::size_t index) -> std::optional<WfmConfig> {
+    if (config.items[index].tenant.empty()) return std::nullopt;
+    WfmConfig wfm_config = config.wfm;
+    wfm_config.tenant = config.items[index].tenant;
+    return wfm_config;
+  };
   if (config.concurrent) {
     for (std::size_t i = 0; i < workflows.size(); ++i) {
       wfm.run(workflows[i],
-              [&record, i](WorkflowRunResult run) { record(i, std::move(run)); });
+              [&record, i](WorkflowRunResult run) { record(i, std::move(run)); },
+              run_config(i));
     }
   } else {
     // Chained launch: index i+1 starts from i's completion callback.
@@ -142,7 +154,7 @@ FleetResult run_fleet(const FleetConfig& config) {
         if (index + 1 < workflows.size()) {
           if (const auto next = weak.lock()) (*next)(index + 1);
         }
-      });
+      }, run_config(index));
     };
     (*launch)(0);
   }

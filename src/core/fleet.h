@@ -22,6 +22,9 @@ struct FleetItem {
   std::string recipe = "blast";
   std::size_t num_tasks = 100;
   std::uint64_t seed = 1;
+  /// Tenant label stamped on the run's requests (WfmConfig::tenant). Empty —
+  /// the default — keeps the paper's exact request bodies.
+  std::string tenant;
 };
 
 struct FleetConfig {
@@ -43,6 +46,13 @@ struct FleetConfig {
   std::size_t storage_nodes = 0;
   std::size_t replication_factor = 2;
   bool p2p_transfer = false;
+
+  /// Per-tenant admission control, same contract as ExperimentConfig: all
+  /// defaults off keep the single-tenant FIFO activator. Only meaningful
+  /// for serverless paradigms with FleetItem::tenant labels set.
+  std::size_t tenant_quota = 0;
+  std::size_t tenant_queue_limit = 0;
+  bool fair_dequeue = false;
 };
 
 struct FleetResult {

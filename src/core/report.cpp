@@ -188,4 +188,24 @@ std::string metrics_report(const metrics::MetricsSnapshot& snapshot,
   return out;
 }
 
+std::string tenancy_summary(const load::TrafficResult& result) {
+  std::string out = support::format(
+      "traffic window: offered {:.3f} rps  goodput {:.3f} rps  runs {}/{} ok  "
+      "jain {:.3f}  starved {}  rejected {}  cold-starts {}\n",
+      result.offered_rps, result.goodput_rps, result.completed, result.submitted,
+      result.jain_fairness, result.starved_tenants, result.rejected_requests,
+      result.cold_starts);
+  out += support::format("{:<14} {:>6} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>10}\n",
+                         "tenant", "weight", "submitted", "ok", "failed", "rejected",
+                         "p50 s", "p99 s", "goodput/s");
+  for (const load::TenantStats& tenant : result.tenants) {
+    out += support::format("{:<14} {:>6.2f} {:>9} {:>6} {:>8} {:>9} {:>9.2f} {:>9.2f} {:>10.4f}\n",
+                           tenant.name, tenant.weight, tenant.submitted, tenant.completed,
+                           tenant.failed, tenant.rejected_requests,
+                           tenant.p50_makespan_seconds, tenant.p99_makespan_seconds,
+                           tenant.goodput_rps);
+  }
+  return out;
+}
+
 }  // namespace wfs::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "load/traffic.h"
 
 namespace wfs::core {
 
@@ -51,5 +52,10 @@ struct MetricDeltas {
 /// estimates. Empty string for an empty snapshot.
 [[nodiscard]] std::string metrics_report(const metrics::MetricsSnapshot& snapshot,
                                          std::size_t max_histograms = 4);
+
+/// Multi-tenant traffic window rendering: offered vs goodput, Jain fairness
+/// and starvation up top, then one aligned row per tenant (submitted /
+/// completed / rejected / makespan percentiles / goodput).
+[[nodiscard]] std::string tenancy_summary(const load::TrafficResult& result);
 
 }  // namespace wfs::core

@@ -96,6 +96,9 @@ json::Value result_to_json(const ExperimentResult& result) {
   config.set("storage_nodes", result.config.storage_nodes);
   config.set("replication_factor", result.config.replication_factor);
   config.set("p2p_transfer", result.config.p2p_transfer);
+  config.set("tenant_quota", result.config.tenant_quota);
+  config.set("tenant_queue_limit", result.config.tenant_queue_limit);
+  config.set("fair_dequeue", result.config.fair_dequeue);
   document.set("config", std::move(config));
 
   json::Object outcome;
@@ -238,6 +241,16 @@ ExperimentResult result_from_json(const json::Value& document) {
     }
     if (const json::Value* v = config->find("p2p_transfer")) {
       result.config.p2p_transfer = v->bool_or(false);
+    }
+    // Absent in pre-tenancy result files; default to admission off.
+    if (const json::Value* v = config->find("tenant_quota")) {
+      result.config.tenant_quota = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("tenant_queue_limit")) {
+      result.config.tenant_queue_limit = static_cast<std::size_t>(v->int_or(0));
+    }
+    if (const json::Value* v = config->find("fair_dequeue")) {
+      result.config.fair_dequeue = v->bool_or(false);
     }
   }
   if (const json::Value* outcome = root.find("outcome")) {

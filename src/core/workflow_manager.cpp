@@ -231,6 +231,7 @@ void WorkflowManager::send_marker(StatePtr state, const std::string& suffix,
   params.cpu_work = 0.0;
   params.memory_bytes = 0;
   params.workdir = state->config.workdir;
+  params.tenant = state->config.tenant;
 
   net::HttpRequest request;
   request.url = net::parse_url(endpoint);
@@ -435,7 +436,14 @@ void WorkflowManager::send_request(StatePtr state, TaskId task_id, int retries_l
   const ExecutionPlan& plan = state->plan;
   net::HttpRequest request;
   request.url = net::parse_url(plan.api_url(task_id));
-  request.body = json::write_compact(wfbench::to_json(plan.task_params(task_id)));
+  if (state->config.tenant.empty()) {
+    request.body = json::write_compact(wfbench::to_json(plan.task_params(task_id)));
+  } else {
+    // Stamp the run's tenant without mutating the (shared) plan.
+    wfbench::TaskParams params = plan.task_params(task_id);
+    params.tenant = state->config.tenant;
+    request.body = json::write_compact(wfbench::to_json(params));
+  }
   const sim::SimTime sent_at = sim_.now();
   // Attempt accounting spans retries: started_seconds/wall_seconds on the
   // final outcome cover every attempt plus the backoff time between them,

@@ -95,6 +95,10 @@ struct WfmConfig {
   /// Delay before each retry; a platform Retry-After hint
   /// (net::HttpResponse::retry_after_ms) overrides it per response.
   sim::SimTime retry_backoff = 2 * sim::kSecond;
+  /// Tenant label stamped on every request of the run (multi-tenant
+  /// platforms key admission control on it). Empty — the default — sends
+  /// the paper's exact request bodies.
+  std::string tenant;
 };
 
 struct TaskOutcome {

@@ -1,6 +1,7 @@
 #include "faas/activator.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "metrics/registry.h"
@@ -11,7 +12,63 @@ void Activator::update_depth_metric() noexcept {
   if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(queue_.size()));
 }
 
+void Activator::set_tenant_metrics(metrics::MetricsRegistry* registry,
+                                   std::string service_label) {
+  tenant_registry_ = registry;
+  service_label_ = std::move(service_label);
+}
+
+Activator::TenantState& Activator::tenant_state(const std::string& tenant) {
+  auto [it, inserted] = tenants_state_.try_emplace(tenant);
+  TenantState& state = it->second;
+  if (inserted) {
+    tenants_.try_emplace(tenant);
+    if (auto weight = admission_.weights.find(tenant); weight != admission_.weights.end()) {
+      state.weight = std::max(weight->second, 1e-9);
+    }
+    // New tenants start at the current minimum virtual time, not zero, so a
+    // late joiner cannot replay the head start the others already spent.
+    double min_vt = std::numeric_limits<double>::infinity();
+    for (const auto& [name, other] : tenants_state_) {
+      if (name != tenant) min_vt = std::min(min_vt, other.virtual_time);
+    }
+    if (min_vt != std::numeric_limits<double>::infinity()) state.virtual_time = min_vt;
+    if (tenant_registry_ != nullptr && !tenant.empty()) {
+      const metrics::LabelSet labels{{"service", service_label_}, {"tenant", tenant}};
+      state.accepted_metric = &tenant_registry_->counter(
+          "activator_tenant_accepted_total", "Requests admitted into the buffer by tenant",
+          labels);
+      state.rejected_metric = &tenant_registry_->counter(
+          "activator_tenant_rejected_total",
+          "Requests rejected at the per-tenant queue bound", labels);
+      state.inflight_metric = &tenant_registry_->gauge(
+          "activator_tenant_inflight", "Requests of this tenant currently executing",
+          labels);
+    }
+  }
+  return state;
+}
+
 void Activator::enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now) {
+  const bool track_tenant = admission_.enabled() || !params.tenant.empty();
+  if (track_tenant) {
+    TenantState& state = tenant_state(params.tenant);
+    if (admission_.tenant_queue_limit > 0 &&
+        state.counters.queued >= admission_.tenant_queue_limit) {
+      ++state.counters.rejected;
+      tenants_[params.tenant].rejected = state.counters.rejected;
+      ++total_rejected_;
+      if (state.rejected_metric != nullptr) state.rejected_metric->inc();
+      auto response = net::HttpResponse::service_unavailable("tenant queue limit reached");
+      response.retry_after_ms = admission_.retry_after_ms;
+      done(std::move(response));
+      return;
+    }
+    ++state.counters.accepted;
+    ++state.counters.queued;
+    tenants_[params.tenant] = state.counters;
+    if (state.accepted_metric != nullptr) state.accepted_metric->inc();
+  }
   queue_.push_back(Buffered{std::move(params), std::move(done), now});
   ++total_buffered_;
   max_depth_ = std::max<std::uint64_t>(max_depth_, queue_.size());
@@ -19,19 +76,102 @@ void Activator::enqueue(wfbench::TaskParams params, ResponseCallback done, sim::
   update_depth_metric();
 }
 
-Activator::Buffered Activator::pop(sim::SimTime now) {
-  if (queue_.empty()) throw std::logic_error("Activator::pop on empty queue");
-  Buffered out = std::move(queue_.front());
-  queue_.pop_front();
+Activator::Buffered Activator::take_at(std::size_t index, sim::SimTime now) {
+  Buffered out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   total_wait_seconds_ += sim::to_seconds(now - out.enqueued_at);
+  if (admission_.enabled() || !out.params.tenant.empty()) {
+    TenantState& state = tenant_state(out.params.tenant);
+    --state.counters.queued;
+    ++state.counters.dequeued;
+    ++state.counters.inflight;
+    state.virtual_time += 1.0 / state.weight;
+    tenants_[out.params.tenant] = state.counters;
+    if (state.inflight_metric != nullptr) {
+      state.inflight_metric->set(static_cast<double>(state.counters.inflight));
+    }
+  }
   update_depth_metric();
   return out;
 }
 
-void Activator::drain_with_error(const net::HttpResponse& response) {
-  for (Buffered& buffered : queue_) buffered.done(response);
-  queue_.clear();
+Activator::Buffered Activator::pop(sim::SimTime now) {
+  if (queue_.empty()) throw std::logic_error("Activator::pop on empty queue");
+  return take_at(0, now);
+}
+
+std::optional<Activator::Buffered> Activator::try_pop(sim::SimTime now) {
+  if (queue_.empty()) return std::nullopt;
+  if (!admission_.enabled()) return take_at(0, now);
+
+  if (!admission_.fair_dequeue) {
+    // FIFO scan: the oldest request whose tenant still has quota headroom.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (under_quota(tenant_state(queue_[i].params.tenant))) return take_at(i, now);
+    }
+    return std::nullopt;
+  }
+
+  // Weighted-fair: among tenants with a queued request and quota headroom,
+  // serve the one with the smallest virtual time (ties break on tenant
+  // name via the ordered scan below — deterministic). FIFO within a tenant
+  // falls out of taking the first queue entry with that tenant label.
+  const std::string* best_tenant = nullptr;
+  std::size_t best_index = 0;
+  double best_vt = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const std::string& tenant = queue_[i].params.tenant;
+    if (best_tenant != nullptr && tenant == *best_tenant) continue;
+    TenantState& state = tenant_state(tenant);
+    if (!under_quota(state)) continue;
+    if (best_tenant == nullptr || state.virtual_time < best_vt ||
+        (state.virtual_time == best_vt && tenant < *best_tenant)) {
+      best_tenant = &queue_[i].params.tenant;
+      best_index = i;
+      best_vt = state.virtual_time;
+    }
+  }
+  if (best_tenant == nullptr) return std::nullopt;
+  // best_index is the first (oldest) entry of best_tenant only if no earlier
+  // entry shares the label; find the tenant's true head.
+  for (std::size_t i = 0; i < best_index; ++i) {
+    if (queue_[i].params.tenant == *best_tenant) {
+      best_index = i;
+      break;
+    }
+  }
+  return take_at(best_index, now);
+}
+
+void Activator::release(const std::string& tenant) {
+  auto it = tenants_state_.find(tenant);
+  if (it == tenants_state_.end() || it->second.counters.inflight == 0) return;
+  --it->second.counters.inflight;
+  tenants_[tenant].inflight = it->second.counters.inflight;
+  if (it->second.inflight_metric != nullptr) {
+    it->second.inflight_metric->set(static_cast<double>(it->second.counters.inflight));
+  }
+}
+
+void Activator::drain_with_error(const net::HttpResponse& response, sim::SimTime now) {
+  // Swap the buffer into a local before invoking callbacks: a callback that
+  // re-enqueues (the WFM retry path does, after retry_after_ms) would
+  // otherwise mutate queue_ mid-iteration — UB, and the re-enqueued request
+  // would be wiped by the clear() below.
+  std::deque<Buffered> drained;
+  drained.swap(queue_);
+  for (Buffered& buffered : drained) {
+    // Same wait accounting as pop(): a request failed at drain spent just as
+    // long in the queue as one a pod eventually served.
+    total_wait_seconds_ += sim::to_seconds(now - buffered.enqueued_at);
+    if (admission_.enabled() || !buffered.params.tenant.empty()) {
+      TenantState& state = tenant_state(buffered.params.tenant);
+      if (state.counters.queued > 0) --state.counters.queued;
+      tenants_[buffered.params.tenant].queued = state.counters.queued;
+    }
+  }
   update_depth_metric();
+  for (Buffered& buffered : drained) buffered.done(response);
 }
 
 }  // namespace wfs::faas

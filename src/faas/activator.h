@@ -3,11 +3,26 @@
 // platform's source of the "observed concurrency" signal (queued requests
 // count toward concurrency so the autoscaler sees demand before pods
 // exist).
+//
+// Multi-tenant admission control (all knobs default off = the exact paper
+// behaviour): each request may carry a tenant label, and the activator can
+//   * bound the per-tenant queue — requests over the bound are rejected
+//     immediately with 503 + a Retry-After hint instead of growing the
+//     buffer without limit (the WFM retry path honours the hint);
+//   * cap per-tenant in-flight requests — a tenant at its quota keeps its
+//     requests buffered even while pods have spare concurrency, so one
+//     heavy tenant cannot occupy the whole fleet;
+//   * replace the blind FIFO dequeue with weighted-fair ordering across
+//     tenants (stride scheduling: the tenant with the smallest virtual
+//     time is served next; FIFO within a tenant).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "net/http.h"
@@ -17,9 +32,33 @@
 namespace wfs::metrics {
 class Counter;
 class Gauge;
+class MetricsRegistry;
 }  // namespace wfs::metrics
 
 namespace wfs::faas {
+
+/// Per-tenant admission policy. Zero / false everywhere (the default)
+/// disables admission entirely: unbounded queue, no quota, FIFO pop — the
+/// exact single-tenant code path.
+struct AdmissionConfig {
+  /// Max requests of one tenant executing on pods at once (0 = unlimited).
+  std::size_t tenant_inflight_limit = 0;
+  /// Max requests of one tenant buffered at once; the excess is rejected
+  /// with 503 + retry_after_ms (0 = unbounded).
+  std::size_t tenant_queue_limit = 0;
+  /// Weighted-fair dequeue across tenants instead of global FIFO.
+  bool fair_dequeue = false;
+  /// Retry-After hint attached to queue-bound rejections.
+  int retry_after_ms = 500;
+  /// Fair-dequeue weights by tenant name (absent = 1.0). A tenant with
+  /// weight 2 is served twice as often as a weight-1 tenant under
+  /// contention.
+  std::map<std::string, double> weights;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return tenant_inflight_limit > 0 || tenant_queue_limit > 0 || fair_dequeue;
+  }
+};
 
 class Activator {
  public:
@@ -31,6 +70,20 @@ class Activator {
     sim::SimTime enqueued_at;
   };
 
+  /// Per-tenant admission counters (reporting; metrics mirror them).
+  struct TenantCounters {
+    std::uint64_t accepted = 0;   // enqueued past admission
+    std::uint64_t rejected = 0;   // bounced at the queue bound
+    std::uint64_t dequeued = 0;   // handed to a pod
+    std::size_t queued = 0;       // currently buffered
+    std::size_t inflight = 0;     // currently executing (pop .. release)
+  };
+
+  /// Installs the admission policy. Call before traffic; the default is
+  /// admission off (the exact single-tenant FIFO path).
+  void set_admission(AdmissionConfig admission) { admission_ = std::move(admission); }
+  [[nodiscard]] const AdmissionConfig& admission() const noexcept { return admission_; }
+
   /// Attaches pre-resolved metric handles (platform owns the labels):
   /// buffered_total counts every enqueue, depth mirrors the queue size.
   /// nullptrs disable.
@@ -39,35 +92,87 @@ class Activator {
     depth_metric_ = depth;
   }
 
+  /// Attaches a registry for per-tenant labeled counters
+  /// (activator_tenant_{accepted,rejected}_total{service,tenant} and the
+  /// activator_tenant_inflight gauge). Handles resolve lazily, only for
+  /// requests that actually carry a tenant label — tenant-less runs create
+  /// no new metric families. nullptr disables.
+  void set_tenant_metrics(metrics::MetricsRegistry* registry, std::string service_label);
+
+  /// Buffers (or, over the tenant queue bound, rejects) one request.
   void enqueue(wfbench::TaskParams params, ResponseCallback done, sim::SimTime now);
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
 
-  /// Pops the oldest buffered request; caller must have capacity.
+  /// Pops the oldest buffered request; caller must have capacity. Throws
+  /// when empty. Bypasses quotas — prefer try_pop under admission.
   [[nodiscard]] Buffered pop(sim::SimTime now);
+
+  /// Dequeues the next admissible request: FIFO without admission; under a
+  /// quota, the oldest request of a tenant below its in-flight limit (in
+  /// weighted-fair tenant order when fair_dequeue is on). nullopt when the
+  /// buffer is empty or every queued tenant is at its quota.
+  [[nodiscard]] std::optional<Buffered> try_pop(sim::SimTime now);
+
+  /// Marks one in-flight request of `tenant` complete, freeing quota.
+  void release(const std::string& tenant);
 
   /// The queue, oldest first — the platform's locality hint source (the
   /// buffered tasks' input sets are what a new pod will read first).
   [[nodiscard]] const std::deque<Buffered>& buffered() const noexcept { return queue_; }
 
-  /// Fails everything in the buffer (platform shutdown).
-  void drain_with_error(const net::HttpResponse& response);
+  /// Fails everything in the buffer (platform shutdown). Queue wait up to
+  /// `now` is accounted exactly like pop's, so overloaded/failed runs keep
+  /// an honest total_wait_seconds. Callbacks run off a local copy of the
+  /// queue: one that re-enqueues (the WFM retry path) appends to a fresh
+  /// buffer instead of mutating the deque mid-iteration.
+  void drain_with_error(const net::HttpResponse& response, sim::SimTime now);
 
   [[nodiscard]] std::uint64_t total_buffered() const noexcept { return total_buffered_; }
+  [[nodiscard]] std::uint64_t total_rejected() const noexcept { return total_rejected_; }
   [[nodiscard]] std::uint64_t max_depth() const noexcept { return max_depth_; }
   /// Cumulative seconds requests spent queued (cold-start visible cost).
   [[nodiscard]] double total_wait_seconds() const noexcept { return total_wait_seconds_; }
 
+  /// Admission counters by tenant name (ordered, hence deterministic).
+  /// Empty until a request carries a tenant label or admission is enabled.
+  [[nodiscard]] const std::map<std::string, TenantCounters>& tenants() const noexcept {
+    return tenants_;
+  }
+
  private:
+  struct TenantState {
+    TenantCounters counters;
+    /// Stride-scheduling virtual time; advanced by 1/weight per dequeue.
+    double virtual_time = 0.0;
+    double weight = 1.0;
+    metrics::Counter* accepted_metric = nullptr;
+    metrics::Counter* rejected_metric = nullptr;
+    metrics::Gauge* inflight_metric = nullptr;
+  };
+
   void update_depth_metric() noexcept;
+  TenantState& tenant_state(const std::string& tenant);
+  [[nodiscard]] bool under_quota(const TenantState& state) const noexcept {
+    return admission_.tenant_inflight_limit == 0 ||
+           state.counters.inflight < admission_.tenant_inflight_limit;
+  }
+  /// Removes and returns queue_[index], maintaining order.
+  Buffered take_at(std::size_t index, sim::SimTime now);
 
   std::deque<Buffered> queue_;
+  AdmissionConfig admission_;
+  std::map<std::string, TenantState> tenants_state_;
+  std::map<std::string, TenantCounters> tenants_;
   std::uint64_t total_buffered_ = 0;
+  std::uint64_t total_rejected_ = 0;
   std::uint64_t max_depth_ = 0;
   double total_wait_seconds_ = 0.0;
   metrics::Counter* buffered_metric_ = nullptr;
   metrics::Gauge* depth_metric_ = nullptr;
+  metrics::MetricsRegistry* tenant_registry_ = nullptr;
+  std::string service_label_;
 };
 
 }  // namespace wfs::faas

@@ -33,7 +33,14 @@ double Autoscaler::window_average(sim::SimTime now, sim::SimTime window) const {
     sum += s.value;
     ++count;
   }
-  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  if (count == 0) {
+    // Empty window (sampling cadence coarser than the window, e.g. a panic
+    // window shorter than the observe interval): fall back to the newest
+    // sample instead of reading "no demand" mid-burst — 0.0 here meant the
+    // panic path could never trigger under sparse observation.
+    return samples_.empty() ? 0.0 : samples_.back().value;
+  }
+  return sum / static_cast<double>(count);
 }
 
 double Autoscaler::stable_average(sim::SimTime now) const {

@@ -28,6 +28,7 @@ KnativePlatform::KnativePlatform(sim::Context& sim, cluster::Cluster& cluster,
   if (authority_.empty()) {
     throw std::invalid_argument("KnativePlatform: spec.authority must be set");
   }
+  activator_.set_admission(spec_.admission);
 }
 
 KnativePlatform::~KnativePlatform() { shutdown(); }
@@ -55,6 +56,7 @@ void KnativePlatform::set_metrics(metrics::MetricsRegistry* registry) {
     ready_pods_metric_ = nullptr;
     desired_pods_metric_ = nullptr;
     activator_.set_metrics(nullptr, nullptr);
+    activator_.set_tenant_metrics(nullptr, "");
     return;
   }
   const metrics::LabelSet labels{{"service", spec_.name}};
@@ -80,6 +82,7 @@ void KnativePlatform::set_metrics(metrics::MetricsRegistry* registry) {
       &registry->counter("activator_buffered_total",
                          "Requests buffered in the activator awaiting capacity", labels),
       &registry->gauge("activator_queue_depth", "Requests currently buffered", labels));
+  activator_.set_tenant_metrics(registry, spec_.name);
 }
 
 void KnativePlatform::set_data_cache(storage::CachedStore* cache) {
@@ -105,7 +108,7 @@ void KnativePlatform::shutdown() {
   scaler_loop_.stop();
   router_.unbind(authority_);
   activator_.drain_with_error(
-      net::HttpResponse::service_unavailable("knative service deleted"));
+      net::HttpResponse::service_unavailable("knative service deleted"), sim_.now());
   for (auto& pod : pods_) {
     if (pod->service() != nullptr) retired_oom_failures_ += pod->service()->stats().oom_failures;
     pod->terminate();
@@ -184,7 +187,13 @@ void KnativePlatform::pump() {
   while (!activator_.empty()) {
     Pod* pod = pick_pod();
     if (pod == nullptr) return;  // autoscaler will create capacity
-    Activator::Buffered buffered = activator_.pop(sim_.now());
+    // try_pop honours per-tenant in-flight quotas and fair ordering; without
+    // admission it is the same FIFO pop as before. nullopt with a non-empty
+    // buffer means every queued tenant is at its quota — completions below
+    // re-pump as they release quota.
+    std::optional<Activator::Buffered> popped = activator_.try_pop(sim_.now());
+    if (!popped) return;
+    Activator::Buffered buffered = std::move(*popped);
     if (trace_ != nullptr && sim_.now() > buffered.enqueued_at) {
       json::Object args;
       args.set("task", buffered.params.name);
@@ -197,10 +206,13 @@ void KnativePlatform::pump() {
     const double cold =
         std::clamp(sim::to_seconds(pod->ready_at() - buffered.enqueued_at), 0.0, wait);
     auto done = std::move(buffered.done);
+    std::string tenant = buffered.params.tenant;
     pod->service()->handle(
         buffered.params,
-        [this, pod, wait, cold, done = std::move(done)](net::HttpResponse response) {
+        [this, pod, wait, cold, tenant = std::move(tenant),
+         done = std::move(done)](net::HttpResponse response) {
           pod->touch_idle(sim_.now());
+          activator_.release(tenant);
           response.timing.queue_seconds += wait;
           response.timing.cold_start_seconds += cold;
           done(std::move(response));

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "faas/activator.h"
 #include "faas/kube_scheduler.h"
 #include "sim/clock.h"
 #include "wfbench/service.h"
@@ -70,6 +71,10 @@ struct KnativeServiceSpec {
   double chaos_pod_kill_rate = 0.0;
 
   AutoscalerConfig autoscaler;
+
+  /// Per-tenant admission control at the activator; default-constructed
+  /// (all zeros) keeps the exact single-tenant FIFO behaviour.
+  AdmissionConfig admission;
 
   /// Effective concurrency limit per pod.
   [[nodiscard]] int effective_concurrency() const noexcept {

@@ -1,0 +1,120 @@
+#include "load/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace wfs::load {
+
+std::string_view to_string(ArrivalProcess process) noexcept {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  return "poisson";
+}
+
+ArrivalProcess parse_arrival_process(std::string_view text) {
+  if (text == "poisson") return ArrivalProcess::kPoisson;
+  if (text == "bursty" || text == "mmpp") return ArrivalProcess::kBursty;
+  if (text == "trace") return ArrivalProcess::kTrace;
+  throw std::invalid_argument("unknown arrival process: " + std::string(text));
+}
+
+namespace {
+
+/// Exponential draw with the given rate (events per second).
+double exponential(support::Rng& rng, double rate) {
+  // uniform_real is [0, 1): 1 - u is (0, 1], so the log is finite.
+  return -std::log(1.0 - rng.uniform_real(0.0, 1.0)) / rate;
+}
+
+/// Appends Poisson arrivals at `rate` over [start, end) to `out`.
+void append_poisson(support::Rng& rng, double rate, double start, double end,
+                    std::vector<double>* out) {
+  if (rate <= 0.0) return;
+  double t = start + exponential(rng, rate);
+  while (t < end) {
+    out->push_back(t);
+    t += exponential(rng, rate);
+  }
+}
+
+}  // namespace
+
+std::vector<double> poisson_arrivals(support::Rng& rng, double rate_per_second,
+                                     double duration_seconds) {
+  std::vector<double> arrivals;
+  if (rate_per_second > 0.0 && duration_seconds > 0.0) {
+    arrivals.reserve(static_cast<std::size_t>(rate_per_second * duration_seconds * 1.25) + 4);
+    append_poisson(rng, rate_per_second, 0.0, duration_seconds, &arrivals);
+  }
+  return arrivals;
+}
+
+std::vector<double> mmpp_arrivals(support::Rng& rng, double mean_rate_per_second,
+                                  double duration_seconds, const BurstyShape& shape) {
+  std::vector<double> arrivals;
+  if (mean_rate_per_second <= 0.0 || duration_seconds <= 0.0) return arrivals;
+  const double fraction = std::clamp(shape.burst_fraction, 1e-6, 1.0 - 1e-6);
+  const double burst_rate = std::max(shape.burst_rate_factor, 1.0) * mean_rate_per_second;
+  const double quiet_rate =
+      std::max(0.0, (mean_rate_per_second - fraction * burst_rate) / (1.0 - fraction));
+  const double cycle = std::max(shape.mean_cycle_seconds, 1e-6);
+  const double burst_sojourn = fraction * cycle;
+  const double quiet_sojourn = (1.0 - fraction) * cycle;
+
+  arrivals.reserve(
+      static_cast<std::size_t>(mean_rate_per_second * duration_seconds * 1.25) + 4);
+  // Walk the state chain over the window, Poisson-filling each segment.
+  bool bursting = false;  // start quiet: bursts interrupt a calm baseline
+  double t = 0.0;
+  while (t < duration_seconds) {
+    const double sojourn = exponential(rng, 1.0 / (bursting ? burst_sojourn : quiet_sojourn));
+    const double end = std::min(t + sojourn, duration_seconds);
+    append_poisson(rng, bursting ? burst_rate : quiet_rate, t, end, &arrivals);
+    t = end;
+    bursting = !bursting;
+  }
+  return arrivals;
+}
+
+std::vector<double> trace_arrivals(const std::vector<double>& trace_offsets,
+                                   double rate_per_second, double duration_seconds) {
+  std::vector<double> arrivals;
+  if (rate_per_second <= 0.0 || duration_seconds <= 0.0) return arrivals;
+  const std::size_t total =
+      static_cast<std::size_t>(std::llround(rate_per_second * duration_seconds));
+  if (total == 0) return arrivals;
+  arrivals.reserve(total);
+
+  if (trace_offsets.empty()) {
+    // Degenerate trace: evenly spaced arrivals.
+    const double step = duration_seconds / static_cast<double>(total);
+    for (std::size_t i = 0; i < total; ++i) arrivals.push_back(static_cast<double>(i) * step);
+    return arrivals;
+  }
+
+  // Normalise the recorded window to [0, 1) by its span, then tile it:
+  // arrival i replays offset i % n of cycle i / n, with cycles rescaled so
+  // the tiling exactly covers [0, duration).
+  std::vector<double> normalized = trace_offsets;
+  std::sort(normalized.begin(), normalized.end());
+  const double base = normalized.front();
+  const double span = std::max(normalized.back() - base, 1e-9);
+  for (double& offset : normalized) offset = (offset - base) / (span * (1.0 + 1e-9));
+
+  const std::size_t per_cycle = normalized.size();
+  const std::size_t cycles = (total + per_cycle - 1) / per_cycle;
+  const double cycle_len = duration_seconds / static_cast<double>(cycles);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t cycle = i / per_cycle;
+    arrivals.push_back((static_cast<double>(cycle) + normalized[i % per_cycle]) * cycle_len);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace wfs::load

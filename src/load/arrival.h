@@ -1,0 +1,64 @@
+// Open-loop arrival processes for the multi-tenant traffic generator.
+//
+// Every process pre-generates its full arrival sequence from an explicitly
+// seeded support::Rng BEFORE the simulation starts, so a fixed seed yields
+// byte-identical traffic at any --jobs or sim_shards setting (the same
+// determinism contract as the rest of the framework).
+//
+//   * Poisson — memoryless arrivals at a constant rate; the classic
+//     open-loop baseline.
+//   * Bursty (MMPP-2) — a two-state Markov-modulated Poisson process: a
+//     short high-rate burst state and a long quiet state, exponential
+//     sojourns, with rates derived so the OVERALL mean equals the requested
+//     rate. Models diurnal/bursty science-gateway submission patterns.
+//   * Trace — deterministic replay of recorded arrival offsets, tiled and
+//     rescaled to the requested rate and duration (no RNG at all).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace wfs::load {
+
+enum class ArrivalProcess { kPoisson, kBursty, kTrace };
+
+[[nodiscard]] std::string_view to_string(ArrivalProcess process) noexcept;
+/// Accepts "poisson", "bursty"/"mmpp" and "trace". Throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] ArrivalProcess parse_arrival_process(std::string_view text);
+
+/// Shape of the MMPP-2 burst state.
+struct BurstyShape {
+  /// Burst-state arrival rate as a multiple of the overall mean rate.
+  double burst_rate_factor = 8.0;
+  /// Long-run fraction of time spent in the burst state. The quiet-state
+  /// rate is derived so the overall mean matches the requested rate:
+  /// quiet = (mean - fraction * burst) / (1 - fraction), clamped at 0.
+  double burst_fraction = 0.1;
+  /// Mean burst + quiet cycle length, seconds (exponential sojourns).
+  double mean_cycle_seconds = 60.0;
+};
+
+/// Poisson arrivals at `rate_per_second` over [0, duration_seconds).
+/// Sorted, possibly empty. rate <= 0 yields no arrivals.
+[[nodiscard]] std::vector<double> poisson_arrivals(support::Rng& rng,
+                                                   double rate_per_second,
+                                                   double duration_seconds);
+
+/// MMPP-2 arrivals with overall mean `mean_rate_per_second`.
+[[nodiscard]] std::vector<double> mmpp_arrivals(support::Rng& rng,
+                                                double mean_rate_per_second,
+                                                double duration_seconds,
+                                                const BurstyShape& shape = {});
+
+/// Replays `trace_offsets` (arrival instants of one recorded window, any
+/// scale — they are normalised by their span) tiled and rescaled so that
+/// round(rate * duration) arrivals land in [0, duration). Fully
+/// deterministic. An empty trace degenerates to evenly spaced arrivals.
+[[nodiscard]] std::vector<double> trace_arrivals(const std::vector<double>& trace_offsets,
+                                                 double rate_per_second,
+                                                 double duration_seconds);
+
+}  // namespace wfs::load

@@ -1,0 +1,271 @@
+#include "load/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "cluster/cluster.h"
+#include "faas/platform.h"
+#include "metrics/aggregate.h"
+#include "net/router.h"
+#include "sim/sharded.h"
+#include "sim/simulation.h"
+#include "storage/shared_fs.h"
+#include "support/log.h"
+#include "support/thread_pool.h"
+#include "wfcommons/generator.h"
+
+namespace wfs::load {
+
+namespace {
+
+/// Percentile over a SORTED vector (nearest-rank with interpolation);
+/// 0 for an empty vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::vector<double> tenant_arrivals(const TrafficConfig& config, support::Rng& rng,
+                                    double rate) {
+  const double window = config.window_seconds;
+  switch (config.arrival) {
+    case ArrivalProcess::kPoisson: return poisson_arrivals(rng, rate, window);
+    case ArrivalProcess::kBursty: return mmpp_arrivals(rng, rate, window, config.bursty);
+    case ArrivalProcess::kTrace: return trace_arrivals(config.trace, rate, window);
+  }
+  return {};
+}
+
+}  // namespace
+
+TrafficResult run_traffic(const TrafficConfig& config) {
+  if (config.tenants.empty()) throw std::invalid_argument("run_traffic: no tenants");
+  const core::ParadigmInfo& paradigm = core::paradigm_info(config.paradigm);
+  if (!paradigm.serverless) {
+    throw std::invalid_argument(
+        "run_traffic: tenancy lives in the activator — use a Kn* paradigm");
+  }
+  double total_share = 0.0;
+  for (const TenantSpec& tenant : config.tenants) {
+    if (tenant.name.empty()) throw std::invalid_argument("run_traffic: tenant without name");
+    total_share += std::max(tenant.rate_share, 0.0);
+  }
+  if (total_share <= 0.0) throw std::invalid_argument("run_traffic: zero total rate share");
+
+  // Engine selection, identical to run_fleet: the classic single-queue
+  // Simulation at sim_shards == 1, the conservative-lookahead engine above
+  // that — results byte-identical at any value.
+  std::unique_ptr<sim::Simulation> plain_sim;
+  std::unique_ptr<sim::ShardedSimulation> sharded_sim;
+  sim::Context* sim_context = nullptr;
+  if (config.sim_shards > 1) {
+    sharded_sim = std::make_unique<sim::ShardedSimulation>(config.sim_shards);
+    sim_context = &sharded_sim->shard(0);
+  } else {
+    plain_sim = std::make_unique<sim::Simulation>();
+    sim_context = plain_sim.get();
+  }
+  sim::Context& sim = *sim_context;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed(sim);
+  storage::SharedFilesystem fs(sim);
+  net::Router router(sim, net::NetworkConfig{}, config.seed);
+
+  // One shared deployment for every tenant — the whole point. Admission
+  // knobs land in the spec; weights come from the tenant list.
+  faas::KnativeServiceSpec spec = core::knative_spec_for(config.paradigm, config.shape);
+  spec.admission.tenant_inflight_limit = config.tenant_quota;
+  spec.admission.tenant_queue_limit = config.tenant_queue_limit;
+  spec.admission.fair_dequeue = config.fair_dequeue;
+  for (const TenantSpec& tenant : config.tenants) {
+    if (tenant.weight != 1.0) spec.admission.weights[tenant.name] = tenant.weight;
+  }
+  faas::KnativePlatform knative(sim, cluster, fs, router, spec);
+  std::unique_ptr<metrics::MetricsRegistry> registry;
+  if (config.collect_metrics) {
+    registry = std::make_unique<metrics::MetricsRegistry>();
+    knative.set_metrics(registry.get());
+  }
+  knative.deploy();
+  const std::string endpoint = "http://" + spec.authority + "/wfbench";
+
+  // One generated workflow per tenant, reused across that tenant's runs
+  // (tenants re-submitting the same benchmark app — the fleet runner treats
+  // concurrent same-recipe workflows the same way).
+  wfcommons::WorkflowGenerator generator;
+  std::vector<wfcommons::Workflow> workflows;
+  std::vector<metrics::Histogram*> makespan_hists(config.tenants.size(), nullptr);
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    const TenantSpec& tenant = config.tenants[i];
+    wfcommons::GenerateOptions options;
+    options.num_tasks = tenant.num_tasks;
+    options.seed = config.seed + i;
+    options.cpu_work = config.cpu_work;
+    wfcommons::Workflow wf = wfcommons::make_recipe(tenant.recipe)->generate(options);
+    for (wfcommons::Task& task : wf.tasks()) task.api_url = endpoint;
+    workflows.push_back(std::move(wf));
+    if (registry) {
+      makespan_hists[i] = &registry->histogram(
+          "tenant_makespan_seconds", "Per-tenant workflow makespan distribution",
+          {{"tenant", tenant.name}});
+    }
+  }
+
+  // Pre-generate every tenant's arrival stream from an independent fork of
+  // the root seed — all randomness is spent before the simulation starts.
+  support::Rng root(config.seed);
+  std::vector<std::vector<double>> arrivals;
+  for (const TenantSpec& tenant : config.tenants) {
+    support::Rng stream = root.fork();
+    const double rate =
+        config.offered_load_rps * std::max(tenant.rate_share, 0.0) / total_share;
+    arrivals.push_back(tenant_arrivals(config, stream, rate));
+  }
+
+  TrafficResult result;
+  result.tenants.resize(config.tenants.size());
+  std::vector<std::vector<double>> makespans(config.tenants.size());
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    result.tenants[i].name = config.tenants[i].name;
+    result.tenants[i].weight = config.tenants[i].weight;
+    result.tenants[i].submitted = arrivals[i].size();
+    result.submitted += arrivals[i].size();
+  }
+
+  core::WorkflowManager wfm(sim, router, fs, config.wfm);
+  if (registry) wfm.set_metrics(registry.get());
+  std::size_t remaining = result.submitted;
+  const auto record = [&](std::size_t tenant_idx, core::WorkflowRunResult run) {
+    TenantStats& stats = result.tenants[tenant_idx];
+    if (run.ok()) {
+      ++stats.completed;
+      makespans[tenant_idx].push_back(run.makespan_seconds);
+      if (makespan_hists[tenant_idx] != nullptr) {
+        makespan_hists[tenant_idx]->observe(run.makespan_seconds);
+      }
+    } else {
+      ++stats.failed;
+    }
+    --remaining;
+  };
+
+  // Schedule every arrival up front; each submission is an independent run
+  // of the tenant's workflow, stamped with the tenant label the activator
+  // keys admission on.
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    core::WfmConfig run_config = config.wfm;
+    run_config.tenant = config.tenants[i].name;
+    run_config.task_retries = config.task_retries;
+    for (const double at : arrivals[i]) {
+      sim.schedule_in(sim::from_seconds(at), [&wfm, &workflows, &record, i, run_config] {
+        wfm.run(workflows[i],
+                [&record, i](core::WorkflowRunResult run) { record(i, std::move(run)); },
+                run_config);
+      });
+    }
+  }
+
+  const sim::SimTime deadline =
+      sim::from_seconds(config.window_seconds + config.drain_seconds);
+  if (sharded_sim) {
+    sim::SimTime lookahead = std::min(router.min_latency(), fs.min_op_latency());
+    lookahead = std::min(lookahead, knative.spec().min_edge_latency());
+    sharded_sim->set_lookahead(std::max<sim::SimTime>(1, lookahead));
+    sharded_sim->run_until(deadline);
+  } else {
+    plain_sim->run_until(deadline);
+  }
+
+  result.drained = remaining == 0;
+  result.offered_rps = config.offered_load_rps;
+  result.wall_seconds = sim::to_seconds(sim.now());
+  result.cold_starts = knative.stats().pods_created;
+  result.rejected_requests = knative.activator().total_rejected();
+  const auto& tenant_counters = knative.activator().tenants();
+
+  std::vector<double> fair_share;
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    TenantStats& stats = result.tenants[i];
+    // Runs still in flight at the deadline count as failed: open-loop
+    // overload shows up as losses, not as a silently extended window.
+    stats.failed += stats.submitted - stats.completed - stats.failed;
+    if (auto it = tenant_counters.find(stats.name); it != tenant_counters.end()) {
+      stats.rejected_requests = it->second.rejected;
+    }
+    std::sort(makespans[i].begin(), makespans[i].end());
+    if (!makespans[i].empty()) {
+      double sum = 0.0;
+      for (const double m : makespans[i]) sum += m;
+      stats.mean_makespan_seconds = sum / static_cast<double>(makespans[i].size());
+      stats.p50_makespan_seconds = percentile(makespans[i], 0.50);
+      stats.p99_makespan_seconds = percentile(makespans[i], 0.99);
+    }
+    stats.goodput_rps = static_cast<double>(stats.completed) / config.window_seconds;
+    result.completed += stats.completed;
+    result.failed += stats.failed;
+    if (stats.submitted > 0) {
+      if (stats.completed == 0) ++result.starved_tenants;
+      fair_share.push_back(stats.goodput_rps / std::max(stats.weight, 1e-9));
+    }
+  }
+  result.goodput_rps = static_cast<double>(result.completed) / config.window_seconds;
+  result.jain_fairness = metrics::jain_fairness(fair_share);
+
+  knative.shutdown();
+  if (registry) result.metrics = registry->snapshot();
+  WFS_LOG_INFO("load",
+               "traffic window done: offered {:.3f} rps, goodput {:.3f} rps, "
+               "{}/{} runs ok, jain {:.3f}, {} starved",
+               result.offered_rps, result.goodput_rps, result.completed,
+               result.submitted, result.jain_fairness, result.starved_tenants);
+  return result;
+}
+
+std::vector<TrafficResult> run_traffic_sweep(const std::vector<TrafficConfig>& configs,
+                                             std::size_t jobs,
+                                             const TrafficProgress& progress) {
+  const std::size_t workers =
+      std::min(jobs == 0 ? support::ThreadPool::default_workers() : jobs,
+               std::max<std::size_t>(1, configs.size()));
+
+  std::vector<TrafficResult> results;
+  if (workers <= 1) {
+    results.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results.push_back(run_traffic(configs[i]));
+      if (progress) progress(i, results.back());
+    }
+    return results;
+  }
+
+  results.resize(configs.size());
+  std::mutex progress_mutex;
+  support::ThreadPool pool(workers);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    pool.submit([&results, &configs, &progress, &progress_mutex, i] {
+      TrafficResult result;
+      try {
+        result = run_traffic(configs[i]);
+      } catch (const std::exception&) {
+        result.drained = false;  // surfaced as !ok(); the sweep goes on
+      }
+      results[i] = std::move(result);
+      if (progress) {
+        const std::scoped_lock lock(progress_mutex);
+        progress(i, results[i]);
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace wfs::load

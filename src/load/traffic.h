@@ -1,0 +1,121 @@
+// Multi-tenant open-loop traffic: N tenants submit workflow runs into ONE
+// shared serverless platform on independent, pre-generated arrival streams
+// (load/arrival.h). This is the ROADMAP's production-platform view — the
+// paper runs one workflow per dedicated cluster; here the cluster is a
+// shared substrate and the interesting questions are platform-level:
+// where is the goodput knee, and can one greedy tenant starve the others?
+//
+// Determinism: every arrival stream comes from a per-tenant fork() of the
+// config seed and is generated before the simulation starts, so one config
+// is byte-identical at any sim_shards value; sweeps parallelise over
+// independent configs exactly like core::run_fleets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "load/arrival.h"
+#include "metrics/registry.h"
+
+namespace wfs::load {
+
+struct TenantSpec {
+  std::string name = "tenant-0";
+  std::string recipe = "blast";
+  std::size_t num_tasks = 20;
+  /// Fair-dequeue weight at the activator (1.0 = equal share).
+  double weight = 1.0;
+  /// Share of the offered load this tenant submits, relative to the other
+  /// tenants' shares. A greedy tenant is modeled as rate_share >> 1.
+  double rate_share = 1.0;
+};
+
+struct TrafficConfig {
+  /// Must be a serverless (Kn*) paradigm — tenancy lives in the activator.
+  core::Paradigm paradigm = core::Paradigm::kKn10wNoPM;
+  core::DeploymentShape shape;
+  /// Per-run WFM defaults; tenant and task_retries are stamped per run.
+  core::WfmConfig wfm;
+  std::vector<TenantSpec> tenants;
+
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  BurstyShape bursty;
+  /// Recorded offsets for ArrivalProcess::kTrace.
+  std::vector<double> trace;
+
+  /// Total workflow-run arrival rate across all tenants, runs/second,
+  /// split by TenantSpec::rate_share.
+  double offered_load_rps = 0.05;
+  /// Arrivals land in [0, window_seconds).
+  double window_seconds = 600.0;
+  /// Extra simulated time after the window for in-flight runs to finish;
+  /// runs still going at window + drain are counted as failed.
+  double drain_seconds = 1800.0;
+  std::uint64_t seed = 1;
+  double cpu_work = 20.0;
+  std::size_t sim_shards = 1;
+
+  /// Admission knobs, forwarded to faas::AdmissionConfig (0/0/false — the
+  /// defaults — leave the activator on the exact single-tenant FIFO path).
+  std::size_t tenant_quota = 0;
+  std::size_t tenant_queue_limit = 0;
+  bool fair_dequeue = false;
+
+  /// Retries per task (the WFM honours rejections' retry_after_ms).
+  int task_retries = 3;
+  bool collect_metrics = true;
+};
+
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  // runs that finished with zero failed tasks
+  std::size_t failed = 0;     // finished with failures, or still going at the deadline
+  std::uint64_t rejected_requests = 0;  // bounced at the activator queue bound
+  double mean_makespan_seconds = 0.0;   // over completed runs
+  double p50_makespan_seconds = 0.0;
+  double p99_makespan_seconds = 0.0;
+  double goodput_rps = 0.0;  // completed runs / window
+};
+
+struct TrafficResult {
+  bool drained = false;  // every submitted run finished before the deadline
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;  // completed runs / window, all tenants
+  /// Jain index over per-tenant goodput normalised by weight: 1.0 = perfectly
+  /// fair, 1/N = one tenant owns everything. 1.0 when nothing completed.
+  double jain_fairness = 1.0;
+  /// Tenants that submitted runs but completed none — the starvation signal
+  /// the isolation bench guards at zero with quotas + fair dequeue on.
+  std::size_t starved_tenants = 0;
+  std::uint64_t rejected_requests = 0;
+  std::uint64_t cold_starts = 0;
+  double wall_seconds = 0.0;
+  std::vector<TenantStats> tenants;
+  /// Final registry snapshot (empty when collect_metrics was off); includes
+  /// the per-tenant activator counters and tenant_makespan_seconds
+  /// histograms.
+  metrics::MetricsSnapshot metrics;
+
+  [[nodiscard]] bool ok() const noexcept { return drained; }
+};
+
+/// Runs one traffic window to completion on a fresh simulation.
+[[nodiscard]] TrafficResult run_traffic(const TrafficConfig& config);
+
+/// Sweep over independent traffic configs on a thread pool, same contract
+/// as core::run_fleets: results in input order, `progress` serialized in
+/// completion order.
+using TrafficProgress = std::function<void(std::size_t index, const TrafficResult&)>;
+[[nodiscard]] std::vector<TrafficResult> run_traffic_sweep(
+    const std::vector<TrafficConfig>& configs, std::size_t jobs = 0,
+    const TrafficProgress& progress = {});
+
+}  // namespace wfs::load

@@ -28,4 +28,17 @@ std::string to_string(const Summary& summary) {
       summary.stddev, summary.p50, summary.p95, summary.p99, summary.integral);
 }
 
+double jain_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (double x : allocations) {
+    if (x < 0.0) x = 0.0;
+    sum += x;
+    sum_squares += x * x;
+  }
+  if (sum_squares <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_squares);
+}
+
 }  // namespace wfs::metrics

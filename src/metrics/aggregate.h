@@ -27,4 +27,10 @@ struct Summary {
 /// "mean=12.3 max=45.6 p95=40.0" single-line rendering for reports.
 [[nodiscard]] std::string to_string(const Summary& summary);
 
+/// Jain's fairness index over per-entity allocations:
+/// J = (Σx)² / (n · Σx²), in [1/n, 1]. 1.0 = perfectly even shares, 1/n =
+/// one entity owns everything. Empty or all-zero input yields 1.0 (nothing
+/// was allocated, so nothing was unfair). Negative entries are clamped to 0.
+[[nodiscard]] double jain_fairness(const std::vector<double>& allocations);
+
 }  // namespace wfs::metrics

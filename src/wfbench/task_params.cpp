@@ -19,6 +19,7 @@ json::Value to_json(const TaskParams& params) {
   for (const std::string& file : params.inputs) inputs.emplace_back(file);
   body.set("inputs", std::move(inputs));
   if (!params.workdir.empty()) body.set("workdir", params.workdir);
+  if (!params.tenant.empty()) body.set("tenant", params.tenant);
   return json::Value(std::move(body));
 }
 
@@ -64,6 +65,7 @@ TaskParams task_params_from_json(const json::Value& body) {
     }
   }
   if (const json::Value* v = obj.find("workdir")) params.workdir = v->string_or("");
+  if (const json::Value* v = obj.find("tenant")) params.tenant = v->string_or("");
   return params;
 }
 

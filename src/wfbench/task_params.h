@@ -26,6 +26,10 @@ struct TaskParams {
   /// Input files that must exist on the shared drive.
   std::vector<std::string> inputs;
   std::string workdir;
+  /// Submitting tenant (multi-tenant platforms only). Empty — the default —
+  /// is omitted from the JSON body, so single-tenant requests are
+  /// byte-identical to the paper's.
+  std::string tenant;
 
   friend bool operator==(const TaskParams&, const TaskParams&) = default;
 };

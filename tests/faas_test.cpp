@@ -107,6 +107,20 @@ TEST(Autoscaler, RejectsBadConstruction) {
   EXPECT_THROW(Autoscaler(fast_config(), 1.0, 5, 3), std::invalid_argument);
 }
 
+TEST(Autoscaler, SparseObservationStillPanics) {
+  // Regression: window_average returned 0.0 for an empty window, so with a
+  // sampling cadence coarser than panic_window (6 s) the panic average read
+  // "no demand" mid-burst and panic never triggered. The fix falls back to
+  // the most recent sample.
+  Autoscaler scaler(fast_config(), 1.0, 0, 100);
+  scaler.observe(0, 50.0);
+  // 10 s later, no new observation: the panic window [4 s, 10 s] is empty.
+  EXPECT_DOUBLE_EQ(scaler.panic_average(10 * sim::kSecond), 50.0);
+  const Autoscaler::Decision decision = scaler.decide(10 * sim::kSecond, 5);
+  EXPECT_TRUE(decision.panic);  // 50 desired >= 2 x 5 ready
+  EXPECT_GE(decision.desired, 50);
+}
+
 TEST(Autoscaler, FractionalPanicThresholdBoundary) {
   // Regression: the panic-entry comparison used to truncate
   // panic_threshold * ready_pods to int, so with threshold 2.5 and 3 ready
@@ -160,10 +174,165 @@ TEST(Activator, DrainFailsEverything) {
       if (!r.ok()) ++failures;
     }, 0);
   }
-  activator.drain_with_error(net::HttpResponse::service_unavailable("bye"));
+  activator.drain_with_error(net::HttpResponse::service_unavailable("bye"), 0);
   EXPECT_EQ(failures, 3);
   EXPECT_TRUE(activator.empty());
   EXPECT_EQ(activator.total_buffered(), 3u);
+}
+
+TEST(Activator, DrainSurvivesReenqueueingCallback) {
+  // Regression: drain_with_error used to invoke callbacks while
+  // range-iterating queue_ and then clear() it — a callback that re-enqueues
+  // (the WFM retry path does, after retry_after_ms) mutated the deque
+  // mid-iteration and its re-enqueued request was wiped by the clear.
+  Activator activator;
+  int failures = 0;
+  wfbench::TaskParams params;
+  params.name = "retryable";
+  for (int i = 0; i < 3; ++i) {
+    activator.enqueue(params, [&](net::HttpResponse r) {
+      if (r.ok()) return;
+      ++failures;
+      // Immediate retry, as a WFM with retry_after_ms = 0 would issue.
+      wfbench::TaskParams again;
+      again.name = "retry";
+      activator.enqueue(again, [](net::HttpResponse) {}, sim::kSecond);
+    }, 0);
+  }
+  activator.drain_with_error(net::HttpResponse::service_unavailable("pod lost"),
+                             sim::kSecond);
+  // Every original request failed exactly once, and every retry survived the
+  // drain instead of being cleared with the old queue.
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(activator.depth(), 3u);
+  EXPECT_EQ(activator.total_buffered(), 6u);
+}
+
+TEST(Activator, DrainAccountsQueueWaitLikePop) {
+  // Regression: requests failed via drain_with_error never contributed to
+  // total_wait_seconds_, so the profiler's queue segment undercounted on
+  // failed/overloaded runs. Wait accounting must be identical whether a
+  // request leaves the queue via pop or via drain.
+  wfbench::TaskParams params;
+  params.name = "a";
+
+  Activator popped;
+  popped.enqueue(params, [](net::HttpResponse) {}, 0);
+  popped.enqueue(params, [](net::HttpResponse) {}, sim::kSecond);
+  (void)popped.pop(5 * sim::kSecond);
+  (void)popped.pop(5 * sim::kSecond);
+
+  Activator drained;
+  drained.enqueue(params, [](net::HttpResponse) {}, 0);
+  drained.enqueue(params, [](net::HttpResponse) {}, sim::kSecond);
+  drained.drain_with_error(net::HttpResponse::service_unavailable("bye"),
+                           5 * sim::kSecond);
+
+  EXPECT_DOUBLE_EQ(drained.total_wait_seconds(), popped.total_wait_seconds());
+  EXPECT_DOUBLE_EQ(drained.total_wait_seconds(), 9.0);
+}
+
+// ---- activator admission control -------------------------------------------
+
+wfbench::TaskParams tenant_task(const std::string& tenant, const std::string& name) {
+  wfbench::TaskParams params;
+  params.name = name;
+  params.tenant = tenant;
+  return params;
+}
+
+TEST(ActivatorAdmission, QueueBoundRejectsWithRetryAfter) {
+  Activator activator;
+  AdmissionConfig admission;
+  admission.tenant_queue_limit = 2;
+  admission.retry_after_ms = 250;
+  activator.set_admission(admission);
+
+  std::vector<net::HttpResponse> rejections;
+  auto reject_capture = [&](net::HttpResponse r) { rejections.push_back(std::move(r)); };
+  activator.enqueue(tenant_task("a", "a1"), reject_capture, 0);
+  activator.enqueue(tenant_task("a", "a2"), reject_capture, 0);
+  activator.enqueue(tenant_task("a", "a3"), reject_capture, 0);  // over the bound
+  activator.enqueue(tenant_task("b", "b1"), reject_capture, 0);  // other tenant: fine
+
+  ASSERT_EQ(rejections.size(), 1u);
+  EXPECT_EQ(rejections[0].status, 503);
+  EXPECT_EQ(rejections[0].retry_after_ms, 250);
+  EXPECT_EQ(activator.depth(), 3u);
+  EXPECT_EQ(activator.total_rejected(), 1u);
+  EXPECT_EQ(activator.tenants().at("a").rejected, 1u);
+  EXPECT_EQ(activator.tenants().at("a").accepted, 2u);
+  EXPECT_EQ(activator.tenants().at("b").rejected, 0u);
+}
+
+TEST(ActivatorAdmission, InflightQuotaHoldsWorkUntilRelease) {
+  Activator activator;
+  AdmissionConfig admission;
+  admission.tenant_inflight_limit = 1;
+  activator.set_admission(admission);
+
+  auto ignore = [](net::HttpResponse) {};
+  activator.enqueue(tenant_task("a", "a1"), ignore, 0);
+  activator.enqueue(tenant_task("a", "a2"), ignore, 0);
+  activator.enqueue(tenant_task("b", "b1"), ignore, 0);
+
+  auto first = activator.try_pop(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->params.name, "a1");
+  // Tenant a is at its quota: the FIFO scan skips a2 and serves b1.
+  auto second = activator.try_pop(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->params.name, "b1");
+  // Everyone queued is at quota now — a2 stays buffered.
+  EXPECT_FALSE(activator.try_pop(0).has_value());
+  EXPECT_EQ(activator.depth(), 1u);
+
+  activator.release("a");
+  auto third = activator.try_pop(0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->params.name, "a2");
+  EXPECT_EQ(activator.tenants().at("a").dequeued, 2u);
+}
+
+TEST(ActivatorAdmission, FairDequeueInterleavesTenants) {
+  Activator activator;
+  AdmissionConfig admission;
+  admission.fair_dequeue = true;
+  activator.set_admission(admission);
+
+  auto ignore = [](net::HttpResponse) {};
+  // Tenant a floods first; b's requests arrive behind the burst.
+  activator.enqueue(tenant_task("a", "a1"), ignore, 0);
+  activator.enqueue(tenant_task("a", "a2"), ignore, 0);
+  activator.enqueue(tenant_task("a", "a3"), ignore, 0);
+  activator.enqueue(tenant_task("b", "b1"), ignore, 0);
+  activator.enqueue(tenant_task("b", "b2"), ignore, 0);
+
+  std::vector<std::string> order;
+  while (auto buffered = activator.try_pop(0)) order.push_back(buffered->params.name);
+  // Equal weights: strict alternation instead of FIFO's a1,a2,a3,b1,b2.
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3"}));
+}
+
+TEST(ActivatorAdmission, FairDequeueHonoursWeights) {
+  Activator activator;
+  AdmissionConfig admission;
+  admission.fair_dequeue = true;
+  admission.weights["a"] = 2.0;
+  activator.set_admission(admission);
+
+  auto ignore = [](net::HttpResponse) {};
+  for (int i = 1; i <= 4; ++i) {
+    activator.enqueue(tenant_task("a", "a" + std::to_string(i)), ignore, 0);
+  }
+  for (int i = 1; i <= 2; ++i) {
+    activator.enqueue(tenant_task("b", "b" + std::to_string(i)), ignore, 0);
+  }
+
+  std::vector<std::string> order;
+  while (auto buffered = activator.try_pop(0)) order.push_back(buffered->params.name);
+  // Weight 2 tenant is served twice per weight-1 service: a,b,a,a,b,a.
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2", "a3", "b2", "a4"}));
 }
 
 // ---- kube scheduler -------------------------------------------------------------
